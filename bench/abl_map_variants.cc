@@ -1,0 +1,83 @@
+// Ablation — map proxy-caching variants (§4.3.2).
+//
+// "Resurrecting a persistent object has a performance cost... to avoid this
+// cost for values stored in maps and sets, J-PDT proposes different
+// implementations with different trade-offs between performance and memory
+// consumption": base (fresh proxy per lookup), cached (on demand), eager
+// (populated at resurrection) — plus this repo's extension, a *bounded*
+// cache keeping only the hottest proxies.
+//
+// Reports read throughput, resurrection (restart) time, and proxy-memory
+// footprint for each variant under a zipfian read-only workload.
+#include "bench/bench_util.h"
+#include "src/pdt/pmap.h"
+
+using namespace jnvm;
+using namespace jnvm::bench;
+
+namespace {
+
+struct VariantSpec {
+  const char* name;
+  pdt::ProxyCaching mode;
+  uint64_t bound;  // 0 = unbounded
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation — base / cached / eager / bounded map variants",
+              "§4.3.2: cached and eager trade memory for performance; eager "
+              "pays at resurrection; the bounded cache keeps only hot proxies");
+
+  const uint64_t records = Scaled(20'000);
+  const uint64_t ops = Scaled(100'000);
+  const VariantSpec variants[] = {
+      {"base", pdt::ProxyCaching::kBase, 0},
+      {"cached", pdt::ProxyCaching::kCached, 0},
+      {"cached-10%", pdt::ProxyCaching::kCached, records / 10},
+      {"eager", pdt::ProxyCaching::kEager, 0},
+  };
+
+  // Build one persistent map, reopen per variant so resurrection cost is
+  // measured under identical contents.
+  const uint64_t bytes = records * 1024 * 3 + (128ull << 20);
+  nvm::PmemDevice dev(OptaneLike(bytes));
+  {
+    auto rt = core::JnvmRuntime::Format(&dev);
+    pdt::PStringHashMap m(*rt, 2 * records);
+    for (uint64_t i = 0; i < records; ++i) {
+      pdt::PString v(*rt, "value-" + std::to_string(i));
+      m.Put(ycsb::KeyFor(i), &v);
+    }
+    m.Pwb();
+    m.Validate();
+    rt->root().Put("map", &m);
+  }
+
+  std::printf("\n%-12s %14s %16s %16s\n", "variant", "reads/s", "resurrect(ms)",
+              "proxies kept");
+  for (const VariantSpec& v : variants) {
+    auto rt = core::JnvmRuntime::Open(&dev);
+    Stopwatch resurrect;
+    const auto m = rt->root().GetAs<pdt::PStringHashMap>("map");
+    m->SetCaching(v.mode, v.bound);  // eager populates here
+    const double resurrect_ms = resurrect.ElapsedSec() * 1e3;
+
+    ZipfianGenerator zipf(10'000'000'000ull, 0.99, 7);
+    Stopwatch sw;
+    for (uint64_t i = 0; i < ops; ++i) {
+      const auto val =
+          m->GetAs<pdt::PString>(ycsb::KeyFor(Mix64(zipf.Next()) % records));
+      volatile uint32_t sink = val->Length();
+      (void)sink;
+    }
+    const double tput = static_cast<double>(ops) / sw.ElapsedSec();
+    std::printf("%-12s %12.1fK %16.2f %16zu\n", v.name, tput / 1e3, resurrect_ms,
+                m->CachedProxies());
+  }
+  std::printf("\n(records=%llu, ops=%llu, zipfian reads)\n",
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(ops));
+  return 0;
+}

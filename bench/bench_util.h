@@ -1,0 +1,173 @@
+// Shared setup for the benchmark harnesses (one binary per paper table or
+// figure — see DESIGN.md §4).
+//
+// All benchmarks run on the simulated NVMM device with an Optane-like
+// latency model, the DAX file systems with a syscall cost, the
+// Java-serialization cost model on the marshalling backends, and a JNI
+// crossing cost on PCJ. Dataset sizes default to laptop scale; set
+// JNVM_BENCH_SCALE to grow them towards the paper's (e.g. =100 on a large
+// machine).
+#ifndef JNVM_BENCH_BENCH_UTIL_H_
+#define JNVM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/bench_env.h"
+#include "src/store/fs_backend.h"
+#include "src/store/jpdt_backend.h"
+#include "src/store/jpfa_backend.h"
+#include "src/store/pcj_backend.h"
+#include "src/store/volatile_backend.h"
+#include "src/ycsb/runner.h"
+
+namespace jnvm::bench {
+
+enum class BackendKind { kJpdt, kJpfa, kFs, kTmpfs, kNullfs, kPcj, kVolatile };
+
+inline const char* Name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kJpdt: return "J-PDT";
+    case BackendKind::kJpfa: return "J-PFA";
+    case BackendKind::kFs: return "FS";
+    case BackendKind::kTmpfs: return "TmpFS";
+    case BackendKind::kNullfs: return "NullFS";
+    case BackendKind::kPcj: return "PCJ";
+    case BackendKind::kVolatile: return "Volatile";
+  }
+  return "?";
+}
+
+// Optane-like asymmetry: reads slower than DRAM, fences costly (§5.1 and
+// Izraelevitz et al. [25]).
+inline nvm::DeviceOptions OptaneLike(uint64_t bytes) {
+  nvm::DeviceOptions o;
+  o.size_bytes = bytes;
+  o.read_delay_ns = 80;
+  o.write_delay_ns = 60;
+  o.pwb_delay_ns = 10;
+  o.fence_delay_ns = 150;
+  return o;
+}
+
+inline fs::FsOptions DaxSyscall() {
+  fs::FsOptions o;
+  o.syscall_latency_ns = 1200;  // ext4-DAX syscall + VFS path
+  return o;
+}
+
+struct BenchConfig {
+  uint64_t records = 10'000;
+  uint32_t fields = 10;
+  uint32_t field_len = 100;
+  double cache_ratio = 0.10;  // FS-family backends; J-NVM/PCJ run uncached (§5.3.1)
+  uint64_t gc_trigger_bytes = 32ull << 20;
+  uint64_t device_bytes = 0;  // 0 = auto-size from the dataset
+};
+
+// Owns the whole stack for one backend: device, runtime/fs/pool, backend,
+// gc heap, and the KvStore on top.
+struct Bundle {
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<core::JnvmRuntime> rt;
+  std::unique_ptr<gcsim::ManagedHeap> gc;
+  std::unique_ptr<fs::SimFs> simfs;
+  std::unique_ptr<pmdkx::PmdkPool> pool;
+  std::unique_ptr<store::Backend> backend;
+  std::unique_ptr<store::KvStore> kv;
+  BackendKind kind;
+
+  gcsim::ManagedHeap* gc_heap() { return gc.get(); }
+};
+
+inline uint64_t AutoDeviceBytes(const BenchConfig& c) {
+  const uint64_t record_bytes =
+      static_cast<uint64_t>(c.fields) * c.field_len + 256;
+  // Blocks, chains, pairs, log headroom: ~4x the raw payload, min 64 MB.
+  const uint64_t want = c.records * record_bytes * 4 + (64ull << 20);
+  return want;
+}
+
+inline std::unique_ptr<Bundle> MakeBundle(BackendKind kind, const BenchConfig& c) {
+  auto b = std::make_unique<Bundle>();
+  b->kind = kind;
+  const uint64_t bytes = c.device_bytes != 0 ? c.device_bytes : AutoDeviceBytes(c);
+  store::StoreOptions sopts;
+  sopts.expected_records = c.records;
+
+  switch (kind) {
+    case BackendKind::kJpdt:
+    case BackendKind::kJpfa: {
+      b->dev = std::make_unique<nvm::PmemDevice>(OptaneLike(bytes));
+      b->rt = core::JnvmRuntime::Format(b->dev.get());
+      if (kind == BackendKind::kJpdt) {
+        b->backend = std::make_unique<store::JpdtBackend>(b->rt.get(), "store",
+                                                          2 * c.records);
+      } else {
+        b->backend = std::make_unique<store::JpfaBackend>(b->rt.get(), "store.jpfa",
+                                                          2 * c.records);
+      }
+      sopts.cache_ratio = 0.0;  // caching disabled for J-NVM backends (§5.3.1)
+      b->kv = std::make_unique<store::KvStore>(b->backend.get(), nullptr, sopts);
+      return b;
+    }
+    case BackendKind::kFs:
+      b->dev = std::make_unique<nvm::PmemDevice>(OptaneLike(bytes));
+      b->simfs = std::make_unique<fs::NvmFs>(b->dev.get(), 0, bytes, DaxSyscall());
+      break;
+    case BackendKind::kTmpfs:
+      b->simfs = std::make_unique<fs::TmpFs>(bytes, DaxSyscall());
+      break;
+    case BackendKind::kNullfs:
+      b->simfs = std::make_unique<fs::NullFs>(bytes, DaxSyscall());
+      break;
+    case BackendKind::kPcj: {
+      b->dev = std::make_unique<nvm::PmemDevice>(OptaneLike(bytes));
+      b->pool = std::make_unique<pmdkx::PmdkPool>(b->dev.get(), 0, bytes);
+      store::PcjOptions popts;
+      popts.nbuckets = 2 * c.records;
+      popts.fields_per_record = c.fields;
+      b->backend = std::make_unique<store::PcjBackend>(b->pool.get(), popts);
+      sopts.cache_ratio = 0.0;
+      b->kv = std::make_unique<store::KvStore>(b->backend.get(), nullptr, sopts);
+      return b;
+    }
+    case BackendKind::kVolatile: {
+      b->gc = std::make_unique<gcsim::ManagedHeap>(
+          gcsim::GcOptions{.gc_trigger_bytes = c.gc_trigger_bytes});
+      b->backend = std::make_unique<store::VolatileBackend>(b->gc.get());
+      sopts.cache_ratio = 0.0;
+      b->kv = std::make_unique<store::KvStore>(b->backend.get(), nullptr, sopts);
+      return b;
+    }
+  }
+
+  // FS-family tail: marshalling backend + managed cache in front.
+  b->backend = std::make_unique<store::FsBackend>(b->simfs.get(), Name(kind),
+                                                  store::SerCostModel::JavaLike());
+  b->gc = std::make_unique<gcsim::ManagedHeap>(
+      gcsim::GcOptions{.gc_trigger_bytes = c.gc_trigger_bytes});
+  sopts.cache_ratio = c.cache_ratio;
+  b->kv = std::make_unique<store::KvStore>(b->backend.get(), b->gc.get(), sopts);
+  return b;
+}
+
+inline ycsb::WorkloadSpec SpecFor(const BenchConfig& c, ycsb::WorkloadSpec base) {
+  base.record_count = c.records;
+  base.fields = c.fields;
+  base.field_len = c.field_len;
+  return base;
+}
+
+inline void PrintHeader(const char* what, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("(absolute numbers differ — simulated NVMM, 1 core; the shape\n");
+  std::printf(" is the reproduction target. JNVM_BENCH_SCALE=%g)\n", BenchScale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace jnvm::bench
+
+#endif  // JNVM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+// Figure 7 — "The YCSB benchmark": throughput of workloads A, B, C, D, F
+// on the four persistent backends (J-PDT, J-PFA, FS, PCJ).
+//
+// Paper result: J-PDT systematically outperforms everything; ≥10.5× faster
+// than FS (3.6× in workload D), 13.8×–22.7× faster than PCJ; J-PFA between
+// J-PDT and the rest (J-PDT up to 65% faster than J-PFA).
+#include "bench/bench_util.h"
+
+using namespace jnvm;
+using namespace jnvm::bench;
+
+int main() {
+  PrintHeader("Figure 7 — YCSB throughput (Kops/s) per backend",
+              "J-PDT ~ 350-550 Kops/s; >= 10.5x FS (3.6x on D); 13.8-22.7x PCJ; "
+              "J-PDT up to 65% faster than J-PFA");
+
+  BenchConfig cfg;
+  cfg.records = Scaled(8'000);
+  const uint64_t ops = Scaled(30'000);
+
+  const BackendKind kinds[] = {BackendKind::kJpdt, BackendKind::kJpfa,
+                               BackendKind::kFs, BackendKind::kPcj};
+  const ycsb::WorkloadSpec bases[] = {ycsb::WorkloadSpec::A(), ycsb::WorkloadSpec::B(),
+                                      ycsb::WorkloadSpec::C(), ycsb::WorkloadSpec::D(),
+                                      ycsb::WorkloadSpec::F()};
+
+  std::printf("\n%-10s", "workload");
+  for (const BackendKind k : kinds) {
+    std::printf("%12s", Name(k));
+  }
+  std::printf("%14s%12s\n", "J-PDT/FS", "J-PDT/PCJ");
+
+  for (const auto& base : bases) {
+    double tput[4] = {};
+    int i = 0;
+    for (const BackendKind k : kinds) {
+      auto b = MakeBundle(k, cfg);
+      const auto spec = SpecFor(cfg, base);
+      ycsb::LoadPhase(b->kv.get(), spec);
+      const auto r = ycsb::RunPhase(b->kv.get(), spec, ops, 1, 42);
+      tput[i++] = r.throughput_ops_s;
+    }
+    std::printf("%-10s", base.name.c_str());
+    for (int j = 0; j < 4; ++j) {
+      std::printf("%10.1fK", tput[j] / 1e3);
+    }
+    std::printf("%13.1fx%11.1fx\n", tput[0] / tput[2], tput[0] / tput[3]);
+  }
+  std::printf("\n(records=%llu, ops=%llu per cell, single-threaded client)\n",
+              static_cast<unsigned long long>(cfg.records),
+              static_cast<unsigned long long>(ops));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 9 — sensitivity of J-PDT vs FS to (a) the cache ratio, (b) the
+// number of records, (c) the number of fields, (d) the record size.
+// Reports read and update latency (YCSB-A), like the paper's four panels.
+//
+// Paper results:
+//  (a) J-PDT flat (reads 1.7→1.2 us, updates 2.6→2.1 us); FS reads improve
+//      with cache (32.5→0.8 us), FS updates don't (write-through);
+//  (b) both flat in the number of records;
+//  (c) FS reads 17.7 us → 22.3 ms from 10 to 10k fields; J-PDT 1.7→7.0 us;
+//  (d) FS 17.5 us → 1.6 ms (reads) / 71 us → 6.5 ms (updates) from 1 KB to
+//      1 MB records; J-PDT reads 2.4→4.0 us, updates 3.2→14.6 us.
+#include "bench/bench_util.h"
+
+using namespace jnvm;
+using namespace jnvm::bench;
+
+namespace {
+
+struct Cell {
+  double read_us;
+  double update_us;
+};
+
+Cell Measure(BackendKind kind, const BenchConfig& cfg, uint64_t ops) {
+  auto b = MakeBundle(kind, cfg);
+  const auto spec = SpecFor(cfg, ycsb::WorkloadSpec::A());
+  ycsb::LoadPhase(b->kv.get(), spec);
+  const auto r = ycsb::RunPhase(b->kv.get(), spec, ops, 1, 42);
+  return {r.read.mean_ns() / 1e3, r.update.mean_ns() / 1e3};
+}
+
+void PrintRow(const char* label, Cell jpdt, Cell fsb) {
+  std::printf("%-14s %10.1f %12.1f %12.1f %12.1f\n", label, jpdt.read_us,
+              jpdt.update_us, fsb.read_us, fsb.update_us);
+}
+
+void Header(const char* panel) {
+  std::printf("\n--- %s ---\n", panel);
+  std::printf("%-14s %10s %12s %12s %12s\n", "", "JPDT-read", "JPDT-update",
+              "FS-read", "FS-update");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "abcd";
+  PrintHeader("Figure 9 — latency (us) sensitivity: J-PDT vs FS",
+              "see panel annotations; J-PDT stays flat, FS explodes with "
+              "fields/record size, FS reads need a big cache");
+  const uint64_t ops = Scaled(6'000);
+
+  if (which.find('a') != std::string::npos) {
+    Header("(a) cache ratio, 2k records x 10 x 100B");
+    for (const double ratio : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0}) {
+      BenchConfig cfg;
+      cfg.records = Scaled(2'000);
+      cfg.cache_ratio = ratio;  // only affects FS; J-PDT runs uncached
+      char label[32];
+      std::snprintf(label, sizeof(label), "cache %3.0f%%", ratio * 100);
+      PrintRow(label, Measure(BackendKind::kJpdt, cfg, ops),
+               Measure(BackendKind::kFs, cfg, ops));
+    }
+  }
+
+  if (which.find('b') != std::string::npos) {
+    Header("(b) number of records (10% cache)");
+    for (const uint64_t n : {1'000ull, 4'000ull, 16'000ull, 64'000ull}) {
+      BenchConfig cfg;
+      cfg.records = Scaled(n);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%llu rec",
+                    static_cast<unsigned long long>(cfg.records));
+      PrintRow(label, Measure(BackendKind::kJpdt, cfg, ops),
+               Measure(BackendKind::kFs, cfg, ops));
+    }
+  }
+
+  if (which.find('c') != std::string::npos) {
+    Header("(c) fields per record (constant dataset size)");
+    for (const uint32_t fields : {10u, 100u, 1'000u, 10'000u}) {
+      BenchConfig cfg;
+      cfg.fields = fields;
+      cfg.field_len = 100;
+      cfg.records = Scaled(20'000) / fields * 10;  // constant bytes
+      if (cfg.records == 0) cfg.records = 10;
+      char label[32];
+      std::snprintf(label, sizeof(label), "%u fields", fields);
+      const uint64_t cell_ops = fields >= 1'000 ? ops / 20 : ops;
+      PrintRow(label, Measure(BackendKind::kJpdt, cfg, cell_ops),
+               Measure(BackendKind::kFs, cfg, cell_ops));
+    }
+  }
+
+  if (which.find('d') != std::string::npos) {
+    Header("(d) record size, 10 fields (constant dataset size)");
+    for (const uint32_t kb : {1u, 10u, 100u, 1'000u}) {
+      BenchConfig cfg;
+      cfg.fields = 10;
+      cfg.field_len = kb * 100;  // record = kb KB
+      cfg.records = Scaled(2'000) / kb;
+      if (cfg.records < 10) cfg.records = 10;
+      char label[32];
+      std::snprintf(label, sizeof(label), "%uKB rec", kb);
+      const uint64_t cell_ops = kb >= 100 ? ops / 20 : ops;
+      PrintRow(label, Measure(BackendKind::kJpdt, cfg, cell_ops),
+               Measure(BackendKind::kFs, cfg, cell_ops));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Figure 12 — "Persistent vs. volatile data types": YCSB-A executed
+// directly on the maps (no Infinispan/KvStore layer) for the three
+// structures of §5.3.4 — hash map, red-black tree, skip list — against
+// their volatile counterparts, plus the Blackhole baseline (workload
+// injection only).
+//
+// Paper result: J-PDT is 45–50% slower than the volatile implementation,
+// because (i) crash handling needs pfences in the critical path, (ii) NVMM
+// is slower than DRAM, (iii) accesses go through proxies. The volatile bars
+// include a visible GC share.
+#include "bench/bench_util.h"
+#include "src/pdt/pmap.h"
+
+using namespace jnvm;
+using namespace jnvm::bench;
+
+namespace {
+
+constexpr uint32_t kValueBytes = 1'000;  // 1 KB values, as in Figure 12
+
+struct Breakdown {
+  double read_s = 0;
+  double update_s = 0;
+  double gc_s = 0;
+  double total_s = 0;
+};
+
+// One YCSB-A pass over an abstract map interface.
+template <typename ReadFn, typename UpdateFn>
+Breakdown RunA(uint64_t records, uint64_t ops, ReadFn&& read, UpdateFn&& update,
+               gcsim::ManagedHeap* gc) {
+  Xorshift op_rng(42);
+  ZipfianGenerator zipf(10'000'000'000ull, 0.99, 77);
+  const uint64_t gc_before = gc != nullptr ? gc->stats().gc_ns_total : 0;
+  Breakdown b;
+  Stopwatch total;
+  uint64_t read_ns = 0;
+  uint64_t update_ns = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint64_t key_index = Mix64(zipf.Next()) % records;
+    const std::string key = ycsb::KeyFor(key_index);
+    if (op_rng.NextDouble() < 0.5) {
+      const uint64_t t0 = NowNs();
+      read(key);
+      read_ns += NowNs() - t0;
+    } else {
+      const uint64_t t0 = NowNs();
+      update(key, key_index);
+      update_ns += NowNs() - t0;
+    }
+  }
+  b.total_s = total.ElapsedSec();
+  b.read_s = static_cast<double>(read_ns) / 1e9;
+  b.update_s = static_cast<double>(update_ns) / 1e9;
+  if (gc != nullptr) {
+    b.gc_s = static_cast<double>(gc->stats().gc_ns_total - gc_before) / 1e9;
+  }
+  return b;
+}
+
+void Print(const char* structure, const char* variant, const Breakdown& b) {
+  const double exec = b.total_s - b.read_s - b.update_s;
+  std::printf("%-12s %-10s read %7.3fs  update %7.3fs  gc %7.3fs  exec %7.3fs"
+              "  total %7.3fs\n",
+              structure, variant, b.read_s, b.update_s - b.gc_s, b.gc_s,
+              exec < 0 ? 0.0 : exec, b.total_s);
+}
+
+std::string ValueFor(uint64_t i) {
+  std::string v(kValueBytes, '\0');
+  Xorshift rng(Mix64(i));
+  for (auto& c : v) {
+    c = static_cast<char>('a' + rng.NextBelow(26));
+  }
+  return v;
+}
+
+// Iterator value access shims for std maps vs SkipListMap.
+template <typename It>
+gcsim::ObjRef ValueOf(const It& it) {
+  return it->second;
+}
+template <typename It>
+void SetValueOf(It& it, gcsim::ObjRef v) {
+  it->second = v;
+}
+gcsim::ObjRef ValueOf(const pdt::SkipListMap<std::string, gcsim::ObjRef>::iterator& it) {
+  return it.value();
+}
+void SetValueOf(pdt::SkipListMap<std::string, gcsim::ObjRef>::iterator& it,
+                gcsim::ObjRef v) {
+  it.value() = v;
+}
+
+// Volatile counterpart: a std-style map of managed-heap records (GC traced).
+template <typename MapT>
+Breakdown RunVolatile(uint64_t records, uint64_t ops) {
+  gcsim::ManagedHeap gc(gcsim::GcOptions{.gc_trigger_bytes = 4ull << 20});
+  MapT map;
+  for (uint64_t i = 0; i < records; ++i) {
+    auto* s = new std::string(ValueFor(i));
+    const gcsim::ObjRef node = gc.Alloc(0, kValueBytes + 48, s, [](void* p) {
+      delete static_cast<std::string*>(p);
+    });
+    gc.AddRoot(node);
+    map[ycsb::KeyFor(i)] = node;
+  }
+  return RunA(
+      records, ops,
+      [&](const std::string& key) {
+        auto it = map.find(key);
+        if (it != map.end()) {
+          volatile size_t sink =
+              static_cast<std::string*>(gc.External(ValueOf(it)))->size();
+          (void)sink;
+        }
+      },
+      [&](const std::string& key, uint64_t i) {
+        auto* s = new std::string(ValueFor(i + 1));
+        const gcsim::ObjRef node = gc.Alloc(0, kValueBytes + 48, s, [](void* p) {
+          delete static_cast<std::string*>(p);
+        });
+        gc.AddRoot(node);
+        auto it = map.find(key);
+        if (it != map.end()) {
+          gc.RemoveRoot(ValueOf(it));  // old value floats until the GC runs
+          SetValueOf(it, node);
+        } else {
+          map[key] = node;
+        }
+      },
+      &gc);
+}
+
+// Persistent map (J-PDT) run.
+template <typename MapT>
+Breakdown RunPersistent(uint64_t records, uint64_t ops) {
+  const uint64_t bytes = records * (kValueBytes + 512) * 4 + (64ull << 20);
+  nvm::PmemDevice dev(OptaneLike(bytes));
+  auto rt = core::JnvmRuntime::Format(&dev);
+  MapT map(*rt, 2 * records);
+  for (uint64_t i = 0; i < records; ++i) {
+    pdt::PString v(*rt, ValueFor(i));
+    map.Put(ycsb::KeyFor(i), &v);
+  }
+  return RunA(
+      records, ops,
+      [&](const std::string& key) {
+        const auto v = map.template GetAs<pdt::PString>(key);
+        if (v != nullptr) {
+          volatile size_t sink = v->Length();
+          (void)sink;
+        }
+      },
+      [&](const std::string& key, uint64_t i) {
+        pdt::PString v(*rt, ValueFor(i + 1));
+        map.Put(key, &v);  // frees the replaced value
+      },
+      nullptr);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 12 — persistent vs volatile data types, YCSB-A on the maps",
+              "J-PDT 45-50% slower than volatile; volatile bars carry a GC "
+              "share; Blackhole = workload injection only");
+  const uint64_t records = Scaled(4'000);
+  const uint64_t ops = Scaled(60'000);
+
+  // Blackhole: operations are not applied.
+  const Breakdown bh = RunA(records, ops, [](const std::string&) {},
+                            [](const std::string&, uint64_t) {}, nullptr);
+  Print("Blackhole", "-", bh);
+
+  Print("HashMap", "Volatile",
+        RunVolatile<std::unordered_map<std::string, gcsim::ObjRef>>(records, ops));
+  Print("HashMap", "J-PDT", RunPersistent<pdt::PStringHashMap>(records, ops));
+
+  Print("TreeMap", "Volatile",
+        RunVolatile<std::map<std::string, gcsim::ObjRef>>(records, ops));
+  Print("TreeMap", "J-PDT", RunPersistent<pdt::PStringTreeMap>(records, ops));
+
+  Print("SkipListMap", "Volatile",
+        RunVolatile<pdt::SkipListMap<std::string, gcsim::ObjRef>>(records, ops));
+  Print("SkipListMap", "J-PDT", RunPersistent<pdt::PStringSkipListMap>(records, ops));
+
+  std::printf("\n(records=%llu x %u B values, ops=%llu)\n",
+              static_cast<unsigned long long>(records), kValueBytes,
+              static_cast<unsigned long long>(ops));
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Microbenchmarks (google-benchmark) for the primitive operations every
+// figure is built from: device access, persistence primitives, proxy field
+// access, resurrection, map operations, failure-atomic commits and
+// marshalling. Complements the figure harnesses with per-op costs.
+//
+//   $ ./micro_ops [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/pdt/pmap.h"
+#include "src/store/record.h"
+
+using namespace jnvm;
+using namespace jnvm::bench;
+
+namespace {
+
+// Shared fixtures (built once; google-benchmark calls the loop many times).
+struct World {
+  World() {
+    dev = std::make_unique<nvm::PmemDevice>(OptaneLike(256ull << 20));
+    rt = core::JnvmRuntime::Format(dev.get());
+    map = std::make_shared<pdt::PStringHashMap>(*rt, 1 << 15);
+    map->Pwb();
+    map->Validate();
+    rt->root().Put("m", map.get());
+    for (int i = 0; i < 10'000; ++i) {
+      pdt::PString v(*rt, "value-" + std::to_string(i));
+      map->Put("key" + std::to_string(i), &v);
+    }
+  }
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<core::JnvmRuntime> rt;
+  core::Handle<pdt::PStringHashMap> map;
+};
+
+World& TheWorld() {
+  static World* w = new World();
+  return *w;
+}
+
+class Obj final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class() {
+    static const core::ClassInfo* info =
+        RegisterClass(core::MakeClassInfo<Obj>("micro.Obj"));
+    return info;
+  }
+  explicit Obj(core::Resurrect) {}
+  explicit Obj(core::JnvmRuntime& rt) { AllocatePersistent(rt, Class(), 64); }
+  int64_t Get() const { return ReadField<int64_t>(0); }
+  void Set(int64_t v) { WriteField<int64_t>(0, v); }
+};
+
+// ---- Device primitives ---------------------------------------------------------
+
+void BM_DeviceRead64(benchmark::State& state) {
+  auto& w = TheWorld();
+  uint64_t off = w.rt->heap().PayloadOf(w.rt->heap().first_block());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.dev->Read<uint64_t>(off));
+  }
+}
+BENCHMARK(BM_DeviceRead64);
+
+void BM_DeviceWrite64Pwb(benchmark::State& state) {
+  auto& w = TheWorld();
+  uint64_t off = w.rt->heap().PayloadOf(w.rt->heap().first_block());
+  uint64_t v = 0;
+  for (auto _ : state) {
+    w.dev->Write<uint64_t>(off, ++v);
+    w.dev->Pwb(off);
+  }
+}
+BENCHMARK(BM_DeviceWrite64Pwb);
+
+void BM_Pfence(benchmark::State& state) {
+  auto& w = TheWorld();
+  for (auto _ : state) {
+    w.dev->Pfence();
+  }
+}
+BENCHMARK(BM_Pfence);
+
+// ---- Proxy field access (Figure 4 accessors) -------------------------------------
+
+void BM_ProxyFieldRead(benchmark::State& state) {
+  auto& w = TheWorld();
+  Obj o(*w.rt);
+  o.Set(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(o.Get());
+  }
+}
+BENCHMARK(BM_ProxyFieldRead);
+
+void BM_ProxyFieldWrite(benchmark::State& state) {
+  auto& w = TheWorld();
+  Obj o(*w.rt);
+  int64_t v = 0;
+  for (auto _ : state) {
+    o.Set(++v);
+  }
+}
+BENCHMARK(BM_ProxyFieldWrite);
+
+void BM_ProxyFieldWriteInFaBlock(benchmark::State& state) {
+  auto& w = TheWorld();
+  Obj o(*w.rt);
+  o.Pwb();
+  o.Validate();
+  w.rt->Pfence();
+  int64_t v = 0;
+  for (auto _ : state) {
+    w.rt->FaStart();
+    o.Set(++v);  // in-flight copy + redo-log entry
+    w.rt->FaEnd();
+  }
+}
+BENCHMARK(BM_ProxyFieldWriteInFaBlock);
+
+// ---- Resurrection (§3.1) ----------------------------------------------------------
+
+void BM_Resurrection(benchmark::State& state) {
+  auto& w = TheWorld();
+  Obj o(*w.rt);
+  o.Set(7);
+  const nvm::Offset addr = o.addr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.rt->ResurrectRefAs<Obj>(addr));
+  }
+}
+BENCHMARK(BM_Resurrection);
+
+// ---- Map operations (base variant) --------------------------------------------------
+
+void BM_MapGet(benchmark::State& state) {
+  auto& w = TheWorld();
+  Xorshift rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.map->Get("key" + std::to_string(rng.NextBelow(10'000))));
+  }
+}
+BENCHMARK(BM_MapGet);
+
+void BM_MapPutReplace(benchmark::State& state) {
+  auto& w = TheWorld();
+  Xorshift rng(2);
+  for (auto _ : state) {
+    pdt::PString v(*w.rt, "replacement-value");
+    w.map->Put("key" + std::to_string(rng.NextBelow(10'000)), &v);
+  }
+}
+BENCHMARK(BM_MapPutReplace);
+
+void BM_MapInsertRemove(benchmark::State& state) {
+  auto& w = TheWorld();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "tmp" + std::to_string(i++);
+    pdt::PString v(*w.rt, "temporary-value");
+    w.map->Put(key, &v);
+    w.map->Remove(key);
+  }
+}
+BENCHMARK(BM_MapInsertRemove);
+
+// ---- Failure-atomic block overhead ----------------------------------------------------
+
+void BM_EmptyFaBlock(benchmark::State& state) {
+  auto& w = TheWorld();
+  for (auto _ : state) {
+    w.rt->FaStart();
+    w.rt->FaEnd();
+  }
+}
+BENCHMARK(BM_EmptyFaBlock);
+
+// ---- Marshalling (the FS-backend cost, Figure 8) ----------------------------------------
+
+void BM_MarshalRecord(benchmark::State& state) {
+  const auto r = store::SyntheticRecord(1, 0, 10, 100);
+  std::string image;
+  for (auto _ : state) {
+    store::MarshalRecord(r, &image);
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(image.size()));
+}
+BENCHMARK(BM_MarshalRecord);
+
+void BM_UnmarshalRecord(benchmark::State& state) {
+  const auto r = store::SyntheticRecord(1, 0, 10, 100);
+  std::string image;
+  store::MarshalRecord(r, &image);
+  store::Record out;
+  for (auto _ : state) {
+    store::UnmarshalRecord(image, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(image.size()));
+}
+BENCHMARK(BM_UnmarshalRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

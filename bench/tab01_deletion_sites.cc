@@ -1,0 +1,39 @@
+// Table 1 — "NVMM-ready data stores rarely delete persistent objects".
+//
+// The paper counts explicit deletion sites in seven open-source stores to
+// argue that a runtime GC for persistent objects buys little (§2.2.2). The
+// original numbers are reproduced as data (the checkouts are not available
+// offline); we additionally count the deletion sites in *this* repository's
+// store backends, which lands in the same one-digit range.
+#include <cstdio>
+
+int main() {
+  std::printf("Table 1 — deletion sites in NVMM-ready data stores (paper data)\n");
+  std::printf("%-28s %10s %8s\n", "data store", "SLOC", "#sites");
+  struct Row {
+    const char* store;
+    const char* sloc;
+    int sites;
+  };
+  const Row rows[] = {
+      {"infinispan (the paper)", "603,800", 4}, {"cassandra-pmem", "334,300", 1},
+      {"pmem-rocksdb", "314,900", 4},           {"pmem-redis", "55,900", 1},
+      {"pmemkv", "25,600", 2},                  {"go-redis-pmem", "8,400", 2},
+      {"pmse (MongoDB)", "4,800", 3},
+  };
+  for (const Row& r : rows) {
+    std::printf("%-28s %10s %8d\n", r.store, r.sloc, r.sites);
+  }
+
+  std::printf("\nThis repository's store backends (counted from the sources):\n");
+  // The call sites that delete persistent objects in src/store:
+  //   JpdtBackend::Delete           -> PMap::Remove(free_value)
+  //   PMap::Put                     -> SetValueAndFreeOld (replace)
+  //   JpfaHashMap::Remove           -> FreeRef(key/value) + Free(entry)
+  //   JpfaHashMap::Put              -> FreeRef(old value)  (replace)
+  std::printf("%-28s %10s %8d\n", "jnvm-store (this repo)", "~3,000", 4);
+  std::printf("\nConclusion (§2.2.2): a handful of deletion sites even in large\n"
+              "code bases — garbage collecting persistent objects at runtime\n"
+              "has limited interest for a data store.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Tour of the Infinispan-like store with its pluggable persistence backends
+// (§5.1), under a small YCSB-A burst each.
+//
+//   $ ./kvstore_tour
+#include <cstdio>
+
+#include "src/store/fs_backend.h"
+#include "src/store/jpdt_backend.h"
+#include "src/store/jpfa_backend.h"
+#include "src/store/pcj_backend.h"
+#include "src/store/volatile_backend.h"
+#include "src/ycsb/runner.h"
+
+namespace {
+
+void RunOne(const char* label, jnvm::store::KvStore* kv,
+            const jnvm::ycsb::WorkloadSpec& spec) {
+  jnvm::ycsb::LoadPhase(kv, spec);
+  const auto r = jnvm::ycsb::RunPhase(kv, spec, 20'000, /*threads=*/1, /*seed=*/1);
+  std::printf("%-8s  %9.0f ops/s   read %s\n", label, r.throughput_ops_s,
+              r.read.Summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto spec = jnvm::ycsb::WorkloadSpec::A();
+  spec.record_count = 5'000;
+  spec.fields = 10;
+  spec.field_len = 100;
+
+  std::printf("YCSB-A, %llu records x %u fields x %u B, one backend per line\n\n",
+              static_cast<unsigned long long>(spec.record_count), spec.fields,
+              spec.field_len);
+
+  // J-PDT: hand-crafted persistent data types, no cache needed.
+  {
+    jnvm::nvm::DeviceOptions o;
+    o.size_bytes = 256 << 20;
+    jnvm::nvm::PmemDevice dev(o);
+    auto rt = jnvm::core::JnvmRuntime::Format(&dev);
+    jnvm::store::JpdtBackend backend(rt.get());
+    jnvm::store::StoreOptions sopts;
+    sopts.cache_ratio = 0.0;
+    jnvm::store::KvStore kv(&backend, nullptr, sopts);
+    RunOne("J-PDT", &kv, spec);
+  }
+
+  // J-PFA: failure-atomic blocks, generic structure.
+  {
+    jnvm::nvm::DeviceOptions o;
+    o.size_bytes = 256 << 20;
+    jnvm::nvm::PmemDevice dev(o);
+    auto rt = jnvm::core::JnvmRuntime::Format(&dev);
+    jnvm::store::JpfaBackend backend(rt.get(), "store.jpfa", 2 * spec.record_count);
+    jnvm::store::StoreOptions sopts;
+    sopts.cache_ratio = 0.0;
+    jnvm::store::KvStore kv(&backend, nullptr, sopts);
+    RunOne("J-PFA", &kv, spec);
+  }
+
+  // FS: marshalled records through a DAX file system, 10% cache.
+  {
+    jnvm::nvm::DeviceOptions o;
+    o.size_bytes = 256 << 20;
+    jnvm::nvm::PmemDevice dev(o);
+    jnvm::fs::FsOptions fopts;
+    jnvm::fs::NvmFs fs(&dev, 0, 256 << 20, fopts);
+    jnvm::store::FsBackend backend(&fs, "FS");
+    jnvm::gcsim::ManagedHeap gc(jnvm::gcsim::GcOptions{});
+    jnvm::store::StoreOptions sopts;
+    sopts.cache_ratio = 0.10;
+    sopts.expected_records = spec.record_count;
+    jnvm::store::KvStore kv(&backend, &gc, sopts);
+    RunOne("FS", &kv, spec);
+  }
+
+  // PCJ: PMDK transactions behind simulated JNI crossings.
+  {
+    jnvm::nvm::DeviceOptions o;
+    o.size_bytes = 256 << 20;
+    jnvm::nvm::PmemDevice dev(o);
+    jnvm::pmdkx::PmdkPool pool(&dev, 0, 256 << 20);
+    jnvm::store::PcjOptions popts;
+    popts.nbuckets = 2 * spec.record_count;
+    jnvm::store::PcjBackend backend(&pool, popts);
+    jnvm::store::StoreOptions sopts;
+    sopts.cache_ratio = 0.0;
+    jnvm::store::KvStore kv(&backend, nullptr, sopts);
+    RunOne("PCJ", &kv, spec);
+  }
+
+  // Volatile: persistence disabled, records in the managed heap.
+  {
+    jnvm::gcsim::ManagedHeap gc(jnvm::gcsim::GcOptions{});
+    jnvm::store::VolatileBackend backend(&gc);
+    jnvm::store::StoreOptions sopts;
+    sopts.cache_ratio = 0.0;
+    jnvm::store::KvStore kv(&backend, nullptr, sopts);
+    RunOne("Volatile", &kv, spec);
+  }
+
+  return 0;
+}

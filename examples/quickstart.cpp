@@ -1,0 +1,112 @@
+// Quickstart — the paper's Figure 3, in C++.
+//
+// A persistent `Simple` class with a string field, an int field and a
+// transient field; a main() that initializes a region, retrieves or creates
+// the root object, mutates it, replaces it and frees the old one.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/pdt/pstring.h"
+
+using jnvm::core::ClassInfo;
+using jnvm::core::JnvmRuntime;
+using jnvm::core::MakeClassInfo;
+using jnvm::core::ObjectView;
+using jnvm::core::PackFields;
+using jnvm::core::PObject;
+using jnvm::core::RefVisitor;
+using jnvm::core::Resurrect;
+using jnvm::pdt::PString;
+
+// @Persistent(fa="non-private") class Simple { PString msg; int x;
+//                                              transient int y; ... }
+class Simple final : public PObject {
+ public:
+  static const ClassInfo* Class() {
+    static const ClassInfo* info =
+        RegisterClass(MakeClassInfo<Simple>("example.Simple", &Simple::Trace));
+    return info;
+  }
+
+  // The resurrect constructor (§3.1).
+  explicit Simple(Resurrect) {}
+
+  // Simple(int x) { this.x = x; this.msg = new PString("Hello, NVMM!"); }
+  Simple(JnvmRuntime& rt, int32_t x) {
+    rt.FaStart();  // fa="non-private": methods are failure-atomic
+    AllocatePersistent(rt, Class(), kL.bytes);
+    SetX(x);
+    PString msg(rt, "Hello, NVMM!");
+    WritePObject(kL.off[0], &msg);
+    rt.FaEnd();
+  }
+
+  void Resurrect_() override { y = 0; }  // transient fields re-initialized
+
+  int32_t X() const { return ReadField<int32_t>(kL.off[1]); }
+  void SetX(int32_t v) { WriteField<int32_t>(kL.off[1], v); }
+
+  void Inc() {
+    JnvmRuntime& rt = runtime();
+    rt.FaStart();
+    SetX(X() + 1);
+    rt.FaEnd();
+  }
+
+  std::string Msg() const {
+    const auto s = ReadPObjectAs<PString>(kL.off[0]);
+    return s == nullptr ? "" : s->Str();
+  }
+  jnvm::nvm::Offset MsgRef() const { return ReadRefRaw(kL.off[0]); }
+
+  int y = 0;  // transient int y;
+
+  static void Trace(ObjectView& v, RefVisitor& r) { r.VisitRef(v, kL.off[0]); }
+
+ private:
+  static constexpr auto kL = PackFields<2>({jnvm::core::kRefField, 4});
+};
+
+int main() {
+  // JNVM.init("/mnt/pmem/simple", 1024*1024) — here the "DIMM" is simulated.
+  jnvm::nvm::DeviceOptions dopts;
+  dopts.size_bytes = 8 << 20;
+  jnvm::nvm::PmemDevice pmem(dopts);
+  auto rt = JnvmRuntime::Format(&pmem);
+
+  // if (!JNVM.root.exists("simple")) JNVM.root.put("simple", new Simple(42));
+  if (!rt->root().Exists("simple")) {
+    Simple s(*rt, 42);
+    rt->root().Put("simple", &s);
+  }
+
+  // Simple s = (Simple)JNVM.root.get("simple");
+  auto s = rt->root().GetAs<Simple>("simple");
+
+  s->Inc();     // s.inc();
+  s->y = 42;    // s.y = 42;  (transient)
+
+  std::printf("s.x   = %d\n", s->X());     // 43
+  std::printf("s.msg = %s\n", s->Msg().c_str());
+
+  // JNVM.root.put("simple", new Simple(24));
+  Simple replacement(*rt, 24);
+  rt->root().Put("simple", &replacement);
+
+  // JNVM.free(s.msg); JNVM.free(s);
+  rt->FreeRef(s->MsgRef());
+  rt->Free(*s);
+
+  // Simulate a restart: reopen the same device and read the new root.
+  rt.reset();
+  rt = JnvmRuntime::Open(&pmem);
+  auto after = rt->root().GetAs<Simple>("simple");
+  std::printf("after restart: s.x = %d, s.msg = %s\n", after->X(),
+              after->Msg().c_str());
+  std::printf("recovery: %llu objects traversed, %llu blocks freed\n",
+              static_cast<unsigned long long>(rt->recovery_report().traversed_objects),
+              static_cast<unsigned long long>(rt->recovery_report().sweep.freed_blocks));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Helpers shared by the benchmark harnesses: environment-variable scaling
+// and aligned table printing.
+//
+// Benchmarks default to sizes that complete in seconds on a small machine;
+// JNVM_BENCH_SCALE multiplies record counts / operation counts to approach
+// the paper's full-size runs on bigger hardware.
+#ifndef JNVM_SRC_COMMON_BENCH_ENV_H_
+#define JNVM_SRC_COMMON_BENCH_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace jnvm {
+
+inline double BenchScale() {
+  const char* s = std::getenv("JNVM_BENCH_SCALE");
+  if (s == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  const double v = static_cast<double>(base) * BenchScale();
+  return v < 1.0 ? 1 : static_cast<uint64_t>(v);
+}
+
+inline std::string HumanBytes(uint64_t b) {
+  char buf[32];
+  if (b >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", static_cast<double>(b) / (1ull << 30));
+  } else if (b >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", static_cast<double>(b) / (1ull << 20));
+  } else if (b >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", static_cast<double>(b) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace jnvm
+
+#endif  // JNVM_SRC_COMMON_BENCH_ENV_H_

@@ -1,0 +1,35 @@
+// Lightweight assertion macros used across the code base.
+//
+// JNVM_CHECK is always on (release included): persistent-memory code must
+// fail fast on a broken invariant rather than silently corrupt the heap.
+// JNVM_DCHECK compiles out in NDEBUG builds and is for hot paths.
+#ifndef JNVM_SRC_COMMON_CHECK_H_
+#define JNVM_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jnvm {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "JNVM_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace jnvm
+
+#define JNVM_CHECK(cond) \
+  ((cond) ? (void)0 : ::jnvm::CheckFailed(#cond, __FILE__, __LINE__, ""))
+
+#define JNVM_CHECK_MSG(cond, msg) \
+  ((cond) ? (void)0 : ::jnvm::CheckFailed(#cond, __FILE__, __LINE__, (msg)))
+
+#ifdef NDEBUG
+#define JNVM_DCHECK(cond) ((void)0)
+#else
+#define JNVM_DCHECK(cond) JNVM_CHECK(cond)
+#endif
+
+#endif  // JNVM_SRC_COMMON_CHECK_H_

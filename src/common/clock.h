@@ -1,0 +1,50 @@
+// Timing utilities: a monotonic stopwatch and a calibrated busy-wait.
+//
+// SpinFor() is the foundation of the latency models in src/nvm and src/fs:
+// simulated device latencies must consume real CPU-visible time so that the
+// benchmark harness measures them, but they must not involve the scheduler
+// (nanosleep granularity is far too coarse for 100 ns-scale NVM latencies).
+#ifndef JNVM_SRC_COMMON_CLOCK_H_
+#define JNVM_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace jnvm {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Busy-waits for approximately `ns` nanoseconds. Zero is free.
+inline void SpinFor(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  const uint64_t deadline = NowNs() + ns;
+  while (NowNs() < deadline) {
+    // Relax the pipeline; keeps the spin cheap on SMT siblings.
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNs()) {}
+
+  void Reset() { start_ = NowNs(); }
+  uint64_t ElapsedNs() const { return NowNs() - start_; }
+  double ElapsedSec() const { return static_cast<double>(ElapsedNs()) / 1e9; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace jnvm
+
+#endif  // JNVM_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,79 @@
+#include "src/common/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace jnvm {
+
+int Histogram::Index(uint64_t v) {
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);
+  }
+  // Highest set bit determines the octave; the next kSubBucketBits bits
+  // select the linear sub-bucket within it.
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>(v >> octave) & (kSubBuckets - 1);
+  int idx = (octave + 1) * kSubBuckets + sub;
+  if (idx >= kBucketCount) idx = kBucketCount - 1;
+  return idx;
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int octave = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  return (static_cast<uint64_t>(sub + 1) << octave) - 1;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.total_ > 0) {
+    if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_) + 0.5);
+  uint64_t running = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    running += counts_[i];
+    if (running >= target) {
+      const uint64_t ub = BucketUpperBound(i);
+      return ub > max_ ? max_ : ub;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%.1fus p90=%.1fus p99=%.1fus p9999=%.1fus max=%.1fus",
+                ValueAtQuantile(0.50) / 1e3, ValueAtQuantile(0.90) / 1e3,
+                ValueAtQuantile(0.99) / 1e3, ValueAtQuantile(0.9999) / 1e3,
+                static_cast<double>(max_) / 1e3);
+  return buf;
+}
+
+void Histogram::Reset() {
+  counts_.fill(0);
+  total_ = 0;
+  sum_ = 0;
+  max_ = 0;
+  min_ = 0;
+}
+
+}  // namespace jnvm

@@ -1,0 +1,64 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed memory).
+//
+// Values are recorded in nanoseconds. Buckets are arranged as 64 power-of-two
+// groups of kSubBuckets linear sub-buckets, giving a relative error bound of
+// 1/kSubBuckets (~1.5%) at any magnitude — good enough for tail-latency
+// reporting in the benchmarks (Figure 1 right, Figure 9).
+#ifndef JNVM_SRC_COMMON_HISTOGRAM_H_
+#define JNVM_SRC_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace jnvm {
+
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  Histogram() = default;
+
+  void Record(uint64_t value_ns) {
+    counts_[Index(value_ns)] += 1;
+    total_ += 1;
+    sum_ += value_ns;
+    if (value_ns > max_) max_ = value_ns;
+    if (value_ns < min_ || total_ == 1) min_ = value_ns;
+  }
+
+  // Merges another histogram into this one (for multi-thread aggregation).
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return total_; }
+  uint64_t max_ns() const { return max_; }
+  uint64_t min_ns() const { return total_ == 0 ? 0 : min_; }
+  double mean_ns() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  // Value at quantile q in [0,1]; returns an upper bound of the bucket.
+  uint64_t ValueAtQuantile(double q) const;
+
+  // "p50=… p99=… p9999=… max=…" one-line summary, microseconds.
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kBucketCount = 64 * kSubBuckets;
+
+  static int Index(uint64_t v);
+  static uint64_t BucketUpperBound(int index);
+
+  std::array<uint64_t, kBucketCount> counts_{};
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = 0;
+};
+
+}  // namespace jnvm
+
+#endif  // JNVM_SRC_COMMON_HISTOGRAM_H_

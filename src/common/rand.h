@@ -1,0 +1,111 @@
+// Pseudo-random number generation and the key distributions used by YCSB.
+//
+// The generators are deliberately simple and deterministic so that every
+// benchmark and property test in the repository is reproducible from a seed.
+#ifndef JNVM_SRC_COMMON_RAND_H_
+#define JNVM_SRC_COMMON_RAND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+namespace jnvm {
+
+// xorshift128+ — fast, good-enough statistical quality for workloads/tests.
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding avoids poor low-entropy seeds.
+    uint64_t z = seed;
+    for (auto* s : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      *s = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) {
+      s0_ = 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipfian generator over [0, n), YCSB-style (Gray et al.), with the
+// scrambled variant used to spread popular keys across the key space.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 42);
+
+  // Draws the next zipfian rank in [0, n).
+  uint64_t Next();
+
+  // YCSB "scrambled zipfian": popular ranks hash to scattered keys.
+  uint64_t NextScrambled();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Xorshift rng_;
+};
+
+// YCSB "latest" distribution: skewed towards the most recently inserted key.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n, uint64_t seed = 42)
+      : zipf_(n, 0.99, seed), max_(n) {}
+
+  uint64_t Next() {
+    const uint64_t off = zipf_.Next();
+    return max_ - 1 - (off % max_);
+  }
+
+  void Grow(uint64_t new_n) { max_ = new_n; }
+  uint64_t max() const { return max_; }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t max_;
+};
+
+// 64-bit finalizer hash (used for key scrambling and test checksums).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace jnvm
+
+#endif  // JNVM_SRC_COMMON_RAND_H_

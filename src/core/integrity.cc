@@ -1,0 +1,154 @@
+#include "src/core/integrity.h"
+
+#include <cinttypes>
+#include <unordered_set>
+
+#include "src/core/object_view.h"
+
+namespace jnvm::core {
+
+namespace {
+
+class Auditor : public RefVisitor {
+ public:
+  Auditor(JnvmRuntime* rt, IntegrityReport* report)
+      : rt_(rt), heap_(&rt->heap()), report_(report) {}
+
+  void Run(nvm::Offset root) {
+    if (root != 0) {
+      PushMaster(root, "root");
+    }
+    while (!worklist_.empty()) {
+      const nvm::Offset master = worklist_.back();
+      worklist_.pop_back();
+      if (!visited_.insert(master).second) {
+        continue;
+      }
+      AuditObject(master);
+    }
+  }
+
+  void VisitRef(ObjectView& view, size_t off) override {
+    const nvm::Offset ref = view.Read<uint64_t>(off);
+    if (ref == 0) {
+      return;
+    }
+    if (ref < heap_->first_block() || ref >= heap_->bump()) {
+      Violate("I6: reference 0x%" PRIx64 " outside the allocated range", ref);
+      return;
+    }
+    if (heap_->IsBlockAligned(ref)) {
+      PushMaster(ref, "reference");
+    } else {
+      AuditPoolSlot(ref);
+    }
+  }
+
+ private:
+  void PushMaster(nvm::Offset master, const char* what) {
+    const heap::BlockHeader h = heap_->ReadHeader(master);
+    if (!h.IsMaster()) {
+      Violate("I2: %s 0x%" PRIx64 " is not a master block", what, master);
+      return;
+    }
+    if (!h.valid) {
+      Violate("I1: reachable object 0x%" PRIx64 " is invalid", master);
+      return;
+    }
+    worklist_.push_back(master);
+  }
+
+  void AuditObject(nvm::Offset master) {
+    ++report_->objects;
+    const ClassInfo* info = rt_->ClassInfoForId(heap_->ClassIdOf(master));
+    if (info == nullptr) {
+      Violate("I2: object 0x%" PRIx64 " has an unregistered class id", master);
+      return;
+    }
+    if (info->is_pool) {
+      Violate("I2: block-aligned reference into pool class '%s'", info->name.c_str());
+      return;
+    }
+    // I3/I4: chain shape and exclusive block ownership.
+    std::vector<nvm::Offset> blocks;
+    heap_->CollectBlocks(master, &blocks);  // aborts on cycles (I3)
+    for (const nvm::Offset b : blocks) {
+      ++report_->blocks;
+      if (b >= heap_->bump()) {
+        Violate("I6: block 0x%" PRIx64 " beyond the bump pointer", b);
+      }
+      if (!owned_.insert(b).second) {
+        Violate("I4: block 0x%" PRIx64 " belongs to two objects", b);
+      }
+    }
+    ObjectView view(heap_, master);
+    if (info->trace) {
+      info->trace(view, *this);
+    }
+  }
+
+  void AuditPoolSlot(nvm::Offset slot) {
+    ++report_->pool_slots;
+    const nvm::Offset block = (slot / heap_->block_size()) * heap_->block_size();
+    const heap::BlockHeader h = heap_->ReadHeader(block);
+    const ClassInfo* info = rt_->ClassInfoForId(h.id);
+    if (!h.IsMaster() || info == nullptr || !info->is_pool) {
+      Violate("I2: pool reference 0x%" PRIx64 " into a non-pool block", slot);
+      return;
+    }
+    // I5: the occupancy hint of a reachable slot must be set.
+    const nvm::Offset payload = heap_->PayloadOf(block);
+    const uint16_t slot_size = heap_->dev().Read<uint16_t>(payload);
+    const uint32_t nslots =
+        static_cast<uint32_t>((heap_->payload_per_block() - 2) / (slot_size + 1));
+    const nvm::Offset slots_base = payload + 2 + nslots;
+    const uint32_t index = static_cast<uint32_t>((slot - slots_base) / slot_size);
+    if (index >= nslots || slots_base + static_cast<uint64_t>(index) * slot_size != slot) {
+      Violate("I2: pool reference 0x%" PRIx64 " is not slot-aligned", slot);
+      return;
+    }
+    if (heap_->dev().Read<uint8_t>(payload + 2 + index) == 0) {
+      Violate("I5: reachable pool slot 0x%" PRIx64 " marked free", slot);
+    }
+    owned_.insert(block);  // pool blocks may be shared between slots only
+  }
+
+  template <typename... Args>
+  void Violate(const char* fmt, Args... args) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    report_->violations.emplace_back(buf);
+  }
+
+  JnvmRuntime* rt_;
+  Heap* heap_;
+  IntegrityReport* report_;
+  std::vector<nvm::Offset> worklist_;
+  std::unordered_set<nvm::Offset> visited_;
+  std::unordered_set<nvm::Offset> owned_;
+};
+
+}  // namespace
+
+std::string IntegrityReport::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%llu objects, %llu pool slots, %llu blocks, %zu violations",
+                static_cast<unsigned long long>(objects),
+                static_cast<unsigned long long>(pool_slots),
+                static_cast<unsigned long long>(blocks), violations.size());
+  std::string out = buf;
+  for (const std::string& v : violations) {
+    out += "\n  " + v;
+  }
+  return out;
+}
+
+IntegrityReport VerifyHeapIntegrity(JnvmRuntime& rt) {
+  IntegrityReport report;
+  Auditor auditor(&rt, &report);
+  auditor.Run(rt.heap().root_master());
+  return report;
+}
+
+}  // namespace jnvm::core

@@ -1,0 +1,39 @@
+// Heap integrity verification — a read-only audit of the persistent heap's
+// invariants, for tests and tooling (not part of the paper's system, but
+// the invariants are the paper's):
+//
+//   I1  every object reachable from the root map is valid (§2.4 — recovery
+//       nullifies references to invalid objects, so none survive it),
+//   I2  every reachable reference points to a master block of a registered
+//       class, or to a pool slot inside a pool-class block,
+//   I3  block chains are acyclic and stay inside the allocated range,
+//   I4  no two reachable objects share a block,
+//   I5  reachable pool slots have their occupancy hint set,
+//   I6  the persistent bump pointer covers every reachable block.
+//
+// Returns a report; `ok()` is true when no invariant is violated.
+#ifndef JNVM_SRC_CORE_INTEGRITY_H_
+#define JNVM_SRC_CORE_INTEGRITY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace jnvm::core {
+
+struct IntegrityReport {
+  uint64_t objects = 0;
+  uint64_t pool_slots = 0;
+  uint64_t blocks = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+IntegrityReport VerifyHeapIntegrity(JnvmRuntime& rt);
+
+}  // namespace jnvm::core
+
+#endif  // JNVM_SRC_CORE_INTEGRITY_H_

@@ -1,0 +1,61 @@
+// Compile-time field layout builder — the C++ stand-in for the paper's
+// bytecode generator (§2.5, §3).
+//
+// In J-NVM the code generator replaces each non-transient field with a typed
+// accessor at a fixed payload offset (Figure 4: "getX returns the integer
+// located at offset 8 in the persistent data structure"). Here a class
+// declares its fields once, at compile time, and PackFields computes
+// offsets such that a scalar field never straddles a block payload boundary
+// (fields must be addressable by a single device access, §4.1):
+//
+//   class Simple : public PObject {
+//     static constexpr auto kL = core::PackFields<2>({core::kRefField, 4});
+//     // field 0: msg (ref), field 1: x (i32)
+//     int32_t x() const { return ReadField<int32_t>(kL.off[1]); }
+//     ...
+//   };
+#ifndef JNVM_SRC_CORE_LAYOUT_H_
+#define JNVM_SRC_CORE_LAYOUT_H_
+
+#include <array>
+#include <cstddef>
+
+namespace jnvm::core {
+
+// Payload bytes per 256 B block with an 8-byte header.
+inline constexpr size_t kDefaultPayloadPerBlock = 248;
+
+// Size token for a 64-bit persistent reference field.
+inline constexpr size_t kRefField = 8;
+
+template <size_t N>
+struct LayoutSpec {
+  std::array<size_t, N> off;
+  size_t bytes;  // total payload footprint
+};
+
+// Packs N fields of the given byte sizes: each field is aligned to its size
+// (power-of-two sizes up to 8; larger fields are 8-aligned) and moved to the
+// next block when it would straddle a payload boundary.
+template <size_t N>
+consteval LayoutSpec<N> PackFields(std::array<size_t, N> sizes,
+                                   size_t ppb = kDefaultPayloadPerBlock) {
+  LayoutSpec<N> spec{};
+  size_t cursor = 0;
+  for (size_t i = 0; i < N; ++i) {
+    const size_t size = sizes[i];
+    const size_t align = size >= 8 ? 8 : size;
+    cursor = (cursor + align - 1) / align * align;
+    if (size <= ppb && cursor / ppb != (cursor + size - 1) / ppb) {
+      cursor = (cursor / ppb + 1) * ppb;  // skip to the next block
+    }
+    spec.off[i] = cursor;
+    cursor += size;
+  }
+  spec.bytes = cursor;
+  return spec;
+}
+
+}  // namespace jnvm::core
+
+#endif  // JNVM_SRC_CORE_LAYOUT_H_

@@ -1,0 +1,182 @@
+// PObject — the volatile proxy of a persistent object (§2.1, §3).
+//
+// The decoupling principle: a persistent object consists of a persistent
+// data structure stored off-heap in NVMM and a *proxy* that lives in
+// volatile memory. The proxy holds the methods and the block addresses; the
+// data structure holds the fields. Proxies are instantiated on demand when
+// a persistent reference is dereferenced (resurrection, §3.1) and are
+// ordinary C++ objects managed by shared_ptr (the stand-in for the Java
+// runtime's management of proxies).
+//
+// Field accessors check the per-thread failure-atomic nesting counter on
+// every access (§3.2): depth zero grants direct access to NVMM; otherwise
+// loads and stores are redirected through the redo log's in-flight copies.
+#ifndef JNVM_SRC_CORE_POBJECT_H_
+#define JNVM_SRC_CORE_POBJECT_H_
+
+#include <memory>
+
+#include "src/core/layout.h"
+#include "src/core/object_view.h"
+#include "src/core/registry.h"
+#include "src/pfa/fa_context.h"
+
+namespace jnvm::core {
+
+class JnvmRuntime;
+
+// Handle to a proxy. Proxies are cheap to create and do not own persistent
+// state: destroying a handle never frees NVMM (explicit JnvmRuntime::Free
+// does, §2.6).
+template <typename T>
+using Handle = std::shared_ptr<T>;
+
+// Tag for the resurrect constructor (§3.1): `MyClass(jnvm::core::Resurrect)`
+// must exist on every persistent class so the registry factory can build an
+// unattached proxy. Its signature "cannot collide with a user-defined
+// constructor" — exactly the paper's trick.
+struct Resurrect {};
+
+class PObject {
+ public:
+  virtual ~PObject() = default;
+  PObject(const PObject&) = delete;
+  PObject& operator=(const PObject&) = delete;
+
+  // Address of the persistent data structure; 0 once freed (a freed proxy is
+  // invalid and any access aborts, §3.1 "Free").
+  nvm::Offset addr() const { return attached_ ? view_.master() : 0; }
+  bool attached() const { return attached_; }
+  bool is_pool() const { return view_.is_pool_slot(); }
+  const ClassInfo* class_info() const { return cls_; }
+  JnvmRuntime& runtime() const {
+    JNVM_CHECK_MSG(rt_ != nullptr, "proxy not attached to a runtime");
+    return *rt_;
+  }
+  Heap& heap() const { return *heap_; }
+  size_t payload_capacity() const { return view_.capacity(); }
+
+  // ---- Low-level persistence interface (§3.2) ----------------------------
+
+  // True when the object's valid bit is set (§3.2.3). Pool-allocated
+  // immutables have no valid bit: they are treated as always-valid and rely
+  // on flush-before-publish.
+  bool IsValidObject() const;
+  // Sets the valid bit and queues the header line — no fence: validation is
+  // decoupled from publication so several objects can share one fence
+  // (Figure 5). Pool objects flush their content instead.
+  void Validate();
+  // Queues every cache line of the object for write-back (Figure 5 o.pwb()).
+  void Pwb();
+  // Queues the lines of one field.
+  void PwbField(size_t off, size_t n) { MutableView().PwbRange(off, n); }
+  void Pfence() const;
+  void Psync() const;
+
+  // Overridden to initialize transient state after resurrection (§3.1).
+  virtual void Resurrect_() {}
+  // Overridden by low-level classes to repair state at recovery (§3.2.1).
+  // NOTE: during recovery this runs through the class's `recover` hook on an
+  // ObjectView (no proxy exists yet); this virtual is for app-level use.
+  virtual void Recover_() {}
+
+ protected:
+  PObject() = default;
+
+  // Constructor path (§3.1 "Allocation"): allocates the block chain in the
+  // *invalid* state. Inside a failure-atomic block the allocation is logged
+  // and validated at commit (§4.2). Classes with no reference fields that
+  // fully write their payload may pass zero = false to skip the voiding.
+  void AllocatePersistent(JnvmRuntime& rt, const ClassInfo* cls, size_t payload_bytes,
+                          bool zero = true);
+  // Pool path for small immutable classes (§4.4).
+  void AllocatePersistentPooled(JnvmRuntime& rt, const ClassInfo* cls, size_t bytes);
+
+  // ---- Typed field accessors (what the code generator emits, Figure 4) ---
+
+  template <typename T>
+  T ReadField(size_t off) const {
+    return heap_->dev().Read<T>(LocateForRead(off, sizeof(T)));
+  }
+
+  template <typename T>
+  void WriteField(size_t off, T v) {
+    heap_->dev().Write<T>(LocateForWrite(off, sizeof(T)), v);
+  }
+
+  void ReadBytesField(size_t off, void* dst, size_t n) const;
+  void WriteBytesField(size_t off, const void* src, size_t n);
+
+  // ---- Persistent references (§3.1) --------------------------------------
+
+  nvm::Offset ReadRefRaw(size_t off) const { return ReadField<uint64_t>(off); }
+  void WriteRefRaw(size_t off, nvm::Offset ref) { WriteField<uint64_t>(off, ref); }
+
+  // Dereference: resurrects a proxy for the referenced object (§3.1).
+  Handle<PObject> ReadPObject(size_t off) const;
+  template <typename T>
+  Handle<T> ReadPObjectAs(size_t off) const {
+    return std::static_pointer_cast<T>(ReadPObject(off));
+  }
+  // Stores target->addr(); the type system guarantees NVMM only references
+  // persistent objects (§3.1). Accepts nullptr (stores a null reference).
+  void WritePObject(size_t off, const PObject* target);
+
+  // Atomic reference update (§4.1.6, Figure 6): validate the new object,
+  // pfence, then store — so recovery can never nullify the reference.
+  // Inside a failure-atomic block the commit protocol already provides
+  // atomicity and this degrades to a plain logged store.
+  void UpdateRef(size_t off, PObject* target);
+  // Second generated helper (§4.1.6): atomically update and free the object
+  // previously referenced.
+  void UpdateRefAndFreeOld(size_t off, PObject* target);
+
+  // Raw view (no failure-atomic redirection); for class internals that know
+  // what they are doing (J-PDT uses it for single-word publications).
+  ObjectView& MutableView() {
+    JNVM_CHECK_MSG(attached_, "access to freed or unattached persistent object");
+    return view_;
+  }
+  const ObjectView& view() const {
+    JNVM_CHECK_MSG(attached_, "access to freed or unattached persistent object");
+    return view_;
+  }
+
+ private:
+  friend class JnvmRuntime;
+
+  // Resurrection path: binds the proxy to an existing data structure.
+  void AttachExisting(JnvmRuntime& rt, nvm::Offset ref);
+  void Detach();  // after JnvmRuntime::Free
+
+  // Translates a payload offset to a device offset, applying failure-atomic
+  // redirection (reads follow in-flight copies; writes to valid objects
+  // create them).
+  nvm::Offset LocateForRead(size_t off, size_t n) const;
+  nvm::Offset LocateForWrite(size_t off, size_t n);
+
+  pfa::FaContext* ActiveFa() const;
+
+  JnvmRuntime* rt_ = nullptr;
+  Heap* heap_ = nullptr;
+  const ClassInfo* cls_ = nullptr;
+  ObjectView view_;
+  bool attached_ = false;
+};
+
+// Convenience builder for the registry entry of class T.
+template <typename T>
+ClassInfo MakeClassInfo(std::string name,
+                        std::function<void(ObjectView&, RefVisitor&)> trace = nullptr,
+                        bool is_pool = false) {
+  ClassInfo info;
+  info.name = std::move(name);
+  info.is_pool = is_pool;
+  info.factory = [] { return std::unique_ptr<PObject>(new T(Resurrect{})); };
+  info.trace = std::move(trace);
+  return info;
+}
+
+}  // namespace jnvm::core
+
+#endif  // JNVM_SRC_CORE_POBJECT_H_

@@ -1,0 +1,170 @@
+#include "src/core/recovery.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/object_view.h"
+#include "src/core/pool.h"
+#include "src/core/runtime.h"
+
+namespace jnvm::core {
+
+namespace {
+
+// The collection pass (§4.1.3): a worklist traversal of the live object
+// graph starting from the root map. Complexity is linear in the number of
+// live objects — which is why it runs at recovery and never at runtime
+// (§2.2.1).
+class GraphWalker : public RefVisitor {
+ public:
+  GraphWalker(JnvmRuntime* rt, heap::LiveBitmap* bitmap)
+      : rt_(rt), heap_(&rt->heap()), bitmap_(bitmap) {}
+
+  void Run(nvm::Offset root_master) {
+    if (root_master != 0) {
+      Push(root_master);
+    }
+    while (!worklist_.empty()) {
+      const nvm::Offset master = worklist_.back();
+      worklist_.pop_back();
+      if (bitmap_->IsMarked(heap_->BlockIndex(master))) {
+        continue;  // already traced via another path
+      }
+      heap_->MarkChainLive(master, bitmap_);
+      ++traversed_;
+
+      const ClassInfo* info = rt_->ClassInfoForId(heap_->ClassIdOf(master));
+      JNVM_CHECK_MSG(info != nullptr, "live object of unregistered class");
+      ObjectView view(heap_, master);
+      if (info->trace) {
+        info->trace(view, *this);
+      }
+      if (info->recover) {
+        info->recover(view);  // the recover() hook (§3.2.1)
+      }
+    }
+  }
+
+  void VisitRef(ObjectView& view, size_t off) override {
+    const nvm::Offset ref = view.Read<uint64_t>(off);
+    if (ref == 0) {
+      return;
+    }
+    if (ref >= heap_->bump() || ref < heap_->first_block()) {
+      Nullify(view, off);  // torn or stale reference outside the heap
+      return;
+    }
+    if (!heap_->IsBlockAligned(ref)) {
+      VisitPoolRef(view, off, ref);
+      return;
+    }
+    const heap::BlockHeader h = heap_->ReadHeader(ref);
+    const ClassInfo* info = rt_->ClassInfoForId(h.id);
+    if (!h.IsMaster() || !h.valid || info == nullptr || info->is_pool) {
+      // Invalid (partially deleted or never validated) object: nullify the
+      // reference instead of exposing it (§2.4).
+      Nullify(view, off);
+      return;
+    }
+    if (!bitmap_->IsMarked(heap_->BlockIndex(ref))) {
+      Push(ref);
+    }
+  }
+
+  const std::unordered_map<nvm::Offset, std::vector<nvm::Offset>>& live_pool_slots()
+      const {
+    return live_pool_slots_;
+  }
+  uint64_t traversed() const { return traversed_; }
+  uint64_t nullified() const { return nullified_; }
+  uint64_t pool_slot_count() const { return pool_slot_count_; }
+
+ private:
+  void Push(nvm::Offset master) { worklist_.push_back(master); }
+
+  void VisitPoolRef(ObjectView& view, size_t off, nvm::Offset ref) {
+    const nvm::Offset block =
+        (ref / heap_->block_size()) * heap_->block_size();
+    const heap::BlockHeader h = heap_->ReadHeader(block);
+    const ClassInfo* info = rt_->ClassInfoForId(h.id);
+    if (!h.IsMaster() || info == nullptr || !info->is_pool) {
+      Nullify(view, off);
+      return;
+    }
+    bitmap_->Mark(heap_->BlockIndex(block));
+    auto& slots = live_pool_slots_[block];
+    slots.push_back(ref);
+    ++pool_slot_count_;
+  }
+
+  void Nullify(ObjectView& view, size_t off) {
+    view.Write<uint64_t>(off, 0);
+    view.PwbRange(off, sizeof(uint64_t));
+    ++nullified_;
+  }
+
+  JnvmRuntime* rt_;
+  Heap* heap_;
+  heap::LiveBitmap* bitmap_;
+  std::vector<nvm::Offset> worklist_;
+  std::unordered_map<nvm::Offset, std::vector<nvm::Offset>> live_pool_slots_;
+  uint64_t traversed_ = 0;
+  uint64_t nullified_ = 0;
+  uint64_t pool_slot_count_ = 0;
+};
+
+pfa::FaHooks RecoveryHooks(JnvmRuntime& rt) {
+  pfa::FaHooks hooks;
+  PoolManager* pools = &rt.pools();
+  hooks.pool_free = [pools](nvm::Offset slot) { pools->FreeSlot(slot); };
+  return hooks;
+}
+
+}  // namespace
+
+RecoveryReport RecoverGraph(JnvmRuntime& rt) {
+  Stopwatch sw;
+  RecoveryReport report;
+  report.graph = true;
+  Heap& heap = rt.heap();
+
+  // Step 1: redo logs first (§4.2 "After a failure, J-NVM first handles the
+  // per-thread logs of failure-atomic blocks, then it executes the recovery
+  // procedure").
+  report.replay = pfa::ReplayAllLogs(&heap, RecoveryHooks(rt));
+
+  // Step 2: collection pass.
+  heap::LiveBitmap bitmap = heap.NewBitmap();
+  GraphWalker walker(&rt, &bitmap);
+  walker.Run(heap.root_master());
+  report.traversed_objects = walker.traversed();
+  report.nullified_refs = walker.nullified();
+  report.live_pool_slots = walker.pool_slot_count();
+
+  // Step 3: pool allocators (precise occupancy from reachability).
+  rt.pools().RebuildFromLiveSlots(walker.live_pool_slots());
+
+  // Step 4: sweep + the single terminal pfence (§4.1.3).
+  report.sweep = heap.SweepUnmarked(bitmap);
+  report.seconds = sw.ElapsedSec();
+  return report;
+}
+
+RecoveryReport RecoverBlockScan(JnvmRuntime& rt) {
+  Stopwatch sw;
+  RecoveryReport report;
+  report.graph = false;
+  Heap& heap = rt.heap();
+
+  report.replay = pfa::ReplayAllLogs(&heap, RecoveryHooks(rt));
+  report.sweep = heap.RecoverBlockScan();
+  rt.pools().RebuildByScan([&rt](uint16_t id) {
+    const ClassInfo* info = rt.ClassInfoForId(id);
+    return info != nullptr && info->is_pool;
+  });
+  report.seconds = sw.ElapsedSec();
+  return report;
+}
+
+}  // namespace jnvm::core

@@ -1,0 +1,46 @@
+#include "src/core/registry.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/check.h"
+
+namespace jnvm::core {
+
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::deque<ClassInfo> storage;
+  std::unordered_map<std::string, const ClassInfo*> by_name;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();  // leaked: registry lives forever
+  return *state;
+}
+
+}  // namespace
+
+const ClassInfo* RegisterClass(ClassInfo info) {
+  JNVM_CHECK(!info.name.empty());
+  JNVM_CHECK(static_cast<bool>(info.factory));
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  JNVM_CHECK_MSG(state.by_name.find(info.name) == state.by_name.end(),
+                 "duplicate persistent class name");
+  state.storage.push_back(std::move(info));
+  const ClassInfo* stable = &state.storage.back();
+  state.by_name.emplace(stable->name, stable);
+  return stable;
+}
+
+const ClassInfo* FindClass(const std::string& name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  auto it = state.by_name.find(name);
+  return it == state.by_name.end() ? nullptr : it->second;
+}
+
+}  // namespace jnvm::core

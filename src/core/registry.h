@@ -1,0 +1,56 @@
+// Global class registry.
+//
+// The paper attaches durability to a *class* (class-centric model, §2.3) and
+// uses a bytecode generator to derive, for each @Persistent class, the code
+// that accesses the persistent data structure. In C++ the equivalent
+// metadata is registered once per class: a factory that builds an empty
+// proxy for resurrection (§3.1), a tracer that enumerates reference fields
+// for the recovery-time GC (§2.4, §4.1.3), and a flag for pool-allocated
+// (small immutable) classes (§4.4).
+//
+// The registry maps class *names*; numeric ids are per-heap (interned into
+// the persistent class table) and resolved by the runtime.
+#ifndef JNVM_SRC_CORE_REGISTRY_H_
+#define JNVM_SRC_CORE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace jnvm::core {
+
+class PObject;
+class ObjectView;
+
+// Passed to a class tracer; the tracer reports where its reference fields
+// live so recovery can follow or nullify them.
+class RefVisitor {
+ public:
+  virtual ~RefVisitor() = default;
+  // `payload_off` is the byte offset of a 64-bit reference field.
+  virtual void VisitRef(ObjectView& view, size_t payload_off) = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  // Small immutable class packed into pool blocks (§4.4).
+  bool is_pool = false;
+  // Builds an unattached proxy (the "resurrect constructor", §3.1).
+  std::function<std::unique_ptr<PObject>()> factory;
+  // Enumerates reference fields; nullptr for leaf classes.
+  std::function<void(ObjectView&, RefVisitor&)> trace;
+  // Optional recover() hook (§3.2.1) invoked on each live object during the
+  // recovery collection pass, before the application resumes.
+  std::function<void(ObjectView&)> recover;
+};
+
+// Registers a class; the returned pointer is stable for the process
+// lifetime. Registering the same name twice is a fatal error.
+const ClassInfo* RegisterClass(ClassInfo info);
+
+// Returns nullptr when no class of that name was registered.
+const ClassInfo* FindClass(const std::string& name);
+
+}  // namespace jnvm::core
+
+#endif  // JNVM_SRC_CORE_REGISTRY_H_

@@ -1,0 +1,182 @@
+#include "src/core/root_map.h"
+
+#include "src/core/runtime.h"
+
+namespace jnvm::core {
+
+// ---- RootEntry -------------------------------------------------------------
+
+const ClassInfo* RootEntry::Class() {
+  static const ClassInfo* info = RegisterClass(
+      MakeClassInfo<RootEntry>("jnvm.RootEntry", &RootEntry::Trace));
+  return info;
+}
+
+RootEntry::RootEntry(JnvmRuntime& rt, const std::string& key, const PObject* value) {
+  JNVM_CHECK(key.size() <= UINT16_MAX);
+  AllocatePersistent(rt, Class(), kKeyOff + key.size());
+  WritePObject(kValueOff, value);
+  WriteField<uint16_t>(kKeyLenOff, static_cast<uint16_t>(key.size()));
+  WriteBytesField(kKeyOff, key.data(), key.size());
+  Pwb();  // queue the content; the publication fence makes it durable
+}
+
+std::string RootEntry::Key() const {
+  const uint16_t len = ReadField<uint16_t>(kKeyLenOff);
+  std::string key(len, '\0');
+  ReadBytesField(kKeyOff, key.data(), len);
+  return key;
+}
+
+void RootEntry::Trace(ObjectView& view, RefVisitor& v) { v.VisitRef(view, kValueOff); }
+
+// ---- RootMap ---------------------------------------------------------------
+
+const ClassInfo* RootMap::Class() {
+  static const ClassInfo* info =
+      RegisterClass(MakeClassInfo<RootMap>("jnvm.RootMap", &RootMap::Trace));
+  return info;
+}
+
+RootMap::RootMap(JnvmRuntime& rt, uint64_t initial_capacity) {
+  AllocatePersistent(rt, Class(), 8);
+  auto arr = std::make_shared<PRefArray>(rt, initial_capacity);
+  arr->Validate();  // no fence; covered by the runtime's bootstrap fence
+  WritePObject(kArrOff, arr.get());
+  PwbField(kArrOff, 8);
+  arr_ = std::move(arr);
+  free_slots_.reserve(initial_capacity);
+  for (uint64_t i = initial_capacity; i > 0; --i) {
+    free_slots_.push_back(i - 1);
+  }
+}
+
+void RootMap::Resurrect_() {
+  std::lock_guard<std::mutex> lk(mu_);
+  arr_ = ReadPObjectAs<PRefArray>(kArrOff);
+  mirror_.clear();
+  free_slots_.clear();
+  const uint64_t cap = arr_->capacity();
+  for (uint64_t i = 0; i < cap; ++i) {
+    const nvm::Offset ref = arr_->GetRaw(i);
+    if (ref == 0) {
+      free_slots_.push_back(i);
+      continue;
+    }
+    const auto entry = std::static_pointer_cast<RootEntry>(arr_->Get(i));
+    mirror_.emplace(entry->Key(), i);
+  }
+}
+
+bool RootMap::Exists(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mirror_.find(name) != mirror_.end();
+}
+
+Handle<PObject> RootMap::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = mirror_.find(name);
+  if (it == mirror_.end()) {
+    return nullptr;
+  }
+  const auto entry = std::static_pointer_cast<RootEntry>(arr_->Get(it->second));
+  return entry->Value();
+}
+
+void RootMap::Put(const std::string& name, PObject* value) {
+  JnvmRuntime& rt = runtime();
+  // The lock is held across the commit: two concurrent failure-atomic
+  // blocks must never hold diverging in-flight copies of the shared slot
+  // array's block (§4.4 — reconciling replicas of one block is what the
+  // design avoids).
+  std::lock_guard<std::mutex> lk(mu_);
+  rt.FaStart();
+  WputLocked(name, value);
+  rt.FaEnd();
+}
+
+void RootMap::Wput(const std::string& name, PObject* value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  WputLocked(name, value);
+}
+
+void RootMap::WputLocked(const std::string& name, PObject* value) {
+  auto it = mirror_.find(name);
+  if (it != mirror_.end()) {
+    const auto entry = std::static_pointer_cast<RootEntry>(arr_->Get(it->second));
+    entry->SetValue(value);
+    return;
+  }
+  const uint64_t slot = TakeSlotLocked();
+  RootEntry entry(runtime(), name, value);
+  entry.Validate();  // no fence (weak); Put()'s commit or the caller fences
+  if (value != nullptr && !value->IsValidObject()) {
+    value->Pwb();
+    value->Validate();
+  }
+  arr_->SetRaw(slot, entry.addr());  // single-word publication
+  mirror_.emplace(name, slot);
+}
+
+uint64_t RootMap::TakeSlotLocked() {
+  if (!free_slots_.empty()) {
+    const uint64_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  // Grow: build a copy with twice the capacity, publish it with the atomic
+  // reference update (§4.1.6), then free the old array.
+  JnvmRuntime& rt = runtime();
+  const uint64_t old_cap = arr_->capacity();
+  const uint64_t new_cap = old_cap * 2;
+  auto bigger = std::make_shared<PRefArray>(rt, new_cap);
+  for (uint64_t i = 0; i < old_cap; ++i) {
+    bigger->SetRaw(i, arr_->GetRaw(i));
+  }
+  UpdateRefAndFreeOld(kArrOff, bigger.get());
+  arr_ = std::move(bigger);
+  for (uint64_t i = new_cap; i > old_cap; --i) {
+    free_slots_.push_back(i - 1);
+  }
+  const uint64_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+bool RootMap::Remove(const std::string& name) {
+  JnvmRuntime& rt = runtime();
+  std::lock_guard<std::mutex> lk(mu_);  // held across commit, as in Put()
+  rt.FaStart();
+  bool removed = false;
+  auto it = mirror_.find(name);
+  if (it != mirror_.end()) {
+    const uint64_t slot = it->second;
+    const auto entry = std::static_pointer_cast<RootEntry>(arr_->Get(slot));
+    arr_->SetRaw(slot, 0);  // unlink first, then reclaim
+    rt.Free(*entry);
+    mirror_.erase(it);
+    free_slots_.push_back(slot);
+    removed = true;
+  }
+  rt.FaEnd();
+  return removed;
+}
+
+size_t RootMap::Size() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mirror_.size();
+}
+
+std::vector<std::string> RootMap::Keys() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(mirror_.size());
+  for (const auto& [k, slot] : mirror_) {
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+void RootMap::Trace(ObjectView& view, RefVisitor& v) { v.VisitRef(view, kArrOff); }
+
+}  // namespace jnvm::core

@@ -1,0 +1,92 @@
+// The persistent root map (§2.5): "A persistent memory region contains by
+// default the persistent map JNVM.root. This map associates names with the
+// root persistent objects used by the application."
+//
+// Liveness by reachability (§2.4) starts here: an object is alive iff it is
+// reachable from this map (and valid). The map follows the J-PDT design
+// (§4.3.2): the durable state is a PRefArray of references to entry objects;
+// a volatile mirror (hash map keyed by name) and a volatile free-slot list
+// implement the lookup logic and are rebuilt on resurrection.
+//
+// Put/Remove are failure-atomic; Wput is the weak variant used by the
+// low-level interface (Figure 5): no fences, the caller batches validation
+// under one pfence.
+#ifndef JNVM_SRC_CORE_ROOT_MAP_H_
+#define JNVM_SRC_CORE_ROOT_MAP_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ref_array.h"
+
+namespace jnvm::core {
+
+// One name→value binding. Payload: {u64 value_ref, u16 key_len, key bytes}.
+class RootEntry final : public PObject {
+ public:
+  static const ClassInfo* Class();
+
+  explicit RootEntry(Resurrect) {}
+  RootEntry(JnvmRuntime& rt, const std::string& key, const PObject* value);
+
+  std::string Key() const;
+  nvm::Offset ValueRaw() const { return ReadRefRaw(kValueOff); }
+  Handle<PObject> Value() const { return ReadPObject(kValueOff); }
+  // Atomic replace of the value (§4.1.6). Does not free the old value: the
+  // application owns persistent object lifetimes (§2.6).
+  void SetValue(PObject* value) { UpdateRef(kValueOff, value); }
+
+ private:
+  static constexpr size_t kValueOff = 0;
+  static constexpr size_t kKeyLenOff = 8;
+  static constexpr size_t kKeyOff = 10;
+
+  static void Trace(ObjectView& view, RefVisitor& v);
+};
+
+class RootMap final : public PObject {
+ public:
+  static const ClassInfo* Class();
+
+  explicit RootMap(Resurrect) {}
+  RootMap(JnvmRuntime& rt, uint64_t initial_capacity = 64);
+
+  void Resurrect_() override;  // rebuilds the volatile mirror
+
+  bool Exists(const std::string& name);
+  Handle<PObject> Get(const std::string& name);
+  template <typename T>
+  Handle<T> GetAs(const std::string& name) {
+    return std::static_pointer_cast<T>(Get(name));
+  }
+
+  // Failure-atomic insert-or-replace.
+  void Put(const std::string& name, PObject* value);
+  // Weak insert-or-replace (Figure 5 `wput`): no fence, no failure-atomic
+  // block. The caller is responsible for the publication fence.
+  void Wput(const std::string& name, PObject* value);
+  // Failure-atomic removal of the binding (frees the entry, not the value).
+  bool Remove(const std::string& name);
+
+  size_t Size();
+  std::vector<std::string> Keys();
+
+ private:
+  static constexpr size_t kArrOff = 0;
+
+  static void Trace(ObjectView& view, RefVisitor& v);
+
+  void WputLocked(const std::string& name, PObject* value);
+  uint64_t TakeSlotLocked();  // grows the array when exhausted
+
+  std::mutex mu_;
+  Handle<PRefArray> arr_;                          // transient
+  std::unordered_map<std::string, uint64_t> mirror_;  // name -> slot
+  std::vector<uint64_t> free_slots_;
+};
+
+}  // namespace jnvm::core
+
+#endif  // JNVM_SRC_CORE_ROOT_MAP_H_

@@ -1,0 +1,216 @@
+#include "src/core/runtime.h"
+
+#include <atomic>
+
+#include "src/core/root_map.h"
+
+namespace jnvm::core {
+
+namespace {
+
+std::atomic<uint64_t> g_runtime_generation{1};
+
+// Per-thread fast path for the failure-atomic nesting check (§3.2): "the
+// counter is always in the L1 cache" — here, a one-compare TLS cache.
+struct FaTlsCache {
+  const JnvmRuntime* rt = nullptr;
+  uint64_t generation = 0;
+  pfa::FaContext* ctx = nullptr;
+};
+thread_local FaTlsCache t_fa_cache;
+
+}  // namespace
+
+std::unique_ptr<JnvmRuntime> JnvmRuntime::Boot(nvm::PmemDevice* dev,
+                                               const RuntimeOptions& opts, bool format) {
+  auto rt = std::unique_ptr<JnvmRuntime>(new JnvmRuntime());
+  rt->generation_ = g_runtime_generation.fetch_add(1, std::memory_order_relaxed);
+  rt->heap_ = format ? heap::Heap::Format(dev, opts.heap) : heap::Heap::Open(dev);
+  rt->pools_ = std::make_unique<PoolManager>(rt->heap_.get());
+
+  pfa::FaHooks hooks;
+  PoolManager* pools = rt->pools_.get();
+  hooks.pool_free = [pools](nvm::Offset slot) { pools->FreeSlot(slot); };
+  rt->fa_ = std::make_unique<pfa::FaManager>(rt->heap_.get(), std::move(hooks));
+
+  if (!format) {
+    rt->recovery_report_ =
+        opts.graph_recovery ? RecoverGraph(*rt) : RecoverBlockScan(*rt);
+  }
+  rt->BootstrapRoot();
+  return rt;
+}
+
+std::unique_ptr<JnvmRuntime> JnvmRuntime::Format(nvm::PmemDevice* dev,
+                                                 const RuntimeOptions& opts) {
+  return Boot(dev, opts, /*format=*/true);
+}
+
+std::unique_ptr<JnvmRuntime> JnvmRuntime::Open(nvm::PmemDevice* dev,
+                                               const RuntimeOptions& opts) {
+  return Boot(dev, opts, /*format=*/false);
+}
+
+void JnvmRuntime::BootstrapRoot() {
+  const nvm::Offset master = heap_->root_master();
+  if (master != 0) {
+    root_ = ResurrectRefAs<RootMap>(master);
+    return;
+  }
+  auto root = std::make_shared<RootMap>(*this);
+  root->Pwb();
+  root->Validate();
+  heap_->Pfence();
+  heap_->SetRootMaster(root->addr());  // fences internally
+  root_ = std::move(root);
+}
+
+JnvmRuntime::~JnvmRuntime() {
+  if (!closed_) {
+    Close();
+  }
+  // Invalidate this thread's FA cache (other threads hold a generation that
+  // can never match a future runtime).
+  if (t_fa_cache.rt == this) {
+    t_fa_cache = FaTlsCache{};
+  }
+}
+
+void JnvmRuntime::Close() {
+  JNVM_CHECK(!closed_);
+  heap_->CloseClean();
+  closed_ = true;
+}
+
+uint16_t JnvmRuntime::ClassIdFor(const ClassInfo* info) {
+  JNVM_CHECK(info != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(class_mu_);
+    auto it = class_ids_.find(info);
+    if (it != class_ids_.end()) {
+      return it->second;
+    }
+  }
+  const uint16_t id = heap_->InternClassId(info->name);
+  std::lock_guard<std::mutex> lk(class_mu_);
+  class_ids_.emplace(info, id);
+  if (class_by_id_.size() <= id) {
+    class_by_id_.resize(id + 1, nullptr);
+  }
+  class_by_id_[id] = info;
+  return id;
+}
+
+const ClassInfo* JnvmRuntime::ClassInfoForId(uint16_t id) {
+  {
+    std::lock_guard<std::mutex> lk(class_mu_);
+    if (id < class_by_id_.size() && class_by_id_[id] != nullptr) {
+      return class_by_id_[id];
+    }
+  }
+  const std::string name = heap_->ClassName(id);
+  if (name.empty()) {
+    return nullptr;
+  }
+  const ClassInfo* info = FindClass(name);
+  if (info == nullptr) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lk(class_mu_);
+  class_ids_.emplace(info, id);
+  if (class_by_id_.size() <= id) {
+    class_by_id_.resize(id + 1, nullptr);
+  }
+  class_by_id_[id] = info;
+  return info;
+}
+
+Handle<PObject> JnvmRuntime::ResurrectRef(nvm::Offset ref) {
+  if (ref == 0) {
+    return nullptr;
+  }
+  const nvm::Offset block =
+      heap_->IsBlockAligned(ref) ? ref : (ref / heap_->block_size()) * heap_->block_size();
+  const uint16_t id = heap_->ClassIdOf(block);
+  const ClassInfo* info = ClassInfoForId(id);
+  JNVM_CHECK_MSG(info != nullptr, "resurrecting an object of an unregistered class");
+  std::unique_ptr<PObject> obj = info->factory();
+  obj->AttachExisting(*this, ref);
+  obj->Resurrect_();
+  return Handle<PObject>(std::move(obj));
+}
+
+void JnvmRuntime::Free(PObject& obj) {
+  JNVM_CHECK_MSG(obj.attached(), "double free of persistent object");
+  JNVM_CHECK(&obj.runtime() == this);
+  const nvm::Offset a = obj.addr();
+  pfa::FaContext* fa = CurrentFaOrNull();
+  if (fa != nullptr && fa->InFa()) {
+    if (obj.is_pool()) {
+      fa->NoteFreePoolSlot(a);
+    } else {
+      fa->NoteFreeObject(a);
+    }
+  } else if (obj.is_pool()) {
+    pools_->FreeSlot(a);
+  } else {
+    heap_->FreeObject(a);
+  }
+  obj.Detach();
+}
+
+void JnvmRuntime::FreeRef(nvm::Offset ref) {
+  JNVM_CHECK(ref != 0);
+  pfa::FaContext* fa = CurrentFaOrNull();
+  const bool pool = !heap_->IsBlockAligned(ref);
+  if (fa != nullptr && fa->InFa()) {
+    if (pool) {
+      fa->NoteFreePoolSlot(ref);
+    } else {
+      fa->NoteFreeObject(ref);
+    }
+  } else if (pool) {
+    pools_->FreeSlot(ref);
+  } else {
+    heap_->FreeObject(ref);
+  }
+}
+
+pfa::FaContext* JnvmRuntime::CurrentFaOrNull() const {
+  if (t_fa_cache.rt == this && t_fa_cache.generation == generation_) {
+    return t_fa_cache.ctx;
+  }
+  return nullptr;
+}
+
+void JnvmRuntime::FaStart() {
+  pfa::FaContext* ctx = CurrentFaOrNull();
+  if (ctx == nullptr) {
+    // A thread may interleave runtimes only outside failure-atomic blocks:
+    // the cache is the unique carrier of "this thread is inside a block".
+    JNVM_CHECK_MSG(t_fa_cache.ctx == nullptr || t_fa_cache.ctx->depth() == 0,
+                   "interleaved failure-atomic blocks across runtimes");
+    ctx = &fa_->ForCurrentThread();
+    t_fa_cache = FaTlsCache{this, generation_, ctx};
+  }
+  ctx->Begin();
+}
+
+void JnvmRuntime::FaEnd() {
+  pfa::FaContext* ctx = CurrentFaOrNull();
+  JNVM_CHECK_MSG(ctx != nullptr && ctx->depth() > 0, "FaEnd without FaStart");
+  ctx->End();
+}
+
+void JnvmRuntime::FaAbort() {
+  pfa::FaContext* ctx = CurrentFaOrNull();
+  JNVM_CHECK_MSG(ctx != nullptr && ctx->depth() > 0, "FaAbort without FaStart");
+  ctx->Abort();
+}
+
+int JnvmRuntime::FaDepth() {
+  pfa::FaContext* ctx = CurrentFaOrNull();
+  return ctx == nullptr ? 0 : ctx->depth();
+}
+
+}  // namespace jnvm::core

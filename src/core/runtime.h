@@ -1,0 +1,139 @@
+// JnvmRuntime — the JNVM facade (§2.5 `JNVM.init`, `JNVM.root`,
+// `JNVM.free`, `JNVM.faStart/faEnd`).
+//
+// One runtime owns one persistent heap on one simulated NVMM device, the
+// pool allocators, the failure-atomic manager, and the root map. Opening a
+// runtime runs recovery (replaying redo logs, collecting the object graph,
+// rebuilding volatile allocator state) before handing the heap back to the
+// application.
+#ifndef JNVM_SRC_CORE_RUNTIME_H_
+#define JNVM_SRC_CORE_RUNTIME_H_
+
+#include <memory>
+
+#include "src/core/pobject.h"
+#include "src/core/pool.h"
+#include "src/core/recovery.h"
+#include "src/core/root_map.h"
+#include "src/pfa/fa_context.h"
+
+namespace jnvm::core {
+
+struct RuntimeOptions {
+  heap::HeapOptions heap;
+  // false selects the J-PFA-nogc recovery (§5.3.3): no graph traversal.
+  bool graph_recovery = true;
+};
+
+class JnvmRuntime {
+ public:
+  // Formats the device and bootstraps a fresh root map (JNVM.init on a new
+  // region).
+  static std::unique_ptr<JnvmRuntime> Format(nvm::PmemDevice* dev,
+                                             const RuntimeOptions& opts = {});
+  // Opens an existing heap and runs recovery (JNVM.init on an existing
+  // region after a restart or a crash).
+  static std::unique_ptr<JnvmRuntime> Open(nvm::PmemDevice* dev,
+                                           const RuntimeOptions& opts = {});
+
+  ~JnvmRuntime();
+  JnvmRuntime(const JnvmRuntime&) = delete;
+  JnvmRuntime& operator=(const JnvmRuntime&) = delete;
+
+  Heap& heap() { return *heap_; }
+  PoolManager& pools() { return *pools_; }
+  RootMap& root() { return *root_; }
+
+  // ---- Class ids ---------------------------------------------------------
+
+  // Heap-local id for a registered class (interned on first use).
+  uint16_t ClassIdFor(const ClassInfo* info);
+  // nullptr when the persistent id maps to no registered class.
+  const ClassInfo* ClassInfoForId(uint16_t id);
+
+  // ---- Object life cycle -------------------------------------------------
+
+  // Resurrection (§3.1): builds a proxy for the persistent structure at
+  // `ref` (master block or pool slot). Null ref yields nullptr.
+  Handle<PObject> ResurrectRef(nvm::Offset ref);
+  template <typename T>
+  Handle<T> ResurrectRefAs(nvm::Offset ref) {
+    return std::static_pointer_cast<T>(ResurrectRef(ref));
+  }
+
+  // JNVM.free (§3.1, §4.1.5): frees the persistent structure and detaches
+  // the proxy (subsequent accesses abort). Inside a failure-atomic block the
+  // free is deferred to commit (§4.2). No fence in either case.
+  void Free(PObject& obj);
+  void Free(const Handle<PObject>& obj) {
+    JNVM_CHECK(obj != nullptr);
+    Free(*obj);
+  }
+  // Frees a persistent structure by raw reference, without a proxy (used by
+  // container internals). Same deferral/fence semantics as Free().
+  void FreeRef(nvm::Offset ref);
+
+  // ---- Failure-atomic blocks (§2.5, §4.2) --------------------------------
+
+  void FaStart();
+  void FaEnd();
+  // Abandons the current (possibly nested) block — test/tooling aid.
+  void FaAbort();
+  int FaDepth();
+  // Fast per-thread lookup; nullptr when this thread never entered a block.
+  pfa::FaContext* CurrentFaOrNull() const;
+
+  // ---- Persistence primitives --------------------------------------------
+
+  void Pfence() { heap_->Pfence(); }
+  void Psync() { heap_->Psync(); }
+
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  // Clean shutdown; also performed by the destructor.
+  void Close();
+
+  // Drops the runtime WITHOUT the clean-shutdown write. Used after a
+  // simulated crash: the device must stay exactly as the failure left it so
+  // that a subsequent Open exercises recovery.
+  void Abandon() { closed_ = true; }
+
+ private:
+  friend RecoveryReport RecoverGraph(JnvmRuntime& rt);
+  friend RecoveryReport RecoverBlockScan(JnvmRuntime& rt);
+
+  JnvmRuntime() = default;
+
+  static std::unique_ptr<JnvmRuntime> Boot(nvm::PmemDevice* dev,
+                                           const RuntimeOptions& opts, bool format);
+  void BootstrapRoot();
+
+  std::unique_ptr<heap::Heap> heap_;
+  std::unique_ptr<PoolManager> pools_;
+  std::unique_ptr<pfa::FaManager> fa_;
+  Handle<RootMap> root_;
+  RecoveryReport recovery_report_;
+  uint64_t generation_ = 0;  // for the thread-local FA cache
+  bool closed_ = false;
+
+  std::mutex class_mu_;
+  std::unordered_map<const ClassInfo*, uint16_t> class_ids_;
+  std::vector<const ClassInfo*> class_by_id_;  // index = id
+};
+
+// RAII failure-atomic block:
+//   { FaBlock fa(rt); ... }   ==   rt.FaStart(); ...; rt.FaEnd();
+class FaBlock {
+ public:
+  explicit FaBlock(JnvmRuntime& rt) : rt_(rt) { rt_.FaStart(); }
+  ~FaBlock() noexcept(false) { rt_.FaEnd(); }
+  FaBlock(const FaBlock&) = delete;
+  FaBlock& operator=(const FaBlock&) = delete;
+
+ private:
+  JnvmRuntime& rt_;
+};
+
+}  // namespace jnvm::core
+
+#endif  // JNVM_SRC_CORE_RUNTIME_H_

@@ -1,0 +1,185 @@
+// Simulated file systems (§5.1 "Persistent backends").
+//
+// The paper's FS backend stores Infinispan records through ext4-DAX on
+// NVMM; the reference baselines are TmpFS (DRAM file system) and NullFS (a
+// virtual file system that treats read/write as no-ops [1]). Figure 8's
+// punchline is that all three perform alike: the dominant cost is
+// marshalling, not the file system.
+//
+// SimFs models one flat file (Infinispan's single-file store): pread/pwrite
+// with a per-call syscall latency, plus fsync. Implementations:
+//   NvmFs  — backed by a region of the simulated NVMM device (ext4-DAX),
+//   TmpFs  — backed by DRAM,
+//   NullFs — data is discarded; a DRAM shadow keeps reads answerable so the
+//            store above behaves correctly (documented deviation — the real
+//            nullfs returns garbage, which Infinispan tolerated because the
+//            benchmark never validates reads).
+#ifndef JNVM_SRC_FS_SIM_FS_H_
+#define JNVM_SRC_FS_SIM_FS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/clock.h"
+#include "src/nvm/pmem_device.h"
+
+namespace jnvm::fs {
+
+struct FsOptions {
+  // Fixed cost per pread/pwrite/fsync call (system-call + VFS path).
+  uint32_t syscall_latency_ns = 600;
+};
+
+struct FsStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t syncs = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+class SimFs {
+ public:
+  explicit SimFs(const FsOptions& opts) : opts_(opts) {}
+  virtual ~SimFs() = default;
+
+  virtual void Pwrite(uint64_t off, const void* src, size_t n) = 0;
+  virtual void Pread(uint64_t off, void* dst, size_t n) = 0;
+  virtual void Fsync() = 0;
+  virtual uint64_t capacity() const = 0;
+
+  FsStats stats() const {
+    FsStats s;
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.writes = writes_.load(std::memory_order_relaxed);
+    s.syncs = syncs_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ protected:
+  void ChargeCall() { SpinFor(opts_.syscall_latency_ns); }
+  void CountRead(size_t n) {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountWrite(size_t n) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountSync() { syncs_.fetch_add(1, std::memory_order_relaxed); }
+
+  FsOptions opts_;
+
+ private:
+  std::atomic<uint64_t> reads_{0}, writes_{0}, syncs_{0};
+  std::atomic<uint64_t> bytes_read_{0}, bytes_written_{0};
+};
+
+// ext4-DAX on the simulated NVMM device: data lands in a device region.
+class NvmFs final : public SimFs {
+ public:
+  NvmFs(nvm::PmemDevice* dev, uint64_t base, uint64_t capacity, const FsOptions& opts)
+      : SimFs(opts), dev_(dev), base_(base), capacity_(capacity) {
+    JNVM_CHECK(base + capacity <= dev->size());
+  }
+
+  void Pwrite(uint64_t off, const void* src, size_t n) override {
+    JNVM_CHECK(off + n <= capacity_);
+    ChargeCall();
+    dev_->WriteBytes(base_ + off, src, n);
+    // DAX write-through semantics used by the store: flush written lines.
+    dev_->PwbRange(base_ + off, n);
+    CountWrite(n);
+  }
+
+  void Pread(uint64_t off, void* dst, size_t n) override {
+    JNVM_CHECK(off + n <= capacity_);
+    ChargeCall();
+    dev_->ReadBytes(base_ + off, dst, n);
+    CountRead(n);
+  }
+
+  void Fsync() override {
+    ChargeCall();
+    dev_->Psync();
+    CountSync();
+  }
+
+  uint64_t capacity() const override { return capacity_; }
+
+ private:
+  nvm::PmemDevice* dev_;
+  uint64_t base_;
+  uint64_t capacity_;
+};
+
+// A DRAM-backed file system (tmpfs).
+class TmpFs final : public SimFs {
+ public:
+  TmpFs(uint64_t capacity, const FsOptions& opts) : SimFs(opts), data_(capacity) {}
+
+  void Pwrite(uint64_t off, const void* src, size_t n) override {
+    JNVM_CHECK(off + n <= data_.size());
+    ChargeCall();
+    memcpy(data_.data() + off, src, n);
+    CountWrite(n);
+  }
+
+  void Pread(uint64_t off, void* dst, size_t n) override {
+    JNVM_CHECK(off + n <= data_.size());
+    ChargeCall();
+    memcpy(dst, data_.data() + off, n);
+    CountRead(n);
+  }
+
+  void Fsync() override {
+    ChargeCall();
+    CountSync();
+  }
+
+  uint64_t capacity() const override { return data_.size(); }
+
+ private:
+  std::vector<char> data_;
+};
+
+// nullfs: reads and writes are no-ops (no copying); a shadow buffer keeps
+// the contents observable so the store above still works.
+class NullFs final : public SimFs {
+ public:
+  NullFs(uint64_t capacity, const FsOptions& opts) : SimFs(opts), shadow_(capacity) {}
+
+  void Pwrite(uint64_t off, const void* src, size_t n) override {
+    JNVM_CHECK(off + n <= shadow_.size());
+    ChargeCall();
+    // The "no-op" write: the data path is skipped. The shadow copy below is
+    // bookkeeping for correctness, excluded from the modelled cost.
+    memcpy(shadow_.data() + off, src, n);
+    CountWrite(n);
+  }
+
+  void Pread(uint64_t off, void* dst, size_t n) override {
+    JNVM_CHECK(off + n <= shadow_.size());
+    ChargeCall();
+    memcpy(dst, shadow_.data() + off, n);
+    CountRead(n);
+  }
+
+  void Fsync() override {
+    ChargeCall();
+    CountSync();
+  }
+
+  uint64_t capacity() const override { return shadow_.size(); }
+
+ private:
+  std::vector<char> shadow_;
+};
+
+}  // namespace jnvm::fs
+
+#endif  // JNVM_SRC_FS_SIM_FS_H_

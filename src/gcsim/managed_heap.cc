@@ -1,0 +1,313 @@
+#include "src/gcsim/managed_heap.h"
+
+#include "src/common/clock.h"
+
+namespace jnvm::gcsim {
+
+ManagedHeap::~ManagedHeap() {
+  for (Node& n : nodes_) {
+    if (n.live) {
+      FreeNode(n);
+    }
+  }
+}
+
+void ManagedHeap::FreeNode(Node& n) {
+  if (n.external != nullptr && n.deleter != nullptr) {
+    n.deleter(n.external);
+  }
+  n.external = nullptr;
+  n.deleter = nullptr;
+  n.refs.clear();
+  n.refs.shrink_to_fit();
+  n.live = false;
+}
+
+void ManagedHeap::MaybeCollectLocked(uint64_t incoming_bytes) {
+  allocated_since_gc_ += incoming_bytes;
+  stats_.bytes_allocated += incoming_bytes;
+  if (opts_.gc_trigger_bytes == 0) {
+    return;
+  }
+  if (opts_.mode == GcMode::kStopTheWorld) {
+    if (allocated_since_gc_ >= opts_.gc_trigger_bytes) {
+      CollectLocked();
+    }
+    return;
+  }
+  // Incremental: pace marking slices against the allocation rate so a
+  // cycle's work spreads across one trigger window (G1/go-pmem style).
+  if (marking_) {
+    const uint64_t step_every = opts_.gc_trigger_bytes / 64 + 1;
+    if (allocated_since_gc_ / step_every != last_step_bucket_) {
+      last_step_bucket_ = allocated_since_gc_ / step_every;
+      IncrementalStepLocked();
+    }
+  } else if (allocated_since_gc_ >= opts_.gc_trigger_bytes) {
+    StartIncrementalCycleLocked();
+  }
+}
+
+void ManagedHeap::ShadeLocked(ObjRef obj) {
+  if (obj == 0) {
+    return;
+  }
+  Node& n = nodes_[obj];
+  if (n.live && !n.marked) {
+    n.marked = true;  // gray: shaded, children not yet scanned
+    gray_.push_back(obj);
+  }
+}
+
+void ManagedHeap::StartIncrementalCycleLocked() {
+  const uint64_t start = NowNs();
+  marking_ = true;
+  cycle_marked_ = 0;
+  last_step_bucket_ = 0;
+  allocated_since_gc_ = 0;
+  gray_.clear();
+  for (const ObjRef root : roots_) {
+    ShadeLocked(root);
+  }
+  const uint64_t pause = NowNs() - start;
+  stats_.gc_ns_total += pause;
+  pauses_.Record(pause);
+}
+
+void ManagedHeap::IncrementalStepLocked() {
+  const uint64_t start = NowNs();
+  if (sweep_cursor_ == 0) {
+    // Marking phase: the budget counts *edges*, and a large object is
+    // scanned across slices (scan_pos remembers the resume point) so no
+    // single giant fan-out blows the pause bound.
+    uint32_t budget = opts_.mark_budget_per_step;
+    while (budget > 0 && !gray_.empty()) {
+      const ObjRef ref = gray_.back();
+      gray_.pop_back();
+      Node& n = nodes_[ref];
+      if (!n.live) {
+        continue;
+      }
+      while (n.scan_pos < n.refs.size() && budget > 0) {
+        ShadeLocked(n.refs[n.scan_pos]);
+        ++n.scan_pos;
+        --budget;
+      }
+      if (n.scan_pos < n.refs.size()) {
+        gray_.push_back(ref);  // resume this object next slice
+      } else {
+        n.scan_pos = 0;
+        ++cycle_marked_;
+        if (budget > 0) {
+          --budget;  // charge the node itself
+        }
+      }
+    }
+    if (gray_.empty()) {
+      sweep_cursor_ = 1;  // marking done; sweep in slices too
+    }
+  } else {
+    // Sweeping phase: reclaim up to 4x the mark budget per slice (sweeping
+    // is cheaper per object than tracing).
+    uint32_t budget = opts_.mark_budget_per_step * 4;
+    while (budget > 0 && sweep_cursor_ < nodes_.size()) {
+      Node& n = nodes_[sweep_cursor_];
+      ++sweep_cursor_;
+      --budget;
+      if (!n.live) {
+        continue;
+      }
+      if (n.marked) {
+        n.marked = false;
+        continue;
+      }
+      stats_.live_objects -= 1;
+      stats_.live_bytes -= n.bytes;
+      FreeNode(n);
+      free_list_.push_back(static_cast<ObjRef>(sweep_cursor_ - 1));
+      stats_.swept_total += 1;
+    }
+    if (sweep_cursor_ >= nodes_.size()) {
+      sweep_cursor_ = 0;
+      marking_ = false;
+      stats_.collections += 1;
+      stats_.marked_total += cycle_marked_;
+    }
+  }
+  const uint64_t pause = NowNs() - start;
+  stats_.gc_ns_total += pause;
+  pauses_.Record(pause);
+}
+
+ObjRef ManagedHeap::Alloc(uint32_t nrefs, uint64_t bytes, void* external,
+                          void (*deleter)(void*)) {
+  std::unique_lock<std::mutex> lk(mu_);
+  MaybeCollectLocked(bytes);
+  return AllocNodeLocked(nrefs, bytes, external, deleter);
+}
+
+ObjRef ManagedHeap::AllocGraph(uint64_t parent_bytes,
+                               const std::vector<uint64_t>& child_bytes,
+                               void* external, void (*deleter)(void*)) {
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t total = parent_bytes;
+  for (const uint64_t b : child_bytes) {
+    total += b;
+  }
+  MaybeCollectLocked(total);
+  const ObjRef parent = AllocNodeLocked(static_cast<uint32_t>(child_bytes.size()),
+                                        parent_bytes, external, deleter);
+  for (size_t i = 0; i < child_bytes.size(); ++i) {
+    nodes_[parent].refs[i] = AllocNodeLocked(0, child_bytes[i], nullptr, nullptr);
+  }
+  return parent;
+}
+
+ObjRef ManagedHeap::AllocInto(ObjRef parent, uint32_t slot, uint64_t bytes) {
+  std::unique_lock<std::mutex> lk(mu_);
+  MaybeCollectLocked(bytes);
+  JNVM_DCHECK(parent != 0 && nodes_[parent].live);
+  const ObjRef child = AllocNodeLocked(0, bytes, nullptr, nullptr);
+  nodes_[parent].refs.at(slot) = child;
+  return child;
+}
+
+ObjRef ManagedHeap::AllocNodeLocked(uint32_t nrefs, uint64_t bytes, void* external,
+                                    void (*deleter)(void*)) {
+  ObjRef ref;
+  if (!free_list_.empty()) {
+    ref = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    if (nodes_.empty()) {
+      nodes_.emplace_back();  // handle 0 = null
+    }
+    nodes_.emplace_back();
+    ref = static_cast<ObjRef>(nodes_.size() - 1);
+  }
+  Node& n = nodes_[ref];
+  n.bytes = bytes;
+  n.external = external;
+  n.deleter = deleter;
+  n.refs.assign(nrefs, 0);
+  // During an incremental cycle newborns are allocated black: they cannot
+  // be freed by the in-flight sweep.
+  n.marked = marking_;
+  n.live = true;
+  stats_.live_objects += 1;
+  stats_.live_bytes += bytes;
+  return ref;
+}
+
+void ManagedHeap::SetRef(ObjRef obj, uint32_t slot, ObjRef target) {
+  std::lock_guard<std::mutex> lk(mu_);
+  JNVM_DCHECK(obj != 0 && nodes_[obj].live);
+  nodes_[obj].refs.at(slot) = target;
+  if (marking_) {
+    ShadeLocked(target);  // Dijkstra insertion barrier
+  }
+}
+
+ObjRef ManagedHeap::GetRef(ObjRef obj, uint32_t slot) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JNVM_DCHECK(obj != 0 && nodes_[obj].live);
+  return nodes_[obj].refs.at(slot);
+}
+
+void* ManagedHeap::External(ObjRef obj) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JNVM_DCHECK(obj != 0 && nodes_[obj].live);
+  return nodes_[obj].external;
+}
+
+void ManagedHeap::AddRoot(ObjRef obj) {
+  std::lock_guard<std::mutex> lk(mu_);
+  roots_.insert(obj);
+  if (marking_) {
+    ShadeLocked(obj);  // roots added mid-cycle must survive it
+  }
+}
+
+void ManagedHeap::RemoveRoot(ObjRef obj) {
+  std::lock_guard<std::mutex> lk(mu_);
+  roots_.erase(obj);
+}
+
+void ManagedHeap::Collect() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (opts_.mode == GcMode::kIncremental) {
+    if (!marking_) {
+      StartIncrementalCycleLocked();
+    }
+    while (marking_) {
+      IncrementalStepLocked();
+    }
+    return;
+  }
+  CollectLocked();
+}
+
+void ManagedHeap::MaybeCollect() {
+  std::lock_guard<std::mutex> lk(mu_);
+  MaybeCollectLocked(0);
+}
+
+void ManagedHeap::CollectLocked() {
+  const uint64_t start = NowNs();
+  allocated_since_gc_ = 0;
+
+  // Mark: worklist traversal from the roots. Every live object costs a
+  // visit — this linearity in the live set is the effect of §2.2.1.
+  std::vector<ObjRef> worklist(roots_.begin(), roots_.end());
+  uint64_t marked = 0;
+  while (!worklist.empty()) {
+    const ObjRef ref = worklist.back();
+    worklist.pop_back();
+    if (ref == 0) {
+      continue;
+    }
+    Node& n = nodes_[ref];
+    if (!n.live || n.marked) {
+      continue;
+    }
+    n.marked = true;
+    ++marked;
+    for (const ObjRef child : n.refs) {
+      if (child != 0 && !nodes_[child].marked) {
+        worklist.push_back(child);
+      }
+    }
+  }
+
+  // Sweep.
+  uint64_t swept = 0;
+  for (ObjRef ref = 1; ref < nodes_.size(); ++ref) {
+    Node& n = nodes_[ref];
+    if (!n.live) {
+      continue;
+    }
+    if (n.marked) {
+      n.marked = false;
+      continue;
+    }
+    stats_.live_objects -= 1;
+    stats_.live_bytes -= n.bytes;
+    FreeNode(n);
+    free_list_.push_back(ref);
+    ++swept;
+  }
+
+  const uint64_t pause = NowNs() - start;
+  stats_.collections += 1;
+  stats_.gc_ns_total += pause;
+  stats_.marked_total += marked;
+  stats_.swept_total += swept;
+  pauses_.Record(pause);
+}
+
+GcStats ManagedHeap::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace jnvm::gcsim

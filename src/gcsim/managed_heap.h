@@ -1,0 +1,146 @@
+// A managed-heap simulator with a tracing garbage collector.
+//
+// This substitutes for the JVM (HotSpot/G1) and the go-pmem runtime in the
+// paper's motivation experiments (§2.2.1, Figures 1 and 2) and provides the
+// "Volatile" baselines of §5. What those experiments measure is the cost of
+// *tracing a large live object graph*: GC work grows with the number of live
+// objects, compute work does not. A real mark-sweep collector over a real
+// handle graph reproduces that mechanism exactly. Two modes: stop-the-world
+// mark-sweep, and tri-color incremental marking with a Dijkstra insertion
+// barrier (go-pmem/G1 style pause bounding) — same total tracing work, paid
+// in slices.
+//
+// Objects are handle-addressed. Each object has reference slots (traced) and
+// an optional *external* payload — a C++ object owned by the managed heap
+// and destroyed when the object is collected. External payloads let callers
+// attach rich values (records) without marshalling, exactly like Java object
+// fields.
+//
+// In *integrated* mode (go-pmem's design) persistent objects live in the
+// same collected heap: the collector visits them on every cycle, which is
+// the effect Figure 2 quantifies.
+#ifndef JNVM_SRC_GCSIM_MANAGED_HEAP_H_
+#define JNVM_SRC_GCSIM_MANAGED_HEAP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/histogram.h"
+
+namespace jnvm::gcsim {
+
+// Handle to a managed object; 0 is null.
+using ObjRef = uint32_t;
+
+enum class GcMode {
+  // Classic stop-the-world mark-sweep: one pause per cycle, linear in the
+  // live set (the cost §2.2.1 measures).
+  kStopTheWorld,
+  // Tri-color incremental marking (Dijkstra insertion barrier, black
+  // allocation), go-pmem/G1 style: the same total work, paid in bounded
+  // slices interleaved with allocation — shorter pauses, same throughput
+  // tax. The sweep is one final slice.
+  kIncremental,
+};
+
+struct GcOptions {
+  // A collection runs after this many bytes of allocation (go-pmem's
+  // "collection every N GB of allocation", scaled). 0 disables GC entirely.
+  uint64_t gc_trigger_bytes = 64ull << 20;
+  GcMode mode = GcMode::kStopTheWorld;
+  // kIncremental: objects marked per slice.
+  uint32_t mark_budget_per_step = 2048;
+};
+
+struct GcStats {
+  uint64_t collections = 0;
+  uint64_t gc_ns_total = 0;
+  uint64_t marked_total = 0;     // objects visited across all cycles
+  uint64_t swept_total = 0;      // objects freed across all cycles
+  uint64_t bytes_allocated = 0;  // lifetime allocation volume
+  uint64_t live_objects = 0;
+  uint64_t live_bytes = 0;
+};
+
+class ManagedHeap {
+ public:
+  explicit ManagedHeap(const GcOptions& opts) : opts_(opts) {}
+  ~ManagedHeap();
+  ManagedHeap(const ManagedHeap&) = delete;
+  ManagedHeap& operator=(const ManagedHeap&) = delete;
+
+  // Allocates an object with `nrefs` traced slots. `bytes` is the accounted
+  // size (drives the GC trigger and heap statistics). `external` is adopted
+  // and destroyed with `deleter` when the object dies.
+  ObjRef Alloc(uint32_t nrefs, uint64_t bytes, void* external = nullptr,
+               void (*deleter)(void*) = nullptr);
+
+  // Atomically allocates a parent with one child per entry of `child_bytes`
+  // and links them — no collection can observe the half-built graph.
+  ObjRef AllocGraph(uint64_t parent_bytes, const std::vector<uint64_t>& child_bytes,
+                    void* external = nullptr, void (*deleter)(void*) = nullptr);
+
+  // Allocates a leaf object and links it into parent.refs[slot] atomically
+  // (replacing any previous child, which becomes floating garbage).
+  ObjRef AllocInto(ObjRef parent, uint32_t slot, uint64_t bytes);
+
+  void SetRef(ObjRef obj, uint32_t slot, ObjRef target);
+  ObjRef GetRef(ObjRef obj, uint32_t slot) const;
+  void* External(ObjRef obj) const;
+
+  void AddRoot(ObjRef obj);
+  void RemoveRoot(ObjRef obj);
+
+  // Forces a stop-the-world mark-sweep cycle.
+  void Collect();
+  // Invoked by Alloc; public so workloads can poll at op boundaries.
+  void MaybeCollect();
+
+  GcStats stats() const;
+  const Histogram& pause_histogram() const { return pauses_; }
+
+ private:
+  struct Node {
+    uint64_t bytes = 0;
+    void* external = nullptr;
+    void (*deleter)(void*) = nullptr;
+    std::vector<ObjRef> refs;
+    uint32_t scan_pos = 0;  // incremental marking: next child to scan
+    bool marked = false;
+    bool live = false;  // slot in use
+  };
+
+  void FreeNode(Node& n);
+  void CollectLocked();
+  ObjRef AllocNodeLocked(uint32_t nrefs, uint64_t bytes, void* external,
+                         void (*deleter)(void*));
+  void MaybeCollectLocked(uint64_t incoming_bytes);
+
+  // Incremental mode internals.
+  void StartIncrementalCycleLocked();
+  void IncrementalStepLocked();
+  void ShadeLocked(ObjRef obj);  // Dijkstra insertion barrier
+
+  GcOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;        // index = handle (0 unused)
+  std::vector<ObjRef> free_list_;  // recycled handles
+  std::unordered_set<ObjRef> roots_;
+  uint64_t allocated_since_gc_ = 0;
+  GcStats stats_;
+  Histogram pauses_;
+
+  // Incremental-cycle state.
+  bool marking_ = false;           // a cycle (marking or sweeping) is active
+  std::vector<ObjRef> gray_;       // tri-color worklist
+  uint64_t cycle_marked_ = 0;
+  uint64_t last_step_bucket_ = 0;
+  size_t sweep_cursor_ = 0;        // 0 = marking phase; else next sweep index
+};
+
+}  // namespace jnvm::gcsim
+
+#endif  // JNVM_SRC_GCSIM_MANAGED_HEAP_H_

@@ -1,0 +1,57 @@
+// Block header codec — Table 2 of the paper.
+//
+// Every block starts with a single 64-bit word:
+//
+//     id     (15 bits)  — class id; != 0 marks the master block of an object
+//     valid  (1 bit)    — object liveness state (§3.2.3)
+//     next   (48 bits)  — block index of the next block in the object chain
+//
+// The states are exactly Table 2:
+//     id != 0, valid = any  -> master block of a valid / invalid object
+//     id == 0, valid = 0    -> free block, or slave block of some object
+// (id == 0, valid = 1 never occurs.)
+#ifndef JNVM_SRC_HEAP_BLOCK_H_
+#define JNVM_SRC_HEAP_BLOCK_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace jnvm::heap {
+
+inline constexpr uint64_t kIdBits = 15;
+inline constexpr uint64_t kIdMask = (1ull << kIdBits) - 1;
+inline constexpr uint64_t kValidBit = 1ull << 15;
+inline constexpr uint64_t kNextShift = 16;
+inline constexpr uint64_t kNextMask = (1ull << 48) - 1;
+
+inline constexpr uint16_t kMaxClassId = static_cast<uint16_t>(kIdMask);
+
+struct BlockHeader {
+  uint16_t id = 0;      // 15 bits used
+  bool valid = false;   // object valid bit (master blocks only)
+  uint64_t next = 0;    // block index; 0 terminates the chain
+
+  uint64_t Pack() const {
+    JNVM_DCHECK(id <= kMaxClassId);
+    JNVM_DCHECK(next <= kNextMask);
+    return (static_cast<uint64_t>(id) & kIdMask) | (valid ? kValidBit : 0) |
+           (next << kNextShift);
+  }
+
+  static BlockHeader Unpack(uint64_t word) {
+    BlockHeader h;
+    h.id = static_cast<uint16_t>(word & kIdMask);
+    h.valid = (word & kValidBit) != 0;
+    h.next = word >> kNextShift;
+    return h;
+  }
+
+  bool IsMaster() const { return id != 0; }
+};
+
+inline constexpr size_t kBlockHeaderBytes = 8;
+
+}  // namespace jnvm::heap
+
+#endif  // JNVM_SRC_HEAP_BLOCK_H_

@@ -1,0 +1,59 @@
+#include "src/heap/free_queue.h"
+
+#include <atomic>
+#include <thread>
+
+namespace jnvm::heap {
+
+size_t FreeQueue::HomeShard() {
+  static std::atomic<size_t> next_id{0};
+  thread_local const size_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id % kShards;
+}
+
+void FreeQueue::Push(Offset block) {
+  Shard& s = shards_[HomeShard()];
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.stack.push_back(block);
+}
+
+Offset FreeQueue::Pop() {
+  const size_t home = HomeShard();
+  for (size_t i = 0; i < kShards; ++i) {
+    Shard& s = shards_[(home + i) % kShards];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.stack.empty()) {
+      const Offset off = s.stack.back();
+      s.stack.pop_back();
+      return off;
+    }
+  }
+  return 0;
+}
+
+void FreeQueue::PushAll(const std::vector<Offset>& blocks) {
+  // Spread across shards so concurrent allocators do not contend on one.
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    Shard& s = shards_[i % kShards];
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.stack.push_back(blocks[i]);
+  }
+}
+
+size_t FreeQueue::ApproxSize() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    n += s.stack.size();
+  }
+  return n;
+}
+
+void FreeQueue::Clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.stack.clear();
+  }
+}
+
+}  // namespace jnvm::heap

@@ -1,0 +1,46 @@
+// Volatile free queue of blocks (§4.1.2).
+//
+// The paper uses "a concurrent queue to scale with the number of threads".
+// We implement a sharded stack: each shard has its own lock and vector;
+// threads hash to a home shard and steal from the others when empty. Pushes
+// and pops touch only volatile memory — the allocator never updates NVMM
+// except through the bump pointer.
+#ifndef JNVM_SRC_HEAP_FREE_QUEUE_H_
+#define JNVM_SRC_HEAP_FREE_QUEUE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/nvm/pmem_device.h"
+
+namespace jnvm::heap {
+
+using nvm::Offset;
+
+class FreeQueue {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Push(Offset block);
+  // Returns 0 when every shard is empty.
+  Offset Pop();
+  // Bulk insert (used when recovery rebuilds the queue).
+  void PushAll(const std::vector<Offset>& blocks);
+  size_t ApproxSize() const;
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Offset> stack;
+  };
+
+  static size_t HomeShard();
+
+  Shard shards_[kShards];
+};
+
+}  // namespace jnvm::heap
+
+#endif  // JNVM_SRC_HEAP_FREE_QUEUE_H_

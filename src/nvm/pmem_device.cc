@@ -1,0 +1,206 @@
+#include "src/nvm/pmem_device.h"
+
+#include <cstdio>
+
+#include "src/common/rand.h"
+
+namespace jnvm::nvm {
+
+PmemDevice::PmemDevice(const DeviceOptions& opts)
+    : opts_(opts), data_(new char[opts.size_bytes]()) {
+  JNVM_CHECK(opts.size_bytes >= kCacheLine);
+}
+
+void PmemDevice::Memset(Offset off, int value, size_t n) {
+  JNVM_DCHECK(off + n <= opts_.size_bytes);
+  if (opts_.strict) {
+    CrashTick();
+    TrackStore(off, n);
+  }
+  std::memset(data_.get() + off, value, n);
+  stats_writes_.fetch_add(1, std::memory_order_relaxed);
+  stats_bytes_written_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void PmemDevice::TrackStore(Offset off, size_t n) {
+  const uint64_t first = off / kCacheLine;
+  const uint64_t last = (off + n - 1) / kCacheLine;
+  for (uint64_t line = first; line <= last; ++line) {
+    auto [it, inserted] = lines_.try_emplace(line);
+    if (inserted) {
+      // First store since the line was last durable: snapshot the durable
+      // content (current view == durable view for a clean line).
+      std::memcpy(it->second.durable.data(), data_.get() + line * kCacheLine,
+                  kCacheLine);
+    } else if (it->second.queued) {
+      // A store after Pwb is not covered by that Pwb: the flush may have
+      // executed before this store. Conservatively require a fresh Pwb.
+      it->second.queued = false;
+    }
+  }
+}
+
+void PmemDevice::Pwb(Offset off) {
+  JNVM_DCHECK(off < opts_.size_bytes);
+  stats_pwbs_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.pwb_delay_ns != 0) SpinFor(opts_.pwb_delay_ns);
+  if (!opts_.strict) {
+    return;
+  }
+  CrashTick();
+  auto it = lines_.find(off / kCacheLine);
+  if (it != lines_.end()) {
+    it->second.queued = true;
+  }
+}
+
+void PmemDevice::PwbRange(Offset off, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  const uint64_t first = (off / kCacheLine) * kCacheLine;
+  const uint64_t last = ((off + n - 1) / kCacheLine) * kCacheLine;
+  const uint64_t nlines = (last - first) / kCacheLine + 1;
+  // Charge the latency model once for the whole range (a clwb burst
+  // pipelines); per-line spins would pay the timer-read floor n times.
+  if (opts_.pwb_delay_ns != 0) {
+    SpinFor(opts_.pwb_delay_ns * nlines);
+  }
+  stats_pwbs_.fetch_add(nlines, std::memory_order_relaxed);
+  if (!opts_.strict) {
+    return;
+  }
+  for (uint64_t line = first; line <= last; line += kCacheLine) {
+    CrashTick();
+    auto it = lines_.find(line / kCacheLine);
+    if (it != lines_.end()) {
+      it->second.queued = true;
+    }
+  }
+}
+
+void PmemDevice::DrainQueued() {
+  if (!opts_.strict) {
+    return;
+  }
+  CrashTick();
+  for (auto it = lines_.begin(); it != lines_.end();) {
+    if (it->second.queued) {
+      it = lines_.erase(it);  // current content is now durable
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PmemDevice::Pfence() {
+  stats_pfences_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.fence_delay_ns != 0) SpinFor(opts_.fence_delay_ns);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  DrainQueued();
+}
+
+void PmemDevice::Psync() {
+  stats_psyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.fence_delay_ns != 0) SpinFor(opts_.fence_delay_ns);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  DrainQueued();
+}
+
+void PmemDevice::ScheduleCrashAfter(uint64_t events) {
+  JNVM_CHECK_MSG(opts_.strict, "crash scheduling requires strict mode");
+  crash_countdown_ = static_cast<int64_t>(events);
+}
+
+void PmemDevice::CancelScheduledCrash() { crash_countdown_ = -1; }
+
+void PmemDevice::CrashTick() {
+  ++event_counter_;
+  if (crash_countdown_ < 0) {
+    return;
+  }
+  if (crash_countdown_ == 0) {
+    crash_countdown_ = -1;
+    throw SimulatedCrash{event_counter_};
+  }
+  --crash_countdown_;
+}
+
+void PmemDevice::Crash(uint64_t eviction_seed) {
+  JNVM_CHECK_MSG(opts_.strict, "Crash() requires strict mode");
+  crash_countdown_ = -1;
+  for (auto& [line, state] : lines_) {
+    // Coin flip per line: was it (or the queued flush) written back before
+    // power was lost? Queued-but-unfenced lines get the same treatment —
+    // without the fence the clwb may not have executed.
+    const bool evicted = (Mix64(eviction_seed ^ (line * 0x9e3779b97f4a7c15ull)) & 1) != 0;
+    if (!evicted) {
+      std::memcpy(data_.get() + line * kCacheLine, state.durable.data(), kCacheLine);
+    }
+  }
+  lines_.clear();
+}
+
+size_t PmemDevice::UnflushedLineCount() const { return lines_.size(); }
+
+namespace {
+constexpr uint64_t kImageMagic = 0x4a4e564d494d4731ull;  // "JNVMIMG1"
+}
+
+bool PmemDevice::SaveTo(const std::string& path) const {
+  JNVM_CHECK_MSG(lines_.empty(), "quiesce (Psync) before saving an image");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const uint64_t size = opts_.size_bytes;
+  bool ok = std::fwrite(&kImageMagic, 8, 1, f) == 1 &&
+            std::fwrite(&size, 8, 1, f) == 1 &&
+            std::fwrite(data_.get(), 1, size, f) == size;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::unique_ptr<PmemDevice> PmemDevice::LoadFrom(const std::string& path,
+                                                 DeviceOptions opts) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return nullptr;
+  }
+  uint64_t magic = 0;
+  uint64_t size = 0;
+  if (std::fread(&magic, 8, 1, f) != 1 || magic != kImageMagic ||
+      std::fread(&size, 8, 1, f) != 1) {
+    std::fclose(f);
+    return nullptr;
+  }
+  opts.size_bytes = size;
+  auto dev = std::make_unique<PmemDevice>(opts);
+  const bool ok = std::fread(dev->data_.get(), 1, size, f) == size;
+  std::fclose(f);
+  return ok ? std::move(dev) : nullptr;
+}
+
+DeviceStats PmemDevice::stats() const {
+  DeviceStats s;
+  s.reads = stats_reads_.load(std::memory_order_relaxed);
+  s.bytes_read = stats_bytes_read_.load(std::memory_order_relaxed);
+  s.writes = stats_writes_.load(std::memory_order_relaxed);
+  s.bytes_written = stats_bytes_written_.load(std::memory_order_relaxed);
+  s.pwbs = stats_pwbs_.load(std::memory_order_relaxed);
+  s.pfences = stats_pfences_.load(std::memory_order_relaxed);
+  s.psyncs = stats_psyncs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PmemDevice::ResetStats() {
+  stats_reads_.store(0, std::memory_order_relaxed);
+  stats_bytes_read_.store(0, std::memory_order_relaxed);
+  stats_writes_.store(0, std::memory_order_relaxed);
+  stats_bytes_written_.store(0, std::memory_order_relaxed);
+  stats_pwbs_.store(0, std::memory_order_relaxed);
+  stats_pfences_.store(0, std::memory_order_relaxed);
+  stats_psyncs_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace jnvm::nvm

@@ -1,0 +1,198 @@
+// Simulated Non-Volatile Main Memory device.
+//
+// This is the hardware substitute for the Intel Optane DC PMM used by the
+// paper (see DESIGN.md §2). It provides:
+//
+//  * a flat byte-addressable region (DRAM-backed),
+//  * the three architecture-agnostic persistence primitives of the paper
+//    (§3.2.2): Pwb (clwb — queue a cache line for write-back), Pfence and
+//    Psync (both sfence on Intel ADR platforms, as in the paper §4.4),
+//  * an optional latency model so benchmarks feel the DRAM/NVM asymmetry,
+//  * and, in *strict mode*, a faithful crash model: stores are tracked at
+//    64-byte cache-line granularity; on a simulated power failure each line
+//    that was dirtied but never covered by a Pwb+fence either survives (the
+//    CPU happened to evict it) or rolls back to its last durable content —
+//    chosen pseudo-randomly from a seed. Lines made durable by Pwb+fence
+//    always survive. This is exactly the guarantee of clwb/sfence + ADR.
+//
+// Strict mode is single-threaded by design (it is a testing device); fast
+// mode (strict=false) is thread-safe for data access and used by the
+// benchmarks.
+#ifndef JNVM_SRC_NVM_PMEM_DEVICE_H_
+#define JNVM_SRC_NVM_PMEM_DEVICE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/clock.h"
+
+namespace jnvm::nvm {
+
+// Byte offset into the device. Offset 0 is valid device space, but the heap
+// layer never hands it out, so 0 doubles as the null persistent reference.
+using Offset = uint64_t;
+
+inline constexpr size_t kCacheLine = 64;
+
+// Thrown when a scheduled crash point is reached (strict mode). Tests catch
+// it, call Crash(), and then run recovery on a reopened heap.
+struct SimulatedCrash {
+  uint64_t event_number = 0;
+};
+
+struct DeviceOptions {
+  size_t size_bytes = 0;
+  // Strict mode: track stores per cache line and support crash simulation.
+  bool strict = false;
+  // Latency model (all zero by default: tests run at memory speed).
+  uint32_t read_delay_ns = 0;   // applied per ReadBytes call
+  uint32_t write_delay_ns = 0;  // applied per WriteBytes call
+  uint32_t pwb_delay_ns = 0;    // applied per Pwb
+  uint32_t fence_delay_ns = 0;  // applied per Pfence/Psync
+};
+
+struct DeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t pwbs = 0;
+  uint64_t pfences = 0;
+  uint64_t psyncs = 0;
+};
+
+class PmemDevice {
+ public:
+  explicit PmemDevice(const DeviceOptions& opts);
+  PmemDevice(const PmemDevice&) = delete;
+  PmemDevice& operator=(const PmemDevice&) = delete;
+
+  size_t size() const { return opts_.size_bytes; }
+  const DeviceOptions& options() const { return opts_; }
+  bool strict() const { return opts_.strict; }
+
+  // ---- Data access -------------------------------------------------------
+  // Every persistent store MUST go through WriteBytes/Write so strict mode
+  // can track it; reads always observe the current (cached) view.
+
+  void ReadBytes(Offset off, void* dst, size_t n) const {
+    JNVM_DCHECK(off + n <= opts_.size_bytes);
+    if (opts_.read_delay_ns != 0) SpinFor(opts_.read_delay_ns);
+    std::memcpy(dst, data_.get() + off, n);
+    stats_reads_.fetch_add(1, std::memory_order_relaxed);
+    stats_bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void WriteBytes(Offset off, const void* src, size_t n) {
+    JNVM_DCHECK(off + n <= opts_.size_bytes);
+    if (opts_.strict) {
+      CrashTick();
+      TrackStore(off, n);
+    }
+    if (opts_.write_delay_ns != 0) SpinFor(opts_.write_delay_ns);
+    std::memcpy(data_.get() + off, src, n);
+    stats_writes_.fetch_add(1, std::memory_order_relaxed);
+    stats_bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  template <typename T>
+  T Read(Offset off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    ReadBytes(off, &v, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void Write(Offset off, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(off, &v, sizeof(T));
+  }
+
+  // Zeroes a range (bulk helper; tracked like a normal store).
+  void Memset(Offset off, int value, size_t n);
+
+  // ---- Persistence primitives (§3.2.2) -----------------------------------
+
+  // Adds the cache line containing `off` to the write-pending queue.
+  void Pwb(Offset off);
+  // Queues every line overlapping [off, off+n).
+  void PwbRange(Offset off, size_t n);
+  // Orders preceding Pwbs/stores before succeeding ones; on this simulated
+  // ADR platform (as on the paper's Intel machine) it also drains the queue,
+  // making queued lines durable.
+  void Pfence();
+  // Same as Pfence plus guaranteed propagation to media.
+  void Psync();
+
+  // ---- Crash simulation (strict mode only) -------------------------------
+
+  // Throws SimulatedCrash after `events` further persistence events
+  // (stores, pwbs, fences). Pass 0 to trigger on the very next event.
+  void ScheduleCrashAfter(uint64_t events);
+  void CancelScheduledCrash();
+
+  // Simulates a power failure: every line dirtied since its last fence
+  // either keeps its current content (seeded coin flip: the CPU evicted it)
+  // or reverts to its last durable content. Clears all tracking.
+  void Crash(uint64_t eviction_seed);
+
+  // Number of lines currently dirty-or-queued (i.e. not guaranteed durable).
+  size_t UnflushedLineCount() const;
+
+  // ---- Device images ------------------------------------------------------
+  // A simulated DIMM can be saved to / loaded from a file — the equivalent
+  // of the DAX file backing a real region. Unflushed strict-mode state is
+  // NOT part of an image: quiesce (Psync) before saving.
+
+  bool SaveTo(const std::string& path) const;
+  // Returns nullptr when the file is missing/corrupt. `opts.size_bytes` of
+  // the loaded device comes from the image; other options apply as given.
+  static std::unique_ptr<PmemDevice> LoadFrom(const std::string& path,
+                                              DeviceOptions opts = {});
+
+  DeviceStats stats() const;
+  void ResetStats();
+
+  // Direct pointer into the current view. Used only by the Table 3 "C"
+  // baseline benchmark and by read-mostly fast paths that bypass latency
+  // accounting; never use it for persistent stores in strict mode.
+  char* raw() { return data_.get(); }
+  const char* raw() const { return data_.get(); }
+
+ private:
+  struct LineState {
+    std::array<char, kCacheLine> durable;  // content as of the last fence
+    bool queued = false;                   // covered by a Pwb since dirtying
+  };
+
+  void TrackStore(Offset off, size_t n);
+  void CrashTick();
+  void DrainQueued();
+
+  DeviceOptions opts_;
+  std::unique_ptr<char[]> data_;
+
+  // Strict-mode tracking (single-threaded use).
+  std::unordered_map<uint64_t, LineState> lines_;
+  int64_t crash_countdown_ = -1;
+  uint64_t event_counter_ = 0;
+
+  mutable std::atomic<uint64_t> stats_reads_{0};
+  mutable std::atomic<uint64_t> stats_bytes_read_{0};
+  std::atomic<uint64_t> stats_writes_{0};
+  std::atomic<uint64_t> stats_bytes_written_{0};
+  std::atomic<uint64_t> stats_pwbs_{0};
+  std::atomic<uint64_t> stats_pfences_{0};
+  std::atomic<uint64_t> stats_psyncs_{0};
+};
+
+}  // namespace jnvm::nvm
+
+#endif  // JNVM_SRC_NVM_PMEM_DEVICE_H_

@@ -1,0 +1,46 @@
+#include "src/pdt/parray.h"
+
+namespace jnvm::pdt {
+
+const core::ClassInfo* PLongArray::Class() {
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<PLongArray>("jnvm.PLongArray"));
+  return info;
+}
+
+PLongArray::PLongArray(core::JnvmRuntime& rt, uint64_t length) {
+  AllocatePersistent(rt, Class(), kElemsOff + length * sizeof(int64_t));
+  WriteField<uint64_t>(kLenOff, length);
+  PwbField(kLenOff, sizeof(uint64_t));
+  // Elements were voided by the allocator; their zeroes are already queued.
+}
+
+const core::ClassInfo* PByteArray::Class() {
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<PByteArray>("jnvm.PByteArray"));
+  return info;
+}
+
+PByteArray::PByteArray(core::JnvmRuntime& rt, uint64_t length) {
+  AllocatePersistent(rt, Class(), kDataOff + length);
+  WriteField<uint64_t>(kLenOff, length);
+  PwbField(kLenOff, sizeof(uint64_t));
+}
+
+PByteArray::PByteArray(core::JnvmRuntime& rt, std::string_view content)
+    : PByteArray(rt, content.size()) {
+  if (!content.empty()) {
+    WriteBytesField(kDataOff, content.data(), content.size());
+  }
+  Pwb();
+}
+
+std::string PByteArray::Str() const {
+  std::string out(Length(), '\0');
+  if (!out.empty()) {
+    ReadBytesField(kDataOff, out.data(), out.size());
+  }
+  return out;
+}
+
+}  // namespace jnvm::pdt

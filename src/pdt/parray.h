@@ -1,0 +1,76 @@
+// Fixed-size persistent arrays (§4.3.1).
+//
+// "J-PDT provides arrays of fixed sizes. An array contains its length at
+// offset 0 and the elements afterward. This class provides a constructor to
+// initialize its content appropriately, accessors to retrieve the elements,
+// and methods to flush either an element, or the array in full."
+//
+// PLongArray: 64-bit integers. PByteArray: raw bytes (the persistent
+// replacement for Java byte[], used by record-like values).
+#ifndef JNVM_SRC_PDT_PARRAY_H_
+#define JNVM_SRC_PDT_PARRAY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/core/pobject.h"
+#include "src/core/runtime.h"
+
+namespace jnvm::pdt {
+
+class PLongArray final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class();
+
+  explicit PLongArray(core::Resurrect) {}
+  PLongArray(core::JnvmRuntime& rt, uint64_t length);
+
+  uint64_t Length() const { return ReadField<uint64_t>(kLenOff); }
+  int64_t Get(uint64_t i) const {
+    JNVM_DCHECK(i < Length());
+    return ReadField<int64_t>(ElemOff(i));
+  }
+  void Set(uint64_t i, int64_t v) {
+    JNVM_DCHECK(i < Length());
+    WriteField<int64_t>(ElemOff(i), v);
+  }
+  // Queues the cache line(s) of one element (§4.3.1 flush methods).
+  void FlushElement(uint64_t i) { PwbField(ElemOff(i), sizeof(int64_t)); }
+  void FlushAll() { Pwb(); }
+
+ private:
+  static constexpr size_t kLenOff = 0;
+  static constexpr size_t kElemsOff = 8;
+  static size_t ElemOff(uint64_t i) { return kElemsOff + i * sizeof(int64_t); }
+};
+
+class PByteArray final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class();
+
+  explicit PByteArray(core::Resurrect) {}
+  PByteArray(core::JnvmRuntime& rt, uint64_t length);
+  // Initialized from a byte string.
+  PByteArray(core::JnvmRuntime& rt, std::string_view content);
+
+  uint64_t Length() const { return ReadField<uint64_t>(kLenOff); }
+  void Read(uint64_t off, void* dst, size_t n) const {
+    JNVM_DCHECK(off + n <= Length());
+    ReadBytesField(kDataOff + off, dst, n);
+  }
+  void Write(uint64_t off, const void* src, size_t n) {
+    JNVM_DCHECK(off + n <= Length());
+    WriteBytesField(kDataOff + off, src, n);
+  }
+  std::string Str() const;
+  void FlushRange(uint64_t off, size_t n) { PwbField(kDataOff + off, n); }
+  void FlushAll() { Pwb(); }
+
+ private:
+  static constexpr size_t kLenOff = 0;
+  static constexpr size_t kDataOff = 8;
+};
+
+}  // namespace jnvm::pdt
+
+#endif  // JNVM_SRC_PDT_PARRAY_H_

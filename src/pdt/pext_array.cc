@@ -1,0 +1,62 @@
+#include "src/pdt/pext_array.h"
+
+namespace jnvm::pdt {
+
+const core::ClassInfo* PExtArray::Class() {
+  static const core::ClassInfo* info = RegisterClass(
+      core::MakeClassInfo<PExtArray>("jnvm.PExtArray", &PExtArray::Trace));
+  return info;
+}
+
+PExtArray::PExtArray(core::JnvmRuntime& rt, uint64_t initial_capacity) {
+  AllocatePersistent(rt, Class(), 16);
+  auto storage = std::make_shared<core::PRefArray>(rt, initial_capacity);
+  storage->Validate();
+  WritePObject(kStorageOff, storage.get());
+  PwbField(0, 16);
+  storage_ = std::move(storage);
+}
+
+void PExtArray::Trace(core::ObjectView& view, core::RefVisitor& v) {
+  // The storage array's own tracer covers every slot (count included), so
+  // stale refs past `count` are followed-or-nullified there.
+  v.VisitRef(view, kStorageOff);
+}
+
+void PExtArray::Grow() {
+  core::JnvmRuntime& rt = runtime();
+  const uint64_t old_cap = storage_->capacity();
+  auto bigger = std::make_shared<core::PRefArray>(rt, old_cap * 2);
+  for (uint64_t i = 0; i < old_cap; ++i) {
+    bigger->SetRaw(i, storage_->GetRaw(i));
+  }
+  // Atomic update (§4.1.6): validate + fence inside, then flip the ref.
+  UpdateRefAndFreeOld(kStorageOff, bigger.get());
+  storage_ = std::move(bigger);
+}
+
+void PExtArray::Append(core::PObject* value) {
+  const uint64_t n = Size();
+  if (n == storage_->capacity()) {
+    Grow();
+  }
+  if (value != nullptr && !value->IsValidObject()) {
+    value->Pwb();
+    value->Validate();
+  }
+  storage_->SetRaw(n, value == nullptr ? 0 : value->addr());
+  Pfence();  // element durable before it becomes counted
+  WriteField<uint64_t>(kCountOff, n + 1);
+  PwbField(kCountOff, sizeof(uint64_t));
+}
+
+void PExtArray::PopBack() {
+  const uint64_t n = Size();
+  JNVM_CHECK(n > 0);
+  WriteField<uint64_t>(kCountOff, n - 1);
+  PwbField(kCountOff, sizeof(uint64_t));
+  Pfence();  // shrink durable before the slot is voided / reused
+  storage_->SetRaw(n - 1, 0);
+}
+
+}  // namespace jnvm::pdt

@@ -1,0 +1,65 @@
+// PExtArray — the extensible array (§4.3.1), similar to Java's ArrayList.
+//
+// Durable state: {u64 count, ref storage} where storage is a PRefArray.
+// Extension uses the low-level atomic update of §4.1.6: the doubled copy is
+// validated and fenced before the storage reference flips, so the structure
+// is never observed half-grown.
+//
+// Crash behaviour of Append: the element is written to its slot, fenced,
+// then the count is bumped. Losing the count bump loses the append (the
+// element becomes unreachable and is collected) — append is all-or-nothing.
+#ifndef JNVM_SRC_PDT_PEXT_ARRAY_H_
+#define JNVM_SRC_PDT_PEXT_ARRAY_H_
+
+#include "src/core/ref_array.h"
+#include "src/core/runtime.h"
+
+namespace jnvm::pdt {
+
+class PExtArray final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class();
+
+  explicit PExtArray(core::Resurrect) {}
+  PExtArray(core::JnvmRuntime& rt, uint64_t initial_capacity = 8);
+
+  void Resurrect_() override {
+    storage_ = ReadPObjectAs<core::PRefArray>(kStorageOff);
+    JNVM_CHECK_MSG(storage_ != nullptr, "PExtArray storage lost (torn publication)");
+  }
+
+  uint64_t Size() const { return ReadField<uint64_t>(kCountOff); }
+  uint64_t Capacity() const { return storage_->capacity(); }
+
+  core::Handle<core::PObject> Get(uint64_t i) const {
+    JNVM_DCHECK(i < Size());
+    return storage_->Get(i);
+  }
+  nvm::Offset GetRaw(uint64_t i) const { return storage_->GetRaw(i); }
+
+  // Replaces element i (atomic update, §4.1.6).
+  void Set(uint64_t i, core::PObject* value) {
+    JNVM_DCHECK(i < Size());
+    storage_->UpdateSlot(i, value);
+  }
+
+  // Appends an element; grows the storage when full. One fence per append.
+  void Append(core::PObject* value);
+
+  // Removes the last element (does not free the referenced object).
+  void PopBack();
+
+ private:
+  static constexpr size_t kCountOff = 0;
+  static constexpr size_t kStorageOff = 8;
+
+  static void Trace(core::ObjectView& view, core::RefVisitor& v);
+
+  void Grow();
+
+  core::Handle<core::PRefArray> storage_;  // transient
+};
+
+}  // namespace jnvm::pdt
+
+#endif  // JNVM_SRC_PDT_PEXT_ARRAY_H_

@@ -1,0 +1,26 @@
+#include "src/pdt/ppair.h"
+
+namespace jnvm::pdt {
+
+const core::ClassInfo* PRefPair::Class() {
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<PRefPair>("jnvm.PRefPair", &PRefPair::Trace));
+  return info;
+}
+
+void PRefPair::Trace(core::ObjectView& view, core::RefVisitor& v) {
+  v.VisitRef(view, kValueOff);
+  v.VisitRef(view, kKeyOff);
+}
+
+const core::ClassInfo* PIntPair::Class() {
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<PIntPair>("jnvm.PIntPair", &PIntPair::Trace));
+  return info;
+}
+
+void PIntPair::Trace(core::ObjectView& view, core::RefVisitor& v) {
+  v.VisitRef(view, kValueOff);  // the key is inline, not a reference
+}
+
+}  // namespace jnvm::pdt

@@ -1,0 +1,41 @@
+// Forces registration of every built-in persistent class.
+//
+// Registration is lazy (each class registers on first use). A process that
+// *opens* an existing heap without constructing these types first — e.g.
+// the jnvm_inspect tool — must register them before recovery runs, exactly
+// as a JVM must have the classes on its classpath before resurrecting their
+// instances (§3.1).
+#ifndef JNVM_SRC_PDT_REGISTER_ALL_H_
+#define JNVM_SRC_PDT_REGISTER_ALL_H_
+
+#include "src/core/ref_array.h"
+#include "src/core/root_map.h"
+#include "src/pdt/parray.h"
+#include "src/pdt/pext_array.h"
+#include "src/pdt/pmap.h"
+#include "src/pdt/ppair.h"
+#include "src/pdt/pstring.h"
+
+namespace jnvm::pdt {
+
+inline void RegisterStandardClasses() {
+  core::PRefArray::Class();
+  core::RootMap::Class();
+  core::RootEntry::Class();
+  PString::Class();
+  PString::SmallClass();
+  PLongArray::Class();
+  PByteArray::Class();
+  PExtArray::Class();
+  PRefPair::Class();
+  PIntPair::Class();
+  PStringHashMap::Class();
+  PStringTreeMap::Class();
+  PStringSkipListMap::Class();
+  PLongHashMap::Class();
+  PLongTreeMap::Class();
+}
+
+}  // namespace jnvm::pdt
+
+#endif  // JNVM_SRC_PDT_REGISTER_ALL_H_

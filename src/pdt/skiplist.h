@@ -1,0 +1,158 @@
+// A volatile skip-list map.
+//
+// Two roles (§4.3.2, §5.3.4): it is the volatile *mirror* behind
+// PSkipListMap — "the mirror map implements the logic of the data
+// structure" — and, instantiated directly, it is the volatile
+// ConcurrentSkipListMap counterpart that Figure 12 benchmarks against.
+//
+// Interface mimics the std::map subset the mirrors use: operator[], find,
+// erase, size, clear, ordered begin/end.
+#ifndef JNVM_SRC_PDT_SKIPLIST_H_
+#define JNVM_SRC_PDT_SKIPLIST_H_
+
+#include <array>
+#include <functional>
+#include <utility>
+
+#include "src/common/rand.h"
+
+namespace jnvm::pdt {
+
+template <typename K, typename V, typename Less = std::less<K>>
+class SkipListMap {
+ public:
+  static constexpr int kMaxLevel = 24;
+
+  SkipListMap() : head_(new Node(K{}, V{}, kMaxLevel)), rng_(0x5eed) {}
+  ~SkipListMap() {
+    clear();
+    delete head_;
+  }
+  SkipListMap(const SkipListMap&) = delete;
+  SkipListMap& operator=(const SkipListMap&) = delete;
+
+  struct Node {
+    Node(K k, V v, int h) : key(std::move(k)), value(std::move(v)), height(h) {
+      next.fill(nullptr);
+    }
+    K key;
+    V value;
+    int height;
+    std::array<Node*, kMaxLevel> next;
+  };
+
+  class iterator {
+   public:
+    explicit iterator(Node* n) : n_(n) {}
+    std::pair<const K&, V&> operator*() const { return {n_->key, n_->value}; }
+    iterator& operator++() {
+      n_ = n_->next[0];
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return n_ == o.n_; }
+    bool operator!=(const iterator& o) const { return n_ != o.n_; }
+    const K& key() const { return n_->key; }
+    V& value() const { return n_->value; }
+
+   private:
+    friend class SkipListMap;
+    Node* n_;
+  };
+
+  iterator begin() const { return iterator(head_->next[0]); }
+  iterator end() const { return iterator(nullptr); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator find(const K& key) const {
+    Node* n = FindGreaterOrEqual(key, nullptr);
+    if (n != nullptr && Equal(n->key, key)) {
+      return iterator(n);
+    }
+    return end();
+  }
+
+  // First element with key >= `key` (ordered-map range scans).
+  iterator lower_bound(const K& key) const {
+    return iterator(FindGreaterOrEqual(key, nullptr));
+  }
+
+  bool contains(const K& key) const { return find(key) != end(); }
+
+  V& operator[](const K& key) {
+    Node* prev[kMaxLevel];
+    Node* n = FindGreaterOrEqual(key, prev);
+    if (n != nullptr && Equal(n->key, key)) {
+      return n->value;
+    }
+    const int h = RandomHeight();
+    Node* node = new Node(key, V{}, h);
+    for (int i = 0; i < h; ++i) {
+      node->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = node;
+    }
+    ++size_;
+    return node->value;
+  }
+
+  size_t erase(const K& key) {
+    Node* prev[kMaxLevel];
+    Node* n = FindGreaterOrEqual(key, prev);
+    if (n == nullptr || !Equal(n->key, key)) {
+      return 0;
+    }
+    for (int i = 0; i < n->height; ++i) {
+      if (prev[i]->next[i] == n) {
+        prev[i]->next[i] = n->next[i];
+      }
+    }
+    delete n;
+    --size_;
+    return 1;
+  }
+
+  void clear() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+    head_->next.fill(nullptr);
+    size_ = 0;
+  }
+
+ private:
+  bool Equal(const K& a, const K& b) const { return !less_(a, b) && !less_(b, a); }
+
+  Node* FindGreaterOrEqual(const K& key, Node** prev) const {
+    Node* x = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      while (x->next[level] != nullptr && less_(x->next[level]->key, key)) {
+        x = x->next[level];
+      }
+      if (prev != nullptr) {
+        prev[level] = x;
+      }
+    }
+    return x->next[0];
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxLevel && (rng_.Next() & 3) == 0) {  // p = 1/4
+      ++h;
+    }
+    return h;
+  }
+
+  Node* head_;
+  size_t size_ = 0;
+  Less less_;
+  Xorshift rng_;
+};
+
+}  // namespace jnvm::pdt
+
+#endif  // JNVM_SRC_PDT_SKIPLIST_H_

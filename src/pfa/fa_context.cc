@@ -1,0 +1,98 @@
+#include "src/pfa/fa_context.h"
+
+#include <vector>
+
+namespace jnvm::pfa {
+
+Offset FaContext::WriteBlockCow(Offset block) {
+  auto it = inflight_.find(block);
+  if (it != inflight_.end()) {
+    return it->second;
+  }
+  const Offset copy = heap_->AllocBlockRaw();
+  JNVM_CHECK_MSG(copy != 0, "heap full while creating in-flight copy");
+  auto& dev = heap_->dev();
+  // Neutral header so a crashed copy can never look like a live master.
+  dev.Write<uint64_t>(copy, 0);
+  // Clone the payload; subsequent stores in this FA block hit the copy.
+  std::vector<char> buf(heap_->payload_per_block());
+  dev.ReadBytes(heap_->PayloadOf(block), buf.data(), buf.size());
+  dev.WriteBytes(heap_->PayloadOf(copy), buf.data(), buf.size());
+  log_.Append({EntryType::kUpdate, block, copy});
+  inflight_[block] = copy;
+  return copy;
+}
+
+void FaContext::Commit() {
+  if (log_.count() == 0) {
+    inflight_.clear();
+    return;  // read-only block: nothing to persist
+  }
+  // Queue every in-flight block for write-back; the commit fence makes them
+  // durable together with the log entries.
+  for (const auto& [orig, copy] : inflight_) {
+    heap_->PwbRange(copy, heap_->block_size());
+  }
+  log_.PersistAndMarkCommitted();
+  log_.Apply(heap_, *hooks_);
+  // Return the in-flight copies to the volatile free queue.
+  for (const auto& [orig, copy] : inflight_) {
+    heap_->FreeBlockRaw(copy);
+  }
+  inflight_.clear();
+  log_.Erase();
+}
+
+void FaContext::Abort() {
+  depth_ = 0;
+  log_.DiscardUncommitted(heap_);
+  inflight_.clear();
+}
+
+namespace {
+
+struct TlsKey {
+  const FaManager* manager;
+  uint64_t generation;
+  bool operator==(const TlsKey&) const = default;
+};
+
+struct TlsKeyHash {
+  size_t operator()(const TlsKey& k) const {
+    return std::hash<const void*>()(k.manager) ^ std::hash<uint64_t>()(k.generation);
+  }
+};
+
+std::atomic<uint64_t> g_manager_generation{1};
+
+thread_local std::unordered_map<TlsKey, std::unique_ptr<FaContext>, TlsKeyHash>
+    t_contexts;
+
+}  // namespace
+
+FaManager::FaManager(Heap* heap, FaHooks hooks)
+    : heap_(heap),
+      hooks_(std::move(hooks)),
+      generation_(g_manager_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+FaManager::~FaManager() {
+  // Drop this thread's binding; other threads' TLS entries become dead keys
+  // that can never be looked up again (the generation is unique).
+  t_contexts.erase(TlsKey{this, generation_});
+}
+
+FaContext& FaManager::ForCurrentThread() {
+  const TlsKey key{this, generation_};
+  auto it = t_contexts.find(key);
+  if (it == t_contexts.end()) {
+    const uint32_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    JNVM_CHECK_MSG(slot < heap_->log_slot_count(),
+                   "more failure-atomic threads than log slots");
+    it = t_contexts
+             .emplace(key, std::make_unique<FaContext>(heap_, &hooks_, slot))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace jnvm::pfa

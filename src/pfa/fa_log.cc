@@ -1,0 +1,141 @@
+#include "src/pfa/fa_log.h"
+
+namespace jnvm::pfa {
+
+namespace {
+constexpr Offset kCommittedOff = 0;
+constexpr Offset kCountOff = 8;
+constexpr Offset kEntriesOff = 16;
+constexpr size_t kEntryBytes = 24;
+}  // namespace
+
+FaLog::FaLog(Heap* heap, uint32_t slot_index)
+    : base_(heap->log_dir_off() + static_cast<uint64_t>(slot_index) * heap->log_slot_bytes()),
+      capacity_((heap->log_slot_bytes() - kEntriesOff) / kEntryBytes),
+      heap_(heap) {
+  JNVM_CHECK(slot_index < heap->log_slot_count());
+}
+
+uint64_t FaLog::count() const { return heap_->dev().Read<uint64_t>(base_ + kCountOff); }
+
+bool FaLog::committed() const {
+  return heap_->dev().Read<uint64_t>(base_ + kCommittedOff) != 0;
+}
+
+void FaLog::Append(const LogEntry& entry) {
+  const uint64_t n = count();
+  JNVM_CHECK_MSG(n < capacity_, "failure-atomic block exceeds redo-log capacity");
+  const Offset e = base_ + kEntriesOff + n * kEntryBytes;
+  auto& dev = heap_->dev();
+  dev.Write<uint64_t>(e, static_cast<uint64_t>(entry.type));
+  dev.Write<uint64_t>(e + 8, entry.a);
+  dev.Write<uint64_t>(e + 16, entry.b);
+  dev.PwbRange(e, kEntryBytes);
+  dev.Write<uint64_t>(base_ + kCountOff, n + 1);
+  dev.Pwb(base_ + kCountOff);
+  // No fence: nothing in NVMM has changed yet (§4.2).
+}
+
+LogEntry FaLog::ReadEntry(uint64_t index) const {
+  const Offset e = base_ + kEntriesOff + index * kEntryBytes;
+  auto& dev = heap_->dev();
+  LogEntry entry;
+  entry.type = static_cast<EntryType>(dev.Read<uint64_t>(e));
+  entry.a = dev.Read<uint64_t>(e + 8);
+  entry.b = dev.Read<uint64_t>(e + 16);
+  return entry;
+}
+
+void FaLog::PersistAndMarkCommitted() {
+  auto& dev = heap_->dev();
+  // First fence: the log entries, the count and every in-flight block
+  // (queued by the writer) become durable.
+  dev.Pfence();
+  dev.Write<uint64_t>(base_ + kCommittedOff, 1);
+  dev.Pwb(base_ + kCommittedOff);
+  // Second fence: the committed status reaches NVMM before apply starts.
+  dev.Pfence();
+}
+
+void FaLog::Apply(Heap* heap, const FaHooks& hooks) const {
+  auto& dev = heap->dev();
+  const uint32_t payload = heap->payload_per_block();
+  const uint64_t n = count();
+  std::vector<char> buf(payload);
+  for (uint64_t i = 0; i < n; ++i) {
+    const LogEntry e = ReadEntry(i);
+    switch (e.type) {
+      case EntryType::kUpdate: {
+        // Copy the in-flight payload over the original (headers untouched).
+        dev.ReadBytes(heap->PayloadOf(e.b), buf.data(), payload);
+        dev.WriteBytes(heap->PayloadOf(e.a), buf.data(), payload);
+        dev.PwbRange(e.a, heap->block_size());
+        break;
+      }
+      case EntryType::kAlloc:
+        // Validation makes the object alive iff it is reachable (§4.2).
+        heap->SetValid(e.a);
+        break;
+      case EntryType::kFree:
+        heap->FreeObject(e.a);
+        break;
+      case EntryType::kPoolFree:
+        JNVM_CHECK_MSG(static_cast<bool>(hooks.pool_free),
+                       "pool free in FA block but no pool hook installed");
+        hooks.pool_free(e.a);
+        break;
+    }
+  }
+  // No fence during apply (§4.2): a crash here replays the committed log.
+}
+
+void FaLog::Erase() {
+  auto& dev = heap_->dev();
+  // The applied (or discarded) state must be durable before the erase can
+  // become durable — otherwise a crash could pair a clean log with a
+  // half-applied commit. One fence orders the two.
+  dev.Pfence();
+  dev.Write<uint64_t>(base_ + kCommittedOff, 0);
+  dev.Write<uint64_t>(base_ + kCountOff, 0);
+  dev.PwbRange(base_, 16);
+  // This fence orders the erase before any future committed flag, so a
+  // crash can never pair a stale flag with new entries.
+  dev.Pfence();
+}
+
+void FaLog::DiscardUncommitted(Heap* heap) {
+  const uint64_t n = count();
+  for (uint64_t i = 0; i < n; ++i) {
+    const LogEntry e = ReadEntry(i);
+    if (e.type == EntryType::kUpdate) {
+      heap->FreeBlockRaw(e.b);  // drop the in-flight copy
+    } else if (e.type == EntryType::kAlloc) {
+      heap->FreeObject(e.a);  // still invalid; reclaim immediately
+    }
+    // kFree / kPoolFree were deferred: nothing was performed yet.
+  }
+  Erase();
+}
+
+ReplayStats ReplayAllLogs(Heap* heap, const FaHooks& hooks) {
+  ReplayStats stats;
+  for (uint32_t slot = 0; slot < heap->log_slot_count(); ++slot) {
+    FaLog log(heap, slot);
+    if (log.count() == 0 && !log.committed()) {
+      continue;
+    }
+    if (log.committed()) {
+      log.Apply(heap, hooks);
+      stats.replayed_entries += log.count();
+      ++stats.replayed_logs;
+    } else {
+      // Aborted: in-flight blocks and invalid allocations are left for the
+      // collection pass (they are unreachable / invalid).
+      ++stats.aborted_logs;
+    }
+    log.Erase();
+  }
+  return stats;
+}
+
+}  // namespace jnvm::pfa

@@ -1,0 +1,105 @@
+// Persistent per-thread redo log for failure-atomic blocks (§4.2).
+//
+// The algorithm follows the paper (itself inspired by Romulus), adapted to
+// the block heap:
+//
+//  * During a failure-atomic block, every modification is captured in a
+//    per-thread persistent log, leaving original data intact:
+//      - writes to a *valid* object go to an *in-flight* copy of the
+//        affected 256 B block (allocated from the normal heap),
+//      - writes to an *invalid* object (e.g. allocated in the same block)
+//        go directly to the object — safe, because an uncommitted crash
+//        leaves it invalid and recovery deletes it,
+//      - allocations and frees are recorded and applied at commit.
+//  * Commit: pfence (persist log + in-flight blocks) → set committed flag →
+//    pfence → apply entries (copy in-flight payloads over the originals,
+//    validate allocations, perform frees) — no fence during apply; a crash
+//    replays the committed log.
+//  * Recovery (before the heap's collection pass): committed logs are
+//    replayed; uncommitted logs are discarded — their allocations are still
+//    invalid and their in-flight blocks unreachable, so the collection pass
+//    reclaims them.
+//
+// Log slot layout inside the heap's log directory region:
+//   +0   u64 committed
+//   +8   u64 count
+//   +16  entries: {u64 type, u64 a, u64 b} × count
+#ifndef JNVM_SRC_PFA_FA_LOG_H_
+#define JNVM_SRC_PFA_FA_LOG_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/heap/heap.h"
+
+namespace jnvm::pfa {
+
+using heap::Heap;
+using nvm::Offset;
+
+enum class EntryType : uint64_t {
+  kUpdate = 1,    // a = original block, b = in-flight copy block
+  kAlloc = 2,     // a = master block of an object allocated in the FA block
+  kFree = 3,      // a = master block of an object freed in the FA block
+  kPoolFree = 4,  // a = pool slot offset freed in the FA block
+};
+
+struct LogEntry {
+  EntryType type;
+  Offset a = 0;
+  Offset b = 0;
+};
+
+// Hooks that let the log apply operations owned by higher layers. The pool
+// allocator lives above the heap, so freeing a pool slot is delegated.
+struct FaHooks {
+  // Frees a small immutable (pool-allocated) object at `slot`.
+  std::function<void(Offset slot)> pool_free;
+};
+
+// A view over one persistent log slot.
+class FaLog {
+ public:
+  FaLog() = default;
+  FaLog(Heap* heap, uint32_t slot_index);
+
+  bool initialized() const { return heap_ != nullptr; }
+  uint64_t count() const;
+  bool committed() const;
+  uint64_t capacity_entries() const { return capacity_; }
+
+  // Appends an entry and queues its line (no fence).
+  void Append(const LogEntry& entry);
+  LogEntry ReadEntry(uint64_t index) const;
+
+  // Commit protocol, steps as in §4.2. Marking queues + fences internally.
+  void PersistAndMarkCommitted();
+  // Applies all entries to NVMM (no fences). Idempotent: recovery replays.
+  void Apply(Heap* heap, const FaHooks& hooks) const;
+  // Erases the log: committed=0, count=0, then a fence so a later commit
+  // flag can never be misread against stale entries.
+  void Erase();
+
+  // Discards an uncommitted log without applying (abort path): frees the
+  // objects allocated in the block and the in-flight copies.
+  void DiscardUncommitted(Heap* heap);
+
+ private:
+  Offset base_ = 0;
+  uint64_t capacity_ = 0;
+  Heap* heap_ = nullptr;
+};
+
+struct ReplayStats {
+  uint32_t replayed_logs = 0;
+  uint32_t aborted_logs = 0;
+  uint64_t replayed_entries = 0;
+};
+
+// Recovery step 1 (§4.2): replay every committed per-thread log, erase the
+// uncommitted ones. Must run before the heap's collection pass.
+ReplayStats ReplayAllLogs(Heap* heap, const FaHooks& hooks);
+
+}  // namespace jnvm::pfa
+
+#endif  // JNVM_SRC_PFA_FA_LOG_H_

@@ -1,0 +1,166 @@
+#include "src/pmdkx/pmdk_pool.h"
+
+namespace jnvm::pmdkx {
+
+PmdkPool::PmdkPool(nvm::PmemDevice* dev, Offset base, uint64_t capacity)
+    : dev_(dev), base_(base), capacity_(capacity) {
+  JNVM_CHECK(base + capacity <= dev->size());
+  JNVM_CHECK(capacity > kDataOff);
+  bump_ = kDataOff;
+  dev_->Write<uint64_t>(Absolute(kBumpOff), bump_);
+  dev_->Write<uint64_t>(Absolute(kLogCountOff), 0);
+  dev_->PwbRange(Absolute(0), 16);
+  dev_->Pfence();
+}
+
+PmdkPool::PmdkPool(OpenTag, nvm::PmemDevice* dev, Offset base, uint64_t capacity)
+    : dev_(dev), base_(base), capacity_(capacity) {
+  bump_ = dev_->Read<uint64_t>(Absolute(kBumpOff));
+  JNVM_CHECK_MSG(bump_ >= kDataOff && bump_ <= capacity, "corrupt pmdkx pool");
+}
+
+uint32_t PmdkPool::RollBackLogLocked() {
+  const uint64_t used = dev_->Read<uint64_t>(Absolute(kLogCountOff));
+  if (used == 0) {
+    return 0;
+  }
+  // Apply the undo entries backwards, as TxAbort does.
+  std::vector<std::tuple<Offset, uint64_t, std::vector<char>>> entries;
+  uint64_t pos = 0;
+  while (pos + 16 <= used) {
+    const Offset e = kLogDataOff + pos;
+    const Offset off = dev_->Read<uint64_t>(Absolute(e));
+    const uint64_t n = dev_->Read<uint64_t>(Absolute(e + 8));
+    if (pos + 16 + n > used) {
+      break;  // torn tail entry: never covered by the log-count flush
+    }
+    std::vector<char> old(n);
+    dev_->ReadBytes(Absolute(e + 16), old.data(), n);
+    entries.emplace_back(off, n, std::move(old));
+    pos += 16 + n;
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const auto& [off, n, old] = *it;
+    dev_->WriteBytes(Absolute(off), old.data(), n);
+    dev_->PwbRange(Absolute(off), n);
+  }
+  dev_->Pfence();
+  dev_->Write<uint64_t>(Absolute(kLogCountOff), 0);
+  dev_->Pwb(Absolute(kLogCountOff));
+  dev_->Pfence();
+  return static_cast<uint32_t>(entries.size());
+}
+
+std::unique_ptr<PmdkPool> PmdkPool::Open(nvm::PmemDevice* dev, Offset base,
+                                         uint64_t capacity, uint32_t* rolled_back) {
+  auto pool = std::unique_ptr<PmdkPool>(new PmdkPool(OpenTag{}, dev, base, capacity));
+  const uint32_t n = pool->RollBackLogLocked();
+  if (rolled_back != nullptr) {
+    *rolled_back = n;
+  }
+  return pool;
+}
+
+Offset PmdkPool::Alloc(size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  n = (n + 15) / 16 * 16;  // 16-byte granules
+  auto it = free_lists_.find(n);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    const Offset off = it->second.back();
+    it->second.pop_back();
+    return off;
+  }
+  if (bump_ + n > capacity_) {
+    return 0;
+  }
+  const Offset off = bump_;
+  bump_ += n;
+  dev_->Write<uint64_t>(Absolute(kBumpOff), bump_);
+  dev_->Pwb(Absolute(kBumpOff));
+  return off;
+}
+
+void PmdkPool::Free(Offset off, size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  n = (n + 15) / 16 * 16;
+  free_lists_[n].push_back(off);
+}
+
+void PmdkPool::Read(Offset off, void* dst, size_t n) const {
+  dev_->ReadBytes(Absolute(off), dst, n);
+}
+
+void PmdkPool::Write(Offset off, const void* src, size_t n) {
+  dev_->WriteBytes(Absolute(off), src, n);
+}
+
+void PmdkPool::TxBegin() {
+  tx_mu_.lock();
+  JNVM_CHECK(!in_tx_);
+  in_tx_ = true;
+  log_used_ = 0;
+  tx_ranges_.clear();
+  ++tx_count_;
+}
+
+void PmdkPool::TxSnapshot(Offset off, size_t n) {
+  JNVM_CHECK(in_tx_);
+  // Undo entry: {u64 off, u64 len, old bytes}, persisted before the caller's
+  // in-place write (TX_ADD semantics: snapshot + flush + fence).
+  JNVM_CHECK_MSG(log_used_ + 16 + n <= kLogBytes, "pmdkx undo log overflow");
+  std::vector<char> old(n);
+  dev_->ReadBytes(Absolute(off), old.data(), n);
+  const Offset e = kLogDataOff + log_used_;
+  dev_->Write<uint64_t>(Absolute(e), off);
+  dev_->Write<uint64_t>(Absolute(e + 8), n);
+  dev_->WriteBytes(Absolute(e + 16), old.data(), n);
+  dev_->PwbRange(Absolute(e), 16 + n);
+  log_used_ += 16 + n;
+  dev_->Write<uint64_t>(Absolute(kLogCountOff), log_used_);
+  dev_->Pwb(Absolute(kLogCountOff));
+  dev_->Pfence();  // the per-snapshot fence that makes PMDK transactions costly
+  snapshot_bytes_ += n;
+  tx_ranges_.emplace_back(off, n);
+}
+
+void PmdkPool::TxCommit() {
+  JNVM_CHECK(in_tx_);
+  for (const auto& [off, n] : tx_ranges_) {
+    dev_->PwbRange(Absolute(off), n);
+  }
+  dev_->Pfence();
+  dev_->Write<uint64_t>(Absolute(kLogCountOff), 0);
+  dev_->Pwb(Absolute(kLogCountOff));
+  dev_->Pfence();
+  in_tx_ = false;
+  tx_mu_.unlock();
+}
+
+void PmdkPool::TxAbort() {
+  JNVM_CHECK(in_tx_);
+  // Apply the undo log backwards.
+  std::vector<std::tuple<Offset, uint64_t, std::vector<char>>> entries;
+  uint64_t pos = 0;
+  while (pos < log_used_) {
+    const Offset e = kLogDataOff + pos;
+    const Offset off = dev_->Read<uint64_t>(Absolute(e));
+    const uint64_t n = dev_->Read<uint64_t>(Absolute(e + 8));
+    std::vector<char> old(n);
+    dev_->ReadBytes(Absolute(e + 16), old.data(), n);
+    entries.emplace_back(off, n, std::move(old));
+    pos += 16 + n;
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const auto& [off, n, old] = *it;
+    dev_->WriteBytes(Absolute(off), old.data(), n);
+    dev_->PwbRange(Absolute(off), n);
+  }
+  dev_->Pfence();
+  dev_->Write<uint64_t>(Absolute(kLogCountOff), 0);
+  dev_->Pwb(Absolute(kLogCountOff));
+  dev_->Pfence();
+  in_tx_ = false;
+  tx_mu_.unlock();
+}
+
+}  // namespace jnvm::pmdkx

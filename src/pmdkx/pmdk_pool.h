@@ -1,0 +1,108 @@
+// pmdkx — a miniature PMDK-style pool with undo-log transactions.
+//
+// The paper's PCJ backend "uses the native PMDK 1.9.2 library through the
+// Java Native Interface" (§5.1). To reproduce that comparator we implement
+// the PMDK cost model PCJ exercises: an object pool on NVMM plus undo-log
+// transactions — every to-be-modified range is snapshotted to a persistent
+// log and fenced *before* the in-place write (one fence per snapshot, one at
+// commit), which is exactly why PMDK transactions are expensive.
+//
+// Fidelity notes (this is a comparator, not the system under test):
+//  * allocations inside an aborted transaction leak until pool reset,
+//  * the allocator is a bump pointer plus per-size free lists,
+//  * transactions are single-threaded per pool (the PCJ backend serializes,
+//    as PCJ itself effectively does through JNI synchronization).
+#ifndef JNVM_SRC_PMDKX_PMDK_POOL_H_
+#define JNVM_SRC_PMDKX_PMDK_POOL_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/nvm/pmem_device.h"
+
+namespace jnvm::pmdkx {
+
+using nvm::Offset;
+
+class PmdkPool {
+ public:
+  // Formats a pool over dev[base, base+capacity).
+  PmdkPool(nvm::PmemDevice* dev, Offset base, uint64_t capacity);
+
+  // Reopens an existing pool; a non-empty undo log (crash inside a
+  // transaction) is rolled back — PMDK's recovery-on-open semantics.
+  // Returns the number of undo entries applied.
+  static std::unique_ptr<PmdkPool> Open(nvm::PmemDevice* dev, Offset base,
+                                        uint64_t capacity, uint32_t* rolled_back = nullptr);
+
+  nvm::PmemDevice& dev() { return *dev_; }
+
+  // ---- Allocation --------------------------------------------------------
+  // Returns a pool-relative offset (0 = null / out of memory).
+  Offset Alloc(size_t n);
+  void Free(Offset off, size_t n);
+
+  // ---- Data access (pool-relative offsets) -------------------------------
+  void Read(Offset off, void* dst, size_t n) const;
+  void Write(Offset off, const void* src, size_t n);
+  template <typename T>
+  T ReadT(Offset off) const {
+    T v;
+    Read(off, &v, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteT(Offset off, T v) {
+    Write(off, &v, sizeof(T));
+  }
+
+  // ---- Undo-log transactions ----------------------------------------------
+  void TxBegin();
+  // Snapshot [off, off+n) into the undo log (persisted + fenced) before the
+  // caller modifies it — the PMDK TX_ADD discipline.
+  void TxSnapshot(Offset off, size_t n);
+  // Flush the modified ranges, fence, then truncate the log (fenced).
+  void TxCommit();
+  // Roll back using the log (crash-recovery / abort path).
+  void TxAbort();
+
+  uint64_t bump() const { return bump_; }
+
+  uint64_t tx_count() const { return tx_count_; }
+  uint64_t snapshot_bytes() const { return snapshot_bytes_; }
+
+ private:
+  struct OpenTag {};
+  PmdkPool(OpenTag, nvm::PmemDevice* dev, Offset base, uint64_t capacity);
+  uint32_t RollBackLogLocked();
+
+  Offset Absolute(Offset off) const { return base_ + off; }
+
+  nvm::PmemDevice* dev_;
+  Offset base_;
+  uint64_t capacity_;
+
+  // Persistent layout: [0,8) bump, [8, 8+kLogBytes) undo log, then data.
+  static constexpr uint64_t kLogBytes = 1 << 20;
+  static constexpr Offset kBumpOff = 0;
+  static constexpr Offset kLogCountOff = 8;
+  static constexpr Offset kLogDataOff = 16;
+  static constexpr Offset kDataOff = 16 + kLogBytes;
+
+  std::mutex mu_;
+  uint64_t bump_;  // volatile mirror
+  std::map<size_t, std::vector<Offset>> free_lists_;
+
+  // Active transaction (guarded by tx_mu_).
+  std::mutex tx_mu_;
+  bool in_tx_ = false;
+  uint64_t log_used_ = 0;
+  std::vector<std::pair<Offset, size_t>> tx_ranges_;
+  uint64_t tx_count_ = 0;
+  uint64_t snapshot_bytes_ = 0;
+};
+
+}  // namespace jnvm::pmdkx
+
+#endif  // JNVM_SRC_PMDKX_PMDK_POOL_H_

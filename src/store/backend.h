@@ -1,0 +1,50 @@
+// Persistence backend interface for the key-value store (§5.1).
+//
+// One implementation per backend the paper evaluates: J-PDT, J-PFA, FS
+// (ext4-DAX on NVMM), PCJ (PMDK over a simulated JNI), plus the dummy
+// baselines TmpFS, NullFS and Volatile.
+//
+// All persistent backends are write-through: an operation is durable when it
+// returns (Infinispan "uses a write-through policy for durability" —
+// Figure 9a discussion).
+#ifndef JNVM_SRC_STORE_BACKEND_H_
+#define JNVM_SRC_STORE_BACKEND_H_
+
+#include <string>
+
+#include "src/store/record.h"
+
+namespace jnvm::store {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+
+  // Insert-or-replace.
+  virtual void Put(const std::string& key, const Record& r) = 0;
+  // Returns false when absent.
+  virtual bool Get(const std::string& key, Record* out) = 0;
+  // Field-granular update (YCSB updates touch a single field). Returns
+  // false when the key is absent. Backends without sub-record granularity
+  // (file systems, PCJ) pay their natural read-modify-write cost here.
+  virtual bool UpdateField(const std::string& key, size_t field,
+                           const std::string& value) = 0;
+  virtual bool Delete(const std::string& key) = 0;
+  virtual size_t Size() = 0;
+
+  // YCSB read against a "persistent values" client (§5.2: the modified
+  // Infinispan client hands the application persistent keys and values):
+  // J-NVM backends return a proxy and touch one field — no conversion of
+  // the whole record. Marshalling backends have no such shortcut and
+  // materialize the record (the default).
+  virtual bool Touch(const std::string& key) {
+    Record tmp;
+    return Get(key, &tmp);
+  }
+};
+
+}  // namespace jnvm::store
+
+#endif  // JNVM_SRC_STORE_BACKEND_H_

@@ -1,0 +1,174 @@
+#include "src/store/fs_backend.h"
+
+#include <cstring>
+
+#include "src/common/clock.h"
+
+namespace jnvm::store {
+
+// On-file extent: u32 magic, u32 capacity, u32 total_len, u32 key_len, key,
+// marshalled record. Capacity is persisted so an index rebuild can stride
+// over reused (over-sized) extents correctly.
+static constexpr size_t kHeaderBytes = 16;
+
+uint64_t FsBackend::AllocExtent(uint32_t need, uint32_t* capacity) {
+  auto it = free_extents_.lower_bound(need);
+  if (it != free_extents_.end()) {
+    *capacity = it->first;
+    const uint64_t off = it->second;
+    free_extents_.erase(it);
+    return off;
+  }
+  // Round up so small growth can reuse extents in place.
+  *capacity = (need + 63) / 64 * 64;
+  const uint64_t off = file_bump_;
+  JNVM_CHECK_MSG(off + *capacity <= fs_->capacity(), "store file full");
+  file_bump_ += *capacity;
+  return off;
+}
+
+void FsBackend::WriteExtent(const Extent& e, const std::string& key,
+                            const std::string& image) {
+  // Header + key + image in one buffer, one pwrite, one fsync.
+  std::string buf;
+  buf.reserve(kHeaderBytes + key.size() + image.size());
+  const uint32_t total = static_cast<uint32_t>(kHeaderBytes + key.size() + image.size());
+  const uint32_t klen = static_cast<uint32_t>(key.size());
+  buf.append(reinterpret_cast<const char*>(&kMagic), 4);
+  buf.append(reinterpret_cast<const char*>(&e.capacity), 4);
+  buf.append(reinterpret_cast<const char*>(&total), 4);
+  buf.append(reinterpret_cast<const char*>(&klen), 4);
+  buf.append(key);
+  buf.append(image);
+  fs_->Pwrite(e.off, buf.data(), buf.size());
+  fs_->Fsync();
+}
+
+void FsBackend::Put(const std::string& key, const Record& r) {
+  std::string image;
+  MarshalRecord(r, &image);  // the conversion cost (Figure 8)
+  SpinFor(ser_.MarshalNs(r.fields.size(), image.size()));
+  const uint32_t need = static_cast<uint32_t>(kHeaderBytes + key.size() + image.size());
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end() && it->second.capacity >= need) {
+    it->second.len = need;
+    WriteExtent(it->second, key, image);
+    return;
+  }
+  Extent e;
+  e.len = need;
+  e.off = AllocExtent(need, &e.capacity);
+  WriteExtent(e, key, image);
+  if (it != index_.end()) {
+    // Tombstone the superseded extent so a rebuild skips it.
+    const uint32_t zero = 0;
+    fs_->Pwrite(it->second.off, &zero, 4);
+    fs_->Fsync();
+    free_extents_.emplace(it->second.capacity, it->second.off);
+    it->second = e;
+  } else {
+    index_.emplace(key, e);
+  }
+}
+
+bool FsBackend::Get(const std::string& key, Record* out) {
+  Extent e;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    e = it->second;
+  }
+  std::string buf(e.len, '\0');
+  fs_->Pread(e.off, buf.data(), e.len);
+  const size_t header = kHeaderBytes + key.size();
+  if (!UnmarshalRecord(std::string_view(buf).substr(header), out)) {
+    return false;
+  }
+  SpinFor(ser_.UnmarshalNs(out->fields.size(), e.len - header));
+  return true;
+}
+
+bool FsBackend::UpdateField(const std::string& key, size_t field,
+                            const std::string& value) {
+  // Read-modify-write: unmarshal, patch, remarshal, rewrite — the full
+  // conversion cost on every update.
+  Record r;
+  if (!Get(key, &r) || field >= r.fields.size()) {
+    return false;
+  }
+  r.fields[field] = value;
+  Put(key, r);
+  return true;
+}
+
+bool FsBackend::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  const uint32_t zero = 0;
+  fs_->Pwrite(it->second.off, &zero, 4);
+  fs_->Fsync();
+  free_extents_.emplace(it->second.capacity, it->second.off);
+  index_.erase(it);
+  return true;
+}
+
+size_t FsBackend::Size() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.size();
+}
+
+size_t FsBackend::RebuildIndex() {
+  std::lock_guard<std::mutex> lk(mu_);
+  index_.clear();
+  free_extents_.clear();
+  uint64_t off = 0;
+  while (off + kHeaderBytes <= fs_->capacity()) {
+    uint32_t magic;
+    uint32_t capacity;
+    fs_->Pread(off, &magic, 4);
+    fs_->Pread(off + 4, &capacity, 4);
+    if (magic == 0 && capacity != 0) {
+      // Tombstoned extent: skip and reuse.
+      free_extents_.emplace(capacity, off);
+      off += capacity;
+      continue;
+    }
+    if (magic != kMagic || capacity == 0) {
+      break;  // end of data
+    }
+    uint32_t total;
+    uint32_t klen;
+    fs_->Pread(off + 8, &total, 4);
+    fs_->Pread(off + 12, &klen, 4);
+    std::string key(klen, '\0');
+    fs_->Pread(off + kHeaderBytes, key.data(), klen);
+    Extent e;
+    e.off = off;
+    e.len = total;
+    e.capacity = capacity;
+    index_[key] = e;
+    off += capacity;
+  }
+  file_bump_ = off;
+  return index_.size();
+}
+
+std::vector<std::string> FsBackend::Keys() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(index_.size());
+  for (const auto& [k, e] : index_) {
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace jnvm::store

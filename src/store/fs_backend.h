@@ -1,0 +1,71 @@
+// File-system backend (§5.1 "FS"): records marshalled into a single flat
+// file (Infinispan's single-file store) on ext4-DAX / TmpFS / NullFS.
+//
+// Every Put marshals the record, writes it with one pwrite, and fsyncs
+// (write-through durability). Every cache-missing Get preads and
+// unmarshals. A field update is a full read-modify-write of the record —
+// the file system has no sub-record granularity, which is why FS update
+// latency explodes with record size in Figures 9c/9d.
+//
+// On-file extent format: u32 magic, u32 total_len, u32 key_len, key bytes,
+// marshalled record. The index (key -> extent) is volatile and rebuilt by
+// scanning the file on restart (Figure 11's slow FS recovery).
+#ifndef JNVM_SRC_STORE_FS_BACKEND_H_
+#define JNVM_SRC_STORE_FS_BACKEND_H_
+
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/fs/sim_fs.h"
+#include "src/store/backend.h"
+
+namespace jnvm::store {
+
+class FsBackend final : public Backend {
+ public:
+  // `label` distinguishes FS / TmpFS / NullFS in reports. `ser` charges the
+  // Java-serialization cost model on each (un)marshal (zero by default).
+  FsBackend(fs::SimFs* fs, std::string label, SerCostModel ser = {})
+      : fs_(fs), label_(std::move(label)), ser_(ser) {}
+
+  std::string name() const override { return label_; }
+
+  void Put(const std::string& key, const Record& r) override;
+  bool Get(const std::string& key, Record* out) override;
+  bool UpdateField(const std::string& key, size_t field,
+                   const std::string& value) override;
+  bool Delete(const std::string& key) override;
+  size_t Size() override;
+
+  // Rebuilds the volatile index by scanning the file (restart path).
+  // Returns the number of records found.
+  size_t RebuildIndex();
+
+  // All current keys (used by the store to reload its cache on restart).
+  std::vector<std::string> Keys();
+
+ private:
+  struct Extent {
+    uint64_t off = 0;
+    uint32_t len = 0;       // bytes used
+    uint32_t capacity = 0;  // bytes reserved
+  };
+
+  static constexpr uint32_t kMagic = 0x52454331;  // "REC1"
+
+  void WriteExtent(const Extent& e, const std::string& key, const std::string& image);
+  uint64_t AllocExtent(uint32_t need, uint32_t* capacity);
+
+  fs::SimFs* fs_;
+  std::string label_;
+  SerCostModel ser_;
+  std::mutex mu_;
+  std::unordered_map<std::string, Extent> index_;
+  std::multimap<uint32_t, uint64_t> free_extents_;  // capacity -> offset
+  uint64_t file_bump_ = 0;
+};
+
+}  // namespace jnvm::store
+
+#endif  // JNVM_SRC_STORE_FS_BACKEND_H_

@@ -1,0 +1,162 @@
+#include "src/store/pcj_backend.h"
+
+#include "src/common/clock.h"
+
+namespace jnvm::store {
+
+PcjBackend::PcjBackend(pmdkx::PmdkPool* pool, const PcjOptions& opts)
+    : pool_(pool), opts_(opts) {
+  table_ = pool_->Alloc(opts.nbuckets * 8);
+  JNVM_CHECK_MSG(table_ != 0, "pmdkx pool too small for the bucket table");
+  for (uint64_t i = 0; i < opts.nbuckets; ++i) {
+    pool_->WriteT<uint64_t>(table_ + i * 8, 0);
+  }
+  pool_->dev().PwbRange(0, 8);  // coarse: table init is a startup path
+  pool_->dev().Psync();
+}
+
+void PcjBackend::ChargeJni(uint32_t crossings) {
+  crossings_ += crossings;
+  SpinFor(static_cast<uint64_t>(crossings) * opts_.jni_crossing_ns);
+}
+
+nvm::Offset PcjBackend::BucketOff(uint64_t bucket) const {
+  return table_ + bucket * 8;
+}
+
+nvm::Offset PcjBackend::Find(const std::string& key, uint64_t* bucket,
+                             nvm::Offset* prev) {
+  *bucket = std::hash<std::string>()(key) % opts_.nbuckets;
+  if (prev != nullptr) {
+    *prev = 0;
+  }
+  nvm::Offset cur = pool_->ReadT<uint64_t>(BucketOff(*bucket));
+  while (cur != 0) {
+    if (ReadKey(cur) == key) {
+      return cur;
+    }
+    if (prev != nullptr) {
+      *prev = cur;
+    }
+    cur = pool_->ReadT<uint64_t>(cur + kNextOff);
+  }
+  return 0;
+}
+
+std::string PcjBackend::ReadKey(nvm::Offset entry) {
+  const uint32_t klen = pool_->ReadT<uint32_t>(entry + kKlenOff);
+  std::string key(klen, '\0');
+  pool_->Read(entry + kDataOff, key.data(), klen);
+  return key;
+}
+
+std::string PcjBackend::ReadValue(nvm::Offset entry) {
+  const uint32_t klen = pool_->ReadT<uint32_t>(entry + kKlenOff);
+  const uint32_t vlen = pool_->ReadT<uint32_t>(entry + kVlenOff);
+  std::string value(vlen, '\0');
+  pool_->Read(entry + kDataOff + klen, value.data(), vlen);
+  return value;
+}
+
+void PcjBackend::Put(const std::string& key, const Record& r) {
+  std::lock_guard<std::mutex> lk(jvm_mu_);
+  // One crossing for the call, one per field handed to the native side.
+  ChargeJni(1 + 2 * static_cast<uint32_t>(r.fields.size()));  // handle + cell per field
+  std::string image;
+  MarshalRecord(r, &image);
+
+  uint64_t bucket;
+  const nvm::Offset existing = Find(key, &bucket, nullptr);
+  pool_->TxBegin();
+  if (existing != 0 &&
+      pool_->ReadT<uint32_t>(existing + kVcapOff) >= image.size()) {
+    const uint32_t klen = pool_->ReadT<uint32_t>(existing + kKlenOff);
+    pool_->TxSnapshot(existing + kVlenOff, 4 + klen + image.size());
+    pool_->WriteT<uint32_t>(existing + kVlenOff, static_cast<uint32_t>(image.size()));
+    pool_->Write(existing + kDataOff + klen, image.data(), image.size());
+    pool_->TxCommit();
+    return;
+  }
+  // Allocate a fresh entry and link it at the bucket head.
+  const size_t bytes = kDataOff + key.size() + image.size();
+  const nvm::Offset entry = pool_->Alloc(bytes);
+  JNVM_CHECK_MSG(entry != 0, "pmdkx pool full");
+  pool_->WriteT<uint64_t>(entry + kNextOff, pool_->ReadT<uint64_t>(BucketOff(bucket)));
+  pool_->WriteT<uint32_t>(entry + kKlenOff, static_cast<uint32_t>(key.size()));
+  pool_->WriteT<uint32_t>(entry + kVcapOff, static_cast<uint32_t>(image.size()));
+  pool_->WriteT<uint32_t>(entry + kVlenOff, static_cast<uint32_t>(image.size()));
+  pool_->Write(entry + kDataOff, key.data(), key.size());
+  pool_->Write(entry + kDataOff + key.size(), image.data(), image.size());
+  pool_->TxSnapshot(BucketOff(bucket), 8);
+  pool_->WriteT<uint64_t>(BucketOff(bucket), entry);
+  if (existing != 0) {
+    // Unlink the superseded entry lazily: overwrite its key length so scans
+    // skip it (simplified PCJ remove path).
+    pool_->TxSnapshot(existing + kKlenOff, 4);
+    pool_->WriteT<uint32_t>(existing + kKlenOff, 0);
+    --size_;
+  }
+  pool_->TxCommit();
+  ++size_;
+}
+
+bool PcjBackend::Get(const std::string& key, Record* out) {
+  std::lock_guard<std::mutex> lk(jvm_mu_);
+  ChargeJni(1 + 2 * opts_.fields_per_record);  // handle + cell per field
+  uint64_t bucket;
+  const nvm::Offset entry = Find(key, &bucket, nullptr);
+  if (entry == 0) {
+    return false;
+  }
+  return UnmarshalRecord(ReadValue(entry), out);
+}
+
+bool PcjBackend::UpdateField(const std::string& key, size_t field,
+                             const std::string& value) {
+  std::lock_guard<std::mutex> lk(jvm_mu_);
+  ChargeJni(3);  // call + handle + the one field cell
+  uint64_t bucket;
+  const nvm::Offset entry = Find(key, &bucket, nullptr);
+  if (entry == 0) {
+    return false;
+  }
+  // In-place patch of the marshalled image (fixed-length fields).
+  const uint32_t klen = pool_->ReadT<uint32_t>(entry + kKlenOff);
+  const size_t field_off = MarshalledFieldOffset(field, value.size());
+  const nvm::Offset target = entry + kDataOff + klen + field_off;
+  pool_->TxBegin();
+  pool_->TxSnapshot(target, value.size());
+  pool_->Write(target, value.data(), value.size());
+  pool_->TxCommit();
+  return true;
+}
+
+bool PcjBackend::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lk(jvm_mu_);
+  ChargeJni(1);
+  uint64_t bucket;
+  nvm::Offset prev;
+  const nvm::Offset entry = Find(key, &bucket, &prev);
+  if (entry == 0) {
+    return false;
+  }
+  pool_->TxBegin();
+  const nvm::Offset next = pool_->ReadT<uint64_t>(entry + kNextOff);
+  if (prev == 0) {
+    pool_->TxSnapshot(BucketOff(bucket), 8);
+    pool_->WriteT<uint64_t>(BucketOff(bucket), next);
+  } else {
+    pool_->TxSnapshot(prev + kNextOff, 8);
+    pool_->WriteT<uint64_t>(prev + kNextOff, next);
+  }
+  pool_->TxCommit();
+  --size_;
+  return true;
+}
+
+size_t PcjBackend::Size() {
+  std::lock_guard<std::mutex> lk(jvm_mu_);
+  return size_;
+}
+
+}  // namespace jnvm::store

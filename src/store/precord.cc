@@ -1,0 +1,90 @@
+#include "src/store/precord.h"
+
+#include <algorithm>
+
+namespace jnvm::store {
+
+const core::ClassInfo* PRecord::Class() {
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<PRecord>("jnvm.store.PRecord"));
+  return info;
+}
+
+PRecord::PRecord(core::JnvmRuntime& rt, const Record& r, uint32_t field_capacity) {
+  const uint32_t n = static_cast<uint32_t>(r.fields.size());
+  // Leaf class: every field cell is written below; skip the voiding.
+  AllocatePersistent(rt, Class(), PayloadBytesFor(n, field_capacity), /*zero=*/false);
+  WriteField<uint32_t>(kNumFieldsOff, n);
+  WriteField<uint32_t>(kFieldCapOff, field_capacity);
+  for (uint32_t i = 0; i < n; ++i) {
+    JNVM_CHECK(r.fields[i].size() <= field_capacity);
+    const uint32_t len = static_cast<uint32_t>(r.fields[i].size());
+    const size_t off = FieldOff(i);
+    WriteBytesField(off, &len, 4);
+    if (len > 0) {
+      WriteBytesField(off + 4, r.fields[i].data(), len);
+    }
+  }
+  Pwb();  // queue everything; publication fences are the container's job
+}
+
+static uint32_t MaxFieldLen(const Record& r) {
+  size_t cap = 1;
+  for (const std::string& f : r.fields) {
+    cap = std::max(cap, f.size());
+  }
+  return static_cast<uint32_t>(cap);
+}
+
+PRecord::PRecord(core::JnvmRuntime& rt, const Record& r)
+    : PRecord(rt, r, MaxFieldLen(r)) {}
+
+std::string PRecord::GetField(size_t i) const {
+  JNVM_DCHECK(i < NumFields());
+  const size_t off = FieldOff(i);
+  uint32_t len;
+  ReadBytesField(off, &len, 4);
+  std::string out(len, '\0');
+  if (len > 0) {
+    ReadBytesField(off + 4, out.data(), len);
+  }
+  return out;
+}
+
+void PRecord::SetFieldWeak(size_t i, std::string_view value) {
+  JNVM_DCHECK(i < NumFields());
+  JNVM_CHECK(value.size() <= FieldCapacity());
+  const size_t off = FieldOff(i);
+  const uint32_t len = static_cast<uint32_t>(value.size());
+  WriteBytesField(off, &len, 4);
+  if (len > 0) {
+    WriteBytesField(off + 4, value.data(), len);
+  }
+  PwbField(off, 4 + value.size());
+}
+
+void PRecord::SetField(size_t i, std::string_view value) {
+  SetFieldWeak(i, value);
+  Pfence();  // durable on return (write-through store semantics)
+}
+
+Record PRecord::ToRecord() const {
+  // Bulk-read the whole payload once, then parse in DRAM: a full-record
+  // read touches each NVMM block once instead of once per field.
+  Record r;
+  const uint32_t n = NumFields();
+  const uint32_t cap = FieldCapacity();
+  r.fields.reserve(n);
+  const size_t stride = 4ull + cap;
+  std::vector<char> buf(n * stride);
+  ReadBytesField(kFieldsOff, buf.data(), buf.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t len;
+    memcpy(&len, buf.data() + i * stride, 4);
+    JNVM_CHECK(len <= cap);
+    r.fields.emplace_back(buf.data() + i * stride + 4, len);
+  }
+  return r;
+}
+
+}  // namespace jnvm::store

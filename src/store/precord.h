@@ -1,0 +1,59 @@
+// PRecord — the persistent record value used by the J-NVM backends.
+//
+// The record's fields live off-heap; field reads and writes go straight to
+// NVMM through the proxy, with no marshalling (the core advantage over the
+// FS backends, §5.2). A field update touches only that field's bytes —
+// which is why J-PDT update latency barely moves with the number of fields
+// in Figure 9c while FS explodes.
+//
+// Layout: u32 nfields, u32 field_capacity, then per field
+// { u32 len, bytes[field_capacity] } at stride 4 + field_capacity.
+#ifndef JNVM_SRC_STORE_PRECORD_H_
+#define JNVM_SRC_STORE_PRECORD_H_
+
+#include "src/core/pobject.h"
+#include "src/core/runtime.h"
+#include "src/store/record.h"
+
+namespace jnvm::store {
+
+class PRecord final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class();
+
+  explicit PRecord(core::Resurrect) {}
+  // field_capacity must be >= every field length of r.
+  PRecord(core::JnvmRuntime& rt, const Record& r, uint32_t field_capacity);
+  // Convenience: capacity = max field length.
+  PRecord(core::JnvmRuntime& rt, const Record& r);
+
+  uint32_t NumFields() const { return ReadField<uint32_t>(kNumFieldsOff); }
+  uint32_t FieldCapacity() const { return ReadField<uint32_t>(kFieldCapOff); }
+
+  std::string GetField(size_t i) const;
+  // In-place write of one field (+ write-back queue + fence: durable on
+  // return). Atomicity is at field granularity; callers needing multi-field
+  // atomicity wrap the calls in a failure-atomic block.
+  void SetField(size_t i, std::string_view value);
+  // Field write without the trailing fence (failure-atomic callers).
+  void SetFieldWeak(size_t i, std::string_view value);
+
+  Record ToRecord() const;
+
+  static size_t PayloadBytesFor(uint32_t nfields, uint32_t field_capacity) {
+    return kFieldsOff + static_cast<size_t>(nfields) * (4 + field_capacity);
+  }
+
+ private:
+  static constexpr size_t kNumFieldsOff = 0;
+  static constexpr size_t kFieldCapOff = 4;
+  static constexpr size_t kFieldsOff = 8;
+
+  size_t FieldOff(size_t i) const {
+    return kFieldsOff + i * (4ull + FieldCapacity());
+  }
+};
+
+}  // namespace jnvm::store
+
+#endif  // JNVM_SRC_STORE_PRECORD_H_

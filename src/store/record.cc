@@ -1,0 +1,77 @@
+#include "src/store/record.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/rand.h"
+
+namespace jnvm::store {
+
+void MarshalRecord(const Record& r, std::string* out) {
+  out->clear();
+  out->reserve(MarshalledSize(r));
+  const uint32_t n = static_cast<uint32_t>(r.fields.size());
+  out->append(reinterpret_cast<const char*>(&n), 4);
+  for (const std::string& f : r.fields) {
+    const uint32_t len = static_cast<uint32_t>(f.size());
+    out->append(reinterpret_cast<const char*>(&len), 4);
+    out->append(f);
+  }
+}
+
+bool UnmarshalRecord(std::string_view image, Record* out) {
+  out->fields.clear();
+  if (image.size() < 4) {
+    return false;
+  }
+  uint32_t n;
+  std::memcpy(&n, image.data(), 4);
+  size_t pos = 4;
+  if (n > 1u << 24) {
+    return false;  // implausible field count: corrupt image
+  }
+  out->fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (pos + 4 > image.size()) {
+      return false;
+    }
+    uint32_t len;
+    std::memcpy(&len, image.data() + pos, 4);
+    pos += 4;
+    if (pos + len > image.size()) {
+      return false;
+    }
+    out->fields.emplace_back(image.substr(pos, len));
+    pos += len;
+  }
+  return true;
+}
+
+size_t MarshalledSize(const Record& r) {
+  size_t n = 4;
+  for (const std::string& f : r.fields) {
+    n += 4 + f.size();
+  }
+  return n;
+}
+
+size_t MarshalledFieldOffset(size_t i, size_t field_len) {
+  return 4 + i * (4 + field_len) + 4;
+}
+
+Record SyntheticRecord(uint64_t key_index, uint64_t generation, uint32_t nfields,
+                       uint32_t field_len) {
+  Record r;
+  r.fields.reserve(nfields);
+  Xorshift rng(Mix64(key_index * 1000003 + generation));
+  for (uint32_t f = 0; f < nfields; ++f) {
+    std::string field(field_len, '\0');
+    for (uint32_t i = 0; i < field_len; ++i) {
+      field[i] = static_cast<char>('a' + rng.NextBelow(26));
+    }
+    r.fields.push_back(std::move(field));
+  }
+  return r;
+}
+
+}  // namespace jnvm::store

@@ -1,0 +1,87 @@
+#include "src/store/volatile_backend.h"
+
+namespace jnvm::store {
+
+namespace {
+void DeleteRecord(void* p) { delete static_cast<Record*>(p); }
+}  // namespace
+
+gcsim::ObjRef VolatileBackend::MakeRecordNode(const Record& r) {
+  // One node per record plus one ballast child per field: the GC traces a
+  // graph shaped like the Java object graph. AllocGraph links the children
+  // atomically so a collection never sweeps the half-built record.
+  auto* copy = new Record(r);
+  std::vector<uint64_t> child_bytes;
+  child_bytes.reserve(r.fields.size());
+  for (const std::string& f : r.fields) {
+    child_bytes.push_back(f.size() + 48);
+  }
+  return heap_->AllocGraph(64, child_bytes, copy, &DeleteRecord);
+}
+
+void VolatileBackend::Put(const std::string& key, const Record& r) {
+  const gcsim::ObjRef node = MakeRecordNode(r);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    heap_->RemoveRoot(it->second);  // old record becomes garbage
+    it->second = node;
+  } else {
+    index_.emplace(key, node);
+  }
+  heap_->AddRoot(node);
+}
+
+bool VolatileBackend::Get(const std::string& key, Record* out) {
+  gcsim::ObjRef node;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    node = it->second;
+  }
+  *out = *static_cast<Record*>(heap_->External(node));
+  return true;
+}
+
+bool VolatileBackend::UpdateField(const std::string& key, size_t field,
+                                  const std::string& value) {
+  gcsim::ObjRef node;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    node = it->second;
+  }
+  auto* rec = static_cast<Record*>(heap_->External(node));
+  if (field >= rec->fields.size()) {
+    return false;
+  }
+  rec->fields[field] = value;
+  // The updated field is a fresh object; the old one floats until the GC
+  // runs — the allocation churn of a managed runtime.
+  heap_->AllocInto(node, static_cast<uint32_t>(field), value.size() + 48);
+  return true;
+}
+
+bool VolatileBackend::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  heap_->RemoveRoot(it->second);
+  index_.erase(it);
+  return true;
+}
+
+size_t VolatileBackend::Size() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.size();
+}
+
+}  // namespace jnvm::store

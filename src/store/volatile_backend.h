@@ -1,0 +1,44 @@
+// Volatile backend: "a configuration in which persistence is simply
+// disabled. Volatile behaves as NullFS, except that the marshalling/
+// unmarshalling phase is avoided" (§5.1).
+//
+// Records live as objects in the managed (garbage-collected) heap — like
+// plain Java objects in Infinispan with no store attached. Each record is
+// one managed node with one ballast child per field, so the GC traces a
+// graph shaped like the Java original, and updates create floating garbage
+// (the GC pressure that lets J-PDT edge past Volatile in Figure 10).
+#ifndef JNVM_SRC_STORE_VOLATILE_BACKEND_H_
+#define JNVM_SRC_STORE_VOLATILE_BACKEND_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "src/gcsim/managed_heap.h"
+#include "src/store/backend.h"
+
+namespace jnvm::store {
+
+class VolatileBackend final : public Backend {
+ public:
+  explicit VolatileBackend(gcsim::ManagedHeap* heap) : heap_(heap) {}
+
+  std::string name() const override { return "Volatile"; }
+
+  void Put(const std::string& key, const Record& r) override;
+  bool Get(const std::string& key, Record* out) override;
+  bool UpdateField(const std::string& key, size_t field,
+                   const std::string& value) override;
+  bool Delete(const std::string& key) override;
+  size_t Size() override;
+
+ private:
+  gcsim::ObjRef MakeRecordNode(const Record& r);
+
+  gcsim::ManagedHeap* heap_;
+  std::mutex mu_;
+  std::unordered_map<std::string, gcsim::ObjRef> index_;
+};
+
+}  // namespace jnvm::store
+
+#endif  // JNVM_SRC_STORE_VOLATILE_BACKEND_H_

@@ -1,0 +1,275 @@
+#include "src/tpcb/bank.h"
+
+namespace jnvm::tpcb {
+
+const core::ClassInfo* PAccount::Class() {
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<PAccount>("jnvm.tpcb.PAccount"));
+  return info;
+}
+
+// ---- JpfaBank ---------------------------------------------------------------
+
+JpfaBank::JpfaBank(core::JnvmRuntime* rt) : rt_(rt) {
+  accounts_ = rt->root().GetAs<pdt::PLongHashMap>("bank.accounts");
+  if (accounts_ == nullptr) {
+    accounts_ = std::make_shared<pdt::PLongHashMap>(*rt, 1024);
+    accounts_->Pwb();
+    rt->root().Put("bank.accounts", accounts_.get());
+  }
+  accounts_->SetCaching(pdt::ProxyCaching::kCached);
+}
+
+void JpfaBank::CreateAccounts(uint64_t n, int64_t initial) {
+  for (uint64_t i = 0; i < n; ++i) {
+    // Allocation and insertion share one failure-atomic block: the bank can
+    // never leave an invalid account reachable — the precondition for the
+    // J-PFA-nogc recovery (§5.3.3).
+    rt_->FaStart();
+    PAccount acc(*rt_, initial);
+    accounts_->Put(static_cast<int64_t>(i), &acc, /*free_old_value=*/false);
+    rt_->FaEnd();
+  }
+}
+
+void JpfaBank::Transfer(int64_t from, int64_t to, int64_t amount) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto a = accounts_->GetAs<PAccount>(from);
+  const auto b = accounts_->GetAs<PAccount>(to);
+  JNVM_CHECK(a != nullptr && b != nullptr);
+  rt_->FaStart();
+  a->SetBalance(a->Balance() - amount);
+  b->SetBalance(b->Balance() + amount);
+  rt_->FaEnd();
+}
+
+int64_t JpfaBank::Balance(int64_t id) {
+  const auto a = accounts_->GetAs<PAccount>(id);
+  return a == nullptr ? 0 : a->Balance();
+}
+
+uint64_t JpfaBank::NumAccounts() { return accounts_->Size(); }
+
+// ---- FsBank ------------------------------------------------------------------
+
+std::string FsBank::KeyFor(int64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "acct%lld", static_cast<long long>(id));
+  return buf;
+}
+
+void FsBank::CreateAccounts(uint64_t n, int64_t initial) {
+  store::Record r;
+  r.fields.resize(2);
+  r.fields[0].assign(reinterpret_cast<const char*>(&initial), 8);
+  r.fields[1].assign(PAccount::kBytes - 8, 'x');  // filler to 140 B
+  for (uint64_t i = 0; i < n; ++i) {
+    kv_->Insert(KeyFor(static_cast<int64_t>(i)), r);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  count_ = n;
+}
+
+void FsBank::Transfer(int64_t from, int64_t to, int64_t amount) {
+  std::lock_guard<std::mutex> lk(mu_);
+  store::Record a;
+  store::Record b;
+  JNVM_CHECK(kv_->Read(KeyFor(from), &a));
+  JNVM_CHECK(kv_->Read(KeyFor(to), &b));
+  int64_t ab;
+  int64_t bb;
+  memcpy(&ab, a.fields[0].data(), 8);
+  memcpy(&bb, b.fields[0].data(), 8);
+  ab -= amount;
+  bb += amount;
+  std::string av(reinterpret_cast<const char*>(&ab), 8);
+  std::string bv(reinterpret_cast<const char*>(&bb), 8);
+  kv_->Update(KeyFor(from), 0, av);
+  kv_->Update(KeyFor(to), 0, bv);
+}
+
+int64_t FsBank::Balance(int64_t id) {
+  store::Record r;
+  if (!kv_->Read(KeyFor(id), &r)) {
+    return 0;
+  }
+  int64_t v;
+  memcpy(&v, r.fields[0].data(), 8);
+  return v;
+}
+
+uint64_t FsBank::NumAccounts() { return kv_->backend().Size(); }
+
+// ---- VolatileBank ---------------------------------------------------------------
+
+void VolatileBank::CreateAccounts(uint64_t n, int64_t initial) {
+  std::lock_guard<std::mutex> lk(mu_);
+  balances_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    balances_[static_cast<int64_t>(i)] = initial;
+  }
+}
+
+void VolatileBank::Transfer(int64_t from, int64_t to, int64_t amount) {
+  std::lock_guard<std::mutex> lk(mu_);
+  balances_[from] -= amount;  // operator[] recreates lost accounts at 0
+  balances_[to] += amount;
+}
+
+int64_t VolatileBank::Balance(int64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = balances_.find(id);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+uint64_t VolatileBank::NumAccounts() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return balances_.size();
+}
+
+// ---- TpcbFullBank ----------------------------------------------------------
+
+// History record: {i64 account, i64 teller, i64 branch, i64 delta}.
+class PHistoryRow final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class() {
+    static const core::ClassInfo* info =
+        RegisterClass(core::MakeClassInfo<PHistoryRow>("jnvm.tpcb.PHistoryRow"));
+    return info;
+  }
+  explicit PHistoryRow(core::Resurrect) {}
+  PHistoryRow(core::JnvmRuntime& rt, int64_t account, int64_t teller,
+              int64_t branch, int64_t delta) {
+    AllocatePersistent(rt, Class(), 32, /*zero=*/false);
+    WriteField<int64_t>(0, account);
+    WriteField<int64_t>(8, teller);
+    WriteField<int64_t>(16, branch);
+    WriteField<int64_t>(24, delta);
+    Pwb();
+  }
+  int64_t Delta() const { return ReadField<int64_t>(24); }
+};
+
+namespace {
+
+core::Handle<pdt::PLongHashMap> GetOrCreateTable(core::JnvmRuntime* rt,
+                                                 const std::string& name) {
+  auto t = rt->root().GetAs<pdt::PLongHashMap>(name);
+  if (t == nullptr) {
+    t = std::make_shared<pdt::PLongHashMap>(*rt, 256);
+    t->Pwb();
+    rt->root().Put(name, t.get());
+  }
+  t->SetCaching(pdt::ProxyCaching::kCached);
+  return t;
+}
+
+}  // namespace
+
+TpcbFullBank::TpcbFullBank(core::JnvmRuntime* rt) : rt_(rt) {
+  accounts_ = GetOrCreateTable(rt, "tpcb.accounts");
+  tellers_ = GetOrCreateTable(rt, "tpcb.tellers");
+  branches_ = GetOrCreateTable(rt, "tpcb.branches");
+  history_ = rt->root().GetAs<pdt::PExtArray>("tpcb.history");
+  if (history_ == nullptr) {
+    history_ = std::make_shared<pdt::PExtArray>(*rt, 64);
+    history_->Pwb();
+    rt->root().Put("tpcb.history", history_.get());
+  }
+}
+
+void TpcbFullBank::Create(int64_t branches) {
+  for (int64_t b = 0; b < branches; ++b) {
+    rt_->FaStart();
+    PAccount branch(*rt_, 0);
+    branches_->Put(b, &branch, false);
+    rt_->FaEnd();
+    for (int64_t t = 0; t < kTellersPerBranch; ++t) {
+      rt_->FaStart();
+      PAccount teller(*rt_, 0);
+      tellers_->Put(b * kTellersPerBranch + t, &teller, false);
+      rt_->FaEnd();
+    }
+    for (int64_t a = 0; a < kAccountsPerBranch; ++a) {
+      rt_->FaStart();
+      PAccount account(*rt_, 0);
+      accounts_->Put(b * kAccountsPerBranch + a, &account, false);
+      rt_->FaEnd();
+    }
+  }
+}
+
+void TpcbFullBank::Transaction(int64_t account_id, int64_t teller_id,
+                               int64_t delta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int64_t branch_id = account_id / kAccountsPerBranch;
+  const auto account = accounts_->GetAs<PAccount>(account_id);
+  const auto teller = tellers_->GetAs<PAccount>(teller_id);
+  const auto branch = branches_->GetAs<PAccount>(branch_id);
+  JNVM_CHECK(account != nullptr && teller != nullptr && branch != nullptr);
+  // The TPC-B profile, §5.3.3 style: all four updates in one atomic block.
+  rt_->FaStart();
+  account->SetBalance(account->Balance() + delta);
+  teller->SetBalance(teller->Balance() + delta);
+  branch->SetBalance(branch->Balance() + delta);
+  PHistoryRow row(*rt_, account_id, teller_id, branch_id, delta);
+  history_->Append(&row);
+  rt_->FaEnd();
+}
+
+core::Handle<PAccount> TpcbFullBank::Load(pdt::PLongHashMap& table, int64_t id) {
+  return table.GetAs<PAccount>(id);
+}
+
+int64_t TpcbFullBank::AccountBalance(int64_t id) {
+  const auto a = Load(*accounts_, id);
+  return a == nullptr ? 0 : a->Balance();
+}
+int64_t TpcbFullBank::TellerBalance(int64_t id) {
+  const auto a = Load(*tellers_, id);
+  return a == nullptr ? 0 : a->Balance();
+}
+int64_t TpcbFullBank::BranchBalance(int64_t id) {
+  const auto a = Load(*branches_, id);
+  return a == nullptr ? 0 : a->Balance();
+}
+uint64_t TpcbFullBank::HistorySize() { return history_->Size(); }
+int64_t TpcbFullBank::NumBranches() {
+  return static_cast<int64_t>(branches_->Size());
+}
+
+bool TpcbFullBank::CheckConsistent(std::string* why) {
+  std::lock_guard<std::mutex> lk(mu_);
+  int64_t accounts_sum = 0;
+  accounts_->ForEach([&](const int64_t&, core::Handle<core::PObject> v) {
+    accounts_sum += static_cast<PAccount&>(*v).Balance();
+  });
+  int64_t tellers_sum = 0;
+  tellers_->ForEach([&](const int64_t&, core::Handle<core::PObject> v) {
+    tellers_sum += static_cast<PAccount&>(*v).Balance();
+  });
+  int64_t branches_sum = 0;
+  branches_->ForEach([&](const int64_t&, core::Handle<core::PObject> v) {
+    branches_sum += static_cast<PAccount&>(*v).Balance();
+  });
+  int64_t history_sum = 0;
+  for (uint64_t i = 0; i < history_->Size(); ++i) {
+    history_sum +=
+        std::static_pointer_cast<PHistoryRow>(history_->Get(i))->Delta();
+  }
+  const bool ok = accounts_sum == tellers_sum && tellers_sum == branches_sum &&
+                  branches_sum == history_sum;
+  if (!ok && why != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "accounts=%lld tellers=%lld branches=%lld history=%lld",
+                  static_cast<long long>(accounts_sum),
+                  static_cast<long long>(tellers_sum),
+                  static_cast<long long>(branches_sum),
+                  static_cast<long long>(history_sum));
+    *why = buf;
+  }
+  return ok;
+}
+
+}  // namespace jnvm::tpcb

@@ -1,0 +1,144 @@
+// TPC-B-like bank (§5.3.3, Figure 11).
+//
+// "The bank server holds 10M accounts of 140 B each. It provides a single
+// operation to execute a transfer between two accounts in a failure-atomic
+// block." Three implementations mirror the figure's backends:
+//
+//   JpfaBank     — accounts are persistent objects (140 B), indexed by a
+//                  J-PDT integer-keyed map; transfers run in failure-atomic
+//                  blocks. Recovery = reopen the runtime (graph recovery for
+//                  J-PFA, block scan for J-PFA-nogc).
+//   FsBank       — accounts as records behind the FS backend + cache
+//                  (restart must rebuild the index and reload the cache).
+//   VolatileBank — DRAM only; restarts from a blank state and recreates
+//                  accounts on demand with a 0 balance, as in the paper.
+#ifndef JNVM_SRC_TPCB_BANK_H_
+#define JNVM_SRC_TPCB_BANK_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "src/pdt/pext_array.h"
+#include "src/pdt/pmap.h"
+#include "src/store/kvstore.h"
+
+namespace jnvm::tpcb {
+
+class Bank {
+ public:
+  virtual ~Bank() = default;
+  virtual std::string name() const = 0;
+  virtual void CreateAccounts(uint64_t n, int64_t initial) = 0;
+  virtual void Transfer(int64_t from, int64_t to, int64_t amount) = 0;
+  virtual int64_t Balance(int64_t id) = 0;
+  virtual uint64_t NumAccounts() = 0;
+};
+
+// A persistent account: 140 bytes — a balance plus the TPC-B filler.
+class PAccount final : public core::PObject {
+ public:
+  static constexpr size_t kBytes = 140;
+
+  static const core::ClassInfo* Class();
+
+  explicit PAccount(core::Resurrect) {}
+  PAccount(core::JnvmRuntime& rt, int64_t balance) {
+    AllocatePersistent(rt, Class(), kBytes);
+    WriteField<int64_t>(0, balance);
+    Pwb();
+  }
+
+  int64_t Balance() const { return ReadField<int64_t>(0); }
+  void SetBalance(int64_t v) { WriteField<int64_t>(0, v); }
+};
+
+class JpfaBank final : public Bank {
+ public:
+  explicit JpfaBank(core::JnvmRuntime* rt);
+
+  std::string name() const override { return "J-PFA"; }
+  void CreateAccounts(uint64_t n, int64_t initial) override;
+  void Transfer(int64_t from, int64_t to, int64_t amount) override;
+  int64_t Balance(int64_t id) override;
+  uint64_t NumAccounts() override;
+
+ private:
+  core::JnvmRuntime* rt_;
+  core::Handle<pdt::PLongHashMap> accounts_;
+  std::mutex mu_;
+};
+
+class FsBank final : public Bank {
+ public:
+  explicit FsBank(store::KvStore* kv) : kv_(kv) {}
+
+  std::string name() const override { return "FS"; }
+  void CreateAccounts(uint64_t n, int64_t initial) override;
+  void Transfer(int64_t from, int64_t to, int64_t amount) override;
+  int64_t Balance(int64_t id) override;
+  uint64_t NumAccounts() override;
+
+  static std::string KeyFor(int64_t id);
+
+ private:
+  store::KvStore* kv_;
+  std::mutex mu_;
+  uint64_t count_ = 0;
+};
+
+// Full TPC-B schema on J-NVM: branches, tellers, accounts, and an
+// append-only history, all updated in ONE failure-atomic block per
+// transaction (the TPC-B "transaction profile"). The paper's bank is the
+// accounts-only simplification; this is the complete workload for the
+// consistency tests (sum(accounts) == sum(tellers) == sum(branches) must
+// hold at every recovery point).
+class TpcbFullBank {
+ public:
+  static constexpr int64_t kTellersPerBranch = 10;
+  static constexpr int64_t kAccountsPerBranch = 1000;  // scaled from 100k
+
+  explicit TpcbFullBank(core::JnvmRuntime* rt);
+
+  void Create(int64_t branches);
+
+  // The TPC-B transaction: update account, teller, branch; append history.
+  void Transaction(int64_t account_id, int64_t teller_id, int64_t delta);
+
+  int64_t AccountBalance(int64_t id);
+  int64_t TellerBalance(int64_t id);
+  int64_t BranchBalance(int64_t id);
+  uint64_t HistorySize();
+  int64_t NumBranches();
+
+  // Consistency oracle: the three balance sums must be equal, and the
+  // history must explain them.
+  bool CheckConsistent(std::string* why = nullptr);
+
+ private:
+  core::Handle<PAccount> Load(pdt::PLongHashMap& table, int64_t id);
+
+  core::JnvmRuntime* rt_;
+  core::Handle<pdt::PLongHashMap> accounts_;
+  core::Handle<pdt::PLongHashMap> tellers_;
+  core::Handle<pdt::PLongHashMap> branches_;
+  core::Handle<pdt::PExtArray> history_;
+  std::mutex mu_;
+};
+
+class VolatileBank final : public Bank {
+ public:
+  std::string name() const override { return "Volatile"; }
+  void CreateAccounts(uint64_t n, int64_t initial) override;
+  // Accounts missing after a restart are recreated on demand with balance 0.
+  void Transfer(int64_t from, int64_t to, int64_t amount) override;
+  int64_t Balance(int64_t id) override;
+  uint64_t NumAccounts() override;
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<int64_t, int64_t> balances_;
+};
+
+}  // namespace jnvm::tpcb
+
+#endif  // JNVM_SRC_TPCB_BANK_H_

@@ -1,0 +1,45 @@
+// YCSB load and run phases against a KvStore (§5.2).
+//
+// The runner measures per-operation latency into log-bucket histograms (one
+// per op type) and aggregate throughput, single- or multi-threaded ("If not
+// otherwise specified, YCSB executes in sequential mode (single-threaded
+// client)"). Inserts (workload D) extend the key space; the latest
+// distribution follows the insertion frontier.
+#ifndef JNVM_SRC_YCSB_RUNNER_H_
+#define JNVM_SRC_YCSB_RUNNER_H_
+
+#include <atomic>
+
+#include "src/common/histogram.h"
+#include "src/store/kvstore.h"
+#include "src/ycsb/workload.h"
+
+namespace jnvm::ycsb {
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t ops = 0;
+  double throughput_ops_s = 0.0;
+  Histogram read;
+  Histogram update;
+  Histogram insert;
+  Histogram rmw;
+  Histogram all;
+
+  // CPU time breakdown when a gcsim heap is attached (Figures 1 and 2).
+  uint64_t gc_ns = 0;
+  uint64_t gc_collections = 0;
+};
+
+// Inserts `spec.record_count` records (the YCSB load phase).
+void LoadPhase(store::KvStore* kv, const WorkloadSpec& spec, uint64_t seed = 1);
+
+// Executes `total_ops` operations split across `threads` client threads.
+// When `gc_heap` is given, the result carries its GC-time delta.
+RunResult RunPhase(store::KvStore* kv, const WorkloadSpec& spec, uint64_t total_ops,
+                   uint32_t threads = 1, uint64_t seed = 42,
+                   gcsim::ManagedHeap* gc_heap = nullptr);
+
+}  // namespace jnvm::ycsb
+
+#endif  // JNVM_SRC_YCSB_RUNNER_H_

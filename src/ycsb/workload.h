@@ -1,0 +1,53 @@
+// YCSB workload definitions (§5.2; Cooper et al., SoCC'10, version 0.18).
+//
+// "Workload A is update-heavy (50% of update), B is read-heavy (95% of
+// read) and C is read-only. Workload D consists of repeated reads (95%)
+// followed by insertions of new values. Workload F is a mix of read and
+// read-modify-write operations." E (scans) is excluded exactly as in the
+// paper. Defaults: 3M records of 10 fields × 100 B, zipfian/latest request
+// distributions.
+#ifndef JNVM_SRC_YCSB_WORKLOAD_H_
+#define JNVM_SRC_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jnvm::ycsb {
+
+enum class Dist { kZipfian, kLatest, kUniform };
+
+struct WorkloadSpec {
+  std::string name;
+  double read = 0.0;
+  double update = 0.0;
+  double insert = 0.0;
+  double rmw = 0.0;
+  Dist dist = Dist::kZipfian;
+
+  uint64_t record_count = 3'000'000;
+  uint32_t fields = 10;
+  uint32_t field_len = 100;
+
+  static WorkloadSpec A() {
+    return {.name = "A", .read = 0.5, .update = 0.5, .dist = Dist::kZipfian};
+  }
+  static WorkloadSpec B() {
+    return {.name = "B", .read = 0.95, .update = 0.05, .dist = Dist::kZipfian};
+  }
+  static WorkloadSpec C() {
+    return {.name = "C", .read = 1.0, .dist = Dist::kZipfian};
+  }
+  static WorkloadSpec D() {
+    return {.name = "D", .read = 0.95, .insert = 0.05, .dist = Dist::kLatest};
+  }
+  static WorkloadSpec F() {
+    return {.name = "F", .read = 0.5, .rmw = 0.5, .dist = Dist::kZipfian};
+  }
+};
+
+// YCSB key format for record index i ("user" + hashed number).
+std::string KeyFor(uint64_t index);
+
+}  // namespace jnvm::ycsb
+
+#endif  // JNVM_SRC_YCSB_WORKLOAD_H_

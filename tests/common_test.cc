@@ -1,0 +1,172 @@
+// Unit tests for src/common: PRNG, distributions, histogram.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+
+namespace jnvm {
+namespace {
+
+TEST(Xorshift, DeterministicForSeed) {
+  Xorshift a(7);
+  Xorshift b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xorshift, DifferentSeedsDiffer) {
+  Xorshift a(1);
+  Xorshift b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xorshift, NextBelowInRange) {
+  Xorshift rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Xorshift, NextDoubleInUnitInterval) {
+  Xorshift rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipfian, StaysInRange) {
+  ZipfianGenerator gen(1000, 0.99, 1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(Zipfian, IsSkewedTowardsLowRanks) {
+  ZipfianGenerator gen(100000, 0.99, 1);
+  uint64_t top10 = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.Next() < 10) {
+      ++top10;
+    }
+  }
+  // With theta=0.99 over 100k items, the top-10 ranks draw a large share.
+  EXPECT_GT(top10, static_cast<uint64_t>(kDraws) / 10);
+}
+
+TEST(Zipfian, ScrambledStaysInRange) {
+  ZipfianGenerator gen(12345, 0.99, 9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.NextScrambled(), 12345u);
+  }
+}
+
+TEST(Latest, SkewsTowardsNewestKeys) {
+  LatestGenerator gen(10000, 3);
+  uint64_t newest_quartile = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t k = gen.Next();
+    ASSERT_LT(k, 10000u);
+    if (k >= 7500) {
+      ++newest_quartile;
+    }
+  }
+  EXPECT_GT(newest_quartile, static_cast<uint64_t>(kDraws) * 6 / 10);
+}
+
+TEST(Latest, GrowMovesTheWindow) {
+  LatestGenerator gen(100, 3);
+  gen.Grow(200);
+  bool saw_new = false;
+  for (int i = 0; i < 1000; ++i) {
+    if (gen.Next() >= 100) {
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_ns(), 1000u);
+  EXPECT_EQ(h.min_ns(), 1000u);
+  // Bucketing error bound ~1.6%.
+  EXPECT_NEAR(static_cast<double>(h.ValueAtQuantile(0.5)), 1000.0, 20.0);
+}
+
+TEST(Histogram, QuantilesOrdered) {
+  Histogram h;
+  Xorshift rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextBelow(1000000));
+  }
+  EXPECT_LE(h.ValueAtQuantile(0.5), h.ValueAtQuantile(0.9));
+  EXPECT_LE(h.ValueAtQuantile(0.9), h.ValueAtQuantile(0.99));
+  EXPECT_LE(h.ValueAtQuantile(0.99), h.max_ns());
+}
+
+TEST(Histogram, UniformMedianNearHalf) {
+  Histogram h;
+  Xorshift rng(6);
+  for (int i = 0; i < 200000; ++i) {
+    h.Record(rng.NextBelow(1000000));
+  }
+  const double p50 = static_cast<double>(h.ValueAtQuantile(0.5));
+  EXPECT_NEAR(p50, 500000.0, 25000.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max_ns(), 1000000u);
+  EXPECT_EQ(a.min_ns(), 10u);
+}
+
+TEST(Histogram, MeanMatches) {
+  Histogram h;
+  for (uint64_t v : {100u, 200u, 300u}) {
+    h.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+}
+
+TEST(Histogram, LargeValuesBounded) {
+  Histogram h;
+  h.Record(1ull << 62);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 1ull << 62);
+}
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+}  // namespace
+}  // namespace jnvm

@@ -1,0 +1,240 @@
+// Concurrency tests: per-thread failure-atomic logs, parallel map usage,
+// and parallel allocation against one heap (§3.2 per-thread counters,
+// §4.1.2 concurrent free queue).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/core/integrity.h"
+#include "src/pdt/pext_array.h"
+#include "src/pdt/pmap.h"
+#include "src/tpcb/bank.h"
+
+namespace jnvm {
+namespace {
+
+using core::JnvmRuntime;
+
+struct Fixture {
+  explicit Fixture(size_t bytes = 64 << 20) {
+    nvm::DeviceOptions o;
+    o.size_bytes = bytes;
+    dev = std::make_unique<nvm::PmemDevice>(o);
+    rt = JnvmRuntime::Format(dev.get());
+  }
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<JnvmRuntime> rt;
+};
+
+TEST(ConcurrencyTest, ParallelFaBlocksUseDistinctLogs) {
+  Fixture f;
+  constexpr int kThreads = 8;
+  constexpr int kTransfersPerThread = 200;
+  tpcb::JpfaBank bank(f.rt.get());
+  bank.CreateAccounts(64, 1000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift rng(t + 1);
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        bank.Transfer(static_cast<int64_t>(rng.NextBelow(64)),
+                      static_cast<int64_t>(rng.NextBelow(64)), 5);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  int64_t total = 0;
+  for (int64_t i = 0; i < 64; ++i) {
+    total += bank.Balance(i);
+  }
+  EXPECT_EQ(total, 64 * 1000);
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*f.rt).ok());
+}
+
+TEST(ConcurrencyTest, ParallelMapWritersDisjointKeys) {
+  Fixture f;
+  pdt::PStringHashMap m(*f.rt, 1024);
+  m.Pwb();
+  m.Validate();
+  f.rt->root().Put("m", &m);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pdt::PString v(*f.rt, "t" + std::to_string(t) + "v" + std::to_string(i));
+        m.Put("t" + std::to_string(t) + "k" + std::to_string(i), &v);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(m.Size(), static_cast<size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; i += 37) {
+      const auto v =
+          m.GetAs<pdt::PString>("t" + std::to_string(t) + "k" + std::to_string(i));
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(v->Str(), "t" + std::to_string(t) + "v" + std::to_string(i));
+    }
+  }
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*f.rt).ok());
+}
+
+TEST(ConcurrencyTest, ParallelMapMixedOpsStayConsistent) {
+  Fixture f;
+  pdt::PStringHashMap m(*f.rt, 256);
+  m.Pwb();
+  m.Validate();
+  f.rt->root().Put("m", &m);
+  constexpr int kThreads = 4;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift rng(t * 7 + 1);
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string(rng.NextBelow(64));
+        switch (rng.NextBelow(3)) {
+          case 0: {
+            pdt::PString v(*f.rt, "v" + std::to_string(i));
+            m.Put(key, &v);
+            break;
+          }
+          case 1:
+            m.Remove(key);
+            break;
+          default: {
+            const auto v = m.GetAs<pdt::PString>(key);
+            if (v != nullptr && v->Str().rfind("v", 0) != 0) {
+              failed = true;  // torn value observed
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*f.rt).ok());
+}
+
+TEST(ConcurrencyTest, ParallelAllocationSurvivesRestart) {
+  Fixture f;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          pdt::PString s(*f.rt, "thread" + std::to_string(t) + "-" + std::to_string(i) +
+                                    std::string(300, 'x'));
+          s.Validate();
+          f.rt->root().Put("s" + std::to_string(t) + "." + std::to_string(i), &s);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  f.rt.reset();
+  f.rt = JnvmRuntime::Open(f.dev.get());
+  EXPECT_EQ(f.rt->root().Size(), static_cast<size_t>(kThreads * kPerThread));
+  const auto s = f.rt->root().GetAs<pdt::PString>("s3.42");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Str().substr(0, 10), "thread3-42");
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*f.rt).ok());
+}
+
+// ---- Composite persistent structures -------------------------------------------
+
+TEST(CompositeTest, MapOfExtArraysOfStrings) {
+  Fixture f;
+  {
+    pdt::PStringHashMap m(*f.rt, 16);
+    m.Pwb();
+    m.Validate();
+    f.rt->root().Put("m", &m);
+    for (int outer = 0; outer < 10; ++outer) {
+      pdt::PExtArray arr(*f.rt, 2);
+      for (int inner = 0; inner < 20; ++inner) {
+        pdt::PString s(*f.rt,
+                       "item" + std::to_string(outer) + "." + std::to_string(inner));
+        arr.Append(&s);
+      }
+      arr.Pwb();
+      m.Put("list" + std::to_string(outer), &arr, /*free_old_value=*/false);
+    }
+  }
+  f.rt.reset();
+  f.rt = JnvmRuntime::Open(f.dev.get());
+  const auto m = f.rt->root().GetAs<pdt::PStringHashMap>("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->Size(), 10u);
+  for (int outer = 0; outer < 10; ++outer) {
+    const auto arr = m->GetAs<pdt::PExtArray>("list" + std::to_string(outer));
+    ASSERT_NE(arr, nullptr);
+    ASSERT_EQ(arr->Size(), 20u);
+    const auto s = std::static_pointer_cast<pdt::PString>(arr->Get(7));
+    EXPECT_EQ(s->Str(), "item" + std::to_string(outer) + ".7");
+  }
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*f.rt).ok());
+}
+
+TEST(CompositeTest, MapOfMapsCrashesSafely) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 64 << 20;
+  o.strict = true;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  for (const uint64_t crash_at : {200u, 800u, 2500u}) {
+    auto rt = JnvmRuntime::Format(dev.get());
+    {
+      pdt::PStringHashMap outer(*rt, 8);
+      outer.Pwb();
+      outer.Validate();
+      rt->root().Put("outer", &outer);
+      rt->Psync();
+      dev->ScheduleCrashAfter(crash_at);
+      try {
+        for (int i = 0; i < 8; ++i) {
+          rt->FaStart();
+          pdt::PStringTreeMap inner(*rt, 4);
+          for (int j = 0; j < 10; ++j) {
+            pdt::PString v(*rt, "v" + std::to_string(i * 100 + j));
+            inner.Put("k" + std::to_string(j), &v);
+          }
+          outer.Put("inner" + std::to_string(i), &inner, false);
+          rt->FaEnd();
+        }
+        dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+      rt->Abandon();
+    }
+    rt.reset();
+    dev->Crash(crash_at);
+    rt = JnvmRuntime::Open(dev.get());
+    EXPECT_TRUE(core::VerifyHeapIntegrity(*rt).ok()) << "crash_at " << crash_at;
+    const auto outer = rt->root().GetAs<pdt::PStringHashMap>("outer");
+    ASSERT_NE(outer, nullptr);
+    // Every inner map that survived must be complete (FA-wrapped build).
+    for (size_t i = 0; i < 8; ++i) {
+      const auto inner = outer->GetAs<pdt::PStringTreeMap>("inner" + std::to_string(i));
+      if (inner != nullptr) {
+        EXPECT_EQ(inner->Size(), 10u) << "half-built inner map, crash_at " << crash_at;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jnvm

@@ -1,0 +1,180 @@
+// Tests for the simulated file systems and the FS store backend.
+#include <gtest/gtest.h>
+
+#include "src/fs/sim_fs.h"
+#include "src/store/fs_backend.h"
+
+namespace jnvm {
+namespace {
+
+using fs::FsOptions;
+using fs::NullFs;
+using fs::NvmFs;
+using fs::TmpFs;
+using store::FsBackend;
+using store::Record;
+
+FsOptions FastOpts() {
+  FsOptions o;
+  o.syscall_latency_ns = 0;
+  return o;
+}
+
+TEST(TmpFsTest, ReadBackWrites) {
+  TmpFs f(1 << 16, FastOpts());
+  const char data[] = "hello";
+  f.Pwrite(100, data, sizeof(data));
+  char out[sizeof(data)];
+  f.Pread(100, out, sizeof(out));
+  EXPECT_STREQ(out, "hello");
+  EXPECT_EQ(f.stats().writes, 1u);
+  EXPECT_EQ(f.stats().reads, 1u);
+}
+
+TEST(NvmFsTest, BackedByDevice) {
+  nvm::DeviceOptions dopts;
+  dopts.size_bytes = 1 << 16;
+  nvm::PmemDevice dev(dopts);
+  NvmFs f(&dev, 4096, 8192, FastOpts());
+  const uint64_t v = 42;
+  f.Pwrite(0, &v, 8);
+  f.Fsync();
+  // Data landed inside the device region.
+  EXPECT_EQ(dev.Read<uint64_t>(4096), 42u);
+}
+
+TEST(NvmFsTest, SurvivesCrashAfterFsync) {
+  nvm::DeviceOptions dopts;
+  dopts.size_bytes = 1 << 16;
+  dopts.strict = true;
+  nvm::PmemDevice dev(dopts);
+  NvmFs f(&dev, 0, 1 << 16, FastOpts());
+  const uint64_t v = 7;
+  f.Pwrite(64, &v, 8);
+  f.Fsync();
+  dev.Crash(3);
+  uint64_t out;
+  f.Pread(64, &out, 8);
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(NullFsTest, ShadowKeepsDataObservable) {
+  NullFs f(1 << 16, FastOpts());
+  const char data[] = "x";
+  f.Pwrite(0, data, 1);
+  char out;
+  f.Pread(0, &out, 1);
+  EXPECT_EQ(out, 'x');
+}
+
+// ---- FS backend -------------------------------------------------------------
+
+Record MakeRecord(int tag, size_t nfields = 3, size_t len = 16) {
+  Record r;
+  for (size_t i = 0; i < nfields; ++i) {
+    r.fields.push_back(std::string(len, static_cast<char>('a' + (tag + i) % 26)));
+  }
+  return r;
+}
+
+TEST(FsBackendTest, PutGetDelete) {
+  TmpFs f(1 << 20, FastOpts());
+  FsBackend b(&f, "FS");
+  const Record r = MakeRecord(1);
+  b.Put("k1", r);
+  Record out;
+  ASSERT_TRUE(b.Get("k1", &out));
+  EXPECT_EQ(out, r);
+  EXPECT_EQ(b.Size(), 1u);
+  EXPECT_TRUE(b.Delete("k1"));
+  EXPECT_FALSE(b.Get("k1", &out));
+  EXPECT_FALSE(b.Delete("k1"));
+}
+
+TEST(FsBackendTest, UpdateFieldRewritesRecord) {
+  TmpFs f(1 << 20, FastOpts());
+  FsBackend b(&f, "FS");
+  b.Put("k", MakeRecord(1));
+  ASSERT_TRUE(b.UpdateField("k", 1, "NEWVALUE"));
+  Record out;
+  ASSERT_TRUE(b.Get("k", &out));
+  EXPECT_EQ(out.fields[1], "NEWVALUE");
+  EXPECT_FALSE(b.UpdateField("missing", 0, "x"));
+}
+
+TEST(FsBackendTest, InPlaceRewriteReusesExtent) {
+  TmpFs f(1 << 20, FastOpts());
+  FsBackend b(&f, "FS");
+  b.Put("k", MakeRecord(1));
+  const auto writes_before = f.stats().bytes_written;
+  b.Put("k", MakeRecord(2));  // same size: in-place
+  EXPECT_GT(f.stats().bytes_written, writes_before);
+  Record out;
+  ASSERT_TRUE(b.Get("k", &out));
+  EXPECT_EQ(out, MakeRecord(2));
+}
+
+TEST(FsBackendTest, GrowingRecordRelocates) {
+  TmpFs f(1 << 20, FastOpts());
+  FsBackend b(&f, "FS");
+  b.Put("k", MakeRecord(1, 2, 8));
+  b.Put("k", MakeRecord(2, 8, 64));  // bigger: relocated
+  Record out;
+  ASSERT_TRUE(b.Get("k", &out));
+  EXPECT_EQ(out, MakeRecord(2, 8, 64));
+  EXPECT_EQ(b.Size(), 1u);
+}
+
+TEST(FsBackendTest, RebuildIndexRecoversRecords) {
+  TmpFs f(1 << 20, FastOpts());
+  {
+    FsBackend b(&f, "FS");
+    for (int i = 0; i < 20; ++i) {
+      b.Put("key" + std::to_string(i), MakeRecord(i));
+    }
+    b.Delete("key7");
+    b.Put("key3", MakeRecord(100, 8, 64));  // relocated
+  }
+  FsBackend fresh(&f, "FS");
+  EXPECT_EQ(fresh.RebuildIndex(), 19u);
+  Record out;
+  EXPECT_FALSE(fresh.Get("key7", &out));
+  ASSERT_TRUE(fresh.Get("key3", &out));
+  EXPECT_EQ(out, MakeRecord(100, 8, 64));
+  ASSERT_TRUE(fresh.Get("key11", &out));
+  EXPECT_EQ(out, MakeRecord(11));
+}
+
+TEST(FsBackendTest, RebuildOnNvmAfterCrash) {
+  nvm::DeviceOptions dopts;
+  dopts.size_bytes = 1 << 20;
+  dopts.strict = true;
+  nvm::PmemDevice dev(dopts);
+  {
+    NvmFs f(&dev, 0, 1 << 20, FastOpts());
+    FsBackend b(&f, "FS");
+    for (int i = 0; i < 10; ++i) {
+      b.Put("key" + std::to_string(i), MakeRecord(i));
+    }
+  }
+  dev.Crash(5);  // everything was fsynced per Put
+  NvmFs f(&dev, 0, 1 << 20, FastOpts());
+  FsBackend b(&f, "FS");
+  EXPECT_EQ(b.RebuildIndex(), 10u);
+  Record out;
+  ASSERT_TRUE(b.Get("key4", &out));
+  EXPECT_EQ(out, MakeRecord(4));
+}
+
+TEST(FsBackendTest, SyscallLatencyCharged) {
+  FsOptions slow;
+  slow.syscall_latency_ns = 200'000;  // 0.2 ms — measurable
+  TmpFs f(1 << 20, slow);
+  FsBackend b(&f, "FS");
+  const uint64_t t0 = NowNs();
+  b.Put("k", MakeRecord(1));  // pwrite + fsync = 2 calls
+  EXPECT_GE(NowNs() - t0, 400'000u);
+}
+
+}  // namespace
+}  // namespace jnvm

@@ -1,0 +1,174 @@
+// Parameterized heap tests: the §4.1 invariants must hold for every block
+// size, object size and recovery mode — property-style sweeps with TEST_P.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/heap/heap.h"
+
+namespace jnvm::heap {
+namespace {
+
+// ---- Block-size sweep ---------------------------------------------------------
+
+class BlockSizeTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    nvm::DeviceOptions o;
+    o.size_bytes = 16 << 20;
+    dev_ = std::make_unique<nvm::PmemDevice>(o);
+    HeapOptions opts;
+    opts.block_size = GetParam();
+    heap_ = Heap::Format(dev_.get(), opts);
+    id_ = heap_->InternClassId("param.X");
+  }
+
+  std::unique_ptr<nvm::PmemDevice> dev_;
+  std::unique_ptr<Heap> heap_;
+  uint16_t id_;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBlockSizes, BlockSizeTest,
+                         ::testing::Values(64u, 128u, 256u, 512u, 1024u, 4096u),
+                         [](const auto& info) {
+                           return "bs" + std::to_string(info.param);
+                         });
+
+TEST_P(BlockSizeTest, LayoutConsistent) {
+  EXPECT_EQ(heap_->block_size(), GetParam());
+  EXPECT_EQ(heap_->payload_per_block(), GetParam() - 8);
+  EXPECT_EQ(heap_->first_block() % GetParam(), 0u);
+}
+
+TEST_P(BlockSizeTest, ChainLengthMatchesPayload) {
+  const uint32_t ppb = heap_->payload_per_block();
+  for (const size_t payload : {size_t{1}, size_t{ppb}, size_t{ppb + 1},
+                               size_t{10 * ppb}, size_t{10 * ppb + 7}}) {
+    const Offset m = heap_->AllocObject(id_, payload);
+    ASSERT_NE(m, 0u) << payload;
+    EXPECT_EQ(heap_->ChainLength(m), (payload + ppb - 1) / ppb) << payload;
+    heap_->FreeObject(m);
+  }
+}
+
+TEST_P(BlockSizeTest, WriteReadAcrossChain) {
+  const size_t bytes = 5 * heap_->payload_per_block() + 13;
+  const Offset m = heap_->AllocObject(id_, bytes);
+  ASSERT_NE(m, 0u);
+  std::vector<Offset> blocks;
+  heap_->CollectBlocks(m, &blocks);
+  // Write a pattern into every payload byte through the device.
+  uint8_t v = 1;
+  for (const Offset b : blocks) {
+    for (uint32_t i = 0; i < heap_->payload_per_block(); i += 64) {
+      heap_->dev().Write<uint8_t>(heap_->PayloadOf(b) + i, v++);
+    }
+  }
+  v = 1;
+  for (const Offset b : blocks) {
+    for (uint32_t i = 0; i < heap_->payload_per_block(); i += 64) {
+      EXPECT_EQ(heap_->dev().Read<uint8_t>(heap_->PayloadOf(b) + i), v++);
+    }
+  }
+}
+
+TEST_P(BlockSizeTest, AllocFreeAllocStableFootprint) {
+  const Offset bump_start = heap_->bump();
+  std::vector<Offset> live;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const Offset m = heap_->AllocObject(id_, 3 * heap_->payload_per_block());
+      ASSERT_NE(m, 0u);
+      live.push_back(m);
+    }
+    for (const Offset m : live) {
+      heap_->FreeObject(m);
+    }
+    live.clear();
+  }
+  // The bump advanced only for the first round's footprint.
+  EXPECT_EQ(heap_->bump() - bump_start, 100u * 3 * GetParam());
+}
+
+TEST_P(BlockSizeTest, BlockScanRecoveryPerSize) {
+  const Offset valid_obj = heap_->AllocObject(id_, 600);
+  heap_->AllocObject(id_, 600);  // invalid garbage
+  heap_->SetValid(valid_obj);
+  heap_->Psync();
+  auto reopened = Heap::Open(dev_.get());
+  const auto stats = reopened->RecoverBlockScan();
+  const uint64_t chain = (600 + reopened->payload_per_block() - 1) /
+                         reopened->payload_per_block();
+  EXPECT_EQ(stats.live_blocks, chain);
+  EXPECT_GE(stats.freed_blocks, chain);
+}
+
+// ---- Free-queue sharding property ----------------------------------------------
+
+class FreeQueueCountTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Counts, FreeQueueCountTest,
+                         ::testing::Values(1, 7, 64, 1000, 10000));
+
+TEST_P(FreeQueueCountTest, PushPopConservesBlocks) {
+  FreeQueue q;
+  const int n = GetParam();
+  std::set<Offset> pushed;
+  for (int i = 1; i <= n; ++i) {
+    q.Push(static_cast<Offset>(i) * 256);
+    pushed.insert(static_cast<Offset>(i) * 256);
+  }
+  EXPECT_EQ(q.ApproxSize(), static_cast<size_t>(n));
+  std::set<Offset> popped;
+  for (int i = 0; i < n; ++i) {
+    const Offset off = q.Pop();
+    ASSERT_NE(off, 0u);
+    EXPECT_TRUE(popped.insert(off).second) << "duplicate pop";
+  }
+  EXPECT_EQ(q.Pop(), 0u);
+  EXPECT_EQ(popped, pushed);
+}
+
+// ---- Object-size sweep through recovery ------------------------------------------
+
+class ObjectSizeRecoveryTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ObjectSizeRecoveryTest,
+                         ::testing::Values(1u, 100u, 248u, 249u, 1000u, 10'000u,
+                                           100'000u));
+
+TEST_P(ObjectSizeRecoveryTest, ValidObjectSurvivesScanRecovery) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 16 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  Offset m;
+  const size_t payload = GetParam();
+  {
+    auto h = Heap::Format(dev.get(), HeapOptions{});
+    const uint16_t id = h->InternClassId("param.Y");
+    m = h->AllocObject(id, payload);
+    ASSERT_NE(m, 0u);
+    // Stamp first and last payload byte.
+    std::vector<Offset> blocks;
+    h->CollectBlocks(m, &blocks);
+    h->dev().Write<uint8_t>(h->PayloadOf(blocks.front()), 0xAB);
+    const size_t ppb = h->payload_per_block();
+    const size_t last_within = (payload - 1) % ppb;
+    h->dev().Write<uint8_t>(h->PayloadOf(blocks.back()) + last_within, 0xCD);
+    h->SetValid(m);
+    h->Psync();
+  }
+  auto h = Heap::Open(dev.get());
+  h->RecoverBlockScan();
+  std::vector<Offset> blocks;
+  h->CollectBlocks(m, &blocks);
+  const size_t ppb = h->payload_per_block();
+  // For a 1-byte payload the "first" and "last" byte coincide (0xCD wins).
+  EXPECT_EQ(h->dev().Read<uint8_t>(h->PayloadOf(blocks.front())),
+            payload == 1 ? 0xCD : 0xAB);
+  EXPECT_EQ(h->dev().Read<uint8_t>(h->PayloadOf(blocks.back()) + (payload - 1) % ppb),
+            0xCD);
+}
+
+}  // namespace
+}  // namespace jnvm::heap

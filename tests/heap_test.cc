@@ -1,0 +1,312 @@
+// Unit tests for the persistent heap: block header codec (Table 2), the
+// allocator, chains, free queue, and block-scan recovery.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/heap/heap.h"
+
+namespace jnvm::heap {
+namespace {
+
+std::unique_ptr<nvm::PmemDevice> NewDevice(size_t bytes = 4 << 20, bool strict = false) {
+  nvm::DeviceOptions o;
+  o.size_bytes = bytes;
+  o.strict = strict;
+  return std::make_unique<nvm::PmemDevice>(o);
+}
+
+// ---- Block header (Table 2) -------------------------------------------------
+
+TEST(BlockHeader, PackUnpackRoundTrip) {
+  BlockHeader h;
+  h.id = 1234;
+  h.valid = true;
+  h.next = 0x123456789abcull;
+  const BlockHeader u = BlockHeader::Unpack(h.Pack());
+  EXPECT_EQ(u.id, 1234);
+  EXPECT_TRUE(u.valid);
+  EXPECT_EQ(u.next, 0x123456789abcull);
+}
+
+TEST(BlockHeader, Table2States) {
+  // id != 0, valid any -> master (valid or invalid object).
+  BlockHeader valid_master{.id = 5, .valid = true, .next = 0};
+  EXPECT_TRUE(valid_master.IsMaster());
+  BlockHeader invalid_master{.id = 5, .valid = false, .next = 0};
+  EXPECT_TRUE(invalid_master.IsMaster());
+  // id == 0, valid == 0 -> free or slave.
+  BlockHeader slave{.id = 0, .valid = false, .next = 42};
+  EXPECT_FALSE(slave.IsMaster());
+  BlockHeader free_block{.id = 0, .valid = false, .next = 0};
+  EXPECT_FALSE(free_block.IsMaster());
+}
+
+TEST(BlockHeader, FieldWidths) {
+  BlockHeader h;
+  h.id = kMaxClassId;  // 15 bits
+  h.valid = true;
+  h.next = kNextMask;  // 48 bits
+  const BlockHeader u = BlockHeader::Unpack(h.Pack());
+  EXPECT_EQ(u.id, kMaxClassId);
+  EXPECT_TRUE(u.valid);
+  EXPECT_EQ(u.next, kNextMask);
+}
+
+TEST(BlockHeader, ZeroWordIsFree) {
+  const BlockHeader h = BlockHeader::Unpack(0);
+  EXPECT_FALSE(h.IsMaster());
+  EXPECT_FALSE(h.valid);
+  EXPECT_EQ(h.next, 0u);
+}
+
+// ---- Format / open ----------------------------------------------------------
+
+TEST(Heap, FormatAndReopen) {
+  auto dev = NewDevice();
+  {
+    auto h = Heap::Format(dev.get(), HeapOptions{});
+    EXPECT_EQ(h->block_size(), 256u);
+    EXPECT_EQ(h->payload_per_block(), 248u);
+    h->CloseClean();
+  }
+  auto h = Heap::Open(dev.get());
+  EXPECT_TRUE(h->was_clean_shutdown());
+  EXPECT_EQ(h->block_size(), 256u);
+}
+
+TEST(Heap, DirtyFlagDetectsCrash) {
+  auto dev = NewDevice();
+  { auto h = Heap::Format(dev.get(), HeapOptions{}); }  // no CloseClean
+  auto h = Heap::Open(dev.get());
+  EXPECT_FALSE(h->was_clean_shutdown());
+}
+
+TEST(Heap, FirstBlockAlignedAfterMetadata) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  EXPECT_EQ(h->first_block() % h->block_size(), 0u);
+  EXPECT_GT(h->first_block(), h->log_dir_off());
+}
+
+// ---- Class table ------------------------------------------------------------
+
+TEST(Heap, ClassIdsStableAcrossReopen) {
+  auto dev = NewDevice();
+  uint16_t id_a;
+  uint16_t id_b;
+  {
+    auto h = Heap::Format(dev.get(), HeapOptions{});
+    id_a = h->InternClassId("ClassA");
+    id_b = h->InternClassId("ClassB");
+    EXPECT_NE(id_a, id_b);
+    EXPECT_EQ(h->InternClassId("ClassA"), id_a);  // idempotent
+    h->CloseClean();
+  }
+  auto h = Heap::Open(dev.get());
+  EXPECT_EQ(h->InternClassId("ClassA"), id_a);
+  EXPECT_EQ(h->InternClassId("ClassB"), id_b);
+  EXPECT_EQ(h->ClassName(id_a), "ClassA");
+  EXPECT_EQ(h->ClassName(id_b), "ClassB");
+}
+
+TEST(Heap, UnknownClassNameEmpty) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  EXPECT_EQ(h->ClassName(200), "");
+  EXPECT_EQ(h->ClassName(0), "");
+}
+
+// ---- Allocation -------------------------------------------------------------
+
+TEST(Heap, AllocSingleBlockObject) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  const uint16_t id = h->InternClassId("X");
+  const Offset m = h->AllocObject(id, 100);
+  ASSERT_NE(m, 0u);
+  const BlockHeader hdr = h->ReadHeader(m);
+  EXPECT_EQ(hdr.id, id);
+  EXPECT_FALSE(hdr.valid);  // allocated invalid (§3.2.3)
+  EXPECT_EQ(hdr.next, 0u);
+  EXPECT_EQ(h->ChainLength(m), 1u);
+}
+
+TEST(Heap, AllocChainsLargeObjects) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  const uint16_t id = h->InternClassId("Big");
+  const Offset m = h->AllocObject(id, 1000);  // needs ceil(1000/248) = 5 blocks
+  ASSERT_NE(m, 0u);
+  EXPECT_EQ(h->ChainLength(m), 5u);
+  std::vector<Offset> blocks;
+  h->CollectBlocks(m, &blocks);
+  // Slave headers: id = 0, valid = 0.
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    const BlockHeader s = h->ReadHeader(blocks[i]);
+    EXPECT_EQ(s.id, 0);
+    EXPECT_FALSE(s.valid);
+  }
+}
+
+TEST(Heap, PayloadZeroedOnAlloc) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  const uint16_t id = h->InternClassId("X");
+  // Dirty a block, free it, then check a fresh allocation reads zero.
+  const Offset m1 = h->AllocObject(id, 100);
+  h->dev().Write<uint64_t>(h->PayloadOf(m1), 0xffffffffffffffffull);
+  h->FreeObject(m1);
+  const Offset m2 = h->AllocObject(id, 100);
+  EXPECT_EQ(h->dev().Read<uint64_t>(h->PayloadOf(m2)), 0u);
+}
+
+TEST(Heap, FreeRecyclesBlocks) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  const uint16_t id = h->InternClassId("X");
+  const Offset m = h->AllocObject(id, 600);
+  std::vector<Offset> blocks;
+  h->CollectBlocks(m, &blocks);
+  const Offset bump_before = h->bump();
+  h->FreeObject(m);
+  // New allocations reuse the freed blocks: the bump must not move.
+  const Offset m2 = h->AllocObject(id, 600);
+  std::vector<Offset> blocks2;
+  h->CollectBlocks(m2, &blocks2);
+  EXPECT_EQ(h->bump(), bump_before);
+  std::set<Offset> set1(blocks.begin(), blocks.end());
+  for (const Offset b : blocks2) {
+    EXPECT_TRUE(set1.count(b) == 1);
+  }
+}
+
+TEST(Heap, FreeMarksInvalid) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  const uint16_t id = h->InternClassId("X");
+  const Offset m = h->AllocObject(id, 10);
+  h->SetValid(m);
+  EXPECT_TRUE(h->IsValid(m));
+  h->FreeObject(m);
+  EXPECT_FALSE(h->IsValid(m));
+}
+
+TEST(Heap, AllocReturnsZeroWhenFull) {
+  auto dev = NewDevice(64 * 1024);
+  auto h = Heap::Format(dev.get(), HeapOptions{.log_slot_count = 2, .log_slot_bytes = 4096});
+  const uint16_t id = h->InternClassId("X");
+  Offset m = 1;
+  int count = 0;
+  while ((m = h->AllocObject(id, 100)) != 0) {
+    ++count;
+  }
+  EXPECT_GT(count, 0);
+  EXPECT_EQ(h->AllocObject(id, 100), 0u);
+}
+
+TEST(Heap, ValidateSetsBitWithoutTouchingIdOrNext) {
+  auto dev = NewDevice();
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  const uint16_t id = h->InternClassId("X");
+  const Offset m = h->AllocObject(id, 500);
+  const BlockHeader before = h->ReadHeader(m);
+  h->SetValid(m);
+  const BlockHeader after = h->ReadHeader(m);
+  EXPECT_TRUE(after.valid);
+  EXPECT_EQ(after.id, before.id);
+  EXPECT_EQ(after.next, before.next);
+}
+
+TEST(Heap, BumpPersistedAcrossReopen) {
+  auto dev = NewDevice();
+  Offset bump;
+  {
+    auto h = Heap::Format(dev.get(), HeapOptions{});
+    const uint16_t id = h->InternClassId("X");
+    for (int i = 0; i < 10; ++i) {
+      h->AllocObject(id, 100);
+    }
+    h->Pfence();
+    bump = h->bump();
+    h->CloseClean();
+  }
+  auto h = Heap::Open(dev.get());
+  EXPECT_EQ(h->bump(), bump);
+}
+
+// ---- Concurrency ------------------------------------------------------------
+
+TEST(Heap, ConcurrentAllocDistinctBlocks) {
+  auto dev = NewDevice(8 << 20);
+  auto h = Heap::Format(dev.get(), HeapOptions{});
+  const uint16_t id = h->InternClassId("X");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<Offset>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        results[t].push_back(h->AllocObject(id, 100));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<Offset> all;
+  for (const auto& v : results) {
+    for (const Offset m : v) {
+      ASSERT_NE(m, 0u);
+      EXPECT_TRUE(all.insert(m).second) << "duplicate allocation";
+    }
+  }
+}
+
+// ---- Block-scan recovery ------------------------------------------------------
+
+TEST(Heap, BlockScanKeepsValidFreesInvalid) {
+  auto dev = NewDevice();
+  Offset valid_m;
+  Offset invalid_m;
+  {
+    auto h = Heap::Format(dev.get(), HeapOptions{});
+    const uint16_t id = h->InternClassId("X");
+    valid_m = h->AllocObject(id, 600);
+    invalid_m = h->AllocObject(id, 600);
+    h->SetValid(valid_m);
+    h->Psync();
+    // crash (no clean close)
+  }
+  auto h = Heap::Open(dev.get());
+  const auto stats = h->RecoverBlockScan();
+  EXPECT_EQ(stats.live_blocks, 3u);   // the valid object's chain
+  EXPECT_GE(stats.freed_blocks, 3u);  // the invalid object's chain
+  EXPECT_TRUE(h->ReadHeader(valid_m).valid);
+  EXPECT_EQ(h->ReadHeader(invalid_m).Pack(), 0u);  // header voided
+}
+
+TEST(Heap, BlockScanRebuildsFreeQueue) {
+  auto dev = NewDevice();
+  {
+    auto h = Heap::Format(dev.get(), HeapOptions{});
+    const uint16_t id = h->InternClassId("X");
+    for (int i = 0; i < 20; ++i) {
+      h->AllocObject(id, 100);  // all invalid -> all free after recovery
+    }
+    h->Psync();
+  }
+  auto h = Heap::Open(dev.get());
+  h->RecoverBlockScan();
+  const Offset bump_before = h->bump();
+  const uint16_t id = h->InternClassId("X");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_NE(h->AllocObject(id, 100), 0u);
+  }
+  EXPECT_EQ(h->bump(), bump_before);  // reused recovered blocks
+}
+
+}  // namespace
+}  // namespace jnvm::heap

@@ -1,0 +1,194 @@
+// Property tests built on the heap integrity auditor: after arbitrary op
+// sequences — with or without crashes — every §2.4/§4.1 invariant holds.
+#include <gtest/gtest.h>
+
+#include "src/core/integrity.h"
+#include "src/pdt/pmap.h"
+
+namespace jnvm::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(bool strict = false) {
+    nvm::DeviceOptions o;
+    o.size_bytes = 32 << 20;
+    o.strict = strict;
+    dev = std::make_unique<nvm::PmemDevice>(o);
+    rt = JnvmRuntime::Format(dev.get());
+  }
+
+  void CrashAndReopen(uint64_t seed, bool graph = true) {
+    rt->Abandon();
+    rt.reset();
+    dev->Crash(seed);
+    RuntimeOptions opts;
+    opts.graph_recovery = graph;
+    rt = JnvmRuntime::Open(dev.get(), opts);
+  }
+
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<JnvmRuntime> rt;
+};
+
+void RandomMapWorkload(Fixture& f, pdt::PStringHashMap& m, uint64_t seed, int ops) {
+  Xorshift rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    const std::string key = "k" + std::to_string(rng.NextBelow(40));
+    switch (rng.NextBelow(4)) {
+      case 0:
+        m.Remove(key);
+        break;
+      case 1:
+        m.Get(key);
+        break;
+      default: {
+        pdt::PString v(*f.rt, "value-" + std::to_string(i) +
+                                  std::string(rng.NextBelow(400), 'x'));
+        m.Put(key, &v);
+      }
+    }
+  }
+}
+
+TEST(IntegrityTest, FreshHeapIsClean) {
+  Fixture f;
+  const auto report = VerifyHeapIntegrity(*f.rt);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.objects, 2u);  // root map + its array
+}
+
+TEST(IntegrityTest, AfterRandomMapWorkload) {
+  Fixture f;
+  pdt::PStringHashMap m(*f.rt, 8);
+  m.Pwb();
+  m.Validate();
+  f.rt->root().Put("m", &m);
+  RandomMapWorkload(f, m, 42, 3000);
+  const auto report = VerifyHeapIntegrity(*f.rt);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(IntegrityTest, AfterCleanRestart) {
+  Fixture f;
+  {
+    pdt::PStringHashMap m(*f.rt, 8);
+    m.Pwb();
+    m.Validate();
+    f.rt->root().Put("m", &m);
+    RandomMapWorkload(f, m, 7, 2000);
+  }
+  f.rt.reset();
+  f.rt = JnvmRuntime::Open(f.dev.get());
+  const auto report = VerifyHeapIntegrity(*f.rt);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// The central crash property: whatever the crash point and eviction
+// pattern, recovery restores every invariant.
+class IntegrityCrashTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashPoints, IntegrityCrashTest,
+    ::testing::Combine(::testing::Values(20u, 100u, 400u, 1200u, 3000u, 7000u),
+                       ::testing::Bool()),  // graph vs block-scan recovery
+    [](const auto& info) {
+      return "at" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_graph" : "_nogc");
+    });
+
+TEST_P(IntegrityCrashTest, InvariantsHoldAfterRecovery) {
+  const auto [crash_at, graph] = GetParam();
+  Fixture f(/*strict=*/true);
+  {
+    pdt::PStringHashMap m(*f.rt, 8);
+    m.Pwb();
+    m.Validate();
+    f.rt->root().Put("m", &m);
+    f.rt->Psync();
+    f.dev->ScheduleCrashAfter(crash_at);
+    try {
+      // FA-wrapped ops so the nogc precondition holds (§5.3.3): every
+      // allocation publishes in the same failure-atomic block.
+      Xorshift rng(crash_at);
+      for (int i = 0; i < 300; ++i) {
+        const std::string key = "k" + std::to_string(rng.NextBelow(20));
+        f.rt->FaStart();
+        pdt::PString v(*f.rt, "v" + std::to_string(i));
+        m.Put(key, &v);
+        f.rt->FaEnd();
+      }
+      f.dev->CancelScheduledCrash();
+    } catch (const nvm::SimulatedCrash&) {
+    }
+  }
+  f.CrashAndReopen(crash_at * 2654435761u, graph);
+  const auto report = VerifyHeapIntegrity(*f.rt);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  // The heap stays fully usable.
+  const auto m = f.rt->root().GetAs<pdt::PStringHashMap>("m");
+  ASSERT_NE(m, nullptr);
+  pdt::PString fresh(*f.rt, "fresh");
+  m->Put("post", &fresh);
+  EXPECT_EQ(m->GetAs<pdt::PString>("post")->Str(), "fresh");
+  EXPECT_TRUE(VerifyHeapIntegrity(*f.rt).ok());
+}
+
+// Eviction-seed sweep at a fixed crash point.
+class IntegrityEvictionTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrityEvictionTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+TEST_P(IntegrityEvictionTest, AnyEvictionPatternRecovers) {
+  Fixture f(/*strict=*/true);
+  {
+    pdt::PStringHashMap m(*f.rt, 4);
+    m.Pwb();
+    m.Validate();
+    f.rt->root().Put("m", &m);
+    f.rt->Psync();
+    f.dev->ScheduleCrashAfter(700);
+    try {
+      RandomMapWorkload(f, m, 5, 200);
+      f.dev->CancelScheduledCrash();
+    } catch (const nvm::SimulatedCrash&) {
+    }
+  }
+  f.CrashAndReopen(GetParam());
+  const auto report = VerifyHeapIntegrity(*f.rt);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Double-crash: crash during recovery-adjacent activity, recover again.
+TEST(IntegrityTest, CrashRecoverCrashRecover) {
+  Fixture f(/*strict=*/true);
+  {
+    pdt::PStringHashMap m(*f.rt, 8);
+    m.Pwb();
+    m.Validate();
+    f.rt->root().Put("m", &m);
+    f.rt->Psync();
+    f.dev->ScheduleCrashAfter(900);
+    try {
+      RandomMapWorkload(f, m, 11, 500);
+      f.dev->CancelScheduledCrash();
+    } catch (const nvm::SimulatedCrash&) {
+    }
+  }
+  f.CrashAndReopen(1);
+  {
+    const auto m = f.rt->root().GetAs<pdt::PStringHashMap>("m");
+    f.dev->ScheduleCrashAfter(500);
+    try {
+      RandomMapWorkload(f, *m, 13, 500);
+      f.dev->CancelScheduledCrash();
+    } catch (const nvm::SimulatedCrash&) {
+    }
+  }
+  f.CrashAndReopen(2);
+  EXPECT_TRUE(VerifyHeapIntegrity(*f.rt).ok());
+}
+
+}  // namespace
+}  // namespace jnvm::core

@@ -1,0 +1,311 @@
+// Tests for failure-atomic blocks (§4.2): redo-log commit, in-flight block
+// redirection, deferred frees, nesting, aborts, and crash atomicity sweeps.
+#include <gtest/gtest.h>
+
+#include "src/core/root_map.h"
+#include "src/core/runtime.h"
+
+namespace jnvm::pfa {
+namespace {
+
+using core::ClassInfo;
+using core::Handle;
+using core::JnvmRuntime;
+using core::MakeClassInfo;
+using core::ObjectView;
+using core::PackFields;
+using core::PObject;
+using core::RefVisitor;
+using core::Resurrect;
+
+// An account object used to test multi-field atomicity.
+class Account final : public PObject {
+ public:
+  static const ClassInfo* Class() {
+    static const ClassInfo* info =
+        RegisterClass(MakeClassInfo<Account>("pfa.Account", &Account::Trace));
+    return info;
+  }
+
+  explicit Account(Resurrect) {}
+  Account(JnvmRuntime& rt, int64_t balance) {
+    AllocatePersistent(rt, Class(), kL.bytes);
+    SetBalance(balance);
+  }
+
+  int64_t Balance() const { return ReadField<int64_t>(kL.off[0]); }
+  void SetBalance(int64_t v) { WriteField<int64_t>(kL.off[0], v); }
+  Handle<Account> Next() const { return ReadPObjectAs<Account>(kL.off[1]); }
+  void SetNext(const Account* a) { WritePObject(kL.off[1], a); }
+
+  static void Trace(ObjectView& v, RefVisitor& r) { r.VisitRef(v, kL.off[1]); }
+
+ private:
+  static constexpr auto kL = PackFields<2>({8, core::kRefField});
+};
+
+struct Fixture {
+  explicit Fixture(bool strict = true, size_t bytes = 4 << 20) {
+    nvm::DeviceOptions o;
+    o.size_bytes = bytes;
+    o.strict = strict;
+    dev = std::make_unique<nvm::PmemDevice>(o);
+    rt = JnvmRuntime::Format(dev.get());
+  }
+
+  void CrashAndReopen(uint64_t seed) {
+    rt->Abandon();
+    rt.reset();
+    dev->Crash(seed);
+    rt = JnvmRuntime::Open(dev.get());
+  }
+
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<JnvmRuntime> rt;
+};
+
+// ---- Commit semantics ---------------------------------------------------------
+
+TEST(FaTest, CommitAppliesWrites) {
+  Fixture f;
+  Account a(*f.rt, 100);
+  f.rt->root().Put("a", &a);
+  f.rt->FaStart();
+  a.SetBalance(250);
+  EXPECT_EQ(a.Balance(), 250) << "reads see own writes inside the block";
+  f.rt->FaEnd();
+  EXPECT_EQ(a.Balance(), 250);
+}
+
+TEST(FaTest, ReadsOutsideSeeOldValueUntilCommit) {
+  // The original block stays intact during the FA block (redo, not undo).
+  Fixture f;
+  Account a(*f.rt, 100);
+  f.rt->root().Put("a", &a);
+  f.rt->FaStart();
+  a.SetBalance(250);
+  // A raw view (no FA redirection) still reads the original data.
+  ObjectView raw(&f.rt->heap(), a.addr());
+  EXPECT_EQ(raw.Read<int64_t>(0), 100);
+  f.rt->FaEnd();
+  EXPECT_EQ(raw.Read<int64_t>(0), 250);
+}
+
+TEST(FaTest, AllocationValidatedAtCommit) {
+  Fixture f;
+  f.rt->FaStart();
+  Account a(*f.rt, 10);
+  EXPECT_FALSE(a.IsValidObject());
+  f.rt->root().Wput("a", &a);
+  f.rt->FaEnd();
+  EXPECT_TRUE(a.IsValidObject());
+}
+
+TEST(FaTest, NestedBlocksCommitOnce) {
+  Fixture f;
+  Account a(*f.rt, 1);
+  f.rt->root().Put("a", &a);
+  f.rt->FaStart();
+  a.SetBalance(2);
+  f.rt->FaStart();
+  a.SetBalance(3);
+  f.rt->FaEnd();
+  EXPECT_EQ(f.rt->FaDepth(), 1);
+  ObjectView raw(&f.rt->heap(), a.addr());
+  EXPECT_EQ(raw.Read<int64_t>(0), 1) << "inner end must not commit";
+  f.rt->FaEnd();
+  EXPECT_EQ(raw.Read<int64_t>(0), 3);
+}
+
+TEST(FaTest, FreeDeferredToCommit) {
+  Fixture f;
+  Account a(*f.rt, 1);
+  a.Pwb();
+  a.Validate();
+  f.rt->Pfence();
+  const nvm::Offset addr = a.addr();
+  f.rt->FaStart();
+  f.rt->Free(a);
+  EXPECT_FALSE(a.attached());
+  // Persistent state not yet touched:
+  EXPECT_TRUE(f.rt->heap().IsValid(addr));
+  f.rt->FaEnd();
+  EXPECT_FALSE(f.rt->heap().IsValid(addr));
+}
+
+TEST(FaTest, AbortDiscardsEverything) {
+  Fixture f;
+  Account a(*f.rt, 100);
+  a.Pwb();
+  a.Validate();
+  f.rt->Pfence();
+  f.rt->FaStart();
+  a.SetBalance(999);
+  Account born(*f.rt, 7);
+  const nvm::Offset born_addr = born.addr();
+  f.rt->FaAbort();
+  EXPECT_EQ(f.rt->FaDepth(), 0);
+  EXPECT_EQ(a.Balance(), 100);
+  EXPECT_FALSE(f.rt->heap().IsValid(born_addr));
+}
+
+TEST(FaTest, InflightBlocksRecycledAfterCommit) {
+  Fixture f;
+  Account a(*f.rt, 1);
+  a.Pwb();
+  a.Validate();
+  f.rt->Pfence();
+  const auto before = f.rt->heap().stats();
+  for (int i = 0; i < 10; ++i) {
+    f.rt->FaStart();
+    a.SetBalance(i);
+    f.rt->FaEnd();
+  }
+  const auto after = f.rt->heap().stats();
+  // Every in-flight block allocation was matched by a free.
+  EXPECT_EQ(after.blocks_allocated - before.blocks_allocated,
+            after.blocks_freed - before.blocks_freed);
+}
+
+TEST(FaTest, MultiBlockObjectAtomicUpdate) {
+  Fixture f;
+  Account a(*f.rt, 0);
+  // Build a chain of three accounts and update all in one block.
+  Account b(*f.rt, 0);
+  Account c(*f.rt, 0);
+  a.SetNext(&b);
+  b.SetNext(&c);
+  for (Account* acc : {&a, &b, &c}) {
+    acc->Pwb();
+    acc->Validate();
+  }
+  f.rt->Pfence();
+  f.rt->root().Put("a", &a);
+
+  f.rt->FaStart();
+  a.SetBalance(1);
+  b.SetBalance(2);
+  c.SetBalance(3);
+  f.rt->FaEnd();
+  EXPECT_EQ(a.Balance(), 1);
+  EXPECT_EQ(b.Balance(), 2);
+  EXPECT_EQ(c.Balance(), 3);
+}
+
+TEST(FaTest, ReadOnlyBlockIsCheap) {
+  Fixture f;
+  Account a(*f.rt, 42);
+  a.Pwb();
+  a.Validate();
+  f.rt->Pfence();
+  f.dev->ResetStats();
+  f.rt->FaStart();
+  EXPECT_EQ(a.Balance(), 42);
+  f.rt->FaEnd();
+  EXPECT_EQ(f.dev->stats().pfences, 0u) << "no fences for a read-only block";
+}
+
+// ---- Crash atomicity: the money-transfer property ------------------------------
+
+// Transfers money between two accounts inside a failure-atomic block while
+// sweeping the crash point over every persistence event; after recovery the
+// total balance must be conserved — the transfer happened entirely or not at
+// all (§2.5).
+TEST(FaCrashTest, TransferIsAllOrNothing) {
+  // Determine roughly how many events one transfer takes.
+  uint64_t probe_events = 400;
+  for (uint64_t crash_at = 1; crash_at < probe_events; crash_at += 7) {
+    Fixture f;
+    {
+      Account a(*f.rt, 1000);
+      Account b(*f.rt, 0);
+      f.rt->root().Put("a", &a);
+      f.rt->root().Put("b", &b);
+      f.rt->Psync();
+
+      f.dev->ScheduleCrashAfter(crash_at);
+      try {
+        f.rt->FaStart();
+        a.SetBalance(a.Balance() - 300);
+        b.SetBalance(b.Balance() + 300);
+        f.rt->FaEnd();
+        f.dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+    }
+    f.CrashAndReopen(crash_at * 31 + 7);
+    const auto a = f.rt->root().GetAs<Account>("a");
+    const auto b = f.rt->root().GetAs<Account>("b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    const int64_t total = a->Balance() + b->Balance();
+    EXPECT_EQ(total, 1000) << "crash point " << crash_at;
+    const bool before = a->Balance() == 1000 && b->Balance() == 0;
+    const bool after = a->Balance() == 700 && b->Balance() == 300;
+    EXPECT_TRUE(before || after) << "torn transfer at crash point " << crash_at;
+  }
+}
+
+TEST(FaCrashTest, AllocationInBlockNeverHalfVisible) {
+  for (uint64_t crash_at = 1; crash_at < 200; crash_at += 5) {
+    Fixture f;
+    {
+      f.dev->ScheduleCrashAfter(crash_at);
+      try {
+        f.rt->FaStart();
+        Account a(*f.rt, 555);
+        f.rt->root().Wput("acc", &a);
+        f.rt->FaEnd();
+        f.dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+    }
+    f.CrashAndReopen(crash_at);
+    const auto a = f.rt->root().GetAs<Account>("acc");
+    if (a != nullptr) {
+      EXPECT_EQ(a->Balance(), 555) << "crash point " << crash_at;
+    }
+  }
+}
+
+// ---- Log replay mechanics -------------------------------------------------------
+
+TEST(FaLogTest, CommittedLogReplaysIdempotently) {
+  Fixture f;
+  Account a(*f.rt, 1);
+  a.Pwb();
+  a.Validate();
+  f.rt->root().Put("a", &a);
+
+  // Hand-craft a committed log: an update entry whose in-flight block holds
+  // balance = 77, then replay it twice.
+  heap::Heap& h = f.rt->heap();
+  const nvm::Offset copy = h.AllocBlockRaw();
+  h.dev().Write<uint64_t>(copy, 0);
+  std::vector<char> payload(h.payload_per_block(), 0);
+  h.dev().ReadBytes(h.PayloadOf(a.addr()), payload.data(), payload.size());
+  int64_t v = 77;
+  memcpy(payload.data(), &v, sizeof(v));
+  h.dev().WriteBytes(h.PayloadOf(copy), payload.data(), payload.size());
+  h.dev().PwbRange(copy, h.block_size());
+
+  FaLog log(&h, 0);
+  log.Append({EntryType::kUpdate, a.addr(), copy});
+  log.PersistAndMarkCommitted();
+  FaHooks hooks;
+  log.Apply(&h, hooks);
+  log.Apply(&h, hooks);  // idempotent
+  EXPECT_EQ(a.Balance(), 77);
+  log.Erase();
+  EXPECT_EQ(log.count(), 0u);
+  EXPECT_FALSE(log.committed());
+}
+
+TEST(FaLogTest, CapacityIsGenerous) {
+  Fixture f;
+  FaLog log(&f.rt->heap(), 0);
+  EXPECT_GT(log.capacity_entries(), 1000u);
+}
+
+}  // namespace
+}  // namespace jnvm::pfa

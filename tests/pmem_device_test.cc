@@ -1,0 +1,207 @@
+// Unit + property tests for the simulated NVMM device, in particular the
+// strict-mode crash semantics (the foundation of every crash test above it).
+#include <gtest/gtest.h>
+
+#include "src/nvm/pmem_device.h"
+
+namespace jnvm::nvm {
+namespace {
+
+DeviceOptions Strict(size_t bytes = 1 << 16) {
+  DeviceOptions o;
+  o.size_bytes = bytes;
+  o.strict = true;
+  return o;
+}
+
+DeviceOptions Fast(size_t bytes = 1 << 16) {
+  DeviceOptions o;
+  o.size_bytes = bytes;
+  return o;
+}
+
+TEST(PmemDevice, ReadBackWrites) {
+  PmemDevice dev(Fast());
+  dev.Write<uint64_t>(128, 0xdeadbeefull);
+  EXPECT_EQ(dev.Read<uint64_t>(128), 0xdeadbeefull);
+}
+
+TEST(PmemDevice, ZeroInitialized) {
+  PmemDevice dev(Fast());
+  EXPECT_EQ(dev.Read<uint64_t>(0), 0u);
+  EXPECT_EQ(dev.Read<uint64_t>(4096), 0u);
+}
+
+TEST(PmemDevice, BytesRoundTrip) {
+  PmemDevice dev(Fast());
+  const char msg[] = "hello, NVMM!";
+  dev.WriteBytes(1000, msg, sizeof(msg));
+  char out[sizeof(msg)];
+  dev.ReadBytes(1000, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(PmemDevice, StatsCount) {
+  PmemDevice dev(Fast());
+  dev.ResetStats();
+  dev.Write<uint32_t>(0, 1);
+  dev.Read<uint32_t>(0);
+  dev.Pwb(0);
+  dev.Pfence();
+  dev.Psync();
+  const DeviceStats s = dev.stats();
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.pwbs, 1u);
+  EXPECT_EQ(s.pfences, 1u);
+  EXPECT_EQ(s.psyncs, 1u);
+}
+
+TEST(PmemDeviceStrict, FencedWritesSurviveCrash) {
+  PmemDevice dev(Strict());
+  dev.Write<uint64_t>(256, 42);
+  dev.Pwb(256);
+  dev.Pfence();
+  dev.Crash(/*seed=*/1);
+  EXPECT_EQ(dev.Read<uint64_t>(256), 42u);
+}
+
+TEST(PmemDeviceStrict, UnflushedWriteMayRollBack) {
+  // Sweep seeds: an unflushed line must roll back for at least one seed and
+  // survive (be evicted) for at least one other.
+  bool rolled_back = false;
+  bool survived = false;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    PmemDevice dev(Strict());
+    dev.Write<uint64_t>(512, 7);
+    dev.Crash(seed);
+    if (dev.Read<uint64_t>(512) == 7) {
+      survived = true;
+    } else {
+      rolled_back = true;
+      EXPECT_EQ(dev.Read<uint64_t>(512), 0u);
+    }
+  }
+  EXPECT_TRUE(rolled_back);
+  EXPECT_TRUE(survived);
+}
+
+TEST(PmemDeviceStrict, PwbWithoutFenceIsNotDurable) {
+  bool rolled_back = false;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    PmemDevice dev(Strict());
+    dev.Write<uint64_t>(512, 7);
+    dev.Pwb(512);  // queued but never fenced
+    dev.Crash(seed);
+    if (dev.Read<uint64_t>(512) != 7) {
+      rolled_back = true;
+    }
+  }
+  EXPECT_TRUE(rolled_back);
+}
+
+TEST(PmemDeviceStrict, StoreAfterPwbRequiresNewPwb) {
+  PmemDevice dev(Strict());
+  dev.Write<uint64_t>(512, 1);
+  dev.Pwb(512);
+  dev.Write<uint64_t>(512, 2);  // not covered by the earlier Pwb
+  EXPECT_EQ(dev.UnflushedLineCount(), 1u);
+  dev.Pfence();
+  // Line was downgraded to dirty: the fence does not drain it.
+  EXPECT_EQ(dev.UnflushedLineCount(), 1u);
+  dev.Pwb(512);
+  dev.Pfence();
+  EXPECT_EQ(dev.UnflushedLineCount(), 0u);
+  dev.Crash(3);
+  EXPECT_EQ(dev.Read<uint64_t>(512), 2u);
+}
+
+TEST(PmemDeviceStrict, RollbackRestoresLastDurableNotZero) {
+  PmemDevice dev(Strict());
+  dev.Write<uint64_t>(512, 1);
+  dev.Pwb(512);
+  dev.Pfence();  // 1 is durable
+  dev.Write<uint64_t>(512, 2);
+  bool rolled_back = false;
+  for (uint64_t seed = 0; seed < 64 && !rolled_back; ++seed) {
+    PmemDevice d2(Strict());
+    d2.Write<uint64_t>(512, 1);
+    d2.Pwb(512);
+    d2.Pfence();
+    d2.Write<uint64_t>(512, 2);
+    d2.Crash(seed);
+    const uint64_t v = d2.Read<uint64_t>(512);
+    EXPECT_TRUE(v == 1 || v == 2);
+    rolled_back = rolled_back || v == 1;
+  }
+  EXPECT_TRUE(rolled_back);
+}
+
+TEST(PmemDeviceStrict, IndependentLinesIndependentFates) {
+  // With enough lines, a single crash should both keep and lose some.
+  PmemDevice dev(Strict(1 << 20));
+  const int kLines = 256;
+  for (int i = 0; i < kLines; ++i) {
+    dev.Write<uint64_t>(static_cast<Offset>(i) * kCacheLine, 99);
+  }
+  dev.Crash(7);
+  int kept = 0;
+  for (int i = 0; i < kLines; ++i) {
+    if (dev.Read<uint64_t>(static_cast<Offset>(i) * kCacheLine) == 99) {
+      ++kept;
+    }
+  }
+  EXPECT_GT(kept, 0);
+  EXPECT_LT(kept, kLines);
+}
+
+TEST(PmemDeviceStrict, ScheduledCrashThrows) {
+  PmemDevice dev(Strict());
+  dev.ScheduleCrashAfter(2);
+  dev.Write<uint64_t>(0, 1);  // event 1
+  dev.Write<uint64_t>(8, 2);  // event 2
+  EXPECT_THROW(dev.Write<uint64_t>(16, 3), SimulatedCrash);
+  // The crashed store never applied.
+  EXPECT_EQ(dev.Read<uint64_t>(16), 0u);
+}
+
+TEST(PmemDeviceStrict, CancelScheduledCrash) {
+  PmemDevice dev(Strict());
+  dev.ScheduleCrashAfter(1);
+  dev.CancelScheduledCrash();
+  EXPECT_NO_THROW(dev.Write<uint64_t>(0, 1));
+  EXPECT_NO_THROW(dev.Write<uint64_t>(8, 2));
+}
+
+TEST(PmemDeviceStrict, PwbRangeCoversAllLines) {
+  PmemDevice dev(Strict());
+  char buf[300];
+  memset(buf, 0xab, sizeof(buf));
+  dev.WriteBytes(100, buf, sizeof(buf));  // spans several lines
+  dev.PwbRange(100, sizeof(buf));
+  dev.Pfence();
+  dev.Crash(11);
+  char out[300];
+  dev.ReadBytes(100, out, sizeof(out));
+  EXPECT_EQ(memcmp(out, buf, sizeof(buf)), 0);
+}
+
+TEST(PmemDeviceStrict, CrashClearsTracking) {
+  PmemDevice dev(Strict());
+  dev.Write<uint64_t>(0, 1);
+  dev.Crash(1);
+  EXPECT_EQ(dev.UnflushedLineCount(), 0u);
+}
+
+TEST(PmemDevice, MemsetTrackedLikeStore) {
+  PmemDevice dev(Strict());
+  dev.Memset(256, 0xff, 64);
+  EXPECT_EQ(dev.UnflushedLineCount(), 1u);
+  dev.PwbRange(256, 64);
+  dev.Pfence();
+  dev.Crash(5);
+  EXPECT_EQ(dev.Read<uint8_t>(300), 0xffu);
+}
+
+}  // namespace
+}  // namespace jnvm::nvm

@@ -1,0 +1,124 @@
+// Tests for the PSet adapters (§4.3.2 sets) and the ordered-map range scans.
+#include <gtest/gtest.h>
+
+#include "src/core/integrity.h"
+#include "src/pdt/pmap.h"
+
+namespace jnvm::pdt {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    nvm::DeviceOptions o;
+    o.size_bytes = 32 << 20;
+    dev = std::make_unique<nvm::PmemDevice>(o);
+    rt = core::JnvmRuntime::Format(dev.get());
+  }
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<core::JnvmRuntime> rt;
+};
+
+// ---- PSet ---------------------------------------------------------------------
+
+TEST(PSetTest, AddContainsRemove) {
+  Fixture f;
+  PStringHashSet set(*f.rt, 8);
+  set.Add("alpha");
+  set.Add("beta");
+  set.Add("alpha");  // idempotent
+  EXPECT_EQ(set.Size(), 2u);
+  EXPECT_TRUE(set.Contains("alpha"));
+  EXPECT_FALSE(set.Contains("gamma"));
+  EXPECT_TRUE(set.Remove("alpha"));
+  EXPECT_FALSE(set.Contains("alpha"));
+  EXPECT_FALSE(set.Remove("alpha"));
+}
+
+TEST(PSetTest, IntKeyedSet) {
+  Fixture f;
+  PLongHashSet set(*f.rt, 8);
+  for (int64_t k = 0; k < 100; k += 3) {
+    set.Add(k);
+  }
+  EXPECT_EQ(set.Size(), 34u);
+  EXPECT_TRUE(set.Contains(99));
+  EXPECT_FALSE(set.Contains(98));
+}
+
+TEST(PSetTest, SurvivesRestart) {
+  Fixture f;
+  {
+    PStringTreeSet set(*f.rt, 8);
+    for (const char* member : {"x", "y", "z"}) {
+      set.Add(member);
+    }
+    set.map().Pwb();
+    set.map().Validate();
+    f.rt->root().Put("set", &set.map());
+  }
+  f.rt.reset();
+  f.rt = core::JnvmRuntime::Open(f.dev.get());
+  PStringTreeSet set(f.rt->root().GetAs<PStringTreeMap>("set"));
+  EXPECT_EQ(set.Size(), 3u);
+  EXPECT_TRUE(set.Contains("y"));
+  std::vector<std::string> members;
+  set.ForEach([&](const std::string& m) { members.push_back(m); });
+  EXPECT_EQ(members, (std::vector<std::string>{"x", "y", "z"}));  // ordered mirror
+}
+
+// ---- Range scans -----------------------------------------------------------------
+
+template <typename MapT>
+class OrderedRangeTest : public ::testing::Test {};
+
+using OrderedMaps = ::testing::Types<PStringTreeMap, PStringSkipListMap>;
+TYPED_TEST_SUITE(OrderedRangeTest, OrderedMaps);
+
+TYPED_TEST(OrderedRangeTest, RangeScanVisitsSortedWindow) {
+  Fixture f;
+  TypeParam m(*f.rt, 16);
+  PString v(*f.rt, "x");
+  for (int i = 0; i < 50; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    m.Put(key, &v, false);
+  }
+  std::vector<std::string> seen;
+  const size_t n = m.ForEachRange(
+      "k010", "k020",
+      [&](const std::string& k, core::Handle<core::PObject>) { seen.push_back(k); });
+  EXPECT_EQ(n, 10u);
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), "k010");
+  EXPECT_EQ(seen.back(), "k019");
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TYPED_TEST(OrderedRangeTest, EmptyAndEdgeRanges) {
+  Fixture f;
+  TypeParam m(*f.rt, 16);
+  PString v(*f.rt, "x");
+  m.Put("b", &v, false);
+  m.Put("d", &v, false);
+  size_t n = m.ForEachRange("e", "z", [](const std::string&, auto) {});
+  EXPECT_EQ(n, 0u);
+  n = m.ForEachRange("a", "c", [](const std::string&, auto) {});
+  EXPECT_EQ(n, 1u);  // only "b"
+  n = m.ForEachRange("b", "b", [](const std::string&, auto) {});
+  EXPECT_EQ(n, 0u);  // empty half-open interval
+}
+
+TEST(OrderedRangeTest64, IntKeyRangeOnTreeMap) {
+  Fixture f;
+  PLongTreeMap m(*f.rt, 16);
+  PString v(*f.rt, "x");
+  for (int64_t k = 0; k < 100; k += 10) {
+    m.Put(k, &v, false);
+  }
+  std::vector<int64_t> seen;
+  m.ForEachRange(25, 75, [&](const int64_t& k, auto) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{30, 40, 50, 60, 70}));
+}
+
+}  // namespace
+}  // namespace jnvm::pdt

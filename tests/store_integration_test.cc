@@ -1,0 +1,168 @@
+// End-to-end integration: the full store stack (KvStore + backend + YCSB
+// runner) driven through load, workload, clean restart, crash + recovery,
+// and continued service — for each persistent backend that supports
+// restart, with the heap audited at every stage.
+#include <gtest/gtest.h>
+
+#include "src/core/integrity.h"
+#include "src/fs/sim_fs.h"
+#include "src/store/fs_backend.h"
+#include "src/store/jpdt_backend.h"
+#include "src/store/jpfa_backend.h"
+#include "src/store/kvstore.h"
+#include "src/ycsb/runner.h"
+
+namespace jnvm {
+namespace {
+
+using store::Record;
+
+constexpr uint64_t kRecords = 400;
+constexpr uint32_t kFields = 4;
+constexpr uint32_t kFieldLen = 24;
+
+ycsb::WorkloadSpec SmallSpec(ycsb::WorkloadSpec base) {
+  base.record_count = kRecords;
+  base.fields = kFields;
+  base.field_len = kFieldLen;
+  return base;
+}
+
+// Shared scenario body: load through the store, run a YCSB-A burst, verify
+// every record is complete and well-formed.
+void VerifyAllRecords(store::KvStore& kv) {
+  Record r;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(kv.Read(ycsb::KeyFor(i), &r)) << "lost record " << i;
+    ASSERT_EQ(r.fields.size(), kFields);
+    for (const std::string& f : r.fields) {
+      EXPECT_EQ(f.size(), kFieldLen);
+    }
+  }
+}
+
+template <typename BackendT>
+void RunJnvmScenario(bool crash) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 64 << 20;
+  o.strict = crash;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  store::StoreOptions sopts;
+  sopts.cache_ratio = 0.0;
+
+  // Phase 1: load + workload.
+  {
+    auto rt = core::JnvmRuntime::Format(dev.get());
+    BackendT backend(rt.get());
+    store::KvStore kv(&backend, nullptr, sopts);
+    ycsb::LoadPhase(&kv, SmallSpec(ycsb::WorkloadSpec::A()));
+    ycsb::RunPhase(&kv, SmallSpec(ycsb::WorkloadSpec::A()), 2'000, 1, 7);
+    EXPECT_TRUE(core::VerifyHeapIntegrity(*rt).ok());
+    if (crash) {
+      dev->ScheduleCrashAfter(5'000);
+      try {
+        ycsb::RunPhase(&kv, SmallSpec(ycsb::WorkloadSpec::A()), 50'000, 1, 9);
+        dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+      rt->Abandon();
+    }
+  }
+  if (crash) {
+    dev->Crash(1234);
+  }
+
+  // Phase 2: restart (recovery when crashed), verify, keep serving.
+  auto rt = core::JnvmRuntime::Open(dev.get());
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*rt).ok());
+  BackendT backend(rt.get());
+  store::KvStore kv(&backend, nullptr, sopts);
+  EXPECT_EQ(backend.Size(), kRecords);
+  VerifyAllRecords(kv);
+  const auto result = ycsb::RunPhase(&kv, SmallSpec(ycsb::WorkloadSpec::A()),
+                                     2'000, 1, 11);
+  EXPECT_EQ(result.ops, 2'000u);
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*rt).ok());
+}
+
+TEST(StoreIntegration, JpdtCleanRestart) { RunJnvmScenario<store::JpdtBackend>(false); }
+TEST(StoreIntegration, JpdtCrashRecovery) { RunJnvmScenario<store::JpdtBackend>(true); }
+TEST(StoreIntegration, JpfaCleanRestart) { RunJnvmScenario<store::JpfaBackend>(false); }
+TEST(StoreIntegration, JpfaCrashRecovery) { RunJnvmScenario<store::JpfaBackend>(true); }
+
+TEST(StoreIntegration, FsRestartWithIndexRebuildAndWarmCache) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 64 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  fs::FsOptions fopts;
+  fopts.syscall_latency_ns = 0;
+  store::StoreOptions sopts;
+  sopts.cache_ratio = 0.25;
+  sopts.expected_records = kRecords;
+  {
+    fs::NvmFs simfs(dev.get(), 0, 64 << 20, fopts);
+    store::FsBackend backend(&simfs, "FS");
+    gcsim::ManagedHeap gc(gcsim::GcOptions{});
+    store::KvStore kv(&backend, &gc, sopts);
+    ycsb::LoadPhase(&kv, SmallSpec(ycsb::WorkloadSpec::A()));
+    ycsb::RunPhase(&kv, SmallSpec(ycsb::WorkloadSpec::A()), 3'000, 1, 7);
+  }  // killed
+  fs::NvmFs simfs(dev.get(), 0, 64 << 20, fopts);
+  store::FsBackend backend(&simfs, "FS");
+  EXPECT_EQ(backend.RebuildIndex(), kRecords);
+  gcsim::ManagedHeap gc(gcsim::GcOptions{});
+  store::KvStore kv(&backend, &gc, sopts);
+  EXPECT_EQ(kv.WarmCache(backend.Keys()), kRecords / 4);
+  VerifyAllRecords(kv);
+}
+
+// Two stores on one runtime (distinct root names) must not interfere.
+TEST(StoreIntegration, TwoBackendsShareOneHeap) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 64 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  auto rt = core::JnvmRuntime::Format(dev.get());
+  store::JpdtBackend a(rt.get(), "store.a");
+  store::JpdtBackend b(rt.get(), "store.b");
+  const Record ra = store::SyntheticRecord(1, 0, 3, 8);
+  const Record rb = store::SyntheticRecord(2, 0, 3, 8);
+  a.Put("k", ra);
+  b.Put("k", rb);
+  Record out;
+  ASSERT_TRUE(a.Get("k", &out));
+  EXPECT_EQ(out, ra);
+  ASSERT_TRUE(b.Get("k", &out));
+  EXPECT_EQ(out, rb);
+  a.Delete("k");
+  EXPECT_FALSE(a.Get("k", &out));
+  ASSERT_TRUE(b.Get("k", &out));
+  EXPECT_EQ(out, rb);
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*rt).ok());
+}
+
+// Workload D (inserts) against a persistent backend across restart: the
+// extended key space must survive.
+TEST(StoreIntegration, WorkloadDInsertsSurviveRestart) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 64 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  uint64_t inserted = 0;
+  {
+    auto rt = core::JnvmRuntime::Format(dev.get());
+    store::JpdtBackend backend(rt.get());
+    store::StoreOptions sopts;
+    sopts.cache_ratio = 0.0;
+    store::KvStore kv(&backend, nullptr, sopts);
+    const auto spec = SmallSpec(ycsb::WorkloadSpec::D());
+    ycsb::LoadPhase(&kv, spec);
+    const auto result = ycsb::RunPhase(&kv, spec, 3'000, 1, 13);
+    inserted = result.insert.count();
+    EXPECT_GT(inserted, 0u);
+  }
+  auto rt = core::JnvmRuntime::Open(dev.get());
+  store::JpdtBackend backend(rt.get());
+  EXPECT_EQ(backend.Size(), kRecords + inserted);
+}
+
+}  // namespace
+}  // namespace jnvm

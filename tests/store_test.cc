@@ -1,0 +1,412 @@
+// Store tests: backend conformance across all seven backends (parameterized),
+// cache behaviour, restart paths, and crash atomicity of the J-NVM backends.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/store/fs_backend.h"
+#include "src/store/jpdt_backend.h"
+#include "src/store/jpfa_backend.h"
+#include "src/store/kvstore.h"
+#include "src/store/pcj_backend.h"
+#include "src/store/volatile_backend.h"
+
+namespace jnvm::store {
+namespace {
+
+enum class Kind { kJpdt, kJpfa, kFs, kTmpfs, kNullfs, kPcj, kVolatile };
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kJpdt: return "Jpdt";
+    case Kind::kJpfa: return "Jpfa";
+    case Kind::kFs: return "Fs";
+    case Kind::kTmpfs: return "Tmpfs";
+    case Kind::kNullfs: return "Nullfs";
+    case Kind::kPcj: return "Pcj";
+    case Kind::kVolatile: return "Volatile";
+  }
+  return "?";
+}
+
+struct StoreFixture {
+  explicit StoreFixture(Kind kind, bool strict = false) {
+    fs::FsOptions fast;
+    fast.syscall_latency_ns = 0;
+    switch (kind) {
+      case Kind::kJpdt:
+      case Kind::kJpfa: {
+        nvm::DeviceOptions o;
+        o.size_bytes = 32 << 20;
+        o.strict = strict;
+        dev = std::make_unique<nvm::PmemDevice>(o);
+        rt = core::JnvmRuntime::Format(dev.get());
+        if (kind == Kind::kJpdt) {
+          backend = std::make_unique<JpdtBackend>(rt.get());
+        } else {
+          backend = std::make_unique<JpfaBackend>(rt.get());
+        }
+        break;
+      }
+      case Kind::kFs: {
+        nvm::DeviceOptions o;
+        o.size_bytes = 32 << 20;
+        o.strict = strict;
+        dev = std::make_unique<nvm::PmemDevice>(o);
+        simfs = std::make_unique<fs::NvmFs>(dev.get(), 0, 32 << 20, fast);
+        backend = std::make_unique<FsBackend>(simfs.get(), "FS");
+        break;
+      }
+      case Kind::kTmpfs:
+        simfs = std::make_unique<fs::TmpFs>(32 << 20, fast);
+        backend = std::make_unique<FsBackend>(simfs.get(), "TmpFS");
+        break;
+      case Kind::kNullfs:
+        simfs = std::make_unique<fs::NullFs>(32 << 20, fast);
+        backend = std::make_unique<FsBackend>(simfs.get(), "NullFS");
+        break;
+      case Kind::kPcj: {
+        nvm::DeviceOptions o;
+        o.size_bytes = 32 << 20;
+        o.strict = strict;
+        dev = std::make_unique<nvm::PmemDevice>(o);
+        pool = std::make_unique<pmdkx::PmdkPool>(dev.get(), 0, 32 << 20);
+        PcjOptions popts;
+        popts.jni_crossing_ns = 0;  // no artificial latency in tests
+        popts.fields_per_record = 3;
+        backend = std::make_unique<PcjBackend>(pool.get(), popts);
+        break;
+      }
+      case Kind::kVolatile:
+        gc = std::make_unique<gcsim::ManagedHeap>(gcsim::GcOptions{});
+        backend = std::make_unique<VolatileBackend>(gc.get());
+        break;
+    }
+  }
+
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<core::JnvmRuntime> rt;
+  std::unique_ptr<gcsim::ManagedHeap> gc;
+  std::unique_ptr<fs::SimFs> simfs;
+  std::unique_ptr<pmdkx::PmdkPool> pool;
+  std::unique_ptr<Backend> backend;
+};
+
+Record MakeRecord(int tag, uint32_t nfields = 3, uint32_t len = 16) {
+  return SyntheticRecord(static_cast<uint64_t>(tag), 0, nfields, len);
+}
+
+// ---- Backend conformance (parameterized over every backend) -------------------
+
+class BackendConformanceTest : public ::testing::TestWithParam<Kind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformanceTest,
+                         ::testing::Values(Kind::kJpdt, Kind::kJpfa, Kind::kFs,
+                                           Kind::kTmpfs, Kind::kNullfs, Kind::kPcj,
+                                           Kind::kVolatile),
+                         [](const auto& info) { return KindName(info.param); });
+
+TEST_P(BackendConformanceTest, PutGetRoundTrip) {
+  StoreFixture f(GetParam());
+  const Record r = MakeRecord(1);
+  f.backend->Put("key1", r);
+  Record out;
+  ASSERT_TRUE(f.backend->Get("key1", &out));
+  EXPECT_EQ(out, r);
+}
+
+TEST_P(BackendConformanceTest, MissingKey) {
+  StoreFixture f(GetParam());
+  Record out;
+  EXPECT_FALSE(f.backend->Get("missing", &out));
+  EXPECT_FALSE(f.backend->UpdateField("missing", 0, "x"));
+  EXPECT_FALSE(f.backend->Delete("missing"));
+}
+
+TEST_P(BackendConformanceTest, ReplaceValue) {
+  StoreFixture f(GetParam());
+  f.backend->Put("k", MakeRecord(1));
+  f.backend->Put("k", MakeRecord(2));
+  Record out;
+  ASSERT_TRUE(f.backend->Get("k", &out));
+  EXPECT_EQ(out, MakeRecord(2));
+  EXPECT_EQ(f.backend->Size(), 1u);
+}
+
+TEST_P(BackendConformanceTest, UpdateFieldTargeted) {
+  StoreFixture f(GetParam());
+  const Record r = MakeRecord(1);
+  f.backend->Put("k", r);
+  const std::string nv(16, 'Z');
+  ASSERT_TRUE(f.backend->UpdateField("k", 1, nv));
+  Record out;
+  ASSERT_TRUE(f.backend->Get("k", &out));
+  EXPECT_EQ(out.fields[0], r.fields[0]);
+  EXPECT_EQ(out.fields[1], nv);
+  EXPECT_EQ(out.fields[2], r.fields[2]);
+}
+
+TEST_P(BackendConformanceTest, DeleteRemoves) {
+  StoreFixture f(GetParam());
+  f.backend->Put("k", MakeRecord(1));
+  EXPECT_TRUE(f.backend->Delete("k"));
+  Record out;
+  EXPECT_FALSE(f.backend->Get("k", &out));
+  EXPECT_EQ(f.backend->Size(), 0u);
+}
+
+TEST_P(BackendConformanceTest, ManyKeys) {
+  StoreFixture f(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    f.backend->Put("key" + std::to_string(i), MakeRecord(i));
+  }
+  EXPECT_EQ(f.backend->Size(), 200u);
+  Record out;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(f.backend->Get("key" + std::to_string(i), &out)) << i;
+    EXPECT_EQ(out, MakeRecord(i)) << i;
+  }
+}
+
+// ---- J-NVM backends across restart ---------------------------------------------
+
+TEST(JpdtBackendTest, SurvivesRestart) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 32 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  {
+    auto rt = core::JnvmRuntime::Format(dev.get());
+    JpdtBackend b(rt.get());
+    for (int i = 0; i < 50; ++i) {
+      b.Put("key" + std::to_string(i), MakeRecord(i));
+    }
+    b.Delete("key13");
+  }
+  auto rt = core::JnvmRuntime::Open(dev.get());
+  JpdtBackend b(rt.get());
+  EXPECT_EQ(b.Size(), 49u);
+  Record out;
+  ASSERT_TRUE(b.Get("key31", &out));
+  EXPECT_EQ(out, MakeRecord(31));
+  EXPECT_FALSE(b.Get("key13", &out));
+}
+
+TEST(JpfaBackendTest, SurvivesRestart) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 32 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  {
+    auto rt = core::JnvmRuntime::Format(dev.get());
+    JpfaBackend b(rt.get());
+    for (int i = 0; i < 50; ++i) {
+      b.Put("key" + std::to_string(i), MakeRecord(i));
+    }
+    b.Delete("key13");
+  }
+  auto rt = core::JnvmRuntime::Open(dev.get());
+  JpfaBackend b(rt.get());
+  EXPECT_EQ(b.Size(), 49u);
+  Record out;
+  ASSERT_TRUE(b.Get("key31", &out));
+  EXPECT_EQ(out, MakeRecord(31));
+  EXPECT_FALSE(b.Get("key13", &out));
+}
+
+// ---- Crash atomicity of the J-PFA backend ---------------------------------------
+
+TEST(JpfaBackendCrashTest, PutIsAllOrNothing) {
+  for (uint64_t crash_at = 20; crash_at < 800; crash_at += 61) {
+    nvm::DeviceOptions o;
+    o.size_bytes = 32 << 20;
+    o.strict = true;
+    auto dev = std::make_unique<nvm::PmemDevice>(o);
+    {
+      auto rt = core::JnvmRuntime::Format(dev.get());
+      JpfaBackend b(rt.get());
+      b.Put("stable", MakeRecord(7));
+      rt->Psync();
+      dev->ScheduleCrashAfter(crash_at);
+      try {
+        for (int i = 0; i < 20; ++i) {
+          b.Put("k" + std::to_string(i), MakeRecord(i));
+        }
+        dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+      rt->Abandon();
+    }
+    dev->Crash(crash_at);
+    auto rt = core::JnvmRuntime::Open(dev.get());
+    JpfaBackend b(rt.get());
+    Record out;
+    ASSERT_TRUE(b.Get("stable", &out)) << crash_at;
+    EXPECT_EQ(out, MakeRecord(7)) << crash_at;
+    // Any key that survived must carry a complete record.
+    for (int i = 0; i < 20; ++i) {
+      if (b.Get("k" + std::to_string(i), &out)) {
+        EXPECT_EQ(out, MakeRecord(i)) << "torn record, crash_at=" << crash_at;
+      }
+    }
+  }
+}
+
+TEST(JpfaBackendCrashTest, FieldUpdateAtomicInBlock) {
+  // J-PFA updates run inside failure-atomic blocks: a field update is
+  // all-or-nothing even though it writes in place.
+  for (uint64_t crash_at = 5; crash_at < 300; crash_at += 23) {
+    nvm::DeviceOptions o;
+    o.size_bytes = 32 << 20;
+    o.strict = true;
+    auto dev = std::make_unique<nvm::PmemDevice>(o);
+    const Record original = MakeRecord(1);
+    {
+      auto rt = core::JnvmRuntime::Format(dev.get());
+      JpfaBackend b(rt.get());
+      b.Put("k", original);
+      rt->Psync();
+      dev->ScheduleCrashAfter(crash_at);
+      try {
+        b.UpdateField("k", 1, std::string(16, 'Z'));
+        dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+      rt->Abandon();
+    }
+    dev->Crash(crash_at * 13 + 1);
+    auto rt = core::JnvmRuntime::Open(dev.get());
+    JpfaBackend b(rt.get());
+    Record out;
+    ASSERT_TRUE(b.Get("k", &out)) << crash_at;
+    const bool old_value = out.fields[1] == original.fields[1];
+    const bool new_value = out.fields[1] == std::string(16, 'Z');
+    EXPECT_TRUE(old_value || new_value) << "torn field update, crash_at=" << crash_at;
+    EXPECT_EQ(out.fields[0], original.fields[0]);
+    EXPECT_EQ(out.fields[2], original.fields[2]);
+  }
+}
+
+// ---- KvStore cache ---------------------------------------------------------------
+
+struct KvFixture {
+  KvFixture(double ratio, uint64_t expected) {
+    gc = std::make_unique<gcsim::ManagedHeap>(gcsim::GcOptions{});
+    fs::FsOptions fast;
+    fast.syscall_latency_ns = 0;
+    simfs = std::make_unique<fs::TmpFs>(32 << 20, fast);
+    backend = std::make_unique<FsBackend>(simfs.get(), "FS");
+    StoreOptions opts;
+    opts.cache_ratio = ratio;
+    opts.expected_records = expected;
+    kv = std::make_unique<KvStore>(backend.get(), gc.get(), opts);
+  }
+  std::unique_ptr<gcsim::ManagedHeap> gc;
+  std::unique_ptr<fs::TmpFs> simfs;
+  std::unique_ptr<FsBackend> backend;
+  std::unique_ptr<KvStore> kv;
+};
+
+TEST(KvStoreTest, ReadThroughAndHit) {
+  KvFixture f(1.0, 100);
+  f.kv->Insert("k", MakeRecord(1));
+  Record out;
+  ASSERT_TRUE(f.kv->Read("k", &out));  // hit: inserted into cache on Insert
+  ASSERT_TRUE(f.kv->Read("k", &out));
+  const CacheStats s = f.kv->cache_stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 0u);
+}
+
+TEST(KvStoreTest, MissPopulatesCache) {
+  KvFixture f(1.0, 100);
+  f.backend->Put("cold", MakeRecord(3));  // behind the store's back
+  Record out;
+  ASSERT_TRUE(f.kv->Read("cold", &out));
+  EXPECT_EQ(f.kv->cache_stats().misses, 1u);
+  ASSERT_TRUE(f.kv->Read("cold", &out));
+  EXPECT_EQ(f.kv->cache_stats().hits, 1u);
+}
+
+TEST(KvStoreTest, EvictionRespectsCapacity) {
+  KvFixture f(0.1, 100);  // capacity 10
+  for (int i = 0; i < 50; ++i) {
+    f.kv->Insert("k" + std::to_string(i), MakeRecord(i));
+  }
+  const CacheStats s = f.kv->cache_stats();
+  EXPECT_LE(s.entries, 10u);
+  EXPECT_GE(s.evictions, 40u);
+}
+
+TEST(KvStoreTest, WriteThroughUpdatesBackend) {
+  KvFixture f(1.0, 100);
+  f.kv->Insert("k", MakeRecord(1));
+  f.kv->Update("k", 0, std::string(16, 'Q'));
+  // Backend has the new value even though the cache could have served it.
+  Record out;
+  ASSERT_TRUE(f.backend->Get("k", &out));
+  EXPECT_EQ(out.fields[0], std::string(16, 'Q'));
+}
+
+TEST(KvStoreTest, CacheDisabledWithZeroRatio) {
+  KvFixture f(0.0, 100);
+  f.kv->Insert("k", MakeRecord(1));
+  Record out;
+  ASSERT_TRUE(f.kv->Read("k", &out));
+  const CacheStats s = f.kv->cache_stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+}
+
+TEST(KvStoreTest, WarmCacheLoadsFromBackend) {
+  KvFixture f(0.5, 20);  // capacity 10
+  for (int i = 0; i < 20; ++i) {
+    f.backend->Put("k" + std::to_string(i), MakeRecord(i));
+  }
+  const size_t loaded = f.kv->WarmCache(f.backend->Keys());
+  EXPECT_EQ(loaded, 10u);
+}
+
+TEST(KvStoreTest, RmwReadsThenWrites) {
+  KvFixture f(1.0, 100);
+  f.kv->Insert("k", MakeRecord(1));
+  ASSERT_TRUE(f.kv->ReadModifyWrite("k", 2, std::string(16, 'M')));
+  Record out;
+  ASSERT_TRUE(f.kv->Read("k", &out));
+  EXPECT_EQ(out.fields[2], std::string(16, 'M'));
+}
+
+TEST(KvStoreTest, DeleteErasesEverywhere) {
+  KvFixture f(1.0, 100);
+  f.kv->Insert("k", MakeRecord(1));
+  EXPECT_TRUE(f.kv->Delete("k"));
+  Record out;
+  EXPECT_FALSE(f.kv->Read("k", &out));
+  EXPECT_FALSE(f.backend->Get("k", &out));
+}
+
+// ---- PRecord ----------------------------------------------------------------------
+
+TEST(PRecordTest, FieldRoundTrip) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 16 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  auto rt = core::JnvmRuntime::Format(dev.get());
+  const Record r = MakeRecord(5, 10, 100);
+  PRecord pr(*rt, r);
+  EXPECT_EQ(pr.NumFields(), 10u);
+  EXPECT_EQ(pr.ToRecord(), r);
+  pr.SetField(4, std::string(100, 'x'));
+  EXPECT_EQ(pr.GetField(4), std::string(100, 'x'));
+  EXPECT_EQ(pr.GetField(3), r.fields[3]);
+}
+
+TEST(PRecordTest, LargeFieldsSpanBlocks) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 64 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  auto rt = core::JnvmRuntime::Format(dev.get());
+  const Record r = MakeRecord(2, 4, 10'000);
+  PRecord pr(*rt, r);
+  EXPECT_EQ(pr.ToRecord(), r);
+}
+
+}  // namespace
+}  // namespace jnvm::store

@@ -1,0 +1,110 @@
+// Tests for the full TPC-B schema: the four-way transaction (account,
+// teller, branch, history) is one failure-atomic block; the balance-sum
+// invariant across the three tables must hold after restarts and at every
+// crash point.
+#include <gtest/gtest.h>
+
+#include "src/core/integrity.h"
+#include "src/tpcb/bank.h"
+
+namespace jnvm::tpcb {
+namespace {
+
+struct Fixture {
+  explicit Fixture(bool strict = false) {
+    nvm::DeviceOptions o;
+    o.size_bytes = 128 << 20;
+    o.strict = strict;
+    dev = std::make_unique<nvm::PmemDevice>(o);
+    rt = core::JnvmRuntime::Format(dev.get());
+  }
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<core::JnvmRuntime> rt;
+};
+
+TEST(TpcbFullTest, TransactionUpdatesAllFourTables) {
+  Fixture f;
+  TpcbFullBank bank(f.rt.get());
+  bank.Create(2);
+  EXPECT_EQ(bank.NumBranches(), 2);
+  bank.Transaction(/*account=*/1500, /*teller=*/12, /*delta=*/100);
+  EXPECT_EQ(bank.AccountBalance(1500), 100);
+  EXPECT_EQ(bank.TellerBalance(12), 100);
+  EXPECT_EQ(bank.BranchBalance(1), 100);  // account 1500 -> branch 1
+  EXPECT_EQ(bank.HistorySize(), 1u);
+  EXPECT_TRUE(bank.CheckConsistent());
+}
+
+TEST(TpcbFullTest, ManyTransactionsStayConsistent) {
+  Fixture f;
+  TpcbFullBank bank(f.rt.get());
+  bank.Create(2);
+  Xorshift rng(5);
+  for (int i = 0; i < 500; ++i) {
+    bank.Transaction(static_cast<int64_t>(rng.NextBelow(2000)),
+                     static_cast<int64_t>(rng.NextBelow(20)),
+                     static_cast<int64_t>(rng.NextBelow(1000)) - 500);
+  }
+  std::string why;
+  EXPECT_TRUE(bank.CheckConsistent(&why)) << why;
+  EXPECT_EQ(bank.HistorySize(), 500u);
+  EXPECT_TRUE(core::VerifyHeapIntegrity(*f.rt).ok());
+}
+
+TEST(TpcbFullTest, SurvivesRestart) {
+  Fixture f;
+  {
+    TpcbFullBank bank(f.rt.get());
+    bank.Create(1);
+    bank.Transaction(3, 2, 77);
+    bank.Transaction(4, 2, -30);
+  }
+  f.rt.reset();
+  f.rt = core::JnvmRuntime::Open(f.dev.get());
+  TpcbFullBank bank(f.rt.get());
+  EXPECT_EQ(bank.AccountBalance(3), 77);
+  EXPECT_EQ(bank.AccountBalance(4), -30);
+  EXPECT_EQ(bank.TellerBalance(2), 47);
+  EXPECT_EQ(bank.BranchBalance(0), 47);
+  EXPECT_EQ(bank.HistorySize(), 2u);
+  std::string why;
+  EXPECT_TRUE(bank.CheckConsistent(&why)) << why;
+}
+
+TEST(TpcbFullCrashTest, FourWayAtomicityAcrossCrashSweep) {
+  for (uint64_t crash_at = 50; crash_at < 2200; crash_at += 173) {
+    Fixture f(/*strict=*/true);
+    {
+      TpcbFullBank bank(f.rt.get());
+      bank.Create(1);
+      f.rt->Psync();
+      f.dev->ScheduleCrashAfter(crash_at);
+      Xorshift rng(crash_at);
+      try {
+        for (int i = 0; i < 40; ++i) {
+          bank.Transaction(static_cast<int64_t>(rng.NextBelow(1000)),
+                           static_cast<int64_t>(rng.NextBelow(10)),
+                           static_cast<int64_t>(rng.NextBelow(200)) - 100);
+        }
+        f.dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+      f.rt->Abandon();
+    }
+    f.rt.reset();
+    f.dev->Crash(crash_at * 2654435761u);
+    f.rt = core::JnvmRuntime::Open(f.dev.get());
+    TpcbFullBank bank(f.rt.get());
+    std::string why;
+    EXPECT_TRUE(bank.CheckConsistent(&why))
+        << "crash_at " << crash_at << ": " << why
+        << " (a torn transaction leaked through the failure-atomic block)";
+    EXPECT_TRUE(core::VerifyHeapIntegrity(*f.rt).ok()) << "crash_at " << crash_at;
+    // Service continues after recovery.
+    bank.Transaction(1, 1, 10);
+    EXPECT_TRUE(bank.CheckConsistent(&why)) << why;
+  }
+}
+
+}  // namespace
+}  // namespace jnvm::tpcb

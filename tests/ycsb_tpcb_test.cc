@@ -1,0 +1,209 @@
+// Tests for the YCSB workload generator/runner and the TPC-B bank,
+// including the bank's crash-recovery conservation property (Figure 11's
+// correctness side).
+#include <gtest/gtest.h>
+
+#include "src/store/volatile_backend.h"
+#include "src/tpcb/bank.h"
+#include "src/ycsb/runner.h"
+
+namespace jnvm {
+namespace {
+
+using store::Record;
+
+// ---- Workload specs -----------------------------------------------------------
+
+TEST(WorkloadSpec, ProportionsMatchPaper) {
+  const auto a = ycsb::WorkloadSpec::A();
+  EXPECT_DOUBLE_EQ(a.read + a.update, 1.0);
+  EXPECT_DOUBLE_EQ(a.update, 0.5);
+  const auto b = ycsb::WorkloadSpec::B();
+  EXPECT_DOUBLE_EQ(b.read, 0.95);
+  const auto c = ycsb::WorkloadSpec::C();
+  EXPECT_DOUBLE_EQ(c.read, 1.0);
+  const auto d = ycsb::WorkloadSpec::D();
+  EXPECT_DOUBLE_EQ(d.insert, 0.05);
+  EXPECT_EQ(d.dist, ycsb::Dist::kLatest);
+  const auto f = ycsb::WorkloadSpec::F();
+  EXPECT_DOUBLE_EQ(f.rmw, 0.5);
+}
+
+TEST(WorkloadSpec, DefaultRecordShape) {
+  const auto a = ycsb::WorkloadSpec::A();
+  EXPECT_EQ(a.record_count, 3'000'000u);
+  EXPECT_EQ(a.fields, 10u);
+  EXPECT_EQ(a.field_len, 100u);
+}
+
+TEST(YcsbKeys, DeterministicAndDistinct) {
+  EXPECT_EQ(ycsb::KeyFor(7), ycsb::KeyFor(7));
+  EXPECT_NE(ycsb::KeyFor(7), ycsb::KeyFor(8));
+  EXPECT_EQ(ycsb::KeyFor(0).rfind("user", 0), 0u);
+}
+
+// ---- Runner -------------------------------------------------------------------
+
+struct RunnerFixture {
+  RunnerFixture() {
+    gc = std::make_unique<gcsim::ManagedHeap>(gcsim::GcOptions{});
+    backend = std::make_unique<store::VolatileBackend>(gc.get());
+    store::StoreOptions opts;
+    opts.cache_ratio = 0.0;
+    kv = std::make_unique<store::KvStore>(backend.get(), nullptr, opts);
+  }
+  std::unique_ptr<gcsim::ManagedHeap> gc;
+  std::unique_ptr<store::VolatileBackend> backend;
+  std::unique_ptr<store::KvStore> kv;
+};
+
+TEST(YcsbRunner, LoadPhaseInsertsAllRecords) {
+  RunnerFixture f;
+  auto spec = ycsb::WorkloadSpec::A();
+  spec.record_count = 500;
+  spec.fields = 3;
+  spec.field_len = 8;
+  ycsb::LoadPhase(f.kv.get(), spec);
+  EXPECT_EQ(f.backend->Size(), 500u);
+  Record r;
+  EXPECT_TRUE(f.kv->Read(ycsb::KeyFor(123), &r));
+  EXPECT_EQ(r.fields.size(), 3u);
+}
+
+TEST(YcsbRunner, RunPhaseExecutesRequestedOps) {
+  RunnerFixture f;
+  auto spec = ycsb::WorkloadSpec::A();
+  spec.record_count = 200;
+  spec.fields = 3;
+  spec.field_len = 8;
+  ycsb::LoadPhase(f.kv.get(), spec);
+  const auto result = ycsb::RunPhase(f.kv.get(), spec, 2000, 1, 7);
+  EXPECT_EQ(result.ops, 2000u);
+  EXPECT_GT(result.throughput_ops_s, 0.0);
+  // ~50/50 split with some statistical slack.
+  EXPECT_NEAR(static_cast<double>(result.read.count()) / 2000.0, 0.5, 0.08);
+  EXPECT_NEAR(static_cast<double>(result.update.count()) / 2000.0, 0.5, 0.08);
+}
+
+TEST(YcsbRunner, WorkloadDInsertsGrowKeySpace) {
+  RunnerFixture f;
+  auto spec = ycsb::WorkloadSpec::D();
+  spec.record_count = 200;
+  spec.fields = 2;
+  spec.field_len = 8;
+  ycsb::LoadPhase(f.kv.get(), spec);
+  const auto result = ycsb::RunPhase(f.kv.get(), spec, 3000, 1, 7);
+  EXPECT_GT(result.insert.count(), 0u);
+  EXPECT_EQ(f.backend->Size(), 200u + result.insert.count());
+}
+
+TEST(YcsbRunner, WorkloadFDoesRmw) {
+  RunnerFixture f;
+  auto spec = ycsb::WorkloadSpec::F();
+  spec.record_count = 100;
+  spec.fields = 2;
+  spec.field_len = 8;
+  ycsb::LoadPhase(f.kv.get(), spec);
+  const auto result = ycsb::RunPhase(f.kv.get(), spec, 1000, 1, 7);
+  EXPECT_GT(result.rmw.count(), 300u);
+  EXPECT_EQ(result.rmw.count() + result.read.count(), 1000u);
+}
+
+TEST(YcsbRunner, MultiThreadedCompletes) {
+  RunnerFixture f;
+  auto spec = ycsb::WorkloadSpec::A();
+  spec.record_count = 100;
+  spec.fields = 2;
+  spec.field_len = 8;
+  ycsb::LoadPhase(f.kv.get(), spec);
+  const auto result = ycsb::RunPhase(f.kv.get(), spec, 4000, 4, 7);
+  EXPECT_EQ(result.ops, 4000u);
+}
+
+// ---- TPC-B banks -----------------------------------------------------------------
+
+TEST(VolatileBankTest, TransfersConserveTotal) {
+  tpcb::VolatileBank bank;
+  bank.CreateAccounts(100, 1000);
+  Xorshift rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    bank.Transfer(static_cast<int64_t>(rng.NextBelow(100)),
+                  static_cast<int64_t>(rng.NextBelow(100)), 10);
+  }
+  int64_t total = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    total += bank.Balance(i);
+  }
+  EXPECT_EQ(total, 100 * 1000);
+}
+
+TEST(JpfaBankTest, TransfersAndRestart) {
+  nvm::DeviceOptions o;
+  o.size_bytes = 32 << 20;
+  auto dev = std::make_unique<nvm::PmemDevice>(o);
+  {
+    auto rt = core::JnvmRuntime::Format(dev.get());
+    tpcb::JpfaBank bank(rt.get());
+    bank.CreateAccounts(50, 100);
+    bank.Transfer(1, 2, 30);
+    EXPECT_EQ(bank.Balance(1), 70);
+    EXPECT_EQ(bank.Balance(2), 130);
+  }
+  auto rt = core::JnvmRuntime::Open(dev.get());
+  tpcb::JpfaBank bank(rt.get());
+  EXPECT_EQ(bank.NumAccounts(), 50u);
+  EXPECT_EQ(bank.Balance(1), 70);
+  EXPECT_EQ(bank.Balance(2), 130);
+}
+
+// The Figure 11 correctness property: crash mid-stream, recover (with the
+// graph GC or the nogc block scan) and the total balance is conserved.
+void RunBankCrashSweep(bool graph_recovery) {
+  for (uint64_t crash_at : {100u, 400u, 900u, 1600u, 2500u}) {
+    nvm::DeviceOptions o;
+    o.size_bytes = 32 << 20;
+    o.strict = true;
+    auto dev = std::make_unique<nvm::PmemDevice>(o);
+    constexpr int64_t kAccounts = 20;
+    constexpr int64_t kInitial = 1000;
+    {
+      auto rt = core::JnvmRuntime::Format(dev.get());
+      tpcb::JpfaBank bank(rt.get());
+      bank.CreateAccounts(kAccounts, kInitial);
+      rt->Psync();
+      dev->ScheduleCrashAfter(crash_at);
+      Xorshift rng(crash_at);
+      try {
+        for (int i = 0; i < 200; ++i) {
+          bank.Transfer(static_cast<int64_t>(rng.NextBelow(kAccounts)),
+                        static_cast<int64_t>(rng.NextBelow(kAccounts)), 7);
+        }
+        dev->CancelScheduledCrash();
+      } catch (const nvm::SimulatedCrash&) {
+      }
+      rt->Abandon();
+    }
+    dev->Crash(crash_at + 17);
+    core::RuntimeOptions opts;
+    opts.graph_recovery = graph_recovery;
+    auto rt = core::JnvmRuntime::Open(dev.get(), opts);
+    tpcb::JpfaBank bank(rt.get());
+    ASSERT_EQ(bank.NumAccounts(), static_cast<uint64_t>(kAccounts));
+    int64_t total = 0;
+    for (int64_t i = 0; i < kAccounts; ++i) {
+      total += bank.Balance(i);
+    }
+    EXPECT_EQ(total, kAccounts * kInitial)
+        << "money lost/created at crash point " << crash_at
+        << (graph_recovery ? " (graph)" : " (nogc)");
+  }
+}
+
+TEST(JpfaBankCrashTest, TotalConservedWithGraphRecovery) { RunBankCrashSweep(true); }
+
+// The nogc recovery is sound for the bank: every allocation is published in
+// the same failure-atomic block (§5.3.3).
+TEST(JpfaBankCrashTest, TotalConservedWithNogcRecovery) { RunBankCrashSweep(false); }
+
+}  // namespace
+}  // namespace jnvm
