@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gc_mode.dir/abl_gc_mode.cc.o"
+  "CMakeFiles/abl_gc_mode.dir/abl_gc_mode.cc.o.d"
+  "abl_gc_mode"
+  "abl_gc_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gc_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_map_variants.dir/abl_map_variants.cc.o"
+  "CMakeFiles/abl_map_variants.dir/abl_map_variants.cc.o.d"
+  "abl_map_variants"
+  "abl_map_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_map_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

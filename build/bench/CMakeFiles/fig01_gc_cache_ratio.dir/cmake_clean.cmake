@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_gc_cache_ratio.dir/fig01_gc_cache_ratio.cc.o"
+  "CMakeFiles/fig01_gc_cache_ratio.dir/fig01_gc_cache_ratio.cc.o.d"
+  "fig01_gc_cache_ratio"
+  "fig01_gc_cache_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_gc_cache_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_gc_cache_ratio.
+# This may be replaced when dependencies are built.

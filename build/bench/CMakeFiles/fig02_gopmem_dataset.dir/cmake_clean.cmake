@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_gopmem_dataset.dir/fig02_gopmem_dataset.cc.o"
+  "CMakeFiles/fig02_gopmem_dataset.dir/fig02_gopmem_dataset.cc.o.d"
+  "fig02_gopmem_dataset"
+  "fig02_gopmem_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_gopmem_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

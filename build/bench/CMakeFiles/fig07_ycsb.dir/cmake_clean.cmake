@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ycsb.dir/fig07_ycsb.cc.o"
+  "CMakeFiles/fig07_ycsb.dir/fig07_ycsb.cc.o.d"
+  "fig07_ycsb"
+  "fig07_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_record_size.dir/fig08_record_size.cc.o"
+  "CMakeFiles/fig08_record_size.dir/fig08_record_size.cc.o.d"
+  "fig08_record_size"
+  "fig08_record_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_record_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

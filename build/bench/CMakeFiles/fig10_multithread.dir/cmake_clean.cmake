@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multithread.dir/fig10_multithread.cc.o"
+  "CMakeFiles/fig10_multithread.dir/fig10_multithread.cc.o.d"
+  "fig10_multithread"
+  "fig10_multithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_recovery.dir/fig11_recovery.cc.o"
+  "CMakeFiles/fig11_recovery.dir/fig11_recovery.cc.o.d"
+  "fig11_recovery"
+  "fig11_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

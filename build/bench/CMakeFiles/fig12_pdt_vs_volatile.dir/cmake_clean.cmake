@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pdt_vs_volatile.dir/fig12_pdt_vs_volatile.cc.o"
+  "CMakeFiles/fig12_pdt_vs_volatile.dir/fig12_pdt_vs_volatile.cc.o.d"
+  "fig12_pdt_vs_volatile"
+  "fig12_pdt_vs_volatile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pdt_vs_volatile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_deletion_sites.dir/tab01_deletion_sites.cc.o"
+  "CMakeFiles/tab01_deletion_sites.dir/tab01_deletion_sites.cc.o.d"
+  "tab01_deletion_sites"
+  "tab01_deletion_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_deletion_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab02_block_header.cc" "bench/CMakeFiles/tab02_block_header.dir/tab02_block_header.cc.o" "gcc" "bench/CMakeFiles/tab02_block_header.dir/tab02_block_header.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/jnvm_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcb/CMakeFiles/jnvm_tpcb.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/jnvm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcsim/CMakeFiles/jnvm_gcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdkx/CMakeFiles/jnvm_pmdkx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdt/CMakeFiles/jnvm_pdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jnvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfa/CMakeFiles/jnvm_pfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/jnvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/jnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_block_header.dir/tab02_block_header.cc.o"
+  "CMakeFiles/tab02_block_header.dir/tab02_block_header.cc.o.d"
+  "tab02_block_header"
+  "tab02_block_header.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_block_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_block_access.dir/tab03_block_access.cc.o"
+  "CMakeFiles/tab03_block_access.dir/tab03_block_access.cc.o.d"
+  "tab03_block_access"
+  "tab03_block_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_block_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

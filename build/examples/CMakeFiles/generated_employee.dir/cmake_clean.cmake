@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../generated/employee.gen.h"
+  "CMakeFiles/generated_employee.dir/generated_employee.cpp.o"
+  "CMakeFiles/generated_employee.dir/generated_employee.cpp.o.d"
+  "generated_employee"
+  "generated_employee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_employee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowlevel_fences.dir/lowlevel_fences.cpp.o"
+  "CMakeFiles/lowlevel_fences.dir/lowlevel_fences.cpp.o.d"
+  "lowlevel_fences"
+  "lowlevel_fences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowlevel_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lowlevel_fences.
+# This may be replaced when dependencies are built.

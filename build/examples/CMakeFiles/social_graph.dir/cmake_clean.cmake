@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_graph.dir/social_graph.cpp.o"
+  "CMakeFiles/social_graph.dir/social_graph.cpp.o.d"
+  "social_graph"
+  "social_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nvm")
+subdirs("heap")
+subdirs("pfa")
+subdirs("core")
+subdirs("pdt")
+subdirs("gcsim")
+subdirs("fs")
+subdirs("pmdkx")
+subdirs("store")
+subdirs("ycsb")
+subdirs("tpcb")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_common.dir/histogram.cc.o"
+  "CMakeFiles/jnvm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/jnvm_common.dir/rand.cc.o"
+  "CMakeFiles/jnvm_common.dir/rand.cc.o.d"
+  "libjnvm_common.a"
+  "libjnvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

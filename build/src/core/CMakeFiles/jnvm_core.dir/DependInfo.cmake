@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/integrity.cc" "src/core/CMakeFiles/jnvm_core.dir/integrity.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/integrity.cc.o.d"
+  "/root/repo/src/core/object_view.cc" "src/core/CMakeFiles/jnvm_core.dir/object_view.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/object_view.cc.o.d"
+  "/root/repo/src/core/pobject.cc" "src/core/CMakeFiles/jnvm_core.dir/pobject.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/pobject.cc.o.d"
+  "/root/repo/src/core/pool.cc" "src/core/CMakeFiles/jnvm_core.dir/pool.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/pool.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/jnvm_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/recovery.cc.o.d"
+  "/root/repo/src/core/ref_array.cc" "src/core/CMakeFiles/jnvm_core.dir/ref_array.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/ref_array.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/jnvm_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/root_map.cc" "src/core/CMakeFiles/jnvm_core.dir/root_map.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/root_map.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/jnvm_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/jnvm_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfa/CMakeFiles/jnvm_pfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/jnvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/jnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_core.dir/integrity.cc.o"
+  "CMakeFiles/jnvm_core.dir/integrity.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/object_view.cc.o"
+  "CMakeFiles/jnvm_core.dir/object_view.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/pobject.cc.o"
+  "CMakeFiles/jnvm_core.dir/pobject.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/pool.cc.o"
+  "CMakeFiles/jnvm_core.dir/pool.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/recovery.cc.o"
+  "CMakeFiles/jnvm_core.dir/recovery.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/ref_array.cc.o"
+  "CMakeFiles/jnvm_core.dir/ref_array.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/registry.cc.o"
+  "CMakeFiles/jnvm_core.dir/registry.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/root_map.cc.o"
+  "CMakeFiles/jnvm_core.dir/root_map.cc.o.d"
+  "CMakeFiles/jnvm_core.dir/runtime.cc.o"
+  "CMakeFiles/jnvm_core.dir/runtime.cc.o.d"
+  "libjnvm_core.a"
+  "libjnvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_gcsim.dir/managed_heap.cc.o"
+  "CMakeFiles/jnvm_gcsim.dir/managed_heap.cc.o.d"
+  "libjnvm_gcsim.a"
+  "libjnvm_gcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_gcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_heap.dir/free_queue.cc.o"
+  "CMakeFiles/jnvm_heap.dir/free_queue.cc.o.d"
+  "CMakeFiles/jnvm_heap.dir/heap.cc.o"
+  "CMakeFiles/jnvm_heap.dir/heap.cc.o.d"
+  "libjnvm_heap.a"
+  "libjnvm_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

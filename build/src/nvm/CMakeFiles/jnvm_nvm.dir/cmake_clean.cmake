@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_nvm.dir/pmem_device.cc.o"
+  "CMakeFiles/jnvm_nvm.dir/pmem_device.cc.o.d"
+  "libjnvm_nvm.a"
+  "libjnvm_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_pdt.dir/parray.cc.o"
+  "CMakeFiles/jnvm_pdt.dir/parray.cc.o.d"
+  "CMakeFiles/jnvm_pdt.dir/pext_array.cc.o"
+  "CMakeFiles/jnvm_pdt.dir/pext_array.cc.o.d"
+  "CMakeFiles/jnvm_pdt.dir/ppair.cc.o"
+  "CMakeFiles/jnvm_pdt.dir/ppair.cc.o.d"
+  "CMakeFiles/jnvm_pdt.dir/pstring.cc.o"
+  "CMakeFiles/jnvm_pdt.dir/pstring.cc.o.d"
+  "libjnvm_pdt.a"
+  "libjnvm_pdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_pdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

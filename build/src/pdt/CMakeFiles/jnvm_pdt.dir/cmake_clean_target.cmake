@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjnvm_pdt.a"
+)

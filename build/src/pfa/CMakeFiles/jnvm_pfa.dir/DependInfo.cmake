@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfa/fa_context.cc" "src/pfa/CMakeFiles/jnvm_pfa.dir/fa_context.cc.o" "gcc" "src/pfa/CMakeFiles/jnvm_pfa.dir/fa_context.cc.o.d"
+  "/root/repo/src/pfa/fa_log.cc" "src/pfa/CMakeFiles/jnvm_pfa.dir/fa_log.cc.o" "gcc" "src/pfa/CMakeFiles/jnvm_pfa.dir/fa_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/jnvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/jnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_pfa.dir/fa_context.cc.o"
+  "CMakeFiles/jnvm_pfa.dir/fa_context.cc.o.d"
+  "CMakeFiles/jnvm_pfa.dir/fa_log.cc.o"
+  "CMakeFiles/jnvm_pfa.dir/fa_log.cc.o.d"
+  "libjnvm_pfa.a"
+  "libjnvm_pfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_pfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

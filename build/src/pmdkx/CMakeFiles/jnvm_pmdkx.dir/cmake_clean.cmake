@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_pmdkx.dir/pmdk_pool.cc.o"
+  "CMakeFiles/jnvm_pmdkx.dir/pmdk_pool.cc.o.d"
+  "libjnvm_pmdkx.a"
+  "libjnvm_pmdkx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_pmdkx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

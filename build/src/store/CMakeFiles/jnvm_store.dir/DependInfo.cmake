@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/fs_backend.cc" "src/store/CMakeFiles/jnvm_store.dir/fs_backend.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/fs_backend.cc.o.d"
+  "/root/repo/src/store/jpdt_backend.cc" "src/store/CMakeFiles/jnvm_store.dir/jpdt_backend.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/jpdt_backend.cc.o.d"
+  "/root/repo/src/store/jpfa_backend.cc" "src/store/CMakeFiles/jnvm_store.dir/jpfa_backend.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/jpfa_backend.cc.o.d"
+  "/root/repo/src/store/jpfa_map.cc" "src/store/CMakeFiles/jnvm_store.dir/jpfa_map.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/jpfa_map.cc.o.d"
+  "/root/repo/src/store/kvstore.cc" "src/store/CMakeFiles/jnvm_store.dir/kvstore.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/kvstore.cc.o.d"
+  "/root/repo/src/store/pcj_backend.cc" "src/store/CMakeFiles/jnvm_store.dir/pcj_backend.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/pcj_backend.cc.o.d"
+  "/root/repo/src/store/precord.cc" "src/store/CMakeFiles/jnvm_store.dir/precord.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/precord.cc.o.d"
+  "/root/repo/src/store/record.cc" "src/store/CMakeFiles/jnvm_store.dir/record.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/record.cc.o.d"
+  "/root/repo/src/store/volatile_backend.cc" "src/store/CMakeFiles/jnvm_store.dir/volatile_backend.cc.o" "gcc" "src/store/CMakeFiles/jnvm_store.dir/volatile_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jnvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdt/CMakeFiles/jnvm_pdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcsim/CMakeFiles/jnvm_gcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdkx/CMakeFiles/jnvm_pmdkx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfa/CMakeFiles/jnvm_pfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/jnvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/jnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_store.dir/fs_backend.cc.o"
+  "CMakeFiles/jnvm_store.dir/fs_backend.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/jpdt_backend.cc.o"
+  "CMakeFiles/jnvm_store.dir/jpdt_backend.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/jpfa_backend.cc.o"
+  "CMakeFiles/jnvm_store.dir/jpfa_backend.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/jpfa_map.cc.o"
+  "CMakeFiles/jnvm_store.dir/jpfa_map.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/kvstore.cc.o"
+  "CMakeFiles/jnvm_store.dir/kvstore.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/pcj_backend.cc.o"
+  "CMakeFiles/jnvm_store.dir/pcj_backend.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/precord.cc.o"
+  "CMakeFiles/jnvm_store.dir/precord.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/record.cc.o"
+  "CMakeFiles/jnvm_store.dir/record.cc.o.d"
+  "CMakeFiles/jnvm_store.dir/volatile_backend.cc.o"
+  "CMakeFiles/jnvm_store.dir/volatile_backend.cc.o.d"
+  "libjnvm_store.a"
+  "libjnvm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

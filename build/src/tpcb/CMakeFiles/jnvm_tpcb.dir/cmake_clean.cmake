@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_tpcb.dir/bank.cc.o"
+  "CMakeFiles/jnvm_tpcb.dir/bank.cc.o.d"
+  "libjnvm_tpcb.a"
+  "libjnvm_tpcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_tpcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

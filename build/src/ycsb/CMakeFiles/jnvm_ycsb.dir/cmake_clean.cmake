@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_ycsb.dir/runner.cc.o"
+  "CMakeFiles/jnvm_ycsb.dir/runner.cc.o.d"
+  "libjnvm_ycsb.a"
+  "libjnvm_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsim_incremental_test.dir/gcsim_incremental_test.cc.o"
+  "CMakeFiles/gcsim_incremental_test.dir/gcsim_incremental_test.cc.o.d"
+  "gcsim_incremental_test"
+  "gcsim_incremental_test.pdb"
+  "gcsim_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsim_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsim_test.dir/gcsim_test.cc.o"
+  "CMakeFiles/gcsim_test.dir/gcsim_test.cc.o.d"
+  "gcsim_test"
+  "gcsim_test.pdb"
+  "gcsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_param_test.dir/heap_param_test.cc.o"
+  "CMakeFiles/heap_param_test.dir/heap_param_test.cc.o.d"
+  "heap_param_test"
+  "heap_param_test.pdb"
+  "heap_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

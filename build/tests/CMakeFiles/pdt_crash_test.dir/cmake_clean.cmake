@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_crash_test.dir/pdt_crash_test.cc.o"
+  "CMakeFiles/pdt_crash_test.dir/pdt_crash_test.cc.o.d"
+  "pdt_crash_test"
+  "pdt_crash_test.pdb"
+  "pdt_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

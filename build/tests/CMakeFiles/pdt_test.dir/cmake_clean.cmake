@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_test.dir/pdt_test.cc.o"
+  "CMakeFiles/pdt_test.dir/pdt_test.cc.o.d"
+  "pdt_test"
+  "pdt_test.pdb"
+  "pdt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdkx_test.dir/pmdkx_test.cc.o"
+  "CMakeFiles/pmdkx_test.dir/pmdkx_test.cc.o.d"
+  "pmdkx_test"
+  "pmdkx_test.pdb"
+  "pmdkx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdkx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

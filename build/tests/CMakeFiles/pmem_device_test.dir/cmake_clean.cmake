@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmem_device_test.dir/pmem_device_test.cc.o"
+  "CMakeFiles/pmem_device_test.dir/pmem_device_test.cc.o.d"
+  "pmem_device_test"
+  "pmem_device_test.pdb"
+  "pmem_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmem_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pset_range_test.dir/pset_range_test.cc.o"
+  "CMakeFiles/pset_range_test.dir/pset_range_test.cc.o.d"
+  "pset_range_test"
+  "pset_range_test.pdb"
+  "pset_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pset_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recover_hook_test.dir/recover_hook_test.cc.o"
+  "CMakeFiles/recover_hook_test.dir/recover_hook_test.cc.o.d"
+  "recover_hook_test"
+  "recover_hook_test.pdb"
+  "recover_hook_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recover_hook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

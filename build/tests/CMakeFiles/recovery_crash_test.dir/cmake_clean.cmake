@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_crash_test.dir/recovery_crash_test.cc.o"
+  "CMakeFiles/recovery_crash_test.dir/recovery_crash_test.cc.o.d"
+  "recovery_crash_test"
+  "recovery_crash_test.pdb"
+  "recovery_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_edge_test.dir/runtime_edge_test.cc.o"
+  "CMakeFiles/runtime_edge_test.dir/runtime_edge_test.cc.o.d"
+  "runtime_edge_test"
+  "runtime_edge_test.pdb"
+  "runtime_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_integration_test.dir/store_integration_test.cc.o"
+  "CMakeFiles/store_integration_test.dir/store_integration_test.cc.o.d"
+  "store_integration_test"
+  "store_integration_test.pdb"
+  "store_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcb_full_test.dir/tpcb_full_test.cc.o"
+  "CMakeFiles/tpcb_full_test.dir/tpcb_full_test.cc.o.d"
+  "tpcb_full_test"
+  "tpcb_full_test.pdb"
+  "tpcb_full_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcb_full_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tpcb_full_test.
+# This may be replaced when dependencies are built.

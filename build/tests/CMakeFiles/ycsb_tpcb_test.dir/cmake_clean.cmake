@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_tpcb_test.dir/ycsb_tpcb_test.cc.o"
+  "CMakeFiles/ycsb_tpcb_test.dir/ycsb_tpcb_test.cc.o.d"
+  "ycsb_tpcb_test"
+  "ycsb_tpcb_test.pdb"
+  "ycsb_tpcb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_tpcb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_device_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/pfa_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/pdt_test[1]_include.cmake")
+include("/root/repo/build/tests/pdt_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/gcsim_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/pmdkx_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/ycsb_tpcb_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_param_test[1]_include.cmake")
+include("/root/repo/build/tests/integrity_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/recover_hook_test[1]_include.cmake")
+include("/root/repo/build/tests/gcsim_incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/store_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/pset_range_test[1]_include.cmake")
+include("/root/repo/build/tests/pool_test[1]_include.cmake")
+include("/root/repo/build/tests/tpcb_full_test[1]_include.cmake")

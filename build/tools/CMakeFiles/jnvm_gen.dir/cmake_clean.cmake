@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_gen.dir/jnvm_gen.cc.o"
+  "CMakeFiles/jnvm_gen.dir/jnvm_gen.cc.o.d"
+  "jnvm_gen"
+  "jnvm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnvm_inspect.dir/jnvm_inspect.cc.o"
+  "CMakeFiles/jnvm_inspect.dir/jnvm_inspect.cc.o.d"
+  "jnvm_inspect"
+  "jnvm_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnvm_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
