@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/core/object_view.h"
+#include "src/pfa/fa_log.h"
 
 namespace jnvm::core {
 
@@ -145,9 +146,31 @@ std::string IntegrityReport::Summary() const {
 }
 
 IntegrityReport VerifyHeapIntegrity(JnvmRuntime& rt) {
+  return VerifyHeapIntegrity(rt, IntegrityOptions{});
+}
+
+IntegrityReport VerifyHeapIntegrity(JnvmRuntime& rt, const IntegrityOptions& opts) {
   IntegrityReport report;
   Auditor auditor(&rt, &report);
   auditor.Run(rt.heap().root_master());
+  if (opts.audit_fa_logs) {
+    const pfa::LogAudit logs = pfa::AuditLogs(&rt.heap());
+    if (logs.committed_slots != 0) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "I7: %u FA log slot(s) still committed on a quiescent heap",
+                    logs.committed_slots);
+      report.violations.emplace_back(buf);
+    }
+    if (logs.active_slots != 0) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "I7: %u FA log slot(s) hold %llu entries on a quiescent heap",
+                    logs.active_slots,
+                    static_cast<unsigned long long>(logs.pending_entries));
+      report.violations.emplace_back(buf);
+    }
+  }
   return report;
 }
 

@@ -9,7 +9,10 @@
 //   I3  block chains are acyclic and stay inside the allocated range,
 //   I4  no two reachable objects share a block,
 //   I5  reachable pool slots have their occupancy hint set,
-//   I6  the persistent bump pointer covers every reachable block.
+//   I6  the persistent bump pointer covers every reachable block,
+//   I7  (quiescent heaps only, opt-in) every failure-atomic log slot is
+//       erased — recovery replayed-and-erased committed logs and discarded
+//       uncommitted ones, and no commit is in flight.
 //
 // Returns a report; `ok()` is true when no invariant is violated.
 #ifndef JNVM_SRC_CORE_INTEGRITY_H_
@@ -32,7 +35,15 @@ struct IntegrityReport {
   std::string Summary() const;
 };
 
+struct IntegrityOptions {
+  // Audit the failure-atomic log directory (I7). Only sound on a quiescent
+  // heap: no thread inside a failure-atomic block — e.g. right after
+  // recovery, which is exactly when the crash-consistency checker asks.
+  bool audit_fa_logs = false;
+};
+
 IntegrityReport VerifyHeapIntegrity(JnvmRuntime& rt);
+IntegrityReport VerifyHeapIntegrity(JnvmRuntime& rt, const IntegrityOptions& opts);
 
 }  // namespace jnvm::core
 

@@ -1,0 +1,188 @@
+#include "src/crashcheck/checker.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "src/core/integrity.h"
+
+namespace jnvm::crashcheck {
+
+std::string FormatViolation(const Violation& v) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "VIOLATION workload=%s crash_event=%" PRIu64
+                " eviction_seed=%" PRIu64
+                " invariant=\"%s\" repro: jnvm_crashmc --workload=%s "
+                "--repro=%" PRIu64 ":%" PRIu64,
+                v.workload.c_str(), v.crash_event, v.eviction_seed,
+                v.invariant.c_str(), v.workload.c_str(), v.crash_event,
+                v.eviction_seed);
+  return buf;
+}
+
+std::string SweepResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %" PRIu64 " events (%" PRIu64 " setup), %" PRIu64
+                " crash points x %zu runs each, %" PRIu64 " runs, %" PRIu64
+                " violations",
+                workload.c_str(), total_events, setup_events, points_explored,
+                points_explored == 0 ? 0 : static_cast<size_t>(runs / points_explored),
+                runs, violation_count);
+  std::string out = buf;
+  for (const Violation& v : violations) {
+    out += "\n  " + FormatViolation(v);
+  }
+  return out;
+}
+
+CrashChecker::CrashChecker(std::unique_ptr<Workload> workload, CheckerOptions opts)
+    : w_(std::move(workload)), opts_(std::move(opts)) {
+  JNVM_CHECK(w_ != nullptr);
+  JNVM_CHECK(!opts_.eviction_seeds.empty());
+}
+
+std::unique_ptr<nvm::PmemDevice> CrashChecker::FreshDevice() const {
+  nvm::DeviceOptions o;
+  o.size_bytes = opts_.device_bytes;
+  o.strict = true;
+  return std::make_unique<nvm::PmemDevice>(o);
+}
+
+core::RuntimeOptions CrashChecker::RtOptions() const {
+  core::RuntimeOptions o;
+  o.heap.log_slot_count = opts_.log_slots;
+  return o;
+}
+
+const CrashChecker::Recording& CrashChecker::recording() {
+  if (rec_.has_value()) {
+    return *rec_;
+  }
+  auto dev = FreshDevice();
+  auto rt = core::JnvmRuntime::Format(dev.get(), RtOptions());
+  w_->Setup(*rt);
+  Recording rec;
+  rec.setup_events = dev->PersistenceEventCount();
+  rec.op_end.reserve(w_->op_count());
+  for (size_t i = 0; i < w_->op_count(); ++i) {
+    w_->RunOp(*rt, i);
+    rec.op_end.push_back(dev->PersistenceEventCount());
+  }
+  rec.trace_hash = dev->TraceHash();
+  JNVM_CHECK_MSG(!rec.op_end.empty() && rec.op_end.back() > rec.setup_events,
+                 "workload script performed no persistence events");
+  rt->Abandon();  // the recording device is discarded; skip the clean close
+  rec_ = std::move(rec);
+  return *rec_;
+}
+
+void CrashChecker::RunPoint(const Recording& rec, uint64_t crash_event,
+                            uint64_t seed, std::vector<Violation>* out) {
+  JNVM_CHECK(crash_event > rec.setup_events && crash_event <= rec.op_end.back());
+  auto violate = [&](const std::string& msg) {
+    out->push_back(Violation{w_->name(), crash_event, seed, msg});
+  };
+
+  // The op the recording predicts the crash will interrupt: the first op
+  // whose durability boundary lies at or past the crash event. Ops before
+  // it completed (their boundary, i.e. their fence, retired strictly before
+  // the crash event fired).
+  const size_t predicted =
+      std::lower_bound(rec.op_end.begin(), rec.op_end.end(), crash_event) -
+      rec.op_end.begin();
+
+  auto dev = FreshDevice();
+  auto rt = core::JnvmRuntime::Format(dev.get(), RtOptions());
+  w_->Setup(*rt);
+  if (dev->PersistenceEventCount() != rec.setup_events) {
+    violate("nondeterministic replay: setup event count " +
+            std::to_string(dev->PersistenceEventCount()) + " != recorded " +
+            std::to_string(rec.setup_events));
+    return;
+  }
+  dev->ScheduleCrashAfter(crash_event - rec.setup_events - 1);
+  size_t crashed_op = SIZE_MAX;
+  bool crashed = false;
+  try {
+    for (size_t i = 0; i < w_->op_count(); ++i) {
+      crashed_op = i;
+      w_->RunOp(*rt, i);
+    }
+    dev->CancelScheduledCrash();
+  } catch (const nvm::SimulatedCrash&) {
+    crashed = true;
+  }
+  rt->Abandon();
+  rt.reset();
+  if (!crashed || crashed_op != predicted) {
+    violate("nondeterministic replay: crash " +
+            (crashed ? "landed in op " + std::to_string(crashed_op)
+                     : std::string("never fired")) +
+            ", recording predicts op " + std::to_string(predicted));
+    return;
+  }
+
+  dev->Crash(seed);
+  auto recovered = core::JnvmRuntime::Open(dev.get(), RtOptions());
+
+  CrashCut cut;
+  cut.committed = predicted;
+  cut.in_flight = predicted;
+  std::vector<std::string> msgs;
+  w_->Check(*recovered, cut, &msgs);
+  for (const std::string& m : msgs) {
+    violate(m);
+  }
+  if (opts_.audit_integrity) {
+    core::IntegrityOptions io;
+    io.audit_fa_logs = true;
+    const auto report = core::VerifyHeapIntegrity(*recovered, io);
+    for (const std::string& m : report.violations) {
+      violate("integrity: " + m);
+    }
+  }
+}
+
+std::vector<Violation> CrashChecker::CheckPoint(uint64_t crash_event,
+                                                uint64_t eviction_seed) {
+  std::vector<Violation> out;
+  RunPoint(recording(), crash_event, eviction_seed, &out);
+  return out;
+}
+
+SweepResult CrashChecker::Sweep() {
+  const Recording& rec = recording();
+  SweepResult res;
+  res.workload = w_->name();
+  res.setup_events = rec.setup_events;
+  res.total_events = rec.op_end.back();
+  res.trace_hash = rec.trace_hash;
+
+  const uint64_t first = rec.setup_events + 1;
+  const uint64_t last = rec.op_end.back();
+  const uint64_t range = last - first + 1;
+  uint64_t stride = std::max<uint64_t>(opts_.stride, 1);
+  if (opts_.max_points != 0) {
+    stride = std::max(stride, (range + opts_.max_points - 1) / opts_.max_points);
+  }
+
+  std::vector<Violation> scratch;
+  for (uint64_t e = first; e <= last; e += stride) {
+    ++res.points_explored;
+    for (const uint64_t seed : opts_.eviction_seeds) {
+      ++res.runs;
+      scratch.clear();
+      RunPoint(rec, e, seed, &scratch);
+      res.violation_count += scratch.size();
+      for (Violation& v : scratch) {
+        if (res.violations.size() < opts_.max_reported) {
+          res.violations.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace jnvm::crashcheck

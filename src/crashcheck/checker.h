@@ -1,0 +1,120 @@
+// Crash-consistency model checker over PmemDevice crash points.
+//
+// The strict-mode device counts every persistence event (store, pwb,
+// fence). The checker turns that counter into an exhaustive search:
+//
+//   1. RECORD — run the scripted workload once, crash-free, noting the
+//      persistence-event index at the end of setup and after every
+//      operation (the op's durability boundary), plus the trace hash.
+//   2. SWEEP — for every event index e in the recorded range (or a stride
+//      over it) and for several eviction seeds s: re-execute the script on
+//      a fresh device with a crash scheduled at e, simulate the power
+//      failure with Crash(s) — the seed decides, per dirty cache line,
+//      whether the line survived (evicted) or reverted to its last durable
+//      content — run full recovery (JnvmRuntime::Open), and
+//   3. JUDGE — ask the workload's oracle whether the recovered state is
+//      one the committed/in-flight cut allows, and audit the heap's
+//      integrity invariants (I1–I7).
+//
+// Sweeping seeds per point matters: a single seed explores only one
+// survive/revert assignment of the dirty lines; different seeds flip
+// different subsets, so both "publication survived" and "publication
+// reverted" outcomes are exercised at every crash point.
+//
+// Every run is deterministic: a reported violation names (workload,
+// crash_event, eviction_seed) and CheckPoint() with those values
+// reproduces it exactly. Replay fidelity is enforced — a replay whose
+// crash lands in a different operation than the recording predicts is
+// itself reported as a violation (nondeterministic trace).
+#ifndef JNVM_SRC_CRASHCHECK_CHECKER_H_
+#define JNVM_SRC_CRASHCHECK_CHECKER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crashcheck/workloads.h"
+
+namespace jnvm::crashcheck {
+
+struct CheckerOptions {
+  size_t device_bytes = 8 << 20;
+  // Smaller log directory than the default 24×32K: formats (one per run)
+  // dominate sweep time, and the single-threaded scripts need one slot.
+  uint32_t log_slots = 4;
+  // Crash-point stride over the recorded event range; 1 = every event.
+  uint64_t stride = 1;
+  // When non-zero, the stride is raised so at most this many points are
+  // explored (bounded CI sweeps).
+  uint64_t max_points = 0;
+  // Eviction seeds swept per crash point.
+  std::vector<uint64_t> eviction_seeds = {1, 7, 1337};
+  // Run core::VerifyHeapIntegrity (with the FA-log audit) after recovery.
+  bool audit_integrity = true;
+  // Violations stored in the result (the count is always exact).
+  size_t max_reported = 64;
+};
+
+struct Violation {
+  std::string workload;
+  uint64_t crash_event = 0;
+  uint64_t eviction_seed = 0;
+  std::string invariant;
+};
+
+// One line: workload, crash point, seed, invariant, and the jnvm_crashmc
+// repro invocation.
+std::string FormatViolation(const Violation& v);
+
+struct SweepResult {
+  std::string workload;
+  uint64_t setup_events = 0;
+  uint64_t total_events = 0;    // events through the last operation
+  uint64_t trace_hash = 0;      // recording-pass trace digest
+  uint64_t points_explored = 0;
+  uint64_t runs = 0;            // points × seeds
+  uint64_t violation_count = 0;
+  std::vector<Violation> violations;  // first max_reported of them
+
+  bool ok() const { return violation_count == 0; }
+  std::string Summary() const;
+};
+
+class CrashChecker {
+ public:
+  // The factory is invoked once per checker; the same workload object is
+  // re-run for every point (its script is immutable, its proxies are
+  // rebuilt by Setup on each fresh heap).
+  CrashChecker(std::unique_ptr<Workload> workload, CheckerOptions opts);
+
+  // Recording-pass data (lazily computed, then cached).
+  struct Recording {
+    uint64_t setup_events = 0;
+    std::vector<uint64_t> op_end;  // event count after each op
+    uint64_t trace_hash = 0;
+  };
+  const Recording& recording();
+
+  // Full sweep per the options.
+  SweepResult Sweep();
+
+  // Deterministically re-executes one (crash_event, eviction_seed) pair —
+  // the repro path for a reported violation.
+  std::vector<Violation> CheckPoint(uint64_t crash_event, uint64_t eviction_seed);
+
+ private:
+  std::unique_ptr<nvm::PmemDevice> FreshDevice() const;
+  core::RuntimeOptions RtOptions() const;
+  void RunPoint(const Recording& rec, uint64_t crash_event, uint64_t seed,
+                std::vector<Violation>* out);
+
+  std::unique_ptr<Workload> w_;
+  CheckerOptions opts_;
+  std::optional<Recording> rec_;
+};
+
+}  // namespace jnvm::crashcheck
+
+#endif  // JNVM_SRC_CRASHCHECK_CHECKER_H_

@@ -1,0 +1,691 @@
+#include "src/crashcheck/workloads.h"
+
+#include <map>
+#include <set>
+
+#include "src/common/rand.h"
+#include "src/pdt/pext_array.h"
+#include "src/pdt/pmap.h"
+#include "src/pdt/pstring.h"
+
+namespace jnvm::crashcheck {
+namespace {
+
+using core::Handle;
+using core::JnvmRuntime;
+using core::PObject;
+
+// ---- Script helpers ---------------------------------------------------------
+
+template <typename K>
+struct KeyMaker;
+
+template <>
+struct KeyMaker<std::string> {
+  static std::string Make(int i) { return "k" + std::to_string(i); }
+  static std::string Print(const std::string& k) { return k; }
+};
+
+template <>
+struct KeyMaker<int64_t> {
+  static int64_t Make(int i) { return 1000 + i; }
+  static std::string Print(int64_t k) { return std::to_string(k); }
+};
+
+// Unique per-op values so a lost or stale update is always distinguishable.
+// Padded values exceed the pool slot limit and take the chained-block
+// representation, so both PString layouts are swept.
+std::string ValueFor(size_t i, bool padded) {
+  std::string v = "v" + std::to_string(i);
+  if (padded) {
+    v += std::string(220, 'x');
+  }
+  return v;
+}
+
+std::string PrintString(const Handle<PObject>& v) {
+  auto s = std::static_pointer_cast<pdt::PString>(v);
+  return s == nullptr ? std::string("<null>") : s->Str();
+}
+
+// ---- Map workload (hash / tree / skip-list / long-key adapters) -------------
+
+template <typename MapT>
+class MapWorkload final : public Workload {
+ public:
+  using VKey = typename MapT::VKey;
+  struct Op {
+    bool remove = false;
+    VKey key;
+    std::string value;
+  };
+
+  MapWorkload(std::string name, uint64_t seed, size_t n) : name_(std::move(name)) {
+    Xorshift rng(seed);
+    std::set<VKey> live;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const VKey key = KeyMaker<VKey>::Make(static_cast<int>(rng.NextBelow(12)));
+      if (live.count(key) != 0 && rng.NextBelow(4) == 0) {
+        script_.push_back(Op{true, key, {}});
+        live.erase(key);
+      } else {
+        script_.push_back(Op{false, key, ValueFor(i, rng.NextBelow(6) == 0)});
+        live.insert(key);
+      }
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    map_.reset();
+    map_ = std::make_shared<MapT>(rt, 4);  // small: the growth path is swept
+    map_->Pwb();
+    map_->Validate();
+    rt.root().Put("m", map_.get());
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    const Op& op = script_[i];
+    if (op.remove) {
+      map_->Remove(op.key);
+    } else {
+      pdt::PString v(rt, op.value);
+      map_->Put(op.key, &v);
+    }
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    auto m = rt.root().GetAs<MapT>("m");
+    if (m == nullptr) {
+      out->push_back("map root binding lost");
+      return;
+    }
+    // Oracle state: the committed prefix, replayed in DRAM.
+    std::map<VKey, std::string> expected;
+    for (size_t i = 0; i < cut.committed; ++i) {
+      const Op& op = script_[i];
+      if (op.remove) {
+        expected.erase(op.key);
+      } else {
+        expected[op.key] = op.value;
+      }
+    }
+    // The application view (mirror) ...
+    std::map<VKey, std::string> got;
+    m->ForEach([&](const VKey& k, Handle<PObject> v) { got[k] = PrintString(v); });
+    // ... must agree with the durable cells.
+    std::map<VKey, std::string> durable;
+    m->ForEachPersisted(
+        [&](const VKey& k, Handle<PObject> v) { durable[k] = PrintString(v); });
+    if (durable != got) {
+      out->push_back("mirror diverges from the persistent cells");
+    }
+    if (m->Size() != got.size()) {
+      out->push_back("map Size() != number of mirrored entries");
+    }
+
+    const Op* inflight = cut.in_flight.has_value() && *cut.in_flight < script_.size()
+                             ? &script_[*cut.in_flight]
+                             : nullptr;
+    for (const auto& [k, v] : expected) {
+      if (inflight != nullptr && k == inflight->key) {
+        continue;  // judged below
+      }
+      auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back("committed key " + KeyMaker<VKey>::Print(k) + " lost");
+      } else if (it->second != v) {
+        out->push_back("committed key " + KeyMaker<VKey>::Print(k) +
+                       " has value '" + it->second + "', want '" + v + "'");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (expected.count(k) == 0 && (inflight == nullptr || k != inflight->key)) {
+        out->push_back("phantom key " + KeyMaker<VKey>::Print(k));
+      }
+    }
+    if (inflight != nullptr) {
+      // The interrupted op must be all-or-nothing.
+      const auto it = got.find(inflight->key);
+      const auto old_it = expected.find(inflight->key);
+      if (it == got.end()) {
+        if (!inflight->remove && old_it != expected.end()) {
+          out->push_back("in-flight put erased pre-existing key " +
+                         KeyMaker<VKey>::Print(inflight->key));
+        }
+      } else {
+        const bool is_old = old_it != expected.end() && it->second == old_it->second;
+        const bool is_new = !inflight->remove && it->second == inflight->value;
+        if (!is_old && !is_new) {
+          out->push_back("in-flight op left torn value '" + it->second +
+                         "' for key " + KeyMaker<VKey>::Print(inflight->key));
+        }
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<Op> script_;
+  Handle<MapT> map_;
+};
+
+// ---- Set workload (PSet adapter over the hash map) --------------------------
+
+class SetWorkload final : public Workload {
+ public:
+  struct Op {
+    bool remove = false;
+    std::string key;
+  };
+
+  SetWorkload(uint64_t seed, size_t n) : name_("set") {
+    Xorshift rng(seed);
+    std::set<std::string> live;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::string key = "e" + std::to_string(rng.NextBelow(14));
+      if (live.count(key) != 0 && rng.NextBelow(3) == 0) {
+        script_.push_back(Op{true, key});
+        live.erase(key);
+      } else {
+        script_.push_back(Op{false, key});
+        live.insert(key);
+      }
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    set_.reset();
+    auto storage = std::make_shared<pdt::PStringHashMap>(rt, 4);
+    storage->Pwb();
+    storage->Validate();
+    rt.root().Put("s", storage.get());
+    rt.Psync();
+    set_ = std::make_unique<pdt::PStringHashSet>(std::move(storage));
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    const Op& op = script_[i];
+    if (op.remove) {
+      set_->Remove(op.key);
+    } else {
+      set_->Add(op.key);
+    }
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    auto storage = rt.root().GetAs<pdt::PStringHashMap>("s");
+    if (storage == nullptr) {
+      out->push_back("set root binding lost");
+      return;
+    }
+    pdt::PStringHashSet set(storage);
+    std::set<std::string> expected;
+    for (size_t i = 0; i < cut.committed; ++i) {
+      const Op& op = script_[i];
+      if (op.remove) {
+        expected.erase(op.key);
+      } else {
+        expected.insert(op.key);
+      }
+    }
+    std::set<std::string> got;
+    set.ForEach([&](const std::string& k) { got.insert(k); });
+
+    const Op* inflight = cut.in_flight.has_value() && *cut.in_flight < script_.size()
+                             ? &script_[*cut.in_flight]
+                             : nullptr;
+    for (const std::string& k : expected) {
+      if (inflight != nullptr && k == inflight->key) {
+        continue;
+      }
+      if (got.count(k) == 0) {
+        out->push_back("committed set element " + k + " lost");
+      }
+      if (!set.Contains(k)) {
+        out->push_back("Contains() denies committed element " + k);
+      }
+    }
+    for (const std::string& k : got) {
+      if (expected.count(k) == 0 && (inflight == nullptr || k != inflight->key)) {
+        out->push_back("phantom set element " + k);
+      }
+    }
+    // In-flight add/remove: present-or-absent are both fine; nothing to do.
+  }
+
+ private:
+  std::string name_;
+  std::vector<Op> script_;
+  std::unique_ptr<pdt::PStringHashSet> set_;
+};
+
+// ---- Extensible-array workload ----------------------------------------------
+
+class ArrayWorkload final : public Workload {
+ public:
+  struct Op {
+    bool pop = false;
+    std::string value;
+  };
+
+  ArrayWorkload(uint64_t seed, size_t n) : name_("array") {
+    Xorshift rng(seed);
+    size_t size = 0;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (size > 0 && rng.NextBelow(4) == 0) {
+        script_.push_back(Op{true, {}});
+        --size;
+      } else {
+        script_.push_back(Op{false, ValueFor(i, rng.NextBelow(8) == 0)});
+        ++size;
+      }
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    arr_.reset();
+    arr_ = std::make_shared<pdt::PExtArray>(rt, 2);  // grows repeatedly
+    arr_->Pwb();
+    arr_->Validate();
+    rt.root().Put("arr", arr_.get());
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    const Op& op = script_[i];
+    if (op.pop) {
+      arr_->PopBack();
+    } else {
+      pdt::PString s(rt, op.value);
+      arr_->Append(&s);
+    }
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    auto arr = rt.root().GetAs<pdt::PExtArray>("arr");
+    if (arr == nullptr) {
+      out->push_back("array root binding lost");
+      return;
+    }
+    const uint64_t n = arr->Size();
+    std::vector<std::string> got;
+    got.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const auto s = std::static_pointer_cast<pdt::PString>(arr->Get(i));
+      if (s == nullptr) {
+        out->push_back("torn element: index " + std::to_string(i) +
+                       " below Size() is null");
+        return;
+      }
+      got.push_back(s->Str());
+    }
+    // Append's count bump is queued but only the *next* op's fence seals it
+    // (§4.3.1: losing the bump loses the append), so the recovered array may
+    // trail the committed cut by one op — or lead it by one if the in-flight
+    // op landed. Accept the state after j ops for j in [committed-1,
+    // committed+1]; anything else is a violation.
+    const size_t lo = cut.committed == 0 ? 0 : cut.committed - 1;
+    const size_t hi = std::min(script_.size(), cut.committed + 1);
+    for (size_t j = lo; j <= hi; ++j) {
+      if (StateAfter(j) == got) {
+        return;
+      }
+    }
+    out->push_back("array state (size " + std::to_string(got.size()) +
+                   ") matches no op prefix in [" + std::to_string(lo) + ", " +
+                   std::to_string(hi) + "] (committed " +
+                   std::to_string(cut.committed) + ")");
+  }
+
+ private:
+  std::vector<std::string> StateAfter(size_t j) const {
+    std::vector<std::string> st;
+    for (size_t i = 0; i < j; ++i) {
+      if (script_[i].pop) {
+        st.pop_back();
+      } else {
+        st.push_back(script_[i].value);
+      }
+    }
+    return st;
+  }
+
+  std::string name_;
+  std::vector<Op> script_;
+  Handle<pdt::PExtArray> arr_;
+};
+
+// ---- Root-map + PString workload --------------------------------------------
+//
+// Publishes pool-sized and chained strings under a rotating set of root
+// bindings. RootMap::Put/Remove are failure-atomic, so every committed op
+// is durable and the in-flight op is all-or-nothing.
+
+class RootStringWorkload final : public Workload {
+ public:
+  struct Op {
+    bool remove = false;
+    std::string key;
+    std::string value;
+  };
+
+  RootStringWorkload(std::string name, uint64_t seed, size_t n, bool faulty)
+      : name_(std::move(name)), faulty_(faulty) {
+    Xorshift rng(seed);
+    std::set<std::string> live;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // The faulty variant uses per-op keys: every op takes the insert
+      // path, which never fences — that is the planted bug.
+      const std::string key = faulty_ ? "f" + std::to_string(i)
+                                      : "s" + std::to_string(rng.NextBelow(6));
+      if (!faulty_ && live.count(key) != 0 && rng.NextBelow(5) == 0) {
+        script_.push_back(Op{true, key, {}});
+        live.erase(key);
+      } else {
+        script_.push_back(Op{false, key, "w" + ValueFor(i, rng.NextBelow(3) == 0)});
+        live.insert(key);
+      }
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override { rt.Psync(); }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    const Op& op = script_[i];
+    if (op.remove) {
+      rt.root().Remove(op.key);
+      return;
+    }
+    pdt::PString v(rt, op.value);
+    if (faulty_) {
+      v.Pwb();
+      v.Validate();
+      rt.root().Wput(op.key, &v);  // planted bug: no publication fence
+    } else {
+      rt.root().Put(op.key, &v);
+    }
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    std::map<std::string, std::string> expected;
+    for (size_t i = 0; i < cut.committed; ++i) {
+      const Op& op = script_[i];
+      if (op.remove) {
+        expected.erase(op.key);
+      } else {
+        expected[op.key] = op.value;
+      }
+    }
+    const Op* inflight = cut.in_flight.has_value() && *cut.in_flight < script_.size()
+                             ? &script_[*cut.in_flight]
+                             : nullptr;
+    const std::string prefix = faulty_ ? "f" : "s";
+    std::map<std::string, std::string> got;
+    for (const std::string& k : rt.root().Keys()) {
+      if (k.rfind(prefix, 0) != 0) {
+        continue;
+      }
+      got[k] = PrintString(rt.root().Get(k));
+    }
+    for (const auto& [k, v] : expected) {
+      if (inflight != nullptr && k == inflight->key) {
+        continue;
+      }
+      auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back("committed root binding " + k + " lost");
+      } else if (it->second != v) {
+        out->push_back("committed root binding " + k + " has value '" +
+                       it->second + "', want '" + v + "'");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (expected.count(k) == 0 && (inflight == nullptr || k != inflight->key)) {
+        out->push_back("phantom root binding " + k);
+      }
+    }
+    if (inflight != nullptr) {
+      const auto it = got.find(inflight->key);
+      const auto old_it = expected.find(inflight->key);
+      if (it == got.end()) {
+        if (!inflight->remove && old_it != expected.end()) {
+          out->push_back("in-flight root put erased binding " + inflight->key);
+        }
+      } else {
+        const bool is_old = old_it != expected.end() && it->second == old_it->second;
+        const bool is_new = !inflight->remove && it->second == inflight->value;
+        if (!is_old && !is_new) {
+          out->push_back("in-flight root op left torn value '" + it->second +
+                         "' for binding " + inflight->key);
+        }
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  bool faulty_;
+  std::vector<Op> script_;
+};
+
+// ---- J-PFA workload ----------------------------------------------------------
+//
+// Multi-object transfers inside failure-atomic blocks. The oracle checks the
+// §4.2 guarantee: the recovered balances equal the committed-prefix state
+// with the in-flight block either fully applied or fully absent, and the
+// total is conserved unconditionally.
+
+class CrashAccount final : public PObject {
+ public:
+  static const core::ClassInfo* Class() {
+    static const core::ClassInfo* info =
+        core::RegisterClass(core::MakeClassInfo<CrashAccount>("crashcheck.Account"));
+    return info;
+  }
+
+  explicit CrashAccount(core::Resurrect) {}
+  CrashAccount(JnvmRuntime& rt, int64_t balance) {
+    AllocatePersistent(rt, Class(), 8);
+    SetBalance(balance);
+  }
+
+  int64_t Balance() const { return ReadField<int64_t>(0); }
+  void SetBalance(int64_t v) { WriteField<int64_t>(0, v); }
+};
+
+class PfaWorkload final : public Workload {
+ public:
+  static constexpr int kAccounts = 6;
+  static constexpr int64_t kInitial = 1000;
+
+  struct Transfer {
+    int from = 0;
+    int to = 0;
+    int64_t amount = 0;
+  };
+  struct Op {
+    std::vector<Transfer> transfers;  // applied in one outer FA block
+    bool nested = false;              // second transfer runs in a nested block
+  };
+
+  PfaWorkload(uint64_t seed, size_t n) : name_("pfa") {
+    Xorshift rng(seed);
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Op op;
+      op.transfers.push_back(RandomTransfer(rng));
+      if (rng.NextBelow(4) == 0) {
+        op.transfers.push_back(RandomTransfer(rng));
+        op.nested = rng.NextBelow(2) == 0;
+      }
+      script_.push_back(std::move(op));
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    accounts_.clear();
+    for (int j = 0; j < kAccounts; ++j) {
+      auto a = std::make_shared<CrashAccount>(rt, kInitial);
+      rt.root().Put("a" + std::to_string(j), a.get());
+      accounts_.push_back(std::move(a));
+    }
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    const Op& op = script_[i];
+    rt.FaStart();
+    Apply(op.transfers[0]);
+    if (op.transfers.size() > 1) {
+      if (op.nested) {
+        rt.FaStart();
+        Apply(op.transfers[1]);
+        rt.FaEnd();  // inner end: must not commit (§4.2 nesting)
+      } else {
+        Apply(op.transfers[1]);
+      }
+    }
+    rt.FaEnd();
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    std::vector<int64_t> got;
+    for (int j = 0; j < kAccounts; ++j) {
+      auto a = rt.root().GetAs<CrashAccount>("a" + std::to_string(j));
+      if (a == nullptr) {
+        out->push_back("account binding a" + std::to_string(j) + " lost");
+        return;
+      }
+      got.push_back(a->Balance());
+    }
+    int64_t sum = 0;
+    for (const int64_t b : got) {
+      sum += b;
+    }
+    if (sum != kAccounts * kInitial) {
+      out->push_back("total balance " + std::to_string(sum) + " != " +
+                     std::to_string(kAccounts * kInitial) +
+                     " — an FA block applied partially");
+    }
+    const std::vector<int64_t> before = StateAfter(cut.committed);
+    if (got == before) {
+      return;
+    }
+    if (cut.in_flight.has_value() && *cut.in_flight < script_.size() &&
+        got == StateAfter(*cut.in_flight + 1)) {
+      return;  // the in-flight block committed just before the crash
+    }
+    std::string msg = "balances [";
+    for (size_t j = 0; j < got.size(); ++j) {
+      msg += (j == 0 ? "" : ",") + std::to_string(got[j]);
+    }
+    out->push_back(msg + "] match neither the pre- nor post-in-flight state (committed " +
+                   std::to_string(cut.committed) + ")");
+  }
+
+ private:
+  static Transfer RandomTransfer(Xorshift& rng) {
+    Transfer t;
+    t.from = static_cast<int>(rng.NextBelow(kAccounts));
+    t.to = static_cast<int>(rng.NextBelow(kAccounts - 1));
+    if (t.to >= t.from) {
+      ++t.to;
+    }
+    t.amount = 1 + static_cast<int64_t>(rng.NextBelow(50));
+    return t;
+  }
+
+  void Apply(const Transfer& t) {
+    accounts_[t.from]->SetBalance(accounts_[t.from]->Balance() - t.amount);
+    accounts_[t.to]->SetBalance(accounts_[t.to]->Balance() + t.amount);
+  }
+
+  std::vector<int64_t> StateAfter(size_t j) const {
+    std::vector<int64_t> st(kAccounts, kInitial);
+    for (size_t i = 0; i < j && i < script_.size(); ++i) {
+      for (const Transfer& t : script_[i].transfers) {
+        st[t.from] -= t.amount;
+        st[t.to] += t.amount;
+      }
+    }
+    return st;
+  }
+
+  std::string name_;
+  std::vector<Op> script_;
+  std::vector<Handle<CrashAccount>> accounts_;
+};
+
+}  // namespace
+
+std::vector<std::string> WorkloadKinds() {
+  return {"map-hash", "map-tree", "map-skip", "map-long",
+          "set",      "array",    "string",   "pfa"};
+}
+
+std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
+                                       uint64_t script_seed, size_t op_count) {
+  if (kind == "map-hash") {
+    return std::make_unique<MapWorkload<pdt::PStringHashMap>>("map-hash",
+                                                              script_seed, op_count);
+  }
+  if (kind == "map-tree") {
+    return std::make_unique<MapWorkload<pdt::PStringTreeMap>>("map-tree",
+                                                              script_seed, op_count);
+  }
+  if (kind == "map-skip") {
+    return std::make_unique<MapWorkload<pdt::PStringSkipListMap>>("map-skip",
+                                                                  script_seed, op_count);
+  }
+  if (kind == "map-long") {
+    return std::make_unique<MapWorkload<pdt::PLongHashMap>>("map-long",
+                                                            script_seed, op_count);
+  }
+  if (kind == "set") {
+    return std::make_unique<SetWorkload>(script_seed, op_count);
+  }
+  if (kind == "array") {
+    return std::make_unique<ArrayWorkload>(script_seed, op_count);
+  }
+  if (kind == "string") {
+    return std::make_unique<RootStringWorkload>("string", script_seed, op_count,
+                                                /*faulty=*/false);
+  }
+  if (kind == "pfa") {
+    return std::make_unique<PfaWorkload>(script_seed, op_count);
+  }
+  JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
+  return nullptr;
+}
+
+std::unique_ptr<Workload> MakeFaultyWorkload(uint64_t script_seed, size_t op_count) {
+  return std::make_unique<RootStringWorkload>("faulty-string", script_seed,
+                                              op_count, /*faulty=*/true);
+}
+
+}  // namespace jnvm::crashcheck

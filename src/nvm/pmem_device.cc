@@ -15,14 +15,45 @@ void PmemDevice::Memset(Offset off, int value, size_t n) {
   JNVM_DCHECK(off + n <= opts_.size_bytes);
   if (opts_.strict) {
     CrashTick();
-    TrackStore(off, n);
+    TrackStore(off, n, nullptr, static_cast<uint64_t>(value));
   }
   std::memset(data_.get() + off, value, n);
   stats_writes_.fetch_add(1, std::memory_order_relaxed);
   stats_bytes_written_.fetch_add(n, std::memory_order_relaxed);
 }
 
-void PmemDevice::TrackStore(Offset off, size_t n) {
+namespace {
+
+// Folds `n` bytes into a trace digest, 8 bytes at a time.
+uint64_t HashBytes(uint64_t h, const void* p, size_t n) {
+  const char* s = static_cast<const char*>(p);
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, s, 8);
+    h = Mix64(h ^ w);
+    s += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t w = 0;
+    std::memcpy(&w, s, n);
+    h = Mix64(h ^ w ^ (static_cast<uint64_t>(n) << 56));
+  }
+  return h;
+}
+
+}  // namespace
+
+void PmemDevice::TraceNote(uint64_t kind, uint64_t a, uint64_t b) {
+  trace_hash_ = Mix64(trace_hash_ ^ (kind + (a << 3))) ^ Mix64(b);
+}
+
+void PmemDevice::TrackStore(Offset off, size_t n, const void* src,
+                            uint64_t content_tag) {
+  TraceNote(1, off, static_cast<uint64_t>(n) ^ content_tag);
+  if (src != nullptr) {
+    trace_hash_ = HashBytes(trace_hash_, src, n);
+  }
   const uint64_t first = off / kCacheLine;
   const uint64_t last = (off + n - 1) / kCacheLine;
   for (uint64_t line = first; line <= last; ++line) {
@@ -48,6 +79,7 @@ void PmemDevice::Pwb(Offset off) {
     return;
   }
   CrashTick();
+  TraceNote(2, off / kCacheLine, 0);
   auto it = lines_.find(off / kCacheLine);
   if (it != lines_.end()) {
     it->second.queued = true;
@@ -72,6 +104,7 @@ void PmemDevice::PwbRange(Offset off, size_t n) {
   }
   for (uint64_t line = first; line <= last; line += kCacheLine) {
     CrashTick();
+    TraceNote(2, line / kCacheLine, 0);
     auto it = lines_.find(line / kCacheLine);
     if (it != lines_.end()) {
       it->second.queued = true;
@@ -84,6 +117,7 @@ void PmemDevice::DrainQueued() {
     return;
   }
   CrashTick();
+  TraceNote(3, lines_.size(), 0);
   for (auto it = lines_.begin(); it != lines_.end();) {
     if (it->second.queued) {
       it = lines_.erase(it);  // current content is now durable
@@ -148,7 +182,11 @@ constexpr uint64_t kImageMagic = 0x4a4e564d494d4731ull;  // "JNVMIMG1"
 }
 
 bool PmemDevice::SaveTo(const std::string& path) const {
-  JNVM_CHECK_MSG(lines_.empty(), "quiesce (Psync) before saving an image");
+  if (!lines_.empty()) {
+    // Unflushed strict-mode lines: the current view contains state the
+    // hardware never guaranteed durable. Refuse rather than bake it in.
+    return false;
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return false;

@@ -93,7 +93,7 @@ class PmemDevice {
     JNVM_DCHECK(off + n <= opts_.size_bytes);
     if (opts_.strict) {
       CrashTick();
-      TrackStore(off, n);
+      TrackStore(off, n, src, 0);
     }
     if (opts_.write_delay_ns != 0) SpinFor(opts_.write_delay_ns);
     std::memcpy(data_.get() + off, src, n);
@@ -146,10 +146,31 @@ class PmemDevice {
   // Number of lines currently dirty-or-queued (i.e. not guaranteed durable).
   size_t UnflushedLineCount() const;
 
+  // ---- Deterministic replay hooks (strict mode) --------------------------
+  // The crash-consistency checker (src/crashcheck) re-executes a scripted
+  // workload many times, crashing at every persistence-event index. These
+  // two queries make that sound: the event count maps op boundaries to
+  // crash points, and the trace hash (a running digest of every tracked
+  // store/pwb/fence, content included) detects a replay that diverged from
+  // the recording — crashing a diverged replay would test a different
+  // interleaving than the one reported.
+
+  // Total persistence events (stores, pwbs, fences) ticked so far. Crash
+  // points are expressed as 1-based indices into this sequence; the event
+  // that trips a scheduled crash is NOT applied.
+  uint64_t PersistenceEventCount() const { return event_counter_; }
+  // Running digest of the tracked-event sequence. Two runs with equal
+  // hashes performed the same stores (offsets and bytes), flushes and
+  // fences in the same order.
+  uint64_t TraceHash() const { return trace_hash_; }
+
   // ---- Device images ------------------------------------------------------
   // A simulated DIMM can be saved to / loaded from a file — the equivalent
   // of the DAX file backing a real region. Unflushed strict-mode state is
-  // NOT part of an image: quiesce (Psync) before saving.
+  // NOT part of an image: quiesce (Psync) before saving. Saving with
+  // unflushed lines fails (returns false, no file is written) — an image of
+  // a half-flushed device would resurrect state the hardware never
+  // guaranteed.
 
   bool SaveTo(const std::string& path) const;
   // Returns nullptr when the file is missing/corrupt. `opts.size_bytes` of
@@ -172,7 +193,11 @@ class PmemDevice {
     bool queued = false;                   // covered by a Pwb since dirtying
   };
 
-  void TrackStore(Offset off, size_t n);
+  // Tracks a store's lines and folds it into the trace hash; `src` is the
+  // written bytes (nullptr for Memset, which passes the fill value as
+  // `content_tag` instead).
+  void TrackStore(Offset off, size_t n, const void* src, uint64_t content_tag);
+  void TraceNote(uint64_t kind, uint64_t a, uint64_t b);
   void CrashTick();
   void DrainQueued();
 
@@ -183,6 +208,7 @@ class PmemDevice {
   std::unordered_map<uint64_t, LineState> lines_;
   int64_t crash_countdown_ = -1;
   uint64_t event_counter_ = 0;
+  uint64_t trace_hash_ = 0xcbf29ce484222325ull;
 
   mutable std::atomic<uint64_t> stats_reads_{0};
   mutable std::atomic<uint64_t> stats_bytes_read_{0};

@@ -336,6 +336,27 @@ class PMap final : public core::PObject {
     return arr_->capacity();
   }
 
+  // Oracle adapter (src/crashcheck): walks the *persistent* array directly,
+  // bypassing the volatile mirror, so the crash-consistency checker can
+  // cross-validate the mirror (what the application sees) against the
+  // durable cells (what actually survived the crash). Returns the number of
+  // occupied cells visited.
+  size_t ForEachPersisted(
+      const std::function<void(const VKey&, core::Handle<core::PObject>)>& fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const uint64_t cap = arr_->capacity();
+    size_t occupied = 0;
+    for (uint64_t i = 0; i < cap; ++i) {
+      if (arr_->GetRaw(i) == 0) {
+        continue;
+      }
+      ++occupied;
+      auto pair = PairAt(i);
+      fn(KeyPolicy::LoadKey(*pair), pair->Value());
+    }
+    return occupied;
+  }
+
  private:
   static constexpr size_t kArrOff = 0;
 

@@ -138,4 +138,19 @@ ReplayStats ReplayAllLogs(Heap* heap, const FaHooks& hooks) {
   return stats;
 }
 
+LogAudit AuditLogs(Heap* heap) {
+  LogAudit audit;
+  for (uint32_t slot = 0; slot < heap->log_slot_count(); ++slot) {
+    FaLog log(heap, slot);
+    if (log.committed()) {
+      ++audit.committed_slots;
+    }
+    if (log.count() != 0) {
+      ++audit.active_slots;
+      audit.pending_entries += log.count();
+    }
+  }
+  return audit;
+}
+
 }  // namespace jnvm::pfa

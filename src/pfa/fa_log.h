@@ -100,6 +100,17 @@ struct ReplayStats {
 // uncommitted ones. Must run before the heap's collection pass.
 ReplayStats ReplayAllLogs(Heap* heap, const FaHooks& hooks);
 
+// Read-only audit of every log slot, for the integrity checker and the
+// crash-consistency oracle. On a quiescent heap (no thread inside a
+// failure-atomic block, recovery finished) every slot must be erased:
+// a lingering committed flag means replay failed to run to completion.
+struct LogAudit {
+  uint32_t committed_slots = 0;   // slots with the committed flag still set
+  uint32_t active_slots = 0;      // slots holding entries (committed or not)
+  uint64_t pending_entries = 0;   // total entries across active slots
+};
+LogAudit AuditLogs(Heap* heap);
+
 }  // namespace jnvm::pfa
 
 #endif  // JNVM_SRC_PFA_FA_LOG_H_

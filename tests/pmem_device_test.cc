@@ -1,6 +1,10 @@
 // Unit + property tests for the simulated NVMM device, in particular the
 // strict-mode crash semantics (the foundation of every crash test above it).
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
 
 #include "src/nvm/pmem_device.h"
 
@@ -201,6 +205,98 @@ TEST(PmemDevice, MemsetTrackedLikeStore) {
   dev.Pfence();
   dev.Crash(5);
   EXPECT_EQ(dev.Read<uint8_t>(300), 0xffu);
+}
+
+TEST(PmemDeviceStrict, SaveLoadRoundTripKeepsStrictTracking) {
+  const std::string path = ::testing::TempDir() + "/jnvm_dev_strict_rt.bin";
+  {
+    PmemDevice dev(Strict());
+    dev.Write<uint64_t>(128, 0x1122334455667788ull);
+    dev.Pwb(128);
+    dev.Psync();
+    ASSERT_EQ(dev.UnflushedLineCount(), 0u);
+    ASSERT_TRUE(dev.SaveTo(path));
+  }
+  DeviceOptions opts;
+  opts.strict = true;
+  auto dev = PmemDevice::LoadFrom(path, opts);
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(dev->size(), size_t{1} << 16);  // size comes from the image
+  EXPECT_EQ(dev->Read<uint64_t>(128), 0x1122334455667788ull);
+  // The loaded device is a fresh strict device: unfenced writes to it are
+  // tracked and still roll back on the unlucky coin flip.
+  dev->Write<uint64_t>(128, 0xffffffffffffffffull);
+  EXPECT_EQ(dev->UnflushedLineCount(), 1u);
+  dev->Crash(3);  // seed 3 reverts this line (verified below via the write)
+  EXPECT_EQ(dev->UnflushedLineCount(), 0u);
+  const uint64_t after = dev->Read<uint64_t>(128);
+  EXPECT_TRUE(after == 0x1122334455667788ull || after == 0xffffffffffffffffull);
+  std::remove(path.c_str());
+}
+
+TEST(PmemDeviceStrict, SaveWithUnflushedLinesFails) {
+  const std::string path = ::testing::TempDir() + "/jnvm_dev_unflushed.bin";
+  PmemDevice dev(Strict());
+  dev.Write<uint64_t>(0, 42);
+  ASSERT_GT(dev.UnflushedLineCount(), 0u);
+  // An image of a half-flushed device would resurrect state the hardware
+  // never guaranteed; SaveTo must refuse and write nothing.
+  EXPECT_FALSE(dev.SaveTo(path));
+  EXPECT_EQ(PmemDevice::LoadFrom(path), nullptr);
+  // Psync alone is not enough: it drains only pwb-queued lines, and this
+  // line was never flushed. Quiesce properly, then the save succeeds.
+  dev.Psync();
+  EXPECT_FALSE(dev.SaveTo(path));
+  dev.Pwb(0);
+  dev.Psync();
+  EXPECT_TRUE(dev.SaveTo(path));
+  auto loaded = PmemDevice::LoadFrom(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Read<uint64_t>(0), 42u);
+  std::remove(path.c_str());
+}
+
+TEST(PmemDeviceStrict, LoadFromTruncatedImageFails) {
+  const std::string path = ::testing::TempDir() + "/jnvm_dev_trunc.bin";
+  {
+    PmemDevice dev(Strict());
+    dev.Write<uint64_t>(0, 7);
+    dev.Pwb(0);
+    dev.Psync();
+    ASSERT_TRUE(dev.SaveTo(path));
+  }
+  // Chop the tail off the image; the loader must reject it.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), full / 2), 0);
+  EXPECT_EQ(PmemDevice::LoadFrom(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(PmemDeviceStrict, EventCounterTicksStoresPwbsFences) {
+  PmemDevice dev(Strict());
+  const uint64_t base = dev.PersistenceEventCount();
+  dev.Write<uint64_t>(0, 1);   // 1 store event
+  dev.Pwb(0);                  // 1 pwb event
+  dev.Pfence();                // 1 fence event
+  EXPECT_EQ(dev.PersistenceEventCount(), base + 3);
+}
+
+TEST(PmemDeviceStrict, TraceHashDistinguishesContentAndOrder) {
+  PmemDevice a(Strict());
+  PmemDevice b(Strict());
+  a.Write<uint64_t>(0, 1);
+  b.Write<uint64_t>(0, 1);
+  EXPECT_EQ(a.TraceHash(), b.TraceHash());  // identical traces agree
+  PmemDevice c(Strict());
+  c.Write<uint64_t>(0, 2);  // same offset, different bytes
+  EXPECT_NE(a.TraceHash(), c.TraceHash());
+  PmemDevice d(Strict());
+  d.Write<uint64_t>(8, 1);  // same bytes, different offset
+  EXPECT_NE(a.TraceHash(), d.TraceHash());
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// jnvm_crashmc — the crash-consistency model-checker CLI.
+//
+// Sweeps every crash point of a scripted workload (or a stride over them)
+// across several cache-line eviction seeds, runs recovery at each point, and
+// judges the recovered heap against the workload's durability oracle. See
+// src/crashcheck/checker.h for the model.
+//
+//   jnvm_crashmc                          # full sweep, all workloads
+//   jnvm_crashmc --workload=map-hash      # one workload
+//   jnvm_crashmc --stride=4 --seeds=1,7   # coarser sweep
+//   jnvm_crashmc --max-points=100         # bounded sweep (CI)
+//   jnvm_crashmc --workload=pfa --repro=812:7   # re-run one violation
+//   jnvm_crashmc --faulty                 # planted-bug demo (must report)
+//
+// Exit status: 0 when every sweep is violation-free (for --faulty: when the
+// planted bug IS caught), 1 on violations, 2 on usage errors.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/crashcheck/checker.h"
+
+namespace {
+
+using jnvm::crashcheck::CheckerOptions;
+using jnvm::crashcheck::CrashChecker;
+using jnvm::crashcheck::FormatViolation;
+using jnvm::crashcheck::MakeFaultyWorkload;
+using jnvm::crashcheck::MakeWorkload;
+using jnvm::crashcheck::SweepResult;
+using jnvm::crashcheck::Violation;
+using jnvm::crashcheck::WorkloadKinds;
+
+struct Args {
+  std::string workload = "all";
+  uint64_t ops = 40;
+  uint64_t script_seed = 42;
+  uint64_t stride = 1;
+  uint64_t max_points = 0;
+  std::vector<uint64_t> seeds = {1, 7, 1337};
+  bool have_repro = false;
+  uint64_t repro_event = 0;
+  uint64_t repro_seed = 0;
+  bool faulty = false;
+  bool list = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: jnvm_crashmc [--workload=all|KIND] [--ops=N] "
+               "[--script-seed=S]\n"
+               "                    [--stride=K] [--max-points=N] "
+               "[--seeds=a,b,c]\n"
+               "                    [--repro=EVENT:SEED] [--faulty] [--list]\n");
+}
+
+bool ParseU64(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool ParseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = val("--workload=")) != nullptr) {
+      a->workload = v;
+    } else if ((v = val("--ops=")) != nullptr) {
+      if (!ParseU64(v, &a->ops) || a->ops == 0) return false;
+    } else if ((v = val("--script-seed=")) != nullptr) {
+      if (!ParseU64(v, &a->script_seed)) return false;
+    } else if ((v = val("--stride=")) != nullptr) {
+      if (!ParseU64(v, &a->stride) || a->stride == 0) return false;
+    } else if ((v = val("--max-points=")) != nullptr) {
+      if (!ParseU64(v, &a->max_points)) return false;
+    } else if ((v = val("--seeds=")) != nullptr) {
+      a->seeds.clear();
+      std::string list = v;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        uint64_t s;
+        if (!ParseU64(tok.c_str(), &s)) return false;
+        a->seeds.push_back(s);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (a->seeds.empty()) return false;
+    } else if ((v = val("--repro=")) != nullptr) {
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) return false;
+      if (!ParseU64(std::string(v, colon - v).c_str(), &a->repro_event)) return false;
+      if (!ParseU64(colon + 1, &a->repro_seed)) return false;
+      a->have_repro = true;
+    } else if (arg == "--faulty") {
+      a->faulty = true;
+    } else if (arg == "--list") {
+      a->list = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<jnvm::crashcheck::Workload> Make(const Args& a,
+                                                 const std::string& kind) {
+  if (a.faulty) {
+    return MakeFaultyWorkload(a.script_seed, a.ops);
+  }
+  return MakeWorkload(kind, a.script_seed, a.ops);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!ParseArgs(argc, argv, &a)) {
+    Usage();
+    return 2;
+  }
+  if (a.list) {
+    for (const std::string& k : WorkloadKinds()) {
+      std::printf("%s\n", k.c_str());
+    }
+    return 0;
+  }
+
+  CheckerOptions opts;
+  opts.stride = a.stride;
+  opts.max_points = a.max_points;
+  opts.eviction_seeds = a.seeds;
+
+  // Violation reports print `--workload=faulty-string`; accept it as an
+  // alias for --faulty so the repro line works verbatim.
+  if (a.workload == "faulty-string") {
+    a.faulty = true;
+  }
+  std::vector<std::string> kinds;
+  if (a.faulty) {
+    kinds.push_back("faulty-string");
+  } else if (a.workload == "all") {
+    kinds = WorkloadKinds();
+  } else {
+    bool known = false;
+    for (const std::string& k : WorkloadKinds()) {
+      known = known || k == a.workload;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown workload '%s'; --list names the kinds\n",
+                   a.workload.c_str());
+      return 2;
+    }
+    kinds.push_back(a.workload);
+  }
+
+  if (a.have_repro) {
+    if (kinds.size() != 1) {
+      std::fprintf(stderr, "--repro needs --workload=KIND (or --faulty)\n");
+      return 2;
+    }
+    CrashChecker checker(Make(a, kinds[0]), opts);
+    const auto& rec = checker.recording();
+    if (a.repro_event <= rec.setup_events || a.repro_event > rec.op_end.back()) {
+      std::fprintf(stderr,
+                   "crash event %" PRIu64 " outside the recorded op range "
+                   "(%" PRIu64 ", %" PRIu64 "] — same --ops/--script-seed as "
+                   "the sweep that reported it?\n",
+                   a.repro_event, rec.setup_events, rec.op_end.back());
+      return 2;
+    }
+    const auto violations = checker.CheckPoint(a.repro_event, a.repro_seed);
+    for (const Violation& v : violations) {
+      std::printf("%s\n", FormatViolation(v).c_str());
+    }
+    std::printf("repro %s crash_event=%" PRIu64 " eviction_seed=%" PRIu64
+                ": %zu violation(s)\n",
+                kinds[0].c_str(), a.repro_event, a.repro_seed, violations.size());
+    return violations.empty() ? 0 : 1;
+  }
+
+  uint64_t total_points = 0;
+  uint64_t total_runs = 0;
+  uint64_t total_violations = 0;
+  for (const std::string& kind : kinds) {
+    CrashChecker checker(Make(a, kind), opts);
+    const SweepResult res = checker.Sweep();
+    std::printf("%s\n", res.Summary().c_str());
+    std::fflush(stdout);
+    total_points += res.points_explored;
+    total_runs += res.runs;
+    total_violations += res.violation_count;
+  }
+  std::printf("TOTAL: %" PRIu64 " crash points, %" PRIu64 " runs, %" PRIu64
+              " violations\n",
+              total_points, total_runs, total_violations);
+
+  if (a.faulty) {
+    // The planted bug must be caught; a silent pass means the oracle is blind.
+    if (total_violations == 0) {
+      std::fprintf(stderr, "faulty workload produced no violations — the "
+                           "checker failed to detect the planted bug\n");
+      return 1;
+    }
+    std::printf("planted bug detected, as expected\n");
+    return 0;
+  }
+  return total_violations == 0 ? 0 : 1;
+}
