@@ -30,6 +30,12 @@ int main() {
   }
   std::printf("%14s%12s\n", "J-PDT/FS", "J-PDT/PCJ");
 
+  // Per-backend op counters and cache hit rates accumulated across all
+  // workloads — sanity-checks that each cell really exercised the mix it
+  // claims (and that the J-NVM backends stay uncached).
+  store::OpStats op_totals[4] = {};
+  store::CacheStats cache_totals[4] = {};
+
   for (const auto& base : bases) {
     double tput[4] = {};
     int i = 0;
@@ -38,6 +44,17 @@ int main() {
       const auto spec = SpecFor(cfg, base);
       ycsb::LoadPhase(b->kv.get(), spec);
       const auto r = ycsb::RunPhase(b->kv.get(), spec, ops, 1, 42);
+      const store::OpStats os = b->backend->stats();
+      op_totals[i].puts += os.puts;
+      op_totals[i].gets += os.gets;
+      op_totals[i].get_misses += os.get_misses;
+      op_totals[i].updates += os.updates;
+      op_totals[i].deletes += os.deletes;
+      op_totals[i].bytes_written += os.bytes_written;
+      op_totals[i].bytes_read += os.bytes_read;
+      const store::CacheStats cs = b->kv->cache_stats();
+      cache_totals[i].hits += cs.hits;
+      cache_totals[i].misses += cs.misses;
       tput[i++] = r.throughput_ops_s;
     }
     std::printf("%-10s", base.name.c_str());
@@ -46,6 +63,22 @@ int main() {
     }
     std::printf("%13.1fx%11.1fx\n", tput[0] / tput[2], tput[0] / tput[3]);
   }
+
+  std::printf("\nbackend op counters (all workloads):\n");
+  std::printf("%-10s%12s%12s%12s%12s%12s%12s\n", "backend", "puts", "gets",
+              "updates", "MB written", "MB read", "cache hit%");
+  for (int j = 0; j < 4; ++j) {
+    const uint64_t lookups = cache_totals[j].hits + cache_totals[j].misses;
+    const double hit_pct =
+        lookups == 0 ? 0.0 : 100.0 * cache_totals[j].hits / lookups;
+    std::printf("%-10s%12llu%12llu%12llu%12.1f%12.1f%11.1f%%\n", Name(kinds[j]),
+                static_cast<unsigned long long>(op_totals[j].puts),
+                static_cast<unsigned long long>(op_totals[j].gets),
+                static_cast<unsigned long long>(op_totals[j].updates),
+                op_totals[j].bytes_written / 1e6, op_totals[j].bytes_read / 1e6,
+                hit_pct);
+  }
+
   std::printf("\n(records=%llu, ops=%llu per cell, single-threaded client)\n",
               static_cast<unsigned long long>(cfg.records),
               static_cast<unsigned long long>(ops));

@@ -80,6 +80,8 @@ void PObject::Pfence() const { heap_->Pfence(); }
 
 void PObject::Psync() const { heap_->Psync(); }
 
+void PObject::DurabilityFence() const { heap_->DurabilityFence(); }
+
 nvm::Offset PObject::LocateForRead(size_t off, size_t n) const {
   const ObjectView& v = view();
   const nvm::Offset loc = v.Locate(off);
@@ -171,11 +173,14 @@ void PObject::UpdateRefAndFreeOld(size_t off, PObject* target) {
   }
   pfa::FaContext* fa = ActiveFa();
   if (fa == nullptr || !fa->InFa()) {
-    // The new reference must be durable before the old object's
-    // invalidation can possibly persist — otherwise a crash could leave the
+    // The new reference must be durable before the old object's memory can
+    // possibly be invalidated or reused — otherwise a crash could leave the
     // field pointing at an invalid object and recovery would nullify it,
-    // losing the (still intact) old value.
-    heap_->Pfence();
+    // losing the (still intact) old value. Under group commit this is a
+    // durability fence only: FreeRef defers the reclamation past the
+    // batch's Psync (JnvmRuntime::DrainGroupFrees), which restores the
+    // swing-before-reuse ordering without a per-operation fence.
+    heap_->DurabilityFence();
   }
   rt_->FreeRef(old_ref);
 }

@@ -72,6 +72,9 @@ class PObject {
   void PwbField(size_t off, size_t n) { MutableView().PwbRange(off, n); }
   void Pfence() const;
   void Psync() const;
+  // Durability-only fence: elided when the heap is in a group-commit batch
+  // (src/server fence batching) — the batch's Psync provides durability.
+  void DurabilityFence() const;
 
   // Overridden to initialize transient state after resurrection (§3.1).
   virtual void Resurrect_() {}

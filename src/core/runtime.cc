@@ -151,6 +151,8 @@ void JnvmRuntime::Free(PObject& obj) {
     } else {
       fa->NoteFreeObject(a);
     }
+  } else if (heap_->InGroupCommit()) {
+    group_frees_.emplace_back(a, obj.is_pool());  // reclaimed after the Psync
   } else if (obj.is_pool()) {
     pools_->FreeSlot(a);
   } else {
@@ -169,11 +171,27 @@ void JnvmRuntime::FreeRef(nvm::Offset ref) {
     } else {
       fa->NoteFreeObject(ref);
     }
+  } else if (heap_->InGroupCommit()) {
+    group_frees_.emplace_back(ref, pool);  // reclaimed after the Psync
   } else if (pool) {
     pools_->FreeSlot(ref);
   } else {
     heap_->FreeObject(ref);
   }
+}
+
+void JnvmRuntime::DrainGroupFrees() {
+  // Only sound outside the batch: the caller must have Psync'd the batch so
+  // every unlink/swing referencing these structures is durable.
+  JNVM_CHECK(!heap_->InGroupCommit());
+  for (const auto& [ref, pool] : group_frees_) {
+    if (pool) {
+      pools_->FreeSlot(ref);
+    } else {
+      heap_->FreeObject(ref);
+    }
+  }
+  group_frees_.clear();
 }
 
 pfa::FaContext* JnvmRuntime::CurrentFaOrNull() const {

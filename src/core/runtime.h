@@ -73,6 +73,14 @@ class JnvmRuntime {
   // container internals). Same deferral/fence semantics as Free().
   void FreeRef(nvm::Offset ref);
 
+  // While the heap is in group-commit mode (src/server fence batching) and
+  // no failure-atomic block is active, Free/FreeRef defer the actual
+  // reclamation to this call — made after the batch's Psync, so freed
+  // memory can never be reused before the unlink/swing that orphaned it is
+  // durable. That ordering is what lets UpdateRefAndFreeOld and container
+  // removal elide their pre-free fence under group commit.
+  void DrainGroupFrees();
+
   // ---- Failure-atomic blocks (§2.5, §4.2) --------------------------------
 
   void FaStart();
@@ -112,6 +120,7 @@ class JnvmRuntime {
   std::unique_ptr<PoolManager> pools_;
   std::unique_ptr<pfa::FaManager> fa_;
   Handle<RootMap> root_;
+  std::vector<std::pair<nvm::Offset, bool>> group_frees_;  // (ref, is_pool)
   RecoveryReport recovery_report_;
   uint64_t generation_ = 0;  // for the thread-local FA cache
   bool closed_ = false;

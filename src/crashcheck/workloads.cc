@@ -7,6 +7,8 @@
 #include "src/pdt/pext_array.h"
 #include "src/pdt/pmap.h"
 #include "src/pdt/pstring.h"
+#include "src/server/shard.h"
+#include "src/store/jpdt_backend.h"
 
 namespace jnvm::crashcheck {
 namespace {
@@ -641,11 +643,189 @@ class PfaWorkload final : public Workload {
   std::vector<Handle<CrashAccount>> accounts_;
 };
 
+// ---- Server workload ---------------------------------------------------------
+//
+// Models the network server's fence-batching path (src/server): commands are
+// routed to per-shard J-PDT stores by server::ShardFor, executed in groups
+// under Heap::BeginGroupCommit (durability fences elided), sealed by one
+// Psync, and only then are the batch's deferred frees drained — exactly the
+// Shard::WorkerLoop sequence. One checker "op" is one whole batch.
+//
+// Oracle (group-commit contract): every sealed batch is fully visible; each
+// command of the in-flight batch is independently old-or-new (its elided
+// durability fence means it may not have survived, but the retained
+// ordering fences forbid torn values); nothing else may differ. Keys are
+// distinct within a batch so "old-or-new" is well defined per key.
+
+class ServerWorkload final : public Workload {
+ public:
+  static constexpr uint32_t kShards = 4;
+  static constexpr uint32_t kBatch = 4;
+
+  struct Cmd {
+    bool remove = false;
+    std::string key;
+    std::string value;
+  };
+
+  ServerWorkload(uint64_t seed, size_t n) : name_("server") {
+    Xorshift rng(seed);
+    std::set<std::string> live;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Cmd> batch;
+      std::set<std::string> used;  // keys distinct within a batch
+      for (uint32_t j = 0; j < kBatch; ++j) {
+        std::string key;
+        do {
+          key = "k" + std::to_string(rng.NextBelow(12));
+        } while (used.count(key) != 0);
+        used.insert(key);
+        if (live.count(key) != 0 && rng.NextBelow(4) == 0) {
+          batch.push_back(Cmd{true, key, {}});
+          live.erase(key);
+        } else {
+          batch.push_back(
+              Cmd{false, key, ValueFor(i * kBatch + j, rng.NextBelow(6) == 0)});
+          live.insert(key);
+        }
+      }
+      script_.push_back(std::move(batch));
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    shards_.clear();
+    for (uint32_t s = 0; s < kShards; ++s) {
+      shards_.push_back(std::make_unique<store::JpdtBackend>(
+          &rt, RootName(s), /*initial_capacity=*/4));
+    }
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    rt.heap().BeginGroupCommit();
+    for (const Cmd& c : script_[i]) {
+      store::Backend* b = shards_[server::ShardFor(c.key, kShards)].get();
+      if (c.remove) {
+        b->Delete(c.key);
+      } else {
+        store::Record r;
+        r.fields.push_back(c.value);
+        b->Put(c.key, r);
+      }
+    }
+    rt.heap().EndGroupCommit();
+    rt.Psync();  // the batch's single durability point
+    rt.DrainGroupFrees();
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    // Oracle state: the sealed batches, replayed in DRAM.
+    std::map<std::string, std::string> expected;
+    for (size_t i = 0; i < cut.committed; ++i) {
+      for (const Cmd& c : script_[i]) {
+        if (c.remove) {
+          expected.erase(c.key);
+        } else {
+          expected[c.key] = c.value;
+        }
+      }
+    }
+    const std::vector<Cmd>* inflight =
+        cut.in_flight.has_value() && *cut.in_flight < script_.size()
+            ? &script_[*cut.in_flight]
+            : nullptr;
+
+    std::map<std::string, std::string> got;
+    for (uint32_t s = 0; s < kShards; ++s) {
+      auto map = rt.root().GetAs<pdt::PStringHashMap>(RootName(s));
+      if (map == nullptr) {
+        out->push_back("shard root binding " + RootName(s) + " lost");
+        return;
+      }
+      map->ForEach([&](const std::string& k, Handle<PObject> v) {
+        auto rec = std::static_pointer_cast<store::PRecord>(v);
+        const store::Record r = rec->ToRecord();
+        got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+        if (server::ShardFor(k, kShards) != s) {
+          out->push_back("key " + k + " found on shard " + std::to_string(s) +
+                         ", routed to " +
+                         std::to_string(server::ShardFor(k, kShards)));
+        }
+      });
+    }
+
+    auto inflight_cmd = [&](const std::string& k) -> const Cmd* {
+      if (inflight == nullptr) {
+        return nullptr;
+      }
+      for (const Cmd& c : *inflight) {
+        if (c.key == k) {
+          return &c;
+        }
+      }
+      return nullptr;
+    };
+
+    for (const auto& [k, v] : expected) {
+      const Cmd* c = inflight_cmd(k);
+      if (c != nullptr) {
+        continue;  // judged below
+      }
+      auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back("sealed-batch key " + k + " lost");
+      } else if (it->second != v) {
+        out->push_back("sealed-batch key " + k + " has value '" + it->second +
+                       "', want '" + v + "'");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (expected.count(k) == 0 && inflight_cmd(k) == nullptr) {
+        out->push_back("phantom key " + k);
+      }
+    }
+    if (inflight != nullptr) {
+      // Each in-flight command independently old-or-new, never torn.
+      for (const Cmd& c : *inflight) {
+        const auto it = got.find(c.key);
+        const auto old_it = expected.find(c.key);
+        if (it == got.end()) {
+          if (!c.remove && old_it != expected.end()) {
+            out->push_back("in-flight batch erased pre-existing key " + c.key);
+          }
+          continue;  // absent: old-absent, removed, or unsurvived put
+        }
+        const bool is_old = old_it != expected.end() && it->second == old_it->second;
+        const bool is_new = !c.remove && it->second == c.value;
+        if (!is_old && !is_new) {
+          out->push_back("in-flight batch left torn value '" + it->second +
+                         "' for key " + c.key);
+        }
+      }
+    }
+  }
+
+ private:
+  static std::string RootName(uint32_t s) {
+    return "shard" + std::to_string(s);
+  }
+
+  std::string name_;
+  std::vector<std::vector<Cmd>> script_;
+  std::vector<std::unique_ptr<store::JpdtBackend>> shards_;
+};
+
 }  // namespace
 
 std::vector<std::string> WorkloadKinds() {
-  return {"map-hash", "map-tree", "map-skip", "map-long",
-          "set",      "array",    "string",   "pfa"};
+  return {"map-hash", "map-tree", "map-skip", "map-long", "set",
+          "array",    "string",   "pfa",      "server"};
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
@@ -678,6 +858,9 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
   }
   if (kind == "pfa") {
     return std::make_unique<PfaWorkload>(script_seed, op_count);
+  }
+  if (kind == "server") {
+    return std::make_unique<ServerWorkload>(script_seed, op_count);
   }
   JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
   return nullptr;

@@ -26,6 +26,10 @@
 //              operation's fence seals it (§4.3.1: losing the bump loses
 //              the append). The oracle therefore accepts the state after
 //              j ∈ {committed-1, committed, committed+1} operations.
+//   server   — one op is one fence-batched group (Heap group commit + one
+//              Psync, then deferred frees): sealed batches are fully
+//              durable; each in-flight-batch command is independently
+//              old-or-new, never torn.
 #ifndef JNVM_SRC_CRASHCHECK_WORKLOADS_H_
 #define JNVM_SRC_CRASHCHECK_WORKLOADS_H_
 
@@ -68,7 +72,7 @@ class Workload {
 };
 
 // Registered workload kinds: "map-hash", "map-tree", "map-skip",
-// "map-long", "set", "array", "string", "pfa".
+// "map-long", "set", "array", "string", "pfa", "server".
 std::vector<std::string> WorkloadKinds();
 
 // Factory; aborts on an unknown kind. `op_count` is the script length;

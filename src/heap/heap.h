@@ -145,6 +145,40 @@ class Heap {
   void Pfence() { dev_->Pfence(); }
   void Psync() { dev_->Psync(); }
 
+  // ---- Group commit (fence batching, §3.2.3 / Figure 5) ------------------
+  //
+  // Between BeginGroupCommit and EndGroupCommit, *durability* fences — the
+  // trailing "durable on return" fence of a write-through operation — are
+  // elided; the caller promises one Psync for the whole batch before it
+  // acknowledges any operation in it. *Ordering* fences (contents durable
+  // before a publishing store, unlink durable before memory reuse) are NOT
+  // affected: they keep the heap crash-consistent inside a batch, so a
+  // crash mid-batch loses only unacknowledged operations, never tears one.
+  //
+  // The mode is heap-wide and unsynchronized by design: it is meant for a
+  // single-writer heap (one shard worker per heap in src/server).
+
+  void BeginGroupCommit() { ++group_commit_depth_; }
+  void EndGroupCommit() {
+    JNVM_DCHECK(group_commit_depth_ > 0);
+    --group_commit_depth_;
+  }
+  bool InGroupCommit() const { return group_commit_depth_ > 0; }
+  // Count of durability fences skipped under group commit.
+  uint64_t elided_fences() const {
+    return stat_elided_fences_.load(std::memory_order_relaxed);
+  }
+
+  // A durability-only fence: full Pfence normally, elided under group
+  // commit (the batch's final Psync provides durability instead).
+  void DurabilityFence() {
+    if (group_commit_depth_ > 0) {
+      stat_elided_fences_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    dev_->Pfence();
+  }
+
   // ---- Lifecycle & recovery ---------------------------------------------
 
   void CloseClean();
@@ -237,6 +271,9 @@ class Heap {
   std::atomic<uint64_t> stat_blocks_freed_{0};
   std::atomic<uint64_t> stat_objects_allocated_{0};
   std::atomic<uint64_t> stat_objects_freed_{0};
+
+  uint32_t group_commit_depth_ = 0;  // single-writer heaps only
+  std::atomic<uint64_t> stat_elided_fences_{0};
 };
 
 }  // namespace jnvm::heap

@@ -264,7 +264,7 @@ class PMap final : public core::PObject {
         pair->SetValueAndFreeOld(value);  // fences internally (§4.1.6)
       } else {
         pair->SetValue(value);
-        Pfence();  // durable on return (write-through semantics)
+        DurabilityFence();  // durable on return (write-through semantics)
       }
       EraseCacheLocked(slot);
       return;
@@ -278,7 +278,7 @@ class PMap final : public core::PObject {
     }
     Pfence();                         // everything durable …
     arr_->SetRaw(slot, pair.addr());  // … before the single publishing write
-    Pfence();                         // … and the publication durable on return
+    DurabilityFence();                // … and the publication durable on return
     mirror_[key] = slot;
   }
 
@@ -294,7 +294,10 @@ class PMap final : public core::PObject {
     }
     auto pair = PairAt(slot);
     arr_->SetRaw(slot, 0);
-    Pfence();  // unlink durable before any of the memory can be recycled
+    // Unlink durable before any of the memory can be recycled. Under group
+    // commit the frees below are deferred past the batch's Psync, so this
+    // reduces to a durability fence and is elided.
+    DurabilityFence();
     KeyPolicy::FreeKey(rt, *pair);
     const nvm::Offset vref = pair->ValueRaw();
     if (free_value && vref != 0) {

@@ -1,0 +1,229 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace jnvm::server {
+
+namespace {
+
+void AppendCommand(std::string* out, const std::vector<std::string>& args) {
+  out->push_back('*');
+  out->append(std::to_string(args.size()));
+  out->append("\r\n");
+  for (const std::string& a : args) {
+    AppendBulk(out, a);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                        std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg + ": " + std::strerror(errno);
+    }
+    return nullptr;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return fail("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return fail("inet_pton(" + host + ")");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto c = std::unique_ptr<Client>(new Client());
+  c->fd_ = fd;
+  return c;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool Client::WriteAll(const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd_, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      err_ = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool Client::ReadReply(RespReply* out) {
+  char buf[65536];
+  for (;;) {
+    std::string perr;
+    const RespParser::Status st = replies_.Next(out, &perr);
+    if (st == RespParser::Status::kCommand) {
+      return true;
+    }
+    if (st == RespParser::Status::kError) {
+      err_ = "reply parse: " + perr;
+      return false;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      err_ = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    if (n == 0) {
+      err_ = "connection closed by server";
+      return false;
+    }
+    replies_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+bool Client::Roundtrip(const std::vector<std::string>& args, RespReply* reply) {
+  std::string wire;
+  AppendCommand(&wire, args);
+  return WriteAll(wire.data(), wire.size()) && ReadReply(reply);
+}
+
+void Client::PipeCommand(const std::vector<std::string>& args) {
+  AppendCommand(&outbuf_, args);
+  ++queued_;
+}
+
+bool Client::Sync(std::vector<RespReply>* out) {
+  out->clear();
+  if (!WriteAll(outbuf_.data(), outbuf_.size())) {
+    outbuf_.clear();
+    queued_ = 0;
+    return false;
+  }
+  outbuf_.clear();
+  const uint32_t expect = queued_;
+  queued_ = 0;
+  out->reserve(expect);
+  for (uint32_t i = 0; i < expect; ++i) {
+    RespReply r;
+    if (!ReadReply(&r)) {
+      return false;
+    }
+    out->push_back(std::move(r));
+  }
+  return true;
+}
+
+bool Client::Ping() {
+  RespReply r;
+  return Roundtrip({"PING"}, &r) && r.type == RespReply::Type::kSimple &&
+         r.str == "PONG";
+}
+
+bool Client::Set(const std::string& key, const std::string& value) {
+  RespReply r;
+  if (!Roundtrip({"SET", key, value}, &r)) {
+    return false;
+  }
+  if (r.type == RespReply::Type::kError) {
+    err_ = r.str;
+    return false;
+  }
+  return r.type == RespReply::Type::kSimple;
+}
+
+std::optional<std::string> Client::Get(const std::string& key) {
+  RespReply r;
+  if (!Roundtrip({"GET", key}, &r)) {
+    return std::nullopt;
+  }
+  if (r.type != RespReply::Type::kBulk) {
+    if (r.type == RespReply::Type::kError) {
+      err_ = r.str;
+    }
+    return std::nullopt;
+  }
+  return std::move(r.str);
+}
+
+bool Client::Del(const std::string& key) {
+  RespReply r;
+  return Roundtrip({"DEL", key}, &r) && r.type == RespReply::Type::kInteger &&
+         r.integer == 1;
+}
+
+bool Client::Hset(const std::string& key, uint32_t field,
+                  const std::string& value) {
+  RespReply r;
+  return Roundtrip({"HSET", key, std::to_string(field), value}, &r) &&
+         r.type == RespReply::Type::kInteger && r.integer == 1;
+}
+
+bool Client::Touch(const std::string& key) {
+  RespReply r;
+  return Roundtrip({"TOUCH", key}, &r) && r.type == RespReply::Type::kInteger &&
+         r.integer == 1;
+}
+
+bool Client::Mset(const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<std::string> args;
+  args.reserve(1 + 2 * pairs.size());
+  args.push_back("MSET");
+  for (const auto& [k, v] : pairs) {
+    args.push_back(k);
+    args.push_back(v);
+  }
+  RespReply r;
+  if (!Roundtrip(args, &r)) {
+    return false;
+  }
+  if (r.type == RespReply::Type::kError) {
+    err_ = r.str;
+    return false;
+  }
+  return r.type == RespReply::Type::kSimple;
+}
+
+std::optional<std::string> Client::Stats() {
+  RespReply r;
+  if (!Roundtrip({"STATS"}, &r) || r.type != RespReply::Type::kBulk) {
+    return std::nullopt;
+  }
+  return std::move(r.str);
+}
+
+bool Client::Shutdown() {
+  RespReply r;
+  if (!Roundtrip({"SHUTDOWN"}, &r)) {
+    return false;
+  }
+  if (r.type == RespReply::Type::kError) {
+    err_ = r.str;
+    return false;
+  }
+  return r.type == RespReply::Type::kSimple;
+}
+
+}  // namespace jnvm::server

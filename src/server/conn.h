@@ -1,0 +1,67 @@
+// Per-connection state for the server event loop (DESIGN.md §7).
+//
+// Commands are sequenced per connection in arrival order. Replies can be
+// produced out of order — pipelined commands fan out to different shards
+// whose batches complete independently — so each finished reply is staged
+// in a reorder buffer and flushed to the socket only when every earlier
+// command of the connection has replied. RESP clients rely on this: the
+// k-th reply answers the k-th command.
+#ifndef JNVM_SRC_SERVER_CONN_H_
+#define JNVM_SRC_SERVER_CONN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/server/protocol.h"
+
+namespace jnvm::server {
+
+struct Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  RespParser parser;
+
+  // Write side: bytes not yet accepted by the socket.
+  std::string out;
+  size_t out_off = 0;
+
+  uint64_t next_seq = 0;      // sequence assigned to the next parsed command
+  uint64_t next_to_send = 0;  // sequence whose reply goes out next
+  std::map<uint64_t, std::string> replies;  // finished, waiting their turn
+
+  uint64_t inflight = 0;  // submitted to shards, not yet completed
+  bool closing = false;   // close once `out` drains and inflight == 0
+
+  // Stages the reply for `seq`, then moves every consecutive ready reply
+  // into the output buffer. Returns true when new bytes became writable.
+  bool Complete(uint64_t seq, std::string&& reply) {
+    replies.emplace(seq, std::move(reply));
+    bool advanced = false;
+    auto it = replies.find(next_to_send);
+    while (it != replies.end()) {
+      out += it->second;
+      replies.erase(it);
+      ++next_to_send;
+      advanced = true;
+      it = replies.find(next_to_send);
+    }
+    return advanced;
+  }
+
+  bool WantsWrite() const { return out_off < out.size(); }
+
+  void CompactOut() {
+    if (out_off == out.size()) {
+      out.clear();
+      out_off = 0;
+    } else if (out_off > 65536 && out_off * 2 > out.size()) {
+      out.erase(0, out_off);
+      out_off = 0;
+    }
+  }
+};
+
+}  // namespace jnvm::server
+
+#endif  // JNVM_SRC_SERVER_CONN_H_

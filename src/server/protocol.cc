@@ -1,0 +1,240 @@
+#include "src/server/protocol.h"
+
+#include <charconv>
+
+namespace jnvm::server {
+
+namespace {
+
+// Strict non-negative integer parse; RESP lengths admit no sign, blanks or
+// leading zeros beyond "0".
+bool ParseLen(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 19) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void RespParser::Feed(const char* data, size_t n) {
+  Compact();
+  buf_.append(data, n);
+}
+
+void RespParser::Compact() {
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+bool RespParser::TakeLine(std::string_view* line) {
+  const size_t eol = buf_.find("\r\n", consumed_);
+  if (eol == std::string::npos) {
+    return false;
+  }
+  *line = std::string_view(buf_).substr(consumed_, eol - consumed_);
+  consumed_ = eol + 2;
+  return true;
+}
+
+RespParser::Status RespParser::Fail(std::string* error, const std::string& msg) {
+  stage_ = Stage::kBroken;
+  if (error != nullptr) {
+    *error = msg;
+  }
+  return Status::kError;
+}
+
+RespParser::Status RespParser::Next(std::vector<std::string>* args,
+                                    std::string* error) {
+  while (true) {
+    switch (stage_) {
+      case Stage::kBroken:
+        return Fail(error, "parser in error state");
+      case Stage::kArrayHeader: {
+        std::string_view line;
+        if (!TakeLine(&line)) {
+          return Status::kNeedMore;
+        }
+        if (line.empty() || line[0] != '*') {
+          return Fail(error, "expected array header '*'");
+        }
+        uint64_t n;
+        if (!ParseLen(line.substr(1), &n) || n == 0) {
+          return Fail(error, "bad array length");
+        }
+        if (n > kMaxArgs) {
+          return Fail(error, "array exceeds argument limit");
+        }
+        args_left_ = n;
+        partial_.clear();
+        partial_.reserve(n);
+        stage_ = Stage::kBulkHeader;
+        break;
+      }
+      case Stage::kBulkHeader: {
+        std::string_view line;
+        if (!TakeLine(&line)) {
+          return Status::kNeedMore;
+        }
+        if (line.empty() || line[0] != '$') {
+          return Fail(error, "expected bulk header '$'");
+        }
+        if (!ParseLen(line.substr(1), &bulk_len_)) {
+          return Fail(error, "bad bulk length");
+        }
+        if (bulk_len_ > kMaxBulkBytes) {
+          return Fail(error, "bulk string exceeds size limit");
+        }
+        stage_ = Stage::kBulkBody;
+        break;
+      }
+      case Stage::kBulkBody: {
+        if (buf_.size() - consumed_ < bulk_len_ + 2) {
+          return Status::kNeedMore;
+        }
+        if (buf_[consumed_ + bulk_len_] != '\r' ||
+            buf_[consumed_ + bulk_len_ + 1] != '\n') {
+          return Fail(error, "bulk string not CRLF-terminated");
+        }
+        partial_.emplace_back(buf_, consumed_, bulk_len_);
+        consumed_ += bulk_len_ + 2;
+        if (--args_left_ == 0) {
+          *args = std::move(partial_);
+          partial_.clear();
+          stage_ = Stage::kArrayHeader;
+          Compact();
+          return Status::kCommand;
+        }
+        stage_ = Stage::kBulkHeader;
+        break;
+      }
+    }
+  }
+}
+
+// ---- Reply builders ---------------------------------------------------------
+
+void AppendSimple(std::string* out, std::string_view s) {
+  out->push_back('+');
+  out->append(s);
+  out->append("\r\n");
+}
+
+void AppendError(std::string* out, std::string_view msg) {
+  out->append("-ERR ");
+  out->append(msg);
+  out->append("\r\n");
+}
+
+void AppendInteger(std::string* out, int64_t v) {
+  out->push_back(':');
+  out->append(std::to_string(v));
+  out->append("\r\n");
+}
+
+void AppendBulk(std::string* out, std::string_view s) {
+  out->push_back('$');
+  out->append(std::to_string(s.size()));
+  out->append("\r\n");
+  out->append(s);
+  out->append("\r\n");
+}
+
+void AppendNil(std::string* out) { out->append("$-1\r\n"); }
+
+// ---- Reply parser -----------------------------------------------------------
+
+void RespReplyParser::Feed(const char* data, size_t n) {
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+RespParser::Status RespReplyParser::Next(RespReply* out, std::string* error) {
+  if (broken_) {
+    if (error != nullptr) {
+      *error = "reply parser in error state";
+    }
+    return RespParser::Status::kError;
+  }
+  const size_t eol = buf_.find("\r\n", consumed_);
+  if (eol == std::string::npos) {
+    return RespParser::Status::kNeedMore;
+  }
+  const std::string_view line = std::string_view(buf_).substr(consumed_, eol - consumed_);
+  auto fail = [&](const char* msg) {
+    broken_ = true;
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return RespParser::Status::kError;
+  };
+  if (line.empty()) {
+    return fail("empty reply line");
+  }
+  switch (line[0]) {
+    case '+':
+      out->type = RespReply::Type::kSimple;
+      out->str.assign(line.substr(1));
+      consumed_ = eol + 2;
+      return RespParser::Status::kCommand;
+    case '-':
+      out->type = RespReply::Type::kError;
+      out->str.assign(line.substr(1));
+      consumed_ = eol + 2;
+      return RespParser::Status::kCommand;
+    case ':': {
+      int64_t v = 0;
+      const std::string_view num = line.substr(1);
+      const auto res = std::from_chars(num.data(), num.data() + num.size(), v);
+      if (res.ec != std::errc() || res.ptr != num.data() + num.size()) {
+        return fail("bad integer reply");
+      }
+      out->type = RespReply::Type::kInteger;
+      out->integer = v;
+      consumed_ = eol + 2;
+      return RespParser::Status::kCommand;
+    }
+    case '$': {
+      if (line.substr(1) == "-1") {
+        out->type = RespReply::Type::kNil;
+        out->str.clear();
+        consumed_ = eol + 2;
+        return RespParser::Status::kCommand;
+      }
+      uint64_t len;
+      if (!ParseLen(line.substr(1), &len) || len > kMaxBulkBytes) {
+        return fail("bad bulk reply length");
+      }
+      const size_t body = eol + 2;
+      if (buf_.size() < body + len + 2) {
+        return RespParser::Status::kNeedMore;
+      }
+      if (buf_[body + len] != '\r' || buf_[body + len + 1] != '\n') {
+        return fail("bulk reply not CRLF-terminated");
+      }
+      out->type = RespReply::Type::kBulk;
+      out->str.assign(buf_, body, len);
+      consumed_ = body + len + 2;
+      return RespParser::Status::kCommand;
+    }
+    default:
+      return fail("unknown reply type byte");
+  }
+}
+
+}  // namespace jnvm::server

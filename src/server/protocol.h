@@ -1,0 +1,95 @@
+// RESP2 wire protocol for the J-NVM network server (DESIGN.md §7).
+//
+// Requests are RESP arrays of bulk strings (`*N\r\n$len\r\n<bytes>\r\n`…),
+// the subset Redis clients speak. Replies are simple strings (+OK), errors
+// (-ERR …), integers (:N), bulk strings ($len…) and nil ($-1).
+//
+// The parser is incremental and allocation-light: bytes are appended to an
+// internal buffer and consumed in place; parse state (stage, argument count,
+// current bulk length) survives across Feed calls, so a command split over
+// any number of reads is never re-scanned. Argument strings are the only
+// per-command allocations.
+#ifndef JNVM_SRC_SERVER_PROTOCOL_H_
+#define JNVM_SRC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jnvm::server {
+
+// Frame limits. A violation is a protocol error: the server replies -ERR
+// and closes the offending connection (its parse state is unrecoverable);
+// other connections are unaffected.
+inline constexpr uint64_t kMaxArgs = 1024;
+inline constexpr uint64_t kMaxBulkBytes = 16ull << 20;
+
+class RespParser {
+ public:
+  enum class Status {
+    kNeedMore,  // no complete command buffered
+    kCommand,   // *args filled with one complete command
+    kError,     // protocol violation; *error describes it. Terminal.
+  };
+
+  // Appends raw bytes from the socket.
+  void Feed(const char* data, size_t n);
+
+  // Extracts the next complete command. Call repeatedly until kNeedMore to
+  // drain pipelined commands. After kError the parser stays in the error
+  // state (the stream position is lost).
+  Status Next(std::vector<std::string>* args, std::string* error);
+
+  // Bytes buffered but not yet consumed (tests / memory accounting).
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  enum class Stage { kArrayHeader, kBulkHeader, kBulkBody, kBroken };
+
+  Status Fail(std::string* error, const std::string& msg);
+  // Reads a CRLF-terminated line starting at consumed_; false = need more.
+  bool TakeLine(std::string_view* line);
+  void Compact();
+
+  std::string buf_;
+  size_t consumed_ = 0;
+  Stage stage_ = Stage::kArrayHeader;
+  uint64_t args_left_ = 0;
+  uint64_t bulk_len_ = 0;
+  std::vector<std::string> partial_;
+};
+
+// ---- Reply builders (append to an output buffer) ---------------------------
+
+void AppendSimple(std::string* out, std::string_view s);   // +s\r\n
+void AppendError(std::string* out, std::string_view msg);  // -ERR msg\r\n
+void AppendInteger(std::string* out, int64_t v);           // :v\r\n
+void AppendBulk(std::string* out, std::string_view s);     // $len\r\ns\r\n
+void AppendNil(std::string* out);                          // $-1\r\n
+
+// ---- Reply parser (client side) --------------------------------------------
+
+struct RespReply {
+  enum class Type { kSimple, kError, kInteger, kBulk, kNil };
+  Type type = Type::kNil;
+  std::string str;      // simple / error / bulk payload
+  int64_t integer = 0;  // kInteger
+};
+
+// Incremental reply reader for the blocking client: same buffering contract
+// as RespParser but over the reply grammar.
+class RespReplyParser {
+ public:
+  void Feed(const char* data, size_t n);
+  // kCommand here means "one complete reply in *out".
+  RespParser::Status Next(RespReply* out, std::string* error);
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace jnvm::server
+
+#endif  // JNVM_SRC_SERVER_PROTOCOL_H_

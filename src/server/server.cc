@@ -1,0 +1,696 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace jnvm::server {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string Upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool ParseU32(const std::string& s, uint32_t* out) {
+  if (s.empty() || s.size() > 9) {
+    return false;
+  }
+  uint32_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint32_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+// Event-loop readiness backend: epoll on Linux, poll(2) otherwise or when
+// forced (ServerOptions::force_poll) — both paths are compiled on Linux so
+// tests can exercise either at runtime.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  explicit Poller(bool use_epoll) {
+#ifdef __linux__
+    if (use_epoll) {
+      epfd_ = epoll_create1(0);
+      epoll_ = epfd_ >= 0;
+    }
+#else
+    (void)use_epoll;
+#endif
+  }
+
+  ~Poller() {
+    if (epfd_ >= 0) {
+      ::close(epfd_);
+    }
+  }
+
+  bool using_epoll() const { return epoll_; }
+
+  void Watch(int fd, bool want_write) {
+    const auto it = fds_.find(fd);
+    const bool known = it != fds_.end();
+    if (known && it->second == want_write) {
+      return;
+    }
+    fds_[fd] = want_write;
+#ifdef __linux__
+    if (epoll_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+      ev.data.fd = fd;
+      epoll_ctl(epfd_, known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd, &ev);
+    }
+#endif
+  }
+
+  void Forget(int fd) {
+    fds_.erase(fd);
+#ifdef __linux__
+    if (epoll_) {
+      epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+#endif
+  }
+
+  void Wait(std::vector<Event>* out, int timeout_ms) {
+    out->clear();
+#ifdef __linux__
+    if (epoll_) {
+      epoll_event evs[64];
+      const int n = epoll_wait(epfd_, evs, 64, timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        Event e;
+        e.fd = evs[i].data.fd;
+        e.readable = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+        e.writable = (evs[i].events & EPOLLOUT) != 0;
+        e.error = (evs[i].events & EPOLLERR) != 0;
+        out->push_back(e);
+      }
+      return;
+    }
+#endif
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds_.size());
+    for (const auto& [fd, want_write] : fds_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+      pfds.push_back(p);
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n <= 0) {
+      return;
+    }
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) {
+        continue;
+      }
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out->push_back(e);
+    }
+  }
+
+ private:
+  bool epoll_ = false;
+  int epfd_ = -1;
+  std::unordered_map<int, bool> fds_;  // fd -> watching for writability
+};
+
+std::string ShutdownReport::Summary() const {
+  std::string s;
+  char line[256];
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardReport& r = shards[i];
+    std::snprintf(line, sizeof(line),
+                  "shard%zu: integrity=%s records=%llu elided_fences=%llu "
+                  "psyncs=%llu image=%s\n",
+                  i, r.integrity_ok ? "ok" : "VIOLATED",
+                  static_cast<unsigned long long>(r.records),
+                  static_cast<unsigned long long>(r.elided_fences),
+                  static_cast<unsigned long long>(r.psyncs),
+                  r.image_saved ? r.image_path.c_str() : "-");
+    s += line;
+    for (const std::string& v : r.violations) {
+      s += "  violation: " + v + "\n";
+    }
+  }
+  return s;
+}
+
+std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg + ": " + std::strerror(errno);
+    }
+    return nullptr;
+  };
+  if (opts.nshards == 0 ||
+      (opts.shard.backend != "jpdt" && opts.shard.backend != "jpfa")) {
+    if (error != nullptr) {
+      *error = "bad options: nshards must be > 0, backend jpdt|jpfa";
+    }
+    return nullptr;
+  }
+
+  auto s = std::unique_ptr<Server>(new Server());
+  s->opts_ = opts;
+
+  s->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (s->listen_fd_ < 0) {
+    return fail("socket");
+  }
+  const int one = 1;
+  ::setsockopt(s->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    return fail("inet_pton(" + opts.host + ")");
+  }
+  if (::bind(s->listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(s->listen_fd_, 128) != 0) {
+    return fail("listen");
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(s->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  s->port_ = ntohs(addr.sin_port);
+  SetNonBlocking(s->listen_fd_);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    return fail("pipe");
+  }
+  s->wake_r_ = pipefd[0];
+  s->wake_w_ = pipefd[1];
+  SetNonBlocking(s->wake_r_);
+  SetNonBlocking(s->wake_w_);
+
+  for (uint32_t i = 0; i < opts.nshards; ++i) {
+    s->shards_.push_back(Shard::Open(opts.shard, i, s.get()));
+  }
+
+  s->poller_ = std::make_unique<Poller>(!opts.force_poll);
+  s->poller_->Watch(s->listen_fd_, false);
+  s->poller_->Watch(s->wake_r_, false);
+  s->loop_ = std::thread(&Server::EventLoop, s.get());
+  return s;
+}
+
+Server::~Server() {
+  RequestShutdown();
+  Wait();
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Server::AnyShardRecovered() const {
+  for (const auto& sh : shards_) {
+    if (sh->recovered()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Server::Wait() {
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+}
+
+void Server::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  // Wake the loop in case it is parked in Wait().
+  if (wake_w_ >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+  }
+}
+
+void Server::OnCompletion(Completion&& c) {
+  {
+    std::lock_guard<std::mutex> lk(comp_mu_);
+    completions_.push_back(std::move(c));
+  }
+  // Self-pipe wakeup; EAGAIN (pipe already full of wake bytes) is fine —
+  // the pending byte already guarantees a drain.
+  const char b = 'c';
+  [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+}
+
+void Server::EventLoop() {
+  std::vector<Poller::Event> events;
+  while (!shutting_down_) {
+    poller_->Wait(&events, 100);
+    if (shutdown_requested_.load(std::memory_order_acquire) && !shutting_down_) {
+      DoShutdown(/*conn_id=*/0, /*seq=*/0);
+      break;
+    }
+    for (const Poller::Event& ev : events) {
+      if (shutting_down_) {
+        break;
+      }
+      if (ev.fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (ev.fd == wake_r_) {
+        char buf[256];
+        while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      const auto it = by_fd_.find(ev.fd);
+      if (it == by_fd_.end()) {
+        continue;  // closed earlier this round
+      }
+      const uint64_t id = it->second;
+      if (ev.error) {
+        CloseConn(id);
+        continue;
+      }
+      if (ev.writable) {
+        HandleWritable(*conns_[id]);
+        if (conns_.find(id) == conns_.end()) {
+          continue;
+        }
+      }
+      if (ev.readable) {
+        HandleReadable(*conns_[id]);
+      }
+    }
+  }
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    by_fd_[fd] = conn->id;
+    poller_->Watch(fd, false);
+    ++accepted_;
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::CloseConn(uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  poller_->Forget(it->second->fd);
+  by_fd_.erase(it->second->fd);
+  ::close(it->second->fd);
+  conns_.erase(it);
+}
+
+void Server::HandleReadable(Conn& conn) {
+  if (conn.closing) {
+    return;  // draining replies; further input is ignored
+  }
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.parser.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn.id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    CloseConn(conn.id);
+    return;
+  }
+
+  std::vector<std::string> args;
+  std::string perr;
+  for (;;) {
+    const RespParser::Status st = conn.parser.Next(&args, &perr);
+    if (st == RespParser::Status::kNeedMore) {
+      break;
+    }
+    if (st == RespParser::Status::kError) {
+      // Protocol violation: this connection's stream position is lost, so
+      // reply -ERR and close it once pending replies drain. Other
+      // connections are unaffected.
+      ++protocol_errors_;
+      CompleteInline(conn, conn.next_seq++, [&] {
+        std::string r;
+        AppendError(&r, "protocol error: " + perr);
+        return r;
+      }());
+      conn.closing = true;
+      break;
+    }
+    ++commands_;
+    if (!Dispatch(conn, args)) {
+      conn.closing = true;
+      break;
+    }
+    if (shutting_down_) {
+      return;  // SHUTDOWN handled inside Dispatch; conns are gone
+    }
+  }
+  if (conns_.find(conn.id) == conns_.end()) {
+    return;
+  }
+  if (conn.WantsWrite()) {
+    HandleWritable(conn);
+  } else if (conn.closing && conn.inflight == 0) {
+    CloseConn(conn.id);
+  }
+}
+
+void Server::HandleWritable(Conn& conn) {
+  while (conn.WantsWrite()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off);
+    if (n > 0) {
+      conn.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poller_->Watch(conn.fd, true);
+      conn.CompactOut();
+      return;
+    }
+    CloseConn(conn.id);
+    return;
+  }
+  conn.CompactOut();
+  poller_->Watch(conn.fd, false);
+  if (conn.closing && conn.inflight == 0 && conn.replies.empty()) {
+    CloseConn(conn.id);
+  }
+}
+
+void Server::CompleteInline(Conn& conn, uint64_t seq, std::string&& reply) {
+  // If this seq was next in line the bytes land in `out` now; they go out
+  // in HandleReadable's tail flush or on the next POLLOUT.
+  conn.Complete(seq, std::move(reply));
+}
+
+bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
+  const std::string cmd = Upper(args[0]);
+  const uint64_t seq = conn.next_seq++;
+  auto inline_error = [&](const std::string& msg) {
+    std::string r;
+    AppendError(&r, msg);
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  };
+
+  if (cmd == "PING") {
+    std::string r;
+    AppendSimple(&r, "PONG");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmd == "SET" || cmd == "GET" || cmd == "DEL" || cmd == "TOUCH" ||
+      cmd == "HSET") {
+    Request req;
+    if (cmd == "SET") {
+      if (args.size() != 3) {
+        return inline_error("wrong number of arguments for SET");
+      }
+      req.op = Request::Op::kSet;
+      req.value = std::move(args[2]);
+    } else if (cmd == "HSET") {
+      if (args.size() != 4) {
+        return inline_error("wrong number of arguments for HSET");
+      }
+      uint32_t field;
+      if (!ParseU32(args[2], &field)) {
+        return inline_error("HSET field must be a decimal index");
+      }
+      req.op = Request::Op::kHset;
+      req.field = field;
+      req.value = std::move(args[3]);
+    } else {
+      if (args.size() != 2) {
+        return inline_error("wrong number of arguments for " + cmd);
+      }
+      req.op = cmd == "GET"   ? Request::Op::kGet
+               : cmd == "DEL" ? Request::Op::kDel
+                              : Request::Op::kTouch;
+    }
+    req.key = std::move(args[1]);
+    req.conn_id = conn.id;
+    req.seq = seq;
+    Shard& shard = *shards_[ShardFor(req.key, static_cast<uint32_t>(shards_.size()))];
+    ++conn.inflight;
+    if (!shard.Submit(std::move(req))) {
+      --conn.inflight;
+      return inline_error("server shutting down");
+    }
+    return true;
+  }
+  if (cmd == "MSET") {
+    if (args.size() < 3 || (args.size() - 1) % 2 != 0) {
+      return inline_error("wrong number of arguments for MSET");
+    }
+    const uint32_t pairs = static_cast<uint32_t>((args.size() - 1) / 2);
+    auto multi = std::make_shared<MultiOp>();
+    multi->remaining.store(pairs, std::memory_order_relaxed);
+    multi->conn_id = conn.id;
+    multi->seq = seq;
+    ++conn.inflight;
+    for (uint32_t i = 0; i < pairs; ++i) {
+      Request req;
+      req.op = Request::Op::kSet;
+      req.key = std::move(args[1 + 2 * i]);
+      req.value = std::move(args[2 + 2 * i]);
+      req.multi = multi;
+      Shard& shard = *shards_[ShardFor(req.key, static_cast<uint32_t>(shards_.size()))];
+      if (!shard.Submit(std::move(req))) {
+        // Parts already queued still execute but the joined reply can no
+        // longer be produced; fail the command now. The connection is
+        // closing with the server anyway.
+        --conn.inflight;
+        return inline_error("server shutting down");
+      }
+    }
+    return true;
+  }
+  if (cmd == "STATS") {
+    std::string r;
+    AppendBulk(&r, BuildStats());
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmd == "SHUTDOWN") {
+    DoShutdown(conn.id, seq);
+    return true;
+  }
+  return inline_error("unknown command '" + args[0] + "'");
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lk(comp_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    const auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) {
+      continue;  // client went away before its reply
+    }
+    Conn& conn = *it->second;
+    JNVM_DCHECK(conn.inflight > 0);
+    --conn.inflight;
+    if (conn.Complete(c.seq, std::move(c.reply))) {
+      HandleWritable(conn);
+    }
+  }
+}
+
+std::string Server::BuildStats() {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "server: shards=%zu batch=%u backend=%s poller=%s conns=%zu "
+                "accepted=%llu commands=%llu protocol_errors=%llu\n",
+                shards_.size(), opts_.shard.batch, opts_.shard.backend.c_str(),
+                poller_->using_epoll() ? "epoll" : "poll", conns_.size(),
+                static_cast<unsigned long long>(accepted_),
+                static_cast<unsigned long long>(commands_),
+                static_cast<unsigned long long>(protocol_errors_));
+  out += line;
+  uint64_t records = 0, elided = 0, puts = 0, gets = 0, updates = 0, dels = 0;
+  for (const auto& sh : shards_) {
+    const ShardStats s = sh->Stats();
+    records += s.records;
+    elided += s.elided_fences;
+    puts += s.ops.puts;
+    gets += s.ops.gets;
+    updates += s.ops.updates;
+    dels += s.ops.deletes;
+    std::snprintf(
+        line, sizeof(line),
+        "shard%u: records=%llu queue=%llu batches=%llu max_batch=%llu "
+        "elided_fences=%llu puts=%llu gets=%llu misses=%llu updates=%llu "
+        "deletes=%llu bytes_w=%llu bytes_r=%llu cache_hits=%llu "
+        "cache_misses=%llu psyncs=%llu pfences=%llu\n",
+        sh->index(), static_cast<unsigned long long>(s.records),
+        static_cast<unsigned long long>(s.queue_depth),
+        static_cast<unsigned long long>(s.batches),
+        static_cast<unsigned long long>(s.max_batch),
+        static_cast<unsigned long long>(s.elided_fences),
+        static_cast<unsigned long long>(s.ops.puts),
+        static_cast<unsigned long long>(s.ops.gets),
+        static_cast<unsigned long long>(s.ops.get_misses),
+        static_cast<unsigned long long>(s.ops.updates),
+        static_cast<unsigned long long>(s.ops.deletes),
+        static_cast<unsigned long long>(s.ops.bytes_written),
+        static_cast<unsigned long long>(s.ops.bytes_read),
+        static_cast<unsigned long long>(s.cache.hits),
+        static_cast<unsigned long long>(s.cache.misses),
+        static_cast<unsigned long long>(s.device.psyncs),
+        static_cast<unsigned long long>(s.device.pfences));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: records=%llu elided_fences=%llu puts=%llu gets=%llu "
+                "updates=%llu deletes=%llu\n",
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(elided),
+                static_cast<unsigned long long>(puts),
+                static_cast<unsigned long long>(gets),
+                static_cast<unsigned long long>(updates),
+                static_cast<unsigned long long>(dels));
+  out += line;
+  return out;
+}
+
+void Server::DoShutdown(uint64_t conn_id, uint64_t seq) {
+  shutting_down_ = true;
+  // 1. Stop intake: no new connections, and Submit() starts failing as each
+  //    shard flips to stopping.
+  poller_->Forget(listen_fd_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Quiesce shards: drains every queued request, joins the workers,
+  //    Psyncs, audits integrity (I1–I7) and saves the device images.
+  shutdown_report_.shards.clear();
+  bool ok = true;
+  for (auto& sh : shards_) {
+    shutdown_report_.shards.push_back(sh->Quiesce());
+    ok &= shutdown_report_.shards.back().integrity_ok;
+  }
+  shutdown_report_.ok = ok;
+
+  // 3. Deliver the completions the drain produced, then answer SHUTDOWN
+  //    itself — its +OK certifies a clean audit and saved images.
+  DrainCompletions();
+  const auto it = conns_.find(conn_id);
+  if (it != conns_.end()) {
+    std::string r;
+    if (ok) {
+      AppendSimple(&r, "OK");
+    } else {
+      size_t nviol = 0;
+      for (const ShardReport& rep : shutdown_report_.shards) {
+        nviol += rep.violations.size();
+      }
+      AppendError(&r, "integrity audit failed: " + std::to_string(nviol) +
+                          " violation(s)");
+    }
+    it->second->Complete(seq, std::move(r));
+  }
+
+  // 4. Flush what we can, close everything, exit the loop.
+  FlushAllBestEffort();
+  while (!conns_.empty()) {
+    CloseConn(conns_.begin()->first);
+  }
+}
+
+void Server::FlushAllBestEffort() {
+  // Bounded synchronous flush of every connection's pending output (the
+  // sockets are non-blocking; wait briefly for writability when stalled).
+  for (auto& [id, conn] : conns_) {
+    int spins = 0;
+    while (conn->WantsWrite() && spins < 200) {
+      const ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_off,
+                                conn->out.size() - conn->out_off);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        break;
+      }
+      pollfd p{};
+      p.fd = conn->fd;
+      p.events = POLLOUT;
+      ::poll(&p, 1, 10);
+      ++spins;
+    }
+  }
+}
+
+}  // namespace jnvm::server

@@ -1,0 +1,120 @@
+// The J-NVM network server (DESIGN.md §7): a RESP front-end over N shards.
+//
+// Threading model: one event-loop thread (accept + socket I/O + protocol +
+// routing) and one worker thread per shard (src/server/shard.h). Requests
+// flow event loop → shard queue; completions flow back through a queue
+// drained by the event loop, which a self-pipe byte wakes. Replies are
+// delivered in per-connection command order (src/server/conn.h).
+//
+// Commands (RESP arrays of bulk strings; names case-insensitive):
+//   PING                       +PONG
+//   SET key value              +OK           (durable when replied)
+//   GET key                    $value | $-1
+//   DEL key                    :1 | :0
+//   HSET key field value       :1 | :0       (field = decimal index)
+//   TOUCH key                  :1 | :0       (proxy touch, no materialize)
+//   MSET k1 v1 [k2 v2 ...]     +OK           (all pairs durable when replied)
+//   STATS                      $<text>       (per-shard + server counters)
+//   SHUTDOWN                   +OK | -ERR    (quiesce, audit I1–I7, save images)
+//
+// The event loop uses epoll on Linux and poll(2) otherwise; ServerOptions
+// can force the poll path so both are testable on one platform.
+#ifndef JNVM_SRC_SERVER_SERVER_H_
+#define JNVM_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/server/conn.h"
+#include "src/server/shard.h"
+
+namespace jnvm::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read back with port()
+  uint32_t nshards = 4;
+  ShardOptions shard;
+  // Force the poll(2) event loop even where epoll is available.
+  bool force_poll = false;
+};
+
+// Aggregate outcome of a SHUTDOWN / Stop(): per-shard quiesce reports.
+struct ShutdownReport {
+  bool ok = false;  // every shard quiesced with a clean integrity audit
+  std::vector<ShardReport> shards;
+  std::string Summary() const;
+};
+
+class Server : public CompletionSink {
+ public:
+  // Binds, listens, opens the shards (recovering from images when present)
+  // and starts the event loop. Returns nullptr on socket failure with the
+  // reason in *error.
+  static std::unique_ptr<Server> Start(const ServerOptions& opts,
+                                       std::string* error);
+  ~Server() override;
+
+  uint16_t port() const { return port_; }
+  bool AnyShardRecovered() const;
+
+  // Blocks until the event loop exits (SHUTDOWN command or RequestShutdown).
+  void Wait();
+  // Programmatic shutdown: same path as the SHUTDOWN command.
+  void RequestShutdown();
+
+  // Valid after the event loop exited.
+  const ShutdownReport& shutdown_report() const { return shutdown_report_; }
+
+  // CompletionSink (called from shard workers).
+  void OnCompletion(Completion&& c) override;
+
+ private:
+  Server() = default;
+
+  void EventLoop();
+  void AcceptPending();
+  void HandleReadable(Conn& conn);
+  void HandleWritable(Conn& conn);
+  // Parses and dispatches one command; false = protocol error, close conn.
+  bool Dispatch(Conn& conn, std::vector<std::string>& args);
+  void CompleteInline(Conn& conn, uint64_t seq, std::string&& reply);
+  void DrainCompletions();
+  void CloseConn(uint64_t id);
+  std::string BuildStats();
+  void DoShutdown(uint64_t conn_id, uint64_t seq);
+  void FlushAllBestEffort();
+
+  ServerOptions opts_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;  // self-pipe
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::thread loop_;
+  std::atomic<bool> shutdown_requested_{false};
+  bool shutting_down_ = false;  // event-loop local
+  ShutdownReport shutdown_report_;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<int, uint64_t> by_fd_;
+  uint64_t next_conn_id_ = 1;
+  std::unique_ptr<class Poller> poller_;
+
+  std::mutex comp_mu_;
+  std::vector<Completion> completions_;
+
+  // Server-level counters (STATS).
+  uint64_t accepted_ = 0;
+  uint64_t commands_ = 0;
+  uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace jnvm::server
+
+#endif  // JNVM_SRC_SERVER_SERVER_H_

@@ -1,0 +1,283 @@
+#include "src/server/shard.h"
+
+#include <filesystem>
+
+#include "src/common/check.h"
+#include "src/core/integrity.h"
+#include "src/pdt/register_all.h"
+#include "src/server/protocol.h"
+#include "src/store/jpdt_backend.h"
+#include "src/store/jpfa_backend.h"
+#include "src/store/jpfa_map.h"
+#include "src/store/precord.h"
+
+namespace jnvm::server {
+
+namespace {
+
+// Root-map name for the shard's store — must be stable across restarts so
+// recovery finds the map again.
+constexpr char kRootName[] = "server.store";
+
+nvm::DeviceOptions DeviceOptionsFor(const ShardOptions& opts) {
+  nvm::DeviceOptions d;
+  d.size_bytes = opts.device_bytes;
+  if (opts.optane_latency) {
+    // Same Optane-like asymmetry as bench/bench_util.h OptaneLike().
+    d.read_delay_ns = 80;
+    d.write_delay_ns = 60;
+    d.pwb_delay_ns = 10;
+    d.fence_delay_ns = 150;
+  }
+  if (opts.fence_ns != 0) {
+    d.fence_delay_ns = opts.fence_ns;
+  }
+  return d;
+}
+
+std::string ImagePathFor(const ShardOptions& opts, uint32_t index) {
+  if (opts.image_base.empty()) {
+    return {};
+  }
+  return opts.image_base + ".shard" + std::to_string(index) + ".img";
+}
+
+}  // namespace
+
+std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
+                                   CompletionSink* sink) {
+  JNVM_CHECK(sink != nullptr);
+  JNVM_CHECK(opts.backend == "jpdt" || opts.backend == "jpfa");
+  auto s = std::unique_ptr<Shard>(new Shard());
+  s->index_ = index;
+  s->opts_ = opts;
+  s->sink_ = sink;
+
+  // Recovery resurrects objects by persisted class name: every class that
+  // can live on a shard heap must be registered before Open().
+  pdt::RegisterStandardClasses();
+  store::PRecord::Class();
+  store::JpfaEntry::Class();
+  store::JpfaHashMap::Class();
+
+  const std::string image = ImagePathFor(opts, index);
+  const nvm::DeviceOptions dopts = DeviceOptionsFor(opts);
+  if (!image.empty() && std::filesystem::exists(image)) {
+    s->dev_ = nvm::PmemDevice::LoadFrom(image, dopts);
+    JNVM_CHECK(s->dev_ != nullptr);  // existing image must be readable
+    s->rt_ = core::JnvmRuntime::Open(s->dev_.get());  // runs recovery
+    s->recovered_ = true;
+  } else {
+    s->dev_ = std::make_unique<nvm::PmemDevice>(dopts);
+    s->rt_ = core::JnvmRuntime::Format(s->dev_.get());
+  }
+
+  if (opts.backend == "jpdt") {
+    s->backend_ = std::make_unique<store::JpdtBackend>(s->rt_.get(), kRootName,
+                                                       opts.map_capacity);
+  } else {
+    s->backend_ = std::make_unique<store::JpfaBackend>(s->rt_.get(), kRootName,
+                                                       opts.map_capacity);
+  }
+  store::StoreOptions sopts;
+  sopts.cache_ratio = 0.0;  // J-NVM backends run uncached (§5.3.1)
+  sopts.expected_records = opts.map_capacity;
+  s->kv_ = std::make_unique<store::KvStore>(s->backend_.get(), nullptr, sopts);
+
+  s->worker_ = std::thread(&Shard::WorkerLoop, s.get());
+  return s;
+}
+
+Shard::~Shard() { Quiesce(); }
+
+bool Shard::Submit(Request&& req) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_full_.wait(lk,
+                 [&] { return stopping_ || queue_.size() < opts_.queue_capacity; });
+  if (stopping_) {
+    return false;
+  }
+  queue_.push_back(std::move(req));
+  lk.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool Shard::Execute(const Request& req, std::string* reply) {
+  switch (req.op) {
+    case Request::Op::kSet: {
+      store::Record r;
+      r.fields.push_back(req.value);
+      kv_->Put(req.key, r);
+      if (req.multi == nullptr) {
+        AppendSimple(reply, "OK");
+      }
+      return true;
+    }
+    case Request::Op::kGet: {
+      store::Record r;
+      if (!kv_->Read(req.key, &r)) {
+        AppendNil(reply);
+        return false;
+      }
+      if (r.fields.size() == 1) {
+        AppendBulk(reply, r.fields[0]);
+      } else {
+        std::string joined;
+        for (const std::string& f : r.fields) {
+          joined += f;
+        }
+        AppendBulk(reply, joined);
+      }
+      return false;
+    }
+    case Request::Op::kDel: {
+      const bool removed = kv_->Delete(req.key);
+      AppendInteger(reply, removed ? 1 : 0);
+      return removed;
+    }
+    case Request::Op::kHset: {
+      const bool ok = kv_->Update(req.key, req.field, req.value);
+      AppendInteger(reply, ok ? 1 : 0);
+      return ok;
+    }
+    case Request::Op::kTouch: {
+      AppendInteger(reply, kv_->ReadTouch(req.key) ? 1 : 0);
+      return false;
+    }
+  }
+  AppendError(reply, "internal: unknown op");
+  return false;
+}
+
+void Shard::DeliverBatch(std::vector<Request>& batch,
+                         std::vector<std::string>& replies) {
+  // Runs after the batch's durability point: replies may now leave the
+  // machine. Multi-op parts are counted down here — post-Psync — so the
+  // joined +OK implies every part is durable on its own shard.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Request& req = batch[i];
+    if (req.multi != nullptr) {
+      if (req.multi->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Completion c;
+        c.conn_id = req.multi->conn_id;
+        c.seq = req.multi->seq;
+        AppendSimple(&c.reply, "OK");
+        sink_->OnCompletion(std::move(c));
+      }
+      continue;
+    }
+    Completion c;
+    c.conn_id = req.conn_id;
+    c.seq = req.seq;
+    c.reply = std::move(replies[i]);
+    sink_->OnCompletion(std::move(c));
+  }
+}
+
+void Shard::WorkerLoop() {
+  std::vector<Request> batch;
+  std::vector<std::string> replies;
+  const uint32_t max_batch = opts_.batch == 0 ? 1 : opts_.batch;
+  for (;;) {
+    batch.clear();
+    replies.clear();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_empty_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      const size_t take = std::min<size_t>(max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+
+    bool wrote = false;
+    const bool group = max_batch > 1;
+    if (group) {
+      rt_->heap().BeginGroupCommit();
+    }
+    for (const Request& req : batch) {
+      std::string reply;
+      wrote |= Execute(req, &reply);
+      replies.push_back(std::move(reply));
+    }
+    if (group) {
+      rt_->heap().EndGroupCommit();
+      if (wrote) {
+        rt_->Psync();  // one durability point for the whole group
+      }
+      // Reclaim structures orphaned by this batch's replaces/deletes — only
+      // now that their unlinks are durable.
+      rt_->DrainGroupFrees();
+    }
+    // batch == 1: every op kept its own trailing durability fence; no
+    // group Psync needed (ablation baseline).
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+    while (batch.size() > prev &&
+           !max_batch_.compare_exchange_weak(prev, batch.size(),
+                                             std::memory_order_relaxed)) {
+    }
+    DeliverBatch(batch, replies);
+  }
+}
+
+ShardStats Shard::Stats() const {
+  ShardStats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.elided_fences = rt_->heap().elided_fences();
+  s.records = backend_->Size();
+  s.ops = backend_->stats();
+  s.cache = kv_->cache_stats();
+  s.device = dev_->stats();
+  return s;
+}
+
+ShardReport Shard::Quiesce() {
+  std::lock_guard<std::mutex> qlk(quiesce_mu_);
+  if (quiesced_) {
+    return report_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+
+  rt_->Psync();
+  // The heap is quiescent (worker joined, intake closed): audit everything,
+  // including the failure-atomic log directory (I7).
+  core::IntegrityOptions iopts;
+  iopts.audit_fa_logs = true;
+  const core::IntegrityReport ir = core::VerifyHeapIntegrity(*rt_, iopts);
+  report_.integrity_ok = ir.ok();
+  report_.violations = ir.violations;
+  report_.records = backend_->Size();
+  report_.elided_fences = rt_->heap().elided_fences();
+  report_.psyncs = dev_->stats().psyncs;
+  rt_->Close();
+
+  const std::string image = ImagePathFor(opts_, index_);
+  if (!image.empty()) {
+    report_.image_saved = dev_->SaveTo(image);
+    report_.image_path = image;
+  }
+  quiesced_ = true;
+  return report_;
+}
+
+}  // namespace jnvm::server

@@ -1,0 +1,199 @@
+// Shards — the persistence half of the network server (DESIGN.md §7).
+//
+// Each shard owns a full vertical slice: one simulated NVMM device, one
+// JnvmRuntime, one J-NVM backend and the KvStore on top, plus a single
+// worker thread draining a bounded MPSC request queue. Keys are routed to
+// shards by FNV-1a hash (ShardFor), so a key's whole history lives on one
+// device — restart recovery is per-shard and embarrassingly parallel.
+//
+// The worker executes requests in batches of up to `batch` and holds the
+// heap in group-commit mode for the batch: per-operation trailing
+// durability fences are elided (heap::Heap::DurabilityFence) and one Psync
+// at the end of the batch makes the whole group durable — the paper's
+// "validating N objects under the same fence" (§3.2.3, Figure 5) applied
+// to server-side group commit. Completions are delivered only after that
+// Psync: a replied write is a durable write. Ordering fences inside the
+// publication protocols are untouched, so a crash mid-batch loses only
+// unacknowledged operations, never produces torn ones.
+#ifndef JNVM_SRC_SERVER_SHARD_H_
+#define JNVM_SRC_SERVER_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/nvm/pmem_device.h"
+#include "src/store/kvstore.h"
+
+namespace jnvm::server {
+
+// FNV-1a 64-bit — the request router's key hash. Shared with tests and the
+// crashcheck "server" workload so all three agree on placement.
+inline uint64_t KeyHash(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint32_t ShardFor(std::string_view key, uint32_t nshards) {
+  return static_cast<uint32_t>(KeyHash(key) % nshards);
+}
+
+struct ShardOptions {
+  uint64_t device_bytes = 256ull << 20;
+  // "jpdt" (default) or "jpfa".
+  std::string backend = "jpdt";
+  uint64_t map_capacity = 1 << 16;
+  // Max write group per Psync (the --batch ablation knob). 1 = no batching:
+  // every operation pays its own durability fence.
+  uint32_t batch = 16;
+  uint32_t queue_capacity = 1024;
+  // When non-empty, shard i persists its device to "<image_base>.shard<i>.img"
+  // on Quiesce, and Open() recovers from that file if it exists.
+  std::string image_base;
+  // Optane-like latency model on the device (benchmarks); off for tests.
+  bool optane_latency = false;
+  // When non-zero, overrides the device's per-fence cost (with the other
+  // Optane latencies unchanged) — models fence-expensive platforms (ADR
+  // write-pending-queue drains) where batching is the headline win.
+  uint32_t fence_ns = 0;
+};
+
+// One client request, routed to the shard owning the key.
+struct Request {
+  enum class Op : uint8_t { kGet, kSet, kDel, kHset, kTouch };
+  Op op = Op::kGet;
+  std::string key;
+  std::string value;   // kSet / kHset payload
+  uint32_t field = 0;  // kHset field index
+
+  // Completion routing (opaque to the shard).
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+
+  // Non-null for one part of a multi-key operation (MSET): the last part to
+  // complete — counted *after* its shard's Psync — emits the one reply.
+  std::shared_ptr<struct MultiOp> multi;
+};
+
+struct MultiOp {
+  std::atomic<uint32_t> remaining{0};
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+};
+
+// A finished request: the pre-rendered RESP reply plus its routing tag. By
+// delivery time the operation's effects are durable.
+struct Completion {
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+  std::string reply;
+};
+
+// Where shards hand finished requests. The server implementation pushes to
+// a completion queue and wakes the event loop; tests use a plain collector.
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;
+  // Called from shard worker threads; must be thread-safe.
+  virtual void OnCompletion(Completion&& c) = 0;
+};
+
+// Final state handed back by Quiesce().
+struct ShardReport {
+  bool integrity_ok = false;
+  std::vector<std::string> violations;  // integrity audit failures (I1–I7)
+  uint64_t records = 0;
+  uint64_t elided_fences = 0;
+  uint64_t psyncs = 0;
+  bool image_saved = false;
+  std::string image_path;
+};
+
+struct ShardStats {
+  uint64_t queue_depth = 0;
+  uint64_t batches = 0;
+  uint64_t max_batch = 0;
+  uint64_t elided_fences = 0;
+  uint64_t records = 0;
+  store::OpStats ops;
+  store::CacheStats cache;
+  nvm::DeviceStats device;
+};
+
+class Shard {
+ public:
+  // Creates shard `index`: recovers from its image file when one exists
+  // (restart path — runs core recovery), else formats a fresh device.
+  static std::unique_ptr<Shard> Open(const ShardOptions& opts, uint32_t index,
+                                     CompletionSink* sink);
+  ~Shard();
+
+  uint32_t index() const { return index_; }
+  // True when Open() loaded an existing image (→ recovery ran).
+  bool recovered() const { return recovered_; }
+  const core::RecoveryReport& recovery_report() const {
+    return rt_->recovery_report();
+  }
+
+  // Blocking bounded push (backpressure). False once the shard is stopping —
+  // the caller replies -ERR instead of enqueueing into a draining shard.
+  bool Submit(Request&& req);
+
+  // Thread-safe counters snapshot (STATS command; no queue round-trip).
+  ShardStats Stats() const;
+
+  store::KvStore& kv() { return *kv_; }
+
+  // Stops intake, drains the queue, joins the worker, Psyncs, audits heap
+  // integrity (I1–I7 with FA-log audit — the heap is quiescent), closes the
+  // runtime and saves the device image. Terminal: the shard accepts no
+  // further requests. Idempotent.
+  ShardReport Quiesce();
+
+ private:
+  Shard() = default;
+
+  void WorkerLoop();
+  // Executes one request against the KvStore; appends the RESP reply.
+  // Returns true when the op wrote persistent state.
+  bool Execute(const Request& req, std::string* reply);
+  void DeliverBatch(std::vector<Request>& batch, std::vector<std::string>& replies);
+
+  uint32_t index_ = 0;
+  ShardOptions opts_;
+  CompletionSink* sink_ = nullptr;
+  bool recovered_ = false;
+
+  std::unique_ptr<nvm::PmemDevice> dev_;
+  std::unique_ptr<core::JnvmRuntime> rt_;
+  std::unique_ptr<store::Backend> backend_;
+  std::unique_ptr<store::KvStore> kv_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::thread worker_;
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> max_batch_{0};
+
+  std::mutex quiesce_mu_;
+  bool quiesced_ = false;
+  ShardReport report_;
+};
+
+}  // namespace jnvm::server
+
+#endif  // JNVM_SRC_SERVER_SHARD_H_

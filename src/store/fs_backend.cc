@@ -44,7 +44,7 @@ void FsBackend::WriteExtent(const Extent& e, const std::string& key,
   fs_->Fsync();
 }
 
-void FsBackend::Put(const std::string& key, const Record& r) {
+void FsBackend::DoPut(const std::string& key, const Record& r) {
   std::string image;
   MarshalRecord(r, &image);  // the conversion cost (Figure 8)
   SpinFor(ser_.MarshalNs(r.fields.size(), image.size()));
@@ -73,7 +73,7 @@ void FsBackend::Put(const std::string& key, const Record& r) {
   }
 }
 
-bool FsBackend::Get(const std::string& key, Record* out) {
+bool FsBackend::DoGet(const std::string& key, Record* out) {
   Extent e;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -93,20 +93,21 @@ bool FsBackend::Get(const std::string& key, Record* out) {
   return true;
 }
 
-bool FsBackend::UpdateField(const std::string& key, size_t field,
-                            const std::string& value) {
+bool FsBackend::DoUpdateField(const std::string& key, size_t field,
+                              const std::string& value) {
   // Read-modify-write: unmarshal, patch, remarshal, rewrite — the full
-  // conversion cost on every update.
+  // conversion cost on every update. Internal Do* calls: the RMW is this
+  // backend's natural update cost, not extra counted gets/puts.
   Record r;
-  if (!Get(key, &r) || field >= r.fields.size()) {
+  if (!DoGet(key, &r) || field >= r.fields.size()) {
     return false;
   }
   r.fields[field] = value;
-  Put(key, r);
+  DoPut(key, r);
   return true;
 }
 
-bool FsBackend::Delete(const std::string& key) {
+bool FsBackend::DoDelete(const std::string& key) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {

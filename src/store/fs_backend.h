@@ -30,12 +30,6 @@ class FsBackend final : public Backend {
       : fs_(fs), label_(std::move(label)), ser_(ser) {}
 
   std::string name() const override { return label_; }
-
-  void Put(const std::string& key, const Record& r) override;
-  bool Get(const std::string& key, Record* out) override;
-  bool UpdateField(const std::string& key, size_t field,
-                   const std::string& value) override;
-  bool Delete(const std::string& key) override;
   size_t Size() override;
 
   // Rebuilds the volatile index by scanning the file (restart path).
@@ -44,6 +38,13 @@ class FsBackend final : public Backend {
 
   // All current keys (used by the store to reload its cache on restart).
   std::vector<std::string> Keys();
+
+ protected:
+  void DoPut(const std::string& key, const Record& r) override;
+  bool DoGet(const std::string& key, Record* out) override;
+  bool DoUpdateField(const std::string& key, size_t field,
+                     const std::string& value) override;
+  bool DoDelete(const std::string& key) override;
 
  private:
   struct Extent {

@@ -16,13 +16,13 @@ JpdtBackend::JpdtBackend(core::JnvmRuntime* rt, const std::string& root_name,
   map_->SetCaching(pdt::ProxyCaching::kCached);
 }
 
-void JpdtBackend::Put(const std::string& key, const Record& r) {
+void JpdtBackend::DoPut(const std::string& key, const Record& r) {
   PRecord rec(*rt_, r);
   // The map validates, fences and publishes (and frees a replaced value).
   map_->Put(key, &rec);
 }
 
-bool JpdtBackend::Get(const std::string& key, Record* out) {
+bool JpdtBackend::DoGet(const std::string& key, Record* out) {
   const auto rec = map_->GetAs<PRecord>(key);
   if (rec == nullptr) {
     return false;
@@ -31,23 +31,33 @@ bool JpdtBackend::Get(const std::string& key, Record* out) {
   return true;
 }
 
-bool JpdtBackend::UpdateField(const std::string& key, size_t field,
-                              const std::string& value) {
+bool JpdtBackend::DoUpdateField(const std::string& key, size_t field,
+                                const std::string& value) {
   const auto rec = map_->GetAs<PRecord>(key);
   if (rec == nullptr || field >= rec->NumFields()) {
     return false;
+  }
+  if (value.size() > rec->FieldCapacity()) {
+    // The new value does not fit the record's fixed field cells (possible
+    // for server-driven updates with arbitrary sizes): fall back to a
+    // full-record replace with larger capacity.
+    Record full = rec->ToRecord();
+    full.fields[field] = value;
+    PRecord bigger(*rt_, full);
+    map_->Put(key, &bigger);
+    return true;
   }
   rec->SetField(field, value);  // touches only this field's bytes
   return true;
 }
 
-bool JpdtBackend::Delete(const std::string& key) {
+bool JpdtBackend::DoDelete(const std::string& key) {
   return map_->Remove(key, /*free_value=*/true);
 }
 
 size_t JpdtBackend::Size() { return map_->Size(); }
 
-bool JpdtBackend::Touch(const std::string& key) {
+bool JpdtBackend::DoTouch(const std::string& key) {
   const auto rec = map_->GetAs<PRecord>(key);
   if (rec == nullptr) {
     return false;

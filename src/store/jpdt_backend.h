@@ -18,17 +18,18 @@ class JpdtBackend final : public Backend {
               uint64_t initial_capacity = 1024);
 
   std::string name() const override { return "J-PDT"; }
-
-  void Put(const std::string& key, const Record& r) override;
-  bool Get(const std::string& key, Record* out) override;
-  bool UpdateField(const std::string& key, size_t field,
-                   const std::string& value) override;
-  bool Delete(const std::string& key) override;
   size_t Size() override;
-  // Proxy read: resurrect (or hit the proxy cache) and touch one field.
-  bool Touch(const std::string& key) override;
 
   pdt::PStringHashMap& map() { return *map_; }
+
+ protected:
+  void DoPut(const std::string& key, const Record& r) override;
+  bool DoGet(const std::string& key, Record* out) override;
+  bool DoUpdateField(const std::string& key, size_t field,
+                     const std::string& value) override;
+  bool DoDelete(const std::string& key) override;
+  // Proxy read: resurrect (or hit the proxy cache) and touch one field.
+  bool DoTouch(const std::string& key) override;
 
  private:
   core::JnvmRuntime* rt_;

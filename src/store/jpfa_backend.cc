@@ -14,7 +14,7 @@ JpfaBackend::JpfaBackend(core::JnvmRuntime* rt, const std::string& root_name,
   map_->SetCaching(pdt::ProxyCaching::kCached);
 }
 
-void JpfaBackend::Put(const std::string& key, const Record& r) {
+void JpfaBackend::DoPut(const std::string& key, const Record& r) {
   // The whole operation — record allocation, key allocation, publication —
   // is one failure-atomic block, as the generator would emit for a
   // @Persistent(fa="non-private") store class (§2.5).
@@ -24,7 +24,7 @@ void JpfaBackend::Put(const std::string& key, const Record& r) {
   map_->Put(key, &rec);
 }
 
-bool JpfaBackend::Get(const std::string& key, Record* out) {
+bool JpfaBackend::DoGet(const std::string& key, Record* out) {
   std::lock_guard<std::mutex> lk(op_mu_);
   core::FaBlock fa(*rt_);
   const auto rec = map_->GetAs<PRecord>(key);
@@ -35,13 +35,22 @@ bool JpfaBackend::Get(const std::string& key, Record* out) {
   return true;
 }
 
-bool JpfaBackend::UpdateField(const std::string& key, size_t field,
-                              const std::string& value) {
+bool JpfaBackend::DoUpdateField(const std::string& key, size_t field,
+                                const std::string& value) {
   std::lock_guard<std::mutex> lk(op_mu_);
   core::FaBlock fa(*rt_);
   const auto rec = map_->GetAs<PRecord>(key);
   if (rec == nullptr || field >= rec->NumFields()) {
     return false;
+  }
+  if (value.size() > rec->FieldCapacity()) {
+    // Oversized value (server-driven update): replace the whole record
+    // inside the same failure-atomic block.
+    Record full = rec->ToRecord();
+    full.fields[field] = value;
+    PRecord bigger(*rt_, full);
+    map_->Put(key, &bigger);
+    return true;
   }
   // Atomic via the enclosing block: the write lands in an in-flight copy
   // and is committed by the redo log (§4.2).
@@ -49,7 +58,7 @@ bool JpfaBackend::UpdateField(const std::string& key, size_t field,
   return true;
 }
 
-bool JpfaBackend::Delete(const std::string& key) {
+bool JpfaBackend::DoDelete(const std::string& key) {
   std::lock_guard<std::mutex> lk(op_mu_);
   core::FaBlock fa(*rt_);
   return map_->Remove(key, /*free_value=*/true);
@@ -57,7 +66,7 @@ bool JpfaBackend::Delete(const std::string& key) {
 
 size_t JpfaBackend::Size() { return map_->Size(); }
 
-bool JpfaBackend::Touch(const std::string& key) {
+bool JpfaBackend::DoTouch(const std::string& key) {
   std::lock_guard<std::mutex> lk(op_mu_);
   core::FaBlock fa(*rt_);
   const auto rec = map_->GetAs<PRecord>(key);

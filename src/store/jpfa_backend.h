@@ -20,16 +20,17 @@ class JpfaBackend final : public Backend {
               uint64_t initial_capacity = 1024);
 
   std::string name() const override { return "J-PFA"; }
-
-  void Put(const std::string& key, const Record& r) override;
-  bool Get(const std::string& key, Record* out) override;
-  bool UpdateField(const std::string& key, size_t field,
-                   const std::string& value) override;
-  bool Delete(const std::string& key) override;
   size_t Size() override;
-  bool Touch(const std::string& key) override;
 
   pdt::PStringHashMap& map() { return *map_; }
+
+ protected:
+  void DoPut(const std::string& key, const Record& r) override;
+  bool DoGet(const std::string& key, Record* out) override;
+  bool DoUpdateField(const std::string& key, size_t field,
+                     const std::string& value) override;
+  bool DoDelete(const std::string& key) override;
+  bool DoTouch(const std::string& key) override;
 
  private:
   core::JnvmRuntime* rt_;

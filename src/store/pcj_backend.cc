@@ -58,7 +58,7 @@ std::string PcjBackend::ReadValue(nvm::Offset entry) {
   return value;
 }
 
-void PcjBackend::Put(const std::string& key, const Record& r) {
+void PcjBackend::DoPut(const std::string& key, const Record& r) {
   std::lock_guard<std::mutex> lk(jvm_mu_);
   // One crossing for the call, one per field handed to the native side.
   ChargeJni(1 + 2 * static_cast<uint32_t>(r.fields.size()));  // handle + cell per field
@@ -100,7 +100,7 @@ void PcjBackend::Put(const std::string& key, const Record& r) {
   ++size_;
 }
 
-bool PcjBackend::Get(const std::string& key, Record* out) {
+bool PcjBackend::DoGet(const std::string& key, Record* out) {
   std::lock_guard<std::mutex> lk(jvm_mu_);
   ChargeJni(1 + 2 * opts_.fields_per_record);  // handle + cell per field
   uint64_t bucket;
@@ -111,7 +111,7 @@ bool PcjBackend::Get(const std::string& key, Record* out) {
   return UnmarshalRecord(ReadValue(entry), out);
 }
 
-bool PcjBackend::UpdateField(const std::string& key, size_t field,
+bool PcjBackend::DoUpdateField(const std::string& key, size_t field,
                              const std::string& value) {
   std::lock_guard<std::mutex> lk(jvm_mu_);
   ChargeJni(3);  // call + handle + the one field cell
@@ -131,7 +131,7 @@ bool PcjBackend::UpdateField(const std::string& key, size_t field,
   return true;
 }
 
-bool PcjBackend::Delete(const std::string& key) {
+bool PcjBackend::DoDelete(const std::string& key) {
   std::lock_guard<std::mutex> lk(jvm_mu_);
   ChargeJni(1);
   uint64_t bucket;

@@ -36,15 +36,16 @@ class PcjBackend final : public Backend {
   PcjBackend(pmdkx::PmdkPool* pool, const PcjOptions& opts);
 
   std::string name() const override { return "PCJ"; }
-
-  void Put(const std::string& key, const Record& r) override;
-  bool Get(const std::string& key, Record* out) override;
-  bool UpdateField(const std::string& key, size_t field,
-                   const std::string& value) override;
-  bool Delete(const std::string& key) override;
   size_t Size() override;
 
   uint64_t jni_crossings() const { return crossings_; }
+
+ protected:
+  void DoPut(const std::string& key, const Record& r) override;
+  bool DoGet(const std::string& key, Record* out) override;
+  bool DoUpdateField(const std::string& key, size_t field,
+                     const std::string& value) override;
+  bool DoDelete(const std::string& key) override;
 
  private:
   // Entry header layout (pool-relative).

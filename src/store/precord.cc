@@ -65,7 +65,7 @@ void PRecord::SetFieldWeak(size_t i, std::string_view value) {
 
 void PRecord::SetField(size_t i, std::string_view value) {
   SetFieldWeak(i, value);
-  Pfence();  // durable on return (write-through store semantics)
+  DurabilityFence();  // durable on return (write-through store semantics)
 }
 
 Record PRecord::ToRecord() const {

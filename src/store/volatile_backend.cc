@@ -19,7 +19,7 @@ gcsim::ObjRef VolatileBackend::MakeRecordNode(const Record& r) {
   return heap_->AllocGraph(64, child_bytes, copy, &DeleteRecord);
 }
 
-void VolatileBackend::Put(const std::string& key, const Record& r) {
+void VolatileBackend::DoPut(const std::string& key, const Record& r) {
   const gcsim::ObjRef node = MakeRecordNode(r);
   std::lock_guard<std::mutex> lk(mu_);
   auto it = index_.find(key);
@@ -32,7 +32,7 @@ void VolatileBackend::Put(const std::string& key, const Record& r) {
   heap_->AddRoot(node);
 }
 
-bool VolatileBackend::Get(const std::string& key, Record* out) {
+bool VolatileBackend::DoGet(const std::string& key, Record* out) {
   gcsim::ObjRef node;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -46,7 +46,7 @@ bool VolatileBackend::Get(const std::string& key, Record* out) {
   return true;
 }
 
-bool VolatileBackend::UpdateField(const std::string& key, size_t field,
+bool VolatileBackend::DoUpdateField(const std::string& key, size_t field,
                                   const std::string& value) {
   gcsim::ObjRef node;
   {
@@ -68,7 +68,7 @@ bool VolatileBackend::UpdateField(const std::string& key, size_t field,
   return true;
 }
 
-bool VolatileBackend::Delete(const std::string& key) {
+bool VolatileBackend::DoDelete(const std::string& key) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {

@@ -23,13 +23,14 @@ class VolatileBackend final : public Backend {
   explicit VolatileBackend(gcsim::ManagedHeap* heap) : heap_(heap) {}
 
   std::string name() const override { return "Volatile"; }
-
-  void Put(const std::string& key, const Record& r) override;
-  bool Get(const std::string& key, Record* out) override;
-  bool UpdateField(const std::string& key, size_t field,
-                   const std::string& value) override;
-  bool Delete(const std::string& key) override;
   size_t Size() override;
+
+ protected:
+  void DoPut(const std::string& key, const Record& r) override;
+  bool DoGet(const std::string& key, Record* out) override;
+  bool DoUpdateField(const std::string& key, size_t field,
+                     const std::string& value) override;
+  bool DoDelete(const std::string& key) override;
 
  private:
   gcsim::ObjRef MakeRecordNode(const Record& r);

@@ -6,17 +6,23 @@
 // of the reachable graph. The ops companion to the library — what you point
 // at a region file when something looks wrong.
 //
-// Usage: jnvm_inspect <image-file>
+// Usage: jnvm_inspect [--summary] <image-file>
+//
+// --summary prints a compact one-screen digest (occupancy, root bindings,
+// FA-log slot states, audit verdict) instead of the full census — the mode
+// for scripting and for a quick glance at a fleet of shard images.
 //
 // Built-in classes (J-PDT, store, bank) are pre-registered; images holding
 // application-defined classes need those classes linked into the inspector
 // (the classpath requirement of §3.1 resurrection).
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "src/core/integrity.h"
 #include "src/pdt/register_all.h"
+#include "src/pfa/fa_log.h"
 #include "src/store/jpfa_map.h"
 #include "src/store/precord.h"
 #include "src/tpcb/bank.h"
@@ -55,11 +61,56 @@ void PrintCensus(heap::Heap& h) {
   }
 }
 
+// One image, one paragraph: enough to see at a glance whether a shard image
+// is healthy, how full it is, and whether any FA log was left mid-flight.
+int PrintSummary(const char* path, nvm::PmemDevice* dev,
+                 core::JnvmRuntime* rt) {
+  heap::Heap& h = rt->heap();
+  const auto usage = h.GetUsage();
+  const pfa::LogAudit logs = pfa::AuditLogs(&h);
+  const auto report = core::VerifyHeapIntegrity(*rt);
+  const auto& rep = rt->recovery_report();
+
+  std::printf("%s: %zu bytes, clean_shutdown=%s\n", path, dev->size(),
+              h.was_clean_shutdown() ? "yes" : "no");
+  std::printf("  occupancy : %" PRIu64 "/%" PRIu64 " blocks (%.1f%%), %" PRIu64
+              " in free queue\n",
+              usage.in_use_blocks, usage.capacity_blocks,
+              usage.utilization * 100, usage.free_queue_blocks);
+  std::printf("  root map  : %zu binding(s)", rt->root().Size());
+  for (const std::string& key : rt->root().Keys()) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf("\n");
+  std::printf("  fa logs   : %u active slot(s), %u committed, %" PRIu64
+              " pending entrie(s)\n",
+              logs.active_slots, logs.committed_slots, logs.pending_entries);
+  std::printf("  recovery  : %u log(s) replayed, %u aborted, %" PRIu64
+              " block(s) swept\n",
+              rep.replay.replayed_logs, rep.replay.aborted_logs,
+              rep.sweep.freed_blocks);
+  std::printf("  integrity : %s\n", report.Summary().c_str());
+  rt->Abandon();
+  return report.ok() ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: jnvm_inspect <image-file>\n");
+  bool summary = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--summary") == 0) {
+      summary = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: jnvm_inspect [--summary] <image-file>\n");
     return 1;
   }
   // Register every built-in persistent class before recovery resurrects
@@ -70,16 +121,19 @@ int main(int argc, char** argv) {
   store::JpfaHashMap::Class();
   tpcb::PAccount::Class();
 
-  auto dev = nvm::PmemDevice::LoadFrom(argv[1]);
+  auto dev = nvm::PmemDevice::LoadFrom(path);
   if (dev == nullptr) {
-    std::fprintf(stderr, "jnvm_inspect: %s is not a device image\n", argv[1]);
+    std::fprintf(stderr, "jnvm_inspect: %s is not a device image\n", path);
     return 1;
   }
-  std::printf("image: %s (%zu bytes)\n\n", argv[1], dev->size());
 
   // Open with recovery (an image may have been saved mid-flight); the
   // runtime prints nothing on success.
   auto rt = core::JnvmRuntime::Open(dev.get());
+  if (summary) {
+    return PrintSummary(path, dev.get(), rt.get());
+  }
+  std::printf("image: %s (%zu bytes)\n\n", path, dev->size());
   heap::Heap& h = rt->heap();
 
   std::printf("superblock:\n");

@@ -1,0 +1,287 @@
+// jnvm_loadgen — closed-loop load generator for jnvm_server.
+//
+//   jnvm_loadgen --port=N [--host=A] [--threads=N] [--keys=N]
+//                [--value-size=N] [--read-ratio=F] [--field-updates]
+//                [--pipeline=N] [--ops=N] [--seconds=F] [--no-preload]
+//                [--stats] [--shutdown]
+//
+// Each thread drives its own connection: preloads its slice of the key
+// space with pipelined SETs, then runs a closed loop of GET (read-ratio)
+// and SET — or HSET with --field-updates — over uniformly random keys,
+// recording per-operation latency into log-bucketed histograms
+// (src/common/histogram). --seconds bounds wall-clock time (CI smoke);
+// --ops bounds per-thread operation count; whichever trips first wins.
+//
+// Exit status is non-zero on any error reply or I/O failure — the CI smoke
+// test relies on this.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/server/client.h"
+
+namespace {
+
+struct Config {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t threads = 4;
+  uint64_t keys = 10'000;
+  uint32_t value_size = 100;
+  double read_ratio = 0.5;
+  bool field_updates = false;  // writes become HSET key 0 <value>
+  uint32_t pipeline = 1;
+  uint64_t ops_per_thread = 20'000;
+  double seconds = 0.0;  // 0 = unbounded (use --ops)
+  bool preload = true;
+  bool dump_stats = false;
+  bool shutdown_after = false;
+};
+
+struct ThreadResult {
+  jnvm::Histogram read_lat;
+  jnvm::Histogram write_lat;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t misses = 0;
+  uint64_t errors = 0;
+  std::string error_msg;
+};
+
+std::string KeyName(uint64_t i) { return "key:" + std::to_string(i); }
+
+std::string ValueFor(uint64_t key_index, uint64_t version, uint32_t size) {
+  std::string v = std::to_string(key_index) + ":" + std::to_string(version) + ":";
+  if (v.size() < size) {
+    v.append(size - v.size(), 'v');
+  } else {
+    v.resize(size);
+  }
+  return v;
+}
+
+void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
+            std::atomic<bool>* failed, ThreadResult* res) {
+  std::string err;
+  auto client = jnvm::server::Client::Connect(cfg.host, cfg.port, &err);
+  if (client == nullptr) {
+    res->errors++;
+    res->error_msg = "connect: " + err;
+    failed->store(true);
+    return;
+  }
+
+  // Preload this thread's slice of the key space (pipelined).
+  if (cfg.preload) {
+    const uint64_t lo = cfg.keys * tid / cfg.threads;
+    const uint64_t hi = cfg.keys * (tid + 1) / cfg.threads;
+    std::vector<jnvm::server::RespReply> replies;
+    for (uint64_t i = lo; i < hi;) {
+      const uint64_t stop = std::min<uint64_t>(i + 256, hi);
+      for (; i < stop; ++i) {
+        client->PipeSet(KeyName(i), ValueFor(i, 0, cfg.value_size));
+      }
+      if (!client->Sync(&replies)) {
+        res->errors++;
+        res->error_msg = "preload: " + client->last_error();
+        failed->store(true);
+        return;
+      }
+      for (const auto& r : replies) {
+        if (r.type == jnvm::server::RespReply::Type::kError) {
+          res->errors++;
+          res->error_msg = "preload reply: " + r.str;
+          failed->store(true);
+          return;
+        }
+      }
+    }
+  }
+
+  jnvm::Xorshift rng(0x10adu + tid);
+  std::vector<jnvm::server::RespReply> replies;
+  std::vector<bool> is_read;
+  uint64_t version = 1;
+  for (uint64_t done = 0; done < cfg.ops_per_thread;) {
+    if (deadline_ns != 0 && jnvm::NowNs() >= deadline_ns) {
+      break;
+    }
+    if (failed->load(std::memory_order_relaxed)) {
+      return;
+    }
+    // One pipelined round of `pipeline` operations.
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(cfg.pipeline, cfg.ops_per_thread - done));
+    is_read.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t k = rng.NextBelow(cfg.keys);
+      const bool read = rng.NextDouble() < cfg.read_ratio;
+      is_read.push_back(read);
+      if (read) {
+        client->PipeGet(KeyName(k));
+      } else if (cfg.field_updates) {
+        client->PipeHset(KeyName(k), 0, ValueFor(k, version, cfg.value_size));
+      } else {
+        client->PipeSet(KeyName(k), ValueFor(k, version, cfg.value_size));
+      }
+    }
+    ++version;
+    const uint64_t t0 = jnvm::NowNs();
+    if (!client->Sync(&replies)) {
+      res->errors++;
+      res->error_msg = "sync: " + client->last_error();
+      failed->store(true);
+      return;
+    }
+    const uint64_t per_op = (jnvm::NowNs() - t0) / n;
+    for (uint32_t i = 0; i < replies.size(); ++i) {
+      const auto& r = replies[i];
+      if (r.type == jnvm::server::RespReply::Type::kError) {
+        res->errors++;
+        res->error_msg = "reply: " + r.str;
+        failed->store(true);
+        return;
+      }
+      if (is_read[i]) {
+        res->read_lat.Record(per_op);
+        res->reads++;
+        if (r.type == jnvm::server::RespReply::Type::kNil) {
+          res->misses++;
+        }
+      } else {
+        res->write_lat.Record(per_op);
+        res->writes++;
+      }
+    }
+    done += n;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const size_t n = std::strlen(name);
+      if (std::strncmp(a, name, n) == 0 && a[n] == '=') {
+        return a + n + 1;
+      }
+      return nullptr;
+    };
+    const char* v;
+    if ((v = val("--host")) != nullptr) {
+      cfg.host = v;
+    } else if ((v = val("--port")) != nullptr) {
+      cfg.port = static_cast<uint16_t>(std::atoi(v));
+    } else if ((v = val("--threads")) != nullptr) {
+      cfg.threads = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--keys")) != nullptr) {
+      cfg.keys = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = val("--value-size")) != nullptr) {
+      cfg.value_size = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--read-ratio")) != nullptr) {
+      cfg.read_ratio = std::atof(v);
+    } else if ((v = val("--pipeline")) != nullptr) {
+      cfg.pipeline = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--ops")) != nullptr) {
+      cfg.ops_per_thread = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = val("--seconds")) != nullptr) {
+      cfg.seconds = std::atof(v);
+    } else if (std::strcmp(a, "--field-updates") == 0) {
+      cfg.field_updates = true;
+    } else if (std::strcmp(a, "--no-preload") == 0) {
+      cfg.preload = false;
+    } else if (std::strcmp(a, "--stats") == 0) {
+      cfg.dump_stats = true;
+    } else if (std::strcmp(a, "--shutdown") == 0) {
+      cfg.shutdown_after = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return 2;
+    }
+  }
+  if (cfg.port == 0 || cfg.threads == 0 || cfg.pipeline == 0 || cfg.keys == 0) {
+    std::fprintf(stderr,
+                 "usage: jnvm_loadgen --port=N [--threads=N] [--keys=N] "
+                 "[--value-size=N] [--read-ratio=F] [--field-updates] "
+                 "[--pipeline=N] [--ops=N] [--seconds=F] [--stats] "
+                 "[--shutdown]\n");
+    return 2;
+  }
+
+  const uint64_t deadline_ns =
+      cfg.seconds > 0 ? jnvm::NowNs() + static_cast<uint64_t>(cfg.seconds * 1e9)
+                      : 0;
+  std::vector<ThreadResult> results(cfg.threads);
+  std::atomic<bool> failed{false};
+  const uint64_t t0 = jnvm::NowNs();
+  {
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < cfg.threads; ++t) {
+      threads.emplace_back(Worker, std::cref(cfg), t, deadline_ns, &failed,
+                           &results[t]);
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  const double elapsed = static_cast<double>(jnvm::NowNs() - t0) / 1e9;
+
+  jnvm::Histogram reads, writes;
+  uint64_t nreads = 0, nwrites = 0, misses = 0, errors = 0;
+  for (const ThreadResult& r : results) {
+    reads.Merge(r.read_lat);
+    writes.Merge(r.write_lat);
+    nreads += r.reads;
+    nwrites += r.writes;
+    misses += r.misses;
+    errors += r.errors;
+    if (!r.error_msg.empty()) {
+      std::fprintf(stderr, "jnvm_loadgen: %s\n", r.error_msg.c_str());
+    }
+  }
+  const uint64_t total = nreads + nwrites;
+  std::printf("jnvm_loadgen: %llu ops in %.2fs = %.0f ops/s "
+              "(threads=%u pipeline=%u read_ratio=%.2f value=%uB %s)\n",
+              static_cast<unsigned long long>(total), elapsed,
+              elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0,
+              cfg.threads, cfg.pipeline, cfg.read_ratio, cfg.value_size,
+              cfg.field_updates ? "hset" : "set");
+  std::printf("  reads : %llu (misses=%llu) %s\n",
+              static_cast<unsigned long long>(nreads),
+              static_cast<unsigned long long>(misses),
+              reads.Summary().c_str());
+  std::printf("  writes: %llu %s\n", static_cast<unsigned long long>(nwrites),
+              writes.Summary().c_str());
+
+  int rc = (failed.load() || errors != 0) ? 1 : 0;
+  std::string err;
+  auto ctl = jnvm::server::Client::Connect(cfg.host, cfg.port, &err);
+  if (ctl != nullptr) {
+    if (cfg.dump_stats) {
+      if (const auto stats = ctl->Stats()) {
+        std::printf("---- server stats ----\n%s", stats->c_str());
+      }
+    }
+    if (cfg.shutdown_after && !ctl->Shutdown()) {
+      std::fprintf(stderr, "jnvm_loadgen: shutdown: %s\n",
+                   ctl->last_error().c_str());
+      rc = 1;
+    }
+  } else if (cfg.dump_stats || cfg.shutdown_after) {
+    std::fprintf(stderr, "jnvm_loadgen: control connection: %s\n", err.c_str());
+    rc = 1;
+  }
+  return rc;
+}

@@ -1,0 +1,98 @@
+// jnvm_server — the standalone J-NVM network server (DESIGN.md §7).
+//
+//   jnvm_server [--port=N] [--host=A] [--shards=N] [--batch=N]
+//               [--backend=jpdt|jpfa] [--device-mb=N] [--image-base=PATH]
+//               [--queue=N] [--poll] [--optane] [--fence-ns=N]
+//
+// With --image-base, shard images are saved on SHUTDOWN and recovered on
+// the next start — kill the server with SHUTDOWN (or SIGINT/SIGTERM),
+// restart it with the same --image-base, and the data is back.
+// Exit status is 0 only when every shard quiesced with a clean integrity
+// audit (I1–I7).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/server/server.h"
+
+namespace {
+
+jnvm::server::Server* g_server = nullptr;
+
+void OnSignal(int) {
+  if (g_server != nullptr) {
+    g_server->RequestShutdown();
+  }
+}
+
+bool FlagValue(const char* arg, const char* name, const char** out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  jnvm::server::ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--port", &v)) {
+      opts.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--host", &v)) {
+      opts.host = v;
+    } else if (FlagValue(argv[i], "--shards", &v)) {
+      opts.nshards = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--batch", &v)) {
+      opts.shard.batch = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--backend", &v)) {
+      opts.shard.backend = v;
+    } else if (FlagValue(argv[i], "--device-mb", &v)) {
+      opts.shard.device_bytes = static_cast<uint64_t>(std::atoll(v)) << 20;
+    } else if (FlagValue(argv[i], "--image-base", &v)) {
+      opts.shard.image_base = v;
+    } else if (FlagValue(argv[i], "--queue", &v)) {
+      opts.shard.queue_capacity = static_cast<uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--poll") == 0) {
+      opts.force_poll = true;
+    } else if (std::strcmp(argv[i], "--optane") == 0) {
+      opts.shard.optane_latency = true;
+    } else if (FlagValue(argv[i], "--fence-ns", &v)) {
+      opts.shard.fence_ns = static_cast<uint32_t>(std::atoi(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::string error;
+  auto server = jnvm::server::Server::Start(opts, &error);
+  if (server == nullptr) {
+    std::fprintf(stderr, "jnvm_server: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = server.get();
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::printf("jnvm_server: listening on %s:%u (%u shard(s), backend=%s, "
+              "batch=%u)%s\n",
+              opts.host.c_str(), server->port(), opts.nshards,
+              opts.shard.backend.c_str(), opts.shard.batch,
+              server->AnyShardRecovered() ? " [recovered]" : "");
+  std::fflush(stdout);
+
+  server->Wait();
+  g_server = nullptr;
+
+  const auto& report = server->shutdown_report();
+  std::printf("jnvm_server: shutdown %s\n%s", report.ok ? "clean" : "UNCLEAN",
+              report.Summary().c_str());
+  return report.ok ? 0 : 1;
+}
