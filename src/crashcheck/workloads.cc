@@ -7,6 +7,8 @@
 #include "src/pdt/pext_array.h"
 #include "src/pdt/pmap.h"
 #include "src/pdt/pstring.h"
+#include "src/repl/frame.h"
+#include "src/repl/repl_log.h"
 #include "src/server/shard.h"
 #include "src/store/jpdt_backend.h"
 
@@ -821,11 +823,475 @@ class ServerWorkload final : public Workload {
   std::vector<std::unique_ptr<store::JpdtBackend>> shards_;
 };
 
+// ---- Replication workloads (DESIGN.md §8) ------------------------------------
+//
+// "repl" models the *primary* produce path: each checker op is one
+// group-commit batch that mutates per-shard J-PDT stores AND appends the
+// batch's replication record to each touched shard's durable ReplLog —
+// store, log and (in the real server) client replies all sealed by the
+// batch's one Psync, exactly Shard::WorkerLoop. Tiny segments force the
+// ring through rollover, truncation and the oversized-record path.
+//
+// Oracle: per shard, the recovered log retains sealed_s records with
+// sealed_s ∈ {c_s, c_s + 1} — c_s sealed batches, plus possibly the
+// in-flight batch's record when its lines happened to survive; every
+// retained record must byte-match the script's frame. After the redo tail
+// (Shard::Open re-applies the last retained record) the store must equal
+// the replay of exactly sealed_s batches, with the usual old-or-new
+// allowance for keys of an *unsealed* in-flight batch.
+
+class ReplWorkload final : public Workload {
+ public:
+  static constexpr uint32_t kShards = 2;
+  static constexpr uint32_t kBatch = 3;
+
+  struct Cmd {
+    bool remove = false;
+    std::string key;
+    std::string value;
+  };
+
+  ReplWorkload(uint64_t seed, size_t n) : name_("repl") {
+    Xorshift rng(seed);
+    std::set<std::string> live;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Cmd> batch;
+      std::set<std::string> used;
+      for (uint32_t j = 0; j < kBatch; ++j) {
+        std::string key;
+        do {
+          key = "k" + std::to_string(rng.NextBelow(10));
+        } while (used.count(key) != 0);
+        used.insert(key);
+        if (live.count(key) != 0 && rng.NextBelow(4) == 0) {
+          batch.push_back(Cmd{true, key, {}});
+          live.erase(key);
+        } else {
+          batch.push_back(
+              Cmd{false, key, ValueFor(i * kBatch + j, rng.NextBelow(6) == 0)});
+          live.insert(key);
+        }
+      }
+      script_.push_back(std::move(batch));
+    }
+    // Pre-encode each batch's per-shard replication frame; `touches_[s]` is
+    // the list of batch indices whose frame lands on shard s — entry m of it
+    // is the batch sealed as shard-s record m+1.
+    for (uint32_t s = 0; s < kShards; ++s) {
+      touches_[s].clear();
+      frames_[s].clear();
+    }
+    for (size_t i = 0; i < script_.size(); ++i) {
+      std::vector<repl::ReplOp> rops[kShards];
+      for (const Cmd& c : script_[i]) {
+        repl::ReplOp op;
+        op.kind = c.remove ? repl::ReplOp::Kind::kDel : repl::ReplOp::Kind::kPut;
+        op.key = c.key;
+        if (!c.remove) {
+          op.record.fields.push_back(c.value);
+        }
+        rops[server::ShardFor(c.key, kShards)].push_back(std::move(op));
+      }
+      for (uint32_t s = 0; s < kShards; ++s) {
+        if (!rops[s].empty()) {
+          touches_[s].push_back(i);
+          std::string f;
+          repl::EncodeBatch(rops[s], &f);
+          frames_[s].push_back(std::move(f));
+        }
+      }
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    shards_.clear();
+    logs_.clear();
+    for (uint32_t s = 0; s < kShards; ++s) {
+      shards_.push_back(std::make_unique<store::JpdtBackend>(
+          &rt, StoreRoot(s), /*initial_capacity=*/4));
+      logs_.push_back(repl::ReplLog::OpenOrCreate(&rt, LogRoot(s), TinyLog()));
+    }
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    rt.heap().BeginGroupCommit();
+    bool touched[kShards] = {};
+    for (const Cmd& c : script_[i]) {
+      const uint32_t s = server::ShardFor(c.key, kShards);
+      touched[s] = true;
+      if (c.remove) {
+        shards_[s]->Delete(c.key);
+      } else {
+        store::Record r;
+        r.fields.push_back(c.value);
+        shards_[s]->Put(c.key, r);
+      }
+    }
+    for (uint32_t s = 0; s < kShards; ++s) {
+      if (touched[s]) {
+        const size_t rec = logs_[s]->next_seq() - 1;  // 0-based record index
+        logs_[s]->Append(logs_[s]->next_seq(), frames_[s][rec]);
+      }
+    }
+    rt.heap().EndGroupCommit();
+    rt.Psync();  // seals the store mutations and the log records together
+    rt.DrainGroupFrees();
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    const std::vector<Cmd>* inflight =
+        cut.in_flight.has_value() && *cut.in_flight < script_.size()
+            ? &script_[*cut.in_flight]
+            : nullptr;
+
+    for (uint32_t s = 0; s < kShards; ++s) {
+      auto log = repl::ReplLog::OpenOrCreate(&rt, LogRoot(s), TinyLog());
+      if (log->needs_snapshot()) {
+        out->push_back("shard " + std::to_string(s) +
+                       " log reports needs_snapshot on a primary");
+        continue;
+      }
+      // Sealed boundary: c_s committed records, +1 only if the in-flight
+      // batch touched this shard and its record's lines survived.
+      const uint64_t c_s = CountTouches(s, cut.committed);
+      const bool inflight_touches =
+          inflight != nullptr && CountTouches(s, *cut.in_flight + 1) > c_s;
+      const uint64_t sealed = log->next_seq() - 1;
+      if (sealed != c_s && !(inflight_touches && sealed == c_s + 1)) {
+        out->push_back("shard " + std::to_string(s) + " log retains " +
+                       std::to_string(sealed) + " records, want " +
+                       std::to_string(c_s) +
+                       (inflight_touches ? " or +1" : ""));
+        continue;
+      }
+      // Every retained record must byte-match the script's frame.
+      std::string payload;
+      for (uint64_t q = log->start_seq(); q < log->next_seq(); ++q) {
+        if (!log->Read(q, &payload)) {
+          out->push_back("shard " + std::to_string(s) + " record " +
+                         std::to_string(q) + " unreadable");
+        } else if (payload != frames_[s][q - 1]) {
+          out->push_back("shard " + std::to_string(s) + " record " +
+                         std::to_string(q) + " does not match the script");
+        }
+      }
+      // Redo tail (Shard::Open): re-apply the last retained record so the
+      // store lands exactly on the sealed boundary.
+      auto backend = std::make_unique<store::JpdtBackend>(&rt, StoreRoot(s),
+                                                          /*initial_capacity=*/4);
+      if (!log->empty() && log->Read(log->next_seq() - 1, &payload)) {
+        std::vector<repl::ReplOp> rops;
+        if (!repl::DecodeBatch(payload, &rops)) {
+          out->push_back("shard " + std::to_string(s) + " tail record corrupt");
+        } else {
+          ApplyOps(*backend, rops);
+        }
+      }
+
+      // Store oracle for this shard's keys.
+      std::map<std::string, std::string> expected;
+      for (uint64_t m = 0; m < sealed; ++m) {
+        for (const Cmd& c : script_[touches_[s][m]]) {
+          if (server::ShardFor(c.key, kShards) != s) {
+            continue;
+          }
+          if (c.remove) {
+            expected.erase(c.key);
+          } else {
+            expected[c.key] = c.value;
+          }
+        }
+      }
+      // Keys of an *unsealed* in-flight batch are individually old-or-new;
+      // a sealed in-flight record was forced by the redo above.
+      const bool inflight_unsealed = inflight_touches && sealed == c_s;
+
+      std::map<std::string, std::string> got;
+      backend->SnapshotRecords([&](const std::string& k, const store::Record& r) {
+        got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+      });
+
+      auto inflight_cmd = [&](const std::string& k) -> const Cmd* {
+        if (!inflight_unsealed) {
+          return nullptr;
+        }
+        for (const Cmd& c : *inflight) {
+          if (c.key == k && server::ShardFor(c.key, kShards) == s) {
+            return &c;
+          }
+        }
+        return nullptr;
+      };
+      for (const auto& [k, v] : expected) {
+        if (inflight_cmd(k) != nullptr) {
+          continue;
+        }
+        const auto it = got.find(k);
+        if (it == got.end()) {
+          out->push_back("shard " + std::to_string(s) + " sealed key " + k +
+                         " lost");
+        } else if (it->second != v) {
+          out->push_back("shard " + std::to_string(s) + " sealed key " + k +
+                         " has '" + it->second + "', want '" + v + "'");
+        }
+      }
+      for (const auto& [k, v] : got) {
+        if (expected.count(k) == 0 && inflight_cmd(k) == nullptr) {
+          out->push_back("shard " + std::to_string(s) + " phantom key " + k);
+        }
+      }
+      if (inflight_unsealed) {
+        for (const Cmd& c : *inflight) {
+          if (server::ShardFor(c.key, kShards) != s) {
+            continue;
+          }
+          const auto it = got.find(c.key);
+          const auto old_it = expected.find(c.key);
+          if (it == got.end()) {
+            if (!c.remove && old_it != expected.end()) {
+              out->push_back("in-flight batch erased pre-existing key " + c.key);
+            }
+            continue;
+          }
+          const bool is_old =
+              old_it != expected.end() && it->second == old_it->second;
+          const bool is_new = !c.remove && it->second == c.value;
+          if (!is_old && !is_new) {
+            out->push_back("in-flight batch left torn value '" + it->second +
+                           "' for key " + c.key);
+          }
+        }
+      }
+    }
+    rt.Psync();  // leave the heap quiescent for the checker's I1–I7 audit
+  }
+
+ private:
+  static repl::ReplLogOptions TinyLog() {
+    repl::ReplLogOptions o;
+    o.segment_bytes = 256;  // forces rollover, truncation and oversized records
+    o.max_segments = 3;
+    return o;
+  }
+  static std::string StoreRoot(uint32_t s) { return "shard" + std::to_string(s); }
+  static std::string LogRoot(uint32_t s) { return "repl" + std::to_string(s); }
+
+  uint64_t CountTouches(uint32_t s, size_t batches) const {
+    uint64_t n = 0;
+    for (const size_t b : touches_[s]) {
+      n += b < batches ? 1 : 0;
+    }
+    return n;
+  }
+
+  static void ApplyOps(store::Backend& b, const std::vector<repl::ReplOp>& rops) {
+    for (const repl::ReplOp& op : rops) {
+      switch (op.kind) {
+        case repl::ReplOp::Kind::kPut:
+          b.Put(op.key, op.record);
+          break;
+        case repl::ReplOp::Kind::kDel:
+          b.Delete(op.key);
+          break;
+        case repl::ReplOp::Kind::kUpdate:
+          b.UpdateField(op.key, op.field, op.value);
+          break;
+      }
+    }
+  }
+
+  std::string name_;
+  std::vector<std::vector<Cmd>> script_;
+  std::vector<size_t> touches_[kShards];
+  std::vector<std::string> frames_[kShards];
+  std::vector<std::unique_ptr<store::JpdtBackend>> shards_;
+  std::vector<std::unique_ptr<repl::ReplLog>> logs_;
+};
+
+// "repl-apply" models the *replica* apply path plus the post-crash resync:
+// each checker op applies one shipped record under group commit and mirrors
+// it into the local log (Shard::ExecuteApply). Check performs the replica's
+// full restart sequence — redo tail, then re-pull every record past the
+// sealed boundary (what REPLSYNC from sealed+1 delivers) — and the store
+// must land exactly on the full-script state: acknowledged-by-primary data
+// survives any replica crash, and re-applying records is idempotent.
+
+class ReplApplyWorkload final : public Workload {
+ public:
+  static constexpr uint32_t kBatch = 3;
+
+  ReplApplyWorkload(uint64_t seed, size_t n) : name_("repl-apply") {
+    Xorshift rng(seed);
+    std::set<std::string> live;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<ReplWorkload::Cmd> batch;
+      std::set<std::string> used;
+      for (uint32_t j = 0; j < kBatch; ++j) {
+        std::string key;
+        do {
+          key = "k" + std::to_string(rng.NextBelow(10));
+        } while (used.count(key) != 0);
+        used.insert(key);
+        if (live.count(key) != 0 && rng.NextBelow(4) == 0) {
+          batch.push_back(ReplWorkload::Cmd{true, key, {}});
+          live.erase(key);
+        } else {
+          batch.push_back(ReplWorkload::Cmd{
+              false, key, ValueFor(i * kBatch + j, rng.NextBelow(6) == 0)});
+          live.insert(key);
+        }
+      }
+      std::vector<repl::ReplOp> rops;
+      for (const ReplWorkload::Cmd& c : batch) {
+        repl::ReplOp op;
+        op.kind = c.remove ? repl::ReplOp::Kind::kDel : repl::ReplOp::Kind::kPut;
+        op.key = c.key;
+        if (!c.remove) {
+          op.record.fields.push_back(c.value);
+        }
+        rops.push_back(std::move(op));
+      }
+      std::string f;
+      repl::EncodeBatch(rops, &f);
+      frames_.push_back(std::move(f));
+      ops_.push_back(std::move(rops));
+      script_.push_back(std::move(batch));
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    backend_ = std::make_unique<store::JpdtBackend>(&rt, "shard0",
+                                                    /*initial_capacity=*/4);
+    log_ = repl::ReplLog::OpenOrCreate(&rt, "repl0", TinyLog());
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    // Shard::ExecuteApply: apply the record's ops, mirror the record into
+    // the local log with the primary's sequence number, one Psync for both.
+    rt.heap().BeginGroupCommit();
+    Apply(ops_[i]);
+    log_->Append(static_cast<uint64_t>(i) + 1, frames_[i]);
+    rt.heap().EndGroupCommit();
+    rt.Psync();
+    rt.DrainGroupFrees();
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    auto log = repl::ReplLog::OpenOrCreate(&rt, "repl0", TinyLog());
+    backend_ = std::make_unique<store::JpdtBackend>(&rt, "shard0",
+                                                    /*initial_capacity=*/4);
+    if (log->needs_snapshot()) {
+      out->push_back("log reports needs_snapshot without a snapshot install");
+      return;
+    }
+    const uint64_t c = cut.committed;
+    const bool has_inflight =
+        cut.in_flight.has_value() && *cut.in_flight < script_.size();
+    const uint64_t sealed = log->next_seq() - 1;
+    if (sealed != c && !(has_inflight && sealed == c + 1)) {
+      out->push_back("log retains " + std::to_string(sealed) +
+                     " records, want " + std::to_string(c) +
+                     (has_inflight ? " or +1" : ""));
+      return;
+    }
+    std::string payload;
+    for (uint64_t q = log->start_seq(); q < log->next_seq(); ++q) {
+      if (!log->Read(q, &payload) || payload != frames_[q - 1]) {
+        out->push_back("record " + std::to_string(q) +
+                       " unreadable or does not match the shipped frame");
+      }
+    }
+
+    // Restart sequence: redo the tail record, then resync — REPLSYNC from
+    // sealed+1 re-delivers every later record; apply them all.
+    if (sealed > 0) {
+      Apply(ops_[sealed - 1]);  // redo tail
+    }
+    for (uint64_t q = sealed; q < script_.size(); ++q) {
+      Apply(ops_[q]);  // resync stream
+    }
+    rt.Psync();
+
+    // After redo + resync the store must equal the full-script state.
+    std::map<std::string, std::string> expected;
+    for (const auto& batch : script_) {
+      for (const ReplWorkload::Cmd& cmd : batch) {
+        if (cmd.remove) {
+          expected.erase(cmd.key);
+        } else {
+          expected[cmd.key] = cmd.value;
+        }
+      }
+    }
+    std::map<std::string, std::string> got;
+    backend_->SnapshotRecords([&](const std::string& k, const store::Record& r) {
+      got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+    });
+    for (const auto& [k, v] : expected) {
+      const auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back("post-resync key " + k + " lost");
+      } else if (it->second != v) {
+        out->push_back("post-resync key " + k + " has '" + it->second +
+                       "', want '" + v + "'");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (expected.count(k) == 0) {
+        out->push_back("post-resync phantom key " + k);
+      }
+    }
+  }
+
+ private:
+  static repl::ReplLogOptions TinyLog() {
+    repl::ReplLogOptions o;
+    o.segment_bytes = 256;
+    o.max_segments = 3;
+    return o;
+  }
+
+  void Apply(const std::vector<repl::ReplOp>& rops) {
+    for (const repl::ReplOp& op : rops) {
+      switch (op.kind) {
+        case repl::ReplOp::Kind::kPut:
+          backend_->Put(op.key, op.record);
+          break;
+        case repl::ReplOp::Kind::kDel:
+          backend_->Delete(op.key);
+          break;
+        case repl::ReplOp::Kind::kUpdate:
+          backend_->UpdateField(op.key, op.field, op.value);
+          break;
+      }
+    }
+  }
+
+  std::string name_;
+  std::vector<std::vector<ReplWorkload::Cmd>> script_;
+  std::vector<std::vector<repl::ReplOp>> ops_;
+  std::vector<std::string> frames_;
+  std::unique_ptr<store::JpdtBackend> backend_;
+  std::unique_ptr<repl::ReplLog> log_;
+};
+
 }  // namespace
 
 std::vector<std::string> WorkloadKinds() {
-  return {"map-hash", "map-tree", "map-skip", "map-long", "set",
-          "array",    "string",   "pfa",      "server"};
+  return {"map-hash", "map-tree", "map-skip", "map-long", "set",   "array",
+          "string",   "pfa",      "server",   "repl",     "repl-apply"};
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
@@ -861,6 +1327,12 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
   }
   if (kind == "server") {
     return std::make_unique<ServerWorkload>(script_seed, op_count);
+  }
+  if (kind == "repl") {
+    return std::make_unique<ReplWorkload>(script_seed, op_count);
+  }
+  if (kind == "repl-apply") {
+    return std::make_unique<ReplApplyWorkload>(script_seed, op_count);
   }
   JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
   return nullptr;

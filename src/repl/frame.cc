@@ -1,0 +1,188 @@
+#include "src/repl/frame.h"
+
+#include <cstring>
+
+namespace jnvm::repl {
+
+namespace {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+void PutBytes(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Cursor over an input frame; every Take* fails (returns false) instead of
+// reading past the end, so truncated frames are rejected, never read OOB.
+struct Cursor {
+  std::string_view in;
+  size_t off = 0;
+
+  bool TakeU8(uint8_t* v) {
+    if (in.size() - off < 1) return false;
+    *v = static_cast<uint8_t>(in[off]);
+    off += 1;
+    return true;
+  }
+  bool TakeU32(uint32_t* v) {
+    if (in.size() - off < 4) return false;
+    std::memcpy(v, in.data() + off, 4);
+    off += 4;
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (in.size() - off < 8) return false;
+    std::memcpy(v, in.data() + off, 8);
+    off += 8;
+    return true;
+  }
+  bool TakeBytes(std::string* s) {
+    uint32_t n = 0;
+    if (!TakeU32(&n) || in.size() - off < n) return false;
+    s->assign(in.data() + off, n);
+    off += n;
+    return true;
+  }
+  bool Done() const { return off == in.size(); }
+};
+
+void PutRecord(std::string* out, const store::Record& r) {
+  PutU32(out, static_cast<uint32_t>(r.fields.size()));
+  for (const std::string& f : r.fields) {
+    PutBytes(out, f);
+  }
+}
+
+bool TakeRecord(Cursor* c, store::Record* r) {
+  uint32_t nfields = 0;
+  if (!c->TakeU32(&nfields)) return false;
+  // A field is at least a 4-byte length prefix: bound nfields by the bytes
+  // actually present so a corrupt count cannot balloon the allocation.
+  if (nfields > (c->in.size() - c->off) / 4) return false;
+  r->fields.clear();
+  r->fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    std::string f;
+    if (!c->TakeBytes(&f)) return false;
+    r->fields.push_back(std::move(f));
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  uint32_t h = seed;
+  for (const unsigned char c : data) {
+    h ^= c;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+void EncodeBatch(const std::vector<ReplOp>& ops, std::string* out) {
+  out->clear();
+  PutU32(out, static_cast<uint32_t>(ops.size()));
+  for (const ReplOp& op : ops) {
+    PutU8(out, static_cast<uint8_t>(op.kind));
+    PutBytes(out, op.key);
+    switch (op.kind) {
+      case ReplOp::Kind::kPut:
+        PutRecord(out, op.record);
+        break;
+      case ReplOp::Kind::kDel:
+        break;
+      case ReplOp::Kind::kUpdate:
+        PutU32(out, op.field);
+        PutBytes(out, op.value);
+        break;
+    }
+  }
+}
+
+bool DecodeBatch(std::string_view frame, std::vector<ReplOp>* out) {
+  Cursor c{frame};
+  uint32_t nops = 0;
+  if (!c.TakeU32(&nops)) return false;
+  if (nops > (frame.size() - c.off) / 5) return false;  // kind + key length
+  out->clear();
+  out->reserve(nops);
+  for (uint32_t i = 0; i < nops; ++i) {
+    ReplOp op;
+    uint8_t kind = 0;
+    if (!c.TakeU8(&kind) || !c.TakeBytes(&op.key)) return false;
+    switch (kind) {
+      case static_cast<uint8_t>(ReplOp::Kind::kPut):
+        op.kind = ReplOp::Kind::kPut;
+        if (!TakeRecord(&c, &op.record)) return false;
+        break;
+      case static_cast<uint8_t>(ReplOp::Kind::kDel):
+        op.kind = ReplOp::Kind::kDel;
+        break;
+      case static_cast<uint8_t>(ReplOp::Kind::kUpdate):
+        op.kind = ReplOp::Kind::kUpdate;
+        if (!c.TakeU32(&op.field) || !c.TakeBytes(&op.value)) return false;
+        break;
+      default:
+        return false;
+    }
+    out->push_back(std::move(op));
+  }
+  return c.Done();
+}
+
+void EncodeRecord(uint64_t seq, std::string_view batch_frame, std::string* out) {
+  out->clear();
+  PutU64(out, seq);
+  out->append(batch_frame.data(), batch_frame.size());
+}
+
+bool DecodeRecord(std::string_view frame, uint64_t* seq,
+                  std::string_view* batch_frame) {
+  Cursor c{frame};
+  if (!c.TakeU64(seq)) return false;
+  *batch_frame = frame.substr(c.off);
+  return true;
+}
+
+void EncodeSnapshot(uint64_t snap_seq, const std::vector<SnapshotEntry>& entries,
+                    std::string* out) {
+  out->clear();
+  PutU64(out, snap_seq);
+  PutU32(out, static_cast<uint32_t>(entries.size()));
+  for (const SnapshotEntry& e : entries) {
+    PutBytes(out, e.key);
+    PutRecord(out, e.record);
+  }
+}
+
+bool DecodeSnapshot(std::string_view frame, uint64_t* snap_seq,
+                    std::vector<SnapshotEntry>* entries) {
+  Cursor c{frame};
+  uint32_t n = 0;
+  if (!c.TakeU64(snap_seq) || !c.TakeU32(&n)) return false;
+  if (n > (frame.size() - c.off) / 8) return false;  // key len + field count
+  entries->clear();
+  entries->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SnapshotEntry e;
+    if (!c.TakeBytes(&e.key) || !TakeRecord(&c, &e.record)) return false;
+    entries->push_back(std::move(e));
+  }
+  return c.Done();
+}
+
+}  // namespace jnvm::repl

@@ -1,0 +1,74 @@
+// Replication wire frames (DESIGN.md §8).
+//
+// The group-commit batch is the replication unit: the primary's shard
+// worker encodes the successful write operations of one batch into a single
+// *batch frame*, appends it to the durable replication log, and ships it to
+// subscribed replicas after the batch's Psync. The replica decodes the
+// frame and re-applies the operations through the store's apply path — no
+// backend-specific re-serialization, the frame already carries the logical
+// operation.
+//
+// Formats are little-endian and length-prefixed throughout (binary-safe
+// keys and values). Three frame kinds exist:
+//
+//   batch frame     EncodeBatch/DecodeBatch — the replicated operations of
+//                   one group-commit batch (the replication log payload).
+//   record frame    EncodeRecord/DecodeRecord — {u64 seq | batch frame},
+//                   the unit shipped over REPLSYNC streams.
+//   snapshot frame  EncodeSnapshot/DecodeSnapshot — {u64 snap_seq | full
+//                   key→record image}, the REPLSNAP bootstrap payload.
+#ifndef JNVM_SRC_REPL_FRAME_H_
+#define JNVM_SRC_REPL_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/store/record.h"
+
+namespace jnvm::repl {
+
+// One replicated write operation, in batch order.
+struct ReplOp {
+  enum class Kind : uint8_t { kPut = 1, kDel = 2, kUpdate = 3 };
+  Kind kind = Kind::kPut;
+  std::string key;
+  store::Record record;   // kPut: the full record written
+  uint32_t field = 0;     // kUpdate: field index
+  std::string value;      // kUpdate: new field value
+
+  bool operator==(const ReplOp&) const = default;
+};
+
+// FNV-1a 32-bit over `data` — the replication log's record checksum (also
+// covers the 8-byte sequence number; see repl_log.h framing).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0x811c9dc5u);
+
+// ---- Batch frames ---------------------------------------------------------
+
+void EncodeBatch(const std::vector<ReplOp>& ops, std::string* out);
+bool DecodeBatch(std::string_view frame, std::vector<ReplOp>* out);
+
+// ---- Record frames (REPLSYNC stream unit) ---------------------------------
+
+void EncodeRecord(uint64_t seq, std::string_view batch_frame, std::string* out);
+bool DecodeRecord(std::string_view frame, uint64_t* seq, std::string_view* batch_frame);
+
+// ---- Snapshot frames (REPLSNAP payload) -----------------------------------
+
+struct SnapshotEntry {
+  std::string key;
+  store::Record record;
+
+  bool operator==(const SnapshotEntry&) const = default;
+};
+
+void EncodeSnapshot(uint64_t snap_seq, const std::vector<SnapshotEntry>& entries,
+                    std::string* out);
+bool DecodeSnapshot(std::string_view frame, uint64_t* snap_seq,
+                    std::vector<SnapshotEntry>* entries);
+
+}  // namespace jnvm::repl
+
+#endif  // JNVM_SRC_REPL_FRAME_H_

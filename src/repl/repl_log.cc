@@ -1,0 +1,441 @@
+#include "src/repl/repl_log.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/repl/frame.h"
+
+namespace jnvm::repl {
+
+namespace {
+
+// Record header inside a segment: { u32 len | u32 crc | u64 seq }.
+constexpr size_t kRecHdrBytes = 16;
+// Single-block root layout bound (see repl_log.h): ring must fit the first
+// block so the packed word and every slot are single-line stores.
+constexpr uint32_t kMaxRingSlots = 24;
+
+uint32_t RecordCrc(uint64_t seq, std::string_view payload) {
+  char seq_bytes[8];
+  std::memcpy(seq_bytes, &seq, 8);
+  return Crc32(payload, Crc32(std::string_view(seq_bytes, 8)));
+}
+
+}  // namespace
+
+// ---- ReplLogRoot -----------------------------------------------------------
+
+const core::ClassInfo* ReplLogRoot::Class() {
+  static const core::ClassInfo* info = RegisterClass(
+      core::MakeClassInfo<ReplLogRoot>("repl.Log", &ReplLogRoot::Trace));
+  return info;
+}
+
+void ReplLogRoot::Trace(core::ObjectView& view, core::RefVisitor& v) {
+  const uint32_t cap = view.Read<uint32_t>(kSegCapOff);
+  for (uint32_t i = 0; i < cap && i < kMaxRingSlots; ++i) {
+    v.VisitRef(view, kRingOff + 8ull * i);
+  }
+}
+
+ReplLogRoot::ReplLogRoot(core::JnvmRuntime& rt, const ReplLogOptions& opts) {
+  AllocatePersistent(rt, Class(), kRingOff + 8ull * opts.max_segments);
+  WriteField<uint32_t>(kSegCapOff, opts.max_segments);
+  WriteField<uint32_t>(kSegBytesOff, opts.segment_bytes);
+  WriteField<uint64_t>(kPackedOff, 0);
+  WriteField<uint64_t>(kResetSeqOff, 1);
+  WriteField<uint64_t>(kSnapPendingOff, 0);
+  Pwb();
+  Validate();
+}
+
+void ReplLogRoot::WritePacked(uint32_t head, uint32_t count) {
+  WriteField<uint64_t>(kPackedOff, (static_cast<uint64_t>(head) << 32) | count);
+  PwbField(kPackedOff, 8);
+}
+
+void ReplLogRoot::WriteResetSeq(uint64_t v) {
+  WriteField<uint64_t>(kResetSeqOff, v);
+  PwbField(kResetSeqOff, 8);
+}
+
+void ReplLogRoot::WriteSnapPending(uint64_t v) {
+  WriteField<uint64_t>(kSnapPendingOff, v);
+  PwbField(kSnapPendingOff, 8);
+}
+
+void ReplLogRoot::WriteSlot(uint32_t i, nvm::Offset ref) {
+  WriteRefRaw(kRingOff + 8ull * i, ref);
+  PwbField(kRingOff + 8ull * i, 8);
+}
+
+// ---- ReplLogSegment --------------------------------------------------------
+
+const core::ClassInfo* ReplLogSegment::Class() {
+  static const core::ClassInfo* info = RegisterClass(
+      core::MakeClassInfo<ReplLogSegment>("repl.LogSegment"));
+  return info;
+}
+
+ReplLogSegment::ReplLogSegment(core::JnvmRuntime& rt, uint64_t base_seq,
+                               uint32_t data_capacity) {
+  // zero = true matters: the record scan relies on virgin space reading as
+  // the len == 0 terminator, and the zeroes become durable under the
+  // publication fence.
+  AllocatePersistent(rt, Class(), kDataOff + data_capacity);
+  WriteField<uint64_t>(kBaseSeqOff, base_seq);
+  WriteField<uint32_t>(kDataCapOff, data_capacity);
+  WriteField<uint32_t>(kDataCapOff + 4, 0);
+  PwbField(0, kDataOff);
+}
+
+// ---- ReplLog ---------------------------------------------------------------
+
+std::unique_ptr<ReplLog> ReplLog::OpenOrCreate(core::JnvmRuntime* rt,
+                                               const std::string& root_name,
+                                               const ReplLogOptions& opts) {
+  JNVM_CHECK(rt != nullptr);
+  JNVM_CHECK_MSG(opts.max_segments >= 2 && opts.max_segments <= kMaxRingSlots,
+                 "replication log ring must have 2..24 slots");
+  JNVM_CHECK(opts.segment_bytes >= 64);
+  ReplLogRoot::Class();
+  ReplLogSegment::Class();
+
+  auto log = std::unique_ptr<ReplLog>(new ReplLog());
+  log->rt_ = rt;
+  log->opts_ = opts;
+  bool created = false;
+  if (rt->root().Exists(root_name)) {
+    log->root_ = rt->root().GetAs<ReplLogRoot>(root_name);
+    JNVM_CHECK(log->root_ != nullptr);
+  } else {
+    log->root_ = std::make_shared<ReplLogRoot>(*rt, opts);
+    rt->root().Put(root_name, log->root_.get());  // failure-atomic publish
+    created = true;
+  }
+  // The persisted geometry wins over the caller's options across restarts.
+  log->seg_cap_ = log->root_->SegCapacity();
+  log->opts_.segment_bytes = log->root_->SegmentBytes();
+  log->opts_.max_segments = log->seg_cap_;
+  log->Bind(created);
+  return log;
+}
+
+void ReplLog::Bind(bool created) {
+  if (created) {
+    head_ = 0;
+    start_seq_ = next_seq_ = root_->ResetSeq();
+    return;
+  }
+  if (root_->SnapPending() != 0) {
+    // A crash interrupted a snapshot install: the store image and the log
+    // disagree. Complete the reset (drop everything) and report that a
+    // fresh snapshot is required before this log can be appended to.
+    needs_snapshot_ = true;
+    std::vector<nvm::Offset> frees;
+    for (uint32_t i = 0; i < seg_cap_; ++i) {
+      const nvm::Offset ref = root_->Slot(i);
+      if (ref != 0) {
+        root_->WriteSlot(i, 0);
+        frees.push_back(ref);
+      }
+    }
+    root_->WritePacked(0, 0);
+    rt_->Pfence();  // unlinks durable before the frees
+    for (const nvm::Offset ref : frees) {
+      rt_->FreeRef(ref);
+    }
+    head_ = 0;
+    start_seq_ = next_seq_ = root_->ResetSeq();
+    return;
+  }
+  Reconcile();
+  ScanSegments();
+}
+
+void ReplLog::Reconcile() {
+  const uint64_t packed = root_->Packed();
+  uint32_t head = ReplLogRoot::HeadOf(packed);
+  uint32_t count = ReplLogRoot::CountOf(packed);
+  JNVM_CHECK(head < seg_cap_ && count <= seg_cap_);
+
+  // 1. Free segments published in a slot whose count bump never became
+  // durable (they carry no sealed records by construction), and slots whose
+  // truncation zeroing was lost after the head already advanced.
+  std::vector<nvm::Offset> frees;
+  bool wrote = false;
+  for (uint32_t i = 0; i < seg_cap_; ++i) {
+    const uint32_t dist = (i + seg_cap_ - head) % seg_cap_;
+    if (dist < count) {
+      continue;  // occupied range
+    }
+    const nvm::Offset ref = root_->Slot(i);
+    if (ref != 0) {
+      root_->WriteSlot(i, 0);
+      frees.push_back(ref);
+      wrote = true;
+    }
+  }
+  // 2. A truncation that zeroed the head slot but whose packed update was
+  // lost: shrink over the zero prefix.
+  const uint32_t head0 = head;
+  const uint32_t count0 = count;
+  while (count > 0 && root_->Slot(head) == 0) {
+    head = (head + 1) % seg_cap_;
+    --count;
+  }
+  if (head != head0 || count != count0) {
+    root_->WritePacked(head, count);
+    wrote = true;
+  }
+  if (wrote) {
+    rt_->Pfence();
+  }
+  for (const nvm::Offset ref : frees) {
+    rt_->FreeRef(ref);
+  }
+  head_ = head;
+}
+
+void ReplLog::ScanSegments() {
+  const uint32_t count = ReplLogRoot::CountOf(root_->Packed());
+  start_seq_ = next_seq_ = root_->ResetSeq();
+  uint64_t expected = 0;
+  bool have_any = false;
+  bool stop = false;
+  uint32_t kept = 0;
+  std::vector<nvm::Offset> frees;
+  bool wrote = false;
+
+  for (uint32_t i = 0; i < count && !stop; ++i) {
+    const uint32_t slot = (head_ + i) % seg_cap_;
+    const nvm::Offset ref = root_->Slot(slot);
+    JNVM_CHECK(ref != 0);  // zero prefixes were shrunk by Reconcile
+    auto obj = rt_->ResurrectRefAs<ReplLogSegment>(ref);
+    const uint64_t base = obj->BaseSeq();
+    if (have_any && base != expected) {
+      stop = true;  // discontinuity: drop this segment and the rest
+      break;
+    }
+
+    Seg seg;
+    seg.obj = obj;
+    seg.slot = slot;
+    seg.base_seq = base;
+    const uint32_t cap = obj->DataCapacity();
+    uint32_t off = 0;
+    bool torn = false;
+    uint64_t want = base;
+    for (;;) {
+      if (off + kRecHdrBytes > cap) {
+        break;  // segment full to the brim
+      }
+      uint32_t len = 0, crc = 0;
+      uint64_t seq = 0;
+      obj->ReadData(off, &len, 4);
+      if (len == 0) {
+        break;  // clean end
+      }
+      obj->ReadData(off + 4, &crc, 4);
+      obj->ReadData(off + 8, &seq, 8);
+      if (len > cap - off - kRecHdrBytes) {
+        torn = true;
+        break;
+      }
+      std::string payload(len, '\0');
+      obj->ReadData(off + kRecHdrBytes, payload.data(), len);
+      if (seq != want || RecordCrc(seq, payload) != crc) {
+        torn = true;  // torn tail or stale bytes — at most the last record
+        break;
+      }
+      seg.offs.push_back(off);
+      off += kRecHdrBytes + static_cast<uint32_t>(len);
+      bytes_ += kRecHdrBytes + len;
+      ++want;
+    }
+    seg.write_off = off;
+
+    const bool last_kept = torn || i == count - 1;
+    if (last_kept && off < cap) {
+      // Zero the tail so bytes of a torn (unsealed) record can never
+      // masquerade as a sealed record under a later scan. Fenced below.
+      static constexpr size_t kChunk = 4096;
+      char zeros[kChunk] = {0};
+      for (uint32_t z = off; z < cap; z += kChunk) {
+        const size_t n = std::min<size_t>(kChunk, cap - z);
+        obj->WriteData(z, zeros, n);
+      }
+      obj->PwbData(off, cap - off);
+      wrote = true;
+    }
+
+    if (!have_any) {
+      start_seq_ = base;
+      have_any = true;
+    }
+    expected = want;
+    if (seg.offs.empty() && !segs_.empty()) {
+      // An empty non-first segment (published, crashed before its first
+      // record sealed): drop it rather than retain a hole.
+      stop = true;
+      break;
+    }
+    segs_.push_back(std::move(seg));
+    ++kept;
+    if (torn) {
+      stop = true;
+    }
+  }
+
+  if (kept < count) {
+    // Drop the unreachable remainder: zero the slots, shrink the count,
+    // fence, then free.
+    for (uint32_t i = kept; i < count; ++i) {
+      const uint32_t slot = (head_ + i) % seg_cap_;
+      const nvm::Offset ref = root_->Slot(slot);
+      if (ref != 0) {
+        root_->WriteSlot(slot, 0);
+        frees.push_back(ref);
+      }
+    }
+    root_->WritePacked(head_, kept);
+    wrote = true;
+  }
+  if (wrote) {
+    rt_->Pfence();
+  }
+  for (const nvm::Offset ref : frees) {
+    rt_->FreeRef(ref);
+  }
+  if (have_any && !segs_.empty()) {
+    next_seq_ = expected;
+  } else {
+    segs_.clear();
+    start_seq_ = next_seq_ = root_->ResetSeq();
+  }
+}
+
+void ReplLog::PersistPacked() {
+  root_->WritePacked(head_, static_cast<uint32_t>(segs_.size()));
+}
+
+void ReplLog::AddSegment(uint64_t base_seq, uint32_t data_capacity) {
+  JNVM_CHECK(segs_.size() < seg_cap_);
+  auto obj = std::make_shared<ReplLogSegment>(*rt_, base_seq, data_capacity);
+  obj->Validate();
+  // Ordering fence: header and zeroes durable before the ring references
+  // the segment — recovery never sees a published-but-torn segment.
+  obj->Pfence();
+  Seg seg;
+  seg.obj = obj;
+  seg.slot = (head_ + static_cast<uint32_t>(segs_.size())) % seg_cap_;
+  seg.base_seq = base_seq;
+  root_->WriteSlot(seg.slot, obj->addr());
+  segs_.push_back(std::move(seg));
+  PersistPacked();  // sealed by the batch's Psync
+}
+
+void ReplLog::TruncateHead() {
+  JNVM_CHECK(!segs_.empty());
+  Seg& h = segs_.front();
+  const nvm::Offset ref = h.obj->addr();
+  bytes_ -= h.write_off;
+  root_->WriteSlot(h.slot, 0);
+  head_ = (head_ + 1) % seg_cap_;
+  segs_.pop_front();
+  PersistPacked();
+  // Unlink-before-free: under group commit the fence is elided because the
+  // free is deferred past the batch's Psync (DrainGroupFrees).
+  root_->DurabilityFence();
+  rt_->FreeRef(ref);
+  start_seq_ = segs_.empty() ? next_seq_ : segs_.front().base_seq;
+}
+
+void ReplLog::Append(uint64_t seq, std::string_view payload) {
+  JNVM_CHECK_MSG(!needs_snapshot_, "replication log awaiting snapshot install");
+  JNVM_CHECK_MSG(seq == next_seq_, "replication log append out of sequence");
+  const size_t need = kRecHdrBytes + payload.size();
+  const uint32_t def = opts_.segment_bytes;
+  const uint32_t want_cap =
+      static_cast<uint32_t>(need > def ? need : def);  // oversized → dedicated
+  if (segs_.empty() ||
+      segs_.back().write_off + need > segs_.back().obj->DataCapacity()) {
+    if (segs_.size() == seg_cap_) {
+      TruncateHead();
+    }
+    AddSegment(seq, want_cap);
+    if (segs_.size() == 1) {
+      start_seq_ = seq;
+    }
+  }
+  Seg& tail = segs_.back();
+  const uint32_t off = tail.write_off;
+  char hdr[kRecHdrBytes];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = RecordCrc(seq, payload);
+  std::memcpy(hdr, &len, 4);
+  std::memcpy(hdr + 4, &crc, 4);
+  std::memcpy(hdr + 8, &seq, 8);
+  tail.obj->WriteData(off, hdr, kRecHdrBytes);
+  if (!payload.empty()) {
+    tail.obj->WriteData(off + kRecHdrBytes, payload.data(), payload.size());
+  }
+  tail.obj->PwbData(off, need);  // no fence: the batch Psync seals it
+  tail.offs.push_back(off);
+  tail.write_off = off + static_cast<uint32_t>(need);
+  next_seq_ = seq + 1;
+  bytes_ += need;
+}
+
+bool ReplLog::Read(uint64_t seq, std::string* payload) const {
+  if (seq < start_seq_ || seq >= next_seq_) {
+    return false;
+  }
+  for (const Seg& seg : segs_) {
+    if (seq < seg.base_seq || seq >= seg.base_seq + seg.offs.size()) {
+      continue;
+    }
+    const uint32_t off = seg.offs[seq - seg.base_seq];
+    uint32_t len = 0;
+    seg.obj->ReadData(off, &len, 4);
+    payload->resize(len);
+    if (len != 0) {
+      seg.obj->ReadData(off + kRecHdrBytes, payload->data(), len);
+    }
+    return true;
+  }
+  return false;
+}
+
+void ReplLog::BeginInstall() {
+  root_->WriteSnapPending(1);
+  // The marker must be durable before the store image is overwritten — a
+  // crash mid-install then forces a re-bootstrap instead of serving a store
+  // that disagrees with the log.
+  rt_->Pfence();
+  needs_snapshot_ = true;
+}
+
+void ReplLog::FinishInstall(uint64_t next) {
+  std::vector<nvm::Offset> frees;
+  for (const Seg& seg : segs_) {
+    root_->WriteSlot(seg.slot, 0);
+    frees.push_back(seg.obj->addr());
+  }
+  segs_.clear();
+  head_ = 0;
+  root_->WritePacked(0, 0);
+  root_->WriteResetSeq(next);
+  // One ordering fence covers the installed store image (written by the
+  // caller) and the log reset before the pending marker clears.
+  rt_->Pfence();
+  root_->WriteSnapPending(0);  // sealed by the caller's Psync
+  for (const nvm::Offset ref : frees) {
+    rt_->FreeRef(ref);
+  }
+  start_seq_ = next_seq_ = next;
+  bytes_ = 0;
+  needs_snapshot_ = false;
+}
+
+}  // namespace jnvm::repl

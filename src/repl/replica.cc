@@ -1,0 +1,178 @@
+#include "src/repl/replica.h"
+
+#include <chrono>
+
+#include "src/common/check.h"
+#include "src/server/client.h"
+#include "src/server/shard.h"
+
+namespace jnvm::repl {
+
+namespace {
+
+// Retry backoff bounds. Sliced sleeps keep Stop() responsive.
+constexpr int kBackoffStartMs = 20;
+constexpr int kBackoffMaxMs = 500;
+
+}  // namespace
+
+std::unique_ptr<ReplClient> ReplClient::Start(
+    const std::string& primary_host, uint16_t primary_port,
+    const std::vector<server::Shard*>& shards) {
+  JNVM_CHECK(!shards.empty());
+  auto c = std::unique_ptr<ReplClient>(new ReplClient());
+  c->host_ = primary_host;
+  c->port_ = primary_port;
+  c->shards_ = shards;
+  c->conns_.resize(shards.size(), nullptr);
+  c->threads_.reserve(shards.size());
+  for (uint32_t i = 0; i < shards.size(); ++i) {
+    c->threads_.emplace_back(&ReplClient::PullLoop, c.get(), i);
+  }
+  return c;
+}
+
+ReplClient::~ReplClient() { Stop(); }
+
+void ReplClient::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(stopped_mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (server::Client* c : conns_) {
+      if (c != nullptr) {
+        c->ShutdownSocket();  // breaks blocked stream reads
+      }
+    }
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+ReplClientStats ReplClient::Stats() const {
+  ReplClientStats s;
+  s.records_received = records_received_.load(std::memory_order_relaxed);
+  s.snapshots_installed = snapshots_installed_.load(std::memory_order_relaxed);
+  s.resyncs = resyncs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// REPLSNAP → kSnapInstall → wait for the install's durability point.
+bool ReplClient::Bootstrap(server::Client* conn, server::Shard* shard,
+                           uint32_t shard_index) {
+  if (!conn->SendCommand({"REPLSNAP", std::to_string(shard_index)})) {
+    return false;
+  }
+  server::RespReply r;
+  if (!conn->ReadOneReply(&r) || r.type != server::RespReply::Type::kBulk) {
+    return false;
+  }
+  auto waiter = std::make_shared<server::ReplWaiter>();
+  server::Request req;
+  req.op = server::Request::Op::kSnapInstall;
+  req.value = std::move(r.str);
+  req.waiter = waiter;
+  if (!shard->Submit(std::move(req))) {
+    return false;
+  }
+  if (!waiter->Wait()) {
+    return false;
+  }
+  snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReplClient::PullLoop(uint32_t shard_index) {
+  server::Shard* shard = shards_[shard_index];
+  int backoff_ms = kBackoffStartMs;
+  const auto nap = [&](int ms) {
+    for (int waited = 0; waited < ms && !stop_.load(std::memory_order_acquire);
+         waited += 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::string error;
+    auto conn = server::Client::Connect(host_, port_, &error);
+    if (conn == nullptr) {
+      nap(backoff_ms);
+      backoff_ms = std::min(backoff_ms * 2, kBackoffMaxMs);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_[shard_index] = conn.get();
+    }
+
+    bool established = false;
+    bool handshaking = true;
+    while (handshaking && !stop_.load(std::memory_order_acquire)) {
+      handshaking = false;
+      if (shard->repl_needs_snapshot() &&
+          !Bootstrap(conn.get(), shard, shard_index)) {
+        break;
+      }
+      const uint64_t from = shard->repl_next_seq();
+      if (!conn->SendCommand({"REPLSYNC", std::to_string(shard_index),
+                              std::to_string(from)})) {
+        break;
+      }
+      server::RespReply r;
+      if (!conn->ReadOneReply(&r)) {
+        break;
+      }
+      if (r.type == server::RespReply::Type::kError) {
+        // -SNAPSHOT (truncated past `from`) or a fresh log epoch after the
+        // primary self-healed: bootstrap and re-handshake on this conn.
+        if (Bootstrap(conn.get(), shard, shard_index)) {
+          handshaking = true;
+        }
+        continue;
+      }
+      if (r.type != server::RespReply::Type::kSimple) {
+        break;  // protocol violation
+      }
+      established = true;
+      backoff_ms = kBackoffStartMs;
+      for (;;) {
+        server::RespReply rec;
+        if (!conn->ReadOneReply(&rec) ||
+            rec.type != server::RespReply::Type::kBulk) {
+          break;  // stream torn down (or peer gone)
+        }
+        records_received_.fetch_add(1, std::memory_order_relaxed);
+        server::Request req;
+        req.op = server::Request::Op::kApply;
+        req.value = std::move(rec.str);
+        if (!shard->Submit(std::move(req))) {
+          break;  // local shard draining
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_[shard_index] = nullptr;
+    }
+    conn.reset();
+    if (!stop_.load(std::memory_order_acquire)) {
+      if (established) {
+        resyncs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      nap(backoff_ms);
+      backoff_ms = std::min(backoff_ms * 2, kBackoffMaxMs);
+    }
+  }
+}
+
+}  // namespace jnvm::repl

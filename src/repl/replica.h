@@ -1,0 +1,80 @@
+// ReplClient — the replica's pull loops (DESIGN.md §8).
+//
+// One thread per shard. Each loop connects to the primary, handshakes with
+// `REPLSYNC <shard> <from>` (from = the shard's own sealed boundary + 1, so
+// a restarted replica resumes exactly where its durable log ends), then
+// reads streamed record frames forever and submits them to the local
+// follower shard as kApply requests — the shard's bounded queue is the
+// backpressure. When the primary answers -SNAPSHOT (log truncated past
+// `from`) or the local log is mid-install, the loop bootstraps via
+// REPLSNAP + kSnapInstall and re-handshakes. Any stream error tears the
+// connection down, counts a resync and retries with backoff.
+//
+// Lives in src/repl but compiles into jnvm_server_lib (it drives
+// server::Shard and server::Client; see src/repl/CMakeLists.txt).
+#ifndef JNVM_SRC_REPL_REPLICA_H_
+#define JNVM_SRC_REPL_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jnvm::server {
+class Client;
+class Shard;
+}  // namespace jnvm::server
+
+namespace jnvm::repl {
+
+struct ReplClientStats {
+  uint64_t records_received = 0;
+  uint64_t snapshots_installed = 0;
+  uint64_t resyncs = 0;  // reconnects after an established stream broke
+};
+
+class ReplClient {
+ public:
+  // Starts one pull thread per shard. `shards` must outlive the client and
+  // be follower shards of a server whose shard count matches the primary's.
+  static std::unique_ptr<ReplClient> Start(
+      const std::string& primary_host, uint16_t primary_port,
+      const std::vector<server::Shard*>& shards);
+  ~ReplClient();
+
+  // Idempotent; joins every pull thread. Called before shard quiesce (and
+  // before PROMOTE) so no applies race the audit.
+  void Stop();
+
+  ReplClientStats Stats() const;
+
+ private:
+  ReplClient() = default;
+
+  void PullLoop(uint32_t shard_index);
+  bool Bootstrap(server::Client* conn, server::Shard* shard, uint32_t shard_index);
+
+  std::string host_;
+  uint16_t port_ = 0;
+  std::vector<server::Shard*> shards_;
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+  // Live connections, indexed by shard — so Stop() can break blocked reads.
+  std::mutex conns_mu_;
+  std::vector<server::Client*> conns_;
+
+  std::atomic<uint64_t> records_received_{0};
+  std::atomic<uint64_t> snapshots_installed_{0};
+  std::atomic<uint64_t> resyncs_{0};
+
+  std::mutex stopped_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace jnvm::repl
+
+#endif  // JNVM_SRC_REPL_REPLICA_H_

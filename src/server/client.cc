@@ -110,6 +110,20 @@ bool Client::Roundtrip(const std::vector<std::string>& args, RespReply* reply) {
   return WriteAll(wire.data(), wire.size()) && ReadReply(reply);
 }
 
+bool Client::SendCommand(const std::vector<std::string>& args) {
+  std::string wire;
+  AppendCommand(&wire, args);
+  return WriteAll(wire.data(), wire.size());
+}
+
+bool Client::ReadOneReply(RespReply* out) { return ReadReply(out); }
+
+void Client::ShutdownSocket() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
 void Client::PipeCommand(const std::vector<std::string>& args) {
   AppendCommand(&outbuf_, args);
   ++queued_;

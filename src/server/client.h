@@ -62,6 +62,17 @@ class Client {
   // Sends one command and reads one reply; the workhorse behind the helpers.
   bool Roundtrip(const std::vector<std::string>& args, RespReply* reply);
 
+  // ---- Streaming (replication) -------------------------------------------
+  // REPLSYNC converts the connection into a reply stream: send the command
+  // once, then read replies forever. These split Roundtrip into its halves.
+
+  bool SendCommand(const std::vector<std::string>& args);
+  // Blocks until one reply arrives; false on I/O error or peer close.
+  bool ReadOneReply(RespReply* out);
+  // Half-closes the socket from any thread: a blocked ReadOneReply returns
+  // false. Used to stop replication pull loops.
+  void ShutdownSocket();
+
   const std::string& last_error() const { return err_; }
 
  private:

@@ -12,6 +12,9 @@ bool ParseLen(std::string_view s, uint64_t* out) {
   if (s.empty() || s.size() > 19) {
     return false;
   }
+  if (s.size() > 1 && s[0] == '0') {
+    return false;  // "04" must not alias "4": lengths have one spelling
+  }
   uint64_t v = 0;
   for (const char c : s) {
     if (c < '0' || c > '9') {
@@ -134,6 +137,12 @@ void AppendSimple(std::string* out, std::string_view s) {
 
 void AppendError(std::string* out, std::string_view msg) {
   out->append("-ERR ");
+  out->append(msg);
+  out->append("\r\n");
+}
+
+void AppendErrorCode(std::string* out, std::string_view msg) {
+  out->push_back('-');
   out->append(msg);
   out->append("\r\n");
 }

@@ -63,6 +63,8 @@ class RespParser {
 
 void AppendSimple(std::string* out, std::string_view s);   // +s\r\n
 void AppendError(std::string* out, std::string_view msg);  // -ERR msg\r\n
+// Error with an explicit leading code (e.g. "READONLY ..."): -msg\r\n
+void AppendErrorCode(std::string* out, std::string_view msg);
 void AppendInteger(std::string* out, int64_t v);           // :v\r\n
 void AppendBulk(std::string* out, std::string_view s);     // $len\r\ns\r\n
 void AppendNil(std::string* out);                          // $-1\r\n

@@ -51,6 +51,36 @@ bool ParseU32(const std::string& s, uint32_t* out) {
   return true;
 }
 
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 19) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// "host:port" → (host, port). False on malformed input.
+bool SplitHostPort(const std::string& s, std::string* host, uint16_t* port) {
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return false;
+  }
+  uint32_t p = 0;
+  if (!ParseU32(s.substr(colon + 1), &p) || p == 0 || p > 65535) {
+    return false;
+  }
+  *host = s.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
 }  // namespace
 
 // Event-loop readiness backend: epoll on Linux, poll(2) otherwise or when
@@ -197,6 +227,19 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
 
   auto s = std::unique_ptr<Server>(new Server());
   s->opts_ = opts;
+  std::string primary_host;
+  uint16_t primary_port = 0;
+  if (!opts.replica_of.empty()) {
+    if (!SplitHostPort(opts.replica_of, &primary_host, &primary_port)) {
+      if (error != nullptr) {
+        *error = "bad replica_of '" + opts.replica_of + "', expected host:port";
+      }
+      return nullptr;
+    }
+    // Replica role: followers with a (mirrored) replication log.
+    s->opts_.shard.follower = true;
+    s->opts_.shard.repl_log = true;
+  }
 
   s->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (s->listen_fd_ < 0) {
@@ -231,13 +274,21 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
   SetNonBlocking(s->wake_w_);
 
   for (uint32_t i = 0; i < opts.nshards; ++i) {
-    s->shards_.push_back(Shard::Open(opts.shard, i, s.get()));
+    s->shards_.push_back(Shard::Open(s->opts_.shard, i, s.get()));
   }
 
   s->poller_ = std::make_unique<Poller>(!opts.force_poll);
   s->poller_->Watch(s->listen_fd_, false);
   s->poller_->Watch(s->wake_r_, false);
   s->loop_ = std::thread(&Server::EventLoop, s.get());
+  if (!opts.replica_of.empty()) {
+    std::vector<Shard*> raw;
+    raw.reserve(s->shards_.size());
+    for (const auto& sh : s->shards_) {
+      raw.push_back(sh.get());
+    }
+    s->repl_client_ = repl::ReplClient::Start(primary_host, primary_port, raw);
+  }
   return s;
 }
 
@@ -352,6 +403,9 @@ void Server::CloseConn(uint64_t id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) {
     return;
+  }
+  for (auto& sh : shards_) {
+    sh->Unsubscribe(id);  // no-op unless `id` held a REPLSYNC stream
   }
   poller_->Forget(it->second->fd);
   by_fd_.erase(it->second->fd);
@@ -534,6 +588,61 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     }
     return true;
   }
+  if (cmd == "REPLSYNC" || cmd == "REPLSNAP") {
+    const size_t want = cmd == "REPLSYNC" ? 3 : 2;
+    if (args.size() != want) {
+      return inline_error("wrong number of arguments for " + cmd);
+    }
+    uint32_t idx = 0;
+    if (!ParseU32(args[1], &idx) || idx >= shards_.size()) {
+      return inline_error(cmd + " shard index out of range");
+    }
+    Request req;
+    if (cmd == "REPLSYNC") {
+      uint64_t from = 0;
+      if (!ParseU64(args[2], &from) || from == 0) {
+        return inline_error("REPLSYNC from-seq must be >= 1");
+      }
+      req.op = Request::Op::kReplSync;
+      req.repl_seq = from;
+    } else {
+      req.op = Request::Op::kReplSnap;
+    }
+    req.conn_id = conn.id;
+    req.seq = seq;
+    ++conn.inflight;
+    if (!shards_[idx]->Submit(std::move(req))) {
+      --conn.inflight;
+      return inline_error("server shutting down");
+    }
+    return true;
+  }
+  if (cmd == "PROMOTE") {
+    if (args.size() != 1) {
+      return inline_error("wrong number of arguments for PROMOTE");
+    }
+    // Quiesce the pull side first: joins every pull thread, so no kApply
+    // can land after the audit below starts.
+    if (repl_client_ != nullptr) {
+      repl_client_->Stop();
+    }
+    auto multi = std::make_shared<MultiOp>();
+    multi->remaining.store(static_cast<uint32_t>(shards_.size()),
+                           std::memory_order_relaxed);
+    multi->conn_id = conn.id;
+    multi->seq = seq;
+    ++conn.inflight;
+    for (auto& sh : shards_) {
+      Request req;
+      req.op = Request::Op::kPromote;
+      req.multi = multi;
+      if (!sh->Submit(std::move(req))) {
+        --conn.inflight;
+        return inline_error("server shutting down");
+      }
+    }
+    return true;
+  }
   if (cmd == "STATS") {
     std::string r;
     AppendBulk(&r, BuildStats());
@@ -559,6 +668,14 @@ void Server::DrainCompletions() {
       continue;  // client went away before its reply
     }
     Conn& conn = *it->second;
+    if (c.stream) {
+      // Replication-stream frame: not a command reply, so it neither holds
+      // an inflight slot nor passes the reorder buffer — by subscription
+      // time every earlier reply on this connection has flushed.
+      conn.out += c.reply;
+      HandleWritable(conn);
+      continue;
+    }
     JNVM_DCHECK(conn.inflight > 0);
     --conn.inflight;
     if (conn.Complete(c.seq, std::move(c.reply))) {
@@ -611,6 +728,30 @@ std::string Server::BuildStats() {
         static_cast<unsigned long long>(s.device.psyncs),
         static_cast<unsigned long long>(s.device.pfences));
     out += line;
+    if (s.repl.enabled) {
+      std::snprintf(
+          line, sizeof(line),
+          "repl%u: role=%s sealed=%llu start=%llu applied=%llu "
+          "log_bytes=%llu log_segments=%llu subs=%llu%s\n",
+          sh->index(), s.repl.follower ? "replica" : "primary",
+          static_cast<unsigned long long>(s.repl.sealed_seq),
+          static_cast<unsigned long long>(s.repl.start_seq),
+          static_cast<unsigned long long>(s.repl.applied_batches),
+          static_cast<unsigned long long>(s.repl.log_bytes),
+          static_cast<unsigned long long>(s.repl.log_segments),
+          static_cast<unsigned long long>(s.repl.subscribers),
+          s.repl.needs_snapshot ? " needs_snapshot" : "");
+      out += line;
+    }
+  }
+  if (repl_client_ != nullptr) {
+    const repl::ReplClientStats rs = repl_client_->Stats();
+    std::snprintf(line, sizeof(line),
+                  "replclient: received=%llu snapshots=%llu resyncs=%llu\n",
+                  static_cast<unsigned long long>(rs.records_received),
+                  static_cast<unsigned long long>(rs.snapshots_installed),
+                  static_cast<unsigned long long>(rs.resyncs));
+    out += line;
   }
   std::snprintf(line, sizeof(line),
                 "total: records=%llu elided_fences=%llu puts=%llu gets=%llu "
@@ -632,6 +773,11 @@ void Server::DoShutdown(uint64_t conn_id, uint64_t seq) {
   poller_->Forget(listen_fd_);
   ::close(listen_fd_);
   listen_fd_ = -1;
+  // On a replica, stop the pull loops before draining the shards so no
+  // kApply arrives once the quiesce begins.
+  if (repl_client_ != nullptr) {
+    repl_client_->Stop();
+  }
 
   // 2. Quiesce shards: drains every queued request, joins the workers,
   //    Psyncs, audits integrity (I1–I7) and saves the device images.

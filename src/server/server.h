@@ -17,6 +17,17 @@
 //   STATS                      $<text>       (per-shard + server counters)
 //   SHUTDOWN                   +OK | -ERR    (quiesce, audit I1–I7, save images)
 //
+// Replication plane (DESIGN.md §8):
+//   REPLSYNC shard from        +SYNC <from>, then a bulk stream of sealed
+//                              record frames — the connection becomes a
+//                              one-way feed (first/only command on it)
+//   REPLSNAP shard             $<snapshot>   (bootstrap / catch-up image)
+//   PROMOTE                    +OK | -ERR    (stop pulling, audit I1–I7 on
+//                              every shard, flip followers writable)
+// A server started with ServerOptions::replica_of runs every shard as a
+// follower (-READONLY to client writes) and pulls those commands from the
+// primary itself via repl::ReplClient.
+//
 // The event loop uses epoll on Linux and poll(2) otherwise; ServerOptions
 // can force the poll path so both are testable on one platform.
 #ifndef JNVM_SRC_SERVER_SERVER_H_
@@ -30,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/repl/replica.h"
 #include "src/server/conn.h"
 #include "src/server/shard.h"
 
@@ -42,6 +54,11 @@ struct ServerOptions {
   ShardOptions shard;
   // Force the poll(2) event loop even where epoll is available.
   bool force_poll = false;
+  // "host:port" of a primary to replicate from. Non-empty = replica role:
+  // every shard opens as a follower (shard.follower and shard.repl_log are
+  // forced on) and a ReplClient pulls the primary's record stream. The
+  // shard count must match the primary's. PROMOTE clears the role.
+  std::string replica_of;
 };
 
 // Aggregate outcome of a SHUTDOWN / Stop(): per-shard quiesce reports.
@@ -62,6 +79,9 @@ class Server : public CompletionSink {
 
   uint16_t port() const { return port_; }
   bool AnyShardRecovered() const;
+  // Replica role (null on a primary, and after the client was stopped the
+  // pointer stays valid for Stats()).
+  const repl::ReplClient* repl_client() const { return repl_client_.get(); }
 
   // Blocks until the event loop exits (SHUTDOWN command or RequestShutdown).
   void Wait();
@@ -95,6 +115,8 @@ class Server : public CompletionSink {
   int listen_fd_ = -1;
   int wake_r_ = -1, wake_w_ = -1;  // self-pipe
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Declared after shards_ so destruction stops the pull threads first.
+  std::unique_ptr<repl::ReplClient> repl_client_;
 
   std::thread loop_;
   std::atomic<bool> shutdown_requested_{false};

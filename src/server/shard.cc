@@ -1,6 +1,7 @@
 #include "src/server/shard.h"
 
 #include <filesystem>
+#include <unordered_set>
 
 #include "src/common/check.h"
 #include "src/core/integrity.h"
@@ -15,9 +16,10 @@ namespace jnvm::server {
 
 namespace {
 
-// Root-map name for the shard's store — must be stable across restarts so
-// recovery finds the map again.
+// Root-map names — must be stable across restarts so recovery finds the
+// store and the replication log again.
 constexpr char kRootName[] = "server.store";
+constexpr char kReplRootName[] = "server.repl";
 
 nvm::DeviceOptions DeviceOptionsFor(const ShardOptions& opts) {
   nvm::DeviceOptions d;
@@ -42,16 +44,26 @@ std::string ImagePathFor(const ShardOptions& opts, uint32_t index) {
   return opts.image_base + ".shard" + std::to_string(index) + ".img";
 }
 
+bool IsControl(Request::Op op) {
+  return op == Request::Op::kReplSync || op == Request::Op::kReplSnap ||
+         op == Request::Op::kSnapInstall || op == Request::Op::kPromote;
+}
+
+constexpr char kReadonlyMsg[] = "READONLY replica - write rejected";
+
 }  // namespace
 
 std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
                                    CompletionSink* sink) {
   JNVM_CHECK(sink != nullptr);
   JNVM_CHECK(opts.backend == "jpdt" || opts.backend == "jpfa");
+  JNVM_CHECK_MSG(!opts.follower || opts.repl_log,
+                 "follower shards need the replication log");
   auto s = std::unique_ptr<Shard>(new Shard());
   s->index_ = index;
   s->opts_ = opts;
   s->sink_ = sink;
+  s->follower_.store(opts.follower, std::memory_order_release);
 
   // Recovery resurrects objects by persisted class name: every class that
   // can live on a shard heap must be registered before Open().
@@ -59,6 +71,8 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
   store::PRecord::Class();
   store::JpfaEntry::Class();
   store::JpfaHashMap::Class();
+  repl::ReplLogRoot::Class();
+  repl::ReplLogSegment::Class();
 
   const std::string image = ImagePathFor(opts, index);
   const nvm::DeviceOptions dopts = DeviceOptionsFor(opts);
@@ -84,11 +98,64 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
   sopts.expected_records = opts.map_capacity;
   s->kv_ = std::make_unique<store::KvStore>(s->backend_.get(), nullptr, sopts);
 
+  if (opts.repl_log) {
+    repl::ReplLogOptions lopts;
+    lopts.segment_bytes = opts.repl_segment_bytes;
+    lopts.max_segments = opts.repl_max_segments;
+    s->log_ = repl::ReplLog::OpenOrCreate(s->rt_.get(), kReplRootName, lopts);
+    if (!opts.follower && s->log_->needs_snapshot()) {
+      // A crash interrupted a snapshot install and the shard now (re)starts
+      // as a primary: the store image is authoritative, so open a fresh log
+      // epoch. Replicas whose sequence numbers no longer line up fall back
+      // to REPLSNAP bootstrap.
+      s->log_->FinishInstall(1);
+      s->rt_->Psync();
+    }
+    if (s->recovered_) {
+      s->RedoLogTail();
+    }
+    s->PublishReplStats();
+  }
+
   s->worker_ = std::thread(&Shard::WorkerLoop, s.get());
   return s;
 }
 
 Shard::~Shard() { Quiesce(); }
+
+// Redo tail (recovery): a crash can leave the last log record sealed while
+// the store's mutations for that batch are per-key old-or-new (eviction
+// decides per line). Re-applying the tail record — the ops are idempotent
+// state-setters — converges the store onto the sealed-batch boundary, so
+// the log and the store agree before the shard serves traffic.
+void Shard::RedoLogTail() {
+  if (log_ == nullptr || log_->needs_snapshot() || log_->empty()) {
+    return;
+  }
+  const uint64_t seq = log_->next_seq() - 1;
+  std::string payload;
+  if (!log_->Read(seq, &payload)) {
+    return;
+  }
+  std::vector<repl::ReplOp> ops;
+  if (!repl::DecodeBatch(payload, &ops)) {
+    return;  // cannot happen for a checksummed record; be defensive
+  }
+  for (const repl::ReplOp& op : ops) {
+    switch (op.kind) {
+      case repl::ReplOp::Kind::kPut:
+        kv_->ApplyPut(op.key, op.record);
+        break;
+      case repl::ReplOp::Kind::kDel:
+        kv_->ApplyDelete(op.key);
+        break;
+      case repl::ReplOp::Kind::kUpdate:
+        kv_->ApplyUpdate(op.key, op.field, op.value);
+        break;
+    }
+  }
+  rt_->Psync();
+}
 
 bool Shard::Submit(Request&& req) {
   std::unique_lock<std::mutex> lk(mu_);
@@ -103,12 +170,35 @@ bool Shard::Submit(Request&& req) {
   return true;
 }
 
-bool Shard::Execute(const Request& req, std::string* reply) {
+void Shard::Unsubscribe(uint64_t conn_id) {
+  std::lock_guard<std::mutex> lk(subs_mu_);
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    it = *it == conn_id ? subs_.erase(it) : it + 1;
+  }
+}
+
+bool Shard::Execute(const Request& req, std::string* reply,
+                    std::vector<repl::ReplOp>* rops) {
   switch (req.op) {
     case Request::Op::kSet: {
+      if (follower()) {
+        if (req.multi != nullptr) {
+          req.multi->Fail(kReadonlyMsg);
+        } else {
+          AppendErrorCode(reply, kReadonlyMsg);
+        }
+        return false;
+      }
       store::Record r;
       r.fields.push_back(req.value);
       kv_->Put(req.key, r);
+      if (log_ != nullptr) {
+        repl::ReplOp op;
+        op.kind = repl::ReplOp::Kind::kPut;
+        op.key = req.key;
+        op.record = std::move(r);
+        rops->push_back(std::move(op));
+      }
       if (req.multi == nullptr) {
         AppendSimple(reply, "OK");
       }
@@ -132,22 +222,215 @@ bool Shard::Execute(const Request& req, std::string* reply) {
       return false;
     }
     case Request::Op::kDel: {
+      if (follower()) {
+        AppendErrorCode(reply, kReadonlyMsg);
+        return false;
+      }
       const bool removed = kv_->Delete(req.key);
       AppendInteger(reply, removed ? 1 : 0);
+      if (removed && log_ != nullptr) {
+        repl::ReplOp op;
+        op.kind = repl::ReplOp::Kind::kDel;
+        op.key = req.key;
+        rops->push_back(std::move(op));
+      }
       return removed;
     }
     case Request::Op::kHset: {
+      if (follower()) {
+        AppendErrorCode(reply, kReadonlyMsg);
+        return false;
+      }
       const bool ok = kv_->Update(req.key, req.field, req.value);
       AppendInteger(reply, ok ? 1 : 0);
+      if (ok && log_ != nullptr) {
+        repl::ReplOp op;
+        op.kind = repl::ReplOp::Kind::kUpdate;
+        op.key = req.key;
+        op.field = req.field;
+        op.value = req.value;
+        rops->push_back(std::move(op));
+      }
       return ok;
     }
     case Request::Op::kTouch: {
       AppendInteger(reply, kv_->ReadTouch(req.key) ? 1 : 0);
       return false;
     }
+    case Request::Op::kApply:
+      return ExecuteApply(req);
+    case Request::Op::kReplSync:
+      ExecuteReplSync(req, reply);
+      return false;
+    case Request::Op::kReplSnap:
+      ExecuteReplSnap(reply);
+      return false;
+    case Request::Op::kSnapInstall: {
+      std::string error;
+      const bool ok = ExecuteSnapInstall(req, &error);
+      *reply = ok ? std::string() : error;  // waiter payload, not RESP
+      return ok;
+    }
+    case Request::Op::kPromote:
+      ExecutePromote(req, reply);
+      return false;
   }
   AppendError(reply, "internal: unknown op");
   return false;
+}
+
+// Applies one shipped record: store mutations through the apply path, then
+// the record is appended to the *local* log under the primary's sequence
+// number — the mirrored log is what makes promotion, restart resync and
+// chained replication work. Duplicates (stale frames after a resync) and
+// gaps are dropped; the batch Psync seals apply + append together.
+bool Shard::ExecuteApply(const Request& req) {
+  if (log_ == nullptr || log_->needs_snapshot()) {
+    return false;
+  }
+  uint64_t seq = 0;
+  std::string_view bf;
+  if (!repl::DecodeRecord(req.value, &seq, &bf)) {
+    return false;
+  }
+  if (seq != log_->next_seq()) {
+    return false;  // duplicate (< next) or gap (> next): wait for resync
+  }
+  std::vector<repl::ReplOp> ops;
+  if (!repl::DecodeBatch(bf, &ops)) {
+    return false;
+  }
+  for (const repl::ReplOp& op : ops) {
+    switch (op.kind) {
+      case repl::ReplOp::Kind::kPut:
+        kv_->ApplyPut(op.key, op.record);
+        break;
+      case repl::ReplOp::Kind::kDel:
+        kv_->ApplyDelete(op.key);
+        break;
+      case repl::ReplOp::Kind::kUpdate:
+        kv_->ApplyUpdate(op.key, op.field, op.value);
+        break;
+    }
+  }
+  log_->Append(seq, bf);
+  applied_batches_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// REPLSYNC <shard> <from>: replies +SYNC <from> followed by one bulk per
+// retained record in [from, next), then registers the connection as a
+// stream subscriber — all within one singleton control batch, so there is
+// no gap and no overlap between the backlog and the live stream.
+void Shard::ExecuteReplSync(const Request& req, std::string* reply) {
+  if (log_ == nullptr) {
+    AppendError(reply, "replication log disabled");
+    return;
+  }
+  const uint64_t from = req.repl_seq;
+  if (log_->needs_snapshot() || from < log_->start_seq()) {
+    AppendErrorCode(reply,
+                    "SNAPSHOT replication log truncated; REPLSNAP required");
+    return;
+  }
+  if (from > log_->next_seq()) {
+    AppendError(reply, "REPLSYNC from-seq ahead of log");
+    return;
+  }
+  AppendSimple(reply, "SYNC " + std::to_string(from));
+  std::string payload;
+  std::string frame;
+  for (uint64_t seq = from; seq < log_->next_seq(); ++seq) {
+    JNVM_CHECK(log_->Read(seq, &payload));
+    repl::EncodeRecord(seq, payload, &frame);
+    AppendBulk(reply, frame);
+  }
+  if (req.conn_id != 0) {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    subs_.push_back(req.conn_id);
+  }
+}
+
+void Shard::ExecuteReplSnap(std::string* reply) {
+  if (log_ == nullptr) {
+    AppendError(reply, "replication log disabled");
+    return;
+  }
+  std::vector<repl::SnapshotEntry> entries;
+  const bool ok = backend_->SnapshotRecords(
+      [&](const std::string& key, const store::Record& r) {
+        entries.push_back({key, r});
+      });
+  if (!ok) {
+    AppendError(reply, "backend does not support snapshots");
+    return;
+  }
+  // Singleton control batch: every applied batch is sealed, so next-1 is
+  // the exact boundary the image represents.
+  const uint64_t snap_seq = log_->next_seq() - 1;
+  std::string frame;
+  repl::EncodeSnapshot(snap_seq, entries, &frame);
+  AppendBulk(reply, frame);
+}
+
+// Installs a bootstrap snapshot: the log's pending marker brackets the
+// store overwrite (see ReplLog::BeginInstall), extraneous keys are dropped,
+// every snapshot record is applied, and the log resets to snap_seq + 1.
+bool Shard::ExecuteSnapInstall(const Request& req, std::string* error) {
+  if (log_ == nullptr) {
+    *error = "replication log disabled";
+    return false;
+  }
+  uint64_t snap_seq = 0;
+  std::vector<repl::SnapshotEntry> entries;
+  if (!repl::DecodeSnapshot(req.value, &snap_seq, &entries)) {
+    *error = "bad snapshot frame";
+    return false;
+  }
+  log_->BeginInstall();
+  std::unordered_set<std::string> keep;
+  keep.reserve(entries.size());
+  for (const repl::SnapshotEntry& e : entries) {
+    keep.insert(e.key);
+  }
+  std::vector<std::string> drop;
+  backend_->SnapshotRecords([&](const std::string& key, const store::Record&) {
+    if (keep.find(key) == keep.end()) {
+      drop.push_back(key);
+    }
+  });
+  for (const std::string& key : drop) {
+    kv_->ApplyDelete(key);
+  }
+  for (const repl::SnapshotEntry& e : entries) {
+    kv_->ApplyPut(e.key, e.record);
+  }
+  log_->FinishInstall(snap_seq + 1);
+  return true;
+}
+
+// PROMOTE: the queue ahead of this op has drained (singleton control
+// batch), so the heap is quiescent. Seal outstanding state, run the full
+// I1–I7 audit (with FA-log quiescence) and only then accept writes.
+void Shard::ExecutePromote(const Request& req, std::string* reply) {
+  rt_->Psync();
+  core::IntegrityOptions iopts;
+  iopts.audit_fa_logs = true;
+  const core::IntegrityReport ir = core::VerifyHeapIntegrity(*rt_, iopts);
+  if (!ir.ok()) {
+    std::string msg = "ERR promote audit failed on shard " +
+                      std::to_string(index_) + ": " + ir.violations.front();
+    if (req.multi != nullptr) {
+      req.multi->Fail(msg);
+    } else {
+      AppendErrorCode(reply, msg);
+    }
+    return;
+  }
+  follower_.store(false, std::memory_order_release);
+  if (req.multi == nullptr) {
+    AppendSimple(reply, "OK");
+  }
 }
 
 void Shard::DeliverBatch(std::vector<Request>& batch,
@@ -157,15 +440,27 @@ void Shard::DeliverBatch(std::vector<Request>& batch,
   // joined +OK implies every part is durable on its own shard.
   for (size_t i = 0; i < batch.size(); ++i) {
     Request& req = batch[i];
+    if (req.waiter != nullptr) {
+      req.waiter->Signal(replies[i].empty(), std::move(replies[i]));
+      continue;
+    }
     if (req.multi != nullptr) {
       if (req.multi->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         Completion c;
         c.conn_id = req.multi->conn_id;
         c.seq = req.multi->seq;
-        AppendSimple(&c.reply, "OK");
+        if (req.multi->failures.load(std::memory_order_acquire) > 0) {
+          std::lock_guard<std::mutex> lk(req.multi->err_mu);
+          AppendErrorCode(&c.reply, req.multi->error);
+        } else {
+          AppendSimple(&c.reply, "OK");
+        }
         sink_->OnCompletion(std::move(c));
       }
       continue;
+    }
+    if (req.conn_id == 0) {
+      continue;  // internal request (ReplClient): no completion
     }
     Completion c;
     c.conn_id = req.conn_id;
@@ -175,37 +470,97 @@ void Shard::DeliverBatch(std::vector<Request>& batch,
   }
 }
 
+// Ships records [first, last] — just sealed by this batch's Psync — to all
+// stream subscribers. Stream completions bypass the reorder buffer and are
+// appended to the subscriber's socket in emission order.
+void Shard::StreamToSubscribers(uint64_t first_seq, uint64_t last_seq) {
+  std::lock_guard<std::mutex> lk(subs_mu_);
+  if (subs_.empty()) {
+    return;
+  }
+  std::string payload;
+  std::string frame;
+  std::string bulk;
+  for (uint64_t seq = first_seq; seq <= last_seq; ++seq) {
+    if (!log_->Read(seq, &payload)) {
+      continue;  // truncated under retention pressure mid-batch
+    }
+    repl::EncodeRecord(seq, payload, &frame);
+    bulk.clear();
+    AppendBulk(&bulk, frame);
+    for (const uint64_t conn_id : subs_) {
+      Completion c;
+      c.conn_id = conn_id;
+      c.stream = true;
+      c.reply = bulk;
+      sink_->OnCompletion(std::move(c));
+    }
+  }
+}
+
+void Shard::PublishReplStats() {
+  if (log_ == nullptr) {
+    return;
+  }
+  sealed_seq_.store(log_->next_seq() - 1, std::memory_order_release);
+  repl_start_seq_.store(log_->start_seq(), std::memory_order_relaxed);
+  repl_bytes_.store(log_->bytes(), std::memory_order_relaxed);
+  repl_segments_.store(log_->segments(), std::memory_order_relaxed);
+  repl_needs_snapshot_.store(log_->needs_snapshot(), std::memory_order_release);
+}
+
 void Shard::WorkerLoop() {
   std::vector<Request> batch;
   std::vector<std::string> replies;
+  std::vector<repl::ReplOp> rops;
   const uint32_t max_batch = opts_.batch == 0 ? 1 : opts_.batch;
   for (;;) {
     batch.clear();
     replies.clear();
+    rops.clear();
     {
       std::unique_lock<std::mutex> lk(mu_);
       not_empty_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stopping and drained
       }
+      // Control ops run as singleton batches: they assume every earlier
+      // batch is sealed and must not share a durability point with writes.
       const size_t take = std::min<size_t>(max_batch, queue_.size());
       for (size_t i = 0; i < take; ++i) {
+        const bool ctrl = IsControl(queue_.front().op);
+        if (ctrl && !batch.empty()) {
+          break;
+        }
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        if (ctrl) {
+          break;
+        }
       }
     }
     not_full_.notify_all();
 
     bool wrote = false;
     const bool group = max_batch > 1;
+    const uint64_t log_first =
+        log_ != nullptr ? log_->next_seq() : 0;  // first record this batch
     if (group) {
       rt_->heap().BeginGroupCommit();
     }
     for (const Request& req : batch) {
       std::string reply;
-      wrote |= Execute(req, &reply);
+      wrote |= Execute(req, &reply, &rops);
       replies.push_back(std::move(reply));
     }
+    if (!rops.empty() && !log_->needs_snapshot()) {
+      // One record per batch: the group's write ops in execution order.
+      std::string bf;
+      repl::EncodeBatch(rops, &bf);
+      log_->Append(log_->next_seq(), bf);
+    }
+    const uint64_t log_last = log_ != nullptr ? log_->next_seq() - 1 : 0;
+    const bool appended = log_ != nullptr && log_last + 1 > log_first;
     if (group) {
       rt_->heap().EndGroupCommit();
       if (wrote) {
@@ -214,9 +569,16 @@ void Shard::WorkerLoop() {
       // Reclaim structures orphaned by this batch's replaces/deletes — only
       // now that their unlinks are durable.
       rt_->DrainGroupFrees();
+    } else if (appended) {
+      // batch == 1: ops kept their own trailing durability fences, but the
+      // log record still needs sealing before it can be shipped or acked.
+      rt_->Psync();
     }
-    // batch == 1: every op kept its own trailing durability fence; no
-    // group Psync needed (ablation baseline).
+    // batch == 1, no log: every op kept its own trailing durability fence;
+    // no group Psync needed (ablation baseline).
+    if (log_ != nullptr) {
+      PublishReplStats();
+    }
     batches_.fetch_add(1, std::memory_order_relaxed);
     uint64_t prev = max_batch_.load(std::memory_order_relaxed);
     while (batch.size() > prev &&
@@ -224,6 +586,9 @@ void Shard::WorkerLoop() {
                                              std::memory_order_relaxed)) {
     }
     DeliverBatch(batch, replies);
+    if (appended) {
+      StreamToSubscribers(log_first, log_last);
+    }
   }
 }
 
@@ -240,6 +605,18 @@ ShardStats Shard::Stats() const {
   s.ops = backend_->stats();
   s.cache = kv_->cache_stats();
   s.device = dev_->stats();
+  s.repl.enabled = log_ != nullptr;
+  s.repl.follower = follower();
+  s.repl.needs_snapshot = repl_needs_snapshot();
+  s.repl.start_seq = repl_start_seq_.load(std::memory_order_relaxed);
+  s.repl.sealed_seq = sealed_seq_.load(std::memory_order_acquire);
+  s.repl.applied_batches = applied_batches_.load(std::memory_order_relaxed);
+  s.repl.log_bytes = repl_bytes_.load(std::memory_order_relaxed);
+  s.repl.log_segments = repl_segments_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    s.repl.subscribers = subs_.size();
+  }
   return s;
 }
 

@@ -1,4 +1,4 @@
-// Shards — the persistence half of the network server (DESIGN.md §7).
+// Shards — the persistence half of the network server (DESIGN.md §7, §8).
 //
 // Each shard owns a full vertical slice: one simulated NVMM device, one
 // JnvmRuntime, one J-NVM backend and the KvStore on top, plus a single
@@ -15,6 +15,16 @@
 // Psync: a replied write is a durable write. Ordering fences inside the
 // publication protocols are untouched, so a crash mid-batch loses only
 // unacknowledged operations, never produces torn ones.
+//
+// Replication (§8): the batch is also the replication unit. The worker
+// appends each batch's write ops to a durable per-shard replication log
+// (repl::ReplLog) inside the same group commit — the batch Psync seals the
+// log record, the store mutations and the client replies together — and
+// then streams the sealed record to subscribed replicas. A *follower*
+// shard runs the same worker but applies shipped batches (Op::kApply) in
+// sequence order, mirrors the primary's log, serves reads, and rejects
+// client writes with -READONLY until Op::kPromote flips it writable after
+// an I1–I7 audit.
 #ifndef JNVM_SRC_SERVER_SHARD_H_
 #define JNVM_SRC_SERVER_SHARD_H_
 
@@ -29,12 +39,14 @@
 
 #include "src/core/runtime.h"
 #include "src/nvm/pmem_device.h"
+#include "src/repl/frame.h"
+#include "src/repl/repl_log.h"
 #include "src/store/kvstore.h"
 
 namespace jnvm::server {
 
 // FNV-1a 64-bit — the request router's key hash. Shared with tests and the
-// crashcheck "server" workload so all three agree on placement.
+// crashcheck "server"/"repl" workloads so all agree on placement.
 inline uint64_t KeyHash(std::string_view key) {
   uint64_t h = 0xcbf29ce484222325ull;
   for (const unsigned char c : key) {
@@ -66,37 +78,108 @@ struct ShardOptions {
   // Optane latencies unchanged) — models fence-expensive platforms (ADR
   // write-pending-queue drains) where batching is the headline win.
   uint32_t fence_ns = 0;
+
+  // ---- Replication (DESIGN.md §8) ----------------------------------------
+  // Keep a durable replication log ("server.repl" in the root map). Off
+  // only for ablation — without it the shard can neither feed replicas nor
+  // run as a follower.
+  bool repl_log = true;
+  uint32_t repl_segment_bytes = 64 << 10;
+  uint32_t repl_max_segments = 8;
+  // Follower mode: client writes are rejected with -READONLY; state changes
+  // arrive as kApply batches shipped from the primary.
+  bool follower = false;
 };
 
 // One client request, routed to the shard owning the key.
 struct Request {
-  enum class Op : uint8_t { kGet, kSet, kDel, kHset, kTouch };
+  enum class Op : uint8_t {
+    kGet,
+    kSet,
+    kDel,
+    kHset,
+    kTouch,
+    // Replication plane. kApply is submitted by the local ReplClient and
+    // batches like a write; the rest are control ops and run as singleton
+    // batches on the worker.
+    kApply,        // value = record frame {seq | batch frame}
+    kReplSync,     // repl_seq = from-seq; converts the conn to a stream
+    kReplSnap,     // full-store snapshot frame reply
+    kSnapInstall,  // value = snapshot frame; waiter signalled post-Psync
+    kPromote,      // audit + flip follower → primary (multi joins shards)
+  };
   Op op = Op::kGet;
   std::string key;
-  std::string value;   // kSet / kHset payload
+  std::string value;   // kSet / kHset payload; kApply / kSnapInstall frame
   uint32_t field = 0;  // kHset field index
+  uint64_t repl_seq = 0;  // kReplSync from-seq
 
-  // Completion routing (opaque to the shard).
+  // Completion routing (opaque to the shard). conn_id == 0 → internal
+  // request, no completion is emitted.
   uint64_t conn_id = 0;
   uint64_t seq = 0;
 
-  // Non-null for one part of a multi-key operation (MSET): the last part to
-  // complete — counted *after* its shard's Psync — emits the one reply.
+  // Non-null for one part of a multi-shard operation (MSET, PROMOTE): the
+  // last part to complete — counted *after* its shard's Psync — emits the
+  // one reply.
   std::shared_ptr<struct MultiOp> multi;
+  // Non-null for kSnapInstall: signalled after the install's Psync.
+  std::shared_ptr<struct ReplWaiter> waiter;
 };
 
 struct MultiOp {
   std::atomic<uint32_t> remaining{0};
   uint64_t conn_id = 0;
   uint64_t seq = 0;
+  // Failure funnel: any part may record an error; the joined reply turns
+  // into that error instead of +OK.
+  std::atomic<uint32_t> failures{0};
+  std::mutex err_mu;
+  std::string error;  // first failure's message (RESP code included)
+
+  void Fail(const std::string& msg) {
+    failures.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lk(err_mu);
+    if (error.empty()) {
+      error = msg;
+    }
+  }
+};
+
+// Blocking rendezvous for internal control requests (snapshot install).
+struct ReplWaiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool ok = false;
+  std::string error;
+
+  void Signal(bool success, std::string msg) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+      ok = success;
+      error = std::move(msg);
+    }
+    cv.notify_all();
+  }
+  bool Wait() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done; });
+    return ok;
+  }
 };
 
 // A finished request: the pre-rendered RESP reply plus its routing tag. By
-// delivery time the operation's effects are durable.
+// delivery time the operation's effects are durable. `stream` marks
+// replication-stream frames: they bypass the per-connection reorder buffer
+// (a REPLSYNC connection has no further pending commands) and are appended
+// to the socket in arrival order.
 struct Completion {
   uint64_t conn_id = 0;
   uint64_t seq = 0;
   std::string reply;
+  bool stream = false;
 };
 
 // Where shards hand finished requests. The server implementation pushes to
@@ -119,6 +202,21 @@ struct ShardReport {
   std::string image_path;
 };
 
+// Replication counters (STATS). sealed == last log record made durable by a
+// batch Psync; on a follower that is also the last *applied* batch — the
+// apply and the local log append share the durability point.
+struct ReplStats {
+  bool enabled = false;
+  bool follower = false;
+  bool needs_snapshot = false;
+  uint64_t start_seq = 0;    // oldest retained record
+  uint64_t sealed_seq = 0;   // last sealed (0 = none)
+  uint64_t applied_batches = 0;  // kApply batches executed (follower role)
+  uint64_t log_bytes = 0;
+  uint64_t log_segments = 0;
+  uint64_t subscribers = 0;
+};
+
 struct ShardStats {
   uint64_t queue_depth = 0;
   uint64_t batches = 0;
@@ -128,12 +226,17 @@ struct ShardStats {
   store::OpStats ops;
   store::CacheStats cache;
   nvm::DeviceStats device;
+  ReplStats repl;
 };
 
 class Shard {
  public:
   // Creates shard `index`: recovers from its image file when one exists
-  // (restart path — runs core recovery), else formats a fresh device.
+  // (restart path — runs core recovery), else formats a fresh device. When
+  // the replication log is enabled and holds records, the last record is
+  // re-applied to the store (redo tail): a crash between the log append and
+  // the store's final flush recovers to the sealed-batch boundary with the
+  // log and the store in agreement.
   static std::unique_ptr<Shard> Open(const ShardOptions& opts, uint32_t index,
                                      CompletionSink* sink);
   ~Shard();
@@ -145,9 +248,22 @@ class Shard {
     return rt_->recovery_report();
   }
 
+  bool follower() const { return follower_.load(std::memory_order_acquire); }
+  // Next record the shard's log expects — the REPLSYNC from-seq a replica
+  // resumes with after a restart.
+  uint64_t repl_next_seq() const {
+    return sealed_seq_.load(std::memory_order_acquire) + 1;
+  }
+  bool repl_needs_snapshot() const {
+    return repl_needs_snapshot_.load(std::memory_order_acquire);
+  }
+
   // Blocking bounded push (backpressure). False once the shard is stopping —
   // the caller replies -ERR instead of enqueueing into a draining shard.
   bool Submit(Request&& req);
+
+  // Drops a replication-stream subscription (connection closed).
+  void Unsubscribe(uint64_t conn_id);
 
   // Thread-safe counters snapshot (STATS command; no queue round-trip).
   ShardStats Stats() const;
@@ -164,10 +280,20 @@ class Shard {
   Shard() = default;
 
   void WorkerLoop();
-  // Executes one request against the KvStore; appends the RESP reply.
-  // Returns true when the op wrote persistent state.
-  bool Execute(const Request& req, std::string* reply);
+  // Executes one request against the KvStore; appends the RESP reply and
+  // collects the batch's replicated ops. Returns true when the op wrote
+  // persistent state.
+  bool Execute(const Request& req, std::string* reply,
+               std::vector<repl::ReplOp>* rops);
+  bool ExecuteApply(const Request& req);
+  void ExecuteReplSync(const Request& req, std::string* reply);
+  void ExecuteReplSnap(std::string* reply);
+  bool ExecuteSnapInstall(const Request& req, std::string* error);
+  void ExecutePromote(const Request& req, std::string* reply);
   void DeliverBatch(std::vector<Request>& batch, std::vector<std::string>& replies);
+  void StreamToSubscribers(uint64_t first_seq, uint64_t last_seq);
+  void RedoLogTail();
+  void PublishReplStats();
 
   uint32_t index_ = 0;
   ShardOptions opts_;
@@ -178,6 +304,18 @@ class Shard {
   std::unique_ptr<core::JnvmRuntime> rt_;
   std::unique_ptr<store::Backend> backend_;
   std::unique_ptr<store::KvStore> kv_;
+  std::unique_ptr<repl::ReplLog> log_;  // worker-thread only after Open()
+
+  std::atomic<bool> follower_{false};
+  std::atomic<uint64_t> sealed_seq_{0};   // last sealed record (0 = none)
+  std::atomic<uint64_t> repl_start_seq_{0};
+  std::atomic<uint64_t> repl_bytes_{0};
+  std::atomic<uint64_t> repl_segments_{0};
+  std::atomic<uint64_t> applied_batches_{0};
+  std::atomic<bool> repl_needs_snapshot_{false};
+
+  mutable std::mutex subs_mu_;
+  std::vector<uint64_t> subs_;  // subscribed stream connection ids
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

@@ -17,6 +17,7 @@
 #define JNVM_SRC_STORE_BACKEND_H_
 
 #include <atomic>
+#include <functional>
 #include <string>
 
 #include "src/store/record.h"
@@ -93,6 +94,15 @@ class Backend {
       return false;
     }
     return true;
+  }
+
+  // Replication bootstrap (REPLSNAP): materializes every record through
+  // `fn`. Returns false for backends without full-iteration support. Not
+  // counted in OpStats — snapshot transfer is not client traffic.
+  virtual bool SnapshotRecords(
+      const std::function<void(const std::string&, const Record&)>& fn) {
+    (void)fn;
+    return false;
   }
 
   OpStats stats() const {

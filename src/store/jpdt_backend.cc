@@ -57,6 +57,14 @@ bool JpdtBackend::DoDelete(const std::string& key) {
 
 size_t JpdtBackend::Size() { return map_->Size(); }
 
+bool JpdtBackend::SnapshotRecords(
+    const std::function<void(const std::string&, const Record&)>& fn) {
+  map_->ForEach([&](const std::string& key, core::Handle<core::PObject> v) {
+    fn(key, std::static_pointer_cast<PRecord>(v)->ToRecord());
+  });
+  return true;
+}
+
 bool JpdtBackend::DoTouch(const std::string& key) {
   const auto rec = map_->GetAs<PRecord>(key);
   if (rec == nullptr) {

@@ -19,6 +19,8 @@ class JpdtBackend final : public Backend {
 
   std::string name() const override { return "J-PDT"; }
   size_t Size() override;
+  bool SnapshotRecords(
+      const std::function<void(const std::string&, const Record&)>& fn) override;
 
   pdt::PStringHashMap& map() { return *map_; }
 

@@ -66,6 +66,16 @@ bool JpfaBackend::DoDelete(const std::string& key) {
 
 size_t JpfaBackend::Size() { return map_->Size(); }
 
+bool JpfaBackend::SnapshotRecords(
+    const std::function<void(const std::string&, const Record&)>& fn) {
+  std::lock_guard<std::mutex> lk(op_mu_);
+  core::FaBlock fa(*rt_);  // reads of in-flight copies stay consistent
+  map_->ForEach([&](const std::string& key, core::Handle<core::PObject> v) {
+    fn(key, std::static_pointer_cast<PRecord>(v)->ToRecord());
+  });
+  return true;
+}
+
 bool JpfaBackend::DoTouch(const std::string& key) {
   std::lock_guard<std::mutex> lk(op_mu_);
   core::FaBlock fa(*rt_);

@@ -21,6 +21,8 @@ class JpfaBackend final : public Backend {
 
   std::string name() const override { return "J-PFA"; }
   size_t Size() override;
+  bool SnapshotRecords(
+      const std::function<void(const std::string&, const Record&)>& fn) override;
 
   pdt::PStringHashMap& map() { return *map_; }
 

@@ -173,6 +173,33 @@ bool KvStore::Delete(const std::string& key) {
   return ok;
 }
 
+void KvStore::ApplyPut(const std::string& key, const Record& r) {
+  backend_->Put(key, r);
+  if (cache_enabled()) {
+    std::lock_guard<std::mutex> clk(cache_mu_);
+    CacheEraseLocked(key);
+  }
+}
+
+bool KvStore::ApplyUpdate(const std::string& key, size_t field,
+                          const std::string& value) {
+  const bool ok = backend_->UpdateField(key, field, value);
+  if (cache_enabled()) {
+    std::lock_guard<std::mutex> clk(cache_mu_);
+    CacheEraseLocked(key);
+  }
+  return ok;
+}
+
+bool KvStore::ApplyDelete(const std::string& key) {
+  const bool ok = backend_->Delete(key);
+  if (cache_enabled()) {
+    std::lock_guard<std::mutex> clk(cache_mu_);
+    CacheEraseLocked(key);
+  }
+  return ok;
+}
+
 bool KvStore::ReadModifyWrite(const std::string& key, size_t field,
                               const std::string& value) {
   Record r;

@@ -1,0 +1,577 @@
+// Tests for the replication subsystem (src/repl + the server's replication
+// plane): wire-frame codecs, the durable per-shard replication log
+// (append/read, ring rollover, torn-tail recovery, snapshot-install
+// markers), follower write rejection, and in-process primary→replica
+// end-to-end flows — live sync, snapshot bootstrap, replica restart resync,
+// and promotion after the primary dies.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/runtime.h"
+#include "src/nvm/pmem_device.h"
+#include "src/pdt/register_all.h"
+#include "src/repl/frame.h"
+#include "src/repl/repl_log.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/shard.h"
+
+namespace jnvm::repl {
+namespace {
+
+void RegisterClasses() {
+  pdt::RegisterStandardClasses();
+  ReplLogRoot::Class();
+  ReplLogSegment::Class();
+}
+
+// ---- Wire frames ------------------------------------------------------------
+
+std::string Binary(size_t n, uint8_t seed) {
+  std::string s;
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>((seed + i * 7) & 0xff));  // \r \n \0 included
+  }
+  return s;
+}
+
+TEST(ReplFrame, BatchRoundtripAllKindsBinarySafe) {
+  std::vector<ReplOp> ops(3);
+  ops[0].kind = ReplOp::Kind::kPut;
+  ops[0].key = Binary(17, 3);
+  ops[0].record.fields = {Binary(100, 9), "", Binary(1, 0)};
+  ops[1].kind = ReplOp::Kind::kDel;
+  ops[1].key = Binary(1, 13);
+  ops[2].kind = ReplOp::Kind::kUpdate;
+  ops[2].key = "plain";
+  ops[2].field = 7;
+  ops[2].value = Binary(64, 200);
+
+  std::string frame;
+  EncodeBatch(ops, &frame);
+  std::vector<ReplOp> got;
+  ASSERT_TRUE(DecodeBatch(frame, &got));
+  EXPECT_EQ(got, ops);
+}
+
+TEST(ReplFrame, EmptyBatchRoundtrips) {
+  std::string frame;
+  EncodeBatch({}, &frame);
+  std::vector<ReplOp> got;
+  ASSERT_TRUE(DecodeBatch(frame, &got));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(ReplFrame, TruncatedBatchRejectedAtEveryCut) {
+  std::vector<ReplOp> ops(1);
+  ops[0].key = "k";
+  ops[0].record.fields = {"value-bytes"};
+  std::string frame;
+  EncodeBatch(ops, &frame);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<ReplOp> got;
+    EXPECT_FALSE(DecodeBatch(std::string_view(frame).substr(0, cut), &got))
+        << "cut at " << cut;
+  }
+}
+
+TEST(ReplFrame, RecordRoundtripAndShortInputRejected) {
+  const std::string batch = Binary(33, 77);
+  std::string frame;
+  EncodeRecord(42, batch, &frame);
+  uint64_t seq = 0;
+  std::string_view body;
+  ASSERT_TRUE(DecodeRecord(frame, &seq, &body));
+  EXPECT_EQ(seq, 42u);
+  EXPECT_EQ(body, batch);
+  EXPECT_FALSE(DecodeRecord(std::string_view(frame).substr(0, 7), &seq, &body));
+}
+
+TEST(ReplFrame, SnapshotRoundtrip) {
+  std::vector<SnapshotEntry> entries(2);
+  entries[0].key = Binary(9, 1);
+  entries[0].record.fields = {Binary(40, 5), Binary(3, 8)};
+  entries[1].key = "k2";
+  entries[1].record.fields = {"v"};
+  std::string frame;
+  EncodeSnapshot(1234, entries, &frame);
+  uint64_t snap_seq = 0;
+  std::vector<SnapshotEntry> got;
+  ASSERT_TRUE(DecodeSnapshot(frame, &snap_seq, &got));
+  EXPECT_EQ(snap_seq, 1234u);
+  EXPECT_EQ(got, entries);
+  EXPECT_FALSE(DecodeSnapshot(std::string_view(frame).substr(0, frame.size() - 1),
+                              &snap_seq, &got));
+}
+
+// ---- Replication log --------------------------------------------------------
+
+struct LogFixture {
+  explicit LogFixture(bool strict = false) {
+    RegisterClasses();
+    nvm::DeviceOptions o;
+    o.size_bytes = 32 << 20;
+    o.strict = strict;
+    dev = std::make_unique<nvm::PmemDevice>(o);
+    rt = core::JnvmRuntime::Format(dev.get());
+  }
+  void Reopen() {
+    rt.reset();
+    rt = core::JnvmRuntime::Open(dev.get());
+  }
+  std::unique_ptr<nvm::PmemDevice> dev;
+  std::unique_ptr<core::JnvmRuntime> rt;
+};
+
+ReplLogOptions TinyLog() {
+  ReplLogOptions o;
+  o.segment_bytes = 256;
+  o.max_segments = 3;
+  return o;
+}
+
+std::string Payload(uint64_t seq) {
+  return "payload-" + std::to_string(seq) + "-" + Binary(16, static_cast<uint8_t>(seq));
+}
+
+TEST(ReplLog, AppendReadRoundtrip) {
+  LogFixture f;
+  auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", ReplLogOptions{});
+  EXPECT_TRUE(log->empty());
+  EXPECT_EQ(log->next_seq(), 1u);
+  for (uint64_t s = 1; s <= 20; ++s) {
+    log->Append(s, Payload(s));
+  }
+  f.rt->Psync();
+  EXPECT_EQ(log->next_seq(), 21u);
+  EXPECT_EQ(log->start_seq(), 1u);
+  for (uint64_t s = 1; s <= 20; ++s) {
+    std::string got;
+    ASSERT_TRUE(log->Read(s, &got)) << s;
+    EXPECT_EQ(got, Payload(s));
+  }
+  std::string got;
+  EXPECT_FALSE(log->Read(0, &got));
+  EXPECT_FALSE(log->Read(21, &got));
+}
+
+TEST(ReplLog, RolloverTruncatesOldestAndBoundsSegments) {
+  LogFixture f;
+  auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", TinyLog());
+  const uint64_t kN = 60;  // ~40 B payloads over 256 B segments → many rolls
+  for (uint64_t s = 1; s <= kN; ++s) {
+    log->Append(s, Payload(s));
+    f.rt->Psync();
+    f.rt->DrainGroupFrees();
+  }
+  EXPECT_LE(log->segments(), 3u);
+  EXPECT_GT(log->start_seq(), 1u);  // retention kicked in
+  EXPECT_EQ(log->next_seq(), kN + 1);
+  std::string got;
+  EXPECT_FALSE(log->Read(log->start_seq() - 1, &got));  // truncated away
+  for (uint64_t s = log->start_seq(); s <= kN; ++s) {
+    ASSERT_TRUE(log->Read(s, &got)) << s;
+    EXPECT_EQ(got, Payload(s));
+  }
+}
+
+TEST(ReplLog, OversizedRecordGetsDedicatedSegment) {
+  LogFixture f;
+  auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", TinyLog());
+  const std::string big = Binary(1000, 42);  // > segment_bytes
+  log->Append(1, big);
+  f.rt->Psync();
+  std::string got;
+  ASSERT_TRUE(log->Read(1, &got));
+  EXPECT_EQ(got, big);
+}
+
+TEST(ReplLog, ReopenRecoversSealedRecords) {
+  LogFixture f;
+  {
+    auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", TinyLog());
+    for (uint64_t s = 1; s <= 30; ++s) {
+      log->Append(s, Payload(s));
+      f.rt->Psync();
+      f.rt->DrainGroupFrees();
+    }
+  }
+  f.rt->Psync();
+  f.Reopen();
+  auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", TinyLog());
+  EXPECT_FALSE(log->needs_snapshot());
+  EXPECT_EQ(log->next_seq(), 31u);
+  std::string got;
+  for (uint64_t s = log->start_seq(); s <= 30; ++s) {
+    ASSERT_TRUE(log->Read(s, &got)) << s;
+    EXPECT_EQ(got, Payload(s));
+  }
+}
+
+TEST(ReplLog, TornTailNeverResurrectsUnsealedRecord) {
+  // Seal records 1..3 with Psyncs, append record 4 WITHOUT a Psync, crash.
+  // Under every eviction seed, recovery must retain 1..3 byte-identical and
+  // report next_seq ∈ {4, 5}: 4 when the tail tore, 5 only if every line of
+  // record 4 happened to survive — in which case it must read back intact.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    LogFixture f(/*strict=*/true);
+    {
+      auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", ReplLogOptions{});
+      for (uint64_t s = 1; s <= 3; ++s) {
+        log->Append(s, Payload(s));
+        f.rt->Psync();
+      }
+      log->Append(4, Payload(4));  // unsealed: no Psync
+      f.rt->Abandon();
+    }
+    f.rt.reset();
+    f.dev->Crash(seed * 0x9e3779b97f4a7c15ull);
+    f.rt = core::JnvmRuntime::Open(f.dev.get());
+    auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", ReplLogOptions{});
+    EXPECT_FALSE(log->needs_snapshot()) << "seed " << seed;
+    ASSERT_GE(log->next_seq(), 4u) << "seed " << seed;
+    ASSERT_LE(log->next_seq(), 5u) << "seed " << seed;
+    std::string got;
+    for (uint64_t s = 1; s < log->next_seq(); ++s) {
+      ASSERT_TRUE(log->Read(s, &got)) << "seed " << seed << " seq " << s;
+      EXPECT_EQ(got, Payload(s)) << "seed " << seed << " seq " << s;
+    }
+    // Appending after tail-zeroing must work and survive a reopen.
+    log->Append(log->next_seq(), Payload(99));
+    f.rt->Psync();
+  }
+}
+
+TEST(ReplLog, InterruptedSnapshotInstallReportsNeedsSnapshot) {
+  LogFixture f;
+  {
+    auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", ReplLogOptions{});
+    log->Append(1, Payload(1));
+    f.rt->Psync();
+    log->BeginInstall();  // crash window opens here
+    f.rt->Psync();
+  }
+  f.Reopen();
+  {
+    auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", ReplLogOptions{});
+    EXPECT_TRUE(log->needs_snapshot());
+    log->FinishInstall(41);  // re-bootstrap completed at snap_seq 40
+    f.rt->Psync();
+    EXPECT_FALSE(log->needs_snapshot());
+    EXPECT_EQ(log->next_seq(), 41u);
+    EXPECT_TRUE(log->empty());
+  }
+  f.Reopen();
+  auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", ReplLogOptions{});
+  EXPECT_FALSE(log->needs_snapshot());
+  EXPECT_EQ(log->next_seq(), 41u);
+}
+
+}  // namespace
+}  // namespace jnvm::repl
+
+// ---- Follower shard and primary→replica e2e ---------------------------------
+
+namespace jnvm::server {
+namespace {
+
+class CollectSink : public CompletionSink {
+ public:
+  void OnCompletion(Completion&& c) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    got_.push_back(std::move(c));
+  }
+  std::vector<Completion> take() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return std::move(got_);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Completion> got_;
+};
+
+ShardOptions SmallShard() {
+  ShardOptions o;
+  o.device_bytes = 32ull << 20;
+  o.map_capacity = 1 << 10;
+  o.batch = 8;
+  return o;
+}
+
+TEST(FollowerShard, RejectsClientWritesServesReads) {
+  CollectSink sink;
+  ShardOptions o = SmallShard();
+  o.follower = true;
+  auto shard = Shard::Open(o, 0, &sink);
+  ASSERT_TRUE(shard->follower());
+
+  auto submit = [&](Request::Op op, const std::string& key, uint64_t seq) {
+    Request r;
+    r.op = op;
+    r.key = key;
+    r.value = "v";
+    r.conn_id = 1;
+    r.seq = seq;
+    ASSERT_TRUE(shard->Submit(std::move(r)));
+  };
+  submit(Request::Op::kSet, "k", 1);
+  submit(Request::Op::kDel, "k", 2);
+  submit(Request::Op::kHset, "k", 3);
+  submit(Request::Op::kGet, "missing", 4);
+  const ShardReport rep = shard->Quiesce();
+  EXPECT_TRUE(rep.integrity_ok);
+
+  auto got = sink.take();
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i].reply.rfind("-READONLY", 0), 0u) << got[i].reply;
+  }
+  EXPECT_EQ(got[3].reply, "$-1\r\n");  // reads still served
+}
+
+class ReplE2E : public ::testing::Test {
+ protected:
+  ServerOptions PrimaryOpts() {
+    ServerOptions o;
+    o.nshards = 2;
+    o.shard = SmallShard();
+    return o;
+  }
+  ServerOptions ReplicaOpts(uint16_t primary_port) {
+    ServerOptions o = PrimaryOpts();
+    o.replica_of = "127.0.0.1:" + std::to_string(primary_port);
+    return o;
+  }
+
+  // Polls the replica until every expected key reads back with its expected
+  // value (replication is asynchronous; acked-on-primary ⇒ eventually
+  // visible on the replica).
+  static bool WaitForKeys(Client& c, int n, int timeout_ms = 10000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    int next = 0;  // verified prefix — only re-check the first missing key
+    while (std::chrono::steady_clock::now() < deadline) {
+      while (next < n &&
+             c.Get(Key(next)).value_or("") == "val:" + std::to_string(next)) {
+        ++next;
+      }
+      if (next == n) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+  static std::string Key(int i) { return "rk:" + std::to_string(i); }
+};
+
+TEST_F(ReplE2E, LiveSyncPromoteAfterPrimaryDeath) {
+  std::string err;
+  auto primary = Server::Start(PrimaryOpts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  const int kN = 200;
+  for (int i = 0; i < kN / 2; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+  }
+
+  // Replica joins mid-stream; earlier records are still retained in the
+  // primary's (default-sized) logs, so it catches up without a snapshot.
+  auto replica = Server::Start(ReplicaOpts(primary->port()), &err);
+  ASSERT_NE(replica, nullptr) << err;
+  for (int i = kN / 2; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+  }
+
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  ASSERT_TRUE(WaitForKeys(*rc, kN));
+
+  // Writes are rejected while following.
+  RespReply r;
+  ASSERT_TRUE(rc->Roundtrip({"SET", "nope", "x"}, &r));
+  ASSERT_EQ(r.type, RespReply::Type::kError);
+  EXPECT_EQ(r.str.rfind("READONLY", 0), 0u) << r.str;
+
+  // STATS shows the replica role and the pull-client counters.
+  const auto stats = rc->Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("role=replica"), std::string::npos);
+  EXPECT_NE(stats->find("replclient:"), std::string::npos);
+
+  // Primary dies; promote the replica and it becomes writable.
+  primary->RequestShutdown();
+  primary->Wait();
+  ASSERT_TRUE(primary->shutdown_report().ok);
+
+  ASSERT_TRUE(rc->Roundtrip({"PROMOTE"}, &r));
+  ASSERT_EQ(r.type, RespReply::Type::kSimple) << r.str;
+  EXPECT_EQ(r.str, "OK");
+
+  // Every key acked by the dead primary survives, and writes now succeed.
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(rc->Get(Key(i)).value_or("<missing>"), "val:" + std::to_string(i));
+  }
+  ASSERT_TRUE(rc->Set("after-promote", "yes"));
+  EXPECT_EQ(rc->Get("after-promote").value_or("?"), "yes");
+
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  EXPECT_TRUE(replica->shutdown_report().ok);  // audit clean on ex-follower
+}
+
+TEST_F(ReplE2E, SnapshotBootstrapWhenLogTruncated) {
+  // Tiny primary logs: by the time the replica joins, record 1 is long
+  // truncated and REPLSYNC from 1 must fail over to a REPLSNAP bootstrap.
+  ServerOptions popts = PrimaryOpts();
+  popts.shard.repl_segment_bytes = 512;
+  popts.shard.repl_max_segments = 2;
+  std::string err;
+  auto primary = Server::Start(popts, &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  const int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+  }
+
+  auto replica = Server::Start(ReplicaOpts(primary->port()), &err);
+  ASSERT_NE(replica, nullptr) << err;
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  ASSERT_TRUE(WaitForKeys(*rc, kN));
+
+  ASSERT_NE(replica->repl_client(), nullptr);
+  EXPECT_GE(replica->repl_client()->Stats().snapshots_installed, 1u);
+
+  // The stream keeps flowing after the bootstrap.
+  ASSERT_TRUE(pc->Set("post-snap", "1"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!rc->Get("post-snap").has_value() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(rc->Get("post-snap").value_or("?"), "1");
+
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
+TEST_F(ReplE2E, ReplicaRestartResumesFromSealedSeq) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("jnvm_repl_restart_" + std::to_string(::getpid())))
+          .string();
+  std::string err;
+  auto primary = Server::Start(PrimaryOpts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  ServerOptions ropts = ReplicaOpts(primary->port());
+  ropts.shard.image_base = base;
+
+  const int kHalf = 100;
+  {
+    auto replica = Server::Start(ropts, &err);
+    ASSERT_NE(replica, nullptr) << err;
+    for (int i = 0; i < kHalf; ++i) {
+      ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+    }
+    auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+    ASSERT_NE(rc, nullptr) << err;
+    ASSERT_TRUE(WaitForKeys(*rc, kHalf));
+    ASSERT_TRUE(rc->Shutdown());  // saves follower images
+    replica->Wait();
+    ASSERT_TRUE(replica->shutdown_report().ok);
+  }
+
+  // More writes land while the replica is down.
+  for (int i = kHalf; i < 2 * kHalf; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+  }
+
+  {
+    auto replica = Server::Start(ropts, &err);  // recovers follower images
+    ASSERT_NE(replica, nullptr) << err;
+    EXPECT_TRUE(replica->AnyShardRecovered());
+    auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+    ASSERT_NE(rc, nullptr) << err;
+    ASSERT_TRUE(WaitForKeys(*rc, 2 * kHalf));
+    // Catch-up came from the retained stream, not a snapshot: the replica
+    // resumed REPLSYNC from its recovered sealed seq.
+    ASSERT_NE(replica->repl_client(), nullptr);
+    EXPECT_EQ(replica->repl_client()->Stats().snapshots_installed, 0u);
+    ASSERT_TRUE(rc->Shutdown());
+    replica->Wait();
+    ASSERT_TRUE(replica->shutdown_report().ok);
+  }
+
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+  for (uint32_t i = 0; i < ropts.nshards; ++i) {
+    std::filesystem::remove(base + ".shard" + std::to_string(i) + ".img");
+  }
+}
+
+TEST(ReplCommands, ArgumentValidation) {
+  ServerOptions o;
+  o.nshards = 2;
+  o.shard = SmallShard();
+  std::string err;
+  auto server = Server::Start(o, &err);
+  ASSERT_NE(server, nullptr) << err;
+  auto c = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(c, nullptr) << err;
+
+  const std::vector<std::vector<std::string>> bad = {
+      {"REPLSYNC"},                 // missing args
+      {"REPLSYNC", "0"},            // missing from-seq
+      {"REPLSYNC", "9", "1"},       // shard out of range
+      {"REPLSYNC", "x", "1"},       // non-numeric shard
+      {"REPLSYNC", "0", "0"},       // from-seq must be ≥ 1
+      {"REPLSYNC", "0", "abc"},     // non-numeric from-seq
+      {"REPLSNAP"},                 // missing shard
+      {"REPLSNAP", "2"},            // shard out of range
+      {"PROMOTE", "extra"},         // PROMOTE takes no args
+  };
+  for (const auto& args : bad) {
+    RespReply r;
+    ASSERT_TRUE(c->Roundtrip(args, &r)) << args[0];
+    EXPECT_EQ(r.type, RespReply::Type::kError) << args[0];
+  }
+
+  // PROMOTE on a primary is a no-op audit: already writable.
+  RespReply r;
+  ASSERT_TRUE(c->Roundtrip({"PROMOTE"}, &r));
+  EXPECT_EQ(r.type, RespReply::Type::kSimple) << r.str;
+
+  // A valid REPLSNAP round-trips a decodable snapshot frame.
+  ASSERT_TRUE(c->Set("snapkey", "snapval"));
+  ASSERT_TRUE(c->Roundtrip({"REPLSNAP", "0"}, &r));
+  ASSERT_EQ(r.type, RespReply::Type::kBulk) << r.str;
+  uint64_t snap_seq = 0;
+  std::vector<repl::SnapshotEntry> entries;
+  EXPECT_TRUE(repl::DecodeSnapshot(r.str, &snap_seq, &entries));
+
+  ASSERT_TRUE(c->Shutdown());
+  server->Wait();
+}
+
+}  // namespace
+}  // namespace jnvm::server

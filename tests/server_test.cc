@@ -219,6 +219,7 @@ TEST(Shard, BatchedWritesElideFencesAndAudit) {
     r.op = Request::Op::kSet;
     r.key = "k" + std::to_string(i);
     r.value = "v" + std::to_string(i);
+    r.conn_id = 1;  // conn_id 0 marks internal requests: no completion
     r.seq = static_cast<uint64_t>(i);
     ASSERT_TRUE(shard->Submit(std::move(r)));
   }
@@ -424,6 +425,149 @@ TEST_P(ServerE2E, ConcurrentClientsThenRestartRecoversEverything) {
   for (uint32_t i = 0; i < opts.nshards; ++i) {
     std::filesystem::remove(base + ".shard" + std::to_string(i) + ".img");
   }
+}
+
+// ---- Wire-level protocol robustness ----------------------------------------
+// The parser unit tests above prove the state machine; these drive the same
+// inputs through a real socket against both pollers: the server must reply
+// -ERR, close only the offending connection, and stay healthy.
+
+// Minimal raw TCP helper (the Client class refuses to send malformed bytes).
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  bool ok() const { return fd_ >= 0; }
+  bool Send(const std::string& bytes) {
+    return ::write(fd_, bytes.data(), bytes.size()) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+  // Reads until the peer closes (or `stop_at` bytes arrived, if non-zero).
+  std::string ReadUntilClose(size_t stop_at = 0) {
+    std::string got;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        break;
+      }
+      got.append(buf, static_cast<size_t>(n));
+      if (stop_at != 0 && got.size() >= stop_at) {
+        break;
+      }
+    }
+    return got;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_P(ServerE2E, MalformedWireFramesGetErrorAndClose) {
+  struct Case {
+    const char* name;
+    std::string wire;
+  };
+  const std::vector<Case> cases = {
+      {"inline-command", "GET key\r\n"},
+      {"empty-array", "*0\r\n"},
+      {"negative-array", "*-1\r\n"},
+      {"missing-bulk-header", "*2\r\nGET\r\n"},
+      {"negative-bulk-len", "*1\r\n$-1\r\n"},
+      {"leading-zero-len", "*1\r\n$04\r\nabcd\r\n"},
+      {"body-overruns-len", "*1\r\n$3\r\nabcdef\r\n"},
+      {"bad-bulk-terminator", "*1\r\n$3\r\nabcXY"},
+      {"oversized-bulk", "*1\r\n$999999999\r\n"},
+      {"oversized-arity", "*99999\r\n"},
+      {"junk-after-arity", "*2x\r\n"},
+  };
+  std::string err;
+  auto server = Server::Start(Opts(), &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  for (const Case& c : cases) {
+    RawConn raw(server->port());
+    ASSERT_TRUE(raw.ok()) << c.name;
+    ASSERT_TRUE(raw.Send(c.wire)) << c.name;
+    const std::string got = raw.ReadUntilClose();
+    EXPECT_EQ(got.rfind("-ERR", 0), 0u) << c.name << ": " << got;
+  }
+
+  // After every abuse the server still serves well-formed traffic.
+  auto good = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(good, nullptr) << err;
+  ASSERT_TRUE(good->Set("still", "alive"));
+  EXPECT_EQ(good->Get("still").value_or("?"), "alive");
+  EXPECT_TRUE(good->Shutdown());
+  server->Wait();
+}
+
+TEST_P(ServerE2E, TruncatedFrameThenDisconnectLeavesServerHealthy) {
+  // A client that sends half a frame and vanishes must not wedge the loop
+  // or leak the partial parse into another connection.
+  const std::vector<std::string> partials = {
+      "*2\r\n",                    // array header only
+      "*2\r\n$3\r\nGET\r\n$10\r\n",  // waiting for bulk body
+      "*2\r\n$3\r\nGE",            // mid-bulk-body
+      "*",                         // single byte
+  };
+  std::string err;
+  auto server = Server::Start(Opts(), &err);
+  ASSERT_NE(server, nullptr) << err;
+  for (const std::string& w : partials) {
+    RawConn raw(server->port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw.Send(w));
+  }  // destructor closes mid-frame
+  auto good = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(good, nullptr) << err;
+  EXPECT_TRUE(good->Ping());
+  EXPECT_TRUE(good->Shutdown());
+  server->Wait();
+}
+
+TEST_P(ServerE2E, PipelinedCommandsSplitAcrossTinyWrites) {
+  // A pipeline of SET/GET pairs dribbled onto the socket in 7-byte writes:
+  // the parser state must survive arbitrary read boundaries end-to-end and
+  // replies must come back complete and in order.
+  std::string err;
+  auto server = Server::Start(Opts(), &err);
+  ASSERT_NE(server, nullptr) << err;
+  RawConn raw(server->port());
+  ASSERT_TRUE(raw.ok());
+
+  const int kN = 20;
+  std::string wire;
+  std::string expect;
+  for (int i = 0; i < kN; ++i) {
+    const std::string v = "value-" + std::to_string(i);
+    wire += Frame({"SET", "ck" + std::to_string(i), v});
+    wire += Frame({"GET", "ck" + std::to_string(i)});
+    expect += "+OK\r\n$" + std::to_string(v.size()) + "\r\n" + v + "\r\n";
+  }
+  for (size_t off = 0; off < wire.size(); off += 7) {
+    ASSERT_TRUE(raw.Send(wire.substr(off, 7)));
+  }
+  EXPECT_EQ(raw.ReadUntilClose(expect.size()), expect);
+
+  auto c = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(c, nullptr) << err;
+  EXPECT_TRUE(c->Shutdown());
+  server->Wait();
 }
 
 INSTANTIATE_TEST_SUITE_P(Pollers, ServerE2E, ::testing::Values(false, true),

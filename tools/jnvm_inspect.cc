@@ -12,6 +12,10 @@
 // FA-log slot states, audit verdict) instead of the full census — the mode
 // for scripting and for a quick glance at a fleet of shard images.
 //
+// Exit status: 0 clean, 1 usage/load error, 2 when the I1–I7 integrity
+// audit fails — CI gates on this. The image is offline (the heap is
+// quiescent by construction), so the audit always includes I7 (FA logs).
+//
 // Built-in classes (J-PDT, store, bank) are pre-registered; images holding
 // application-defined classes need those classes linked into the inspector
 // (the classpath requirement of §3.1 resurrection).
@@ -23,6 +27,7 @@
 #include "src/core/integrity.h"
 #include "src/pdt/register_all.h"
 #include "src/pfa/fa_log.h"
+#include "src/repl/repl_log.h"
 #include "src/store/jpfa_map.h"
 #include "src/store/precord.h"
 #include "src/tpcb/bank.h"
@@ -68,7 +73,8 @@ int PrintSummary(const char* path, nvm::PmemDevice* dev,
   heap::Heap& h = rt->heap();
   const auto usage = h.GetUsage();
   const pfa::LogAudit logs = pfa::AuditLogs(&h);
-  const auto report = core::VerifyHeapIntegrity(*rt);
+  const auto report =
+      core::VerifyHeapIntegrity(*rt, core::IntegrityOptions{.audit_fa_logs = true});
   const auto& rep = rt->recovery_report();
 
   std::printf("%s: %zu bytes, clean_shutdown=%s\n", path, dev->size(),
@@ -120,6 +126,8 @@ int main(int argc, char** argv) {
   store::JpfaEntry::Class();
   store::JpfaHashMap::Class();
   tpcb::PAccount::Class();
+  repl::ReplLogRoot::Class();
+  repl::ReplLogSegment::Class();
 
   auto dev = nvm::PmemDevice::LoadFrom(path);
   if (dev == nullptr) {
@@ -161,7 +169,8 @@ int main(int argc, char** argv) {
               rep.traversed_objects, rep.nullified_refs, rep.sweep.freed_blocks);
 
   std::printf("\nintegrity audit: ");
-  const auto report = core::VerifyHeapIntegrity(*rt);
+  const auto report =
+      core::VerifyHeapIntegrity(*rt, core::IntegrityOptions{.audit_fa_logs = true});
   std::printf("%s\n", report.Summary().c_str());
   std::printf("\nroot map bindings (%zu):\n", rt->root().Size());
   for (const std::string& key : rt->root().Keys()) {

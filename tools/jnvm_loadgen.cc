@@ -3,6 +3,7 @@
 //   jnvm_loadgen --port=N [--host=A] [--threads=N] [--keys=N]
 //                [--value-size=N] [--read-ratio=F] [--field-updates]
 //                [--pipeline=N] [--ops=N] [--seconds=F] [--no-preload]
+//                [--seed=N] [--readonly] [--expect-hits]
 //                [--stats] [--shutdown]
 //
 // Each thread drives its own connection: preloads its slice of the key
@@ -11,6 +12,13 @@
 // recording per-operation latency into log-bucketed histograms
 // (src/common/histogram). --seconds bounds wall-clock time (CI smoke);
 // --ops bounds per-thread operation count; whichever trips first wins.
+//
+// --seed fixes the RNG base (thread t uses seed+t) so a run is
+// reproducible; the effective seed is echoed in the summary line.
+// --readonly drives replicas: no preload, pure GETs (a follower answers
+// writes with -READONLY, which would count as an error). --expect-hits
+// additionally fails the run when any GET misses — how the replication e2e
+// asserts that every acknowledged key survived promotion.
 //
 // Exit status is non-zero on any error reply or I/O failure — the CI smoke
 // test relies on this.
@@ -45,6 +53,9 @@ struct Config {
   bool preload = true;
   bool dump_stats = false;
   bool shutdown_after = false;
+  uint64_t seed = 0x10ad;  // thread t seeds its RNG with seed + t
+  bool readonly = false;   // pure GETs, no preload (replica driving)
+  bool expect_hits = false;  // any GET miss fails the run
 };
 
 struct ThreadResult {
@@ -107,7 +118,7 @@ void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
     }
   }
 
-  jnvm::Xorshift rng(0x10adu + tid);
+  jnvm::Xorshift rng(cfg.seed + tid);
   std::vector<jnvm::server::RespReply> replies;
   std::vector<bool> is_read;
   uint64_t version = 1;
@@ -124,7 +135,7 @@ void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
     is_read.clear();
     for (uint32_t i = 0; i < n; ++i) {
       const uint64_t k = rng.NextBelow(cfg.keys);
-      const bool read = rng.NextDouble() < cfg.read_ratio;
+      const bool read = cfg.readonly || rng.NextDouble() < cfg.read_ratio;
       is_read.push_back(read);
       if (read) {
         client->PipeGet(KeyName(k));
@@ -198,6 +209,13 @@ int main(int argc, char** argv) {
       cfg.ops_per_thread = static_cast<uint64_t>(std::atoll(v));
     } else if ((v = val("--seconds")) != nullptr) {
       cfg.seconds = std::atof(v);
+    } else if ((v = val("--seed")) != nullptr) {
+      cfg.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(a, "--readonly") == 0) {
+      cfg.readonly = true;
+      cfg.preload = false;
+    } else if (std::strcmp(a, "--expect-hits") == 0) {
+      cfg.expect_hits = true;
     } else if (std::strcmp(a, "--field-updates") == 0) {
       cfg.field_updates = true;
     } else if (std::strcmp(a, "--no-preload") == 0) {
@@ -253,11 +271,16 @@ int main(int argc, char** argv) {
   }
   const uint64_t total = nreads + nwrites;
   std::printf("jnvm_loadgen: %llu ops in %.2fs = %.0f ops/s "
-              "(threads=%u pipeline=%u read_ratio=%.2f value=%uB %s)\n",
+              "(threads=%u pipeline=%u read_ratio=%.2f value=%uB %s "
+              "seed=%llu)\n",
               static_cast<unsigned long long>(total), elapsed,
               elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0,
-              cfg.threads, cfg.pipeline, cfg.read_ratio, cfg.value_size,
-              cfg.field_updates ? "hset" : "set");
+              cfg.threads, cfg.pipeline, cfg.readonly ? 1.0 : cfg.read_ratio,
+              cfg.value_size,
+              cfg.readonly        ? "readonly"
+              : cfg.field_updates ? "hset"
+                                  : "set",
+              static_cast<unsigned long long>(cfg.seed));
   std::printf("  reads : %llu (misses=%llu) %s\n",
               static_cast<unsigned long long>(nreads),
               static_cast<unsigned long long>(misses),
@@ -266,6 +289,12 @@ int main(int argc, char** argv) {
               writes.Summary().c_str());
 
   int rc = (failed.load() || errors != 0) ? 1 : 0;
+  if (cfg.expect_hits && misses != 0) {
+    std::fprintf(stderr,
+                 "jnvm_loadgen: %llu miss(es) with --expect-hits\n",
+                 static_cast<unsigned long long>(misses));
+    rc = 1;
+  }
   std::string err;
   auto ctl = jnvm::server::Client::Connect(cfg.host, cfg.port, &err);
   if (ctl != nullptr) {

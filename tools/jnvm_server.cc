@@ -3,10 +3,15 @@
 //   jnvm_server [--port=N] [--host=A] [--shards=N] [--batch=N]
 //               [--backend=jpdt|jpfa] [--device-mb=N] [--image-base=PATH]
 //               [--queue=N] [--poll] [--optane] [--fence-ns=N]
+//               [--replica-of=HOST:PORT] [--no-repl-log]
+//               [--repl-segment=BYTES] [--repl-retention=SEGS]
 //
 // With --image-base, shard images are saved on SHUTDOWN and recovered on
 // the next start — kill the server with SHUTDOWN (or SIGINT/SIGTERM),
 // restart it with the same --image-base, and the data is back.
+// With --replica-of the server runs every shard as a read-only follower
+// pulling the primary's replication stream (DESIGN.md §8); PROMOTE flips
+// it into a primary. --shards must match the primary's.
 // Exit status is 0 only when every shard quiesced with a clean integrity
 // audit (I1–I7).
 
@@ -59,6 +64,14 @@ int main(int argc, char** argv) {
       opts.shard.image_base = v;
     } else if (FlagValue(argv[i], "--queue", &v)) {
       opts.shard.queue_capacity = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--replica-of", &v)) {
+      opts.replica_of = v;
+    } else if (std::strcmp(argv[i], "--no-repl-log") == 0) {
+      opts.shard.repl_log = false;
+    } else if (FlagValue(argv[i], "--repl-segment", &v)) {
+      opts.shard.repl_segment_bytes = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--repl-retention", &v)) {
+      opts.shard.repl_max_segments = static_cast<uint32_t>(std::atoi(v));
     } else if (std::strcmp(argv[i], "--poll") == 0) {
       opts.force_poll = true;
     } else if (std::strcmp(argv[i], "--optane") == 0) {
@@ -82,9 +95,11 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnSignal);
 
   std::printf("jnvm_server: listening on %s:%u (%u shard(s), backend=%s, "
-              "batch=%u)%s\n",
+              "batch=%u%s%s)%s\n",
               opts.host.c_str(), server->port(), opts.nshards,
               opts.shard.backend.c_str(), opts.shard.batch,
+              opts.replica_of.empty() ? "" : ", replica of ",
+              opts.replica_of.c_str(),
               server->AnyShardRecovered() ? " [recovered]" : "");
   std::fflush(stdout);
 
