@@ -1287,11 +1287,224 @@ class ReplApplyWorkload final : public Workload {
   std::unique_ptr<repl::ReplLog> log_;
 };
 
+// "wait" models the WAIT-K ack contract from the follower's side. The
+// primary releases a parked batch only after a follower's apply-batch Psync
+// retires — the exact event after which the seal hook emits REPLACK. One
+// checker op is therefore one *acked unit*: apply the shipped record's ops,
+// mirror the record into the local log, one Psync (Shard::ExecuteApply).
+//
+// The oracle enforces "WAIT-acked implies replayable from the follower's
+// log": a committed (= acked to the primary) record missing from the
+// recovered log is THE violation — the primary told a client the write
+// reached the replica, so no replica crash may lose it. Concretely:
+//   * sealed (= log->next_seq()-1) must be >= committed; sealed may exceed
+//     it by exactly one when the crash interrupted an op after its append
+//     sealed but before the checker observed the fence retire,
+//   * every sealed record must byte-match the shipped frame,
+//   * redoing the tail record must land the store exactly on the state
+//     after `sealed` batches — the in-flight batch's keys may read old or
+//     new (its store writes race the crash) but never torn, and no other
+//     key may deviate.
+class WaitWorkload final : public Workload {
+ public:
+  static constexpr uint32_t kBatch = 3;
+
+  WaitWorkload(uint64_t seed, size_t n) : name_("wait") {
+    Xorshift rng(seed);
+    std::set<std::string> live;
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<ReplWorkload::Cmd> batch;
+      std::set<std::string> used;
+      for (uint32_t j = 0; j < kBatch; ++j) {
+        std::string key;
+        do {
+          key = "k" + std::to_string(rng.NextBelow(10));
+        } while (used.count(key) != 0);
+        used.insert(key);
+        if (live.count(key) != 0 && rng.NextBelow(4) == 0) {
+          batch.push_back(ReplWorkload::Cmd{true, key, {}});
+          live.erase(key);
+        } else {
+          batch.push_back(ReplWorkload::Cmd{
+              false, key, ValueFor(i * kBatch + j, rng.NextBelow(6) == 0)});
+          live.insert(key);
+        }
+      }
+      std::vector<repl::ReplOp> rops;
+      for (const ReplWorkload::Cmd& c : batch) {
+        repl::ReplOp op;
+        op.kind = c.remove ? repl::ReplOp::Kind::kDel : repl::ReplOp::Kind::kPut;
+        op.key = c.key;
+        if (!c.remove) {
+          op.record.fields.push_back(c.value);
+        }
+        rops.push_back(std::move(op));
+      }
+      std::string f;
+      repl::EncodeBatch(rops, &f);
+      frames_.push_back(std::move(f));
+      ops_.push_back(std::move(rops));
+      script_.push_back(std::move(batch));
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    backend_ = std::make_unique<store::JpdtBackend>(&rt, "shard0",
+                                                    /*initial_capacity=*/4);
+    log_ = repl::ReplLog::OpenOrCreate(&rt, "repl0", TinyLog());
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    rt.heap().BeginGroupCommit();
+    Apply(ops_[i]);
+    log_->Append(static_cast<uint64_t>(i) + 1, frames_[i]);
+    rt.heap().EndGroupCommit();
+    rt.Psync();  // <- the ack point: after this retires, REPLACK may go out
+    rt.DrainGroupFrees();
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    auto log = repl::ReplLog::OpenOrCreate(&rt, "repl0", TinyLog());
+    backend_ = std::make_unique<store::JpdtBackend>(&rt, "shard0",
+                                                    /*initial_capacity=*/4);
+    if (log->needs_snapshot()) {
+      out->push_back("log reports needs_snapshot without a snapshot install");
+      return;
+    }
+    const uint64_t c = cut.committed;
+    const bool has_inflight =
+        cut.in_flight.has_value() && *cut.in_flight < script_.size();
+    const uint64_t sealed = log->next_seq() - 1;
+    if (sealed < c) {
+      out->push_back("acked record lost: log retains " +
+                     std::to_string(sealed) + " records but " +
+                     std::to_string(c) + " were acked to the primary");
+      return;
+    }
+    if (sealed != c && !(has_inflight && sealed == c + 1)) {
+      out->push_back("log retains " + std::to_string(sealed) +
+                     " records, want " + std::to_string(c) +
+                     (has_inflight ? " or +1" : ""));
+      return;
+    }
+    std::string payload;
+    for (uint64_t q = log->start_seq(); q < log->next_seq(); ++q) {
+      if (!log->Read(q, &payload) || payload != frames_[q - 1]) {
+        out->push_back("acked record " + std::to_string(q) +
+                       " unreadable or does not match the shipped frame");
+      }
+    }
+
+    // Replica restart: redo the tail record, then compare against the state
+    // exactly `sealed` batches in.
+    if (sealed > 0) {
+      Apply(ops_[sealed - 1]);
+    }
+    rt.Psync();
+
+    std::map<std::string, std::string> expected;
+    for (uint64_t b = 0; b < sealed; ++b) {
+      for (const ReplWorkload::Cmd& cmd : script_[b]) {
+        if (cmd.remove) {
+          expected.erase(cmd.key);
+        } else {
+          expected[cmd.key] = cmd.value;
+        }
+      }
+    }
+    // Keys the unsealed in-flight batch touched may be old or new: its
+    // store mutations happened before the crash but its record never
+    // sealed, so the resync stream will re-deliver it.
+    std::map<std::string, const ReplWorkload::Cmd*> inflight;
+    if (has_inflight && sealed == c) {
+      for (const ReplWorkload::Cmd& cmd : script_[c]) {
+        inflight[cmd.key] = &cmd;
+      }
+    }
+
+    std::map<std::string, std::string> got;
+    backend_->SnapshotRecords([&](const std::string& k, const store::Record& r) {
+      got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+    });
+    std::set<std::string> keys;
+    for (const auto& [k, v] : expected) keys.insert(k);
+    for (const auto& [k, v] : got) keys.insert(k);
+    for (const auto& [k, cmd] : inflight) keys.insert(k);
+    for (const std::string& k : keys) {
+      const auto eit = expected.find(k);
+      const auto git = got.find(k);
+      const auto iit = inflight.find(k);
+      if (iit != inflight.end()) {
+        const bool old_ok = (git == got.end() && eit == expected.end()) ||
+                            (git != got.end() && eit != expected.end() &&
+                             git->second == eit->second);
+        const bool new_ok = iit->second->remove
+                                ? git == got.end()
+                                : git != got.end() &&
+                                      git->second == iit->second->value;
+        if (!old_ok && !new_ok) {
+          out->push_back("in-flight key " + k + " torn: '" +
+                         (git == got.end() ? std::string("<absent>")
+                                           : git->second) +
+                         "' is neither the pre- nor post-batch value");
+        }
+        continue;
+      }
+      if (eit == expected.end()) {
+        out->push_back("phantom key " + k + " after replaying acked prefix");
+      } else if (git == got.end()) {
+        out->push_back("acked key " + k + " lost");
+      } else if (git->second != eit->second) {
+        out->push_back("acked key " + k + " has '" + git->second +
+                       "', want '" + eit->second + "'");
+      }
+    }
+  }
+
+ private:
+  static repl::ReplLogOptions TinyLog() {
+    repl::ReplLogOptions o;
+    o.segment_bytes = 256;
+    o.max_segments = 3;
+    return o;
+  }
+
+  void Apply(const std::vector<repl::ReplOp>& rops) {
+    for (const repl::ReplOp& op : rops) {
+      switch (op.kind) {
+        case repl::ReplOp::Kind::kPut:
+          backend_->Put(op.key, op.record);
+          break;
+        case repl::ReplOp::Kind::kDel:
+          backend_->Delete(op.key);
+          break;
+        case repl::ReplOp::Kind::kUpdate:
+          backend_->UpdateField(op.key, op.field, op.value);
+          break;
+      }
+    }
+  }
+
+  std::string name_;
+  std::vector<std::vector<ReplWorkload::Cmd>> script_;
+  std::vector<std::vector<repl::ReplOp>> ops_;
+  std::vector<std::string> frames_;
+  std::unique_ptr<store::JpdtBackend> backend_;
+  std::unique_ptr<repl::ReplLog> log_;
+};
+
 }  // namespace
 
 std::vector<std::string> WorkloadKinds() {
-  return {"map-hash", "map-tree", "map-skip", "map-long", "set",   "array",
-          "string",   "pfa",      "server",   "repl",     "repl-apply"};
+  return {"map-hash", "map-tree",   "map-skip", "map-long", "set",  "array",
+          "string",   "pfa",        "server",   "repl",     "repl-apply",
+          "wait"};
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
@@ -1333,6 +1546,9 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
   }
   if (kind == "repl-apply") {
     return std::make_unique<ReplApplyWorkload>(script_seed, op_count);
+  }
+  if (kind == "wait") {
+    return std::make_unique<WaitWorkload>(script_seed, op_count);
   }
   JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
   return nullptr;

@@ -72,7 +72,8 @@ class Workload {
 };
 
 // Registered workload kinds: "map-hash", "map-tree", "map-skip",
-// "map-long", "set", "array", "string", "pfa", "server".
+// "map-long", "set", "array", "string", "pfa", "server", "repl",
+// "repl-apply", "wait".
 std::vector<std::string> WorkloadKinds();
 
 // Factory; aborts on an unknown kind. `op_count` is the script length;

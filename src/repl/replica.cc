@@ -25,6 +25,16 @@ std::unique_ptr<ReplClient> ReplClient::Start(
   c->port_ = primary_port;
   c->shards_ = shards;
   c->conns_.resize(shards.size(), nullptr);
+  c->established_.resize(shards.size(), 0);
+  c->pending_acks_.resize(shards.size(), 0);
+  c->sent_acks_.resize(shards.size(), 0);
+  // Seal hooks before the threads: the first apply's seal must not be lost.
+  for (uint32_t i = 0; i < shards.size(); ++i) {
+    ReplClient* self = c.get();
+    shards[i]->SetSealHook(
+        [self, i](uint64_t sealed) { self->NotifySealed(i, sealed); });
+  }
+  c->ack_thread_ = std::thread(&ReplClient::AckLoop, c.get());
   c->threads_.reserve(shards.size());
   for (uint32_t i = 0; i < shards.size(); ++i) {
     c->threads_.emplace_back(&ReplClient::PullLoop, c.get(), i);
@@ -43,6 +53,7 @@ void ReplClient::Stop() {
     stopped_ = true;
   }
   stop_.store(true, std::memory_order_release);
+  ack_cv_.notify_all();
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
     for (server::Client* c : conns_) {
@@ -51,9 +62,68 @@ void ReplClient::Stop() {
       }
     }
   }
+  if (ack_thread_.joinable()) {
+    ack_thread_.join();
+  }
   for (std::thread& t : threads_) {
     if (t.joinable()) {
       t.join();
+    }
+  }
+  // The shards outlive this client (PROMOTE stops it, the server keeps
+  // running): drop the hooks so no worker calls into a dead object.
+  for (server::Shard* shard : shards_) {
+    shard->SetSealHook(nullptr);
+  }
+}
+
+void ReplClient::NotifySealed(uint32_t shard_index, uint64_t sealed_seq) {
+  {
+    std::lock_guard<std::mutex> lk(ack_mu_);
+    if (sealed_seq <= pending_acks_[shard_index]) {
+      return;
+    }
+    pending_acks_[shard_index] = sealed_seq;
+  }
+  ack_cv_.notify_one();
+}
+
+// Sends REPLACK frames on the stream connections. A failed or skipped send
+// (stream down, handshake in progress) is simply dropped: the next
+// REPLSYNC's from-seq re-establishes the watermark implicitly.
+void ReplClient::AckLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<std::pair<uint32_t, uint64_t>> due;
+    {
+      std::unique_lock<std::mutex> lk(ack_mu_);
+      ack_cv_.wait(lk, [&] {
+        if (stop_.load(std::memory_order_acquire)) {
+          return true;
+        }
+        for (size_t i = 0; i < pending_acks_.size(); ++i) {
+          if (pending_acks_[i] > sent_acks_[i]) {
+            return true;
+          }
+        }
+        return false;
+      });
+      for (size_t i = 0; i < pending_acks_.size(); ++i) {
+        if (pending_acks_[i] > sent_acks_[i]) {
+          due.emplace_back(static_cast<uint32_t>(i), pending_acks_[i]);
+        }
+      }
+    }
+    for (const auto& [i, seq] : due) {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      if (conns_[i] == nullptr || established_[i] == 0) {
+        // No live stream: skip, and record the seq as handled — the next
+        // handshake's from-seq carries the watermark instead.
+        sent_acks_[i] = seq;
+        continue;
+      }
+      conns_[i]->SendCommand(
+          {"REPLACK", std::to_string(i), std::to_string(seq)});
+      sent_acks_[i] = seq;
     }
   }
 }
@@ -143,6 +213,12 @@ void ReplClient::PullLoop(uint32_t shard_index) {
         break;  // protocol violation
       }
       established = true;
+      {
+        // Handshake done: the pull thread stops writing to this socket, so
+        // the ack thread may now interleave REPLACK frames (conns_mu_).
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        established_[shard_index] = 1;
+      }
       backoff_ms = kBackoffStartMs;
       for (;;) {
         server::RespReply rec;
@@ -162,6 +238,7 @@ void ReplClient::PullLoop(uint32_t shard_index) {
 
     {
       std::lock_guard<std::mutex> lk(conns_mu_);
+      established_[shard_index] = 0;
       conns_[shard_index] = nullptr;
     }
     conn.reset();

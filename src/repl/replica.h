@@ -10,12 +10,20 @@
 // REPLSNAP + kSnapInstall and re-handshakes. Any stream error tears the
 // connection down, counts a resync and retries with backoff.
 //
+// WAIT-K acks: each follower shard's worker reports its sealed boundary
+// through a seal hook after every apply-batch Psync; a dedicated ack thread
+// then sends `REPLACK <shard> <seq>` back on that shard's (otherwise
+// one-way) stream connection. The primary parks WAIT-K batches until K
+// subscribers have acked their sealed seq. Acks are sent unconditionally —
+// on a primary without --wait-acks they just advance a watermark.
+//
 // Lives in src/repl but compiles into jnvm_server_lib (it drives
 // server::Shard and server::Client; see src/repl/CMakeLists.txt).
 #ifndef JNVM_SRC_REPL_REPLICA_H_
 #define JNVM_SRC_REPL_REPLICA_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -56,6 +64,10 @@ class ReplClient {
 
   void PullLoop(uint32_t shard_index);
   bool Bootstrap(server::Client* conn, server::Shard* shard, uint32_t shard_index);
+  // Seal hook target (shard worker thread): records the newly sealed seq
+  // and wakes the ack thread.
+  void NotifySealed(uint32_t shard_index, uint64_t sealed_seq);
+  void AckLoop();
 
   std::string host_;
   uint16_t port_ = 0;
@@ -63,9 +75,22 @@ class ReplClient {
 
   std::atomic<bool> stop_{false};
   std::vector<std::thread> threads_;
-  // Live connections, indexed by shard — so Stop() can break blocked reads.
+  std::thread ack_thread_;
+  // Live connections, indexed by shard — so Stop() can break blocked reads
+  // and the ack thread can write REPLACK frames. established_[i] gates ack
+  // writes: while false the pull thread owns the socket (handshake); while
+  // true the socket is read-only for the pull thread, and ack writes are
+  // serialised by conns_mu_.
   std::mutex conns_mu_;
   std::vector<server::Client*> conns_;
+  std::vector<uint8_t> established_;
+
+  // Sealed-but-unacked seqs per shard (ack_mu_); sent_acks_ is ack-thread
+  // private.
+  std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  std::vector<uint64_t> pending_acks_;
+  std::vector<uint64_t> sent_acks_;
 
   std::atomic<uint64_t> records_received_{0};
   std::atomic<uint64_t> snapshots_installed_{0};

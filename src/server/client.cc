@@ -63,7 +63,9 @@ Client::~Client() {
 bool Client::WriteAll(const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::write(fd_, data + off, n - off);
+    // MSG_NOSIGNAL: a write racing the peer's death (the REPLACK path when
+    // a primary is killed) must fail with EPIPE, not raise SIGPIPE.
+    const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) {
         continue;

@@ -10,12 +10,22 @@
 #define JNVM_SRC_SERVER_CONN_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 
 #include "src/server/protocol.h"
+#include "src/server/shard.h"
 
 namespace jnvm::server {
+
+// A parsed request whose target shard queue was full when it was dispatched.
+// The connection stops reading (backpressure) and the request waits here
+// until the shard drains; arrival order within the connection is preserved.
+struct StalledRequest {
+  uint32_t shard = 0;
+  Request req;
+};
 
 struct Conn {
   int fd = -1;
@@ -32,6 +42,13 @@ struct Conn {
 
   uint64_t inflight = 0;  // submitted to shards, not yet completed
   bool closing = false;   // close once `out` drains and inflight == 0
+
+  // Backpressure: parsed requests waiting for shard-queue space. While
+  // non-empty the connection is read-paused (`paused`): the poller stops
+  // watching readable and no further buffered commands are dispatched, so
+  // per-connection memory stays bounded by what was already read.
+  std::deque<StalledRequest> stalled;
+  bool paused = false;
 
   // Stages the reply for `seq`, then moves every consecutive ready reply
   // into the output buffer. Returns true when new bytes became writable.

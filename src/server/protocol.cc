@@ -30,6 +30,13 @@ bool ParseLen(std::string_view s, uint64_t* out) {
 
 void RespParser::Feed(const char* data, size_t n) {
   Compact();
+  if (buffered_bytes() + n > max_buffer_) {
+    // Drop the input and poison the parser: the caller observes kError on
+    // the next Next() and overflowed() to distinguish the cause.
+    overflowed_ = true;
+    stage_ = Stage::kBroken;
+    return;
+  }
   buf_.append(data, n);
 }
 
@@ -64,7 +71,8 @@ RespParser::Status RespParser::Next(std::vector<std::string>* args,
   while (true) {
     switch (stage_) {
       case Stage::kBroken:
-        return Fail(error, "parser in error state");
+        return Fail(error, overflowed_ ? "input buffer cap exceeded"
+                                       : "parser in error state");
       case Stage::kArrayHeader: {
         std::string_view line;
         if (!TakeLine(&line)) {

@@ -32,7 +32,10 @@ class RespParser {
     kError,     // protocol violation; *error describes it. Terminal.
   };
 
-  // Appends raw bytes from the socket.
+  // Appends raw bytes from the socket. When the unconsumed buffer would
+  // exceed the cap (set_max_buffer), the bytes are dropped and the parser
+  // enters the terminal error state — a peer streaming an endless frame
+  // cannot grow the buffer without bound.
   void Feed(const char* data, size_t n);
 
   // Extracts the next complete command. Call repeatedly until kNeedMore to
@@ -42,6 +45,13 @@ class RespParser {
 
   // Bytes buffered but not yet consumed (tests / memory accounting).
   size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+  // Caps the unconsumed buffer. Must exceed the largest legal frame the
+  // deployment expects (a frame can be up to kMaxArgs * kMaxBulkBytes in
+  // principle); the server wires this from ServerOptions::max_conn_in_bytes.
+  void set_max_buffer(size_t cap) { max_buffer_ = cap; }
+  // True once Feed rejected input for exceeding the cap (terminal).
+  bool overflowed() const { return overflowed_; }
 
  private:
   enum class Stage { kArrayHeader, kBulkHeader, kBulkBody, kBroken };
@@ -53,6 +63,8 @@ class RespParser {
 
   std::string buf_;
   size_t consumed_ = 0;
+  size_t max_buffer_ = SIZE_MAX;
+  bool overflowed_ = false;
   Stage stage_ = Stage::kArrayHeader;
   uint64_t args_left_ = 0;
   uint64_t bulk_len_ = 0;

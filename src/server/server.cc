@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/clock.h"
 
 #ifdef __linux__
 #include <sys/epoll.h>
@@ -114,17 +115,22 @@ class Poller {
 
   bool using_epoll() const { return epoll_; }
 
-  void Watch(int fd, bool want_write) {
+  // Read interest is now a parameter too: a connection under shard
+  // backpressure stops watching readable (read-pause) so the kernel, not
+  // the server, buffers the client's pipeline.
+  void Watch(int fd, bool want_read, bool want_write) {
+    const uint8_t mask =
+        (want_read ? 1u : 0u) | (want_write ? 2u : 0u);
     const auto it = fds_.find(fd);
     const bool known = it != fds_.end();
-    if (known && it->second == want_write) {
+    if (known && it->second == mask) {
       return;
     }
-    fds_[fd] = want_write;
+    fds_[fd] = mask;
 #ifdef __linux__
     if (epoll_) {
       epoll_event ev{};
-      ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+      ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
       ev.data.fd = fd;
       epoll_ctl(epfd_, known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd, &ev);
     }
@@ -145,7 +151,10 @@ class Poller {
 #ifdef __linux__
     if (epoll_) {
       epoll_event evs[64];
-      const int n = epoll_wait(epfd_, evs, 64, timeout_ms);
+      int n;
+      do {
+        n = epoll_wait(epfd_, evs, 64, timeout_ms);
+      } while (n < 0 && errno == EINTR);  // signal: not a lost round
       for (int i = 0; i < n; ++i) {
         Event e;
         e.fd = evs[i].data.fd;
@@ -159,13 +168,17 @@ class Poller {
 #endif
     std::vector<pollfd> pfds;
     pfds.reserve(fds_.size());
-    for (const auto& [fd, want_write] : fds_) {
+    for (const auto& [fd, mask] : fds_) {
       pollfd p{};
       p.fd = fd;
-      p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+      p.events = static_cast<short>(((mask & 1u) != 0 ? POLLIN : 0) |
+                                    ((mask & 2u) != 0 ? POLLOUT : 0));
       pfds.push_back(p);
     }
-    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    int n;
+    do {
+      n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);  // signal: not a lost round
     if (n <= 0) {
       return;
     }
@@ -185,7 +198,7 @@ class Poller {
  private:
   bool epoll_ = false;
   int epfd_ = -1;
-  std::unordered_map<int, bool> fds_;  // fd -> watching for writability
+  std::unordered_map<int, uint8_t> fds_;  // fd -> interest mask (1=r, 2=w)
 };
 
 std::string ShutdownReport::Summary() const {
@@ -221,6 +234,12 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
       (opts.shard.backend != "jpdt" && opts.shard.backend != "jpfa")) {
     if (error != nullptr) {
       *error = "bad options: nshards must be > 0, backend jpdt|jpfa";
+    }
+    return nullptr;
+  }
+  if (opts.shard.wait_acks > 0 && !opts.shard.repl_log) {
+    if (error != nullptr) {
+      *error = "bad options: --wait-acks requires the replication log";
     }
     return nullptr;
   }
@@ -278,8 +297,8 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
   }
 
   s->poller_ = std::make_unique<Poller>(!opts.force_poll);
-  s->poller_->Watch(s->listen_fd_, false);
-  s->poller_->Watch(s->wake_r_, false);
+  s->poller_->Watch(s->listen_fd_, true, false);
+  s->poller_->Watch(s->wake_r_, true, false);
   s->loop_ = std::thread(&Server::EventLoop, s.get());
   if (!opts.replica_of.empty()) {
     std::vector<Shard*> raw;
@@ -343,6 +362,15 @@ void Server::EventLoop() {
       DoShutdown(/*conn_id=*/0, /*seq=*/0);
       break;
     }
+    // Periodic work rides the wait timeout: expire WAIT-K parked batches
+    // (degraded -WAITTIMEOUT delivery) and re-drive stalled submissions.
+    {
+      const uint64_t now_ms = NowNs() / 1000000ull;
+      for (auto& sh : shards_) {
+        sh->TickWait(now_ms);
+      }
+    }
+    RetryStalled();
     for (const Poller::Event& ev : events) {
       if (shutting_down_) {
         break;
@@ -392,8 +420,9 @@ void Server::AcceptPending() {
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
+    conn->parser.set_max_buffer(opts_.max_conn_in_bytes);
     by_fd_[fd] = conn->id;
-    poller_->Watch(fd, false);
+    poller_->Watch(fd, true, false);
     ++accepted_;
     conns_.emplace(conn->id, std::move(conn));
   }
@@ -417,6 +446,9 @@ void Server::HandleReadable(Conn& conn) {
   if (conn.closing) {
     return;  // draining replies; further input is ignored
   }
+  if (conn.paused) {
+    return;  // shard backpressure: leave the bytes in the kernel buffer
+  }
   char buf[65536];
   for (;;) {
     const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
@@ -431,6 +463,9 @@ void Server::HandleReadable(Conn& conn) {
       CloseConn(conn.id);
       return;
     }
+    if (errno == EINTR) {
+      continue;  // interrupted by a signal, not a socket failure
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       break;
     }
@@ -438,42 +473,50 @@ void Server::HandleReadable(Conn& conn) {
     return;
   }
 
-  std::vector<std::string> args;
-  std::string perr;
-  for (;;) {
-    const RespParser::Status st = conn.parser.Next(&args, &perr);
-    if (st == RespParser::Status::kNeedMore) {
-      break;
-    }
-    if (st == RespParser::Status::kError) {
-      // Protocol violation: this connection's stream position is lost, so
-      // reply -ERR and close it once pending replies drain. Other
-      // connections are unaffected.
-      ++protocol_errors_;
-      CompleteInline(conn, conn.next_seq++, [&] {
-        std::string r;
-        AppendError(&r, "protocol error: " + perr);
-        return r;
-      }());
-      conn.closing = true;
-      break;
-    }
-    ++commands_;
-    if (!Dispatch(conn, args)) {
-      conn.closing = true;
-      break;
-    }
-    if (shutting_down_) {
-      return;  // SHUTDOWN handled inside Dispatch; conns are gone
-    }
-  }
-  if (conns_.find(conn.id) == conns_.end()) {
+  ProcessInput(conn);
+  if (shutting_down_ || conns_.find(conn.id) == conns_.end()) {
     return;
   }
   if (conn.WantsWrite()) {
     HandleWritable(conn);
   } else if (conn.closing && conn.inflight == 0) {
     CloseConn(conn.id);
+  }
+}
+
+void Server::ProcessInput(Conn& conn) {
+  std::vector<std::string> args;
+  std::string perr;
+  while (!conn.paused) {
+    const RespParser::Status st = conn.parser.Next(&args, &perr);
+    if (st == RespParser::Status::kNeedMore) {
+      return;
+    }
+    if (st == RespParser::Status::kError) {
+      // Protocol violation (or input-cap overflow): this connection's
+      // stream position is lost, so reply -ERR and close it once pending
+      // replies drain. Other connections are unaffected.
+      if (conn.parser.overflowed()) {
+        ++in_overflows_;
+      } else {
+        ++protocol_errors_;
+      }
+      CompleteInline(conn, conn.next_seq++, [&] {
+        std::string r;
+        AppendError(&r, "protocol error: " + perr);
+        return r;
+      }());
+      conn.closing = true;
+      return;
+    }
+    ++commands_;
+    if (!Dispatch(conn, args)) {
+      conn.closing = true;
+      return;
+    }
+    if (shutting_down_) {
+      return;  // SHUTDOWN handled inside Dispatch; conns are gone
+    }
   }
 }
 
@@ -485,8 +528,11 @@ void Server::HandleWritable(Conn& conn) {
       conn.out_off += static_cast<size_t>(n);
       continue;
     }
+    if (errno == EINTR) {
+      continue;  // interrupted by a signal, not a socket failure
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      poller_->Watch(conn.fd, true);
+      poller_->Watch(conn.fd, !conn.paused, true);
       conn.CompactOut();
       return;
     }
@@ -494,9 +540,110 @@ void Server::HandleWritable(Conn& conn) {
     return;
   }
   conn.CompactOut();
-  poller_->Watch(conn.fd, false);
+  poller_->Watch(conn.fd, !conn.paused, false);
   if (conn.closing && conn.inflight == 0 && conn.replies.empty()) {
     CloseConn(conn.id);
+  }
+}
+
+void Server::PauseReads(Conn& conn) {
+  if (conn.paused) {
+    return;
+  }
+  conn.paused = true;
+  poller_->Watch(conn.fd, false, conn.WantsWrite());
+  stalled_conns_.push_back(conn.id);
+}
+
+bool Server::SubmitOrStall(Conn& conn, uint32_t shard_idx, Request&& req) {
+  if (conn.stalled.empty()) {
+    switch (shards_[shard_idx]->TrySubmit(std::move(req))) {
+      case Shard::SubmitResult::kOk:
+        return true;
+      case Shard::SubmitResult::kStopped:
+        return false;
+      case Shard::SubmitResult::kFull:
+        break;  // kFull left req intact: stall it below
+    }
+  }
+  // Either the shard is full or earlier requests of this connection are
+  // already stalled (order must hold). Park the request and read-pause.
+  conn.stalled.push_back(StalledRequest{shard_idx, std::move(req)});
+  PauseReads(conn);
+  return true;
+}
+
+void Server::RetryStalled() {
+  if (stalled_conns_.empty()) {
+    return;
+  }
+  // Swap out the list: PauseReads may append to stalled_conns_ while we
+  // re-run ProcessInput below (a resumed connection can stall again).
+  std::vector<uint64_t> work;
+  work.swap(stalled_conns_);
+  for (const uint64_t id : work) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      continue;  // connection closed while stalled
+    }
+    Conn& conn = *it->second;
+    while (!conn.stalled.empty()) {
+      StalledRequest& front = conn.stalled.front();
+      const Shard::SubmitResult r =
+          shards_[front.shard]->TrySubmit(std::move(front.req));
+      if (r == Shard::SubmitResult::kFull) {
+        break;
+      }
+      if (r == Shard::SubmitResult::kStopped) {
+        FailStalledRequest(conn, front.req);
+      }
+      conn.stalled.pop_front();
+    }
+    if (!conn.stalled.empty()) {
+      stalled_conns_.push_back(id);  // still blocked; stay paused
+      continue;
+    }
+    // Drained: resume reading and the commands buffered before the pause.
+    conn.paused = false;
+    poller_->Watch(conn.fd, true, conn.WantsWrite());
+    ProcessInput(conn);
+    if (shutting_down_ || conns_.find(id) == conns_.end()) {
+      continue;
+    }
+    if (conn.WantsWrite()) {
+      HandleWritable(conn);
+    } else if (conn.closing && conn.inflight == 0) {
+      CloseConn(conn.id);
+    }
+  }
+}
+
+// A stalled request met a stopping shard (shutdown). Resolve its reply slot
+// so the connection does not hang on a reply that can never come.
+void Server::FailStalledRequest(Conn& conn, Request& req) {
+  std::string r;
+  AppendError(&r, "server shutting down");
+  if (req.multi != nullptr) {
+    req.multi->Fail("ERR server shutting down");
+    if (req.multi->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const auto target = conns_.find(req.multi->conn_id);
+      if (target != conns_.end()) {
+        JNVM_DCHECK(target->second->inflight > 0);
+        --target->second->inflight;
+        std::string joined;
+        {
+          std::lock_guard<std::mutex> lk(req.multi->err_mu);
+          AppendErrorCode(&joined, req.multi->error);
+        }
+        CompleteInline(*target->second, req.multi->seq, std::move(joined));
+      }
+    }
+    return;
+  }
+  if (req.conn_id != 0) {
+    JNVM_DCHECK(conn.inflight > 0);
+    --conn.inflight;
+    CompleteInline(conn, req.seq, std::move(r));
   }
 }
 
@@ -508,6 +655,21 @@ void Server::CompleteInline(Conn& conn, uint64_t seq, std::string&& reply) {
 
 bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
   const std::string cmd = Upper(args[0]);
+  if (cmd == "REPLACK") {
+    // Ack frame from a REPLSYNC subscriber: REPLACK <shard> <seq> certifies
+    // that the replica's log is durable through <seq>. One-way — it gets no
+    // reply and consumes no command sequence, so it neither occupies the
+    // reorder buffer nor corrupts the stream framing the follower reads.
+    uint32_t idx = 0;
+    uint64_t acked = 0;
+    if (args.size() != 3 || !ParseU32(args[1], &idx) ||
+        idx >= shards_.size() || !ParseU64(args[2], &acked)) {
+      ++protocol_errors_;
+      return false;  // malformed ack: drop the stream connection
+    }
+    shards_[idx]->Ack(conn.id, acked);
+    return true;
+  }
   const uint64_t seq = conn.next_seq++;
   auto inline_error = [&](const std::string& msg) {
     std::string r;
@@ -553,9 +715,9 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     req.key = std::move(args[1]);
     req.conn_id = conn.id;
     req.seq = seq;
-    Shard& shard = *shards_[ShardFor(req.key, static_cast<uint32_t>(shards_.size()))];
+    const uint32_t idx = ShardFor(req.key, static_cast<uint32_t>(shards_.size()));
     ++conn.inflight;
-    if (!shard.Submit(std::move(req))) {
+    if (!SubmitOrStall(conn, idx, std::move(req))) {
       --conn.inflight;
       return inline_error("server shutting down");
     }
@@ -577,8 +739,9 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
       req.key = std::move(args[1 + 2 * i]);
       req.value = std::move(args[2 + 2 * i]);
       req.multi = multi;
-      Shard& shard = *shards_[ShardFor(req.key, static_cast<uint32_t>(shards_.size()))];
-      if (!shard.Submit(std::move(req))) {
+      const uint32_t idx =
+          ShardFor(req.key, static_cast<uint32_t>(shards_.size()));
+      if (!SubmitOrStall(conn, idx, std::move(req))) {
         // Parts already queued still execute but the joined reply can no
         // longer be produced; fail the command now. The connection is
         // closing with the server anyway.
@@ -611,7 +774,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     req.conn_id = conn.id;
     req.seq = seq;
     ++conn.inflight;
-    if (!shards_[idx]->Submit(std::move(req))) {
+    if (!SubmitOrStall(conn, idx, std::move(req))) {
       --conn.inflight;
       return inline_error("server shutting down");
     }
@@ -631,12 +794,18 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
                            std::memory_order_relaxed);
     multi->conn_id = conn.id;
     multi->seq = seq;
-    ++conn.inflight;
+    // Two-phase: each shard only audits; the join flips this whole list
+    // writable iff every audit passed (see MultiOp::promote_shards).
+    multi->promote_shards.reserve(shards_.size());
     for (auto& sh : shards_) {
+      multi->promote_shards.push_back(sh.get());
+    }
+    ++conn.inflight;
+    for (uint32_t i = 0; i < shards_.size(); ++i) {
       Request req;
       req.op = Request::Op::kPromote;
       req.multi = multi;
-      if (!sh->Submit(std::move(req))) {
+      if (!SubmitOrStall(conn, i, std::move(req))) {
         --conn.inflight;
         return inline_error("server shutting down");
       }
@@ -671,17 +840,36 @@ void Server::DrainCompletions() {
     if (c.stream) {
       // Replication-stream frame: not a command reply, so it neither holds
       // an inflight slot nor passes the reorder buffer — by subscription
-      // time every earlier reply on this connection has flushed.
+      // time every earlier reply on this connection has flushed. A
+      // subscriber that stops reading is evicted at the output cap rather
+      // than growing `out` without bound.
       conn.out += c.reply;
+      if (EnforceOutCap(conn)) {
+        continue;
+      }
       HandleWritable(conn);
       continue;
     }
     JNVM_DCHECK(conn.inflight > 0);
     --conn.inflight;
     if (conn.Complete(c.seq, std::move(c.reply))) {
+      if (EnforceOutCap(conn)) {
+        continue;
+      }
       HandleWritable(conn);
     }
   }
+  // Completions mean shard queues drained: stalled submissions may fit now.
+  RetryStalled();
+}
+
+bool Server::EnforceOutCap(Conn& conn) {
+  if (conn.out.size() - conn.out_off <= opts_.max_conn_out_bytes) {
+    return false;
+  }
+  ++out_overflows_;
+  CloseConn(conn.id);
+  return true;
 }
 
 std::string Server::BuildStats() {
@@ -689,12 +877,15 @@ std::string Server::BuildStats() {
   char line[512];
   std::snprintf(line, sizeof(line),
                 "server: shards=%zu batch=%u backend=%s poller=%s conns=%zu "
-                "accepted=%llu commands=%llu protocol_errors=%llu\n",
+                "accepted=%llu commands=%llu protocol_errors=%llu "
+                "in_overflows=%llu out_overflows=%llu\n",
                 shards_.size(), opts_.shard.batch, opts_.shard.backend.c_str(),
                 poller_->using_epoll() ? "epoll" : "poll", conns_.size(),
                 static_cast<unsigned long long>(accepted_),
                 static_cast<unsigned long long>(commands_),
-                static_cast<unsigned long long>(protocol_errors_));
+                static_cast<unsigned long long>(protocol_errors_),
+                static_cast<unsigned long long>(in_overflows_),
+                static_cast<unsigned long long>(out_overflows_));
   out += line;
   uint64_t records = 0, elided = 0, puts = 0, gets = 0, updates = 0, dels = 0;
   for (const auto& sh : shards_) {
@@ -732,7 +923,8 @@ std::string Server::BuildStats() {
       std::snprintf(
           line, sizeof(line),
           "repl%u: role=%s sealed=%llu start=%llu applied=%llu "
-          "log_bytes=%llu log_segments=%llu subs=%llu%s\n",
+          "log_bytes=%llu log_segments=%llu subs=%llu wait_acks=%u "
+          "acked=%llu parked=%llu wait_timeouts=%llu%s\n",
           sh->index(), s.repl.follower ? "replica" : "primary",
           static_cast<unsigned long long>(s.repl.sealed_seq),
           static_cast<unsigned long long>(s.repl.start_seq),
@@ -740,6 +932,10 @@ std::string Server::BuildStats() {
           static_cast<unsigned long long>(s.repl.log_bytes),
           static_cast<unsigned long long>(s.repl.log_segments),
           static_cast<unsigned long long>(s.repl.subscribers),
+          s.repl.wait_acks,
+          static_cast<unsigned long long>(s.repl.acked_seq),
+          static_cast<unsigned long long>(s.repl.parked_batches),
+          static_cast<unsigned long long>(s.repl.wait_timeouts),
           s.repl.needs_snapshot ? " needs_snapshot" : "");
       out += line;
     }
@@ -825,6 +1021,9 @@ void Server::FlushAllBestEffort() {
                                 conn->out.size() - conn->out_off);
       if (n > 0) {
         conn->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) {
         continue;
       }
       if (errno != EAGAIN && errno != EWOULDBLOCK) {

@@ -59,6 +59,14 @@ struct ServerOptions {
   // forced on) and a ReplClient pulls the primary's record stream. The
   // shard count must match the primary's. PROMOTE clears the role.
   std::string replica_of;
+
+  // Per-connection memory caps. A connection whose unparsed input exceeds
+  // max_conn_in_bytes, or whose pending output exceeds max_conn_out_bytes
+  // (the classic slow REPLSYNC subscriber), is disconnected and counted in
+  // STATS (in_overflows / out_overflows) — a stalled peer cannot OOM the
+  // server. The input cap must exceed the largest legal command frame.
+  uint64_t max_conn_in_bytes = 32ull << 20;
+  uint64_t max_conn_out_bytes = 64ull << 20;
 };
 
 // Aggregate outcome of a SHUTDOWN / Stop(): per-shard quiesce reports.
@@ -101,10 +109,25 @@ class Server : public CompletionSink {
   void AcceptPending();
   void HandleReadable(Conn& conn);
   void HandleWritable(Conn& conn);
+  // Parses + dispatches the commands already buffered on the connection;
+  // stops early on a read-pause (shard backpressure) or a protocol error.
+  void ProcessInput(Conn& conn);
   // Parses and dispatches one command; false = protocol error, close conn.
   bool Dispatch(Conn& conn, std::vector<std::string>& args);
+  // Queues `req` on shard `shard_idx` or stalls it on the connection
+  // (read-pause backpressure). False = shard stopping; caller replies -ERR.
+  bool SubmitOrStall(Conn& conn, uint32_t shard_idx, Request&& req);
+  // Re-drives stalled requests after shard queues drained; resumes reading
+  // and parsing when a connection's stall queue empties.
+  void RetryStalled();
+  void PauseReads(Conn& conn);
+  // Resolves the reply slot of a stalled request whose shard is stopping.
+  void FailStalledRequest(Conn& conn, Request& req);
   void CompleteInline(Conn& conn, uint64_t seq, std::string&& reply);
   void DrainCompletions();
+  // Disconnects a connection whose pending output exceeded the cap.
+  // True when the connection was evicted (iterators into conns_ invalid).
+  bool EnforceOutCap(Conn& conn);
   void CloseConn(uint64_t id);
   std::string BuildStats();
   void DoShutdown(uint64_t conn_id, uint64_t seq);
@@ -131,10 +154,16 @@ class Server : public CompletionSink {
   std::mutex comp_mu_;
   std::vector<Completion> completions_;
 
+  // Connections with a non-empty stall queue (backpressure), retried after
+  // completions drain and on each loop tick.
+  std::vector<uint64_t> stalled_conns_;
+
   // Server-level counters (STATS).
   uint64_t accepted_ = 0;
   uint64_t commands_ = 0;
   uint64_t protocol_errors_ = 0;
+  uint64_t in_overflows_ = 0;   // connections dropped: input cap exceeded
+  uint64_t out_overflows_ = 0;  // connections dropped: output cap exceeded
 };
 
 }  // namespace jnvm::server

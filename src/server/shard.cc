@@ -1,9 +1,11 @@
 #include "src/server/shard.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <unordered_set>
 
 #include "src/common/check.h"
+#include "src/common/clock.h"
 #include "src/core/integrity.h"
 #include "src/pdt/register_all.h"
 #include "src/server/protocol.h"
@@ -51,6 +53,8 @@ bool IsControl(Request::Op op) {
 
 constexpr char kReadonlyMsg[] = "READONLY replica - write rejected";
 
+uint64_t NowMs() { return NowNs() / 1000000ull; }
+
 }  // namespace
 
 std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
@@ -59,6 +63,10 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
   JNVM_CHECK(opts.backend == "jpdt" || opts.backend == "jpfa");
   JNVM_CHECK_MSG(!opts.follower || opts.repl_log,
                  "follower shards need the replication log");
+  JNVM_CHECK_MSG(opts.wait_acks == 0 || opts.repl_log,
+                 "--wait-acks needs the replication log");
+  JNVM_CHECK_MSG(opts.wait_acks == 0 || opts.wait_max_parked > 0,
+                 "wait_max_parked must be positive");
   auto s = std::unique_ptr<Shard>(new Shard());
   s->index_ = index;
   s->opts_ = opts;
@@ -170,10 +178,91 @@ bool Shard::Submit(Request&& req) {
   return true;
 }
 
+Shard::SubmitResult Shard::TrySubmit(Request&& req) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      return SubmitResult::kStopped;
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      return SubmitResult::kFull;  // req untouched: caller stalls and retries
+    }
+    queue_.push_back(std::move(req));
+  }
+  not_empty_.notify_one();
+  return SubmitResult::kOk;
+}
+
 void Shard::Unsubscribe(uint64_t conn_id) {
-  std::lock_guard<std::mutex> lk(subs_mu_);
-  for (auto it = subs_.begin(); it != subs_.end();) {
-    it = *it == conn_id ? subs_.erase(it) : it + 1;
+  {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    for (auto it = subs_.begin(); it != subs_.end();) {
+      it = it->conn_id == conn_id ? subs_.erase(it) : it + 1;
+    }
+    RecomputeSyncedLocked();
+  }
+  // Losing a subscriber can only lower the watermark: parked batches that
+  // now lack their quorum stay parked and fall out via the timeout path.
+}
+
+// Caller holds subs_mu_. With K = wait_acks, the shard-wide synced seq is
+// the K-th highest subscriber watermark: every record <= it is durable on
+// at least K replicas. Fewer than K subscribers → nothing is synced.
+void Shard::RecomputeSyncedLocked() {
+  const uint32_t k = opts_.wait_acks;
+  if (k == 0) {
+    return;
+  }
+  uint64_t synced = 0;
+  if (subs_.size() >= k) {
+    std::vector<uint64_t> marks;
+    marks.reserve(subs_.size());
+    for (const Subscriber& s : subs_) {
+      marks.push_back(s.acked_seq);
+    }
+    std::nth_element(marks.begin(), marks.begin() + (k - 1), marks.end(),
+                     std::greater<uint64_t>());
+    synced = marks[k - 1];
+  }
+  synced_seq_.store(synced, std::memory_order_release);
+}
+
+void Shard::Ack(uint64_t conn_id, uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    bool known = false;
+    for (Subscriber& s : subs_) {
+      if (s.conn_id == conn_id) {
+        known = true;
+        if (seq > s.acked_seq) {
+          s.acked_seq = seq;
+        }
+      }
+    }
+    if (!known) {
+      return;  // ack raced the unsubscribe; watermark unchanged
+    }
+    RecomputeSyncedLocked();
+  }
+  ReleaseParked(NowMs(), /*force=*/false);
+}
+
+void Shard::TickWait(uint64_t now_ms) {
+  if (parked_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  ReleaseParked(now_ms, /*force=*/false);
+}
+
+void Shard::SetSealHook(std::function<void(uint64_t)> hook) {
+  std::lock_guard<std::mutex> lk(hook_mu_);
+  seal_hook_ = std::move(hook);
+}
+
+void Shard::NotifySealHook(uint64_t sealed_seq) {
+  std::lock_guard<std::mutex> lk(hook_mu_);
+  if (seal_hook_) {
+    seal_hook_(sealed_seq);
   }
 }
 
@@ -346,8 +435,16 @@ void Shard::ExecuteReplSync(const Request& req, std::string* reply) {
     AppendBulk(reply, frame);
   }
   if (req.conn_id != 0) {
-    std::lock_guard<std::mutex> lk(subs_mu_);
-    subs_.push_back(req.conn_id);
+    {
+      std::lock_guard<std::mutex> lk(subs_mu_);
+      // REPLSYNC from=X is an implicit watermark: the replica's own log is
+      // durable through X-1, or it would have asked for an earlier seq.
+      subs_.push_back(Subscriber{req.conn_id, from == 0 ? 0 : from - 1});
+      RecomputeSyncedLocked();
+    }
+    // A resynced replica can already hold parked batches' records: its
+    // subscription alone may complete the quorum.
+    ReleaseParked(NowMs(), /*force=*/false);
   }
 }
 
@@ -409,14 +506,20 @@ bool Shard::ExecuteSnapInstall(const Request& req, std::string* error) {
   return true;
 }
 
-// PROMOTE: the queue ahead of this op has drained (singleton control
-// batch), so the heap is quiescent. Seal outstanding state, run the full
-// I1–I7 audit (with FA-log quiescence) and only then accept writes.
+// PROMOTE phase 1: the queue ahead of this op has drained (singleton
+// control batch), so the heap is quiescent. Seal outstanding state and run
+// the full I1–I7 audit (with FA-log quiescence). The shard does NOT flip
+// writable here: the multi-op join — which sees every shard's verdict —
+// flips all shards or none (MultiOp::promote_shards), so a failed audit on
+// one shard never leaves the fleet half-writable.
 void Shard::ExecutePromote(const Request& req, std::string* reply) {
   rt_->Psync();
   core::IntegrityOptions iopts;
   iopts.audit_fa_logs = true;
-  const core::IntegrityReport ir = core::VerifyHeapIntegrity(*rt_, iopts);
+  core::IntegrityReport ir = core::VerifyHeapIntegrity(*rt_, iopts);
+  if (opts_.fail_promote_audit_shard == static_cast<int32_t>(index_)) {
+    ir.violations.insert(ir.violations.begin(), "injected audit failure");
+  }
   if (!ir.ok()) {
     std::string msg = "ERR promote audit failed on shard " +
                       std::to_string(index_) + ": " + ir.violations.front();
@@ -427,8 +530,9 @@ void Shard::ExecutePromote(const Request& req, std::string* reply) {
     }
     return;
   }
-  follower_.store(false, std::memory_order_release);
   if (req.multi == nullptr) {
+    // Direct single-shard promotion (tests): audit and flip are one step.
+    MakeWritable();
     AppendSimple(reply, "OK");
   }
 }
@@ -453,6 +557,11 @@ void Shard::DeliverBatch(std::vector<Request>& batch,
           std::lock_guard<std::mutex> lk(req.multi->err_mu);
           AppendErrorCode(&c.reply, req.multi->error);
         } else {
+          // PROMOTE phase 2: every shard's audit passed — flip the whole
+          // fleet writable at once (all-or-nothing).
+          for (Shard* sh : req.multi->promote_shards) {
+            sh->MakeWritable();
+          }
           AppendSimple(&c.reply, "OK");
         }
         sink_->OnCompletion(std::move(c));
@@ -468,6 +577,101 @@ void Shard::DeliverBatch(std::vector<Request>& batch,
     c.reply = std::move(replies[i]);
     sink_->OnCompletion(std::move(c));
   }
+}
+
+// ---- WAIT-K parking ---------------------------------------------------------
+//
+// Lifecycle of a parked batch: sealed by its Psync on the worker → parked
+// (replies withheld, worker moves on to the next batch) → released by the
+// event loop when the K-th subscriber acks its last_seq (success) or its
+// deadline passes (degraded: write replies become -WAITTIMEOUT). Release is
+// strictly front-first: subscriber watermarks and deadlines are both
+// monotone in seq, so if the front batch is neither acked nor expired, no
+// later batch can be.
+
+void Shard::ParkBatch(uint64_t last_seq, std::vector<Request>& batch,
+                      std::vector<std::string>& replies,
+                      std::vector<uint8_t>& wrote) {
+  ParkedBatch p;
+  p.last_seq = last_seq;
+  p.deadline_ms = NowMs() + opts_.wait_timeout_ms;
+  p.reqs = std::move(batch);
+  p.replies = std::move(replies);
+  p.wrote = std::move(wrote);
+  std::unique_lock<std::mutex> lk(park_mu_);
+  // Ack that landed between the Psync and here: deliver without parking.
+  // Reading synced_seq_ under park_mu_ closes the race — an ack completing
+  // before we acquired the lock is visible; one completing after will find
+  // the parked entry in its release scan.
+  if (synced_seq_.load(std::memory_order_acquire) >= last_seq) {
+    lk.unlock();
+    DeliverParked(std::move(p), /*timed_out=*/false);
+    return;
+  }
+  // Bounded pipeline: block the worker once too many batches are in flight.
+  // No deadlock — releases come from the event-loop thread (acks, ticks),
+  // which never waits on this worker; Quiesce raises stop_parking_ before
+  // joining so a blocked worker always gets out.
+  park_cv_.wait(lk, [&] {
+    return stop_parking_.load(std::memory_order_acquire) ||
+           parked_.size() < opts_.wait_max_parked;
+  });
+  if (stop_parking_.load(std::memory_order_acquire)) {
+    lk.unlock();
+    DeliverParked(std::move(p), /*timed_out=*/true);
+    return;
+  }
+  parked_.push_back(std::move(p));
+  parked_count_.store(parked_.size(), std::memory_order_release);
+}
+
+void Shard::ReleaseParked(uint64_t now_ms, bool force) {
+  std::vector<std::pair<ParkedBatch, bool>> ready;  // batch, timed_out
+  {
+    std::lock_guard<std::mutex> lk(park_mu_);
+    const uint64_t synced = synced_seq_.load(std::memory_order_acquire);
+    while (!parked_.empty()) {
+      ParkedBatch& front = parked_.front();
+      const bool acked = synced >= front.last_seq;
+      const bool expired = force || now_ms >= front.deadline_ms;
+      if (!acked && !expired) {
+        break;
+      }
+      ready.emplace_back(std::move(front), !acked);
+      parked_.pop_front();
+    }
+    parked_count_.store(parked_.size(), std::memory_order_release);
+  }
+  if (!ready.empty()) {
+    park_cv_.notify_all();
+    for (auto& [p, timed_out] : ready) {
+      DeliverParked(std::move(p), timed_out);
+    }
+  }
+}
+
+void Shard::DeliverParked(ParkedBatch&& p, bool timed_out) {
+  if (timed_out) {
+    wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    const std::string msg =
+        "WAITTIMEOUT wrote locally durable; replica quorum of " +
+        std::to_string(opts_.wait_acks) + " not reached for seq " +
+        std::to_string(p.last_seq);
+    // Only write replies degrade: a read in the batch observed committed
+    // state and keeps its payload.
+    for (size_t i = 0; i < p.reqs.size(); ++i) {
+      if (!p.wrote[i]) {
+        continue;
+      }
+      if (p.reqs[i].multi != nullptr) {
+        p.reqs[i].multi->Fail(msg);
+      } else {
+        p.replies[i].clear();
+        AppendErrorCode(&p.replies[i], msg);
+      }
+    }
+  }
+  DeliverBatch(p.reqs, p.replies);
 }
 
 // Ships records [first, last] — just sealed by this batch's Psync — to all
@@ -488,9 +692,9 @@ void Shard::StreamToSubscribers(uint64_t first_seq, uint64_t last_seq) {
     repl::EncodeRecord(seq, payload, &frame);
     bulk.clear();
     AppendBulk(&bulk, frame);
-    for (const uint64_t conn_id : subs_) {
+    for (const Subscriber& sub : subs_) {
       Completion c;
-      c.conn_id = conn_id;
+      c.conn_id = sub.conn_id;
       c.stream = true;
       c.reply = bulk;
       sink_->OnCompletion(std::move(c));
@@ -512,11 +716,13 @@ void Shard::PublishReplStats() {
 void Shard::WorkerLoop() {
   std::vector<Request> batch;
   std::vector<std::string> replies;
+  std::vector<uint8_t> wrote_flags;
   std::vector<repl::ReplOp> rops;
   const uint32_t max_batch = opts_.batch == 0 ? 1 : opts_.batch;
   for (;;) {
     batch.clear();
     replies.clear();
+    wrote_flags.clear();
     rops.clear();
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -550,7 +756,9 @@ void Shard::WorkerLoop() {
     }
     for (const Request& req : batch) {
       std::string reply;
-      wrote |= Execute(req, &reply, &rops);
+      const bool w = Execute(req, &reply, &rops);
+      wrote |= w;
+      wrote_flags.push_back(w ? 1 : 0);
       replies.push_back(std::move(reply));
     }
     if (!rops.empty() && !log_->needs_snapshot()) {
@@ -585,9 +793,23 @@ void Shard::WorkerLoop() {
            !max_batch_.compare_exchange_weak(prev, batch.size(),
                                              std::memory_order_relaxed)) {
     }
-    DeliverBatch(batch, replies);
+    // Ship before delivering: under WAIT-K the acks that release the batch
+    // can only arrive once the subscribers have the frames.
     if (appended) {
       StreamToSubscribers(log_first, log_last);
+    }
+    if (appended && opts_.wait_acks > 0 && !follower()) {
+      // WAIT-K: withhold the replies until K subscribers ack log_last or
+      // the deadline passes. The worker moves straight on to the next
+      // batch — parking is pipelined, not stop-and-wait.
+      ParkBatch(log_last, batch, replies, wrote_flags);
+    } else {
+      DeliverBatch(batch, replies);
+    }
+    if (appended) {
+      // Follower role: tell the local ReplClient the apply batch is sealed
+      // so it can ack the primary (no-op when no hook is registered).
+      NotifySealHook(log_last);
     }
   }
 }
@@ -613,6 +835,10 @@ ShardStats Shard::Stats() const {
   s.repl.applied_batches = applied_batches_.load(std::memory_order_relaxed);
   s.repl.log_bytes = repl_bytes_.load(std::memory_order_relaxed);
   s.repl.log_segments = repl_segments_.load(std::memory_order_relaxed);
+  s.repl.wait_acks = opts_.wait_acks;
+  s.repl.acked_seq = synced_seq_.load(std::memory_order_acquire);
+  s.repl.wait_timeouts = wait_timeouts_.load(std::memory_order_relaxed);
+  s.repl.parked_batches = parked_count_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lk(subs_mu_);
     s.repl.subscribers = subs_.size();
@@ -631,9 +857,15 @@ ShardReport Shard::Quiesce() {
   }
   not_empty_.notify_all();
   not_full_.notify_all();
+  stop_parking_.store(true, std::memory_order_release);
+  park_cv_.notify_all();
   if (worker_.joinable()) {
     worker_.join();
   }
+  // Acks can no longer arrive (the event loop is in shutdown): deliver any
+  // still-parked batch now — acked ones succeed, the rest degrade to an
+  // explicit -WAITTIMEOUT, never a silently dropped reply.
+  ReleaseParked(NowMs(), /*force=*/true);
 
   rt_->Psync();
   // The heap is quiescent (worker joined, intake closed): audit everything,

@@ -30,7 +30,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -89,6 +91,25 @@ struct ShardOptions {
   // Follower mode: client writes are rejected with -READONLY; state changes
   // arrive as kApply batches shipped from the primary.
   bool follower = false;
+
+  // ---- Synchronous replication (WAIT-K) -----------------------------------
+  // When > 0, a batch that appended to the replication log is *parked* after
+  // its Psync instead of delivered: replies are withheld until `wait_acks`
+  // REPLSYNC subscribers acknowledge the sealed seq (REPLACK frames), or
+  // until `wait_timeout_ms` elapses — then write replies degrade to an
+  // explicit -WAITTIMEOUT (the write IS locally durable; it just lacks the
+  // replica guarantee). The worker keeps sealing later batches while earlier
+  // ones wait (pipelined), bounded by `wait_max_parked` parked batches.
+  // Requires repl_log. Kept in ShardOptions so a promoted replica that was
+  // started with --wait-acks honours it once it has subscribers of its own.
+  uint32_t wait_acks = 0;
+  uint32_t wait_timeout_ms = 1000;
+  uint32_t wait_max_parked = 64;
+
+  // Test hook: when >= 0 and equal to this shard's index, the PROMOTE audit
+  // reports an injected violation (exercises all-or-nothing promotion).
+  // Quiesce's shutdown audit is unaffected.
+  int32_t fail_promote_audit_shard = -1;
 };
 
 // One client request, routed to the shard owning the key.
@@ -136,6 +157,12 @@ struct MultiOp {
   std::atomic<uint32_t> failures{0};
   std::mutex err_mu;
   std::string error;  // first failure's message (RESP code included)
+
+  // Two-phase PROMOTE: audits run on every shard first (phase 1, recorded
+  // through the failure funnel); only the joining part — all audits passed —
+  // flips every listed shard writable (phase 2). An audit failure on any
+  // shard therefore flips none: no mixed read-only/writable fleet.
+  std::vector<class Shard*> promote_shards;
 
   void Fail(const std::string& msg) {
     failures.fetch_add(1, std::memory_order_acq_rel);
@@ -215,6 +242,12 @@ struct ReplStats {
   uint64_t log_bytes = 0;
   uint64_t log_segments = 0;
   uint64_t subscribers = 0;
+  // WAIT-K (primary role, wait_acks > 0): acked_seq is the K-th-highest
+  // subscriber watermark — every record <= acked_seq is on >= K replicas.
+  uint32_t wait_acks = 0;
+  uint64_t acked_seq = 0;
+  uint64_t wait_timeouts = 0;    // batches delivered degraded (-WAITTIMEOUT)
+  uint64_t parked_batches = 0;   // currently awaiting acks
 };
 
 struct ShardStats {
@@ -260,10 +293,36 @@ class Shard {
 
   // Blocking bounded push (backpressure). False once the shard is stopping —
   // the caller replies -ERR instead of enqueueing into a draining shard.
+  // Safe only from threads that may block (ReplClient); the event loop uses
+  // TrySubmit and read-pauses the connection instead.
   bool Submit(Request&& req);
+
+  // Non-blocking push. kFull leaves `req` untouched so the caller can stall
+  // it and retry; kStopped means the shard is draining (terminal).
+  enum class SubmitResult : uint8_t { kOk, kFull, kStopped };
+  SubmitResult TrySubmit(Request&& req);
 
   // Drops a replication-stream subscription (connection closed).
   void Unsubscribe(uint64_t conn_id);
+
+  // Records a REPLACK from subscriber `conn_id`: every record <= seq is
+  // durable on that replica. Advances the K-of-N watermark and delivers any
+  // parked batch whose sealed seq is now acknowledged. Event-loop thread.
+  void Ack(uint64_t conn_id, uint64_t seq);
+
+  // Delivers parked batches whose deadline passed (degraded -WAITTIMEOUT
+  // replies). Called from the event-loop tick; cheap when nothing is parked.
+  void TickWait(uint64_t now_ms);
+
+  // Registers a hook invoked on the worker thread after each batch Psync
+  // with the new sealed seq — the follower's ReplClient acks from here.
+  // Pass nullptr to unregister (must happen before the owner dies).
+  void SetSealHook(std::function<void(uint64_t)> hook);
+
+  // Phase 2 of PROMOTE: flips the shard writable. Only meaningful after its
+  // kPromote audit passed; called by the multi-op join for all shards at
+  // once.
+  void MakeWritable() { follower_.store(false, std::memory_order_release); }
 
   // Thread-safe counters snapshot (STATS command; no queue round-trip).
   ShardStats Stats() const;
@@ -295,6 +354,28 @@ class Shard {
   void RedoLogTail();
   void PublishReplStats();
 
+  // ---- WAIT-K parking (worker + event-loop threads) -----------------------
+  // A sealed batch withheld between its Psync and its delivery.
+  struct ParkedBatch {
+    uint64_t last_seq = 0;     // highest log seq the batch sealed
+    uint64_t deadline_ms = 0;  // NowMs() + wait_timeout_ms at parking time
+    std::vector<Request> reqs;
+    std::vector<std::string> replies;
+    std::vector<uint8_t> wrote;  // per-request: did it write durable state?
+  };
+  // Parks the batch (worker thread; blocks on wait_max_parked — safe: parked
+  // batches are released by the event loop, which never waits on the worker).
+  void ParkBatch(uint64_t last_seq, std::vector<Request>& batch,
+                 std::vector<std::string>& replies,
+                 std::vector<uint8_t>& wrote);
+  // Pops and delivers every front batch that is acked (success) or timed
+  // out / force-released (degraded). Any thread.
+  void ReleaseParked(uint64_t now_ms, bool force);
+  void DeliverParked(ParkedBatch&& p, bool timed_out);
+  // K-th-highest subscriber watermark → synced_seq_. Caller holds subs_mu_.
+  void RecomputeSyncedLocked();
+  void NotifySealHook(uint64_t sealed_seq);
+
   uint32_t index_ = 0;
   ShardOptions opts_;
   CompletionSink* sink_ = nullptr;
@@ -314,8 +395,30 @@ class Shard {
   std::atomic<uint64_t> applied_batches_{0};
   std::atomic<bool> repl_needs_snapshot_{false};
 
+  // A replication-stream subscriber and its durability watermark: every
+  // record <= acked_seq is durable on that replica (REPLSYNC's from-seq
+  // implies from-1; REPLACK frames advance it).
+  struct Subscriber {
+    uint64_t conn_id = 0;
+    uint64_t acked_seq = 0;
+  };
   mutable std::mutex subs_mu_;
-  std::vector<uint64_t> subs_;  // subscribed stream connection ids
+  std::vector<Subscriber> subs_;
+
+  // WAIT-K state. synced_seq_ is maintained under subs_mu_, read lock-free.
+  std::atomic<uint64_t> synced_seq_{0};
+  std::atomic<uint64_t> wait_timeouts_{0};
+  std::atomic<uint64_t> parked_count_{0};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;  // worker waits here when parked_ full
+  std::deque<ParkedBatch> parked_;
+  // Quiesce sets this before joining the worker: no release will ever come
+  // again, so a worker blocked on a full deque must deliver degraded
+  // instead of waiting forever.
+  std::atomic<bool> stop_parking_{false};
+
+  std::mutex hook_mu_;
+  std::function<void(uint64_t)> seal_hook_;
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

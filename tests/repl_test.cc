@@ -7,6 +7,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -528,6 +530,268 @@ TEST_F(ReplE2E, ReplicaRestartResumesFromSealedSeq) {
     std::filesystem::remove(base + ".shard" + std::to_string(i) + ".img");
   }
 }
+
+// ---- WAIT-K synchronous replication -----------------------------------------
+// A --wait-acks=K primary parks each write batch between its local Psync
+// and its reply until K subscribers have acknowledged (REPLACK) the sealed
+// seq; past the timeout the write replies degrade to -WAITTIMEOUT but the
+// data stays locally durable. Both pollers drive the ack routing and the
+// parked-batch timeout tick, so the suite is parameterized like ServerE2E.
+
+// Sums every occurrence of `field` (e.g. "wait_timeouts=") in a STATS body.
+uint64_t SumStatsField(const std::string& stats, const char* field) {
+  uint64_t sum = 0;
+  size_t pos = 0;
+  const size_t n = std::strlen(field);
+  while ((pos = stats.find(field, pos)) != std::string::npos) {
+    pos += n;
+    sum += std::strtoull(stats.c_str() + pos, nullptr, 10);
+  }
+  return sum;
+}
+
+class WaitE2E : public ::testing::TestWithParam<bool> {
+ protected:
+  ServerOptions PrimaryOpts(uint32_t wait_acks, uint32_t timeout_ms) {
+    ServerOptions o;
+    o.nshards = 2;
+    o.shard = SmallShard();
+    o.shard.wait_acks = wait_acks;
+    o.shard.wait_timeout_ms = timeout_ms;
+    o.force_poll = GetParam();
+    return o;
+  }
+  ServerOptions ReplicaOpts(uint16_t primary_port) {
+    ServerOptions o;
+    o.nshards = 2;
+    o.shard = SmallShard();
+    o.force_poll = GetParam();
+    o.replica_of = "127.0.0.1:" + std::to_string(primary_port);
+    return o;
+  }
+  // Blocks until `want` REPLSYNC subscriptions are live on the primary, so
+  // a K>0 test's first write doesn't race the replica's handshake.
+  static void WaitForSubs(Client& pc, uint64_t want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (SumStatsField(pc.Stats().value_or(""), "subs=") < want) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  static std::string Key(int i) { return "wk:" + std::to_string(i); }
+};
+
+TEST_P(WaitE2E, K1AckRoundtripRepliesOkWithoutTimeouts) {
+  std::string err;
+  auto primary = Server::Start(PrimaryOpts(1, /*timeout_ms=*/5000), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto replica = Server::Start(ReplicaOpts(primary->port()), &err);
+  ASSERT_NE(replica, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  WaitForSubs(*pc, 2);
+
+  const int kN = 50;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)))
+        << pc->last_error();
+  }
+  // +OK under WAIT-1 means the replica acked: acked watermarks advanced and
+  // nothing timed out — every reply above waited for real replication.
+  const std::string stats = pc->Stats().value_or("");
+  EXPECT_EQ(SumStatsField(stats, "wait_timeouts="), 0u) << stats;
+  EXPECT_GT(SumStatsField(stats, "acked="), 0u) << stats;
+  EXPECT_NE(stats.find("wait_acks=1"), std::string::npos) << stats;
+
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(rc->Get(Key(i)).value_or("<missing>"),
+              "val:" + std::to_string(i));  // acked ⇒ already applied
+  }
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
+TEST_P(WaitE2E, SoleReplicaDownDegradesToWaitTimeout) {
+  std::string err;
+  auto primary = Server::Start(PrimaryOpts(1, /*timeout_ms=*/200), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  // No replica exists: the write must come back as an explicit
+  // -WAITTIMEOUT, never a silent local-only +OK.
+  RespReply r;
+  ASSERT_TRUE(pc->Roundtrip({"SET", Key(0), "v0"}, &r));
+  ASSERT_EQ(r.type, RespReply::Type::kError) << r.str;
+  EXPECT_EQ(r.str.rfind("WAITTIMEOUT", 0), 0u) << r.str;
+
+  // ...but the write is locally durable, reads are unaffected, and the
+  // timeout is counted.
+  EXPECT_EQ(pc->Get(Key(0)).value_or("<missing>"), "v0");
+  EXPECT_TRUE(pc->Ping());
+  const std::string stats = pc->Stats().value_or("");
+  EXPECT_GE(SumStatsField(stats, "wait_timeouts="), 1u) << stats;
+
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+  EXPECT_TRUE(primary->shutdown_report().ok);
+}
+
+TEST_P(WaitE2E, ReplicaKilledMidStreamThenNewReplicaRestoresQuorum) {
+  std::string err;
+  auto primary = Server::Start(PrimaryOpts(1, /*timeout_ms=*/200), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  {
+    auto replica = Server::Start(ReplicaOpts(primary->port()), &err);
+    ASSERT_NE(replica, nullptr) << err;
+    WaitForSubs(*pc, 2);
+    ASSERT_TRUE(pc->Set(Key(0), "v0")) << pc->last_error();
+    auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+    ASSERT_NE(rc, nullptr) << err;
+    ASSERT_TRUE(rc->Shutdown());  // replica leaves; its subs unsubscribe
+    replica->Wait();
+  }
+
+  // Quorum lost: writes degrade (reply is -WAITTIMEOUT, never +OK) but the
+  // primary keeps serving and stays responsive. Allow a few +OK-free
+  // iterations while the dead subscriber's eviction propagates.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    RespReply r;
+    for (int i = 1;; ++i) {
+      ASSERT_TRUE(pc->Roundtrip({"SET", Key(i), "vx"}, &r));
+      if (r.type == RespReply::Type::kError) {
+        EXPECT_EQ(r.str.rfind("WAITTIMEOUT", 0), 0u) << r.str;
+        break;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "writes kept replying +OK with no live replica";
+    }
+    EXPECT_TRUE(pc->Ping());
+    EXPECT_EQ(pc->Get(Key(0)).value_or("<missing>"), "v0");
+  }
+
+  // A fresh replica re-subscribes (its from-seq is an implicit ack
+  // watermark) and +OK service resumes.
+  auto replica = Server::Start(ReplicaOpts(primary->port()), &err);
+  ASSERT_NE(replica, nullptr) << err;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    if (pc->Set("resumed", "yes")) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "quorum never recovered: " << pc->last_error();
+  }
+
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
+TEST_P(WaitE2E, EveryWaitAckedKeySurvivesPromotion) {
+  std::string err;
+  auto primary = Server::Start(PrimaryOpts(1, /*timeout_ms=*/5000), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto replica = Server::Start(ReplicaOpts(primary->port()), &err);
+  ASSERT_NE(replica, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  WaitForSubs(*pc, 2);
+
+  // Every +OK below is a WAIT-acked write: the replica has it.
+  const int kN = 100;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)))
+        << pc->last_error();
+  }
+
+  // Primary dies; no drain grace for the replica — acked is enough.
+  primary->RequestShutdown();
+  primary->Wait();
+  pc.reset();
+
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  RespReply r;
+  ASSERT_TRUE(rc->Roundtrip({"PROMOTE"}, &r));
+  ASSERT_EQ(r.type, RespReply::Type::kSimple) << r.str;
+
+  // The WAIT contract: acked-before-death ⇒ present after promotion, with
+  // no waiting or resync.
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(rc->Get(Key(i)).value_or("<missing>"),
+              "val:" + std::to_string(i));
+  }
+  ASSERT_TRUE(rc->Set("after-promote", "yes"));
+
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  EXPECT_TRUE(replica->shutdown_report().ok);
+}
+
+TEST_P(WaitE2E, PromoteIsAllOrNothingWhenOneShardFailsAudit) {
+  std::string err;
+  auto primary = Server::Start(PrimaryOpts(0, 1000), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  ServerOptions ropts = ReplicaOpts(primary->port());
+  ropts.shard.fail_promote_audit_shard = 1;  // injected audit failure
+  auto replica = Server::Start(ropts, &err);
+  ASSERT_NE(replica, nullptr) << err;
+
+  // Write one key per shard so both shards' follower state is observable.
+  std::string k0, k1;
+  for (int i = 0; k0.empty() || k1.empty(); ++i) {
+    const std::string k = Key(i);
+    (ShardFor(k, 2) == 0 ? k0 : k1) = k;
+  }
+  ASSERT_TRUE(pc->Set(k0, "a"));
+  ASSERT_TRUE(pc->Set(k1, "b"));
+
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+
+  // PROMOTE must fail (shard 1's audit is rigged to fail)...
+  RespReply r;
+  ASSERT_TRUE(rc->Roundtrip({"PROMOTE"}, &r));
+  ASSERT_EQ(r.type, RespReply::Type::kError) << r.str;
+
+  // ...and no shard may have flipped: writes to keys on BOTH shards are
+  // still rejected. (The one-phase bug flipped shard 0 before shard 1's
+  // audit failed, splitting the server into half-primary half-follower.)
+  for (const std::string& k : {k0, k1}) {
+    RespReply w;
+    ASSERT_TRUE(rc->Roundtrip({"SET", k, "x"}, &w)) << k;
+    ASSERT_EQ(w.type, RespReply::Type::kError) << k << ": " << w.str;
+    EXPECT_EQ(w.str.rfind("READONLY", 0), 0u) << k << ": " << w.str;
+  }
+
+  rc->Shutdown();
+  replica->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
+INSTANTIATE_TEST_SUITE_P(Pollers, WaitE2E, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "poll" : "epoll";
+                         });
 
 TEST(ReplCommands, ArgumentValidation) {
   ServerOptions o;

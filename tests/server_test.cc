@@ -8,11 +8,16 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <string>
 #include <thread>
 
 #include "gtest/gtest.h"
+#include "src/common/clock.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
 #include "src/server/shard.h"
@@ -571,6 +576,156 @@ TEST_P(ServerE2E, PipelinedCommandsSplitAcrossTinyWrites) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Pollers, ServerE2E, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "poll" : "epoll";
+                         });
+
+// ---- Backpressure and per-connection resource caps --------------------------
+
+class HardeningE2E : public ::testing::TestWithParam<bool> {
+ protected:
+  static std::string ShardKey(uint32_t shard, uint32_t nshards, int salt = 0) {
+    for (int i = salt;; ++i) {
+      const std::string k = "bk:" + std::to_string(i);
+      if (ShardFor(k, nshards) == shard) {
+        return k;
+      }
+    }
+  }
+  static uint64_t StatsField(Client& c, const char* field) {
+    const std::string stats = c.Stats().value_or("");
+    const size_t pos = stats.find(field);
+    if (pos == std::string::npos) {
+      return 0;
+    }
+    return std::strtoull(stats.c_str() + pos + std::strlen(field), nullptr, 10);
+  }
+};
+
+TEST_P(HardeningE2E, FloodedShardDoesNotBlockOtherShards) {
+  // Regression for the event-loop stall: Shard::Submit blocked the loop
+  // thread when one shard's queue filled, freezing every connection. With
+  // TrySubmit + read-pause backpressure, a flood aimed at shard 0 must not
+  // delay a GET on shard 1.
+  ServerOptions opts;
+  opts.nshards = 2;
+  opts.shard = SmallShard(/*batch=*/1);
+  opts.shard.queue_capacity = 4;
+  opts.shard.fence_ns = 2'000'000;  // 2ms per fence: shard 0 drains slowly
+  opts.force_poll = GetParam();
+  std::string err;
+  auto server = Server::Start(opts, &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  auto flood = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(flood, nullptr) << err;
+  auto other = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(other, nullptr) << err;
+  const std::string hot = ShardKey(0, 2);
+  const std::string cold = ShardKey(1, 2);
+  ASSERT_TRUE(other->Set(cold, "cold-value"));
+
+  // Fire-and-forget: several hundred SETs to shard 0 without reading
+  // replies. The tiny queue fills immediately; the connection must be
+  // read-paused, not the event loop.
+  const int kFlood = 400;
+  for (int i = 0; i < kFlood; ++i) {
+    ASSERT_TRUE(flood->SendCommand({"SET", hot, "v" + std::to_string(i)}));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // queue full
+
+  // Shard 1 is idle: this GET must complete long before the ~0.8s the
+  // flood needs to drain (pre-fix it waited for the whole flood).
+  const uint64_t t0 = NowNs();
+  EXPECT_EQ(other->Get(cold).value_or("<missing>"), "cold-value");
+  const double get_secs = static_cast<double>(NowNs() - t0) / 1e9;
+  EXPECT_LT(get_secs, 0.5) << "other-shard GET stuck behind the flood";
+
+  // No reply was lost to the backpressure: all flood SETs answer +OK.
+  for (int i = 0; i < kFlood; ++i) {
+    RespReply r;
+    ASSERT_TRUE(flood->ReadOneReply(&r)) << i << ": " << flood->last_error();
+    EXPECT_EQ(r.type, RespReply::Type::kSimple) << i << ": " << r.str;
+  }
+
+  EXPECT_TRUE(other->Shutdown());
+  server->Wait();
+}
+
+TEST_P(HardeningE2E, InputBufferCapDisconnectsAndCounts) {
+  ServerOptions opts;
+  opts.nshards = 2;
+  opts.shard = SmallShard(/*batch=*/8);
+  opts.max_conn_in_bytes = 4096;
+  opts.force_poll = GetParam();
+  std::string err;
+  auto server = Server::Start(opts, &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  // An incomplete 1MB bulk dribbles 8KB of body: the unparsed buffer blows
+  // the 4KB cap long before the frame completes. The connection gets -ERR
+  // and is dropped; the abuse is counted separately from protocol errors.
+  RawConn raw(server->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw.Send("*1\r\n$1000000\r\n"));
+  ASSERT_TRUE(raw.Send(std::string(8192, 'x')));
+  const std::string got = raw.ReadUntilClose();
+  EXPECT_EQ(got.rfind("-ERR", 0), 0u) << got;
+  EXPECT_NE(got.find("cap"), std::string::npos) << got;
+
+  auto good = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(good, nullptr) << err;
+  EXPECT_EQ(StatsField(*good, "in_overflows="), 1u);
+  EXPECT_TRUE(good->Ping());
+  EXPECT_TRUE(good->Shutdown());
+  server->Wait();
+}
+
+TEST_P(HardeningE2E, OutputCapEvictsSlowReplicationSubscriber) {
+  // The classic slow-subscriber OOM: a REPLSYNC connection that never
+  // reads. Once the kernel socket buffers fill, the server-side pending
+  // output grows with every sealed record; past max_conn_out_bytes the
+  // subscriber must be evicted instead of buffering without bound.
+  ServerOptions opts;
+  opts.nshards = 1;
+  opts.shard = SmallShard(/*batch=*/8);
+  opts.shard.device_bytes = 128ull << 20;
+  opts.max_conn_out_bytes = 8192;
+  opts.force_poll = GetParam();
+  std::string err;
+  auto server = Server::Start(opts, &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  RawConn subscriber(server->port());
+  ASSERT_TRUE(subscriber.ok());
+  ASSERT_TRUE(subscriber.Send(Frame({"REPLSYNC", "0", "1"})));
+  // Never read a byte from `subscriber` again.
+
+  auto good = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(good, nullptr) << err;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  const std::string big(2048, 'z');
+  uint64_t evictions = 0;
+  for (int i = 0; evictions == 0; ++i) {
+    ASSERT_TRUE(good->Set("ok:" + std::to_string(i), big))
+        << good->last_error();
+    if (i % 16 == 0 || i > 256) {
+      evictions = StatsField(*good, "out_overflows=");
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "slow subscriber was never evicted";
+  }
+  EXPECT_GE(evictions, 1u);
+  EXPECT_EQ(StatsField(*good, "subs="), 0u);  // the subscription is gone
+
+  // The server is healthy and normal clients are untouched.
+  EXPECT_TRUE(good->Ping());
+  EXPECT_TRUE(good->Shutdown());
+  server->Wait();
+}
+
+INSTANTIATE_TEST_SUITE_P(Pollers, HardeningE2E, ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "poll" : "epoll";
                          });

@@ -4,7 +4,7 @@
 //                [--value-size=N] [--read-ratio=F] [--field-updates]
 //                [--pipeline=N] [--ops=N] [--seconds=F] [--no-preload]
 //                [--seed=N] [--readonly] [--expect-hits]
-//                [--stats] [--shutdown]
+//                [--allow-waittimeout] [--stats] [--shutdown]
 //
 // Each thread drives its own connection: preloads its slice of the key
 // space with pipelined SETs, then runs a closed loop of GET (read-ratio)
@@ -19,6 +19,11 @@
 // writes with -READONLY, which would count as an error). --expect-hits
 // additionally fails the run when any GET misses — how the replication e2e
 // asserts that every acknowledged key survived promotion.
+//
+// Against a --wait-acks primary a write may answer -WAITTIMEOUT (locally
+// durable, replica quorum missed). Those replies are counted separately and
+// reported in the summary; they are fatal unless --allow-waittimeout is
+// given, so a synchronous-replication CI pass proves every write was acked.
 //
 // Exit status is non-zero on any error reply or I/O failure — the CI smoke
 // test relies on this.
@@ -56,6 +61,7 @@ struct Config {
   uint64_t seed = 0x10ad;  // thread t seeds its RNG with seed + t
   bool readonly = false;   // pure GETs, no preload (replica driving)
   bool expect_hits = false;  // any GET miss fails the run
+  bool allow_waittimeout = false;  // -WAITTIMEOUT replies are not fatal
 };
 
 struct ThreadResult {
@@ -65,8 +71,14 @@ struct ThreadResult {
   uint64_t writes = 0;
   uint64_t misses = 0;
   uint64_t errors = 0;
+  uint64_t wait_timeouts = 0;  // -WAITTIMEOUT write replies
   std::string error_msg;
 };
+
+bool IsWaitTimeout(const jnvm::server::RespReply& r) {
+  return r.type == jnvm::server::RespReply::Type::kError &&
+         r.str.rfind("WAITTIMEOUT", 0) == 0;
+}
 
 std::string KeyName(uint64_t i) { return "key:" + std::to_string(i); }
 
@@ -156,6 +168,19 @@ void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
     const uint64_t per_op = (jnvm::NowNs() - t0) / n;
     for (uint32_t i = 0; i < replies.size(); ++i) {
       const auto& r = replies[i];
+      if (IsWaitTimeout(r)) {
+        res->wait_timeouts++;
+        if (!cfg.allow_waittimeout) {
+          res->errors++;
+          res->error_msg = "reply: " + r.str;
+          failed->store(true);
+          return;
+        }
+        // Degraded but locally durable — record it as a completed write.
+        res->write_lat.Record(per_op);
+        res->writes++;
+        continue;
+      }
       if (r.type == jnvm::server::RespReply::Type::kError) {
         res->errors++;
         res->error_msg = "reply: " + r.str;
@@ -216,6 +241,8 @@ int main(int argc, char** argv) {
       cfg.preload = false;
     } else if (std::strcmp(a, "--expect-hits") == 0) {
       cfg.expect_hits = true;
+    } else if (std::strcmp(a, "--allow-waittimeout") == 0) {
+      cfg.allow_waittimeout = true;
     } else if (std::strcmp(a, "--field-updates") == 0) {
       cfg.field_updates = true;
     } else if (std::strcmp(a, "--no-preload") == 0) {
@@ -257,7 +284,7 @@ int main(int argc, char** argv) {
   const double elapsed = static_cast<double>(jnvm::NowNs() - t0) / 1e9;
 
   jnvm::Histogram reads, writes;
-  uint64_t nreads = 0, nwrites = 0, misses = 0, errors = 0;
+  uint64_t nreads = 0, nwrites = 0, misses = 0, errors = 0, waittimeouts = 0;
   for (const ThreadResult& r : results) {
     reads.Merge(r.read_lat);
     writes.Merge(r.write_lat);
@@ -265,6 +292,7 @@ int main(int argc, char** argv) {
     nwrites += r.writes;
     misses += r.misses;
     errors += r.errors;
+    waittimeouts += r.wait_timeouts;
     if (!r.error_msg.empty()) {
       std::fprintf(stderr, "jnvm_loadgen: %s\n", r.error_msg.c_str());
     }
@@ -285,7 +313,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(nreads),
               static_cast<unsigned long long>(misses),
               reads.Summary().c_str());
-  std::printf("  writes: %llu %s\n", static_cast<unsigned long long>(nwrites),
+  std::printf("  writes: %llu (waittimeouts=%llu) %s\n",
+              static_cast<unsigned long long>(nwrites),
+              static_cast<unsigned long long>(waittimeouts),
               writes.Summary().c_str());
 
   int rc = (failed.load() || errors != 0) ? 1 : 0;

@@ -5,6 +5,7 @@
 //               [--queue=N] [--poll] [--optane] [--fence-ns=N]
 //               [--replica-of=HOST:PORT] [--no-repl-log]
 //               [--repl-segment=BYTES] [--repl-retention=SEGS]
+//               [--wait-acks=K] [--wait-timeout-ms=N]
 //
 // With --image-base, shard images are saved on SHUTDOWN and recovered on
 // the next start — kill the server with SHUTDOWN (or SIGINT/SIGTERM),
@@ -12,6 +13,10 @@
 // With --replica-of the server runs every shard as a read-only follower
 // pulling the primary's replication stream (DESIGN.md §8); PROMOTE flips
 // it into a primary. --shards must match the primary's.
+// With --wait-acks=K each write batch's replies are withheld until K
+// replication subscribers have acknowledged the sealed log sequence; after
+// --wait-timeout-ms the write replies degrade to -WAITTIMEOUT (the data is
+// still locally durable). K=0 (the default) is asynchronous replication.
 // Exit status is 0 only when every shard quiesced with a clean integrity
 // audit (I1–I7).
 
@@ -72,6 +77,10 @@ int main(int argc, char** argv) {
       opts.shard.repl_segment_bytes = static_cast<uint32_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--repl-retention", &v)) {
       opts.shard.repl_max_segments = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--wait-acks", &v)) {
+      opts.shard.wait_acks = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--wait-timeout-ms", &v)) {
+      opts.shard.wait_timeout_ms = static_cast<uint32_t>(std::atoi(v));
     } else if (std::strcmp(argv[i], "--poll") == 0) {
       opts.force_poll = true;
     } else if (std::strcmp(argv[i], "--optane") == 0) {
