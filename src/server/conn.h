@@ -6,13 +6,32 @@
 // in a reorder buffer and flushed to the socket only when every earlier
 // command of the connection has replied. RESP clients rely on this: the
 // k-th reply answers the k-th command.
+//
+// The write side is a chunked queue of two chunk kinds (DESIGN.md §7):
+//   * owned chunks — a mutable tail that coalesces small RESP replies, so
+//     ordinary request/reply traffic pays no per-reply chunk overhead;
+//   * shared frames — refcounted immutable buffers
+//     (std::shared_ptr<const std::string>) enqueued by reference. A sealed
+//     replication batch is serialized once and every REPLSYNC subscriber
+//     queues the same bytes: fan-out costs one pointer per subscriber, not
+//     one memcpy of the batch.
+// The flush path drains multiple chunks per syscall with writev(); a
+// partial write leaves `out_off` mid-chunk and the next flush resumes
+// there. Cap accounting (`max_conn_out_bytes`) counts *logical* pending
+// bytes — a shared frame charges its full size to every subscriber holding
+// it, so a slow subscriber is still evicted at the same backlog it would
+// have reached with private copies.
 #ifndef JNVM_SRC_SERVER_CONN_H_
 #define JNVM_SRC_SERVER_CONN_H_
+
+#include <sys/uio.h>
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/server/protocol.h"
 #include "src/server/shard.h"
@@ -27,21 +46,42 @@ struct StalledRequest {
   Request req;
 };
 
+// One element of the chunked output queue. Exactly one representation is
+// active: `shared` (immutable refcounted frame, fan-out by reference) or
+// `own` (mutable buffer coalescing small replies).
+struct OutChunk {
+  std::shared_ptr<const std::string> shared;
+  std::string own;
+
+  const char* data() const { return shared != nullptr ? shared->data() : own.data(); }
+  size_t size() const { return shared != nullptr ? shared->size() : own.size(); }
+};
+
 struct Conn {
+  // Replies at or below this size coalesce into the mutable tail chunk;
+  // larger ones are moved in wholesale as their own chunk (no byte copy).
+  static constexpr size_t kCoalesceMax = 2048;
+  // A tail chunk stops accepting appends past this size so one buffer never
+  // grows without bound; the next reply starts a fresh chunk.
+  static constexpr size_t kTailChunkMax = 256 * 1024;
+
   int fd = -1;
   uint64_t id = 0;
   RespParser parser;
 
-  // Write side: bytes not yet accepted by the socket.
-  std::string out;
+  // Write side: the chunk queue. `out_off` is the consumed prefix of the
+  // front chunk (partial-write resume point); `out_bytes` is the logical
+  // pending total across all chunks.
+  std::deque<OutChunk> outq;
   size_t out_off = 0;
+  size_t out_bytes = 0;
 
   uint64_t next_seq = 0;      // sequence assigned to the next parsed command
   uint64_t next_to_send = 0;  // sequence whose reply goes out next
   std::map<uint64_t, std::string> replies;  // finished, waiting their turn
 
   uint64_t inflight = 0;  // submitted to shards, not yet completed
-  bool closing = false;   // close once `out` drains and inflight == 0
+  bool closing = false;   // close once the queue drains and inflight == 0
 
   // Backpressure: parsed requests waiting for shard-queue space. While
   // non-empty the connection is read-paused (`paused`): the poller stops
@@ -50,14 +90,47 @@ struct Conn {
   std::deque<StalledRequest> stalled;
   bool paused = false;
 
+  // Set while this connection is on DrainCompletions' deferred-flush list:
+  // completions landing in the same drain round coalesce into one writev.
+  bool flush_pending = false;
+
+  // Queues reply bytes: small strings coalesce into the mutable tail chunk,
+  // large ones are adopted by move.
+  void AppendOut(std::string&& s) {
+    if (s.empty()) {
+      return;
+    }
+    out_bytes += s.size();
+    if (s.size() <= kCoalesceMax && !outq.empty() &&
+        outq.back().shared == nullptr && outq.back().own.size() < kTailChunkMax) {
+      outq.back().own += s;
+      return;
+    }
+    OutChunk c;
+    c.own = std::move(s);
+    outq.push_back(std::move(c));
+  }
+
+  // Queues a shared immutable frame by reference (no byte copy). The frame
+  // still charges its full size to this connection's logical backlog.
+  void AppendFrame(std::shared_ptr<const std::string> frame) {
+    if (frame == nullptr || frame->empty()) {
+      return;
+    }
+    out_bytes += frame->size();
+    OutChunk c;
+    c.shared = std::move(frame);
+    outq.push_back(std::move(c));
+  }
+
   // Stages the reply for `seq`, then moves every consecutive ready reply
-  // into the output buffer. Returns true when new bytes became writable.
+  // into the output queue. Returns true when new bytes became writable.
   bool Complete(uint64_t seq, std::string&& reply) {
     replies.emplace(seq, std::move(reply));
     bool advanced = false;
     auto it = replies.find(next_to_send);
     while (it != replies.end()) {
-      out += it->second;
+      AppendOut(std::move(it->second));  // staged string moves, never copies
       replies.erase(it);
       ++next_to_send;
       advanced = true;
@@ -66,15 +139,44 @@ struct Conn {
     return advanced;
   }
 
-  bool WantsWrite() const { return out_off < out.size(); }
+  bool WantsWrite() const { return out_bytes > 0; }
 
-  void CompactOut() {
-    if (out_off == out.size()) {
-      out.clear();
+  // Logical pending bytes (cap accounting): shared frames count at full
+  // size per subscriber even though the bytes exist once.
+  size_t pending_out_bytes() const { return out_bytes; }
+
+  // Fills up to `max` iovecs from the pending chunks, starting at the
+  // front chunk's resume offset. Returns the count filled.
+  size_t BuildIovecs(struct iovec* iov, size_t max) const {
+    size_t n = 0;
+    size_t off = out_off;
+    for (const OutChunk& c : outq) {
+      if (n == max) {
+        break;
+      }
+      iov[n].iov_base = const_cast<char*>(c.data() + off);
+      iov[n].iov_len = c.size() - off;
+      ++n;
+      off = 0;
+    }
+    return n;
+  }
+
+  // Consumes `n` accepted bytes: pops fully written chunks (releasing
+  // owned memory / shared refs) and leaves `out_off` mid-chunk on a
+  // partial write so the next flush resumes exactly there.
+  void ConsumeOut(size_t n) {
+    out_bytes -= n;
+    while (n > 0) {
+      OutChunk& front = outq.front();
+      const size_t left = front.size() - out_off;
+      if (n < left) {
+        out_off += n;
+        return;
+      }
+      n -= left;
       out_off = 0;
-    } else if (out_off > 65536 && out_off * 2 > out.size()) {
-      out.erase(0, out_off);
-      out_off = 0;
+      outq.pop_front();
     }
   }
 };

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -521,11 +522,20 @@ void Server::ProcessInput(Conn& conn) {
 }
 
 void Server::HandleWritable(Conn& conn) {
+  // Scatter-gather flush: up to kFlushIovecs chunks per writev() — shared
+  // frames and coalesced tails alike go out in one syscall. A partial write
+  // leaves the resume offset mid-chunk; ConsumeOut pops what the kernel
+  // accepted (releasing owned buffers and shared-frame refs).
+  static constexpr size_t kFlushIovecs = 64;
+  struct iovec iov[kFlushIovecs];
   while (conn.WantsWrite()) {
-    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
-                              conn.out.size() - conn.out_off);
+    const size_t niov = conn.BuildIovecs(iov, kFlushIovecs);
+    const ssize_t n = ::writev(conn.fd, iov, static_cast<int>(niov));
     if (n > 0) {
-      conn.out_off += static_cast<size_t>(n);
+      ++flush_syscalls_;
+      flushed_bytes_ += static_cast<uint64_t>(n);
+      flush_chunks_ += niov;
+      conn.ConsumeOut(static_cast<size_t>(n));
       continue;
     }
     if (errno == EINTR) {
@@ -533,13 +543,11 @@ void Server::HandleWritable(Conn& conn) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       poller_->Watch(conn.fd, !conn.paused, true);
-      conn.CompactOut();
       return;
     }
     CloseConn(conn.id);
     return;
   }
-  conn.CompactOut();
   poller_->Watch(conn.fd, !conn.paused, false);
   if (conn.closing && conn.inflight == 0 && conn.replies.empty()) {
     CloseConn(conn.id);
@@ -831,6 +839,17 @@ void Server::DrainCompletions() {
     std::lock_guard<std::mutex> lk(comp_mu_);
     batch.swap(completions_);
   }
+  // Flushes are deferred to the end of the round: every completion a
+  // connection receives in this drain lands in its chunk queue first, then
+  // one writev ships them all — N sealed batches fanning out to a
+  // subscriber cost one syscall, not N.
+  std::vector<uint64_t> dirty;
+  const auto mark_dirty = [&dirty](Conn& conn) {
+    if (!conn.flush_pending) {
+      conn.flush_pending = true;
+      dirty.push_back(conn.id);
+    }
+  };
   for (Completion& c : batch) {
     const auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) {
@@ -840,31 +859,45 @@ void Server::DrainCompletions() {
     if (c.stream) {
       // Replication-stream frame: not a command reply, so it neither holds
       // an inflight slot nor passes the reorder buffer — by subscription
-      // time every earlier reply on this connection has flushed. A
-      // subscriber that stops reading is evicted at the output cap rather
-      // than growing `out` without bound.
-      conn.out += c.reply;
-      if (EnforceOutCap(conn)) {
-        continue;
+      // time every earlier reply on this connection has flushed. The frame
+      // is enqueued by reference (one serialization shared by every
+      // subscriber); the cap still counts its full logical size, so a
+      // subscriber that stops reading is evicted at the same backlog as
+      // with private copies.
+      if (c.frame != nullptr) {
+        ++frame_refs_;
+        frame_bytes_ += c.frame->size();
+        conn.AppendFrame(std::move(c.frame));
+      } else {
+        conn.AppendOut(std::move(c.reply));  // backlog replay path
       }
-      HandleWritable(conn);
+      if (!EnforceOutCap(conn)) {
+        mark_dirty(conn);
+      }
       continue;
     }
     JNVM_DCHECK(conn.inflight > 0);
     --conn.inflight;
     if (conn.Complete(c.seq, std::move(c.reply))) {
-      if (EnforceOutCap(conn)) {
-        continue;
+      if (!EnforceOutCap(conn)) {
+        mark_dirty(conn);
       }
-      HandleWritable(conn);
     }
+  }
+  for (const uint64_t id : dirty) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      continue;  // evicted later in the same round
+    }
+    it->second->flush_pending = false;
+    HandleWritable(*it->second);
   }
   // Completions mean shard queues drained: stalled submissions may fit now.
   RetryStalled();
 }
 
 bool Server::EnforceOutCap(Conn& conn) {
-  if (conn.out.size() - conn.out_off <= opts_.max_conn_out_bytes) {
+  if (conn.pending_out_bytes() <= opts_.max_conn_out_bytes) {
     return false;
   }
   ++out_overflows_;
@@ -886,6 +919,20 @@ std::string Server::BuildStats() {
                 static_cast<unsigned long long>(protocol_errors_),
                 static_cast<unsigned long long>(in_overflows_),
                 static_cast<unsigned long long>(out_overflows_));
+  out += line;
+  // chunks_per_flush ×100 (two implied decimals) keeps the dump integer-only.
+  const uint64_t cpf100 =
+      flush_syscalls_ == 0 ? 0 : flush_chunks_ * 100 / flush_syscalls_;
+  std::snprintf(line, sizeof(line),
+                "output: flush_syscalls=%llu flushed_bytes=%llu "
+                "chunks_per_flush=%llu.%02llu frame_refs=%llu "
+                "frame_bytes=%llu\n",
+                static_cast<unsigned long long>(flush_syscalls_),
+                static_cast<unsigned long long>(flushed_bytes_),
+                static_cast<unsigned long long>(cpf100 / 100),
+                static_cast<unsigned long long>(cpf100 % 100),
+                static_cast<unsigned long long>(frame_refs_),
+                static_cast<unsigned long long>(frame_bytes_));
   out += line;
   uint64_t records = 0, elided = 0, puts = 0, gets = 0, updates = 0, dels = 0;
   for (const auto& sh : shards_) {
@@ -924,7 +971,8 @@ std::string Server::BuildStats() {
           line, sizeof(line),
           "repl%u: role=%s sealed=%llu start=%llu applied=%llu "
           "log_bytes=%llu log_segments=%llu subs=%llu wait_acks=%u "
-          "acked=%llu parked=%llu wait_timeouts=%llu%s\n",
+          "acked=%llu parked=%llu wait_timeouts=%llu stream_frames=%llu "
+          "stream_frame_bytes=%llu apply_batch=%u%s\n",
           sh->index(), s.repl.follower ? "replica" : "primary",
           static_cast<unsigned long long>(s.repl.sealed_seq),
           static_cast<unsigned long long>(s.repl.start_seq),
@@ -936,6 +984,9 @@ std::string Server::BuildStats() {
           static_cast<unsigned long long>(s.repl.acked_seq),
           static_cast<unsigned long long>(s.repl.parked_batches),
           static_cast<unsigned long long>(s.repl.wait_timeouts),
+          static_cast<unsigned long long>(s.repl.stream_frames),
+          static_cast<unsigned long long>(s.repl.stream_frame_bytes),
+          s.repl.apply_batch,
           s.repl.needs_snapshot ? " needs_snapshot" : "");
       out += line;
     }
@@ -1014,13 +1065,17 @@ void Server::DoShutdown(uint64_t conn_id, uint64_t seq) {
 void Server::FlushAllBestEffort() {
   // Bounded synchronous flush of every connection's pending output (the
   // sockets are non-blocking; wait briefly for writability when stalled).
+  struct iovec iov[64];
   for (auto& [id, conn] : conns_) {
     int spins = 0;
     while (conn->WantsWrite() && spins < 200) {
-      const ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_off,
-                                conn->out.size() - conn->out_off);
+      const size_t niov = conn->BuildIovecs(iov, 64);
+      const ssize_t n = ::writev(conn->fd, iov, static_cast<int>(niov));
       if (n > 0) {
-        conn->out_off += static_cast<size_t>(n);
+        ++flush_syscalls_;
+        flushed_bytes_ += static_cast<uint64_t>(n);
+        flush_chunks_ += niov;
+        conn->ConsumeOut(static_cast<size_t>(n));
         continue;
       }
       if (errno == EINTR) {

@@ -164,6 +164,12 @@ class Server : public CompletionSink {
   uint64_t protocol_errors_ = 0;
   uint64_t in_overflows_ = 0;   // connections dropped: input cap exceeded
   uint64_t out_overflows_ = 0;  // connections dropped: output cap exceeded
+  // Output-path counters (chunked writev flush, DESIGN.md §7).
+  uint64_t flush_syscalls_ = 0;  // writev() calls that accepted bytes
+  uint64_t flushed_bytes_ = 0;   // bytes the kernel accepted
+  uint64_t flush_chunks_ = 0;    // chunks submitted across those calls
+  uint64_t frame_refs_ = 0;      // shared frames enqueued by reference
+  uint64_t frame_bytes_ = 0;     // logical bytes those refs would have copied
 };
 
 }  // namespace jnvm::server

@@ -676,29 +676,37 @@ void Shard::DeliverParked(ParkedBatch&& p, bool timed_out) {
 
 // Ships records [first, last] — just sealed by this batch's Psync — to all
 // stream subscribers. Stream completions bypass the reorder buffer and are
-// appended to the subscriber's socket in emission order.
+// appended to the subscriber's socket in emission order. The whole sealed
+// range is serialized exactly once into a refcounted immutable buffer;
+// each subscriber's completion carries a reference to the same bytes, so
+// fan-out cost is O(subscribers) pointers, not O(subscribers) memcpys.
 void Shard::StreamToSubscribers(uint64_t first_seq, uint64_t last_seq) {
   std::lock_guard<std::mutex> lk(subs_mu_);
   if (subs_.empty()) {
     return;
   }
+  auto buf = std::make_shared<std::string>();
   std::string payload;
   std::string frame;
-  std::string bulk;
   for (uint64_t seq = first_seq; seq <= last_seq; ++seq) {
     if (!log_->Read(seq, &payload)) {
       continue;  // truncated under retention pressure mid-batch
     }
     repl::EncodeRecord(seq, payload, &frame);
-    bulk.clear();
-    AppendBulk(&bulk, frame);
-    for (const Subscriber& sub : subs_) {
-      Completion c;
-      c.conn_id = sub.conn_id;
-      c.stream = true;
-      c.reply = bulk;
-      sink_->OnCompletion(std::move(c));
-    }
+    AppendBulk(buf.get(), frame);
+  }
+  if (buf->empty()) {
+    return;
+  }
+  stream_frames_.fetch_add(1, std::memory_order_relaxed);
+  stream_frame_bytes_.fetch_add(buf->size(), std::memory_order_relaxed);
+  const std::shared_ptr<const std::string> shared = std::move(buf);
+  for (const Subscriber& sub : subs_) {
+    Completion c;
+    c.conn_id = sub.conn_id;
+    c.stream = true;
+    c.frame = shared;
+    sink_->OnCompletion(std::move(c));
   }
 }
 
@@ -719,11 +727,17 @@ void Shard::WorkerLoop() {
   std::vector<uint8_t> wrote_flags;
   std::vector<repl::ReplOp> rops;
   const uint32_t max_batch = opts_.batch == 0 ? 1 : opts_.batch;
+  // Apply-side group size: how many kApply records (each one sealed primary
+  // batch) a follower folds into one local group commit. Defaults to the
+  // regular batch knob; --apply-batch decouples it from the primary's seal.
+  const uint32_t apply_cap =
+      opts_.apply_batch == 0 ? max_batch : opts_.apply_batch;
   for (;;) {
     batch.clear();
     replies.clear();
     wrote_flags.clear();
     rops.clear();
+    bool apply_run = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
       not_empty_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
@@ -732,10 +746,20 @@ void Shard::WorkerLoop() {
       }
       // Control ops run as singleton batches: they assume every earlier
       // batch is sealed and must not share a durability point with writes.
-      const size_t take = std::min<size_t>(max_batch, queue_.size());
+      // Batches are otherwise homogeneous in kind: a run of kApply records
+      // (each a sealed primary batch) groups up to apply_cap, anything else
+      // groups up to max_batch — kApply is a boundary in both directions so
+      // the two caps never mix within one durability point.
+      apply_run = queue_.front().op == Request::Op::kApply;
+      const uint32_t cap = apply_run ? apply_cap : max_batch;
+      const size_t take = std::min<size_t>(cap, queue_.size());
       for (size_t i = 0; i < take; ++i) {
         const bool ctrl = IsControl(queue_.front().op);
         if (ctrl && !batch.empty()) {
+          break;
+        }
+        if (!batch.empty() &&
+            (queue_.front().op == Request::Op::kApply) != apply_run) {
           break;
         }
         batch.push_back(std::move(queue_.front()));
@@ -748,7 +772,7 @@ void Shard::WorkerLoop() {
     not_full_.notify_all();
 
     bool wrote = false;
-    const bool group = max_batch > 1;
+    const bool group = (apply_run ? apply_cap : max_batch) > 1;
     const uint64_t log_first =
         log_ != nullptr ? log_->next_seq() : 0;  // first record this batch
     if (group) {
@@ -839,6 +863,10 @@ ShardStats Shard::Stats() const {
   s.repl.acked_seq = synced_seq_.load(std::memory_order_acquire);
   s.repl.wait_timeouts = wait_timeouts_.load(std::memory_order_relaxed);
   s.repl.parked_batches = parked_count_.load(std::memory_order_acquire);
+  s.repl.stream_frames = stream_frames_.load(std::memory_order_relaxed);
+  s.repl.stream_frame_bytes =
+      stream_frame_bytes_.load(std::memory_order_relaxed);
+  s.repl.apply_batch = opts_.apply_batch;
   {
     std::lock_guard<std::mutex> lk(subs_mu_);
     s.repl.subscribers = subs_.size();

@@ -91,6 +91,13 @@ struct ShardOptions {
   // Follower mode: client writes are rejected with -READONLY; state changes
   // arrive as kApply batches shipped from the primary.
   bool follower = false;
+  // Follower apply grouping, decoupled from the primary's sealed batch
+  // size: up to `apply_batch` shipped records (each one sealed primary
+  // batch) share a single apply-side group commit. 0 = follow `batch`.
+  // Bigger values amortise the follower's Psyncs across more primary
+  // batches and shrink drain lag; the sealed boundary stays per-record, so
+  // crash semantics are unchanged (see the abl_repl_lag ablation).
+  uint32_t apply_batch = 0;
 
   // ---- Synchronous replication (WAIT-K) -----------------------------------
   // When > 0, a batch that appended to the replication log is *parked* after
@@ -201,12 +208,15 @@ struct ReplWaiter {
 // delivery time the operation's effects are durable. `stream` marks
 // replication-stream frames: they bypass the per-connection reorder buffer
 // (a REPLSYNC connection has no further pending commands) and are appended
-// to the socket in arrival order.
+// to the socket in arrival order. Stream frames travel as `frame` — a
+// refcounted immutable buffer serialized once per sealed batch and shared
+// by every subscriber's completion, so fan-out never copies the payload.
 struct Completion {
   uint64_t conn_id = 0;
   uint64_t seq = 0;
   std::string reply;
   bool stream = false;
+  std::shared_ptr<const std::string> frame;  // stream payload (shared)
 };
 
 // Where shards hand finished requests. The server implementation pushes to
@@ -242,6 +252,14 @@ struct ReplStats {
   uint64_t log_bytes = 0;
   uint64_t log_segments = 0;
   uint64_t subscribers = 0;
+  // Fan-out cost accounting: one frame is serialized per sealed batch that
+  // had subscribers (stream_frames / stream_frame_bytes); every subscriber
+  // then receives the same refcounted buffer. Serializations are therefore
+  // independent of the subscriber count — the server-side `frame_refs`
+  // counter records the per-subscriber zero-copy enqueues.
+  uint64_t stream_frames = 0;
+  uint64_t stream_frame_bytes = 0;
+  uint32_t apply_batch = 0;  // follower apply grouping (0 = follow batch)
   // WAIT-K (primary role, wait_acks > 0): acked_seq is the K-th-highest
   // subscriber watermark — every record <= acked_seq is on >= K replicas.
   uint32_t wait_acks = 0;
@@ -394,6 +412,8 @@ class Shard {
   std::atomic<uint64_t> repl_segments_{0};
   std::atomic<uint64_t> applied_batches_{0};
   std::atomic<bool> repl_needs_snapshot_{false};
+  std::atomic<uint64_t> stream_frames_{0};       // frames serialized (once/batch)
+  std::atomic<uint64_t> stream_frame_bytes_{0};  // bytes serialized, pre-fan-out
 
   // A replication-stream subscriber and its durability watermark: every
   // record <= acked_seq is durable on that replica (REPLSYNC's from-seq

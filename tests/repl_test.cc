@@ -550,6 +550,55 @@ uint64_t SumStatsField(const std::string& stats, const char* field) {
   return sum;
 }
 
+TEST_F(ReplE2E, ApplyBatchDecouplesReplicaGroupCommit) {
+  // --apply-batch lets a replica fold many shipped records (each one sealed
+  // primary batch) into one local group commit. Primary at batch=1 seals
+  // one record per write; a replica joining after the fact drains the whole
+  // backlog, so with apply_batch=32 its worker must need far fewer batches
+  // than records applied — and converge to the same data.
+  ServerOptions popts = PrimaryOpts();
+  popts.shard.batch = 1;  // one sealed record per SET
+  std::string err;
+  auto primary = Server::Start(popts, &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  const int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+  }
+
+  ServerOptions ropts = ReplicaOpts(primary->port());
+  ropts.shard.batch = 1;           // replica's own client-facing batch
+  ropts.shard.apply_batch = 32;    // but applies group up to 32 records
+  // Slow fences make singleton applies visibly slow, so the pull loop
+  // outpaces the worker and the queue depth actually exercises grouping.
+  ropts.shard.fence_ns = 100'000;
+  auto replica = Server::Start(ropts, &err);
+  ASSERT_NE(replica, nullptr) << err;
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  ASSERT_TRUE(WaitForKeys(*rc, kN));
+
+  const std::string stats = rc->Stats().value_or("");
+  const uint64_t applied = SumStatsField(stats, "applied=");
+  const uint64_t psyncs = SumStatsField(stats, "psyncs=");
+  EXPECT_EQ(applied, static_cast<uint64_t>(kN)) << stats;
+  // The backlog drained in grouped applies: one Psync seals a whole group,
+  // so far fewer durability points than records. (Without decoupling,
+  // batch=1 would Psync once per applied record — ~kN total.)
+  EXPECT_LT(psyncs, applied / 4) << stats;
+  EXPECT_GT(SumStatsField(stats, "max_batch="), 2u) << stats;  // real groups
+  EXPECT_NE(stats.find("apply_batch=32"), std::string::npos) << stats;
+
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  EXPECT_TRUE(replica->shutdown_report().ok);  // grouped applies audit clean
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
 class WaitE2E : public ::testing::TestWithParam<bool> {
  protected:
   ServerOptions PrimaryOpts(uint32_t wait_acks, uint32_t timeout_ms) {

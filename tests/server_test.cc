@@ -252,6 +252,112 @@ TEST(Shard, Batch1KeepsWriteThroughSemantics) {
   EXPECT_FALSE(shard->Submit(Request{}));  // terminal after quiesce
 }
 
+// ---- Chunked output queue ---------------------------------------------------
+
+TEST(ConnOutQueue, SmallAppendsCoalesceIntoTailChunk) {
+  Conn c;
+  c.AppendOut("+OK\r\n");
+  c.AppendOut(":1\r\n");
+  c.AppendOut("$3\r\nabc\r\n");
+  EXPECT_EQ(c.outq.size(), 1u);  // one mutable tail, three replies
+  EXPECT_EQ(c.pending_out_bytes(), 5u + 4u + 9u);
+  EXPECT_EQ(std::string(c.outq.front().data(), c.outq.front().size()),
+            "+OK\r\n:1\r\n$3\r\nabc\r\n");
+}
+
+TEST(ConnOutQueue, LargeAppendBecomesItsOwnChunkWithoutCopy) {
+  Conn c;
+  c.AppendOut("+OK\r\n");
+  std::string big(Conn::kCoalesceMax + 1, 'x');
+  const char* payload = big.data();
+  c.AppendOut(std::move(big));
+  ASSERT_EQ(c.outq.size(), 2u);  // coalesced tail + the big chunk
+  EXPECT_EQ(c.outq[1].data(), payload);  // the buffer moved, not copied
+  // The adopted chunk then becomes the tail: later small replies coalesce
+  // into it (amortized growth) until it hits kTailChunkMax.
+  c.AppendOut("+OK\r\n");
+  EXPECT_EQ(c.outq.size(), 2u);
+  EXPECT_EQ(c.outq[1].size(), Conn::kCoalesceMax + 1 + 5);
+}
+
+TEST(ConnOutQueue, SharedFrameChargesLogicalBytesWithoutCopy) {
+  auto frame = std::make_shared<const std::string>(std::string(4096, 'f'));
+  Conn a;
+  Conn b;
+  a.AppendFrame(frame);
+  b.AppendFrame(frame);
+  // Both connections point at the same bytes yet each is charged in full:
+  // cap accounting sees the backlog a private copy would have produced.
+  EXPECT_EQ(a.outq.front().data(), frame->data());
+  EXPECT_EQ(b.outq.front().data(), frame->data());
+  EXPECT_EQ(a.pending_out_bytes(), 4096u);
+  EXPECT_EQ(b.pending_out_bytes(), 4096u);
+  EXPECT_EQ(frame.use_count(), 3);  // local + two subscribers
+  a.ConsumeOut(4096);
+  EXPECT_EQ(frame.use_count(), 2);  // a's ref released on full consume
+  EXPECT_EQ(b.pending_out_bytes(), 4096u);  // b unaffected
+}
+
+TEST(ConnOutQueue, ConsumeResumesMidChunkAcrossKinds) {
+  // Mixed queue: coalesced tail, shared frame, another tail. Consume in
+  // awkward increments and check the iovec view always resumes exactly
+  // where the previous partial write stopped.
+  Conn c;
+  c.AppendOut("0123456789");
+  c.AppendFrame(std::make_shared<const std::string>("ABCDEFGHIJ"));
+  c.AppendOut("abcdefghij");
+  const std::string want = "0123456789ABCDEFGHIJabcdefghij";
+  std::string got;
+  size_t step = 1;
+  while (c.WantsWrite()) {
+    struct iovec iov[4];
+    const size_t n = c.BuildIovecs(iov, 4);
+    ASSERT_GT(n, 0u);
+    // Take `step` bytes from the scattered view, as a short writev would.
+    size_t take = std::min(step, c.pending_out_bytes());
+    size_t left = take;
+    for (size_t i = 0; i < n && left > 0; ++i) {
+      const size_t k = std::min(left, iov[i].iov_len);
+      got.append(static_cast<const char*>(iov[i].iov_base), k);
+      left -= k;
+    }
+    c.ConsumeOut(take);
+    step = step * 2 + 1;  // 1, 3, 7, 15, ... crosses every chunk boundary
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(c.outq.empty());
+  EXPECT_EQ(c.out_off, 0u);
+}
+
+TEST(ConnOutQueue, TailChunkStopsGrowingAtCap) {
+  Conn c;
+  const std::string fill(Conn::kCoalesceMax, 'y');
+  size_t appends = 0;
+  while (c.outq.size() < 2) {
+    std::string s = fill;
+    c.AppendOut(std::move(s));
+    ++appends;
+  }
+  EXPECT_GT(appends * Conn::kCoalesceMax, Conn::kTailChunkMax);
+  EXPECT_LE(c.outq.front().size(),
+            Conn::kTailChunkMax + Conn::kCoalesceMax);
+}
+
+TEST(ConnOutQueue, CompleteMovesStagedReplies) {
+  // Out-of-order completions stage in the reorder buffer; once the gap
+  // fills, the staged strings must MOVE into the queue (large replies keep
+  // their buffer identity — the reply-staging copy was a real regression).
+  Conn c;
+  std::string big(Conn::kCoalesceMax + 100, 'r');
+  const char* payload = big.data();
+  EXPECT_FALSE(c.Complete(1, std::move(big)));  // gap: seq 0 missing
+  EXPECT_EQ(c.pending_out_bytes(), 0u);
+  EXPECT_TRUE(c.Complete(0, "+OK\r\n"));
+  ASSERT_EQ(c.outq.size(), 2u);
+  EXPECT_EQ(c.outq[1].data(), payload);  // staged reply moved, not copied
+  EXPECT_EQ(c.next_to_send, 2u);
+}
+
 // ---- End-to-end loopback ----------------------------------------------------
 
 class ServerE2E : public ::testing::TestWithParam<bool> {
@@ -722,6 +828,92 @@ TEST_P(HardeningE2E, OutputCapEvictsSlowReplicationSubscriber) {
   // The server is healthy and normal clients are untouched.
   EXPECT_TRUE(good->Ping());
   EXPECT_TRUE(good->Shutdown());
+  server->Wait();
+}
+
+TEST_P(HardeningE2E, OutputPathCountersVisibleInStats) {
+  // The chunked flush path surfaces its own counters: writev syscalls,
+  // bytes the kernel accepted, and — once a REPLSYNC subscriber is fed —
+  // zero-copy frame refs. All of them must be live, not placeholders.
+  ServerOptions opts;
+  opts.nshards = 1;
+  opts.shard = SmallShard(/*batch=*/8);
+  opts.shard.device_bytes = 128ull << 20;
+  opts.force_poll = GetParam();
+  std::string err;
+  auto server = Server::Start(opts, &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  auto c = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(c, nullptr) << err;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(c->Set("k" + std::to_string(i), "v" + std::to_string(i)));
+  }
+  EXPECT_GT(StatsField(*c, "flush_syscalls="), 0u);
+  EXPECT_GT(StatsField(*c, "flushed_bytes="), 0u);
+  EXPECT_EQ(StatsField(*c, "frame_refs="), 0u);  // no subscriber yet
+
+  // A draining subscriber turns sealed batches into shared-frame refs.
+  auto sub = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(sub, nullptr) << err;
+  ASSERT_TRUE(sub->SendCommand({"REPLSYNC", "0", "1"}));
+  RespReply r;
+  ASSERT_TRUE(sub->ReadOneReply(&r));  // +SYNC handshake
+  while (StatsField(*c, "subs=") < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(c->Set("s" + std::to_string(i), "v"));
+  }
+  EXPECT_GT(StatsField(*c, "frame_refs="), 0u);
+  EXPECT_GT(StatsField(*c, "stream_frames="), 0u);
+  // chunks_per_flush renders as a decimal; just check the field exists.
+  EXPECT_NE(c->Stats().value_or("").find("chunks_per_flush="),
+            std::string::npos);
+
+  sub->ShutdownSocket();
+  EXPECT_TRUE(c->Shutdown());
+  server->Wait();
+}
+
+TEST_P(HardeningE2E, PartialWritevResumesMidChunk) {
+  // A reply far larger than the socket buffers forces the flush to stop
+  // mid-chunk (EAGAIN) and resume across many poller wakeups; a reader
+  // that drains slowly must still receive byte-exact data. This exercises
+  // out_off resume + BuildIovecs offset math end to end.
+  ServerOptions opts;
+  opts.nshards = 1;
+  opts.shard = SmallShard(/*batch=*/4);
+  opts.shard.device_bytes = 128ull << 20;
+  opts.force_poll = GetParam();
+  std::string err;
+  auto server = Server::Start(opts, &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  std::string big(6 << 20, '\0');  // 6MB >> any default socket buffer
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i * 131) % 26);
+  }
+  auto w = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(w, nullptr) << err;
+  ASSERT_TRUE(w->Set("big", big)) << w->last_error();
+
+  // Interleave small replies so the queue holds multiple chunks when the
+  // big GET lands: PING replies coalesce, the big value rides alone.
+  RawConn raw(server->port());
+  ASSERT_TRUE(raw.ok());
+  std::string wire;
+  wire += Frame({"PING"});
+  wire += Frame({"GET", "big"});
+  wire += Frame({"PING"});
+  ASSERT_TRUE(raw.Send(wire));
+  std::string want = "+PONG\r\n$" + std::to_string(big.size()) + "\r\n" +
+                     big + "\r\n+PONG\r\n";
+  std::string got = raw.ReadUntilClose(want.size());
+  EXPECT_EQ(got.size(), want.size());
+  EXPECT_EQ(got, want);
+
+  EXPECT_TRUE(w->Shutdown());
   server->Wait();
 }
 

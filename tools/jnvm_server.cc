@@ -5,7 +5,7 @@
 //               [--queue=N] [--poll] [--optane] [--fence-ns=N]
 //               [--replica-of=HOST:PORT] [--no-repl-log]
 //               [--repl-segment=BYTES] [--repl-retention=SEGS]
-//               [--wait-acks=K] [--wait-timeout-ms=N]
+//               [--wait-acks=K] [--wait-timeout-ms=N] [--apply-batch=N]
 //
 // With --image-base, shard images are saved on SHUTDOWN and recovered on
 // the next start — kill the server with SHUTDOWN (or SIGINT/SIGTERM),
@@ -17,6 +17,9 @@
 // replication subscribers have acknowledged the sealed log sequence; after
 // --wait-timeout-ms the write replies degrade to -WAITTIMEOUT (the data is
 // still locally durable). K=0 (the default) is asynchronous replication.
+// --apply-batch decouples a replica's apply-side group-commit size from the
+// primary's sealed batch size: up to N shipped records (each one sealed
+// primary batch) share one local durability point. 0 follows --batch.
 // Exit status is 0 only when every shard quiesced with a clean integrity
 // audit (I1–I7).
 
@@ -81,6 +84,8 @@ int main(int argc, char** argv) {
       opts.shard.wait_acks = static_cast<uint32_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--wait-timeout-ms", &v)) {
       opts.shard.wait_timeout_ms = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--apply-batch", &v)) {
+      opts.shard.apply_batch = static_cast<uint32_t>(std::atoi(v));
     } else if (std::strcmp(argv[i], "--poll") == 0) {
       opts.force_poll = true;
     } else if (std::strcmp(argv[i], "--optane") == 0) {
