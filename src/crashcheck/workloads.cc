@@ -1499,12 +1499,221 @@ class WaitWorkload final : public Workload {
   std::unique_ptr<repl::ReplLog> log_;
 };
 
+// "read-your-writes" models the session-read contract (DESIGN.md §8) across
+// replica crashes: a client holds a MINSEQ token for every write the primary
+// acked to it, and a replica may only answer its reads from a state whose
+// applied watermark covers the token. Each checker op is one shipped record
+// applied and mirrored under one Psync — the exact event after which
+// Shard::PublishReplStats advances the watermark and parked session reads
+// are released. The crash cuts at every persistence event inside that op.
+//
+// Oracle, per cut:
+//   * the recovered watermark (sealed = log->next_seq()-1) never regresses
+//     below the ack point: sealed >= committed (sealed == committed + 1 only
+//     when the in-flight op's append happened to seal),
+//   * for every session token m in [1, sealed] — every read a client could
+//     legally issue after recovery — the store's value for the key written
+//     at seq m carries a version >= m: no read EVER observes state older
+//     than the reader's min-seq token,
+//   * the full store equals the replay of exactly `sealed` records, with
+//     the usual old-or-new allowance for the unsealed in-flight record's
+//     key — old is fine for *that* key because its seq is > every issuable
+//     token.
+//
+// Each record writes exactly one key (round-robin over a small key set) with
+// the value "v<op-index>", so a stale read is always distinguishable as a
+// too-small version number.
+class ReadYourWritesWorkload final : public Workload {
+ public:
+  static constexpr int kKeys = 5;
+
+  ReadYourWritesWorkload(uint64_t seed, size_t n) : name_("read-your-writes") {
+    Xorshift rng(seed);
+    script_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Round-robin keys with a random skip so every key accumulates
+      // multiple versions at irregular seq distances.
+      const int k = static_cast<int>((i + rng.NextBelow(2)) % kKeys);
+      script_.push_back(Op{"k" + std::to_string(k),
+                           ValueFor(i, rng.NextBelow(6) == 0)});
+      repl::ReplOp rop;
+      rop.kind = repl::ReplOp::Kind::kPut;
+      rop.key = script_.back().key;
+      rop.record.fields.push_back(script_.back().value);
+      std::string f;
+      repl::EncodeBatch({rop}, &f);
+      frames_.push_back(std::move(f));
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    backend_ = std::make_unique<store::JpdtBackend>(&rt, "shard0",
+                                                    /*initial_capacity=*/4);
+    log_ = repl::ReplLog::OpenOrCreate(&rt, "repl0", TinyLog());
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    rt.heap().BeginGroupCommit();
+    store::Record r;
+    r.fields.push_back(script_[i].value);
+    backend_->Put(script_[i].key, r);
+    log_->Append(static_cast<uint64_t>(i) + 1, frames_[i]);
+    rt.heap().EndGroupCommit();
+    rt.Psync();  // watermark advance: parked session reads release here
+    rt.DrainGroupFrees();
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    auto log = repl::ReplLog::OpenOrCreate(&rt, "repl0", TinyLog());
+    backend_ = std::make_unique<store::JpdtBackend>(&rt, "shard0",
+                                                    /*initial_capacity=*/4);
+    if (log->needs_snapshot()) {
+      out->push_back("log reports needs_snapshot without a snapshot install");
+      return;
+    }
+    const uint64_t c = cut.committed;
+    const bool has_inflight =
+        cut.in_flight.has_value() && *cut.in_flight < script_.size();
+    const uint64_t sealed = log->next_seq() - 1;
+    if (sealed < c) {
+      out->push_back("watermark regressed: log retains " +
+                     std::to_string(sealed) + " records but seq " +
+                     std::to_string(c) + " was already released to readers");
+      return;
+    }
+    if (sealed != c && !(has_inflight && sealed == c + 1)) {
+      out->push_back("log retains " + std::to_string(sealed) +
+                     " records, want " + std::to_string(c) +
+                     (has_inflight ? " or +1" : ""));
+      return;
+    }
+    std::string payload;
+    for (uint64_t q = log->start_seq(); q < log->next_seq(); ++q) {
+      if (!log->Read(q, &payload) || payload != frames_[q - 1]) {
+        out->push_back("record " + std::to_string(q) +
+                       " unreadable or does not match the shipped frame");
+      }
+    }
+
+    // Replica restart: redo the tail record (Shard::Open), then the store is
+    // what post-recovery session reads observe.
+    if (sealed > 0) {
+      store::Record r;
+      r.fields.push_back(script_[sealed - 1].value);
+      backend_->Put(script_[sealed - 1].key, r);
+    }
+    rt.Psync();
+
+    std::map<std::string, std::string> got;
+    backend_->SnapshotRecords([&](const std::string& k, const store::Record& r) {
+      got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+    });
+
+    // The in-flight record's key (when unsealed) is old-or-new; its seq is
+    // above every issuable token, so "old" never violates a session.
+    const std::string* inflight_key =
+        has_inflight && sealed == c ? &script_[c].key : nullptr;
+
+    // Session-read oracle: every token a client could hold after recovery.
+    for (uint64_t m = 1; m <= sealed; ++m) {
+      const std::string& k = script_[m - 1].key;
+      const auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back("session read with token " + std::to_string(m) +
+                       " misses key " + k + " written at that seq");
+        continue;
+      }
+      const uint64_t version = VersionOf(it->second);
+      if (version < m) {
+        out->push_back("session read with token " + std::to_string(m) +
+                       " observed key " + k + " at version " +
+                       std::to_string(version) + " — older than the token");
+      }
+    }
+
+    // Full-store check against the replay of exactly `sealed` records.
+    std::map<std::string, std::string> expected;
+    for (uint64_t q = 0; q < sealed; ++q) {
+      expected[script_[q].key] = script_[q].value;
+    }
+    for (const auto& [k, v] : expected) {
+      if (inflight_key != nullptr && k == *inflight_key) {
+        continue;
+      }
+      const auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back("released key " + k + " lost");
+      } else if (it->second != v) {
+        out->push_back("released key " + k + " has '" + it->second +
+                       "', want '" + v + "'");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (expected.count(k) == 0 &&
+          (inflight_key == nullptr || k != *inflight_key)) {
+        out->push_back("phantom key " + k);
+      }
+    }
+    if (inflight_key != nullptr) {
+      const auto it = got.find(*inflight_key);
+      const auto old_it = expected.find(*inflight_key);
+      if (it != got.end()) {
+        const bool is_old =
+            old_it != expected.end() && it->second == old_it->second;
+        const bool is_new = it->second == script_[c].value;
+        if (!is_old && !is_new) {
+          out->push_back("in-flight op left torn value '" + it->second +
+                         "' for key " + *inflight_key);
+        }
+      } else if (old_it != expected.end()) {
+        out->push_back("in-flight put erased pre-existing key " +
+                       *inflight_key);
+      }
+    }
+  }
+
+ private:
+  struct Op {
+    std::string key;
+    std::string value;  // "v<op-index>" (+ optional padding)
+  };
+
+  static repl::ReplLogOptions TinyLog() {
+    repl::ReplLogOptions o;
+    o.segment_bytes = 256;
+    o.max_segments = 3;
+    return o;
+  }
+
+  // ValueFor() encodes the op index right after the leading 'v'; the op at
+  // index i seals as seq i+1.
+  static uint64_t VersionOf(const std::string& value) {
+    uint64_t idx = 0;
+    for (size_t p = 1; p < value.size() && value[p] >= '0' && value[p] <= '9';
+         ++p) {
+      idx = idx * 10 + static_cast<uint64_t>(value[p] - '0');
+    }
+    return idx + 1;
+  }
+
+  std::string name_;
+  std::vector<Op> script_;
+  std::vector<std::string> frames_;
+  std::unique_ptr<store::JpdtBackend> backend_;
+  std::unique_ptr<repl::ReplLog> log_;
+};
+
 }  // namespace
 
 std::vector<std::string> WorkloadKinds() {
   return {"map-hash", "map-tree",   "map-skip", "map-long", "set",  "array",
           "string",   "pfa",        "server",   "repl",     "repl-apply",
-          "wait"};
+          "wait",     "read-your-writes"};
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
@@ -1549,6 +1758,9 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
   }
   if (kind == "wait") {
     return std::make_unique<WaitWorkload>(script_seed, op_count);
+  }
+  if (kind == "read-your-writes") {
+    return std::make_unique<ReadYourWritesWorkload>(script_seed, op_count);
   }
   JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
   return nullptr;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/common/check.h"
+#include "src/repl/frame.h"
 #include "src/server/client.h"
 #include "src/server/shard.h"
 
@@ -133,6 +134,7 @@ ReplClientStats ReplClient::Stats() const {
   s.records_received = records_received_.load(std::memory_order_relaxed);
   s.snapshots_installed = snapshots_installed_.load(std::memory_order_relaxed);
   s.resyncs = resyncs_.load(std::memory_order_relaxed);
+  s.gap_resyncs = gap_resyncs_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -220,12 +222,28 @@ void ReplClient::PullLoop(uint32_t shard_index) {
         established_[shard_index] = 1;
       }
       backoff_ms = kBackoffStartMs;
+      // The stream is contiguous by construction (the backlog and the
+      // subscription are registered in one control batch), so any sequence
+      // discontinuity means the upstream's log changed under us — a
+      // mid-tree feeder that re-bootstrapped onto a new epoch, or a record
+      // truncated out of a chained feeder's retention window mid-stream.
+      // Submitting past a gap would be silently dropped by ExecuteApply
+      // forever; tear down instead and resync from our durable boundary
+      // (which lands on -SNAPSHOT → bootstrap when seqs no longer line up).
+      uint64_t expected = from;
       for (;;) {
         server::RespReply rec;
         if (!conn->ReadOneReply(&rec) ||
             rec.type != server::RespReply::Type::kBulk) {
           break;  // stream torn down (or peer gone)
         }
+        uint64_t seq = 0;
+        std::string_view body;
+        if (!DecodeRecord(rec.str, &seq, &body) || seq != expected) {
+          gap_resyncs_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        ++expected;
         records_received_.fetch_add(1, std::memory_order_relaxed);
         server::Request req;
         req.op = server::Request::Op::kApply;

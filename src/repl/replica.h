@@ -42,6 +42,9 @@ struct ReplClientStats {
   uint64_t records_received = 0;
   uint64_t snapshots_installed = 0;
   uint64_t resyncs = 0;  // reconnects after an established stream broke
+  // Streams torn down on a sequence discontinuity (upstream log epoch
+  // changed or retention truncated mid-stream — chained-feed self-healing).
+  uint64_t gap_resyncs = 0;
 };
 
 class ReplClient {
@@ -95,6 +98,7 @@ class ReplClient {
   std::atomic<uint64_t> records_received_{0};
   std::atomic<uint64_t> snapshots_installed_{0};
   std::atomic<uint64_t> resyncs_{0};
+  std::atomic<uint64_t> gap_resyncs_{0};
 
   std::mutex stopped_mu_;
   bool stopped_ = false;

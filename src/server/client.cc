@@ -222,6 +222,32 @@ bool Client::Mset(const std::vector<std::pair<std::string, std::string>>& pairs)
   return r.type == RespReply::Type::kSimple;
 }
 
+std::optional<uint64_t> Client::LastSeq(uint32_t shard) {
+  RespReply r;
+  if (!Roundtrip({"LASTSEQ", std::to_string(shard)}, &r)) {
+    return std::nullopt;
+  }
+  if (r.type != RespReply::Type::kInteger) {
+    if (r.type == RespReply::Type::kError) {
+      err_ = r.str;
+    }
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(r.integer);
+}
+
+bool Client::MinSeq(uint32_t shard, uint64_t seq) {
+  RespReply r;
+  if (!Roundtrip({"MINSEQ", std::to_string(shard), std::to_string(seq)}, &r)) {
+    return false;
+  }
+  if (r.type == RespReply::Type::kError) {
+    err_ = r.str;
+    return false;
+  }
+  return r.type == RespReply::Type::kSimple;
+}
+
 std::optional<std::string> Client::Stats() {
   RespReply r;
   if (!Roundtrip({"STATS"}, &r) || r.type != RespReply::Type::kBulk) {

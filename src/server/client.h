@@ -40,6 +40,14 @@ class Client {
   bool Hset(const std::string& key, uint32_t field, const std::string& value);
   bool Touch(const std::string& key);
   bool Mset(const std::vector<std::pair<std::string, std::string>>& pairs);
+  // ---- Session consistency (DESIGN.md §8) --------------------------------
+  // LastSeq asks a server for a shard's sealed watermark; on a primary that
+  // covers every write this connection issued before the call, so the value
+  // is the session token for read-your-writes on replicas. MinSeq raises
+  // this connection's read floor on a (replica) server: subsequent reads on
+  // the shard park until the replica applied through `seq`, or fail -STALE.
+  std::optional<uint64_t> LastSeq(uint32_t shard);
+  bool MinSeq(uint32_t shard, uint64_t seq);
   std::optional<std::string> Stats();
   // +OK = clean quiesce (integrity audit passed, images saved).
   bool Shutdown();

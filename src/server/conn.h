@@ -83,6 +83,22 @@ struct Conn {
   uint64_t inflight = 0;  // submitted to shards, not yet completed
   bool closing = false;   // close once the queue drains and inflight == 0
 
+  // Session consistency tokens (MINSEQ <shard> <seq>): per-shard floor a
+  // read on this connection must observe. Monotone — MINSEQ only raises a
+  // slot, so a session can never accidentally weaken its own contract.
+  std::map<uint32_t, uint64_t> min_seq;
+
+  uint64_t MinSeqFor(uint32_t shard) const {
+    const auto it = min_seq.find(shard);
+    return it == min_seq.end() ? 0 : it->second;
+  }
+  void RaiseMinSeq(uint32_t shard, uint64_t seq) {
+    uint64_t& slot = min_seq[shard];
+    if (seq > slot) {
+      slot = seq;
+    }
+  }
+
   // Backpressure: parsed requests waiting for shard-queue space. While
   // non-empty the connection is read-paused (`paused`): the poller stops
   // watching readable and no further buffered commands are dispatched, so

@@ -364,11 +364,13 @@ void Server::EventLoop() {
       break;
     }
     // Periodic work rides the wait timeout: expire WAIT-K parked batches
-    // (degraded -WAITTIMEOUT delivery) and re-drive stalled submissions.
+    // (degraded -WAITTIMEOUT delivery), expire parked session reads to
+    // -STALE, and re-drive stalled submissions.
     {
       const uint64_t now_ms = NowNs() / 1000000ull;
       for (auto& sh : shards_) {
         sh->TickWait(now_ms);
+        sh->TickReadStale(now_ms);
       }
     }
     RetryStalled();
@@ -724,6 +726,58 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     req.conn_id = conn.id;
     req.seq = seq;
     const uint32_t idx = ShardFor(req.key, static_cast<uint32_t>(shards_.size()));
+    if (req.op == Request::Op::kGet || req.op == Request::Op::kTouch) {
+      req.min_seq = conn.MinSeqFor(idx);
+    }
+    ++conn.inflight;
+    if (req.min_seq > 0) {
+      // Session read: when the shard's applied watermark is behind the
+      // connection's MINSEQ token the shard parks the read (released by the
+      // apply batch that catches up, or -STALE on timeout/overflow). kReady
+      // leaves the request untouched and it submits like any other read.
+      switch (shards_[idx]->GateSessionRead(req, NowNs() / 1000000ull)) {
+        case Shard::ReadGate::kReady:
+          break;
+        case Shard::ReadGate::kParked:
+        case Shard::ReadGate::kStale:
+          return true;  // the shard owns the completion now
+      }
+    }
+    if (!SubmitOrStall(conn, idx, std::move(req))) {
+      --conn.inflight;
+      return inline_error("server shutting down");
+    }
+    return true;
+  }
+  if (cmd == "MINSEQ" || cmd == "LASTSEQ") {
+    // Session-consistency plane. MINSEQ <shard> <seq> raises this
+    // connection's read floor for the shard (monotone; answered inline).
+    // LASTSEQ <shard> runs as a singleton control batch on the shard worker
+    // and replies the sealed watermark — on a primary that covers every
+    // write the connection pipelined before it, which is exactly the token
+    // a client needs for read-your-writes on a replica.
+    const size_t want = cmd == "MINSEQ" ? 3 : 2;
+    uint32_t idx = 0;
+    if (args.size() != want || !ParseU32(args[1], &idx) ||
+        idx >= shards_.size()) {
+      return inline_error(cmd + " expects a shard index" +
+                          (cmd == "MINSEQ" ? " and a sequence number" : ""));
+    }
+    if (cmd == "MINSEQ") {
+      uint64_t mseq = 0;
+      if (!ParseU64(args[2], &mseq)) {
+        return inline_error("MINSEQ seq must be a decimal sequence number");
+      }
+      conn.RaiseMinSeq(idx, mseq);
+      std::string r;
+      AppendSimple(&r, "OK");
+      CompleteInline(conn, seq, std::move(r));
+      return true;
+    }
+    Request req;
+    req.op = Request::Op::kLastSeq;
+    req.conn_id = conn.id;
+    req.seq = seq;
     ++conn.inflight;
     if (!SubmitOrStall(conn, idx, std::move(req))) {
       --conn.inflight;
@@ -972,7 +1026,8 @@ std::string Server::BuildStats() {
           "repl%u: role=%s sealed=%llu start=%llu applied=%llu "
           "log_bytes=%llu log_segments=%llu subs=%llu wait_acks=%u "
           "acked=%llu parked=%llu wait_timeouts=%llu stream_frames=%llu "
-          "stream_frame_bytes=%llu apply_batch=%u%s\n",
+          "stream_frame_bytes=%llu apply_batch=%u parked_reads=%llu "
+          "released_reads=%llu stale_reads=%llu%s\n",
           sh->index(), s.repl.follower ? "replica" : "primary",
           static_cast<unsigned long long>(s.repl.sealed_seq),
           static_cast<unsigned long long>(s.repl.start_seq),
@@ -987,6 +1042,9 @@ std::string Server::BuildStats() {
           static_cast<unsigned long long>(s.repl.stream_frames),
           static_cast<unsigned long long>(s.repl.stream_frame_bytes),
           s.repl.apply_batch,
+          static_cast<unsigned long long>(s.repl.parked_reads),
+          static_cast<unsigned long long>(s.repl.released_reads),
+          static_cast<unsigned long long>(s.repl.stale_reads),
           s.repl.needs_snapshot ? " needs_snapshot" : "");
       out += line;
     }
@@ -994,10 +1052,12 @@ std::string Server::BuildStats() {
   if (repl_client_ != nullptr) {
     const repl::ReplClientStats rs = repl_client_->Stats();
     std::snprintf(line, sizeof(line),
-                  "replclient: received=%llu snapshots=%llu resyncs=%llu\n",
+                  "replclient: received=%llu snapshots=%llu resyncs=%llu "
+                  "gap_resyncs=%llu\n",
                   static_cast<unsigned long long>(rs.records_received),
                   static_cast<unsigned long long>(rs.snapshots_installed),
-                  static_cast<unsigned long long>(rs.resyncs));
+                  static_cast<unsigned long long>(rs.resyncs),
+                  static_cast<unsigned long long>(rs.gap_resyncs));
     out += line;
   }
   std::snprintf(line, sizeof(line),

@@ -48,7 +48,8 @@ std::string ImagePathFor(const ShardOptions& opts, uint32_t index) {
 
 bool IsControl(Request::Op op) {
   return op == Request::Op::kReplSync || op == Request::Op::kReplSnap ||
-         op == Request::Op::kSnapInstall || op == Request::Op::kPromote;
+         op == Request::Op::kSnapInstall || op == Request::Op::kPromote ||
+         op == Request::Op::kLastSeq;
 }
 
 constexpr char kReadonlyMsg[] = "READONLY replica - write rejected";
@@ -363,6 +364,17 @@ bool Shard::Execute(const Request& req, std::string* reply,
     case Request::Op::kPromote:
       ExecutePromote(req, reply);
       return false;
+    case Request::Op::kLastSeq: {
+      // Singleton control batch: every write the connection pipelined ahead
+      // of this command is already sealed, so next-1 covers them all — the
+      // client lib turns this into its session min-seq token.
+      if (log_ == nullptr) {
+        AppendError(reply, "replication log disabled");
+      } else {
+        AppendInteger(reply, static_cast<int64_t>(log_->next_seq() - 1));
+      }
+      return false;
+    }
   }
   AppendError(reply, "internal: unknown op");
   return false;
@@ -451,6 +463,14 @@ void Shard::ExecuteReplSync(const Request& req, std::string* reply) {
 void Shard::ExecuteReplSnap(std::string* reply) {
   if (log_ == nullptr) {
     AppendError(reply, "replication log disabled");
+    return;
+  }
+  // Chained shipping rule: a feeder only ever ships sealed-and-applied
+  // state. Mid-bootstrap (crashed between a snapshot install's fences, or
+  // never bootstrapped) the store is not a sealed prefix of anything —
+  // refuse, and the downstream retries once this shard has caught up.
+  if (log_->needs_snapshot()) {
+    AppendError(reply, "REPLSNAP unavailable: shard is mid-bootstrap");
     return;
   }
   std::vector<repl::SnapshotEntry> entries;
@@ -674,6 +694,142 @@ void Shard::DeliverParked(ParkedBatch&& p, bool timed_out) {
   DeliverBatch(p.reqs, p.replies);
 }
 
+// ---- Session-read parking ---------------------------------------------------
+//
+// Lifecycle of a parked read: the event loop gates a kGet/kTouch whose
+// MINSEQ token is ahead of the shard's applied watermark and parks it here
+// (never in the worker queue — kApply batches must keep flowing, or the
+// watermark could never catch up). The apply batch that advances the
+// watermark releases every now-covered read in park order and executes it
+// on the worker thread, against exactly the sealed-prefix state it waited
+// for. A read the watermark never reaches is answered -STALE when its
+// deadline passes (event-loop tick) — an explicit refusal, never a silently
+// old value. The park bound overflowing answers -STALE immediately.
+
+Shard::ReadGate Shard::GateSessionRead(Request& req, uint64_t now_ms) {
+  JNVM_CHECK(req.op == Request::Op::kGet || req.op == Request::Op::kTouch);
+  if (req.min_seq == 0 || !opts_.repl_log) {
+    return ReadGate::kReady;
+  }
+  std::lock_guard<std::mutex> lk(read_park_mu_);
+  // Recheck under the park lock: a watermark advance that completed before
+  // we acquired it is visible here; one completing after will find this
+  // entry in its release scan. No lost wakeups.
+  const uint64_t sealed = sealed_seq_.load(std::memory_order_acquire);
+  if (sealed >= req.min_seq) {
+    return ReadGate::kReady;
+  }
+  if (stop_parking_.load(std::memory_order_acquire) ||
+      parked_reads_.size() >= opts_.read_park_max) {
+    CompleteStaleRead(req, sealed);
+    return ReadGate::kStale;
+  }
+  ParkedRead pr;
+  pr.deadline_ms = now_ms + opts_.read_stale_timeout_ms;
+  pr.req = std::move(req);
+  parked_reads_.push_back(std::move(pr));
+  parked_reads_count_.store(parked_reads_.size(), std::memory_order_release);
+  return ReadGate::kParked;
+}
+
+void Shard::CompleteStaleRead(Request& req, uint64_t watermark) {
+  stale_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (req.conn_id == 0) {
+    return;
+  }
+  Completion c;
+  c.conn_id = req.conn_id;
+  c.seq = req.seq;
+  AppendErrorCode(&c.reply, "STALE shard " + std::to_string(index_) +
+                                " applied watermark " +
+                                std::to_string(watermark) +
+                                " behind session min-seq " +
+                                std::to_string(req.min_seq));
+  sink_->OnCompletion(std::move(c));
+}
+
+// Worker thread, directly after PublishReplStats: the store state IS the
+// sealed prefix the new watermark names, so released reads observe exactly
+// what their session token demanded. Reads are released in park order;
+// kApply batches flow through the request queue untouched by parked reads.
+void Shard::ReleaseSessionReads() {
+  if (parked_reads_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  std::vector<Request> ready;
+  {
+    std::lock_guard<std::mutex> lk(read_park_mu_);
+    const uint64_t sealed = sealed_seq_.load(std::memory_order_acquire);
+    for (auto it = parked_reads_.begin(); it != parked_reads_.end();) {
+      if (it->req.min_seq <= sealed) {
+        ready.push_back(std::move(it->req));
+        it = parked_reads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    parked_reads_count_.store(parked_reads_.size(), std::memory_order_release);
+  }
+  std::vector<repl::ReplOp> rops;  // reads never append to it
+  for (Request& req : ready) {
+    std::string reply;
+    Execute(req, &reply, &rops);
+    released_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (req.conn_id == 0) {
+      continue;
+    }
+    Completion c;
+    c.conn_id = req.conn_id;
+    c.seq = req.seq;
+    c.reply = std::move(reply);
+    sink_->OnCompletion(std::move(c));
+  }
+}
+
+void Shard::TickReadStale(uint64_t now_ms) {
+  if (parked_reads_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  std::vector<Request> expired;
+  uint64_t sealed = 0;
+  {
+    std::lock_guard<std::mutex> lk(read_park_mu_);
+    sealed = sealed_seq_.load(std::memory_order_acquire);
+    for (auto it = parked_reads_.begin(); it != parked_reads_.end();) {
+      // A read the watermark already covers belongs to the worker's release
+      // scan (which is ordered after the advance that satisfied it): the
+      // tick only expires reads that are both late and still uncovered.
+      if (it->req.min_seq > sealed && now_ms >= it->deadline_ms) {
+        expired.push_back(std::move(it->req));
+        it = parked_reads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    parked_reads_count_.store(parked_reads_.size(), std::memory_order_release);
+  }
+  for (Request& req : expired) {
+    CompleteStaleRead(req, sealed);
+  }
+}
+
+void Shard::ForceStaleReads() {
+  std::vector<Request> all;
+  uint64_t sealed = 0;
+  {
+    std::lock_guard<std::mutex> lk(read_park_mu_);
+    sealed = sealed_seq_.load(std::memory_order_acquire);
+    for (ParkedRead& pr : parked_reads_) {
+      all.push_back(std::move(pr.req));
+    }
+    parked_reads_.clear();
+    parked_reads_count_.store(0, std::memory_order_release);
+  }
+  for (Request& req : all) {
+    CompleteStaleRead(req, sealed);
+  }
+}
+
 // Ships records [first, last] — just sealed by this batch's Psync — to all
 // stream subscribers. Stream completions bypass the reorder buffer and are
 // appended to the subscriber's socket in emission order. The whole sealed
@@ -810,6 +966,9 @@ void Shard::WorkerLoop() {
     // no group Psync needed (ablation baseline).
     if (log_ != nullptr) {
       PublishReplStats();
+      // Session reads waiting on this batch's watermark advance run here,
+      // against exactly the sealed-prefix state their token named.
+      ReleaseSessionReads();
     }
     batches_.fetch_add(1, std::memory_order_relaxed);
     uint64_t prev = max_batch_.load(std::memory_order_relaxed);
@@ -863,6 +1022,9 @@ ShardStats Shard::Stats() const {
   s.repl.acked_seq = synced_seq_.load(std::memory_order_acquire);
   s.repl.wait_timeouts = wait_timeouts_.load(std::memory_order_relaxed);
   s.repl.parked_batches = parked_count_.load(std::memory_order_acquire);
+  s.repl.parked_reads = parked_reads_count_.load(std::memory_order_acquire);
+  s.repl.released_reads = released_reads_.load(std::memory_order_relaxed);
+  s.repl.stale_reads = stale_reads_.load(std::memory_order_relaxed);
   s.repl.stream_frames = stream_frames_.load(std::memory_order_relaxed);
   s.repl.stream_frame_bytes =
       stream_frame_bytes_.load(std::memory_order_relaxed);
@@ -894,6 +1056,9 @@ ShardReport Shard::Quiesce() {
   // still-parked batch now — acked ones succeed, the rest degrade to an
   // explicit -WAITTIMEOUT, never a silently dropped reply.
   ReleaseParked(NowMs(), /*force=*/true);
+  // The worker is gone, so no watermark advance will release parked reads:
+  // refuse them explicitly rather than dropping the replies.
+  ForceStaleReads();
 
   rt_->Psync();
   // The heap is quiescent (worker joined, intake closed): audit everything,

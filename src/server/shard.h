@@ -113,6 +113,17 @@ struct ShardOptions {
   uint32_t wait_timeout_ms = 1000;
   uint32_t wait_max_parked = 64;
 
+  // ---- Session reads (replica read scaling) -------------------------------
+  // A read carrying a session min-seq token (MINSEQ) parks when the shard's
+  // applied watermark (sealed_seq — on a follower the last applied AND
+  // durable record) is behind the token, and is released in park order by
+  // the apply batch that advances the watermark past it. After
+  // `read_stale_timeout_ms` a parked read is answered with an explicit
+  // -STALE — never a silently old value. `read_park_max` bounds the parked
+  // set; overflow also answers -STALE immediately.
+  uint32_t read_stale_timeout_ms = 1000;
+  uint32_t read_park_max = 1024;
+
   // Test hook: when >= 0 and equal to this shard's index, the PROMOTE audit
   // reports an injected violation (exercises all-or-nothing promotion).
   // Quiesce's shutdown audit is unaffected.
@@ -135,12 +146,17 @@ struct Request {
     kReplSnap,     // full-store snapshot frame reply
     kSnapInstall,  // value = snapshot frame; waiter signalled post-Psync
     kPromote,      // audit + flip follower → primary (multi joins shards)
+    kLastSeq,      // :sealed-seq reply; singleton batch, so every write the
+                   // connection pipelined before it is already sealed
   };
   Op op = Op::kGet;
   std::string key;
   std::string value;   // kSet / kHset payload; kApply / kSnapInstall frame
   uint32_t field = 0;  // kHset field index
   uint64_t repl_seq = 0;  // kReplSync from-seq
+  // Session token for kGet/kTouch (MINSEQ): the read may only execute once
+  // the shard's applied watermark reaches it. 0 = no session constraint.
+  uint64_t min_seq = 0;
 
   // Completion routing (opaque to the shard). conn_id == 0 → internal
   // request, no completion is emitted.
@@ -266,6 +282,11 @@ struct ReplStats {
   uint64_t acked_seq = 0;
   uint64_t wait_timeouts = 0;    // batches delivered degraded (-WAITTIMEOUT)
   uint64_t parked_batches = 0;   // currently awaiting acks
+  // Session reads: currently parked / released by a watermark advance /
+  // answered -STALE (timeout or park-bound overflow).
+  uint64_t parked_reads = 0;
+  uint64_t released_reads = 0;
+  uint64_t stale_reads = 0;
 };
 
 struct ShardStats {
@@ -332,6 +353,23 @@ class Shard {
   // replies). Called from the event-loop tick; cheap when nothing is parked.
   void TickWait(uint64_t now_ms);
 
+  // ---- Session reads ------------------------------------------------------
+  // Routes a kGet/kTouch carrying req.min_seq. kReady: the applied watermark
+  // already covers the token — the caller submits the request normally (req
+  // untouched). kParked: the shard took ownership; the completion is emitted
+  // later, when an apply batch advances the watermark (executed on the
+  // worker thread, in park order) or the deadline passes (-STALE). kStale:
+  // the parked set is full (or the shard is quiescing) — the -STALE
+  // completion was already emitted. Event-loop thread; the watermark recheck
+  // under the park lock closes the race with a concurrent release, so a
+  // parked read can never miss its wakeup.
+  enum class ReadGate : uint8_t { kReady, kParked, kStale };
+  ReadGate GateSessionRead(Request& req, uint64_t now_ms);
+
+  // Answers parked reads whose deadline passed with -STALE. Event-loop tick;
+  // cheap when nothing is parked. Never touches the store.
+  void TickReadStale(uint64_t now_ms);
+
   // Registers a hook invoked on the worker thread after each batch Psync
   // with the new sealed seq — the follower's ReplClient acks from here.
   // Pass nullptr to unregister (must happen before the owner dies).
@@ -390,6 +428,20 @@ class Shard {
   // out / force-released (degraded). Any thread.
   void ReleaseParked(uint64_t now_ms, bool force);
   void DeliverParked(ParkedBatch&& p, bool timed_out);
+
+  // ---- Session-read parking (event-loop parks, worker releases) -----------
+  struct ParkedRead {
+    uint64_t deadline_ms = 0;  // now + read_stale_timeout_ms at parking time
+    Request req;
+  };
+  // Executes every parked read whose min-seq the watermark now covers, in
+  // park order, against the exact sealed-prefix state. Worker thread, after
+  // PublishReplStats — kApply batches flow through the queue untouched, so
+  // parked reads can never reorder or delay the apply stream.
+  void ReleaseSessionReads();
+  // Fails every parked read with -STALE (shutdown path).
+  void ForceStaleReads();
+  void CompleteStaleRead(Request& req, uint64_t watermark);
   // K-th-highest subscriber watermark → synced_seq_. Caller holds subs_mu_.
   void RecomputeSyncedLocked();
   void NotifySealHook(uint64_t sealed_seq);
@@ -436,6 +488,14 @@ class Shard {
   // again, so a worker blocked on a full deque must deliver degraded
   // instead of waiting forever.
   std::atomic<bool> stop_parking_{false};
+
+  // Session-read parking. parked_reads_count_ mirrors parked_reads_.size()
+  // so the event-loop tick can skip the lock when nothing is parked.
+  std::mutex read_park_mu_;
+  std::deque<ParkedRead> parked_reads_;
+  std::atomic<uint64_t> parked_reads_count_{0};
+  std::atomic<uint64_t> released_reads_{0};
+  std::atomic<uint64_t> stale_reads_{0};
 
   std::mutex hook_mu_;
   std::function<void(uint64_t)> seal_hook_;

@@ -842,6 +842,528 @@ INSTANTIATE_TEST_SUITE_P(Pollers, WaitE2E, ::testing::Values(false, true),
                            return info.param ? "poll" : "epoll";
                          });
 
+// ---- Session reads: shard-level parking (MINSEQ gate, DESIGN.md §8) ---------
+// Direct-shard tests drive GateSessionRead/TickReadStale from the test
+// thread (playing the event loop) while kApply records advance the applied
+// watermark on the worker thread — the exact division of labor in the
+// server.
+
+std::string PutRecord(uint64_t seq, const std::string& key,
+                      const std::string& value) {
+  repl::ReplOp op;
+  op.kind = repl::ReplOp::Kind::kPut;
+  op.key = key;
+  op.record.fields.push_back(value);
+  std::string batch, rec;
+  repl::EncodeBatch({op}, &batch);
+  repl::EncodeRecord(seq, batch, &rec);
+  return rec;
+}
+
+std::string Bulk(const std::string& v) {
+  return "$" + std::to_string(v.size()) + "\r\n" + v + "\r\n";
+}
+
+class SessionShard : public ::testing::Test {
+ protected:
+  std::unique_ptr<Shard> OpenFollower(ShardOptions o) {
+    o.follower = true;
+    return Shard::Open(o, 0, &sink_);
+  }
+
+  void Apply(Shard& sh, uint64_t seq, const std::string& key,
+             const std::string& value) {
+    Request r;
+    r.op = Request::Op::kApply;
+    r.value = PutRecord(seq, key, value);
+    ASSERT_TRUE(sh.Submit(std::move(r)));
+  }
+
+  static void WaitSealed(Shard& sh, uint64_t seq) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (sh.repl_next_seq() < seq + 1) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  static Request Read(const std::string& key, uint64_t min_seq, uint64_t conn,
+                      uint64_t seq) {
+    Request r;
+    r.op = Request::Op::kGet;
+    r.key = key;
+    r.conn_id = conn;
+    r.seq = seq;
+    r.min_seq = min_seq;
+    return r;
+  }
+
+  // Parked completions arrive from the worker thread; poll until n landed.
+  std::vector<Completion>& WaitCompletions(size_t n) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (got_.size() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      for (Completion& c : sink_.take()) {
+        got_.push_back(std::move(c));
+      }
+      if (got_.size() < n) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    EXPECT_GE(got_.size(), n);
+    return got_;
+  }
+
+  CollectSink sink_;
+  std::vector<Completion> got_;
+};
+
+TEST_F(SessionShard, MinSeqSatisfiedAtExactBoundary) {
+  auto sh = OpenFollower(SmallShard());
+  Apply(*sh, 1, "k", "v1");
+  WaitSealed(*sh, 1);
+
+  // Token == watermark: the boundary is inclusive — no park, no stale.
+  Request r = Read("k", /*min_seq=*/1, /*conn=*/1, /*seq=*/1);
+  EXPECT_EQ(sh->GateSessionRead(r, /*now_ms=*/0), Shard::ReadGate::kReady);
+  ASSERT_TRUE(sh->Submit(std::move(r)));
+  auto& got = WaitCompletions(1);
+  EXPECT_EQ(got[0].reply, Bulk("v1"));
+
+  // Token == watermark + 1 parks, and the apply that lands exactly on the
+  // token releases it with the new value.
+  Request r2 = Read("k", 2, 1, 2);
+  EXPECT_EQ(sh->GateSessionRead(r2, 0), Shard::ReadGate::kParked);
+  EXPECT_EQ(sh->Stats().repl.parked_reads, 1u);
+  Apply(*sh, 2, "k", "v2");
+  WaitCompletions(2);
+  EXPECT_EQ(got[1].reply, Bulk("v2"));
+  EXPECT_EQ(sh->Stats().repl.released_reads, 1u);
+  EXPECT_EQ(sh->Stats().repl.stale_reads, 0u);
+  EXPECT_TRUE(sh->Quiesce().integrity_ok);
+}
+
+TEST_F(SessionShard, OneApplyReleasesParkedReadersInParkOrder) {
+  auto sh = OpenFollower(SmallShard());
+  Apply(*sh, 1, "k", "v1");
+  WaitSealed(*sh, 1);
+
+  for (uint64_t conn = 1; conn <= 3; ++conn) {
+    Request r = Read("k", /*min_seq=*/2, conn, /*seq=*/conn);
+    ASSERT_EQ(sh->GateSessionRead(r, 0), Shard::ReadGate::kParked) << conn;
+  }
+  EXPECT_EQ(sh->Stats().repl.parked_reads, 3u);
+
+  // One watermark advance releases all three, in park order, all with the
+  // post-advance value.
+  Apply(*sh, 2, "k", "v2");
+  auto& got = WaitCompletions(3);
+  ASSERT_EQ(got.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i].conn_id, i + 1) << "release order broke park order";
+    EXPECT_EQ(got[i].reply, Bulk("v2"));
+  }
+  EXPECT_EQ(sh->Stats().repl.released_reads, 3u);
+  EXPECT_EQ(sh->Stats().repl.parked_reads, 0u);
+  EXPECT_TRUE(sh->Quiesce().integrity_ok);
+}
+
+TEST_F(SessionShard, ParkBoundOverflowAndDeadlineAnswerStale) {
+  ShardOptions o = SmallShard();
+  o.read_park_max = 2;
+  o.read_stale_timeout_ms = 100;
+  auto sh = OpenFollower(o);
+  Apply(*sh, 1, "k", "v1");
+  WaitSealed(*sh, 1);
+
+  Request a = Read("k", 5, 1, 1);
+  Request b = Read("k", 5, 2, 2);
+  ASSERT_EQ(sh->GateSessionRead(a, /*now_ms=*/1000), Shard::ReadGate::kParked);
+  ASSERT_EQ(sh->GateSessionRead(b, 1000), Shard::ReadGate::kParked);
+
+  // The third read overflows the bound: -STALE immediately, never silence.
+  Request c = Read("k", 5, 3, 3);
+  ASSERT_EQ(sh->GateSessionRead(c, 1000), Shard::ReadGate::kStale);
+  auto& got = WaitCompletions(1);
+  EXPECT_EQ(got[0].conn_id, 3u);
+  EXPECT_EQ(got[0].reply.rfind("-STALE", 0), 0u) << got[0].reply;
+
+  // Before the deadline the tick is a no-op; past it both parked reads
+  // expire (still uncovered: the watermark never reached 5).
+  sh->TickReadStale(1000 + o.read_stale_timeout_ms - 1);
+  EXPECT_EQ(sh->Stats().repl.parked_reads, 2u);
+  sh->TickReadStale(1000 + o.read_stale_timeout_ms);
+  WaitCompletions(3);
+  EXPECT_EQ(got[1].conn_id, 1u);
+  EXPECT_EQ(got[2].conn_id, 2u);
+  for (size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(got[i].reply.rfind("-STALE", 0), 0u) << got[i].reply;
+  }
+  EXPECT_EQ(sh->Stats().repl.stale_reads, 3u);
+  EXPECT_EQ(sh->Stats().repl.released_reads, 0u);
+  EXPECT_TRUE(sh->Quiesce().integrity_ok);
+}
+
+TEST_F(SessionShard, ApplyStreamFlowsPastParkedReads) {
+  // Regression: parked reads live OUTSIDE the worker queue. A read waiting
+  // for a future watermark must never delay, reorder, or starve the kApply
+  // stream — the original design bug (parking the read IN the queue) would
+  // deadlock right here, with the releasing apply stuck behind the read.
+  auto sh = OpenFollower(SmallShard());
+  Apply(*sh, 1, "k", "v1");
+  WaitSealed(*sh, 1);
+
+  Request mid = Read("k", /*min_seq=*/5, /*conn=*/1, /*seq=*/1);
+  ASSERT_EQ(sh->GateSessionRead(mid, 0), Shard::ReadGate::kParked);
+  Request never = Read("k", /*min_seq=*/1000, /*conn=*/2, /*seq=*/2);
+  ASSERT_EQ(sh->GateSessionRead(never, 0), Shard::ReadGate::kParked);
+
+  // The full apply stream lands while both reads are parked.
+  for (uint64_t s = 2; s <= 10; ++s) {
+    Apply(*sh, s, "k", "v" + std::to_string(s));
+  }
+  WaitSealed(*sh, 10);
+  EXPECT_EQ(sh->repl_next_seq(), 11u);
+
+  // The mid read released at the first batch covering seq 5: its value is
+  // v5..v10 — at or past its token, never older.
+  auto& got = WaitCompletions(1);
+  EXPECT_EQ(got[0].conn_id, 1u);
+  uint64_t version = 0;
+  ASSERT_EQ(std::sscanf(got[0].reply.c_str(), "$%*d\r\nv%llu",
+                        reinterpret_cast<unsigned long long*>(&version)),
+            1)
+      << got[0].reply;
+  EXPECT_GE(version, 5u) << got[0].reply;
+  EXPECT_LE(version, 10u) << got[0].reply;
+
+  // Applies were not reordered or dropped around the parked reads: the
+  // store's final state is the full prefix.
+  Request tail = Read("k", 10, 3, 3);
+  EXPECT_EQ(sh->GateSessionRead(tail, 0), Shard::ReadGate::kReady);
+  ASSERT_TRUE(sh->Submit(std::move(tail)));
+  WaitCompletions(2);
+  EXPECT_EQ(got[1].reply, Bulk("v10"));
+
+  // Quiesce force-stales the unsatisfiable read instead of hanging.
+  EXPECT_TRUE(sh->Quiesce().integrity_ok);
+  WaitCompletions(3);
+  EXPECT_EQ(got[2].conn_id, 2u);
+  EXPECT_EQ(got[2].reply.rfind("-STALE", 0), 0u) << got[2].reply;
+}
+
+// ---- Session reads + chained (tree) replication e2e -------------------------
+// Both pollers drive the MINSEQ dispatch, the read-stale tick, and the
+// chained REPLSYNC serving, so the suite is parameterized like WaitE2E.
+
+class SessionE2E : public ::testing::TestWithParam<bool> {
+ protected:
+  static constexpr uint32_t kShards = 2;
+
+  ServerOptions Opts() {
+    ServerOptions o;
+    o.nshards = kShards;
+    o.shard = SmallShard();
+    o.force_poll = GetParam();
+    return o;
+  }
+  ServerOptions FollowerOpts(uint16_t upstream_port) {
+    ServerOptions o = Opts();
+    o.replica_of = "127.0.0.1:" + std::to_string(upstream_port);
+    return o;
+  }
+  static std::string Key(int i) { return "sk:" + std::to_string(i); }
+  static std::string Val(int i) { return "val:" + std::to_string(i); }
+
+  // Raises the replica connection's tokens to the primary's current sealed
+  // watermarks — after this, session reads must observe every write the
+  // primary has acked so far, or answer -STALE. Never a silent old value.
+  static void RaiseTokens(Client& pc, Client& rc) {
+    for (uint32_t s = 0; s < kShards; ++s) {
+      const auto tok = pc.LastSeq(s);
+      ASSERT_TRUE(tok.has_value()) << pc.last_error();
+      ASSERT_TRUE(rc.MinSeq(s, *tok)) << rc.last_error();
+    }
+  }
+};
+
+TEST_P(SessionE2E, ReadYourWritesAcrossConnections) {
+  std::string err;
+  auto primary = Server::Start(Opts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto replica = Server::Start(FollowerOpts(primary->port()), &err);
+  ASSERT_NE(replica, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+
+  // No polling loop anywhere: each round writes through the primary, raises
+  // the session tokens, and the replica read must return the fresh value on
+  // the FIRST attempt — parking bridges the replication lag.
+  const int kN = 60;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), Val(i))) << pc->last_error();
+    RaiseTokens(*pc, *rc);
+    EXPECT_EQ(rc->Get(Key(i)).value_or("<missing>"), Val(i)) << i;
+  }
+
+  // The tokens raised the released/parked counters, never the stale one.
+  const std::string stats = rc->Stats().value_or("");
+  EXPECT_EQ(SumStatsField(stats, "stale_reads="), 0u) << stats;
+
+  // LASTSEQ on a log-less shard config and MINSEQ arg validation.
+  RespReply r;
+  const std::vector<std::vector<std::string>> bad = {
+      {"MINSEQ"},           // missing args
+      {"MINSEQ", "0"},      // missing seq
+      {"MINSEQ", "9", "1"},  // shard out of range
+      {"MINSEQ", "x", "1"},  // non-numeric shard
+      {"MINSEQ", "0", "x"},  // non-numeric seq
+      {"LASTSEQ"},          // missing shard
+      {"LASTSEQ", "9"},     // shard out of range
+  };
+  for (const auto& args : bad) {
+    ASSERT_TRUE(rc->Roundtrip(args, &r)) << args[0];
+    EXPECT_EQ(r.type, RespReply::Type::kError) << args[0];
+  }
+
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
+TEST_P(SessionE2E, StalledReplicaAnswersStaleNeverOldValues) {
+  std::string err;
+  auto primary = Server::Start(Opts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  ServerOptions ropts = FollowerOpts(primary->port());
+  ropts.shard.read_stale_timeout_ms = 100;  // fast explicit failure
+  auto replica = Server::Start(ropts, &err);
+  ASSERT_NE(replica, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  ASSERT_TRUE(pc->Set(Key(0), Val(0)));
+
+  // A token far past anything the stalled stream will deliver: the read
+  // parks for read_stale_timeout_ms, then fails EXPLICITLY.
+  const uint32_t s = ShardFor(Key(0), kShards);
+  ASSERT_TRUE(rc->MinSeq(s, 1u << 30));
+  const auto t0 = std::chrono::steady_clock::now();
+  RespReply r;
+  ASSERT_TRUE(rc->Roundtrip({"GET", Key(0)}, &r));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  ASSERT_EQ(r.type, RespReply::Type::kError) << r.str;
+  EXPECT_EQ(r.str.rfind("STALE", 0), 0u) << r.str;
+  EXPECT_GE(waited.count(), 90) << "answered before the park deadline";
+
+  const std::string stats = rc->Stats().value_or("");
+  EXPECT_GE(SumStatsField(stats, "stale_reads="), 1u) << stats;
+
+  // The connection survives -STALE (tokens are monotone per connection, so
+  // this one keeps its floor), and other sessions are unaffected: a fresh
+  // connection with no token reads normally.
+  EXPECT_TRUE(rc->Ping());
+  auto rc2 = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc2, nullptr) << err;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!rc2->Get(Key(0)).has_value()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
+TEST_P(SessionE2E, ChainedTreeConvergesAndServesSessionReads) {
+  // primary → r1 → r2: r1 serves REPLSYNC downstream from its own log
+  // (byte-identical to the primary's sealed prefix), and session tokens
+  // taken on the PRIMARY are valid on the leaf — seqs are global.
+  std::string err;
+  auto primary = Server::Start(Opts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto r1 = Server::Start(FollowerOpts(primary->port()), &err);
+  ASSERT_NE(r1, nullptr) << err;
+  ServerOptions leaf_opts = FollowerOpts(r1->port());
+  leaf_opts.shard.read_stale_timeout_ms = 10'000;  // two hops of lag to bridge
+  auto r2 = Server::Start(leaf_opts, &err);
+  ASSERT_NE(r2, nullptr) << err;
+
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  auto lc = Client::Connect("127.0.0.1", r2->port(), &err);
+  ASSERT_NE(lc, nullptr) << err;
+
+  const int kN = 100;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), Val(i))) << pc->last_error();
+  }
+  RaiseTokens(*pc, *lc);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(lc->Get(Key(i)).value_or("<missing>"), Val(i)) << i;
+  }
+
+  // The leaf never contacted the primary: its stream came through r1, whose
+  // stats show downstream subscribers; no gap teardowns fired on the leaf.
+  auto r1c = Client::Connect("127.0.0.1", r1->port(), &err);
+  ASSERT_NE(r1c, nullptr) << err;
+  const std::string mid_stats = r1c->Stats().value_or("");
+  EXPECT_GE(SumStatsField(mid_stats, "subs="), 1u) << mid_stats;
+  const std::string leaf_stats = lc->Stats().value_or("");
+  EXPECT_EQ(SumStatsField(leaf_stats, "gap_resyncs="), 0u) << leaf_stats;
+  EXPECT_EQ(SumStatsField(leaf_stats, "stale_reads="), 0u) << leaf_stats;
+
+  ASSERT_TRUE(lc->Shutdown());
+  r2->Wait();
+  ASSERT_TRUE(r1c->Shutdown());
+  r1->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
+TEST_P(SessionE2E, MiddleDeathLeafResyncsFromPrimaryWithoutSnapshot) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("jnvm_session_mid_" + std::to_string(::getpid()) +
+        (GetParam() ? "_poll" : "_epoll")))
+          .string();
+  std::string err;
+  auto primary = Server::Start(Opts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+
+  auto r1 = Server::Start(FollowerOpts(primary->port()), &err);
+  ASSERT_NE(r1, nullptr) << err;
+
+  const int kHalf = 50;
+  ServerOptions leaf_opts = FollowerOpts(r1->port());
+  leaf_opts.shard.image_base = base;
+  {
+    auto r2 = Server::Start(leaf_opts, &err);
+    ASSERT_NE(r2, nullptr) << err;
+    for (int i = 0; i < kHalf; ++i) {
+      ASSERT_TRUE(pc->Set(Key(i), Val(i)));
+    }
+    auto lc = Client::Connect("127.0.0.1", r2->port(), &err);
+    ASSERT_NE(lc, nullptr) << err;
+    RaiseTokens(*pc, *lc);
+    for (int i = 0; i < kHalf; ++i) {
+      ASSERT_EQ(lc->Get(Key(i)).value_or("<missing>"), Val(i)) << i;
+    }
+    ASSERT_TRUE(lc->Shutdown());  // leaf leaves, saving follower images
+    r2->Wait();
+    ASSERT_TRUE(r2->shutdown_report().ok);
+  }
+
+  // The middle tier dies; more writes land at the primary meanwhile.
+  r1->RequestShutdown();
+  r1->Wait();
+  r1.reset();
+  for (int i = kHalf; i < 2 * kHalf; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), Val(i)));
+  }
+
+  // The leaf re-homes onto the primary, recovering its images. Because a
+  // follower's log is byte-identical to the upstream's sealed prefix —
+  // primary seqs, primary bytes — the leaf's REPLSYNC from its own sealed
+  // boundary lines up with the primary's log directly: catch-up must come
+  // from the retained stream, not a snapshot.
+  ServerOptions rehome = FollowerOpts(primary->port());
+  rehome.shard.image_base = base;
+  auto r2 = Server::Start(rehome, &err);
+  ASSERT_NE(r2, nullptr) << err;
+  EXPECT_TRUE(r2->AnyShardRecovered());
+  auto lc = Client::Connect("127.0.0.1", r2->port(), &err);
+  ASSERT_NE(lc, nullptr) << err;
+  RaiseTokens(*pc, *lc);
+  for (int i = 0; i < 2 * kHalf; ++i) {
+    EXPECT_EQ(lc->Get(Key(i)).value_or("<missing>"), Val(i)) << i;
+  }
+  ASSERT_NE(r2->repl_client(), nullptr);
+  EXPECT_EQ(r2->repl_client()->Stats().snapshots_installed, 0u);
+
+  ASSERT_TRUE(lc->Shutdown());
+  r2->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+  for (uint32_t i = 0; i < kShards; ++i) {
+    std::filesystem::remove(base + ".shard" + std::to_string(i) + ".img");
+  }
+}
+
+TEST_P(SessionE2E, MidTreePromoteKeepsAckedKeysReadable) {
+  std::string err;
+  auto primary = Server::Start(Opts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto r1 = Server::Start(FollowerOpts(primary->port()), &err);
+  ASSERT_NE(r1, nullptr) << err;
+  auto r2 = Server::Start(FollowerOpts(r1->port()), &err);
+  ASSERT_NE(r2, nullptr) << err;
+
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  auto mc = Client::Connect("127.0.0.1", r1->port(), &err);
+  ASSERT_NE(mc, nullptr) << err;
+
+  // Acked writes, then session-verify they reached the mid tier before the
+  // primary dies (tokens make "reached" precise — no sleeps).
+  const int kN = 80;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pc->Set(Key(i), Val(i)));
+  }
+  RaiseTokens(*pc, *mc);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(mc->Get(Key(i)).value_or("<missing>"), Val(i)) << i;
+  }
+
+  primary->RequestShutdown();
+  primary->Wait();
+  pc.reset();
+
+  // Promote the mid tier: every session-verified key stays readable, the
+  // ex-follower becomes writable, and the leaf keeps following it — the
+  // subtree survives the root's death intact.
+  RespReply r;
+  ASSERT_TRUE(mc->Roundtrip({"PROMOTE"}, &r));
+  ASSERT_EQ(r.type, RespReply::Type::kSimple) << r.str;
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(mc->Get(Key(i)).value_or("<missing>"), Val(i)) << i;
+  }
+  ASSERT_TRUE(mc->Set("after-promote", "yes"));
+
+  // The leaf picks the new write up through its unchanged upstream, and
+  // session reads against the NEW primary's tokens keep working on it.
+  auto lc = Client::Connect("127.0.0.1", r2->port(), &err);
+  ASSERT_NE(lc, nullptr) << err;
+  RaiseTokens(*mc, *lc);
+  EXPECT_EQ(lc->Get("after-promote").value_or("<missing>"), "yes");
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(lc->Get(Key(i)).value_or("<missing>"), Val(i)) << i;
+  }
+
+  ASSERT_TRUE(lc->Shutdown());
+  r2->Wait();
+  ASSERT_TRUE(mc->Shutdown());
+  r1->Wait();
+  EXPECT_TRUE(r1->shutdown_report().ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pollers, SessionE2E, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "poll" : "epoll";
+                         });
+
 TEST(ReplCommands, ArgumentValidation) {
   ServerOptions o;
   o.nshards = 2;

@@ -922,5 +922,48 @@ INSTANTIATE_TEST_SUITE_P(Pollers, HardeningE2E, ::testing::Values(false, true),
                            return info.param ? "poll" : "epoll";
                          });
 
+// ---- Loadgen smoke ----------------------------------------------------------
+// Shells out to the real jnvm_loadgen binary (path injected by CMake)
+// against in-process servers: a bounded session-consistency run where the
+// tool's own oracle is the assertion — --expect-hits makes any miss fatal,
+// and -STALE replies are fatal by default. A primary + replica pair driven
+// with --read-from=replica proves the whole client-side routing stack
+// (LASTSEQ capture, per-endpoint MINSEQ bookkeeping, stale accounting).
+
+#ifdef JNVM_LOADGEN_BIN
+TEST(LoadgenSmoke, SessionReplicaReadsExpectHits) {
+  ServerOptions popts;
+  popts.nshards = 2;
+  popts.shard.device_bytes = 64ull << 20;
+  popts.shard.map_capacity = 1 << 12;
+  std::string err;
+  auto primary = Server::Start(popts, &err);
+  ASSERT_NE(primary, nullptr) << err;
+  ServerOptions ropts = popts;
+  ropts.replica_of = "127.0.0.1:" + std::to_string(primary->port());
+  auto replica = Server::Start(ropts, &err);
+  ASSERT_NE(replica, nullptr) << err;
+
+  const std::string cmd =
+      std::string(JNVM_LOADGEN_BIN) +
+      " --port=" + std::to_string(primary->port()) +
+      " --read-from=replica --read-endpoints=127.0.0.1:" +
+      std::to_string(replica->port()) +
+      " --consistency=session --shards=2 --ycsb=b --expect-hits" +
+      " --threads=2 --keys=300 --ops=800 --pipeline=8 --seconds=30" +
+      " >/dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+#endif  // JNVM_LOADGEN_BIN
+
 }  // namespace
 }  // namespace jnvm::server

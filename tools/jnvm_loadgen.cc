@@ -5,6 +5,9 @@
 //                [--pipeline=N] [--ops=N] [--seconds=F] [--no-preload]
 //                [--seed=N] [--readonly] [--expect-hits]
 //                [--allow-waittimeout] [--stats] [--shutdown]
+//                [--read-from=primary|replica] [--read-endpoints=H:P,...]
+//                [--consistency=none|session] [--shards=N] [--allow-stale]
+//                [--ycsb=b|c]
 //
 // Each thread drives its own connection: preloads its slice of the key
 // space with pipelined SETs, then runs a closed loop of GET (read-ratio)
@@ -27,8 +30,28 @@
 //
 // Exit status is non-zero on any error reply or I/O failure — the CI smoke
 // test relies on this.
+//
+// ---- Replica read routing (DESIGN.md §8) ----------------------------------
+// --read-from=replica splits the YCSB traffic: writes (and the preload)
+// still go to the primary at --host/--port, reads round-robin across the
+// --read-endpoints list (replica host:port pairs). --read-ratio=0.95 is the
+// YCSB-B split, 1.0 is YCSB-C (--ycsb=b|c sets them). --shards must match
+// the servers' shard count — the client routes keys with the same FNV-1a
+// hash to track per-shard sequence numbers.
+//
+// --consistency=session turns on read-your-writes: after each acked write
+// the worker captures the shard's sealed seq with a pipelined LASTSEQ, and
+// before reading the key on a replica raises that connection's MINSEQ token
+// (per-endpoint per-shard bookkeeping — tokens are connection state, so
+// every endpoint tracks its own floor). A replica behind the token parks
+// the read until its applied watermark catches up or answers -STALE; -STALE
+// replies are counted and fatal unless --allow-stale. With --expect-hits
+// the run proves session reads never miss keys written through the primary
+// (threads barrier between the preload and the read phase so no thread
+// reads a slice another thread has not preloaded yet).
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,8 +64,14 @@
 #include "src/common/histogram.h"
 #include "src/common/rand.h"
 #include "src/server/client.h"
+#include "src/server/shard.h"
 
 namespace {
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
 
 struct Config {
   std::string host = "127.0.0.1";
@@ -62,6 +91,30 @@ struct Config {
   bool readonly = false;   // pure GETs, no preload (replica driving)
   bool expect_hits = false;  // any GET miss fails the run
   bool allow_waittimeout = false;  // -WAITTIMEOUT replies are not fatal
+
+  // Replica read routing + session consistency.
+  bool read_from_replica = false;
+  std::vector<Endpoint> read_endpoints;
+  bool session = false;      // --consistency=session
+  uint32_t shards = 4;       // must match the servers' --shards
+  bool allow_stale = false;  // -STALE read replies are not fatal
+};
+
+// Spin barrier between the preload and the read phase: with session reads
+// and --expect-hits no thread may read a slice another thread is still
+// preloading.
+struct Barrier {
+  std::atomic<uint32_t> arrived{0};
+  uint32_t total = 0;
+  // `abort` breaks the wait when another thread failed before arriving
+  // (otherwise the survivors would spin forever).
+  void Wait(const std::atomic<bool>& abort) {
+    arrived.fetch_add(1, std::memory_order_acq_rel);
+    while (arrived.load(std::memory_order_acquire) < total &&
+           !abort.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
 };
 
 struct ThreadResult {
@@ -72,12 +125,18 @@ struct ThreadResult {
   uint64_t misses = 0;
   uint64_t errors = 0;
   uint64_t wait_timeouts = 0;  // -WAITTIMEOUT write replies
+  uint64_t stale_reads = 0;    // -STALE session-read replies
   std::string error_msg;
 };
 
 bool IsWaitTimeout(const jnvm::server::RespReply& r) {
   return r.type == jnvm::server::RespReply::Type::kError &&
          r.str.rfind("WAITTIMEOUT", 0) == 0;
+}
+
+bool IsStale(const jnvm::server::RespReply& r) {
+  return r.type == jnvm::server::RespReply::Type::kError &&
+         r.str.rfind("STALE", 0) == 0;
 }
 
 std::string KeyName(uint64_t i) { return "key:" + std::to_string(i); }
@@ -92,8 +151,147 @@ std::string ValueFor(uint64_t key_index, uint64_t version, uint32_t size) {
   return v;
 }
 
+// The replica-routed YCSB round: writes (with session LASTSEQ piggybacks)
+// on the primary connection, reads (with session MINSEQ preludes) on one of
+// the replica connections — round-robin per round so every endpoint's
+// per-shard token bookkeeping is exercised. Returns false on failure.
+bool ReplicaRound(const Config& cfg, jnvm::Xorshift& rng, uint32_t n,
+                  jnvm::server::Client* primary,
+                  std::vector<std::unique_ptr<jnvm::server::Client>>& replicas,
+                  uint32_t ep, std::vector<uint64_t>& last_seq,
+                  std::vector<std::vector<uint64_t>>& sent_token,
+                  uint64_t version, std::atomic<bool>* failed,
+                  ThreadResult* res) {
+  jnvm::server::Client* rd = replicas[ep].get();
+  std::vector<jnvm::server::RespReply> replies;
+  // Plan the round, then pipe writes and reads to their connections.
+  uint32_t nw = 0;
+  std::vector<uint64_t> write_shards;  // session: LASTSEQ piggyback order
+  std::vector<uint8_t> read_kind;     // 0 = MINSEQ prelude, 1 = GET
+  uint32_t nreads = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t k = rng.NextBelow(cfg.keys);
+    const std::string key = KeyName(k);
+    const bool read = cfg.readonly || rng.NextDouble() < cfg.read_ratio;
+    const uint32_t s = jnvm::server::ShardFor(key, cfg.shards);
+    if (read) {
+      if (cfg.session && last_seq[s] > sent_token[ep][s]) {
+        rd->PipeCommand({"MINSEQ", std::to_string(s),
+                         std::to_string(last_seq[s])});
+        sent_token[ep][s] = last_seq[s];
+        read_kind.push_back(0);
+      }
+      rd->PipeGet(key);
+      read_kind.push_back(1);
+      ++nreads;
+    } else {
+      if (cfg.field_updates) {
+        primary->PipeHset(key, 0, ValueFor(k, version, cfg.value_size));
+      } else {
+        primary->PipeSet(key, ValueFor(k, version, cfg.value_size));
+      }
+      if (cfg.session) {
+        primary->PipeCommand({"LASTSEQ", std::to_string(s)});
+        write_shards.push_back(s);
+      }
+      ++nw;
+    }
+  }
+  // Writes first: the session tokens captured here order the reads after
+  // this round's own writes (read-your-writes across connections).
+  if (nw > 0) {
+    const uint64_t t0 = jnvm::NowNs();
+    if (!primary->Sync(&replies)) {
+      res->error_msg = "write sync: " + primary->last_error();
+      res->errors++;
+      failed->store(true);
+      return false;
+    }
+    const uint64_t per_op = (jnvm::NowNs() - t0) / nw;
+    for (size_t i = 0; i < replies.size(); ++i) {
+      const auto& r = replies[i];
+      const bool is_lastseq = cfg.session && (i % 2) == 1;
+      if (is_lastseq) {
+        if (r.type != jnvm::server::RespReply::Type::kInteger) {
+          res->error_msg = "LASTSEQ reply: " + r.str;
+          res->errors++;
+          failed->store(true);
+          return false;
+        }
+        const uint32_t s = static_cast<uint32_t>(write_shards[i / 2]);
+        const uint64_t seq = static_cast<uint64_t>(r.integer);
+        if (seq > last_seq[s]) {
+          last_seq[s] = seq;
+        }
+        continue;
+      }
+      if (IsWaitTimeout(r)) {
+        res->wait_timeouts++;
+        if (!cfg.allow_waittimeout) {
+          res->error_msg = "reply: " + r.str;
+          res->errors++;
+          failed->store(true);
+          return false;
+        }
+      } else if (r.type == jnvm::server::RespReply::Type::kError) {
+        res->error_msg = "reply: " + r.str;
+        res->errors++;
+        failed->store(true);
+        return false;
+      }
+      res->write_lat.Record(per_op);
+      res->writes++;
+    }
+  }
+  if (nreads > 0) {
+    const uint64_t t0 = jnvm::NowNs();
+    if (!rd->Sync(&replies)) {
+      res->error_msg = "read sync: " + rd->last_error();
+      res->errors++;
+      failed->store(true);
+      return false;
+    }
+    // Read latency includes any replica-side staleness wait (parked reads).
+    const uint64_t per_op = (jnvm::NowNs() - t0) / nreads;
+    for (size_t i = 0; i < replies.size(); ++i) {
+      const auto& r = replies[i];
+      if (i < read_kind.size() && read_kind[i] == 0) {
+        if (r.type == jnvm::server::RespReply::Type::kError) {
+          res->error_msg = "MINSEQ reply: " + r.str;
+          res->errors++;
+          failed->store(true);
+          return false;
+        }
+        continue;
+      }
+      if (IsStale(r)) {
+        res->stale_reads++;
+        if (!cfg.allow_stale) {
+          res->error_msg = "reply: " + r.str;
+          res->errors++;
+          failed->store(true);
+          return false;
+        }
+        continue;
+      }
+      if (r.type == jnvm::server::RespReply::Type::kError) {
+        res->error_msg = "reply: " + r.str;
+        res->errors++;
+        failed->store(true);
+        return false;
+      }
+      res->read_lat.Record(per_op);
+      res->reads++;
+      if (r.type == jnvm::server::RespReply::Type::kNil) {
+        res->misses++;
+      }
+    }
+  }
+  return true;
+}
+
 void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
-            std::atomic<bool>* failed, ThreadResult* res) {
+            Barrier* barrier, std::atomic<bool>* failed, ThreadResult* res) {
   std::string err;
   auto client = jnvm::server::Client::Connect(cfg.host, cfg.port, &err);
   if (client == nullptr) {
@@ -101,6 +299,18 @@ void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
     res->error_msg = "connect: " + err;
     failed->store(true);
     return;
+  }
+  std::vector<std::unique_ptr<jnvm::server::Client>> replicas;
+  for (const Endpoint& ep : cfg.read_endpoints) {
+    auto rc = jnvm::server::Client::Connect(ep.host, ep.port, &err);
+    if (rc == nullptr) {
+      res->errors++;
+      res->error_msg = "connect replica " + ep.host + ":" +
+                       std::to_string(ep.port) + ": " + err;
+      failed->store(true);
+      return;
+    }
+    replicas.push_back(std::move(rc));
   }
 
   // Preload this thread's slice of the key space (pipelined).
@@ -130,10 +340,59 @@ void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
     }
   }
 
+  // With session reads every thread must see every preloaded key: hold all
+  // threads here until the whole key space is on the primary, then seed the
+  // per-shard session tokens with the primary's current sealed watermarks so
+  // replica reads cover the preload too (not just this thread's own writes).
+  std::vector<uint64_t> last_seq(cfg.shards, 0);
+  std::vector<std::vector<uint64_t>> sent_token(
+      cfg.read_endpoints.size(), std::vector<uint64_t>(cfg.shards, 0));
+  if (barrier != nullptr) {
+    barrier->Wait(*failed);
+    if (failed->load(std::memory_order_acquire)) {
+      return;
+    }
+  }
+  if (cfg.read_from_replica && cfg.session) {
+    for (uint32_t s = 0; s < cfg.shards; ++s) {
+      const auto seq = client->LastSeq(s);
+      if (!seq.has_value()) {
+        res->errors++;
+        res->error_msg = "LASTSEQ seed: " + client->last_error();
+        failed->store(true);
+        return;
+      }
+      last_seq[s] = *seq;
+    }
+  }
+
   jnvm::Xorshift rng(cfg.seed + tid);
   std::vector<jnvm::server::RespReply> replies;
   std::vector<bool> is_read;
   uint64_t version = 1;
+  if (cfg.read_from_replica) {
+    uint64_t round = 0;
+    for (uint64_t done = 0; done < cfg.ops_per_thread;) {
+      if (deadline_ns != 0 && jnvm::NowNs() >= deadline_ns) {
+        break;
+      }
+      if (failed->load(std::memory_order_relaxed)) {
+        return;
+      }
+      const uint32_t n = static_cast<uint32_t>(
+          std::min<uint64_t>(cfg.pipeline, cfg.ops_per_thread - done));
+      const uint32_t ep =
+          static_cast<uint32_t>(round % cfg.read_endpoints.size());
+      if (!ReplicaRound(cfg, rng, n, client.get(), replicas, ep, last_seq,
+                        sent_token, version, failed, res)) {
+        return;
+      }
+      ++version;
+      ++round;
+      done += n;
+    }
+    return;
+  }
   for (uint64_t done = 0; done < cfg.ops_per_thread;) {
     if (deadline_ns != 0 && jnvm::NowNs() >= deadline_ns) {
       break;
@@ -236,6 +495,55 @@ int main(int argc, char** argv) {
       cfg.seconds = std::atof(v);
     } else if ((v = val("--seed")) != nullptr) {
       cfg.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = val("--read-from")) != nullptr) {
+      if (std::strcmp(v, "replica") == 0) {
+        cfg.read_from_replica = true;
+      } else if (std::strcmp(v, "primary") != 0) {
+        std::fprintf(stderr, "--read-from must be primary|replica\n");
+        return 2;
+      }
+    } else if ((v = val("--read-endpoints")) != nullptr) {
+      for (const char* p = v; *p != '\0';) {
+        const char* comma = std::strchr(p, ',');
+        const std::string tok =
+            comma != nullptr ? std::string(p, comma) : std::string(p);
+        const size_t colon = tok.rfind(':');
+        if (colon == std::string::npos || colon == 0) {
+          std::fprintf(stderr, "--read-endpoints: bad host:port '%s'\n",
+                       tok.c_str());
+          return 2;
+        }
+        Endpoint ep;
+        ep.host = tok.substr(0, colon);
+        ep.port = static_cast<uint16_t>(std::atoi(tok.c_str() + colon + 1));
+        if (ep.port == 0) {
+          std::fprintf(stderr, "--read-endpoints: bad port in '%s'\n",
+                       tok.c_str());
+          return 2;
+        }
+        cfg.read_endpoints.push_back(std::move(ep));
+        p = comma != nullptr ? comma + 1 : p + tok.size();
+      }
+    } else if ((v = val("--consistency")) != nullptr) {
+      if (std::strcmp(v, "session") == 0) {
+        cfg.session = true;
+      } else if (std::strcmp(v, "none") != 0) {
+        std::fprintf(stderr, "--consistency must be none|session\n");
+        return 2;
+      }
+    } else if ((v = val("--shards")) != nullptr) {
+      cfg.shards = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--ycsb")) != nullptr) {
+      if (std::strcmp(v, "b") == 0) {
+        cfg.read_ratio = 0.95;  // YCSB-B
+      } else if (std::strcmp(v, "c") == 0) {
+        cfg.read_ratio = 1.0;  // YCSB-C (still preloads; reads always hit)
+      } else {
+        std::fprintf(stderr, "--ycsb must be b|c\n");
+        return 2;
+      }
+    } else if (std::strcmp(a, "--allow-stale") == 0) {
+      cfg.allow_stale = true;
     } else if (std::strcmp(a, "--readonly") == 0) {
       cfg.readonly = true;
       cfg.preload = false;
@@ -261,7 +569,23 @@ int main(int argc, char** argv) {
                  "usage: jnvm_loadgen --port=N [--threads=N] [--keys=N] "
                  "[--value-size=N] [--read-ratio=F] [--field-updates] "
                  "[--pipeline=N] [--ops=N] [--seconds=F] [--stats] "
-                 "[--shutdown]\n");
+                 "[--shutdown] [--read-from=replica --read-endpoints=H:P,...] "
+                 "[--consistency=session] [--shards=N] [--allow-stale]\n");
+    return 2;
+  }
+  if (cfg.read_from_replica && cfg.read_endpoints.empty()) {
+    std::fprintf(stderr,
+                 "jnvm_loadgen: --read-from=replica needs --read-endpoints\n");
+    return 2;
+  }
+  if (cfg.session && !cfg.read_from_replica) {
+    std::fprintf(stderr,
+                 "jnvm_loadgen: --consistency=session needs "
+                 "--read-from=replica (primary reads are trivially fresh)\n");
+    return 2;
+  }
+  if (cfg.shards == 0) {
+    std::fprintf(stderr, "jnvm_loadgen: --shards must be > 0\n");
     return 2;
   }
 
@@ -270,12 +594,18 @@ int main(int argc, char** argv) {
                       : 0;
   std::vector<ThreadResult> results(cfg.threads);
   std::atomic<bool> failed{false};
+  Barrier barrier;
+  barrier.total = cfg.threads;
+  // Only replica-routed runs need the preload/read fence; plain runs keep the
+  // historical free-running start.
+  Barrier* barrier_ptr =
+      (cfg.preload && cfg.read_from_replica) ? &barrier : nullptr;
   const uint64_t t0 = jnvm::NowNs();
   {
     std::vector<std::thread> threads;
     for (uint32_t t = 0; t < cfg.threads; ++t) {
-      threads.emplace_back(Worker, std::cref(cfg), t, deadline_ns, &failed,
-                           &results[t]);
+      threads.emplace_back(Worker, std::cref(cfg), t, deadline_ns, barrier_ptr,
+                           &failed, &results[t]);
     }
     for (auto& th : threads) {
       th.join();
@@ -285,6 +615,7 @@ int main(int argc, char** argv) {
 
   jnvm::Histogram reads, writes;
   uint64_t nreads = 0, nwrites = 0, misses = 0, errors = 0, waittimeouts = 0;
+  uint64_t stales = 0;
   for (const ThreadResult& r : results) {
     reads.Merge(r.read_lat);
     writes.Merge(r.write_lat);
@@ -293,6 +624,7 @@ int main(int argc, char** argv) {
     misses += r.misses;
     errors += r.errors;
     waittimeouts += r.wait_timeouts;
+    stales += r.stale_reads;
     if (!r.error_msg.empty()) {
       std::fprintf(stderr, "jnvm_loadgen: %s\n", r.error_msg.c_str());
     }
@@ -309,9 +641,15 @@ int main(int argc, char** argv) {
               : cfg.field_updates ? "hset"
                                   : "set",
               static_cast<unsigned long long>(cfg.seed));
-  std::printf("  reads : %llu (misses=%llu) %s\n",
+  std::printf("  reads : %llu (misses=%llu%s) %s\n",
               static_cast<unsigned long long>(nreads),
               static_cast<unsigned long long>(misses),
+              cfg.read_from_replica
+                  ? (" stale=" + std::to_string(stales) +
+                     " endpoints=" + std::to_string(cfg.read_endpoints.size()) +
+                     (cfg.session ? " session" : ""))
+                        .c_str()
+                  : "",
               reads.Summary().c_str());
   std::printf("  writes: %llu (waittimeouts=%llu) %s\n",
               static_cast<unsigned long long>(nwrites),

@@ -6,6 +6,7 @@
 //               [--replica-of=HOST:PORT] [--no-repl-log]
 //               [--repl-segment=BYTES] [--repl-retention=SEGS]
 //               [--wait-acks=K] [--wait-timeout-ms=N] [--apply-batch=N]
+//               [--read-stale-timeout-ms=N] [--read-park-max=N]
 //
 // With --image-base, shard images are saved on SHUTDOWN and recovered on
 // the next start — kill the server with SHUTDOWN (or SIGINT/SIGTERM),
@@ -20,6 +21,12 @@
 // --apply-batch decouples a replica's apply-side group-commit size from the
 // primary's sealed batch size: up to N shipped records (each one sealed
 // primary batch) share one local durability point. 0 follows --batch.
+// Replicas serve reads under the session contract (MINSEQ/LASTSEQ): a read
+// whose session token is ahead of the shard's applied watermark parks for
+// up to --read-stale-timeout-ms before failing -STALE; --read-park-max
+// bounds the parked set. A replica also serves REPLSYNC/REPLSNAP from its
+// own (byte-identical) log, so further replicas can chain off it
+// (--replica-of pointing at a replica builds a tree).
 // Exit status is 0 only when every shard quiesced with a clean integrity
 // audit (I1–I7).
 
@@ -86,6 +93,10 @@ int main(int argc, char** argv) {
       opts.shard.wait_timeout_ms = static_cast<uint32_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--apply-batch", &v)) {
       opts.shard.apply_batch = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--read-stale-timeout-ms", &v)) {
+      opts.shard.read_stale_timeout_ms = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--read-park-max", &v)) {
+      opts.shard.read_park_max = static_cast<uint32_t>(std::atoi(v));
     } else if (std::strcmp(argv[i], "--poll") == 0) {
       opts.force_poll = true;
     } else if (std::strcmp(argv[i], "--optane") == 0) {
