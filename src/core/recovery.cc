@@ -1,5 +1,7 @@
 #include "src/core/recovery.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 #include <vector>
 
@@ -98,7 +100,32 @@ class GraphWalker : public RefVisitor {
     ++pool_slot_count_;
   }
 
+  // Env-gated diagnostic: a nullified reference is recovery working as
+  // designed, but WHICH ref got dropped (and what its target looked like)
+  // is the first question when a crash-consistency sweep finds a torn
+  // structure. JNVM_DEBUG_NULLIFY=1 prints one line per dropped ref.
   void Nullify(ObjectView& view, size_t off) {
+    static const bool debug = getenv("JNVM_DEBUG_NULLIFY") != nullptr;
+    if (debug) {
+      const nvm::Offset ref = view.Read<uint64_t>(off);
+      const ClassInfo* owner = rt_->ClassInfoForId(heap_->ClassIdOf(view.master()));
+      fprintf(stderr,
+              "NULLIFY owner=%s master=%llu off=%zu ref=%llu "
+              "(first=%llu bump=%llu bs=%u aligned=%d)",
+              owner ? owner->name.c_str() : "?",
+              (unsigned long long)view.master(), off, (unsigned long long)ref,
+              (unsigned long long)heap_->first_block(),
+              (unsigned long long)heap_->bump(), heap_->block_size(),
+              heap_->IsBlockAligned(ref));
+      if (ref >= heap_->first_block() && ref < heap_->bump() &&
+          heap_->IsBlockAligned(ref)) {
+        const heap::BlockHeader h = heap_->ReadHeader(ref);
+        const ClassInfo* tc = rt_->ClassInfoForId(h.id);
+        fprintf(stderr, " target{master=%d valid=%d id=%u cls=%s}", h.IsMaster(),
+                h.valid, h.id, tc ? tc->name.c_str() : "?");
+      }
+      fprintf(stderr, "\n");
+    }
     view.Write<uint64_t>(off, 0);
     view.PwbRange(off, sizeof(uint64_t));
     ++nullified_;

@@ -226,6 +226,19 @@ void JnvmRuntime::FaAbort() {
   ctx->Abort();
 }
 
+void JnvmRuntime::FaUnwind() {
+  pfa::FaContext* ctx = CurrentFaOrNull();
+  if (ctx != nullptr && ctx->depth() > 0) {
+    ctx->Abort();
+  }
+}
+
+uint64_t JnvmRuntime::FaLogCapacity() {
+  pfa::FaContext* ctx = CurrentFaOrNull();
+  if (ctx != nullptr) return ctx->log_capacity();
+  return fa_->ForCurrentThread().log_capacity();
+}
+
 int JnvmRuntime::FaDepth() {
   pfa::FaContext* ctx = CurrentFaOrNull();
   return ctx == nullptr ? 0 : ctx->depth();

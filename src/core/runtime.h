@@ -9,6 +9,7 @@
 #ifndef JNVM_SRC_CORE_RUNTIME_H_
 #define JNVM_SRC_CORE_RUNTIME_H_
 
+#include <exception>
 #include <memory>
 
 #include "src/core/pobject.h"
@@ -87,7 +88,15 @@ class JnvmRuntime {
   void FaEnd();
   // Abandons the current (possibly nested) block — test/tooling aid.
   void FaAbort();
+  // Abort used by FaBlock when an exception unwinds through the block. A
+  // no-op when no block is active: an inner FaBlock's unwind already
+  // aborted the whole nest, and the outer guards must not re-trip.
+  void FaUnwind();
   int FaDepth();
+  // Entry capacity of this thread's J-PFA redo-log slot. Callers that batch
+  // many mutations into one failure-atomic block (the txn apply path) size
+  // the block against this — FaLog::Append aborts on overflow.
+  uint64_t FaLogCapacity();
   // Fast per-thread lookup; nullptr when this thread never entered a block.
   pfa::FaContext* CurrentFaOrNull() const;
 
@@ -132,15 +141,31 @@ class JnvmRuntime {
 
 // RAII failure-atomic block:
 //   { FaBlock fa(rt); ... }   ==   rt.FaStart(); ...; rt.FaEnd();
+//
+// If an exception unwinds through the scope, the block ABORTS instead of
+// committing: the body did not finish, so committing would persist half of
+// a failure-atomic mutation set. (This also keeps the crash simulation
+// honest — a SimulatedCrash thrown mid-block must not run the commit
+// protocol from this destructor after the simulated power cut.)
 class FaBlock {
  public:
-  explicit FaBlock(JnvmRuntime& rt) : rt_(rt) { rt_.FaStart(); }
-  ~FaBlock() noexcept(false) { rt_.FaEnd(); }
+  explicit FaBlock(JnvmRuntime& rt)
+      : rt_(rt), exceptions_on_entry_(std::uncaught_exceptions()) {
+    rt_.FaStart();
+  }
+  ~FaBlock() noexcept(false) {
+    if (std::uncaught_exceptions() > exceptions_on_entry_) {
+      rt_.FaUnwind();
+    } else {
+      rt_.FaEnd();
+    }
+  }
   FaBlock(const FaBlock&) = delete;
   FaBlock& operator=(const FaBlock&) = delete;
 
  private:
   JnvmRuntime& rt_;
+  const int exceptions_on_entry_;
 };
 
 }  // namespace jnvm::core

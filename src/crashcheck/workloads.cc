@@ -11,6 +11,8 @@
 #include "src/repl/repl_log.h"
 #include "src/server/shard.h"
 #include "src/store/jpdt_backend.h"
+#include "src/store/kvstore.h"
+#include "src/txn/txn.h"
 
 namespace jnvm::crashcheck {
 namespace {
@@ -1102,6 +1104,8 @@ class ReplWorkload final : public Workload {
         case repl::ReplOp::Kind::kUpdate:
           b.UpdateField(op.key, op.field, op.value);
           break;
+        default:
+          break;  // repl scripts carry no txn ops
       }
     }
   }
@@ -1275,6 +1279,8 @@ class ReplApplyWorkload final : public Workload {
         case repl::ReplOp::Kind::kUpdate:
           backend_->UpdateField(op.key, op.field, op.value);
           break;
+        default:
+          break;  // these scripts carry no txn ops
       }
     }
   }
@@ -1487,6 +1493,8 @@ class WaitWorkload final : public Workload {
         case repl::ReplOp::Kind::kUpdate:
           backend_->UpdateField(op.key, op.field, op.value);
           break;
+        default:
+          break;  // these scripts carry no txn ops
       }
     }
   }
@@ -1708,12 +1716,406 @@ class ReadYourWritesWorkload final : public Workload {
   std::unique_ptr<repl::ReplLog> log_;
 };
 
+// ---- Cross-shard transaction workload (DESIGN.md §9) -------------------------
+//
+// "txn" models the 2PC persistence discipline end to end: each checker op is
+// one MULTI/EXEC txn driven through the exact record sequence the shard
+// worker seals — a single-shard txn as one [prepare|marker] record, a
+// cross-shard txn as per-participant kTxnPrepare records, the coordinator's
+// kTxnCommit decision record (THE durability point), then the other
+// participants' commit markers — with every store apply running strictly
+// post-seal of its justifying record, like Shard::ApplyPostSealTxns.
+//
+// Check re-runs the shard's actual recovery (ScanLogForTxns + redo tail via
+// ReplayRecordOps, exactly Shard::Open) and the server's resolution
+// (PlanResolution over every shard's view, exactly
+// Server::ResolveCrossShardTxns), then judges all-or-nothing: a txn whose
+// coordinator's recovered log retains the decision (or, single-shard, the
+// combined record) must be fully visible on every participant; any other txn
+// must have no store effect anywhere. The expected state is the fold of
+// exactly the decided txns, compared key-exact — a partial apply on any
+// shard is an atomicity violation, never an allowed outcome.
+
+class TxnWorkload final : public Workload {
+ public:
+  static constexpr uint32_t kShards = 3;
+
+  struct Part {
+    uint32_t shard = 0;
+    std::vector<repl::ReplOp> writes;
+    std::string writes_frame;     // EncodeBatch(writes)
+    uint64_t prepare_seq = 0;     // seq the prepare record seals under
+    std::string record_frame;     // single: [prepare|marker]; cross: [prepare]
+  };
+  struct Txn {
+    bool single = false;
+    std::vector<Part> parts;      // shard-ascending; parts[0].shard coordinates
+    std::string decision_frame;   // cross only: coordinator's decision record
+    std::string marker_frame;     // cross only: participant commit marker
+  };
+
+  TxnWorkload(uint64_t seed, size_t n) : name_("txn") {
+    // Per-shard key pools under the server's routing hash.
+    std::vector<std::string> pool[kShards];
+    for (int i = 0; i < 64; ++i) {
+      const std::string k = "k" + std::to_string(i);
+      pool[server::ShardFor(k, kShards)].push_back(k);
+    }
+    for (uint32_t s = 0; s < kShards; ++s) {
+      JNVM_CHECK_MSG(pool[s].size() >= 2, "txn workload: thin key pool");
+    }
+
+    Xorshift rng(seed);
+    uint64_t next_seq[kShards];
+    for (uint32_t s = 0; s < kShards; ++s) {
+      next_seq[s] = 1;
+      cum_[s].assign(n + 1, 0);
+    }
+    txns_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Txn t;
+      t.single = rng.NextBelow(3) == 0;
+      // Two writes per txn: same shard (distinct keys) or one per shard on
+      // two distinct shards, coordinator = the lower one.
+      std::vector<std::pair<uint32_t, std::string>> targets;
+      if (t.single) {
+        const uint32_t s = static_cast<uint32_t>(rng.NextBelow(kShards));
+        const size_t k1 = rng.NextBelow(pool[s].size());
+        size_t k2 = rng.NextBelow(pool[s].size() - 1);
+        k2 += k2 >= k1 ? 1 : 0;
+        targets.emplace_back(s, pool[s][k1]);
+        targets.emplace_back(s, pool[s][k2]);
+      } else {
+        const uint32_t a = static_cast<uint32_t>(rng.NextBelow(kShards));
+        uint32_t b = static_cast<uint32_t>(
+            (a + 1 + rng.NextBelow(kShards - 1)) % kShards);
+        const uint32_t lo = std::min(a, b), hi = std::max(a, b);
+        targets.emplace_back(lo, pool[lo][rng.NextBelow(pool[lo].size())]);
+        targets.emplace_back(hi, pool[hi][rng.NextBelow(pool[hi].size())]);
+      }
+      for (size_t j = 0; j < targets.size(); ++j) {
+        const auto& [s, key] = targets[j];
+        repl::ReplOp w;
+        if (rng.NextBelow(5) == 0) {
+          w.kind = repl::ReplOp::Kind::kDel;
+          w.key = key;
+        } else {
+          w.kind = repl::ReplOp::Kind::kPut;
+          w.key = key;
+          w.record.fields.push_back(
+              ValueFor(2 * i + j, rng.NextBelow(6) == 0));
+        }
+        if (t.parts.empty() || t.parts.back().shard != s) {
+          Part p;
+          p.shard = s;
+          t.parts.push_back(std::move(p));
+        }
+        t.parts.back().writes.push_back(std::move(w));
+      }
+      const txn::TxnId id = i + 1;
+      const uint32_t coord = t.parts[0].shard;
+      for (Part& p : t.parts) {
+        repl::EncodeBatch(p.writes, &p.writes_frame);
+      }
+      // Precompute the record frames and the seqs they seal under, in the
+      // exact order RunOp appends them; the oracle byte-matches the logs.
+      if (t.single) {
+        Part& p = t.parts[0];
+        p.prepare_seq = next_seq[coord];
+        std::vector<repl::ReplOp> rops(2);
+        rops[0].kind = repl::ReplOp::Kind::kTxnPrepare;
+        rops[0].key = txn::TxnIdKey(id);
+        rops[0].field = coord;
+        rops[0].value = p.writes_frame;
+        rops[1].kind = repl::ReplOp::Kind::kTxnCommit;
+        rops[1].key = txn::TxnIdKey(id);
+        repl::EncodeBatch(rops, &p.record_frame);
+        recs_[coord].push_back(p.record_frame);
+        ++next_seq[coord];
+      } else {
+        for (Part& p : t.parts) {
+          p.prepare_seq = next_seq[p.shard];
+          std::vector<repl::ReplOp> rops(1);
+          rops[0].kind = repl::ReplOp::Kind::kTxnPrepare;
+          rops[0].key = txn::TxnIdKey(id);
+          rops[0].field = coord;
+          rops[0].value = p.writes_frame;
+          repl::EncodeBatch(rops, &p.record_frame);
+          recs_[p.shard].push_back(p.record_frame);
+          ++next_seq[p.shard];
+        }
+        txn::Decision d;
+        for (const Part& p : t.parts) {
+          d.parts.push_back({p.shard, p.prepare_seq, p.writes_frame});
+        }
+        std::vector<repl::ReplOp> drops(1);
+        drops[0].kind = repl::ReplOp::Kind::kTxnCommit;
+        drops[0].key = txn::TxnIdKey(id);
+        txn::EncodeDecision(d, &drops[0].value);
+        repl::EncodeBatch(drops, &t.decision_frame);
+        recs_[coord].push_back(t.decision_frame);
+        ++next_seq[coord];
+        std::vector<repl::ReplOp> mrops(1);
+        mrops[0].kind = repl::ReplOp::Kind::kTxnCommit;
+        mrops[0].key = txn::TxnIdKey(id);
+        repl::EncodeBatch(mrops, &t.marker_frame);
+        for (size_t j = 1; j < t.parts.size(); ++j) {
+          recs_[t.parts[j].shard].push_back(t.marker_frame);
+          ++next_seq[t.parts[j].shard];
+        }
+      }
+      for (uint32_t s = 0; s < kShards; ++s) {
+        cum_[s][i + 1] = next_seq[s] - 1;
+      }
+      txns_.push_back(std::move(t));
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return txns_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    shards_.clear();
+    kvs_.clear();
+    logs_.clear();
+    for (uint32_t s = 0; s < kShards; ++s) {
+      auto backend = std::make_unique<store::JpdtBackend>(
+          &rt, StoreRoot(s), /*initial_capacity=*/4);
+      kvs_.push_back(std::make_unique<store::KvStore>(backend.get(), nullptr,
+                                                      UncachedStore()));
+      shards_.push_back(std::move(backend));
+      logs_.push_back(repl::ReplLog::OpenOrCreate(&rt, LogRoot(s), LogOpts()));
+    }
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    const Txn& t = txns_[i];
+    if (t.single) {
+      // Single-shard fast path: one sealed record, then the post-seal apply.
+      AppendRecord(rt, t.parts[0].shard, t.parts[0].record_frame);
+      ApplyWrites(rt, t.parts[0].shard, t.parts[0].writes);
+      return;
+    }
+    for (const Part& p : t.parts) {
+      AppendRecord(rt, p.shard, p.record_frame);  // phase 1: prepares seal
+    }
+    const uint32_t coord = t.parts[0].shard;
+    AppendRecord(rt, coord, t.decision_frame);    // phase 2: commit point
+    ApplyWrites(rt, coord, t.parts[0].writes);
+    for (size_t j = 1; j < t.parts.size(); ++j) { // phase 3: markers + applies
+      AppendRecord(rt, t.parts[j].shard, t.marker_frame);
+      ApplyWrites(rt, t.parts[j].shard, t.parts[j].writes);
+    }
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    const size_t n = txns_.size();
+    // Recover each shard exactly like Shard::Open: reopen store + log, scan
+    // the records below the tail for txn state, then redo the tail record.
+    std::vector<std::unique_ptr<store::JpdtBackend>> backends;
+    std::vector<std::unique_ptr<store::KvStore>> kvs;
+    std::vector<std::unique_ptr<repl::ReplLog>> logs;
+    std::vector<txn::LogScanResult> scans(kShards);
+    std::vector<txn::DecisionIndex> indexes(kShards);
+    for (uint32_t s = 0; s < kShards; ++s) {
+      backends.push_back(std::make_unique<store::JpdtBackend>(
+          &rt, StoreRoot(s), /*initial_capacity=*/4));
+      kvs.push_back(std::make_unique<store::KvStore>(backends[s].get(), nullptr,
+                                                     UncachedStore()));
+      logs.push_back(repl::ReplLog::OpenOrCreate(&rt, LogRoot(s), LogOpts()));
+      auto& log = *logs[s];
+      if (log.needs_snapshot()) {
+        out->push_back("shard " + std::to_string(s) +
+                       " log reports needs_snapshot on a primary");
+        continue;
+      }
+      // Sealed boundary: between the records of the committed ops and those
+      // of the in-flight op (any phase of it may or may not have sealed, and
+      // an unsealed append whose lines all survived counts as retained).
+      const uint64_t sealed = log.next_seq() - 1;
+      const uint64_t lo = cum_[s][std::min(cut.committed, n)];
+      const uint64_t hi = cut.in_flight.has_value()
+                              ? cum_[s][std::min(*cut.in_flight + 1, n)]
+                              : lo;
+      if (sealed < lo || sealed > hi) {
+        out->push_back("shard " + std::to_string(s) + " log retains " +
+                       std::to_string(sealed) + " records, want [" +
+                       std::to_string(lo) + ", " + std::to_string(hi) + "]");
+        continue;
+      }
+      std::string payload;
+      for (uint64_t q = log.start_seq(); q < log.next_seq(); ++q) {
+        if (!log.Read(q, &payload)) {
+          out->push_back("shard " + std::to_string(s) + " record " +
+                         std::to_string(q) + " unreadable");
+        } else if (payload != recs_[s][q - 1]) {
+          out->push_back("shard " + std::to_string(s) + " record " +
+                         std::to_string(q) + " does not match the script");
+        }
+      }
+      if (!log.empty()) {
+        txn::ScanLogForTxns(log, log.next_seq() - 1, &scans[s]);
+        if (log.Read(log.next_seq() - 1, &payload)) {
+          std::vector<repl::ReplOp> ops;
+          if (repl::DecodeBatch(payload, &ops)) {
+            txn::ReplayRecordOps(&rt, kvs[s].get(), ops, &scans[s]);
+          } else {
+            out->push_back("shard " + std::to_string(s) +
+                           " tail record corrupt");
+          }
+        }
+        for (auto& [id, st] : scans[s].staged) {
+          if (st.prepare_seq == 0) {
+            st.prepare_seq = log.next_seq() - 1;
+          }
+        }
+      }
+      for (const auto& [id, sd] : scans[s].decisions) {
+        indexes[s].Add(id, sd.first, sd.second);
+      }
+    }
+    rt.Psync();
+
+    // Cross-shard resolution, exactly Server::ResolveCrossShardTxns: every
+    // prepared-but-undecided txn commits iff its coordinator's recovered log
+    // holds the sealed decision, else it aborts (staged writes dropped).
+    std::vector<txn::ShardTxnView> views(kShards);
+    for (uint32_t s = 0; s < kShards; ++s) {
+      for (const auto& [id, st] : scans[s].staged) {
+        views[s].undecided.emplace_back(id, st.coordinator);
+      }
+      views[s].decisions = &indexes[s];
+      views[s].log_next_seq = logs[s]->next_seq();
+    }
+    for (const txn::ResolutionAction& a : txn::PlanResolution(views)) {
+      if (!a.commit) {
+        continue;
+      }
+      std::vector<repl::ReplOp> writes;
+      if (a.repair) {
+        // Unreachable single-node (a decision seals only after every prepare
+        // Psync retired), but resolve it the way PROMOTE would.
+        if (!repl::DecodeBatch(a.repair_writes_frame, &writes)) {
+          out->push_back("resolution repair frame corrupt");
+          continue;
+        }
+      } else {
+        const auto it = scans[a.shard].staged.find(a.id);
+        if (it == scans[a.shard].staged.end()) {
+          out->push_back("resolution commit for unstaged txn " +
+                         std::to_string(a.id));
+          continue;
+        }
+        writes = it->second.writes;
+      }
+      txn::ApplyStagedWrites(&rt, kvs[a.shard].get(), writes);
+    }
+    rt.Psync();
+
+    // Oracle: txn i is decided iff the coordinator's recovered log reached
+    // the end of op i's coordinator slice — single-shard: the combined
+    // record; cross-shard: prepare + decision. Everything it wrote must be
+    // visible on every participant; an undecided txn must have no effect.
+    std::vector<bool> decided(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t coord = txns_[i].parts[0].shard;
+      decided[i] = logs[coord]->next_seq() - 1 >= cum_[coord][i + 1];
+    }
+    std::map<std::string, std::string> expected[kShards];
+    for (size_t i = 0; i < n; ++i) {
+      if (!decided[i]) {
+        continue;
+      }
+      for (const Part& p : txns_[i].parts) {
+        for (const repl::ReplOp& w : p.writes) {
+          if (w.kind == repl::ReplOp::Kind::kDel) {
+            expected[p.shard].erase(w.key);
+          } else {
+            expected[p.shard][w.key] =
+                w.record.fields.empty() ? std::string("<empty>")
+                                        : w.record.fields[0];
+          }
+        }
+      }
+    }
+    for (uint32_t s = 0; s < kShards; ++s) {
+      std::map<std::string, std::string> got;
+      backends[s]->SnapshotRecords(
+          [&](const std::string& k, const store::Record& r) {
+            got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+          });
+      for (const auto& [k, v] : expected[s]) {
+        const auto it = got.find(k);
+        if (it == got.end()) {
+          out->push_back("atomicity: shard " + std::to_string(s) +
+                         " lost decided-txn key " + k + " (partial apply)");
+        } else if (it->second != v) {
+          out->push_back("atomicity: shard " + std::to_string(s) + " key " +
+                         k + " has '" + it->second + "', want '" + v + "'");
+        }
+      }
+      for (const auto& [k, v] : got) {
+        if (expected[s].count(k) == 0) {
+          out->push_back("atomicity: shard " + std::to_string(s) +
+                         " phantom key " + k +
+                         " (undecided txn left a store effect)");
+        }
+      }
+    }
+    rt.Psync();  // leave the heap quiescent for the checker's I1–I7 audit
+  }
+
+ private:
+  static repl::ReplLogOptions LogOpts() {
+    // Roomy segments: the oracle equates "decided" with "record retained",
+    // so the sweep must never truncate a record it still reasons about.
+    repl::ReplLogOptions o;
+    o.segment_bytes = 32768;
+    o.max_segments = 8;
+    return o;
+  }
+  static store::StoreOptions UncachedStore() {
+    store::StoreOptions o;
+    o.cache_ratio = 0.0;
+    o.expected_records = 16;
+    return o;
+  }
+  static std::string StoreRoot(uint32_t s) { return "shard" + std::to_string(s); }
+  static std::string LogRoot(uint32_t s) { return "txnlog" + std::to_string(s); }
+
+  void AppendRecord(JnvmRuntime& rt, uint32_t s, const std::string& frame) {
+    rt.heap().BeginGroupCommit();
+    logs_[s]->Append(logs_[s]->next_seq(), frame);
+    rt.heap().EndGroupCommit();
+    rt.Psync();  // the record is sealed exactly here
+  }
+
+  void ApplyWrites(JnvmRuntime& rt, uint32_t s,
+                   const std::vector<repl::ReplOp>& writes) {
+    rt.heap().BeginGroupCommit();
+    txn::ApplyStagedWrites(&rt, kvs_[s].get(), writes);
+    rt.heap().EndGroupCommit();
+    rt.Psync();
+    rt.DrainGroupFrees();
+  }
+
+  std::string name_;
+  std::vector<Txn> txns_;
+  std::vector<std::string> recs_[kShards];  // per-shard record frames, in order
+  std::vector<uint64_t> cum_[kShards];      // records through op i (index i+1)
+  std::vector<std::unique_ptr<store::JpdtBackend>> shards_;
+  std::vector<std::unique_ptr<store::KvStore>> kvs_;
+  std::vector<std::unique_ptr<repl::ReplLog>> logs_;
+};
+
 }  // namespace
 
 std::vector<std::string> WorkloadKinds() {
   return {"map-hash", "map-tree",   "map-skip", "map-long", "set",  "array",
           "string",   "pfa",        "server",   "repl",     "repl-apply",
-          "wait",     "read-your-writes"};
+          "wait",     "read-your-writes",       "txn"};
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
@@ -1761,6 +2163,9 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
   }
   if (kind == "read-your-writes") {
     return std::make_unique<ReadYourWritesWorkload>(script_seed, op_count);
+  }
+  if (kind == "txn") {
+    return std::make_unique<TxnWorkload>(script_seed, op_count);
   }
   JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
   return nullptr;

@@ -30,6 +30,11 @@
 //              Psync, then deferred frees): sealed batches are fully
 //              durable; each in-flight-batch command is independently
 //              old-or-new, never torn.
+//   txn      — one op is one MULTI/EXEC txn through the 2PC record
+//              sequence (DESIGN.md §9): committed ⇒ the decision record is
+//              sealed and every participant's writes are (re)applied at
+//              recovery; an undecided in-flight txn resolves all-or-nothing
+//              by the decision's presence — never a partial apply.
 #ifndef JNVM_SRC_CRASHCHECK_WORKLOADS_H_
 #define JNVM_SRC_CRASHCHECK_WORKLOADS_H_
 
@@ -73,7 +78,7 @@ class Workload {
 
 // Registered workload kinds: "map-hash", "map-tree", "map-skip",
 // "map-long", "set", "array", "string", "pfa", "server", "repl",
-// "repl-apply", "wait".
+// "repl-apply", "wait", "read-your-writes", "txn".
 std::vector<std::string> WorkloadKinds();
 
 // Factory; aborts on an unknown kind. `op_count` is the script length;

@@ -13,6 +13,9 @@ PmemDevice::PmemDevice(const DeviceOptions& opts)
 
 void PmemDevice::Memset(Offset off, int value, size_t n) {
   JNVM_DCHECK(off + n <= opts_.size_bytes);
+  if (powered_off_) {
+    return;
+  }
   if (opts_.strict) {
     CrashTick();
     TrackStore(off, n, nullptr, static_cast<uint64_t>(value));
@@ -73,6 +76,9 @@ void PmemDevice::TrackStore(Offset off, size_t n, const void* src,
 
 void PmemDevice::Pwb(Offset off) {
   JNVM_DCHECK(off < opts_.size_bytes);
+  if (powered_off_) {
+    return;
+  }
   stats_pwbs_.fetch_add(1, std::memory_order_relaxed);
   if (opts_.pwb_delay_ns != 0) SpinFor(opts_.pwb_delay_ns);
   if (!opts_.strict) {
@@ -87,7 +93,7 @@ void PmemDevice::Pwb(Offset off) {
 }
 
 void PmemDevice::PwbRange(Offset off, size_t n) {
-  if (n == 0) {
+  if (n == 0 || powered_off_) {
     return;
   }
   const uint64_t first = (off / kCacheLine) * kCacheLine;
@@ -128,6 +134,9 @@ void PmemDevice::DrainQueued() {
 }
 
 void PmemDevice::Pfence() {
+  if (powered_off_) {
+    return;
+  }
   stats_pfences_.fetch_add(1, std::memory_order_relaxed);
   if (opts_.fence_delay_ns != 0) SpinFor(opts_.fence_delay_ns);
   std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -135,6 +144,9 @@ void PmemDevice::Pfence() {
 }
 
 void PmemDevice::Psync() {
+  if (powered_off_) {
+    return;
+  }
   stats_psyncs_.fetch_add(1, std::memory_order_relaxed);
   if (opts_.fence_delay_ns != 0) SpinFor(opts_.fence_delay_ns);
   std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -155,6 +167,11 @@ void PmemDevice::CrashTick() {
   }
   if (crash_countdown_ == 0) {
     crash_countdown_ = -1;
+    // Power is off from this instant until Crash() adjudicates the lines:
+    // stores, flushes and fences performed while the SimulatedCrash unwinds
+    // (e.g. from RAII guards) must not reach the device — real hardware
+    // executes nothing after the failure.
+    powered_off_ = true;
     throw SimulatedCrash{event_counter_};
   }
   --crash_countdown_;
@@ -163,6 +180,7 @@ void PmemDevice::CrashTick() {
 void PmemDevice::Crash(uint64_t eviction_seed) {
   JNVM_CHECK_MSG(opts_.strict, "Crash() requires strict mode");
   crash_countdown_ = -1;
+  powered_off_ = false;  // power returns; recovery may write again
   for (auto& [line, state] : lines_) {
     // Coin flip per line: was it (or the queued flush) written back before
     // power was lost? Queued-but-unfenced lines get the same treatment —

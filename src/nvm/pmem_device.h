@@ -91,6 +91,9 @@ class PmemDevice {
 
   void WriteBytes(Offset off, const void* src, size_t n) {
     JNVM_DCHECK(off + n <= opts_.size_bytes);
+    if (powered_off_) {
+      return;  // a store after the simulated power cut reaches nothing
+    }
     if (opts_.strict) {
       CrashTick();
       TrackStore(off, n, src, 0);
@@ -141,6 +144,11 @@ class PmemDevice {
   // Simulates a power failure: every line dirtied since its last fence
   // either keeps its current content (seeded coin flip: the CPU evicted it)
   // or reverts to its last durable content. Clears all tracking.
+  //
+  // Between the SimulatedCrash throw and this call the device is powered
+  // off: every store/pwb/fence is silently dropped, so destructors running
+  // while the crash exception unwinds (RAII commit guards and the like)
+  // cannot mutate post-crash NVMM. Crash() restores power.
   void Crash(uint64_t eviction_seed);
 
   // Number of lines currently dirty-or-queued (i.e. not guaranteed durable).
@@ -207,6 +215,7 @@ class PmemDevice {
   // Strict-mode tracking (single-threaded use).
   std::unordered_map<uint64_t, LineState> lines_;
   int64_t crash_countdown_ = -1;
+  bool powered_off_ = false;  // set when a scheduled crash fires
   uint64_t event_counter_ = 0;
   uint64_t trace_hash_ = 0xcbf29ce484222325ull;
 

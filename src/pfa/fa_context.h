@@ -23,6 +23,12 @@ class FaContext {
   int depth() const { return depth_; }
   bool InFa() const { return depth_ > 0; }
 
+  // Redo-log slot occupancy, for callers sizing a failure-atomic block
+  // against the slot's fixed capacity (e.g. a cross-shard txn apply that
+  // must decide between one block and per-write blocks, DESIGN.md §9).
+  uint64_t log_capacity() const { return log_.capacity_entries(); }
+  uint64_t log_entries_used() const { return log_.count(); }
+
   void Begin() { ++depth_; }
 
   // Leaves the current block; the outermost End commits.

@@ -56,6 +56,12 @@ struct Cursor {
     off += n;
     return true;
   }
+  bool SkipBytes() {
+    uint32_t n = 0;
+    if (!TakeU32(&n) || in.size() - off < n) return false;
+    off += n;
+    return true;
+  }
   bool Done() const { return off == in.size(); }
 };
 
@@ -109,6 +115,14 @@ void EncodeBatch(const std::vector<ReplOp>& ops, std::string* out) {
         PutU32(out, op.field);
         PutBytes(out, op.value);
         break;
+      case ReplOp::Kind::kTxnPrepare:
+        PutU32(out, op.field);
+        PutBytes(out, op.value);
+        break;
+      case ReplOp::Kind::kTxnCommit:
+      case ReplOp::Kind::kTxnAbort:
+        PutBytes(out, op.value);
+        break;
     }
   }
 }
@@ -136,12 +150,59 @@ bool DecodeBatch(std::string_view frame, std::vector<ReplOp>* out) {
         op.kind = ReplOp::Kind::kUpdate;
         if (!c.TakeU32(&op.field) || !c.TakeBytes(&op.value)) return false;
         break;
+      case static_cast<uint8_t>(ReplOp::Kind::kTxnPrepare):
+        op.kind = ReplOp::Kind::kTxnPrepare;
+        if (!c.TakeU32(&op.field) || !c.TakeBytes(&op.value)) return false;
+        break;
+      case static_cast<uint8_t>(ReplOp::Kind::kTxnCommit):
+        op.kind = ReplOp::Kind::kTxnCommit;
+        if (!c.TakeBytes(&op.value)) return false;
+        break;
+      case static_cast<uint8_t>(ReplOp::Kind::kTxnAbort):
+        op.kind = ReplOp::Kind::kTxnAbort;
+        if (!c.TakeBytes(&op.value)) return false;
+        break;
       default:
         return false;
     }
     out->push_back(std::move(op));
   }
   return c.Done();
+}
+
+bool BatchHasTxnOps(std::string_view frame) {
+  Cursor c{frame};
+  uint32_t nops = 0;
+  if (!c.TakeU32(&nops)) return false;
+  for (uint32_t i = 0; i < nops; ++i) {
+    uint8_t kind = 0;
+    if (!c.TakeU8(&kind) || !c.SkipBytes()) return false;  // kind + key
+    switch (kind) {
+      case static_cast<uint8_t>(ReplOp::Kind::kPut): {
+        uint32_t nfields = 0;
+        if (!c.TakeU32(&nfields)) return false;
+        if (nfields > (c.in.size() - c.off) / 4) return false;
+        for (uint32_t f = 0; f < nfields; ++f) {
+          if (!c.SkipBytes()) return false;
+        }
+        break;
+      }
+      case static_cast<uint8_t>(ReplOp::Kind::kDel):
+        break;
+      case static_cast<uint8_t>(ReplOp::Kind::kUpdate): {
+        uint32_t field = 0;
+        if (!c.TakeU32(&field) || !c.SkipBytes()) return false;
+        break;
+      }
+      case static_cast<uint8_t>(ReplOp::Kind::kTxnPrepare):
+      case static_cast<uint8_t>(ReplOp::Kind::kTxnCommit):
+      case static_cast<uint8_t>(ReplOp::Kind::kTxnAbort):
+        return true;
+      default:
+        return false;
+    }
+  }
+  return false;
 }
 
 void EncodeRecord(uint64_t seq, std::string_view batch_frame, std::string* out) {

@@ -30,16 +30,36 @@
 namespace jnvm::repl {
 
 // One replicated write operation, in batch order.
+//
+// The three txn kinds carry the cross-shard transaction protocol (DESIGN.md
+// §9) through the same log/stream path as data ops. They mutate no store
+// state by themselves: kTxnPrepare stages a txn's writes (key = 8-byte txn
+// id, field = coordinator shard, value = nested batch frame of the staged
+// writes), kTxnCommit either seals the coordinator's decision (value =
+// txn::Decision frame) or marks a participant's apply point (value empty),
+// and kTxnAbort drops a staged txn explicitly.
 struct ReplOp {
-  enum class Kind : uint8_t { kPut = 1, kDel = 2, kUpdate = 3 };
+  enum class Kind : uint8_t {
+    kPut = 1,
+    kDel = 2,
+    kUpdate = 3,
+    kTxnPrepare = 4,
+    kTxnCommit = 5,
+    kTxnAbort = 6,
+  };
   Kind kind = Kind::kPut;
   std::string key;
   store::Record record;   // kPut: the full record written
-  uint32_t field = 0;     // kUpdate: field index
-  std::string value;      // kUpdate: new field value
+  uint32_t field = 0;     // kUpdate: field index; kTxnPrepare: coordinator
+  std::string value;      // kUpdate: new field value; kTxn*: txn payload
 
   bool operator==(const ReplOp&) const = default;
 };
+
+// True when any op in an encoded batch frame is a txn kind — a cheap kind
+// scan (lengths are skipped, payloads never copied) used by the follower to
+// give txn records their own apply batch (apply ordering, DESIGN.md §9).
+bool BatchHasTxnOps(std::string_view frame);
 
 // FNV-1a 32-bit over `data` — the replication log's record checksum (also
 // covers the 8-byte sequence number; see repl_log.h framing).

@@ -256,6 +256,48 @@ std::optional<std::string> Client::Stats() {
   return std::move(r.str);
 }
 
+bool Client::Multi() {
+  RespReply r;
+  if (!Roundtrip({"MULTI"}, &r)) {
+    return false;
+  }
+  if (r.type == RespReply::Type::kError) {
+    err_ = r.str;
+    return false;
+  }
+  return r.type == RespReply::Type::kSimple;
+}
+
+bool Client::Exec(std::vector<RespReply>* replies) {
+  replies->clear();
+  RespReply r;
+  if (!Roundtrip({"EXEC"}, &r)) {
+    return false;
+  }
+  if (r.type != RespReply::Type::kArray) {
+    if (r.type == RespReply::Type::kError) {
+      err_ = r.str;
+    } else {
+      err_ = "unexpected EXEC reply type";
+    }
+    return false;
+  }
+  *replies = std::move(r.elements);
+  return true;
+}
+
+bool Client::Discard() {
+  RespReply r;
+  if (!Roundtrip({"DISCARD"}, &r)) {
+    return false;
+  }
+  if (r.type == RespReply::Type::kError) {
+    err_ = r.str;
+    return false;
+  }
+  return r.type == RespReply::Type::kSimple;
+}
+
 bool Client::Shutdown() {
   RespReply r;
   if (!Roundtrip({"SHUTDOWN"}, &r)) {

@@ -52,6 +52,16 @@ class Client {
   // +OK = clean quiesce (integrity audit passed, images saved).
   bool Shutdown();
 
+  // ---- Transactions (DESIGN.md §9) ---------------------------------------
+  // MULTI / queued ops / EXEC. Multi() opens the txn; ops queue with the
+  // pipelining helpers or plain Roundtrip ("+QUEUED" replies); Exec() sends
+  // EXEC and returns the per-op reply array. An -TXNABORT (or any error)
+  // reply surfaces as false with last_error() set; *replies then stays
+  // empty — the txn applied nothing.
+  bool Multi();
+  bool Exec(std::vector<RespReply>* replies);
+  bool Discard();
+
   // ---- Pipelining ---------------------------------------------------------
 
   // Queues a command without flushing.

@@ -99,6 +99,16 @@ struct Conn {
     }
   }
 
+  // MULTI/EXEC transaction queue (DESIGN.md §9). While `in_multi`, data
+  // commands buffer here (replying +QUEUED) instead of dispatching; EXEC
+  // turns the buffer into one atomic transaction, DISCARD drops it. A
+  // queue-time error (bad arity, command outside the txn subset) marks the
+  // txn dirty: EXEC then refuses with -TXNABORT rather than running a
+  // half-valid batch.
+  bool in_multi = false;
+  bool txn_dirty = false;
+  std::vector<std::vector<std::string>> txn_cmds;
+
   // Backpressure: parsed requests waiting for shard-queue space. While
   // non-empty the connection is read-paused (`paused`): the poller stops
   // watching readable and no further buffered commands are dispatched, so

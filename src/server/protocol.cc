@@ -171,6 +171,12 @@ void AppendBulk(std::string* out, std::string_view s) {
 
 void AppendNil(std::string* out) { out->append("$-1\r\n"); }
 
+void AppendArrayHeader(std::string* out, size_t n) {
+  out->push_back('*');
+  out->append(std::to_string(n));
+  out->append("\r\n");
+}
+
 // ---- Reply parser -----------------------------------------------------------
 
 void RespReplyParser::Feed(const char* data, size_t n) {
@@ -188,11 +194,21 @@ RespParser::Status RespReplyParser::Next(RespReply* out, std::string* error) {
     }
     return RespParser::Status::kError;
   }
-  const size_t eol = buf_.find("\r\n", consumed_);
+  size_t pos = consumed_;
+  const RespParser::Status st = ParseOne(out, error, &pos, 0);
+  if (st == RespParser::Status::kCommand) {
+    consumed_ = pos;
+  }
+  return st;
+}
+
+RespParser::Status RespReplyParser::ParseOne(RespReply* out, std::string* error,
+                                             size_t* pos, int depth) {
+  const size_t eol = buf_.find("\r\n", *pos);
   if (eol == std::string::npos) {
     return RespParser::Status::kNeedMore;
   }
-  const std::string_view line = std::string_view(buf_).substr(consumed_, eol - consumed_);
+  const std::string_view line = std::string_view(buf_).substr(*pos, eol - *pos);
   auto fail = [&](const char* msg) {
     broken_ = true;
     if (error != nullptr) {
@@ -207,12 +223,12 @@ RespParser::Status RespReplyParser::Next(RespReply* out, std::string* error) {
     case '+':
       out->type = RespReply::Type::kSimple;
       out->str.assign(line.substr(1));
-      consumed_ = eol + 2;
+      *pos = eol + 2;
       return RespParser::Status::kCommand;
     case '-':
       out->type = RespReply::Type::kError;
       out->str.assign(line.substr(1));
-      consumed_ = eol + 2;
+      *pos = eol + 2;
       return RespParser::Status::kCommand;
     case ':': {
       int64_t v = 0;
@@ -223,14 +239,14 @@ RespParser::Status RespReplyParser::Next(RespReply* out, std::string* error) {
       }
       out->type = RespReply::Type::kInteger;
       out->integer = v;
-      consumed_ = eol + 2;
+      *pos = eol + 2;
       return RespParser::Status::kCommand;
     }
     case '$': {
       if (line.substr(1) == "-1") {
         out->type = RespReply::Type::kNil;
         out->str.clear();
-        consumed_ = eol + 2;
+        *pos = eol + 2;
         return RespParser::Status::kCommand;
       }
       uint64_t len;
@@ -246,7 +262,38 @@ RespParser::Status RespReplyParser::Next(RespReply* out, std::string* error) {
       }
       out->type = RespReply::Type::kBulk;
       out->str.assign(buf_, body, len);
-      consumed_ = body + len + 2;
+      *pos = body + len + 2;
+      return RespParser::Status::kCommand;
+    }
+    case '*': {
+      // Reply arrays (EXEC). *-1 is the nil array; elements recurse one
+      // level deep in practice, but tolerate modest nesting.
+      if (line.substr(1) == "-1") {
+        out->type = RespReply::Type::kNil;
+        out->str.clear();
+        *pos = eol + 2;
+        return RespParser::Status::kCommand;
+      }
+      if (depth >= 4) {
+        return fail("reply array nested too deep");
+      }
+      uint64_t n;
+      if (!ParseLen(line.substr(1), &n) || n > kMaxArgs) {
+        return fail("bad array reply length");
+      }
+      out->type = RespReply::Type::kArray;
+      out->str.clear();
+      out->elements.clear();
+      out->elements.reserve(n);
+      *pos = eol + 2;
+      for (uint64_t i = 0; i < n; ++i) {
+        RespReply elem;
+        const RespParser::Status st = ParseOne(&elem, error, pos, depth + 1);
+        if (st != RespParser::Status::kCommand) {
+          return st;  // kNeedMore: caller rolls *pos back wholesale
+        }
+        out->elements.push_back(std::move(elem));
+      }
       return RespParser::Status::kCommand;
     }
     default:

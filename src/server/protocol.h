@@ -2,7 +2,8 @@
 //
 // Requests are RESP arrays of bulk strings (`*N\r\n$len\r\n<bytes>\r\n`…),
 // the subset Redis clients speak. Replies are simple strings (+OK), errors
-// (-ERR …), integers (:N), bulk strings ($len…) and nil ($-1).
+// (-ERR …), integers (:N), bulk strings ($len…), nil ($-1) and — for EXEC —
+// arrays of the above (*N).
 //
 // The parser is incremental and allocation-light: bytes are appended to an
 // internal buffer and consumed in place; parse state (stage, argument count,
@@ -80,14 +81,18 @@ void AppendErrorCode(std::string* out, std::string_view msg);
 void AppendInteger(std::string* out, int64_t v);           // :v\r\n
 void AppendBulk(std::string* out, std::string_view s);     // $len\r\ns\r\n
 void AppendNil(std::string* out);                          // $-1\r\n
+// Header of an n-element reply array (*n\r\n); the caller appends the
+// elements. Used by EXEC, whose reply is one array of per-op replies.
+void AppendArrayHeader(std::string* out, size_t n);
 
 // ---- Reply parser (client side) --------------------------------------------
 
 struct RespReply {
-  enum class Type { kSimple, kError, kInteger, kBulk, kNil };
+  enum class Type { kSimple, kError, kInteger, kBulk, kNil, kArray };
   Type type = Type::kNil;
   std::string str;      // simple / error / bulk payload
   int64_t integer = 0;  // kInteger
+  std::vector<RespReply> elements;  // kArray (EXEC replies)
 };
 
 // Incremental reply reader for the blocking client: same buffering contract
@@ -99,6 +104,12 @@ class RespReplyParser {
   RespParser::Status Next(RespReply* out, std::string* error);
 
  private:
+  // Parses one reply starting at *pos; advances *pos past it only on
+  // kCommand, so a partial array rolls back wholesale and is re-parsed once
+  // more bytes arrive (arrays are rare and small: one per EXEC).
+  RespParser::Status ParseOne(RespReply* out, std::string* error, size_t* pos,
+                              int depth);
+
   std::string buf_;
   size_t consumed_ = 0;
   bool broken_ = false;

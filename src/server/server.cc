@@ -296,6 +296,12 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
   for (uint32_t i = 0; i < opts.nshards; ++i) {
     s->shards_.push_back(Shard::Open(s->opts_.shard, i, s.get()));
   }
+  if (opts.replica_of.empty() && s->opts_.shard.repl_log) {
+    // Primary crash recovery (DESIGN.md §9): commit-or-abort every
+    // prepared-but-undecided cross-shard txn before the event loop serves
+    // clients. Replicas resolve at PROMOTE instead, once the pull stops.
+    s->ResolveCrossShardTxns();
+  }
 
   s->poller_ = std::make_unique<Poller>(!opts.force_poll);
   s->poller_->Watch(s->listen_fd_, true, false);
@@ -374,6 +380,7 @@ void Server::EventLoop() {
       }
     }
     RetryStalled();
+    RetryTxnPending();
     for (const Poller::Event& ev : events) {
       if (shutting_down_) {
         break;
@@ -688,6 +695,66 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     return true;
   };
 
+  // ---- Transactions (DESIGN.md §9): MULTI queues, EXEC runs, DISCARD drops.
+  if (cmd == "MULTI") {
+    if (conn.in_multi) {
+      return inline_error("MULTI calls can not be nested");
+    }
+    conn.in_multi = true;
+    conn.txn_dirty = false;
+    conn.txn_cmds.clear();
+    std::string r;
+    AppendSimple(&r, "OK");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmd == "DISCARD") {
+    if (!conn.in_multi) {
+      return inline_error("DISCARD without MULTI");
+    }
+    conn.in_multi = false;
+    conn.txn_dirty = false;
+    conn.txn_cmds.clear();
+    std::string r;
+    AppendSimple(&r, "OK");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmd == "EXEC") {
+    if (args.size() != 1) {
+      return inline_error("wrong number of arguments for EXEC");
+    }
+    if (!conn.in_multi) {
+      return inline_error("EXEC without MULTI");
+    }
+    return DispatchExec(conn, seq);
+  }
+  if (conn.in_multi) {
+    // Queue time: only the data subset (SET/GET/DEL) may ride in a txn, and
+    // any queue-time error dirties it — EXEC then refuses the whole batch
+    // with -TXNABORT rather than executing a half-valid txn.
+    if (cmd == "SET" || cmd == "GET" || cmd == "DEL") {
+      const size_t want = cmd == "SET" ? 3 : 2;
+      if (args.size() != want) {
+        conn.txn_dirty = true;
+        return inline_error("wrong number of arguments for " + cmd);
+      }
+      if (conn.txn_cmds.size() >= kMaxArgs) {
+        conn.txn_dirty = true;
+        return inline_error("transaction exceeds " + std::to_string(kMaxArgs) +
+                            " commands");
+      }
+      args[0] = cmd;  // canonical upper case for DispatchExec
+      conn.txn_cmds.push_back(std::move(args));
+      std::string r;
+      AppendSimple(&r, "QUEUED");
+      CompleteInline(conn, seq, std::move(r));
+      return true;
+    }
+    conn.txn_dirty = true;
+    return inline_error("command not allowed in MULTI: " + cmd);
+  }
+
   if (cmd == "PING") {
     std::string r;
     AppendSimple(&r, "PONG");
@@ -851,6 +918,11 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     if (repl_client_ != nullptr) {
       repl_client_->Stop();
     }
+    // Resolve staged cross-shard txns against the mirrored decision records
+    // before the audit/flip: the resolution requests queue ahead of each
+    // shard's kPromote, so a txn whose decision reached this replica commits
+    // and the rest abort — never a silent partial apply.
+    ResolveCrossShardTxns();
     auto multi = std::make_shared<MultiOp>();
     multi->remaining.store(static_cast<uint32_t>(shards_.size()),
                            std::memory_order_relaxed);
@@ -887,6 +959,247 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
   return inline_error("unknown command '" + args[0] + "'");
 }
 
+// ---- Transactions (DESIGN.md §9) -------------------------------------------
+
+bool Server::DispatchExec(Conn& conn, uint64_t seq) {
+  std::vector<std::vector<std::string>> cmds = std::move(conn.txn_cmds);
+  const bool dirty = conn.txn_dirty;
+  conn.in_multi = false;
+  conn.txn_dirty = false;
+  conn.txn_cmds.clear();
+  if (dirty) {
+    std::string r;
+    AppendErrorCode(&r, "TXNABORT transaction discarded because of previous errors");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmds.empty()) {
+    std::string r;
+    AppendArrayHeader(&r, 0);
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+
+  auto t = std::make_shared<txn::TxnState>();
+  t->id = txn_ids_.Next();
+  t->conn_id = conn.id;
+  t->reply_seq = seq;
+  t->nops = cmds.size();
+  t->replies.resize(cmds.size());
+
+  // Partition the ops across shards, preserving txn order within each part.
+  std::map<uint32_t, txn::TxnPart> parts;  // ordered: lowest shard first
+  for (size_t i = 0; i < cmds.size(); ++i) {
+    std::vector<std::string>& a = cmds[i];
+    txn::TxnOp op;
+    op.kind = a[0] == "SET"   ? txn::TxnOp::Kind::kSet
+              : a[0] == "GET" ? txn::TxnOp::Kind::kGet
+                              : txn::TxnOp::Kind::kDel;
+    op.key = std::move(a[1]);
+    if (op.kind == txn::TxnOp::Kind::kSet) {
+      op.value = std::move(a[2]);
+    }
+    op.reply_index = i;
+    const uint32_t idx = ShardFor(op.key, static_cast<uint32_t>(shards_.size()));
+    txn::TxnPart& part = parts[idx];
+    part.shard = idx;
+    part.ops.push_back(std::move(op));
+  }
+  t->parts.reserve(parts.size());
+  for (auto& [idx, part] : parts) {
+    t->parts.push_back(std::move(part));
+  }
+  t->single_shard = t->parts.size() == 1;
+  // Coordinator = lowest shard that may write (SET/DEL): its replication
+  // log carries the decision record. A pure-read txn never seals one, so
+  // the choice is moot there.
+  t->coordinator = t->parts[0].shard;
+  for (const txn::TxnPart& p : t->parts) {
+    bool writes = false;
+    for (const txn::TxnOp& op : p.ops) {
+      if (op.kind != txn::TxnOp::Kind::kGet) {
+        writes = true;
+        break;
+      }
+    }
+    if (writes) {
+      t->coordinator = p.shard;
+      break;
+    }
+  }
+
+  // Phase 1: single-shard txns run their whole commit as one kTxnExec
+  // record (the fast path — one record, one Psync, group-commit batched);
+  // cross-shard txns prepare on every participant.
+  ++conn.inflight;
+  t->remaining.store(static_cast<uint32_t>(t->parts.size()),
+                     std::memory_order_release);
+  for (uint32_t i = 0; i < t->parts.size(); ++i) {
+    Request req;
+    req.op = t->single_shard ? Request::Op::kTxnExec : Request::Op::kTxnPrepare;
+    req.key = txn::TxnIdKey(t->id);
+    req.txn = t;
+    req.txn_part = i;
+    SubmitTxn(t->parts[i].shard, std::move(req));
+  }
+  return true;
+}
+
+void Server::AdvanceTxn(const std::shared_ptr<txn::TxnState>& t) {
+  if (t->Failed()) {
+    // Abort is always explicit: drop whatever staged with abort-marker
+    // records (recovery and replicas observe the same outcome), then tell
+    // the client. Parts that never staged (has_writes false) need nothing.
+    const std::string idkey = txn::TxnIdKey(t->id);
+    for (const txn::TxnPart& p : t->parts) {
+      if (!p.has_writes) {
+        continue;
+      }
+      Request req;
+      req.op = Request::Op::kTxnAbortMark;
+      req.key = idkey;
+      SubmitTxn(p.shard, std::move(req));
+    }
+    DeliverTxnReply(t);
+    return;
+  }
+  const int phase = t->phase.load(std::memory_order_acquire);
+  if (phase == txn::TxnState::kPhasePrepare) {
+    if (t->single_shard) {
+      DeliverTxnReply(t);  // the kTxnExec record was the commit
+      return;
+    }
+    const txn::Decision d = t->BuildDecision();
+    if (d.parts.empty()) {
+      DeliverTxnReply(t);  // pure-read cross-shard txn: nothing to commit
+      return;
+    }
+    // Phase 2: seal the decision record in the coordinator's log — the
+    // durability point of the whole txn.
+    t->phase.store(txn::TxnState::kPhaseDecide, std::memory_order_release);
+    t->remaining.store(1, std::memory_order_release);
+    Request req;
+    req.op = Request::Op::kTxnDecide;
+    req.key = txn::TxnIdKey(t->id);
+    txn::EncodeDecision(d, &req.value);
+    req.txn = t;
+    for (uint32_t i = 0; i < t->parts.size(); ++i) {
+      if (t->parts[i].shard == t->coordinator) {
+        req.txn_part = i;
+        break;
+      }
+    }
+    SubmitTxn(t->coordinator, std::move(req));
+    return;
+  }
+  // Phase 2 joined: the decision is sealed (and WAIT-K acked or timed out).
+  // Phase 3 fans commit markers to the other write participants — fire and
+  // forget, because a crash here is repaired from the decision record at
+  // recovery — then the EXEC answers.
+  t->phase.store(txn::TxnState::kPhaseApply, std::memory_order_release);
+  const std::string idkey = txn::TxnIdKey(t->id);
+  for (const txn::TxnPart& p : t->parts) {
+    if (!p.has_writes || p.shard == t->coordinator) {
+      continue;
+    }
+    Request req;
+    req.op = Request::Op::kTxnApply;
+    req.key = idkey;
+    SubmitTxn(p.shard, std::move(req));
+  }
+  DeliverTxnReply(t);
+}
+
+void Server::DeliverTxnReply(const std::shared_ptr<txn::TxnState>& t) {
+  std::string r;
+  if (t->Failed()) {
+    AppendErrorCode(&r, "TXNABORT " + t->AbortReason());
+  } else if (t->WaitTimedOut()) {
+    // Committed locally; the WAIT-K replication quorum missed the deadline.
+    // Same degraded contract as a plain write's -WAITTIMEOUT.
+    AppendErrorCode(&r,
+                    "WAITTIMEOUT txn committed locally; replication ack "
+                    "quorum not reached");
+  } else {
+    AppendArrayHeader(&r, t->nops);
+    std::lock_guard<std::mutex> lk(t->mu);
+    for (const std::string& frag : t->replies) {
+      r += frag;
+    }
+  }
+  const auto it = conns_.find(t->conn_id);
+  if (it == conns_.end()) {
+    return;  // client went away; the txn outcome stands regardless
+  }
+  Conn& conn = *it->second;
+  JNVM_DCHECK(conn.inflight > 0);
+  --conn.inflight;
+  if (conn.Complete(t->reply_seq, std::move(r))) {
+    if (!EnforceOutCap(conn)) {
+      HandleWritable(conn);
+    }
+  }
+}
+
+void Server::SubmitTxn(uint32_t shard_idx, Request&& req) {
+  // Internal txn-plane submission: never blocks the event loop and never
+  // read-pauses a connection. Full queues park the request here and retry
+  // on loop ticks / completion drains; a stopping shard fails the txn and
+  // counts the phase join down itself so the reply still resolves.
+  switch (shards_[shard_idx]->TrySubmit(std::move(req))) {
+    case Shard::SubmitResult::kOk:
+      return;
+    case Shard::SubmitResult::kFull:
+      txn_pending_.emplace_back(shard_idx, std::move(req));
+      return;
+    case Shard::SubmitResult::kStopped:
+      if (req.txn != nullptr) {
+        req.txn->Fail("server shutting down");
+        if (req.txn->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          AdvanceTxn(req.txn);
+        }
+      }
+      return;
+  }
+}
+
+void Server::RetryTxnPending() {
+  // One pass over the queue; still-full shards re-park at the back.
+  size_t n = txn_pending_.size();
+  while (n-- > 0 && !txn_pending_.empty()) {
+    auto item = std::move(txn_pending_.front());
+    txn_pending_.pop_front();
+    SubmitTxn(item.first, std::move(item.second));
+  }
+}
+
+void Server::ResolveCrossShardTxns() {
+  // Recovery matrix (DESIGN.md §9): a prepared-but-undecided txn commits
+  // iff its coordinator's log holds the sealed decision record; otherwise
+  // it aborts — both via explicit records, applied idempotently. Decisions
+  // whose participant provably never received its prepare (gapless logs)
+  // yield repair actions replaying the writes from the decision itself.
+  std::vector<txn::ShardTxnView> views;
+  views.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    views.push_back(sh->TxnView());
+  }
+  for (const txn::ResolutionAction& a : txn::PlanResolution(views)) {
+    Request req;
+    req.key = txn::TxnIdKey(a.id);
+    if (!a.commit) {
+      req.op = Request::Op::kTxnAbortMark;
+    } else if (a.repair) {
+      req.op = Request::Op::kTxnRepair;
+      req.field = a.coordinator;
+      req.value = a.repair_writes_frame;
+    } else {
+      req.op = Request::Op::kTxnApply;
+    }
+    SubmitTxn(a.shard, std::move(req));
+  }
+}
+
 void Server::DrainCompletions() {
   std::vector<Completion> batch;
   {
@@ -905,6 +1218,13 @@ void Server::DrainCompletions() {
     }
   };
   for (Completion& c : batch) {
+    if (c.txn != nullptr) {
+      // Txn phase join: advance the 2PC regardless of client liveness —
+      // the decision and commit markers must still seal even when the
+      // issuing connection is gone.
+      AdvanceTxn(c.txn);
+      continue;
+    }
     const auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) {
       continue;  // client went away before its reply
@@ -948,6 +1268,7 @@ void Server::DrainCompletions() {
   }
   // Completions mean shard queues drained: stalled submissions may fit now.
   RetryStalled();
+  RetryTxnPending();
 }
 
 bool Server::EnforceOutCap(Conn& conn) {
@@ -989,6 +1310,7 @@ std::string Server::BuildStats() {
                 static_cast<unsigned long long>(frame_bytes_));
   out += line;
   uint64_t records = 0, elided = 0, puts = 0, gets = 0, updates = 0, dels = 0;
+  uint64_t txn_prep = 0, txn_comm = 0, txn_abrt = 0, txn_infl = 0, txn_dec = 0;
   for (const auto& sh : shards_) {
     const ShardStats s = sh->Stats();
     records += s.records;
@@ -997,6 +1319,11 @@ std::string Server::BuildStats() {
     gets += s.ops.gets;
     updates += s.ops.updates;
     dels += s.ops.deletes;
+    txn_prep += s.txn.prepared;
+    txn_comm += s.txn.committed;
+    txn_abrt += s.txn.aborted;
+    txn_infl += s.txn.inflight;
+    txn_dec += s.txn.decision_records;
     std::snprintf(
         line, sizeof(line),
         "shard%u: records=%llu queue=%llu batches=%llu max_batch=%llu "
@@ -1060,6 +1387,15 @@ std::string Server::BuildStats() {
                   static_cast<unsigned long long>(rs.gap_resyncs));
     out += line;
   }
+  std::snprintf(line, sizeof(line),
+                "txn: committed=%llu aborted=%llu prepared=%llu inflight=%llu "
+                "decision_records=%llu\n",
+                static_cast<unsigned long long>(txn_comm),
+                static_cast<unsigned long long>(txn_abrt),
+                static_cast<unsigned long long>(txn_prep),
+                static_cast<unsigned long long>(txn_infl),
+                static_cast<unsigned long long>(txn_dec));
+  out += line;
   std::snprintf(line, sizeof(line),
                 "total: records=%llu elided_fences=%llu puts=%llu gets=%llu "
                 "updates=%llu deletes=%llu\n",

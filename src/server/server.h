@@ -17,6 +17,17 @@
 //   STATS                      $<text>       (per-shard + server counters)
 //   SHUTDOWN                   +OK | -ERR    (quiesce, audit I1–I7, save images)
 //
+// Transactions (DESIGN.md §9):
+//   MULTI                      +OK           (opens a txn; SET/GET/DEL queue
+//                              with +QUEUED; anything else dirties the txn)
+//   EXEC                       *N array of per-op replies | *0 (empty txn) |
+//                              -TXNABORT <reason> (all-or-nothing refusal)
+//   DISCARD                    +OK           (drops the queued txn)
+// A single-shard txn commits through the shard's ordinary group commit; a
+// cross-shard txn two-phase-commits with the decision record sealed in the
+// coordinator shard's replication log. Either way the EXEC reply means every
+// op is durably applied (or, on -TXNABORT, none is).
+//
 // Replication plane (DESIGN.md §8):
 //   REPLSYNC shard from        +SYNC <from>, then a bulk stream of sealed
 //                              record frames — the connection becomes a
@@ -44,6 +55,7 @@
 #include "src/repl/replica.h"
 #include "src/server/conn.h"
 #include "src/server/shard.h"
+#include "src/txn/txn.h"
 
 namespace jnvm::server {
 
@@ -125,6 +137,23 @@ class Server : public CompletionSink {
   void FailStalledRequest(Conn& conn, Request& req);
   void CompleteInline(Conn& conn, uint64_t seq, std::string&& reply);
   void DrainCompletions();
+  // ---- Transactions (DESIGN.md §9) ---------------------------------------
+  // EXEC: turns the connection's queued MULTI buffer into a TxnState and
+  // launches phase 1 (kTxnExec single-shard / kTxnPrepare per participant).
+  bool DispatchExec(Conn& conn, uint64_t seq);
+  // Phase machine, driven by shard completions carrying Completion::txn:
+  // prepare → decide (cross-shard) → fan commit markers + reply.
+  void AdvanceTxn(const std::shared_ptr<txn::TxnState>& t);
+  // Assembles and delivers the final EXEC reply (*N array, -TXNABORT or
+  // -WAITTIMEOUT) to the owning connection, if it still exists.
+  void DeliverTxnReply(const std::shared_ptr<txn::TxnState>& t);
+  // Submits an internal txn request to a shard without ever blocking the
+  // event loop: kFull requests park in txn_pending_ and retry on loop ticks.
+  void SubmitTxn(uint32_t shard_idx, Request&& req);
+  void RetryTxnPending();
+  // Crash/promote resolution: commit-or-abort every prepared-but-undecided
+  // txn by presence of the sealed decision in its coordinator's log.
+  void ResolveCrossShardTxns();
   // Disconnects a connection whose pending output exceeded the cap.
   // True when the connection was evicted (iterators into conns_ invalid).
   bool EnforceOutCap(Conn& conn);
@@ -157,6 +186,11 @@ class Server : public CompletionSink {
   // Connections with a non-empty stall queue (backpressure), retried after
   // completions drain and on each loop tick.
   std::vector<uint64_t> stalled_conns_;
+
+  // Transactions: id generator and internal phase requests waiting for
+  // shard-queue space (the event loop never blocks on Submit).
+  txn::TxnIdGenerator txn_ids_;
+  std::deque<std::pair<uint32_t, Request>> txn_pending_;
 
   // Server-level counters (STATS).
   uint64_t accepted_ = 0;

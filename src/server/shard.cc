@@ -52,6 +52,40 @@ bool IsControl(Request::Op op) {
          op == Request::Op::kLastSeq;
 }
 
+// Batch composition classes: requests in one batch must share a class.
+// Control ops and txn boundary ops (decide / apply / repair — their records
+// carry a kTxnCommit op, and no non-txn op may trail a kTxnCommit in a
+// record, or live execution order and replay order would diverge) run as
+// singleton batches. kTxnExec groups with itself — a run of single-shard
+// txns shares one record and one Psync, keeping the group-commit fast path
+// — and kApply groups with itself under the apply cap. kTxnPrepare and
+// kTxnAbortMark ride in normal batches: staging and dropping touch no store
+// state, so their position relative to plain ops is immaterial.
+enum class BatchClass : uint8_t { kNormal, kApplyRun, kTxnExecRun, kSingleton };
+
+BatchClass ClassOf(Request::Op op) {
+  if (IsControl(op) || op == Request::Op::kTxnDecide ||
+      op == Request::Op::kTxnApply || op == Request::Op::kTxnRepair) {
+    return BatchClass::kSingleton;
+  }
+  if (op == Request::Op::kApply) {
+    return BatchClass::kApplyRun;
+  }
+  if (op == Request::Op::kTxnExec) {
+    return BatchClass::kTxnExecRun;
+  }
+  return BatchClass::kNormal;
+}
+
+// A shipped record carrying txn ops must form its own apply batch on the
+// follower: its staged applies run post-seal of *its* Psync, before any
+// later record's plain ops execute — same order as the primary.
+bool ApplyRecordHasTxnOps(const Request& req) {
+  uint64_t seq = 0;
+  std::string_view bf;
+  return repl::DecodeRecord(req.value, &seq, &bf) && repl::BatchHasTxnOps(bf);
+}
+
 constexpr char kReadonlyMsg[] = "READONLY replica - write rejected";
 
 uint64_t NowMs() { return NowNs() / 1000000ull; }
@@ -120,8 +154,23 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
       s->log_->FinishInstall(1);
       s->rt_->Psync();
     }
+    // Rebuild txn state from the retained log (DESIGN.md §9): prepares
+    // stage, decisions index, markers and aborts resolve. The records before
+    // the tail have fully-applied store effects; the tail record is then
+    // redone against this state so a marker tail re-applies its staged
+    // writes idempotently.
+    txn::LogScanResult scan;
+    if (!s->log_->needs_snapshot() && !s->log_->empty()) {
+      txn::ScanLogForTxns(*s->log_, s->log_->next_seq() - 1, &scan);
+    }
     if (s->recovered_) {
-      s->RedoLogTail();
+      s->RedoLogTail(&scan);
+    }
+    for (auto& [id, t] : scan.staged) {
+      s->staged_txns_.Stage(id, std::move(t));
+    }
+    for (auto& [id, sd] : scan.decisions) {
+      s->txn_decisions_.Add(id, sd.first, std::move(sd.second));
     }
     s->PublishReplStats();
   }
@@ -136,8 +185,11 @@ Shard::~Shard() { Quiesce(); }
 // the store's mutations for that batch are per-key old-or-new (eviction
 // decides per line). Re-applying the tail record — the ops are idempotent
 // state-setters — converges the store onto the sealed-batch boundary, so
-// the log and the store agree before the shard serves traffic.
-void Shard::RedoLogTail() {
+// the log and the store agree before the shard serves traffic. `scan` holds
+// the txn state reconstructed from the records before the tail: a tail
+// commit marker re-applies its staged writes through the same transition
+// the live post-seal path took.
+void Shard::RedoLogTail(txn::LogScanResult* scan) {
   if (log_ == nullptr || log_->needs_snapshot() || log_->empty()) {
     return;
   }
@@ -150,17 +202,12 @@ void Shard::RedoLogTail() {
   if (!repl::DecodeBatch(payload, &ops)) {
     return;  // cannot happen for a checksummed record; be defensive
   }
-  for (const repl::ReplOp& op : ops) {
-    switch (op.kind) {
-      case repl::ReplOp::Kind::kPut:
-        kv_->ApplyPut(op.key, op.record);
-        break;
-      case repl::ReplOp::Kind::kDel:
-        kv_->ApplyDelete(op.key);
-        break;
-      case repl::ReplOp::Kind::kUpdate:
-        kv_->ApplyUpdate(op.key, op.field, op.value);
-        break;
+  txn::ReplayRecordOps(rt_.get(), kv_.get(), ops, scan);
+  // The replay stages tail-record prepares with seq 0; resolution planning
+  // wants the real seq the prepare sealed under.
+  for (auto& [id, t] : scan->staged) {
+    if (t.prepare_seq == 0) {
+      t.prepare_seq = seq;
     }
   }
   rt_->Psync();
@@ -349,6 +396,18 @@ bool Shard::Execute(const Request& req, std::string* reply,
     }
     case Request::Op::kApply:
       return ExecuteApply(req);
+    case Request::Op::kTxnExec:
+      return ExecuteTxnExec(req, rops);
+    case Request::Op::kTxnPrepare:
+      return ExecuteTxnPrepare(req, rops);
+    case Request::Op::kTxnDecide:
+      return ExecuteTxnDecide(req, rops);
+    case Request::Op::kTxnApply:
+      return ExecuteTxnApply(req, rops);
+    case Request::Op::kTxnAbortMark:
+      return ExecuteTxnAbortMark(req, rops);
+    case Request::Op::kTxnRepair:
+      return ExecuteTxnRepair(req, rops);
     case Request::Op::kReplSync:
       ExecuteReplSync(req, reply);
       return false;
@@ -412,11 +471,353 @@ bool Shard::ExecuteApply(const Request& req) {
       case repl::ReplOp::Kind::kUpdate:
         kv_->ApplyUpdate(op.key, op.field, op.value);
         break;
+      // Txn ops mirror the primary's discipline: stage at execute, apply
+      // post-seal — a record carrying them runs as its own apply batch
+      // (ApplyRecordHasTxnOps), so the staged writes become visible after
+      // exactly this record's Psync, never interleaved with later records.
+      case repl::ReplOp::Kind::kTxnPrepare: {
+        txn::TxnId id = 0;
+        if (!txn::ParseTxnIdKey(op.key, &id)) {
+          break;
+        }
+        txn::StagedTxn st;
+        st.coordinator = op.field;
+        st.prepare_seq = seq;
+        std::vector<repl::ReplOp> writes;
+        if (repl::DecodeBatch(op.value, &writes)) {
+          st.writes = std::move(writes);
+        }
+        staged_txns_.Stage(id, std::move(st));
+        txns_prepared_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case repl::ReplOp::Kind::kTxnCommit: {
+        txn::TxnId id = 0;
+        if (!txn::ParseTxnIdKey(op.key, &id)) {
+          break;
+        }
+        if (!op.value.empty()) {
+          txn::Decision d;
+          if (txn::DecodeDecision(op.value, &d)) {
+            txn_decisions_.Add(id, seq, std::move(d));
+            txn_decisions_.PruneBelow(log_->start_seq());
+            txn_decision_records_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        post_seal_txns_.push_back(id);
+        break;
+      }
+      case repl::ReplOp::Kind::kTxnAbort: {
+        txn::TxnId id = 0;
+        if (txn::ParseTxnIdKey(op.key, &id) && staged_txns_.Drop(id)) {
+          txns_aborted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
     }
   }
   log_->Append(seq, bf);
   applied_batches_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+// ---- Transaction plane (DESIGN.md §9) ---------------------------------------
+//
+// All six handlers obey one discipline: txn writes never mutate the store at
+// execute time. They stage in staged_txns_ and the record that justifies the
+// apply (commit marker or decision) queues the id in post_seal_txns_; the
+// actual mutation runs in ApplyPostSealTxns, after the batch's Psync sealed
+// that record. A crash before the seal leaves the store untouched — the txn
+// is still cleanly abortable — and a crash after it is redone from the log.
+
+void Shard::RunTxnOps(txn::TxnPart& part,
+                      const std::shared_ptr<txn::TxnState>& t,
+                      std::vector<repl::ReplOp>* writes) {
+  std::lock_guard<std::mutex> lk(t->mu);
+  for (const txn::TxnOp& op : part.ops) {
+    std::string* reply = &t->replies[op.reply_index];
+    // The latest staged write to the same key wins a read or an existence
+    // probe (txn read-your-writes); the store itself is pre-txn state.
+    const repl::ReplOp* staged = nullptr;
+    for (const repl::ReplOp& w : *writes) {
+      if (w.key == op.key) {
+        staged = &w;
+      }
+    }
+    switch (op.kind) {
+      case txn::TxnOp::Kind::kSet: {
+        repl::ReplOp w;
+        w.kind = repl::ReplOp::Kind::kPut;
+        w.key = op.key;
+        w.record.fields.push_back(op.value);
+        writes->push_back(std::move(w));
+        AppendSimple(reply, "OK");
+        break;
+      }
+      case txn::TxnOp::Kind::kGet: {
+        std::string joined;
+        if (staged != nullptr) {
+          if (staged->kind == repl::ReplOp::Kind::kDel) {
+            AppendNil(reply);
+            break;
+          }
+          for (const std::string& f : staged->record.fields) {
+            joined += f;
+          }
+          AppendBulk(reply, joined);
+          break;
+        }
+        store::Record r;
+        if (!kv_->Read(op.key, &r)) {
+          AppendNil(reply);
+          break;
+        }
+        for (const std::string& f : r.fields) {
+          joined += f;
+        }
+        AppendBulk(reply, joined);
+        break;
+      }
+      case txn::TxnOp::Kind::kDel: {
+        bool present = false;
+        if (staged != nullptr) {
+          present = staged->kind != repl::ReplOp::Kind::kDel;
+        } else {
+          store::Record r;
+          present = kv_->Read(op.key, &r);
+        }
+        AppendInteger(reply, present ? 1 : 0);
+        if (present) {
+          repl::ReplOp w;
+          w.kind = repl::ReplOp::Kind::kDel;
+          w.key = op.key;
+          writes->push_back(std::move(w));
+        }
+        break;
+      }
+    }
+  }
+}
+
+// Single-shard fast path: one record carries both the prepare image and the
+// commit marker, so the txn costs the same one sealed record and one Psync
+// as a plain batch — and a run of kTxnExec requests shares both.
+bool Shard::ExecuteTxnExec(const Request& req, std::vector<repl::ReplOp>* rops) {
+  const std::shared_ptr<txn::TxnState>& t = req.txn;
+  txn::TxnPart& part = t->parts[req.txn_part];
+  if (follower()) {
+    t->Fail(kReadonlyMsg);
+    return false;
+  }
+  if (log_ == nullptr) {
+    t->Fail("replication log disabled - transactions unavailable");
+    return false;
+  }
+  std::vector<repl::ReplOp> writes;
+  RunTxnOps(part, t, &writes);
+  if (writes.empty()) {
+    part.has_writes = false;
+    return false;  // read-only txn: nothing to seal or apply
+  }
+  part.has_writes = true;
+  repl::EncodeBatch(writes, &part.writes_frame);
+  part.prepare_seq = log_->next_seq();
+  txn::StagedTxn st;
+  st.coordinator = t->coordinator;
+  st.prepare_seq = part.prepare_seq;
+  st.writes = std::move(writes);
+  staged_txns_.Stage(t->id, std::move(st));
+  txns_prepared_.fetch_add(1, std::memory_order_relaxed);
+  repl::ReplOp prep;
+  prep.kind = repl::ReplOp::Kind::kTxnPrepare;
+  prep.key = txn::TxnIdKey(t->id);
+  prep.field = t->coordinator;
+  prep.value = part.writes_frame;
+  rops->push_back(std::move(prep));
+  repl::ReplOp marker;
+  marker.kind = repl::ReplOp::Kind::kTxnCommit;
+  marker.key = txn::TxnIdKey(t->id);
+  rops->push_back(std::move(marker));
+  post_seal_txns_.push_back(t->id);
+  return true;
+}
+
+// Cross-shard phase 1: run this part's ops, stage its writes, seal a
+// kTxnPrepare record carrying them. Read-only participants join the phase
+// without a record — they never enter the decision's membership.
+bool Shard::ExecuteTxnPrepare(const Request& req,
+                              std::vector<repl::ReplOp>* rops) {
+  const std::shared_ptr<txn::TxnState>& t = req.txn;
+  txn::TxnPart& part = t->parts[req.txn_part];
+  if (follower()) {
+    t->Fail(kReadonlyMsg);
+    return false;
+  }
+  if (log_ == nullptr) {
+    t->Fail("replication log disabled - transactions unavailable");
+    return false;
+  }
+  std::vector<repl::ReplOp> writes;
+  RunTxnOps(part, t, &writes);
+  if (writes.empty()) {
+    part.has_writes = false;
+    return false;
+  }
+  part.has_writes = true;
+  repl::EncodeBatch(writes, &part.writes_frame);
+  part.prepare_seq = log_->next_seq();
+  txn::StagedTxn st;
+  st.coordinator = t->coordinator;
+  st.prepare_seq = part.prepare_seq;
+  st.writes = std::move(writes);
+  staged_txns_.Stage(t->id, std::move(st));
+  txns_prepared_.fetch_add(1, std::memory_order_relaxed);
+  repl::ReplOp prep;
+  prep.kind = repl::ReplOp::Kind::kTxnPrepare;
+  prep.key = txn::TxnIdKey(t->id);
+  prep.field = t->coordinator;
+  prep.value = part.writes_frame;
+  rops->push_back(std::move(prep));
+  return true;
+}
+
+// Cross-shard phase 2, coordinator only: seal the decision record — THE
+// durability point of the txn. req.value carries the encoded txn::Decision
+// built by the event loop from the prepare phase's results. The decision
+// doubles as this shard's own commit marker, so a coordinator that is also
+// a write participant applies its staged writes post-seal of this record.
+bool Shard::ExecuteTxnDecide(const Request& req,
+                             std::vector<repl::ReplOp>* rops) {
+  const std::shared_ptr<txn::TxnState>& t = req.txn;
+  txn::Decision d;
+  if (txn::DecodeDecision(req.value, &d)) {
+    txn_decisions_.Add(t->id, log_->next_seq(), std::move(d));
+    txn_decisions_.PruneBelow(log_->start_seq());
+  }
+  txn_decision_records_.fetch_add(1, std::memory_order_relaxed);
+  repl::ReplOp op;
+  op.kind = repl::ReplOp::Kind::kTxnCommit;
+  op.key = txn::TxnIdKey(t->id);
+  op.value = req.value;
+  rops->push_back(std::move(op));
+  post_seal_txns_.push_back(t->id);
+  return true;
+}
+
+// Cross-shard phase 3 (and recovery resolution): seal a commit marker for a
+// staged txn, apply post-seal. Idempotent — a marker for a txn no longer
+// staged (already resolved) seals nothing.
+bool Shard::ExecuteTxnApply(const Request& req,
+                            std::vector<repl::ReplOp>* rops) {
+  txn::TxnId id = 0;
+  if (!txn::ParseTxnIdKey(req.key, &id) || !staged_txns_.Has(id)) {
+    return false;
+  }
+  repl::ReplOp op;
+  op.kind = repl::ReplOp::Kind::kTxnCommit;
+  op.key = req.key;
+  rops->push_back(std::move(op));
+  post_seal_txns_.push_back(id);
+  return true;
+}
+
+// Abort: drop the staged writes and seal an explicit kTxnAbort marker, so
+// the log records the resolution (recovery and replicas drop it the same
+// way) — never a silent partial apply.
+bool Shard::ExecuteTxnAbortMark(const Request& req,
+                                std::vector<repl::ReplOp>* rops) {
+  txn::TxnId id = 0;
+  if (!txn::ParseTxnIdKey(req.key, &id) || !staged_txns_.Drop(id)) {
+    return false;  // never prepared here, or already resolved: no record
+  }
+  txns_aborted_.fetch_add(1, std::memory_order_relaxed);
+  repl::ReplOp op;
+  op.kind = repl::ReplOp::Kind::kTxnAbort;
+  op.key = req.key;
+  rops->push_back(std::move(op));
+  return true;
+}
+
+// Promote repair: the sealed decision proves this shard was a write
+// participant, but its log never received the prepare (gapless log, next
+// seq <= the decision's prepare seq). Stage the writes from the decision
+// record itself (req.value) and commit them in one [prepare|marker] record.
+bool Shard::ExecuteTxnRepair(const Request& req,
+                             std::vector<repl::ReplOp>* rops) {
+  txn::TxnId id = 0;
+  if (!txn::ParseTxnIdKey(req.key, &id)) {
+    return false;
+  }
+  if (!staged_txns_.Has(id)) {
+    std::vector<repl::ReplOp> writes;
+    if (!repl::DecodeBatch(req.value, &writes)) {
+      return false;
+    }
+    txn::StagedTxn st;
+    st.coordinator = req.field;
+    st.prepare_seq = log_->next_seq();
+    st.writes = std::move(writes);
+    staged_txns_.Stage(id, std::move(st));
+    txns_prepared_.fetch_add(1, std::memory_order_relaxed);
+    repl::ReplOp prep;
+    prep.kind = repl::ReplOp::Kind::kTxnPrepare;
+    prep.key = req.key;
+    prep.field = req.field;
+    prep.value = req.value;
+    rops->push_back(std::move(prep));
+  }
+  repl::ReplOp marker;
+  marker.kind = repl::ReplOp::Kind::kTxnCommit;
+  marker.key = req.key;
+  rops->push_back(std::move(marker));
+  post_seal_txns_.push_back(id);
+  return true;
+}
+
+// Worker thread, directly after the batch's Psync: every record justifying
+// these applies is sealed. The staged writes run through the store's apply
+// path inside a fresh group-commit window (J-PFA failure-atomic blocks
+// inside, see txn::ApplyStagedWrites), then a Psync orders them before any
+// later record can seal — preserving the redo-tail invariant that only the
+// tail record's store effects may be incomplete after a crash.
+void Shard::ApplyPostSealTxns() {
+  if (post_seal_txns_.empty()) {
+    return;
+  }
+  rt_->heap().BeginGroupCommit();
+  for (const txn::TxnId id : post_seal_txns_) {
+    txn::StagedTxn t;
+    if (!staged_txns_.Take(id, &t)) {
+      continue;  // marker for an already-resolved txn (idempotent)
+    }
+    txn::ApplyStagedWrites(rt_.get(), kv_.get(), t.writes);
+    txns_committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  rt_->heap().EndGroupCommit();
+  rt_->Psync();
+  rt_->DrainGroupFrees();
+  post_seal_txns_.clear();
+}
+
+// The last part of a txn phase to deliver — post-Psync, and post-WAIT-K
+// when configured — posts one completion carrying the txn; the event loop
+// advances the phase state machine.
+void Shard::TxnJoin(const std::shared_ptr<txn::TxnState>& t) {
+  if (t->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    Completion c;
+    c.conn_id = t->conn_id;
+    c.seq = t->reply_seq;
+    c.txn = t;
+    sink_->OnCompletion(std::move(c));
+  }
+}
+
+txn::ShardTxnView Shard::TxnView() const {
+  txn::ShardTxnView v;
+  v.undecided = staged_txns_.Undecided();
+  v.decisions = &txn_decisions_;
+  v.log_next_seq = sealed_seq_.load(std::memory_order_acquire) + 1;
+  return v;
 }
 
 // REPLSYNC <shard> <from>: replies +SYNC <from> followed by one bulk per
@@ -564,6 +965,10 @@ void Shard::DeliverBatch(std::vector<Request>& batch,
   // joined +OK implies every part is durable on its own shard.
   for (size_t i = 0; i < batch.size(); ++i) {
     Request& req = batch[i];
+    if (req.txn != nullptr) {
+      TxnJoin(req.txn);
+      continue;
+    }
     if (req.waiter != nullptr) {
       req.waiter->Signal(replies[i].empty(), std::move(replies[i]));
       continue;
@@ -681,6 +1086,12 @@ void Shard::DeliverParked(ParkedBatch&& p, bool timed_out) {
     // state and keeps its payload.
     for (size_t i = 0; i < p.reqs.size(); ++i) {
       if (!p.wrote[i]) {
+        continue;
+      }
+      if (p.reqs[i].txn != nullptr) {
+        // The txn keeps committing — its record IS sealed — but the final
+        // EXEC reply degrades to -WAITTIMEOUT (decided by the event loop).
+        p.reqs[i].txn->NoteWaitTimeout();
         continue;
       }
       if (p.reqs[i].multi != nullptr) {
@@ -900,27 +1311,28 @@ void Shard::WorkerLoop() {
       if (queue_.empty()) {
         return;  // stopping and drained
       }
-      // Control ops run as singleton batches: they assume every earlier
-      // batch is sealed and must not share a durability point with writes.
-      // Batches are otherwise homogeneous in kind: a run of kApply records
-      // (each a sealed primary batch) groups up to apply_cap, anything else
-      // groups up to max_batch — kApply is a boundary in both directions so
-      // the two caps never mix within one durability point.
-      apply_run = queue_.front().op == Request::Op::kApply;
+      // Batches are homogeneous in class (see BatchClass): control and txn
+      // boundary ops run alone, a run of kApply records groups up to
+      // apply_cap, a run of kTxnExec and anything else groups up to
+      // max_batch — class boundaries never mix two caps (or two apply
+      // disciplines) within one durability point.
+      const BatchClass bclass = ClassOf(queue_.front().op);
+      apply_run = bclass == BatchClass::kApplyRun;
       const uint32_t cap = apply_run ? apply_cap : max_batch;
       const size_t take = std::min<size_t>(cap, queue_.size());
       for (size_t i = 0; i < take; ++i) {
-        const bool ctrl = IsControl(queue_.front().op);
-        if (ctrl && !batch.empty()) {
+        if (!batch.empty() && ClassOf(queue_.front().op) != bclass) {
           break;
         }
-        if (!batch.empty() &&
-            (queue_.front().op == Request::Op::kApply) != apply_run) {
+        // A shipped record with txn ops forms its own apply batch so its
+        // post-seal applies order exactly as on the primary.
+        const bool txn_rec = apply_run && ApplyRecordHasTxnOps(queue_.front());
+        if (txn_rec && !batch.empty()) {
           break;
         }
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
-        if (ctrl) {
+        if (bclass == BatchClass::kSingleton || txn_rec) {
           break;
         }
       }
@@ -965,6 +1377,10 @@ void Shard::WorkerLoop() {
     // batch == 1, no log: every op kept its own trailing durability fence;
     // no group Psync needed (ablation baseline).
     if (log_ != nullptr) {
+      // Staged txn writes whose justifying record this batch just sealed
+      // apply now — after the seal, before the watermark publishes, so a
+      // session read released below already sees them.
+      ApplyPostSealTxns();
       PublishReplStats();
       // Session reads waiting on this batch's watermark advance run here,
       // against exactly the sealed-prefix state their token named.
@@ -1033,6 +1449,11 @@ ShardStats Shard::Stats() const {
     std::lock_guard<std::mutex> lk(subs_mu_);
     s.repl.subscribers = subs_.size();
   }
+  s.txn.prepared = txns_prepared_.load(std::memory_order_relaxed);
+  s.txn.committed = txns_committed_.load(std::memory_order_relaxed);
+  s.txn.aborted = txns_aborted_.load(std::memory_order_relaxed);
+  s.txn.inflight = staged_txns_.Size();
+  s.txn.decision_records = txn_decision_records_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -44,6 +44,7 @@
 #include "src/repl/frame.h"
 #include "src/repl/repl_log.h"
 #include "src/store/kvstore.h"
+#include "src/txn/txn.h"
 
 namespace jnvm::server {
 
@@ -148,6 +149,17 @@ struct Request {
     kPromote,      // audit + flip follower → primary (multi joins shards)
     kLastSeq,      // :sealed-seq reply; singleton batch, so every write the
                    // connection pipelined before it is already sealed
+    // Transaction plane (DESIGN.md §9). All five are internal (conn_id = 0,
+    // submitted by the server's coordinator hook or recovery); the EXEC
+    // reply is staged through Request::txn and delivered by the event loop.
+    kTxnExec,      // single-shard txn: one [prepare|marker] record, one Psync
+    kTxnPrepare,   // stage this part's writes + seal a kTxnPrepare record
+    kTxnDecide,    // coordinator: seal the decision record (value = payload),
+                   // then apply own staged writes post-seal
+    kTxnApply,     // participant: seal a commit marker, apply staged post-seal
+    kTxnAbortMark, // drop staged writes + seal an explicit kTxnAbort marker
+    kTxnRepair,    // promote repair: stage writes from a decision record
+                   // (value = writes frame) and commit them in one record
   };
   Op op = Op::kGet;
   std::string key;
@@ -169,6 +181,12 @@ struct Request {
   std::shared_ptr<struct MultiOp> multi;
   // Non-null for kSnapInstall: signalled after the install's Psync.
   std::shared_ptr<struct ReplWaiter> waiter;
+  // Non-null for txn-plane requests (kTxnExec/kTxnPrepare/kTxnDecide/
+  // kTxnApply): the in-flight EXEC this request belongs to. The last part
+  // of the current phase to deliver — after its shard's Psync (and WAIT-K
+  // ack, when configured) — posts one phase completion to the event loop.
+  std::shared_ptr<txn::TxnState> txn;
+  uint32_t txn_part = 0;  // index into txn->parts for this shard's slice
 };
 
 struct MultiOp {
@@ -233,6 +251,9 @@ struct Completion {
   std::string reply;
   bool stream = false;
   std::shared_ptr<const std::string> frame;  // stream payload (shared)
+  // Non-null: a txn phase join finished — the event loop advances the txn's
+  // state machine instead of writing `reply` to a connection.
+  std::shared_ptr<txn::TxnState> txn;
 };
 
 // Where shards hand finished requests. The server implementation pushes to
@@ -289,6 +310,18 @@ struct ReplStats {
   uint64_t stale_reads = 0;
 };
 
+// Transaction counters (STATS `txn` line). Per shard: prepared counts
+// prepare records sealed, committed counts staged txns this shard applied,
+// aborted counts staged txns dropped by an abort, inflight is the staged
+// table size, decision_records counts decisions sealed (coordinator role).
+struct TxnShardStats {
+  uint64_t prepared = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t inflight = 0;
+  uint64_t decision_records = 0;
+};
+
 struct ShardStats {
   uint64_t queue_depth = 0;
   uint64_t batches = 0;
@@ -299,6 +332,7 @@ struct ShardStats {
   store::CacheStats cache;
   nvm::DeviceStats device;
   ReplStats repl;
+  TxnShardStats txn;
 };
 
 class Shard {
@@ -383,6 +417,13 @@ class Shard {
   // Thread-safe counters snapshot (STATS command; no queue round-trip).
   ShardStats Stats() const;
 
+  // ---- Transaction plane (DESIGN.md §9) -----------------------------------
+  // This shard's view for cross-shard resolution planning (recovery after
+  // all shards opened, and the PROMOTE hook): staged-undecided txns, the
+  // decision index, and the gapless log's next seq. Thread-safe.
+  txn::ShardTxnView TxnView() const;
+  bool HasTxnDecision(txn::TxnId id) const { return txn_decisions_.Has(id); }
+
   store::KvStore& kv() { return *kv_; }
 
   // Stops intake, drains the queue, joins the worker, Psyncs, audits heap
@@ -407,8 +448,30 @@ class Shard {
   void ExecutePromote(const Request& req, std::string* reply);
   void DeliverBatch(std::vector<Request>& batch, std::vector<std::string>& replies);
   void StreamToSubscribers(uint64_t first_seq, uint64_t last_seq);
-  void RedoLogTail();
+  void RedoLogTail(txn::LogScanResult* scan);
   void PublishReplStats();
+
+  // ---- Transaction plane (worker thread) ----------------------------------
+  // Execute-time handlers; store mutations never happen here — txn writes
+  // stage in staged_txns_ and apply post-seal (ApplyPostSealTxns), so a
+  // crash before the record seals leaves the store untouched.
+  bool ExecuteTxnExec(const Request& req, std::vector<repl::ReplOp>* rops);
+  bool ExecuteTxnPrepare(const Request& req, std::vector<repl::ReplOp>* rops);
+  bool ExecuteTxnDecide(const Request& req, std::vector<repl::ReplOp>* rops);
+  bool ExecuteTxnApply(const Request& req, std::vector<repl::ReplOp>* rops);
+  bool ExecuteTxnAbortMark(const Request& req, std::vector<repl::ReplOp>* rops);
+  bool ExecuteTxnRepair(const Request& req, std::vector<repl::ReplOp>* rops);
+  // Runs the queued MULTI ops of one part: reads answer from the part's own
+  // staged writes first (txn read-your-writes), writes collect into *writes.
+  void RunTxnOps(txn::TxnPart& part, const std::shared_ptr<txn::TxnState>& t,
+                 std::vector<repl::ReplOp>* writes);
+  // Applies every txn queued by the batch after its record sealed, inside a
+  // fresh group-commit window, then an ordering Pfence: a later record can
+  // only seal after these applies are durable, preserving the redo-tail
+  // invariant (only the tail record's store effects may be incomplete).
+  void ApplyPostSealTxns();
+  // Phase join: the last request of a txn phase posts one completion.
+  void TxnJoin(const std::shared_ptr<txn::TxnState>& t);
 
   // ---- WAIT-K parking (worker + event-loop threads) -----------------------
   // A sealed batch withheld between its Psync and its delivery.
@@ -466,6 +529,20 @@ class Shard {
   std::atomic<bool> repl_needs_snapshot_{false};
   std::atomic<uint64_t> stream_frames_{0};       // frames serialized (once/batch)
   std::atomic<uint64_t> stream_frame_bytes_{0};  // bytes serialized, pre-fan-out
+
+  // ---- Transaction state (DESIGN.md §9) -----------------------------------
+  // Prepared-but-undecided txns (worker mutates; event loop reads for
+  // PROMOTE resolution) and the sealed decisions this shard coordinated
+  // (pruned against the log's retention).
+  txn::StagedTable staged_txns_;
+  txn::DecisionIndex txn_decisions_;
+  // Txns whose staged writes apply after the current batch's Psync; worker
+  // thread only, drained by ApplyPostSealTxns.
+  std::vector<txn::TxnId> post_seal_txns_;
+  std::atomic<uint64_t> txns_prepared_{0};
+  std::atomic<uint64_t> txns_committed_{0};
+  std::atomic<uint64_t> txns_aborted_{0};
+  std::atomic<uint64_t> txn_decision_records_{0};
 
   // A replication-stream subscriber and its durability watermark: every
   // record <= acked_seq is durable on that replica (REPLSYNC's from-seq

@@ -1359,6 +1359,61 @@ TEST_P(SessionE2E, MidTreePromoteKeepsAckedKeysReadable) {
   EXPECT_TRUE(r1->shutdown_report().ok);
 }
 
+// A cross-shard MULTI/EXEC is atomic for session readers on a replica: the
+// per-shard streams apply independently, but once the session tokens cover
+// the primary's post-EXEC watermarks (the decision on the coordinator, the
+// commit marker on the other participant), BOTH reads must return the txn's
+// values — never one new and one old, and never a silent stale value.
+TEST_P(SessionE2E, CrossShardTxnAtomicUnderSessionReads) {
+  std::string err;
+  auto primary = Server::Start(Opts(), &err);
+  ASSERT_NE(primary, nullptr) << err;
+  auto replica = Server::Start(FollowerOpts(primary->port()), &err);
+  ASSERT_NE(replica, nullptr) << err;
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  auto rc = Client::Connect("127.0.0.1", replica->port(), &err);
+  ASSERT_NE(rc, nullptr) << err;
+
+  // One key pinned to each shard.
+  const auto key_on = [](uint32_t shard) {
+    for (int i = 0;; ++i) {
+      std::string k = "txk:" + std::to_string(i);
+      if (ShardFor(k, kShards) == shard) {
+        return k;
+      }
+    }
+  };
+  const std::string k0 = key_on(0);
+  const std::string k1 = key_on(1);
+
+  // No polling loop: by EXEC-reply time the commit marker for the
+  // non-coordinator shard is enqueued ahead of the LASTSEQ probes, so the
+  // raised tokens cover the whole txn and the first read attempt must
+  // already observe both writes.
+  const int kRounds = 30;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string v = "round:" + std::to_string(round);
+    ASSERT_TRUE(pc->Multi()) << pc->last_error();
+    RespReply q;
+    ASSERT_TRUE(pc->Roundtrip({"SET", k0, v}, &q));
+    ASSERT_TRUE(pc->Roundtrip({"SET", k1, v}, &q));
+    std::vector<RespReply> replies;
+    ASSERT_TRUE(pc->Exec(&replies)) << pc->last_error();
+    ASSERT_EQ(replies.size(), 2u);
+    RaiseTokens(*pc, *rc);
+    EXPECT_EQ(rc->Get(k0).value_or("<missing>"), v) << "round " << round;
+    EXPECT_EQ(rc->Get(k1).value_or("<missing>"), v) << "round " << round;
+  }
+  const std::string stats = rc->Stats().value_or("");
+  EXPECT_EQ(SumStatsField(stats, "stale_reads="), 0u) << stats;
+
+  ASSERT_TRUE(rc->Shutdown());
+  replica->Wait();
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+}
+
 INSTANTIATE_TEST_SUITE_P(Pollers, SessionE2E, ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "poll" : "epoll";

@@ -963,6 +963,45 @@ TEST(LoadgenSmoke, SessionReplicaReadsExpectHits) {
   ASSERT_TRUE(pc->Shutdown());
   primary->Wait();
 }
+// MULTI/EXEC load against a 4-shard primary: mixed single-shard (kTxnExec
+// fast path) and cross-shard (2PC decision record) groups, then the built-in
+// all-or-nothing sweep. The loadgen exits non-zero on any partial apply, any
+// per-op error, or a group carrying a foreign value.
+TEST(LoadgenSmoke, TxnModeCommitsAtomically) {
+  ServerOptions opts;
+  opts.nshards = 4;
+  opts.shard.device_bytes = 64ull << 20;
+  opts.shard.map_capacity = 1 << 12;
+  std::string err;
+  auto server = Server::Start(opts, &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  const std::string cmd =
+      std::string(JNVM_LOADGEN_BIN) +
+      " --port=" + std::to_string(server->port()) +
+      " --shards=4 --txn=4 --cross-shard-pct=50 --txn-verify" +
+      " --threads=2 --keys=64 --ops=400 --seconds=30 >/dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  // The run actually exercised both commit paths: decisions sealed (cross-
+  // shard) and more prepares than decisions (single-shard fast path never
+  // seals one).
+  auto c = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(c, nullptr) << err;
+  const std::string stats = c->Stats().value_or("");
+  const auto field = [&stats](const char* name) -> uint64_t {
+    const size_t pos = stats.find(name);
+    if (pos == std::string::npos) {
+      return 0;
+    }
+    return std::strtoull(stats.c_str() + pos + std::strlen(name), nullptr, 10);
+  };
+  EXPECT_GT(field("decision_records="), 0u) << stats;
+  EXPECT_GT(field("committed="), field("decision_records=")) << stats;
+  EXPECT_EQ(field("inflight="), 0u) << stats;
+  ASSERT_TRUE(c->Shutdown());
+  server->Wait();
+}
 #endif  // JNVM_LOADGEN_BIN
 
 }  // namespace

@@ -7,7 +7,23 @@
 //                [--allow-waittimeout] [--stats] [--shutdown]
 //                [--read-from=primary|replica] [--read-endpoints=H:P,...]
 //                [--consistency=none|session] [--shards=N] [--allow-stale]
-//                [--ycsb=b|c]
+//                [--ycsb=b|c] [--txn=K] [--cross-shard-pct=P] [--txn-verify]
+//                [--allow-disconnect]
+//
+// ---- Transactions (DESIGN.md §9) ------------------------------------------
+// --txn=K switches every thread to MULTI/EXEC batches of K SETs. The key
+// space is carved into `--keys` disjoint *groups* of K keys each; a txn
+// rewrites one whole group with one value, and a group's writers are
+// serialized (each group belongs to one thread's slice), so at every moment
+// a group's keys must either all be absent or all carry the same value —
+// the all-or-nothing oracle. Group g targets a single shard when
+// (g % 100) >= P and spans shards otherwise (--cross-shard-pct, default 50);
+// key derivation is a pure function of (g, K, shards), so a later
+// --txn-verify run (e.g. against a promoted replica after kill -9) can
+// recompute every group and assert the oracle with no state handoff.
+// -TXNABORT replies count as aborts (nothing applied), not errors.
+// --txn-verify with --readonly only verifies; --allow-disconnect makes an
+// I/O failure stop the thread quietly (the CI kill-the-primary scenario).
 //
 // Each thread drives its own connection: preloads its slice of the key
 // space with pipelined SETs, then runs a closed loop of GET (read-ratio)
@@ -98,6 +114,12 @@ struct Config {
   bool session = false;      // --consistency=session
   uint32_t shards = 4;       // must match the servers' --shards
   bool allow_stale = false;  // -STALE read replies are not fatal
+
+  // Transactions (--txn mode; see header comment).
+  uint32_t txn_ops = 0;          // K ops per MULTI/EXEC batch; 0 = off
+  uint32_t cross_shard_pct = 50; // % of groups that span shards
+  bool txn_verify = false;       // all-or-nothing sweep over every group
+  bool allow_disconnect = false; // I/O failure = quiet stop, not an error
 };
 
 // Spin barrier between the preload and the read phase: with session reads
@@ -126,6 +148,9 @@ struct ThreadResult {
   uint64_t errors = 0;
   uint64_t wait_timeouts = 0;  // -WAITTIMEOUT write replies
   uint64_t stale_reads = 0;    // -STALE session-read replies
+  uint64_t txn_commits = 0;    // EXEC answered with its reply array
+  uint64_t txn_aborts = 0;     // EXEC answered -TXNABORT (nothing applied)
+  uint64_t txn_groups = 0;     // groups checked by --txn-verify
   std::string error_msg;
 };
 
@@ -288,6 +313,180 @@ bool ReplicaRound(const Config& cfg, jnvm::Xorshift& rng, uint32_t n,
     }
   }
   return true;
+}
+
+// ---- Transaction mode (--txn) ---------------------------------------------
+
+std::string TxnKeyName(uint64_t g, uint32_t j) {
+  return "txn:" + std::to_string(g) + ":" + std::to_string(j);
+}
+
+// Pure function of (g, K, shards): a verify run recomputes the exact keys a
+// load run wrote without any state handoff.
+std::vector<std::string> TxnGroupKeys(const Config& cfg, uint64_t g) {
+  std::vector<std::string> keys;
+  keys.reserve(cfg.txn_ops);
+  if (g % 100 < cfg.cross_shard_pct) {
+    // Cross-shard group: consecutive probe keys land on hash-random shards.
+    for (uint32_t j = 0; j < cfg.txn_ops; ++j) {
+      keys.push_back(TxnKeyName(g, j));
+    }
+    return keys;
+  }
+  // Single-shard group: probe until K keys hash to the group's home shard —
+  // this txn exercises the one-record kTxnExec fast path.
+  const uint32_t target = static_cast<uint32_t>(g % cfg.shards);
+  for (uint32_t j = 0; keys.size() < cfg.txn_ops; ++j) {
+    std::string key = TxnKeyName(g, j);
+    if (jnvm::server::ShardFor(key, cfg.shards) == target) {
+      keys.push_back(std::move(key));
+    }
+  }
+  return keys;
+}
+
+void TxnWorker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
+               std::atomic<bool>* failed, ThreadResult* res) {
+  std::string err;
+  auto client = jnvm::server::Client::Connect(cfg.host, cfg.port, &err);
+  if (client == nullptr) {
+    res->errors++;
+    res->error_msg = "connect: " + err;
+    failed->store(true);
+    return;
+  }
+  auto io_fail = [&](const std::string& what) {
+    if (cfg.allow_disconnect) {
+      return;  // the CI kill scenario: the server died under us, by design
+    }
+    res->errors++;
+    res->error_msg = what + ": " + client->last_error();
+    failed->store(true);
+  };
+  const uint64_t ngroups = cfg.keys;
+  jnvm::Xorshift rng(cfg.seed + tid);
+  std::vector<jnvm::server::RespReply> replies;
+
+  if (!cfg.readonly) {
+    // Each thread owns the groups g ≡ tid (mod threads): one group has one
+    // writer connection, so its committed values are totally ordered and
+    // the group's keys must always agree.
+    const uint64_t slice = (ngroups + cfg.threads - 1) / cfg.threads;
+    for (uint64_t n = 0; n < cfg.ops_per_thread; ++n) {
+      if (deadline_ns != 0 && jnvm::NowNs() >= deadline_ns) {
+        break;
+      }
+      if (failed->load(std::memory_order_relaxed)) {
+        return;
+      }
+      uint64_t g = tid + cfg.threads * rng.NextBelow(slice);
+      if (g >= ngroups) {
+        g = tid % ngroups;
+      }
+      const std::vector<std::string> keys = TxnGroupKeys(cfg, g);
+      const std::string value = "g" + std::to_string(g) + ":v" +
+                                std::to_string(n + 1) + ":t" +
+                                std::to_string(tid);
+      client->PipeCommand({"MULTI"});
+      for (const std::string& k : keys) {
+        client->PipeCommand({"SET", k, value});
+      }
+      client->PipeCommand({"EXEC"});
+      const uint64_t t0 = jnvm::NowNs();
+      if (!client->Sync(&replies)) {
+        io_fail("txn sync");
+        return;
+      }
+      res->write_lat.Record(jnvm::NowNs() - t0);
+      const jnvm::server::RespReply& ex = replies.back();
+      if (ex.type == jnvm::server::RespReply::Type::kArray) {
+        res->txn_commits++;
+        res->writes += keys.size();
+        for (const auto& r : ex.elements) {
+          if (r.type != jnvm::server::RespReply::Type::kSimple) {
+            res->errors++;
+            res->error_msg = "txn op reply: " + r.str;
+            failed->store(true);
+            return;
+          }
+        }
+      } else if (ex.type == jnvm::server::RespReply::Type::kError &&
+                 ex.str.rfind("TXNABORT", 0) == 0) {
+        res->txn_aborts++;  // all-or-nothing refusal: nothing applied
+      } else if (IsWaitTimeout(ex)) {
+        res->wait_timeouts++;
+        if (!cfg.allow_waittimeout) {
+          res->errors++;
+          res->error_msg = "reply: " + ex.str;
+          failed->store(true);
+          return;
+        }
+        res->txn_commits++;  // committed locally, quorum missed
+        res->writes += keys.size();
+      } else {
+        res->errors++;
+        res->error_msg = "EXEC reply: " + ex.str;
+        failed->store(true);
+        return;
+      }
+    }
+  }
+
+  if (!cfg.txn_verify) {
+    return;
+  }
+  // All-or-nothing oracle: every group's K keys must agree — all absent or
+  // all carrying one value stamped with this group's id. Any split is a
+  // partial txn apply, the one outcome the protocol forbids.
+  for (uint64_t g = tid; g < ngroups; g += cfg.threads) {
+    const std::vector<std::string> keys = TxnGroupKeys(cfg, g);
+    for (const std::string& k : keys) {
+      client->PipeGet(k);
+    }
+    if (!client->Sync(&replies)) {
+      io_fail("verify sync");
+      return;
+    }
+    bool any_nil = false;
+    bool any_val = false;
+    std::string v0;
+    for (const auto& r : replies) {
+      if (r.type == jnvm::server::RespReply::Type::kNil) {
+        any_nil = true;
+      } else if (r.type == jnvm::server::RespReply::Type::kBulk) {
+        if (any_val && r.str != v0) {
+          res->errors++;
+          res->error_msg = "ATOMICITY VIOLATION group " + std::to_string(g) +
+                           ": '" + v0 + "' vs '" + r.str + "'";
+          failed->store(true);
+          return;
+        }
+        v0 = r.str;
+        any_val = true;
+      } else {
+        res->errors++;
+        res->error_msg = "verify reply: " + r.str;
+        failed->store(true);
+        return;
+      }
+    }
+    if (any_nil && any_val) {
+      res->errors++;
+      res->error_msg = "ATOMICITY VIOLATION group " + std::to_string(g) +
+                       ": some keys written, some absent";
+      failed->store(true);
+      return;
+    }
+    if (any_val &&
+        v0.rfind("g" + std::to_string(g) + ":", 0) != 0) {
+      res->errors++;
+      res->error_msg = "verify: group " + std::to_string(g) +
+                       " carries foreign value '" + v0 + "'";
+      failed->store(true);
+      return;
+    }
+    res->txn_groups++;
+  }
 }
 
 void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
@@ -533,6 +732,10 @@ int main(int argc, char** argv) {
       }
     } else if ((v = val("--shards")) != nullptr) {
       cfg.shards = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--txn")) != nullptr) {
+      cfg.txn_ops = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--cross-shard-pct")) != nullptr) {
+      cfg.cross_shard_pct = static_cast<uint32_t>(std::atoi(v));
     } else if ((v = val("--ycsb")) != nullptr) {
       if (std::strcmp(v, "b") == 0) {
         cfg.read_ratio = 0.95;  // YCSB-B
@@ -544,6 +747,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--allow-stale") == 0) {
       cfg.allow_stale = true;
+    } else if (std::strcmp(a, "--txn-verify") == 0) {
+      cfg.txn_verify = true;
+    } else if (std::strcmp(a, "--allow-disconnect") == 0) {
+      cfg.allow_disconnect = true;
     } else if (std::strcmp(a, "--readonly") == 0) {
       cfg.readonly = true;
       cfg.preload = false;
@@ -588,6 +795,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "jnvm_loadgen: --shards must be > 0\n");
     return 2;
   }
+  if (cfg.cross_shard_pct > 100) {
+    std::fprintf(stderr, "jnvm_loadgen: --cross-shard-pct must be 0..100\n");
+    return 2;
+  }
+  if (cfg.txn_verify && cfg.txn_ops == 0) {
+    std::fprintf(stderr, "jnvm_loadgen: --txn-verify needs --txn=K\n");
+    return 2;
+  }
+  if (cfg.txn_ops > 0 && cfg.read_from_replica) {
+    std::fprintf(stderr, "jnvm_loadgen: --txn targets the primary endpoint\n");
+    return 2;
+  }
 
   const uint64_t deadline_ns =
       cfg.seconds > 0 ? jnvm::NowNs() + static_cast<uint64_t>(cfg.seconds * 1e9)
@@ -604,8 +823,13 @@ int main(int argc, char** argv) {
   {
     std::vector<std::thread> threads;
     for (uint32_t t = 0; t < cfg.threads; ++t) {
-      threads.emplace_back(Worker, std::cref(cfg), t, deadline_ns, barrier_ptr,
-                           &failed, &results[t]);
+      if (cfg.txn_ops > 0) {
+        threads.emplace_back(TxnWorker, std::cref(cfg), t, deadline_ns,
+                             &failed, &results[t]);
+      } else {
+        threads.emplace_back(Worker, std::cref(cfg), t, deadline_ns,
+                             barrier_ptr, &failed, &results[t]);
+      }
     }
     for (auto& th : threads) {
       th.join();
@@ -615,7 +839,7 @@ int main(int argc, char** argv) {
 
   jnvm::Histogram reads, writes;
   uint64_t nreads = 0, nwrites = 0, misses = 0, errors = 0, waittimeouts = 0;
-  uint64_t stales = 0;
+  uint64_t stales = 0, txn_commits = 0, txn_aborts = 0, txn_groups = 0;
   for (const ThreadResult& r : results) {
     reads.Merge(r.read_lat);
     writes.Merge(r.write_lat);
@@ -625,6 +849,9 @@ int main(int argc, char** argv) {
     errors += r.errors;
     waittimeouts += r.wait_timeouts;
     stales += r.stale_reads;
+    txn_commits += r.txn_commits;
+    txn_aborts += r.txn_aborts;
+    txn_groups += r.txn_groups;
     if (!r.error_msg.empty()) {
       std::fprintf(stderr, "jnvm_loadgen: %s\n", r.error_msg.c_str());
     }
@@ -655,6 +882,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(nwrites),
               static_cast<unsigned long long>(waittimeouts),
               writes.Summary().c_str());
+  if (cfg.txn_ops > 0) {
+    std::printf("  txns  : committed=%llu aborted=%llu ops_per_txn=%u "
+                "cross_shard_pct=%u%s\n",
+                static_cast<unsigned long long>(txn_commits),
+                static_cast<unsigned long long>(txn_aborts), cfg.txn_ops,
+                cfg.cross_shard_pct,
+                cfg.txn_verify
+                    ? (" verified_groups=" + std::to_string(txn_groups) +
+                       (errors == 0 ? " atomicity=ok" : " ATOMICITY-FAILED"))
+                          .c_str()
+                    : "");
+  }
 
   int rc = (failed.load() || errors != 0) ? 1 : 0;
   if (cfg.expect_hits && misses != 0) {
