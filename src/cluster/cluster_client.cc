@@ -1,0 +1,270 @@
+#include "src/cluster/cluster_client.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "src/server/client.h"
+
+namespace jnvm::cluster {
+
+namespace {
+
+bool SplitAddr(const std::string& addr, std::string* host, uint16_t* port) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= addr.size()) {
+    return false;
+  }
+  *host = addr.substr(0, colon);
+  const long p = std::strtol(addr.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+// "-MOVED <slot> <addr>" / "-ASK <slot> <addr>" → target address.
+bool ParseRedirect(const std::string& msg, std::string* addr) {
+  const size_t sp1 = msg.find(' ');
+  if (sp1 == std::string::npos) {
+    return false;
+  }
+  const size_t sp2 = msg.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 + 1 >= msg.size()) {
+    return false;
+  }
+  *addr = msg.substr(sp2 + 1);
+  return true;
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(const ClusterClientOptions& opts)
+    : opts_(opts), owners_(kNumSlots) {}
+
+ClusterClient::~ClusterClient() = default;
+
+std::unique_ptr<ClusterClient> ClusterClient::Connect(
+    const ClusterClientOptions& opts, std::string* error) {
+  auto cc = std::unique_ptr<ClusterClient>(new ClusterClient(opts));
+  if (!cc->RefreshSlots()) {
+    if (error != nullptr) {
+      *error = cc->err_.empty() ? "no seed reachable" : cc->err_;
+    }
+    return nullptr;
+  }
+  return cc;
+}
+
+server::Client* ClusterClient::ClientFor(const std::string& addr) {
+  auto it = pool_.find(addr);
+  if (it != pool_.end()) {
+    return it->second.get();
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!SplitAddr(addr, &host, &port)) {
+    err_ = "bad node address: " + addr;
+    return nullptr;
+  }
+  std::string cerr;
+  std::unique_ptr<server::Client> c = server::Client::Connect(host, port, &cerr);
+  if (c == nullptr) {
+    err_ = "connect " + addr + ": " + cerr;
+    return nullptr;
+  }
+  return pool_.emplace(addr, std::move(c)).first->second.get();
+}
+
+void ClusterClient::DropClient(const std::string& addr) { pool_.erase(addr); }
+
+bool ClusterClient::RefreshFrom(server::Client* c) {
+  server::RespReply r;
+  if (!c->Roundtrip({"CLUSTER", "SLOTS"}, &r) ||
+      r.type != server::RespReply::Type::kArray) {
+    return false;
+  }
+  std::vector<std::string> fresh(kNumSlots);
+  bool any = false;
+  // Flat array: one bulk "lo hi host:port" per contiguous owned run.
+  for (const server::RespReply& e : r.elements) {
+    if (e.type != server::RespReply::Type::kBulk) {
+      continue;
+    }
+    const char* s = e.str.c_str();
+    char* end = nullptr;
+    const unsigned long lo = std::strtoul(s, &end, 10);
+    const unsigned long hi = std::strtoul(end, &end, 10);
+    while (*end == ' ') ++end;
+    const std::string addr(end);
+    if (hi >= kNumSlots || lo > hi || addr.empty()) {
+      continue;
+    }
+    for (unsigned long slot = lo; slot <= hi; ++slot) {
+      fresh[slot] = addr;
+    }
+    any = true;
+  }
+  if (!any) {
+    return false;
+  }
+  owners_ = std::move(fresh);
+  stats_.slot_refreshes++;
+  return true;
+}
+
+bool ClusterClient::RefreshSlots() {
+  // Prefer nodes we already talk to, then the seeds.
+  for (auto& [addr, c] : pool_) {
+    if (RefreshFrom(c.get())) {
+      return true;
+    }
+  }
+  for (const std::string& seed : opts_.seeds) {
+    server::Client* c = ClientFor(seed);
+    if (c != nullptr && RefreshFrom(c)) {
+      return true;
+    }
+  }
+  if (err_.empty()) {
+    err_ = "no node answered CLUSTER SLOTS with an assigned table";
+  }
+  return false;
+}
+
+std::string ClusterClient::CachedOwner(uint16_t slot) const {
+  return slot < owners_.size() ? owners_[slot] : std::string();
+}
+
+std::string ClusterClient::AnyAddr() const {
+  if (!pool_.empty()) {
+    return pool_.begin()->first;
+  }
+  return opts_.seeds.empty() ? std::string() : opts_.seeds.front();
+}
+
+bool ClusterClient::Roundtrip(const std::vector<std::string>& args,
+                              const std::string& key,
+                              server::RespReply* reply) {
+  const uint16_t slot = SlotForKey(key);
+  std::string addr = owners_[slot].empty() ? AnyAddr() : owners_[slot];
+  bool asking = false;
+  uint32_t tryagains = 0;
+  for (uint32_t hop = 0; hop < opts_.max_hops;) {
+    if (addr.empty()) {
+      err_ = "no route to slot " + std::to_string(slot);
+      return false;
+    }
+    server::Client* c = ClientFor(addr);
+    if (c == nullptr) {
+      return false;  // err_ set
+    }
+    if (asking) {
+      server::RespReply ar;
+      if (!c->Roundtrip({"ASKING"}, &ar)) {
+        DropClient(addr);
+        err_ = "ASKING i/o: " + addr;
+        return false;
+      }
+    }
+    if (!c->Roundtrip(args, reply)) {
+      DropClient(addr);
+      err_ = "i/o: " + addr;
+      return false;
+    }
+    if (reply->type != server::RespReply::Type::kError) {
+      return true;
+    }
+    const std::string& msg = reply->str;
+    if (msg.rfind("MOVED ", 0) == 0) {
+      // Stable redirect: learn the new owner, retry there. The whole table
+      // likely shifted (a handoff committed) — refresh it opportunistically
+      // so other slots don't each pay a redirect.
+      std::string target;
+      if (!ParseRedirect(msg, &target)) {
+        err_ = "bad MOVED reply: " + msg;
+        return false;
+      }
+      stats_.moved_redirects++;
+      owners_[slot] = target;
+      addr = target;
+      asking = false;
+      ++hop;
+      continue;
+    }
+    if (msg.rfind("ASK ", 0) == 0) {
+      // One-shot: follow WITHOUT caching — ownership has not flipped yet.
+      std::string target;
+      if (!ParseRedirect(msg, &target)) {
+        err_ = "bad ASK reply: " + msg;
+        return false;
+      }
+      stats_.ask_redirects++;
+      addr = target;
+      asking = true;
+      ++hop;
+      continue;
+    }
+    if (msg.rfind("TRYAGAIN", 0) == 0) {
+      // Frozen handoff: short bounded wait, then retry. Re-resolve the
+      // route — the freeze usually ends with the slot owned elsewhere.
+      if (++tryagains > opts_.tryagain_max) {
+        err_ = "slot " + std::to_string(slot) + " frozen too long";
+        return false;
+      }
+      stats_.tryagain_retries++;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.tryagain_ms));
+      if (RefreshSlots() && !owners_[slot].empty()) {
+        addr = owners_[slot];
+      }
+      asking = false;
+      continue;
+    }
+    if (msg.rfind("CLUSTERDOWN", 0) == 0) {
+      err_ = msg;
+      return false;
+    }
+    return true;  // an ordinary command error (-ERR …): the caller's problem
+  }
+  err_ = "redirect loop: slot " + std::to_string(slot) + " exceeded " +
+         std::to_string(opts_.max_hops) + " hops";
+  return false;
+}
+
+bool ClusterClient::Set(const std::string& key, const std::string& value) {
+  server::RespReply r;
+  if (!Roundtrip({"SET", key, value}, key, &r)) {
+    return false;
+  }
+  if (r.type == server::RespReply::Type::kError) {
+    err_ = r.str;
+    return false;
+  }
+  return r.type == server::RespReply::Type::kSimple;
+}
+
+std::optional<std::string> ClusterClient::Get(const std::string& key) {
+  server::RespReply r;
+  if (!Roundtrip({"GET", key}, key, &r)) {
+    return std::nullopt;
+  }
+  if (r.type != server::RespReply::Type::kBulk) {
+    if (r.type == server::RespReply::Type::kError) {
+      err_ = r.str;
+    }
+    return std::nullopt;
+  }
+  return r.str;
+}
+
+bool ClusterClient::Del(const std::string& key) {
+  server::RespReply r;
+  if (!Roundtrip({"DEL", key}, key, &r)) {
+    return false;
+  }
+  return r.type == server::RespReply::Type::kInteger && r.integer > 0;
+}
+
+}  // namespace jnvm::cluster

@@ -1,0 +1,97 @@
+// Redirect-following client for the cluster plane (DESIGN.md §10).
+//
+// Wraps one blocking server::Client per node behind a slot cache: a command
+// hashes its key to a slot, goes to the cached owner, and follows the
+// server's explicit redirects:
+//
+//   -MOVED <slot> <addr>   stable miss — the cache entry is refreshed to
+//                          <addr> and the command retries there (the next
+//                          command for the slot goes straight to it);
+//   -ASK <slot> <addr>     one-shot redirect during a live migration — the
+//                          retry sends ASKING then the command to <addr>,
+//                          WITHOUT caching (the table still names the
+//                          source until the handoff commits);
+//   -TRYAGAIN              frozen handoff window — bounded sleep + retry;
+//   -CLUSTERDOWN           unassigned slot — surfaced to the caller.
+//
+// Redirect chains are bounded by max_hops: a routing loop (mis-configured
+// tables pointing at each other) surfaces as an error, never a hang. Not
+// thread-safe — one ClusterClient per thread, like server::Client.
+#ifndef JNVM_SRC_CLUSTER_CLUSTER_CLIENT_H_
+#define JNVM_SRC_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/slot_map.h"
+#include "src/server/protocol.h"
+
+namespace jnvm::server {
+class Client;
+}
+
+namespace jnvm::cluster {
+
+struct ClusterClientOptions {
+  // Any live node; the slot cache bootstraps from the first that answers
+  // CLUSTER SLOTS.
+  std::vector<std::string> seeds;
+  uint32_t max_hops = 8;
+  // -TRYAGAIN backoff (frozen handoff windows are short-lived).
+  uint32_t tryagain_ms = 10;
+  uint32_t tryagain_max = 1000;
+};
+
+struct ClusterClientStats {
+  uint64_t moved_redirects = 0;
+  uint64_t ask_redirects = 0;
+  uint64_t tryagain_retries = 0;
+  uint64_t slot_refreshes = 0;
+};
+
+class ClusterClient {
+ public:
+  // Connects to a seed and loads the slot table. nullptr + *error on
+  // failure (no seed reachable, or none has an assigned table).
+  static std::unique_ptr<ClusterClient> Connect(
+      const ClusterClientOptions& opts, std::string* error);
+  ~ClusterClient();
+
+  bool Set(const std::string& key, const std::string& value);
+  std::optional<std::string> Get(const std::string& key);
+  bool Del(const std::string& key);
+
+  // Generic single-key command; the key decides the route.
+  bool Roundtrip(const std::vector<std::string>& args, const std::string& key,
+                 server::RespReply* reply);
+
+  // Re-reads CLUSTER SLOTS from any reachable node.
+  bool RefreshSlots();
+  // Cached owner address of a slot ("" = unknown). Tests.
+  std::string CachedOwner(uint16_t slot) const;
+
+  const ClusterClientStats& stats() const { return stats_; }
+  const std::string& last_error() const { return err_; }
+
+ private:
+  explicit ClusterClient(const ClusterClientOptions& opts);
+
+  server::Client* ClientFor(const std::string& addr);
+  void DropClient(const std::string& addr);
+  bool RefreshFrom(server::Client* c);
+  std::string AnyAddr() const;
+
+  ClusterClientOptions opts_;
+  std::vector<std::string> owners_;  // slot → "host:port" ("" unknown)
+  std::map<std::string, std::unique_ptr<server::Client>> pool_;
+  ClusterClientStats stats_;
+  std::string err_;
+};
+
+}  // namespace jnvm::cluster
+
+#endif  // JNVM_SRC_CLUSTER_CLUSTER_CLIENT_H_

@@ -1,0 +1,544 @@
+#include "src/cluster/meta.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace jnvm::cluster {
+
+namespace {
+constexpr char kRootName[] = "cluster.meta";
+}
+
+const char* ClusterState::RootName() { return kRootName; }
+
+// ---- ClusterMetaRoot ---------------------------------------------------------
+
+const core::ClassInfo* ClusterMetaRoot::Class() {
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<ClusterMetaRoot>("cluster.Meta"));
+  return info;
+}
+
+ClusterMetaRoot::ClusterMetaRoot(core::JnvmRuntime& rt) {
+  // Zero-allocated: epoch 0, empty node table. Owners must read as
+  // kNoOwner, not node 0, so the table is explicitly filled.
+  AllocatePersistent(rt, Class(), kPayloadBytes);
+  std::vector<uint16_t> unowned(kNumSlots, kNoOwner);
+  WriteBytesField(kOwnersOff, unowned.data(), 2ull * kNumSlots);
+  Pwb();
+  Validate();
+}
+
+void ClusterMetaRoot::WriteEpoch(uint64_t v) {
+  WriteField<uint64_t>(kEpochOff, v);
+  PwbField(kEpochOff, 8);
+}
+
+void ClusterMetaRoot::WriteSelf(uint32_t v) {
+  WriteField<uint32_t>(kSelfOff, v);
+  PwbField(kSelfOff, 4);
+}
+
+void ClusterMetaRoot::WriteNodeCount(uint32_t v) {
+  WriteField<uint32_t>(kNodeCountOff, v);
+  PwbField(kNodeCountOff, 4);
+}
+
+void ClusterMetaRoot::WriteMigRecord(uint32_t state, uint32_t peer,
+                                     uint32_t lo, uint32_t hi) {
+  // All four words live in one cache line (offsets 16..31): the record
+  // transitions atomically under the strict device model.
+  WriteField<uint32_t>(kMigStateOff, state);
+  WriteField<uint32_t>(kMigPeerOff, peer);
+  WriteField<uint32_t>(kMigLoOff, lo);
+  WriteField<uint32_t>(kMigHiOff, hi);
+  PwbField(kMigStateOff, 16);
+}
+
+std::string ClusterMetaRoot::NodeAddr(uint32_t i) const {
+  JNVM_CHECK(i < kMaxNodes);
+  char buf[kAddrBytes];
+  ReadBytesField(kNodesOff + i * kAddrBytes, buf, kAddrBytes);
+  buf[kAddrBytes - 1] = '\0';
+  return std::string(buf);
+}
+
+void ClusterMetaRoot::WriteNodeAddr(uint32_t i, const std::string& addr) {
+  JNVM_CHECK(i < kMaxNodes);
+  JNVM_CHECK_MSG(addr.size() < kAddrBytes, "node address too long");
+  char buf[kAddrBytes] = {};
+  std::memcpy(buf, addr.data(), addr.size());
+  WriteBytesField(kNodesOff + i * kAddrBytes, buf, kAddrBytes);
+  PwbField(kNodesOff + i * kAddrBytes, kAddrBytes);
+}
+
+uint16_t ClusterMetaRoot::Owner(uint32_t slot) const {
+  JNVM_CHECK(slot < kNumSlots);
+  return ReadField<uint16_t>(kOwnersOff + 2ull * slot);
+}
+
+void ClusterMetaRoot::ReadOwners(uint16_t* out) const {
+  ReadBytesField(kOwnersOff, out, 2ull * kNumSlots);
+}
+
+void ClusterMetaRoot::WriteOwnerRange(uint32_t lo, uint32_t hi, uint16_t node) {
+  JNVM_CHECK(lo <= hi && hi < kNumSlots);
+  std::vector<uint16_t> run(hi - lo + 1, node);
+  WriteBytesField(kOwnersOff + 2ull * lo, run.data(), 2ull * run.size());
+  PwbField(kOwnersOff + 2ull * lo, 2ull * run.size());
+}
+
+// ---- ClusterState ------------------------------------------------------------
+
+std::unique_ptr<ClusterState> ClusterState::Open(const ClusterOptions& opts,
+                                                 std::string* error) {
+  // Register before recovery: a fresh process restarting on an existing
+  // meta heap scans live objects during Open() below.
+  ClusterMetaRoot::Class();
+  auto cs = std::unique_ptr<ClusterState>(new ClusterState());
+  bool recovered = false;
+  if (!opts.dax_path.empty()) {
+    nvm::DeviceOptions dopts;
+    dopts.size_bytes = opts.device_bytes;
+    cs->dev_ = nvm::PmemDevice::MapFile(opts.dax_path, dopts, &recovered, error);
+    if (cs->dev_ == nullptr) {
+      return nullptr;
+    }
+  } else if (!opts.image_path.empty()) {
+    cs->dev_ = nvm::PmemDevice::LoadFrom(opts.image_path, {});
+    recovered = cs->dev_ != nullptr;
+    cs->image_path_ = opts.image_path;
+  }
+  if (cs->dev_ == nullptr) {
+    nvm::DeviceOptions dopts;
+    dopts.size_bytes = opts.device_bytes;
+    cs->dev_ = std::make_unique<nvm::PmemDevice>(dopts);
+  }
+  cs->rt_own_ = recovered ? core::JnvmRuntime::Open(cs->dev_.get())
+                          : core::JnvmRuntime::Format(cs->dev_.get());
+  if (cs->rt_own_ == nullptr) {
+    if (error != nullptr) *error = "cluster meta heap open failed";
+    return nullptr;
+  }
+  cs->rt_ = cs->rt_own_.get();
+  cs->BindRoot(kRootName, opts.self, opts.announce);
+  return cs;
+}
+
+std::unique_ptr<ClusterState> ClusterState::Bind(core::JnvmRuntime* rt,
+                                                 const std::string& root_name,
+                                                 uint32_t self,
+                                                 const std::string& announce) {
+  JNVM_CHECK(rt != nullptr);
+  auto cs = std::unique_ptr<ClusterState>(new ClusterState());
+  cs->rt_ = rt;
+  cs->BindRoot(root_name, self, announce);
+  return cs;
+}
+
+ClusterState::~ClusterState() = default;
+
+void ClusterState::BindRoot(const std::string& root_name, uint32_t self,
+                            const std::string& announce) {
+  ClusterMetaRoot::Class();
+  std::lock_guard<std::mutex> lk(mu_);
+  owners_.resize(kNumSlots, kNoOwner);
+  if (rt_->root().Exists(root_name)) {
+    root_ = rt_->root().GetAs<ClusterMetaRoot>(root_name);
+    JNVM_CHECK(root_ != nullptr);
+  } else {
+    root_ = std::make_shared<ClusterMetaRoot>(*rt_);
+    rt_->root().Put(root_name, root_.get());
+    root_->WriteSelf(self);
+    if (!announce.empty()) {
+      root_->WriteNodeAddr(self, announce);
+      root_->WriteNodeCount(self + 1);
+    }
+    rt_->Psync();
+  }
+  // Mirror the persisted table, then run the migration-record recovery
+  // rules (no-ops on a fresh table).
+  epoch_ = root_->Epoch();
+  self_ = root_->Self();
+  node_count_ = root_->NodeCount();
+  for (uint32_t i = 0; i < ClusterMetaRoot::kMaxNodes; ++i) {
+    nodes_[i] = root_->NodeAddr(i);
+  }
+  root_->ReadOwners(owners_.data());
+  mig_state_ = static_cast<MigState>(root_->MigState());
+  mig_peer_ = root_->MigPeer();
+  mig_lo_ = root_->MigLo();
+  mig_hi_ = root_->MigHi();
+  // A caller-supplied announce address updates a stale persisted one (the
+  // node may come back on a different port).
+  if (!announce.empty() && nodes_[self_] != announce) {
+    root_->WriteNodeAddr(self_, announce);
+    nodes_[self_] = announce;
+    if (node_count_ < self_ + 1) {
+      node_count_ = self_ + 1;
+      root_->WriteNodeCount(node_count_);
+    }
+    rt_->Psync();
+  }
+  RecoverLocked();
+}
+
+void ClusterState::RecoverLocked() {
+  switch (mig_state_) {
+    case MigState::kNone:
+    case MigState::kImporting:
+      // Importing survives restart: partial copies are unserved (owners
+      // still name the source) and a re-driven MIGSTART resets the range.
+      return;
+    case MigState::kMigrating:
+      // The destination cannot have committed (commit requires handoff
+      // first), so the source still owns every key: roll back.
+      PersistMigRecordLocked(MigState::kNone, 0, 0, 0);
+      rt_->Psync();
+      return;
+    case MigState::kHandoff: {
+      // The owner rewrite is redone only when it visibly began: an owner
+      // word naming the peer proves FinishMigration ran, which proves the
+      // destination acked MIGCOMMIT. Otherwise the destination's state is
+      // unknown and the range stays frozen until the driver re-runs the
+      // migration (Lookup answers -TRYAGAIN for it meanwhile).
+      bool began = false;
+      for (uint32_t s = mig_lo_; s <= mig_hi_ && !began; ++s) {
+        began = owners_[s] == mig_peer_;
+      }
+      if (began) {
+        PersistOwnerRangeLocked(mig_lo_, mig_hi_, static_cast<uint16_t>(mig_peer_));
+        rt_->Psync();
+        PersistEpochLocked(epoch_ + 1);
+        PersistMigRecordLocked(MigState::kNone, 0, 0, 0);
+        rt_->Psync();
+      }
+      return;
+    }
+  }
+}
+
+bool ClusterState::Close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (rt_own_ != nullptr) {
+    rt_own_->Psync();
+    rt_own_->Close();
+    rt_own_.reset();
+    rt_ = nullptr;
+    root_.reset();
+    if (!image_path_.empty() && dev_ != nullptr) {
+      return dev_->SaveTo(image_path_);
+    }
+  }
+  return true;
+}
+
+uint64_t ClusterState::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+std::string ClusterState::NodeAddr(uint32_t i) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return i < ClusterMetaRoot::kMaxNodes ? nodes_[i] : std::string();
+}
+
+uint32_t ClusterState::node_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return node_count_;
+}
+
+uint64_t ClusterState::slots_owned() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t n = 0;
+  for (const uint16_t o : owners_) {
+    n += o == self_ ? 1 : 0;
+  }
+  return n;
+}
+
+uint16_t ClusterState::OwnerOf(uint16_t slot) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return owners_[slot];
+}
+
+MigState ClusterState::mig_state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mig_state_;
+}
+
+void ClusterState::MigRange(uint32_t* lo, uint32_t* hi, uint32_t* peer) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  *lo = mig_lo_;
+  *hi = mig_hi_;
+  *peer = mig_peer_;
+}
+
+Route ClusterState::Lookup(uint16_t slot, bool asking) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Route r;
+  const uint16_t owner = owners_[slot];
+  if (owner == kNoOwner) {
+    r.action = Route::Action::kDown;
+    return r;
+  }
+  const bool in_mig_range =
+      mig_state_ != MigState::kNone && slot >= mig_lo_ && slot <= mig_hi_;
+  if (owner == self_) {
+    if (in_mig_range && mig_state_ == MigState::kHandoff) {
+      // Frozen: the destination may already serve this range; answering
+      // here could return stale data or lose a write.
+      r.action = Route::Action::kTryAgain;
+      return r;
+    }
+    if (in_mig_range && mig_state_ == MigState::kMigrating) {
+      r.action = Route::Action::kLocal;
+      r.migrating = true;
+      r.addr = mig_peer_ < ClusterMetaRoot::kMaxNodes ? nodes_[mig_peer_]
+                                                      : std::string();
+      return r;
+    }
+    r.action = Route::Action::kLocal;
+    return r;
+  }
+  if (in_mig_range && mig_state_ == MigState::kImporting && asking) {
+    // One-shot ASK redirect landed here: accept the key even though the
+    // table still names the source.
+    r.action = Route::Action::kLocal;
+    return r;
+  }
+  r.action = Route::Action::kMoved;
+  r.addr = owner < ClusterMetaRoot::kMaxNodes ? nodes_[owner] : std::string();
+  return r;
+}
+
+bool ClusterState::Meet(uint32_t idx, const std::string& addr, std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (idx >= ClusterMetaRoot::kMaxNodes) {
+    if (err != nullptr) *err = "node index out of range";
+    return false;
+  }
+  if (addr.empty() || addr.size() >= ClusterMetaRoot::kAddrBytes) {
+    if (err != nullptr) *err = "bad node address";
+    return false;
+  }
+  root_->WriteNodeAddr(idx, addr);
+  nodes_[idx] = addr;
+  if (idx + 1 > node_count_) {
+    node_count_ = idx + 1;
+    root_->WriteNodeCount(node_count_);
+  }
+  rt_->Psync();
+  return true;
+}
+
+bool ClusterState::AssignRange(uint32_t lo, uint32_t hi, uint32_t node,
+                               std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lo > hi || hi >= kNumSlots || node >= ClusterMetaRoot::kMaxNodes) {
+    if (err != nullptr) *err = "bad slot range or node";
+    return false;
+  }
+  if (mig_state_ != MigState::kNone && !(hi < mig_lo_ || lo > mig_hi_)) {
+    if (err != nullptr) *err = "range overlaps an active migration";
+    return false;
+  }
+  PersistOwnerRangeLocked(lo, hi, static_cast<uint16_t>(node));
+  rt_->Psync();
+  PersistEpochLocked(epoch_ + 1);
+  rt_->Psync();
+  return true;
+}
+
+bool ClusterState::StartMigrating(uint32_t lo, uint32_t hi, uint32_t peer,
+                                  std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lo > hi || hi >= kNumSlots || peer >= ClusterMetaRoot::kMaxNodes ||
+      peer == self_ || nodes_[peer].empty()) {
+    if (err != nullptr) *err = "bad slot range or peer";
+    return false;
+  }
+  if (mig_state_ == MigState::kMigrating || mig_state_ == MigState::kHandoff) {
+    if (mig_lo_ == lo && mig_hi_ == hi && mig_peer_ == peer) {
+      return true;  // re-drive of the same migration
+    }
+    if (err != nullptr) *err = "another migration is active";
+    return false;
+  }
+  if (mig_state_ != MigState::kNone) {
+    if (err != nullptr) *err = "node is importing";
+    return false;
+  }
+  if (!RangeOwnedByLocked(lo, hi, static_cast<uint16_t>(self_))) {
+    if (err != nullptr) *err = "range not owned by this node";
+    return false;
+  }
+  PersistMigRecordLocked(MigState::kMigrating, peer, lo, hi);
+  rt_->Psync();
+  migrations_out_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ClusterState::EnterHandoff(std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (mig_state_ == MigState::kHandoff) {
+    return true;  // idempotent for re-drives
+  }
+  if (mig_state_ != MigState::kMigrating) {
+    if (err != nullptr) *err = "no migration to hand off";
+    return false;
+  }
+  PersistMigRecordLocked(MigState::kHandoff, mig_peer_, mig_lo_, mig_hi_);
+  rt_->Psync();
+  return true;
+}
+
+bool ClusterState::FinishMigration(std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (mig_state_ != MigState::kHandoff) {
+    if (err != nullptr) *err = "not in handoff";
+    return false;
+  }
+  // Owner rewrite first (redoable from the still-persisted record), then
+  // epoch bump + record clear once the rewrite is sealed.
+  PersistOwnerRangeLocked(mig_lo_, mig_hi_, static_cast<uint16_t>(mig_peer_));
+  rt_->Psync();
+  PersistEpochLocked(epoch_ + 1);
+  PersistMigRecordLocked(MigState::kNone, 0, 0, 0);
+  rt_->Psync();
+  return true;
+}
+
+bool ClusterState::AbortMigration(std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (mig_state_ != MigState::kMigrating && mig_state_ != MigState::kHandoff) {
+    if (err != nullptr) *err = "no migration active";
+    return false;
+  }
+  PersistMigRecordLocked(MigState::kNone, 0, 0, 0);
+  rt_->Psync();
+  return true;
+}
+
+bool ClusterState::StartImporting(uint32_t lo, uint32_t hi, uint32_t peer,
+                                  std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lo > hi || hi >= kNumSlots || peer >= ClusterMetaRoot::kMaxNodes) {
+    if (err != nullptr) *err = "bad slot range or peer";
+    return false;
+  }
+  if (mig_state_ == MigState::kImporting && mig_lo_ == lo && mig_hi_ == hi) {
+    migrations_in_.fetch_add(1, std::memory_order_relaxed);
+    return true;  // re-drive
+  }
+  if (mig_state_ != MigState::kNone) {
+    if (err != nullptr) *err = "another migration is active";
+    return false;
+  }
+  PersistMigRecordLocked(MigState::kImporting, peer, lo, hi);
+  rt_->Psync();
+  migrations_in_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ClusterState::CommitImport(uint32_t lo, uint32_t hi, uint64_t new_epoch,
+                                std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (RangeOwnedByLocked(lo, hi, static_cast<uint16_t>(self_))) {
+    return true;  // already committed (re-driven MIGCOMMIT)
+  }
+  if (mig_state_ != MigState::kImporting || mig_lo_ != lo || mig_hi_ != hi) {
+    if (err != nullptr) *err = "no matching import";
+    return false;
+  }
+  // THE commit point of the whole migration: once these owner words are
+  // durable the destination serves the range, whatever happens to the
+  // source.
+  PersistOwnerRangeLocked(lo, hi, static_cast<uint16_t>(self_));
+  rt_->Psync();
+  PersistEpochLocked(std::max(epoch_ + 1, new_epoch));
+  PersistMigRecordLocked(MigState::kNone, 0, 0, 0);
+  rt_->Psync();
+  return true;
+}
+
+bool ClusterState::AbortImport(std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (mig_state_ != MigState::kImporting) {
+    if (err != nullptr) *err = "no import active";
+    return false;
+  }
+  PersistMigRecordLocked(MigState::kNone, 0, 0, 0);
+  rt_->Psync();
+  return true;
+}
+
+bool ClusterState::OwnsRange(uint32_t lo, uint32_t hi) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lo <= hi && hi < kNumSlots &&
+         RangeOwnedByLocked(lo, hi, static_cast<uint16_t>(self_));
+}
+
+std::string ClusterState::Describe() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "epoch:" << epoch_ << "\n";
+  os << "self:" << self_ << " " << nodes_[self_] << "\n";
+  os << "nodes:" << node_count_ << "\n";
+  for (uint32_t i = 0; i < node_count_; ++i) {
+    uint64_t owned = 0;
+    for (const uint16_t o : owners_) {
+      owned += o == i ? 1 : 0;
+    }
+    os << "node" << i << ":" << (nodes_[i].empty() ? "?" : nodes_[i])
+       << " slots:" << owned << "\n";
+  }
+  uint64_t unassigned = 0;
+  for (const uint16_t o : owners_) {
+    unassigned += o == kNoOwner ? 1 : 0;
+  }
+  os << "slots_unassigned:" << unassigned << "\n";
+  static const char* kStateNames[] = {"none", "migrating", "importing", "handoff"};
+  os << "migration:" << kStateNames[static_cast<uint32_t>(mig_state_)];
+  if (mig_state_ != MigState::kNone) {
+    os << " lo:" << mig_lo_ << " hi:" << mig_hi_ << " peer:" << mig_peer_;
+  }
+  os << "\n";
+  return os.str();
+}
+
+void ClusterState::PersistMigRecordLocked(MigState s, uint32_t peer,
+                                          uint32_t lo, uint32_t hi) {
+  root_->WriteMigRecord(static_cast<uint32_t>(s), peer, lo, hi);
+  mig_state_ = s;
+  mig_peer_ = peer;
+  mig_lo_ = lo;
+  mig_hi_ = hi;
+}
+
+void ClusterState::PersistOwnerRangeLocked(uint32_t lo, uint32_t hi,
+                                           uint16_t node) {
+  root_->WriteOwnerRange(lo, hi, node);
+  for (uint32_t s = lo; s <= hi; ++s) {
+    owners_[s] = node;
+  }
+}
+
+void ClusterState::PersistEpochLocked(uint64_t v) {
+  root_->WriteEpoch(v);
+  epoch_ = v;
+}
+
+bool ClusterState::RangeOwnedByLocked(uint32_t lo, uint32_t hi,
+                                      uint16_t node) const {
+  for (uint32_t s = lo; s <= hi; ++s) {
+    if (owners_[s] != node) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace jnvm::cluster

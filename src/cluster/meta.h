@@ -1,0 +1,213 @@
+// Persisted cluster metadata: the 16384-slot ownership table (DESIGN.md §10).
+//
+// Every node persists one ClusterMetaRoot in a small dedicated J-PDT heap:
+// the node table (index → "host:port"), the epoch'd slot → node ownership
+// array, and the single in-flight migration record. The root survives
+// restart like any other persistent object — a node that comes back after
+// `kill -9` knows exactly which slots it owns and whether it died mid-
+// handoff — and is the ground truth `jnvm_inspect --summary` prints.
+//
+// Crash discipline (the migration state machine's persistence points):
+//   * Single-word state transitions (epoch, migration state) are one-line
+//     stores sealed by a Psync — atomic under the strict device model.
+//   * The owner-range rewrite of a handoff is multi-line and therefore NOT
+//     atomic; it is made redoable by ordering: the migration record (the
+//     intent) is durable *before* any owner word changes, and the record is
+//     cleared only *after* the rewrite is sealed. Recovery inspects the
+//     record: a torn rewrite is either rolled forward (some owner words
+//     already name the peer — the handoff had passed its commit point) or
+//     the range stays frozen in `handoff` until the driver re-runs the
+//     migration (source side, destination's commit unknown — serving the
+//     range could split-brain, so the node refuses it with -TRYAGAIN).
+//   * An interrupted `migrating` phase rolls back to `none`: the
+//     destination cannot have committed (commit requires the source to
+//     reach handoff first), so the source still owns every key.
+#ifndef JNVM_SRC_CLUSTER_META_H_
+#define JNVM_SRC_CLUSTER_META_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/cluster/slot_map.h"
+#include "src/core/pobject.h"
+#include "src/core/runtime.h"
+#include "src/nvm/pmem_device.h"
+
+namespace jnvm::cluster {
+
+// The J-PDT root object holding the slot table. Layout (offsets fixed):
+//   u64 epoch              config epoch; bumps on every ownership change
+//   u32 self               this node's index in the node table
+//   u32 node_count
+//   u32 mig_state          MigState below
+//   u32 mig_peer           node index of the migration peer
+//   u32 mig_lo, mig_hi     inclusive slot range being moved
+//   char nodes[16][48]     NUL-padded "host:port" per node index
+//   u16 owners[16384]      slot → node index (kNoOwner = unassigned)
+class ClusterMetaRoot final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class();
+
+  explicit ClusterMetaRoot(core::Resurrect) {}
+  explicit ClusterMetaRoot(core::JnvmRuntime& rt);
+
+  static constexpr uint32_t kMaxNodes = 16;
+  static constexpr size_t kAddrBytes = 48;
+
+  static constexpr size_t kEpochOff = 0;
+  static constexpr size_t kSelfOff = 8;
+  static constexpr size_t kNodeCountOff = 12;
+  static constexpr size_t kMigStateOff = 16;
+  static constexpr size_t kMigPeerOff = 20;
+  static constexpr size_t kMigLoOff = 24;
+  static constexpr size_t kMigHiOff = 28;
+  static constexpr size_t kNodesOff = 32;
+  static constexpr size_t kOwnersOff = kNodesOff + kMaxNodes * kAddrBytes;
+  static constexpr size_t kPayloadBytes = kOwnersOff + 2ull * kNumSlots;
+
+  uint64_t Epoch() const { return ReadField<uint64_t>(kEpochOff); }
+  uint32_t Self() const { return ReadField<uint32_t>(kSelfOff); }
+  uint32_t NodeCount() const { return ReadField<uint32_t>(kNodeCountOff); }
+  uint32_t MigState() const { return ReadField<uint32_t>(kMigStateOff); }
+  uint32_t MigPeer() const { return ReadField<uint32_t>(kMigPeerOff); }
+  uint32_t MigLo() const { return ReadField<uint32_t>(kMigLoOff); }
+  uint32_t MigHi() const { return ReadField<uint32_t>(kMigHiOff); }
+
+  void WriteEpoch(uint64_t v);
+  void WriteSelf(uint32_t v);
+  void WriteNodeCount(uint32_t v);
+  // One-line store: the whole migration record updates atomically.
+  void WriteMigRecord(uint32_t state, uint32_t peer, uint32_t lo, uint32_t hi);
+  std::string NodeAddr(uint32_t i) const;
+  void WriteNodeAddr(uint32_t i, const std::string& addr);
+  uint16_t Owner(uint32_t slot) const;
+  void ReadOwners(uint16_t* out) const;  // all kNumSlots words
+  void WriteOwnerRange(uint32_t lo, uint32_t hi, uint16_t node);
+};
+
+enum class MigState : uint32_t {
+  kNone = 0,
+  kMigrating = 1,  // source: range still served; missing keys answer -ASK
+  kImporting = 2,  // destination: range accepted only under ASKING
+  kHandoff = 3,    // source: range frozen (-TRYAGAIN) until ownership flips
+};
+
+// A routing decision for one slot (taken by the server per key command).
+struct Route {
+  enum class Action {
+    kLocal,     // serve here (when `migrating`, a key miss answers -ASK)
+    kMoved,     // stable miss: -MOVED <slot> <addr>
+    kTryAgain,  // handoff in progress: -TRYAGAIN, client retries
+    kDown,      // slot unassigned: -CLUSTERDOWN
+  };
+  Action action = Action::kLocal;
+  std::string addr;        // kMoved target; kLocal+migrating: the -ASK target
+  bool migrating = false;  // kLocal during MIGRATING: redirect misses to addr
+};
+
+struct ClusterOptions {
+  // Backing store for the meta heap: dax_path takes precedence (mmap'd
+  // MAP_SHARED file, survives kill -9); otherwise image_path is loaded at
+  // open and saved at close; otherwise the heap is volatile (tests).
+  std::string dax_path;
+  std::string image_path;
+  uint64_t device_bytes = 8ull << 20;
+  uint32_t self = 0;
+  std::string announce;  // this node's client-visible "host:port"
+};
+
+// Volatile manager over the persisted slot table. Thread-safe: the server
+// event loop routes through Lookup() while the migrator thread advances the
+// migration state machine.
+class ClusterState {
+ public:
+  // Opens (or creates) the meta heap per `opts` and binds the root.
+  static std::unique_ptr<ClusterState> Open(const ClusterOptions& opts,
+                                            std::string* error);
+  // Binds into an existing runtime (crashcheck: several roots in one heap).
+  static std::unique_ptr<ClusterState> Bind(core::JnvmRuntime* rt,
+                                            const std::string& root_name,
+                                            uint32_t self,
+                                            const std::string& announce);
+  ~ClusterState();
+
+  // Clean shutdown: Psync + image save (image mode). Safe to skip on crash.
+  bool Close();
+
+  uint32_t self() const { return self_; }
+  uint64_t epoch() const;
+  std::string NodeAddr(uint32_t i) const;
+  uint32_t node_count() const;
+  uint64_t slots_owned() const;
+  uint16_t OwnerOf(uint16_t slot) const;
+  MigState mig_state() const;
+  void MigRange(uint32_t* lo, uint32_t* hi, uint32_t* peer) const;
+
+  // Per-slot routing (see Route). `asking` = the connection sent ASKING.
+  Route Lookup(uint16_t slot, bool asking) const;
+
+  // ---- Admin surface (CLUSTER MEET / SETSLOT ...) --------------------------
+  bool Meet(uint32_t idx, const std::string& addr, std::string* err);
+  bool AssignRange(uint32_t lo, uint32_t hi, uint32_t node, std::string* err);
+
+  // ---- Migration state machine ---------------------------------------------
+  // Source side.
+  bool StartMigrating(uint32_t lo, uint32_t hi, uint32_t peer, std::string* err);
+  bool EnterHandoff(std::string* err);
+  bool FinishMigration(std::string* err);
+  bool AbortMigration(std::string* err);
+  // Destination side.
+  bool StartImporting(uint32_t lo, uint32_t hi, uint32_t peer, std::string* err);
+  bool CommitImport(uint32_t lo, uint32_t hi, uint64_t new_epoch, std::string* err);
+  bool AbortImport(std::string* err);
+  // True when this node owns every slot of [lo, hi] (MIGSTART "+OWNED").
+  bool OwnsRange(uint32_t lo, uint32_t hi) const;
+
+  // Lifetime counters for STATS (volatile; restart resets them).
+  uint64_t migrations_out() const { return migrations_out_.load(std::memory_order_relaxed); }
+  uint64_t migrations_in() const { return migrations_in_.load(std::memory_order_relaxed); }
+
+  // Human-readable summary (CLUSTER INFO, jnvm_inspect --summary).
+  std::string Describe() const;
+
+  // The root-map name the meta root binds under.
+  static const char* RootName();
+
+ private:
+  ClusterState() = default;
+  void BindRoot(const std::string& root_name, uint32_t self,
+                const std::string& announce);
+  void RecoverLocked();
+  void PersistMigRecordLocked(MigState s, uint32_t peer, uint32_t lo, uint32_t hi);
+  void PersistOwnerRangeLocked(uint32_t lo, uint32_t hi, uint16_t node);
+  void PersistEpochLocked(uint64_t v);
+  bool RangeOwnedByLocked(uint32_t lo, uint32_t hi, uint16_t node) const;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<nvm::PmemDevice> dev_;       // null when Bind()-attached
+  std::unique_ptr<core::JnvmRuntime> rt_own_;  // null when Bind()-attached
+  core::JnvmRuntime* rt_ = nullptr;
+  core::Handle<ClusterMetaRoot> root_;
+  std::string image_path_;
+
+  // Volatile mirrors of the persisted table (mu_).
+  uint64_t epoch_ = 0;
+  uint32_t self_ = 0;
+  uint32_t node_count_ = 0;
+  std::array<std::string, ClusterMetaRoot::kMaxNodes> nodes_;
+  std::vector<uint16_t> owners_;
+  MigState mig_state_ = MigState::kNone;
+  uint32_t mig_peer_ = 0, mig_lo_ = 0, mig_hi_ = 0;
+
+  std::atomic<uint64_t> migrations_out_{0};
+  std::atomic<uint64_t> migrations_in_{0};
+};
+
+}  // namespace jnvm::cluster
+
+#endif  // JNVM_SRC_CLUSTER_META_H_

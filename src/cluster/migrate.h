@@ -1,0 +1,114 @@
+// Live slot migration driver (DESIGN.md §10) — the source node's side.
+//
+// One Migrator per server. A migration moves the slot range [lo, hi] to a
+// peer node in five phases, driven by a dedicated thread so the event loop
+// never blocks:
+//
+//   1. MIGSTART        destination enters `importing` and purges the range
+//                      (idempotent re-drive; "+OWNED" short-circuits to 5)
+//   2. copy            per shard: a kSlotSnap cursor images the range's
+//                      keys; entries ship as MIGAPPLY batches
+//   3. catch-up        per shard: kSlotTail replays the replication log's
+//                      logical ops for the range from the snapshot seq
+//   4. handoff         the range freezes (-TRYAGAIN) on the source; a
+//                      kLastSeq barrier per shard bounds the final drain,
+//                      then MIGCOMMIT flips ownership on the destination —
+//                      THE commit point of the whole migration
+//   5. finish          the source rewrites its owner words to the peer,
+//                      bumps the epoch and clears the migration record; the
+//                      range now answers -MOVED (the forwarding tombstone)
+//
+// Crash discipline: before MIGCOMMIT is acked the source rolls back (it
+// still owns every key — the destination never served); after the ack the
+// source rolls forward (FinishMigration, possibly on the re-drive after a
+// restart — MIGSTART answering "+OWNED" is the destination's durable proof).
+// A source that dies mid-handoff recovers frozen and stays frozen until the
+// driver re-runs the same migration.
+#ifndef JNVM_SRC_CLUSTER_MIGRATE_H_
+#define JNVM_SRC_CLUSTER_MIGRATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/meta.h"
+#include "src/repl/frame.h"
+
+namespace jnvm::server {
+class Client;
+class Shard;
+}  // namespace jnvm::server
+
+namespace jnvm::cluster {
+
+struct MigrateOptions {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  uint32_t peer = 0;
+  // MIGAPPLY frame budget: ops accumulate until their encoded size passes
+  // this, then the chunk ships (well under the server's bulk cap).
+  uint64_t apply_chunk_bytes = 256 << 10;
+  // Sleep between protocol steps. The CI cluster job raises it to widen the
+  // kill -9 window around the handoff; 0 for tests.
+  uint32_t throttle_ms = 0;
+  // Backoff and bound for -TRYAGAIN (staged txns) / -TXNTAIL re-snapshots.
+  uint32_t retry_ms = 20;
+  uint32_t max_retries = 500;
+  // Catch-up rounds before entering handoff regardless (the handoff barrier
+  // guarantees convergence; pre-handoff rounds only shrink the frozen
+  // window).
+  uint32_t catchup_rounds = 16;
+};
+
+class Migrator {
+ public:
+  // Borrows the cluster state and the shard fleet; both must outlive it.
+  Migrator(ClusterState* cs, std::vector<server::Shard*> shards);
+  ~Migrator();
+
+  // Launches the migration thread. False (with *err) when one is already
+  // running or the state machine refuses the transition. Re-invoking with
+  // the frozen migration's own range resumes it (restart re-drive).
+  bool Start(const MigrateOptions& opts, std::string* err);
+
+  bool busy() const { return busy_.load(std::memory_order_acquire); }
+  // One line for CLUSTER INFO: "idle", "copy shard 1/4 ...", "done",
+  // "failed: <reason>".
+  std::string status() const;
+  // Blocks until the running migration (if any) finishes. Tests and CI.
+  void Join();
+
+ private:
+  void Run(MigrateOptions o);
+  void SetStatus(const std::string& s);
+  void Throttle(const MigrateOptions& o) const;
+
+  // Phase helpers; false = terminal failure (status set).
+  bool SnapshotShard(const MigrateOptions& o, size_t shard_idx,
+                     server::Client* dest, uint64_t* cursor);
+  // Tail outcome: advanced (possibly caught up), needs a re-snapshot
+  // (-TXNTAIL / -TAILTRUNC), or failed terminally.
+  enum class TailResult { kOk, kResnap, kFail };
+  TailResult TailShard(const MigrateOptions& o, size_t shard_idx,
+                       server::Client* dest, uint64_t* cursor,
+                       bool* caught_up);
+  bool ShipOps(const MigrateOptions& o, server::Client* dest,
+               std::vector<repl::ReplOp>& ops);
+  bool BarrierSeq(size_t shard_idx, uint64_t* seq);
+
+  ClusterState* cs_;
+  std::vector<server::Shard*> shards_;
+
+  std::atomic<bool> busy_{false};
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::string status_ = "idle";
+};
+
+}  // namespace jnvm::cluster
+
+#endif  // JNVM_SRC_CLUSTER_MIGRATE_H_

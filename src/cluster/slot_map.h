@@ -1,0 +1,47 @@
+// Hash-slot key space for the cluster plane (DESIGN.md §10).
+//
+// The key space is divided into 16384 slots, redis-cluster style: a slot is
+// the unit of ownership and of live migration. Every node hashes a key to
+// the same slot with the same function, so routing decisions ("is this key
+// mine, or do I answer -MOVED?") need only the slot → node table, never the
+// key set. The slot hash is deliberately independent of the *shard* hash
+// (src/server/shard.h ShardFor): slots place keys on nodes, shards place
+// keys on worker threads within a node, and the two partitions compose —
+// one slot's keys spread across all of a node's shards, so migrating a slot
+// range drains a per-slot filtered cursor from every shard.
+#ifndef JNVM_SRC_CLUSTER_SLOT_MAP_H_
+#define JNVM_SRC_CLUSTER_SLOT_MAP_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace jnvm::cluster {
+
+inline constexpr uint32_t kNumSlots = 16384;
+
+// Owner value for a slot nobody claims (fresh table).
+inline constexpr uint16_t kNoOwner = 0xFFFF;
+
+// FNV-1a over the key with an avalanche finalizer, folded into the slot
+// space. The finalizer is load-bearing: a distinct offset basis alone does
+// NOT decorrelate two FNV streams in their low bits — the FNV prime is odd,
+// so the low bit of every multiply round is preserved and the two hashes'
+// low bits differ by a constant. Without the mix, a slot's keys could only
+// reach half the shards of a power-of-two shard fleet (exactly one shard
+// for nshards=2). The xor-shift/multiply rounds push high-bit entropy into
+// the low 14 bits before the fold.
+inline uint16_t SlotForKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ull ^ 0x243f6a8885a308d3ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 29;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 32;
+  return static_cast<uint16_t>(h % kNumSlots);
+}
+
+}  // namespace jnvm::cluster
+
+#endif  // JNVM_SRC_CLUSTER_SLOT_MAP_H_

@@ -36,8 +36,13 @@ class GraphWalker : public RefVisitor {
       heap_->MarkChainLive(master, bitmap_);
       ++traversed_;
 
-      const ClassInfo* info = rt_->ClassInfoForId(heap_->ClassIdOf(master));
-      JNVM_CHECK_MSG(info != nullptr, "live object of unregistered class");
+      const uint16_t class_id = heap_->ClassIdOf(master);
+      const ClassInfo* info = rt_->ClassInfoForId(class_id);
+      JNVM_CHECK_MSG(info != nullptr,
+                     ("live object of unregistered class id " +
+                      std::to_string(class_id) + " ('" +
+                      heap_->ClassName(class_id) + "')")
+                         .c_str());
       ObjectView view(heap_, master);
       if (info->trace) {
         info->trace(view, *this);

@@ -54,6 +54,9 @@ RootMap::RootMap(JnvmRuntime& rt, uint64_t initial_capacity) {
 void RootMap::Resurrect_() {
   std::lock_guard<std::mutex> lk(mu_);
   arr_ = ReadPObjectAs<PRefArray>(kArrOff);
+  JNVM_CHECK_MSG(arr_ != nullptr,
+                 "root map array ref is null — was jnvm.PRefArray registered "
+                 "before recovery nullified it?");
   mirror_.clear();
   free_slots_.clear();
   const uint64_t cap = arr_->capacity();

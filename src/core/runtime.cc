@@ -34,6 +34,13 @@ std::unique_ptr<JnvmRuntime> JnvmRuntime::Boot(nvm::PmemDevice* dev,
   rt->fa_ = std::make_unique<pfa::FaManager>(rt->heap_.get(), std::move(hooks));
 
   if (!format) {
+    // The runtime's own bootstrap classes must be registered before the
+    // recovery walk resurrects them — a fresh process recovering an
+    // existing heap reaches the root map before BootstrapRoot() would
+    // register it lazily.
+    RootMap::Class();
+    RootEntry::Class();
+    PRefArray::Class();
     rt->recovery_report_ =
         opts.graph_recovery ? RecoverGraph(*rt) : RecoverBlockScan(*rt);
   }

@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "src/cluster/meta.h"
+#include "src/cluster/slot_map.h"
 #include "src/common/rand.h"
 #include "src/pdt/pext_array.h"
 #include "src/pdt/pmap.h"
@@ -2110,12 +2112,366 @@ class TxnWorkload final : public Workload {
   std::vector<std::unique_ptr<repl::ReplLog>> logs_;
 };
 
+// ---- Cluster slot-migration workload (DESIGN.md §10) -------------------------
+//
+// Models a live slot handoff end to end with BOTH sides' persistent state in
+// one heap: two ClusterState roots (source node 0, destination node 1) plus
+// one J-PDT backend per side. The script is the migration protocol laid out
+// as checker ops — source writes, StartImporting/StartMigrating, the copy
+// stream, catch-up writes, EnterHandoff, the post-freeze drain, CommitImport
+// (THE commit point), FinishMigration, then post-migration writes routed to
+// the new owner — so the sweep crashes inside every persistence point of the
+// state machine, including the multi-line owner-range rewrites.
+//
+// Oracle: recovery must land the two slot tables in a state the crash cut
+// allows (migrating rolls back, handoff stays frozen until an owner word
+// proves the flip, a committed import owns the range), no slot may ever be
+// served by both nodes (split-brain), and each side's store must equal the
+// DRAM replay of its committed ops with the usual old-or-new allowance for
+// the one in-flight op.
+
+class MigrateWorkload final : public Workload {
+ public:
+  static constexpr uint32_t kLo = 0;
+  static constexpr uint32_t kHi = 8191;  // half the slot space moves
+
+  enum class Kind : uint8_t {
+    kSrcPut,        // client write at the source (pre-handoff owner)
+    kDstPut,        // client write at the destination (post-commit owner)
+    kCopy,          // MIGAPPLY: ship one key's current value to the dest
+    kStartImport,   // dest: MIGSTART accepted
+    kStartMigrate,  // source: migration record persisted
+    kHandoff,       // source: range frozen
+    kCommit,        // dest: owner flip — the migration's commit point
+    kFinish,        // source: owner flip + record clear
+  };
+  struct Op {
+    Kind kind;
+    std::string key;
+    std::string value;
+  };
+
+  MigrateWorkload(uint64_t seed, size_t n) : name_("migrate") {
+    Xorshift rng(seed);
+    // Small key pool spanning both sides of the range boundary.
+    std::vector<std::string> pool;
+    std::vector<std::string> pool_in;
+    for (int i = 0; i < 12; ++i) {
+      pool.push_back("mk" + std::to_string(i));
+      if (InRange(pool.back())) {
+        pool_in.push_back(pool.back());
+      }
+    }
+    JNVM_CHECK(!pool_in.empty() && pool_in.size() < pool.size());
+
+    std::map<std::string, std::string> src;  // build-time value model
+    std::set<std::string> dirty;             // in-range keys not yet shipped
+    size_t opno = 0;
+    auto value = [&](const std::string& k) {
+      return "v" + std::to_string(opno) + ":" + k;
+    };
+    auto src_put = [&](const std::string& k) {
+      const std::string v = value(k);
+      script_.push_back(Op{Kind::kSrcPut, k, v});
+      src[k] = v;
+      if (InRange(k)) {
+        dirty.insert(k);
+      }
+      ++opno;
+    };
+    auto copy_dirty = [&]() {
+      for (const std::string& k : dirty) {  // std::set: deterministic order
+        script_.push_back(Op{Kind::kCopy, k, src[k]});
+        ++opno;
+      }
+      dirty.clear();
+    };
+
+    const size_t chunk = n / 3 + 2;
+    for (size_t i = 0; i < chunk; ++i) {  // steady state before the move
+      src_put(pool[rng.NextBelow(pool.size())]);
+    }
+    script_.push_back(Op{Kind::kStartImport, {}, {}});
+    script_.push_back(Op{Kind::kStartMigrate, {}, {}});
+    opno += 2;
+    copy_dirty();  // snapshot copy of every live in-range key
+    for (size_t i = 0; i < chunk; ++i) {  // writes racing the copy stream
+      src_put(pool[rng.NextBelow(pool.size())]);
+    }
+    copy_dirty();  // catch-up round
+    src_put(pool_in[0]);  // late writes the post-freeze drain must ship
+    src_put(pool_in[pool_in.size() - 1]);
+    script_.push_back(Op{Kind::kHandoff, {}, {}});
+    ++opno;
+    copy_dirty();  // the drain: tail records shipped after the freeze
+    script_.push_back(Op{Kind::kCommit, {}, {}});
+    script_.push_back(Op{Kind::kFinish, {}, {}});
+    opno += 2;
+    for (size_t i = 0; i < chunk; ++i) {  // the new owner takes the writes
+      const std::string& k = pool[rng.NextBelow(pool.size())];
+      if (InRange(k)) {
+        script_.push_back(Op{Kind::kDstPut, k, value(k)});
+        ++opno;
+      } else {
+        src_put(k);
+      }
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    src_cs_.reset();
+    dst_cs_.reset();
+    src_be_.reset();
+    dst_be_.reset();
+    src_cs_ = cluster::ClusterState::Bind(&rt, "cluster.src", 0, "src:1");
+    dst_cs_ = cluster::ClusterState::Bind(&rt, "cluster.dst", 1, "dst:2");
+    std::string err;
+    for (cluster::ClusterState* cs : {src_cs_.get(), dst_cs_.get()}) {
+      JNVM_CHECK(cs->Meet(0, "src:1", &err));
+      JNVM_CHECK(cs->Meet(1, "dst:2", &err));
+      JNVM_CHECK(cs->AssignRange(0, cluster::kNumSlots - 1, 0, &err));
+    }
+    src_be_ = std::make_unique<store::JpdtBackend>(&rt, "mig.src",
+                                                   /*initial_capacity=*/4);
+    dst_be_ = std::make_unique<store::JpdtBackend>(&rt, "mig.dst",
+                                                   /*initial_capacity=*/4);
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    const Op& op = script_[i];
+    std::string err;
+    switch (op.kind) {
+      case Kind::kSrcPut:
+      case Kind::kDstPut:
+      case Kind::kCopy: {
+        store::Backend* b =
+            op.kind == Kind::kSrcPut ? src_be_.get() : dst_be_.get();
+        rt.heap().BeginGroupCommit();
+        store::Record r;
+        r.fields.push_back(op.value);
+        b->Put(op.key, r);
+        rt.heap().EndGroupCommit();
+        rt.Psync();
+        rt.DrainGroupFrees();
+        return;
+      }
+      case Kind::kStartImport:
+        JNVM_CHECK(dst_cs_->StartImporting(kLo, kHi, 0, &err));
+        return;
+      case Kind::kStartMigrate:
+        JNVM_CHECK(src_cs_->StartMigrating(kLo, kHi, 1, &err));
+        return;
+      case Kind::kHandoff:
+        JNVM_CHECK(src_cs_->EnterHandoff(&err));
+        return;
+      case Kind::kCommit:
+        JNVM_CHECK(dst_cs_->CommitImport(kLo, kHi, src_cs_->epoch() + 1, &err));
+        return;
+      case Kind::kFinish:
+        JNVM_CHECK(src_cs_->FinishMigration(&err));
+        return;
+    }
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    // Re-binding runs RecoverLocked — the migration-record recovery rules
+    // under test (rollback of `migrating`, frozen or rolled-forward
+    // `handoff`, preserved `importing`).
+    auto src_cs = cluster::ClusterState::Bind(&rt, "cluster.src", 0, "src:1");
+    auto dst_cs = cluster::ClusterState::Bind(&rt, "cluster.dst", 1, "dst:2");
+    if (src_cs == nullptr || dst_cs == nullptr) {
+      out->push_back("cluster meta root lost");
+      return;
+    }
+
+    // Recovery may leave only these machine states on each side.
+    const cluster::MigState sm = src_cs->mig_state();
+    if (sm != cluster::MigState::kNone && sm != cluster::MigState::kHandoff) {
+      out->push_back("source recovered in state " +
+                     std::to_string(static_cast<uint32_t>(sm)) +
+                     " (migrating must roll back)");
+    }
+    const cluster::MigState dm = dst_cs->mig_state();
+    if (dm != cluster::MigState::kNone && dm != cluster::MigState::kImporting) {
+      out->push_back("destination recovered in state " +
+                     std::to_string(static_cast<uint32_t>(dm)));
+    }
+
+    // Fingerprint the recovered tables and match them against the states
+    // the cut allows. State-transition ops never change the value maps and
+    // writes never change the fingerprint, so the two judgements are
+    // independent.
+    const State s0 = StateAfter(cut.committed);
+    const Op* inflight = cut.in_flight.has_value() &&
+                                 *cut.in_flight < script_.size()
+                             ? &script_[*cut.in_flight]
+                             : nullptr;
+    const int src_fp = sm == cluster::MigState::kHandoff ? 1
+                       : src_cs->OwnsRange(kLo, kHi)     ? 0
+                                                         : 2;
+    const int dst_fp = dst_cs->OwnsRange(kLo, kHi) ? 1 : 0;
+    bool fp_ok = src_fp == SrcFp(s0) && dst_fp == DstFp(s0);
+    if (!fp_ok && inflight != nullptr) {
+      const State s1 = StateAfter(*cut.in_flight + 1);
+      fp_ok = src_fp == SrcFp(s1) && dst_fp == DstFp(s1);
+    }
+    if (!fp_ok) {
+      out->push_back("slot tables recovered to (src=" +
+                     std::to_string(src_fp) + ", dst=" +
+                     std::to_string(dst_fp) + "), cut at " +
+                     std::to_string(cut.committed) + " allows (src=" +
+                     std::to_string(SrcFp(s0)) + ", dst=" +
+                     std::to_string(DstFp(s0)) + ")");
+    }
+
+    // Split-brain audit: no slot may route kLocal on both nodes, ever.
+    for (uint32_t s = 0; s < cluster::kNumSlots; ++s) {
+      const auto sr = src_cs->Lookup(static_cast<uint16_t>(s), false);
+      const auto dr = dst_cs->Lookup(static_cast<uint16_t>(s), false);
+      if (sr.action == cluster::Route::Action::kLocal &&
+          dr.action == cluster::Route::Action::kLocal) {
+        out->push_back("SPLIT BRAIN: slot " + std::to_string(s) +
+                       " served by both nodes");
+        return;
+      }
+    }
+
+    // Value oracle per side: the recovered store equals the committed
+    // replay, old-or-new for the in-flight op's key.
+    CheckSide(rt, "mig.src", s0.src, InflightFor(inflight, /*src=*/true), out);
+    CheckSide(rt, "mig.dst", s0.dst, InflightFor(inflight, /*src=*/false), out);
+  }
+
+ private:
+  static bool InRange(const std::string& key) {
+    const uint16_t s = cluster::SlotForKey(key);
+    return s >= kLo && s <= kHi;
+  }
+
+  struct State {
+    std::map<std::string, std::string> src;
+    std::map<std::string, std::string> dst;
+    bool handoff = false;
+    bool committed = false;
+    bool finished = false;
+  };
+
+  State StateAfter(size_t j) const {
+    State st;
+    for (size_t i = 0; i < j && i < script_.size(); ++i) {
+      const Op& op = script_[i];
+      switch (op.kind) {
+        case Kind::kSrcPut:
+          st.src[op.key] = op.value;
+          break;
+        case Kind::kDstPut:
+        case Kind::kCopy:
+          st.dst[op.key] = op.value;
+          break;
+        case Kind::kHandoff:
+          st.handoff = true;
+          break;
+        case Kind::kCommit:
+          st.committed = true;
+          break;
+        case Kind::kFinish:
+          st.finished = true;
+          break;
+        default:
+          break;
+      }
+    }
+    return st;
+  }
+
+  // Source table after recovery: 0 = owns the range and serves it (an
+  // interrupted `migrating` rolls back here), 1 = frozen in handoff,
+  // 2 = flipped to the peer.
+  static int SrcFp(const State& s) {
+    return s.finished ? 2 : (s.handoff ? 1 : 0);
+  }
+  // Destination table: 1 once the import committed.
+  static int DstFp(const State& s) { return s.committed ? 1 : 0; }
+
+  // The in-flight op's key on this side, if any (old-or-new allowance).
+  static const Op* InflightFor(const Op* inflight, bool src) {
+    if (inflight == nullptr) {
+      return nullptr;
+    }
+    const bool on_src = inflight->kind == Kind::kSrcPut;
+    const bool on_dst =
+        inflight->kind == Kind::kDstPut || inflight->kind == Kind::kCopy;
+    return (src ? on_src : on_dst) ? inflight : nullptr;
+  }
+
+  static void CheckSide(JnvmRuntime& rt, const std::string& root,
+                        const std::map<std::string, std::string>& want,
+                        const Op* inflight, std::vector<std::string>* out) {
+    auto map = rt.root().GetAs<pdt::PStringHashMap>(root);
+    if (map == nullptr) {
+      out->push_back("store root " + root + " lost");
+      return;
+    }
+    std::map<std::string, std::string> got;
+    map->ForEach([&](const std::string& k, Handle<PObject> v) {
+      auto rec = std::static_pointer_cast<store::PRecord>(v);
+      const store::Record r = rec->ToRecord();
+      got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+    });
+    for (const auto& [k, v] : want) {
+      if (inflight != nullptr && inflight->key == k) {
+        continue;  // judged below
+      }
+      const auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back(root + ": committed key " + k + " lost");
+      } else if (it->second != v) {
+        out->push_back(root + ": key " + k + " has '" + it->second +
+                       "', want '" + v + "'");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (want.count(k) == 0 && (inflight == nullptr || inflight->key != k)) {
+        out->push_back(root + ": phantom key " + k);
+      }
+    }
+    if (inflight != nullptr) {
+      const auto it = got.find(inflight->key);
+      const auto old_it = want.find(inflight->key);
+      if (it == got.end()) {
+        if (old_it != want.end()) {
+          out->push_back(root + ": in-flight put erased key " + inflight->key);
+        }
+      } else {
+        const bool is_old = old_it != want.end() && it->second == old_it->second;
+        const bool is_new = it->second == inflight->value;
+        if (!is_old && !is_new) {
+          out->push_back(root + ": in-flight op left torn value '" +
+                         it->second + "' for key " + inflight->key);
+        }
+      }
+    }
+  }
+
+  std::string name_;
+  std::vector<Op> script_;
+  std::unique_ptr<cluster::ClusterState> src_cs_;
+  std::unique_ptr<cluster::ClusterState> dst_cs_;
+  std::unique_ptr<store::JpdtBackend> src_be_;
+  std::unique_ptr<store::JpdtBackend> dst_be_;
+};
+
 }  // namespace
 
 std::vector<std::string> WorkloadKinds() {
   return {"map-hash", "map-tree",   "map-skip", "map-long", "set",  "array",
           "string",   "pfa",        "server",   "repl",     "repl-apply",
-          "wait",     "read-your-writes",       "txn"};
+          "wait",     "read-your-writes",       "txn",      "migrate"};
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
@@ -2166,6 +2522,9 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
   }
   if (kind == "txn") {
     return std::make_unique<TxnWorkload>(script_seed, op_count);
+  }
+  if (kind == "migrate") {
+    return std::make_unique<MigrateWorkload>(script_seed, op_count);
   }
   JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
   return nullptr;

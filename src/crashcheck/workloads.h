@@ -35,6 +35,12 @@
 //              sealed and every participant's writes are (re)applied at
 //              recovery; an undecided in-flight txn resolves all-or-nothing
 //              by the decision's presence — never a partial apply.
+//   migrate  — one op is one step of a live slot handoff (DESIGN.md §10):
+//              writes, copy stream, and the migration state machine of
+//              both nodes' slot tables in one heap. Recovery must roll an
+//              interrupted `migrating` back, keep `handoff` frozen until
+//              an owner word proves the flip, and never let both tables
+//              serve a slot (split-brain); stores stay old-or-new.
 #ifndef JNVM_SRC_CRASHCHECK_WORKLOADS_H_
 #define JNVM_SRC_CRASHCHECK_WORKLOADS_H_
 
@@ -78,7 +84,7 @@ class Workload {
 
 // Registered workload kinds: "map-hash", "map-tree", "map-skip",
 // "map-long", "set", "array", "string", "pfa", "server", "repl",
-// "repl-apply", "wait", "read-your-writes", "txn".
+// "repl-apply", "wait", "read-your-writes", "txn", "migrate".
 std::vector<std::string> WorkloadKinds();
 
 // Factory; aborts on an unknown kind. `op_count` is the script length;

@@ -1,5 +1,11 @@
 #include "src/nvm/pmem_device.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 
 #include "src/common/rand.h"
@@ -11,6 +17,70 @@ PmemDevice::PmemDevice(const DeviceOptions& opts)
   JNVM_CHECK(opts.size_bytes >= kCacheLine);
 }
 
+PmemDevice::PmemDevice(const DeviceOptions& opts, char* mapped_base)
+    : opts_(opts), data_(mapped_base), mmapped_(true) {
+  JNVM_CHECK(opts.size_bytes >= kCacheLine);
+}
+
+PmemDevice::~PmemDevice() {
+  if (mmapped_) {
+    ::munmap(data_, opts_.size_bytes);
+  } else {
+    delete[] data_;
+  }
+  data_ = nullptr;
+}
+
+std::unique_ptr<PmemDevice> PmemDevice::MapFile(const std::string& path,
+                                                DeviceOptions opts,
+                                                bool* existed,
+                                                std::string* error) {
+  if (existed != nullptr) {
+    *existed = false;
+  }
+  if (opts.strict) {
+    if (error != nullptr) *error = "dax mode is incompatible with strict mode";
+    return nullptr;
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = "open " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) *error = "fstat " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  if (st.st_size == 0) {
+    // Fresh region: size it; the caller will Format.
+    if (opts.size_bytes < kCacheLine ||
+        ::ftruncate(fd, static_cast<off_t>(opts.size_bytes)) != 0) {
+      if (error != nullptr) {
+        *error = "ftruncate " + path + ": " + std::strerror(errno);
+      }
+      ::close(fd);
+      return nullptr;
+    }
+  } else {
+    // Existing region: its size wins; the caller should run recovery.
+    opts.size_bytes = static_cast<size_t>(st.st_size);
+    if (existed != nullptr) {
+      *existed = true;
+    }
+  }
+  void* base = ::mmap(nullptr, opts.size_bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) {
+    if (error != nullptr) *error = "mmap " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  return std::unique_ptr<PmemDevice>(
+      new PmemDevice(opts, static_cast<char*>(base)));
+}
+
 void PmemDevice::Memset(Offset off, int value, size_t n) {
   JNVM_DCHECK(off + n <= opts_.size_bytes);
   if (powered_off_) {
@@ -20,7 +90,7 @@ void PmemDevice::Memset(Offset off, int value, size_t n) {
     CrashTick();
     TrackStore(off, n, nullptr, static_cast<uint64_t>(value));
   }
-  std::memset(data_.get() + off, value, n);
+  std::memset(data_ + off, value, n);
   stats_writes_.fetch_add(1, std::memory_order_relaxed);
   stats_bytes_written_.fetch_add(n, std::memory_order_relaxed);
 }
@@ -64,7 +134,7 @@ void PmemDevice::TrackStore(Offset off, size_t n, const void* src,
     if (inserted) {
       // First store since the line was last durable: snapshot the durable
       // content (current view == durable view for a clean line).
-      std::memcpy(it->second.durable.data(), data_.get() + line * kCacheLine,
+      std::memcpy(it->second.durable.data(), data_ + line * kCacheLine,
                   kCacheLine);
     } else if (it->second.queued) {
       // A store after Pwb is not covered by that Pwb: the flush may have
@@ -187,7 +257,7 @@ void PmemDevice::Crash(uint64_t eviction_seed) {
     // without the fence the clwb may not have executed.
     const bool evicted = (Mix64(eviction_seed ^ (line * 0x9e3779b97f4a7c15ull)) & 1) != 0;
     if (!evicted) {
-      std::memcpy(data_.get() + line * kCacheLine, state.durable.data(), kCacheLine);
+      std::memcpy(data_ + line * kCacheLine, state.durable.data(), kCacheLine);
     }
   }
   lines_.clear();
@@ -212,7 +282,7 @@ bool PmemDevice::SaveTo(const std::string& path) const {
   const uint64_t size = opts_.size_bytes;
   bool ok = std::fwrite(&kImageMagic, 8, 1, f) == 1 &&
             std::fwrite(&size, 8, 1, f) == 1 &&
-            std::fwrite(data_.get(), 1, size, f) == size;
+            std::fwrite(data_, 1, size, f) == size;
   ok = std::fclose(f) == 0 && ok;
   return ok;
 }
@@ -232,7 +302,7 @@ std::unique_ptr<PmemDevice> PmemDevice::LoadFrom(const std::string& path,
   }
   opts.size_bytes = size;
   auto dev = std::make_unique<PmemDevice>(opts);
-  const bool ok = std::fread(dev->data_.get(), 1, size, f) == size;
+  const bool ok = std::fread(dev->data_, 1, size, f) == size;
   std::fclose(f);
   return ok ? std::move(dev) : nullptr;
 }

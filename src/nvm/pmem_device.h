@@ -72,6 +72,7 @@ class PmemDevice {
   explicit PmemDevice(const DeviceOptions& opts);
   PmemDevice(const PmemDevice&) = delete;
   PmemDevice& operator=(const PmemDevice&) = delete;
+  ~PmemDevice();
 
   size_t size() const { return opts_.size_bytes; }
   const DeviceOptions& options() const { return opts_; }
@@ -84,7 +85,7 @@ class PmemDevice {
   void ReadBytes(Offset off, void* dst, size_t n) const {
     JNVM_DCHECK(off + n <= opts_.size_bytes);
     if (opts_.read_delay_ns != 0) SpinFor(opts_.read_delay_ns);
-    std::memcpy(dst, data_.get() + off, n);
+    std::memcpy(dst, data_ + off, n);
     stats_reads_.fetch_add(1, std::memory_order_relaxed);
     stats_bytes_read_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -99,7 +100,7 @@ class PmemDevice {
       TrackStore(off, n, src, 0);
     }
     if (opts_.write_delay_ns != 0) SpinFor(opts_.write_delay_ns);
-    std::memcpy(data_.get() + off, src, n);
+    std::memcpy(data_ + off, src, n);
     stats_writes_.fetch_add(1, std::memory_order_relaxed);
     stats_bytes_written_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -186,16 +187,38 @@ class PmemDevice {
   static std::unique_ptr<PmemDevice> LoadFrom(const std::string& path,
                                               DeviceOptions opts = {});
 
+  // ---- DAX mode ------------------------------------------------------------
+  // Maps `path` MAP_SHARED as the device's backing store — the moral
+  // equivalent of a real DAX region. Unlike SaveTo/LoadFrom images (an
+  // explicit quiesce-then-snapshot step), every store lands in the shared
+  // mapping immediately, so the contents survive a `kill -9` of the process:
+  // the kernel page cache holds the file's dirty pages independently of the
+  // process's life. That is exactly the failure CI's cluster job injects —
+  // process death, not power loss — and recovery reopens the heap from the
+  // file as if from a machine that never lost power.
+  //
+  // Creates the file (sized to opts.size_bytes) when absent; otherwise the
+  // existing file's size wins and *existed is set so the caller knows to run
+  // recovery instead of Format. Strict mode is rejected (the crash model
+  // tracks durability itself; mixing the two would double-model).
+  static std::unique_ptr<PmemDevice> MapFile(const std::string& path,
+                                             DeviceOptions opts, bool* existed,
+                                             std::string* error);
+  bool mapped() const { return mmapped_; }
+
   DeviceStats stats() const;
   void ResetStats();
 
   // Direct pointer into the current view. Used only by the Table 3 "C"
   // baseline benchmark and by read-mostly fast paths that bypass latency
   // accounting; never use it for persistent stores in strict mode.
-  char* raw() { return data_.get(); }
-  const char* raw() const { return data_.get(); }
+  char* raw() { return data_; }
+  const char* raw() const { return data_; }
 
  private:
+  // DAX-mode constructor: adopts an mmap'd base instead of allocating.
+  PmemDevice(const DeviceOptions& opts, char* mapped_base);
+
   struct LineState {
     std::array<char, kCacheLine> durable;  // content as of the last fence
     bool queued = false;                   // covered by a Pwb since dirtying
@@ -210,7 +233,10 @@ class PmemDevice {
   void DrainQueued();
 
   DeviceOptions opts_;
-  std::unique_ptr<char[]> data_;
+  // Owned heap allocation (mmapped_ == false) or an mmap'd MAP_SHARED file
+  // view (mmapped_ == true); the destructor delete[]s or munmaps to match.
+  char* data_ = nullptr;
+  bool mmapped_ = false;
 
   // Strict-mode tracking (single-threaded use).
   std::unordered_map<uint64_t, LineState> lines_;

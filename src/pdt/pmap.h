@@ -252,9 +252,11 @@ class PMap final : public core::PObject {
     return std::static_pointer_cast<T>(Get(key));
   }
 
-  // Insert-or-replace. With free_old_value, a replaced value's persistent
-  // structure is freed (the Infinispan backend's behaviour, §4.1.6).
-  void Put(const VKey& key, core::PObject* value, bool free_old_value = true) {
+  // Insert-or-replace; true when the key was newly inserted (false =
+  // replaced an existing mapping). With free_old_value, a replaced value's
+  // persistent structure is freed (the Infinispan backend's behaviour,
+  // §4.1.6).
+  bool Put(const VKey& key, core::PObject* value, bool free_old_value = true) {
     core::JnvmRuntime& rt = runtime();
     std::lock_guard<std::mutex> lk(mu_);
     uint64_t slot;
@@ -267,7 +269,7 @@ class PMap final : public core::PObject {
         DurabilityFence();  // durable on return (write-through semantics)
       }
       EraseCacheLocked(slot);
-      return;
+      return false;
     }
     slot = TakeSlotLocked();
     PairT pair = KeyPolicy::MakePair(rt, key, value);
@@ -280,6 +282,7 @@ class PMap final : public core::PObject {
     arr_->SetRaw(slot, pair.addr());  // … before the single publishing write
     DurabilityFence();                // … and the publication durable on return
     mirror_[key] = slot;
+    return true;
   }
 
   // Set-style insert (a set maps each key to itself, §4.3.2).

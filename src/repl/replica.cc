@@ -135,6 +135,7 @@ ReplClientStats ReplClient::Stats() const {
   s.snapshots_installed = snapshots_installed_.load(std::memory_order_relaxed);
   s.resyncs = resyncs_.load(std::memory_order_relaxed);
   s.gap_resyncs = gap_resyncs_.load(std::memory_order_relaxed);
+  s.bad_configs = bad_configs_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -195,8 +196,12 @@ void ReplClient::PullLoop(uint32_t shard_index) {
         break;
       }
       const uint64_t from = shard->repl_next_seq();
+      // The shard count rides in the handshake: a primary with a different
+      // count rejects with -BADCONFIG instead of silently feeding a stream
+      // this replica would route to the wrong shards.
       if (!conn->SendCommand({"REPLSYNC", std::to_string(shard_index),
-                              std::to_string(from)})) {
+                              std::to_string(from),
+                              std::to_string(shards_.size())})) {
         break;
       }
       server::RespReply r;
@@ -204,6 +209,16 @@ void ReplClient::PullLoop(uint32_t shard_index) {
         break;
       }
       if (r.type == server::RespReply::Type::kError) {
+        if (r.str.rfind("BADCONFIG", 0) == 0) {
+          // Terminal: no amount of retrying or bootstrapping fixes a
+          // configuration mismatch — stop this shard's pull loop and leave
+          // the rejection visible in the stats.
+          bad_configs_.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lk(conns_mu_);
+          established_[shard_index] = 0;
+          conns_[shard_index] = nullptr;
+          return;
+        }
         // -SNAPSHOT (truncated past `from`) or a fresh log epoch after the
         // primary self-healed: bootstrap and re-handshake on this conn.
         if (Bootstrap(conn.get(), shard, shard_index)) {

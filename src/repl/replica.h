@@ -45,6 +45,10 @@ struct ReplClientStats {
   // Streams torn down on a sequence discontinuity (upstream log epoch
   // changed or retention truncated mid-stream — chained-feed self-healing).
   uint64_t gap_resyncs = 0;
+  // Primary rejected the handshake with -BADCONFIG (shard-count or config-
+  // epoch mismatch). Terminal for that shard's pull loop: retrying cannot
+  // help until an operator fixes the configuration.
+  uint64_t bad_configs = 0;
 };
 
 class ReplClient {
@@ -99,6 +103,7 @@ class ReplClient {
   std::atomic<uint64_t> snapshots_installed_{0};
   std::atomic<uint64_t> resyncs_{0};
   std::atomic<uint64_t> gap_resyncs_{0};
+  std::atomic<uint64_t> bad_configs_{0};
 
   std::mutex stopped_mu_;
   bool stopped_ = false;

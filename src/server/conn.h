@@ -99,6 +99,11 @@ struct Conn {
     }
   }
 
+  // Cluster plane (DESIGN.md §10): set by ASKING, consumed by the next
+  // key command — a one-shot permit to serve a slot this node is still
+  // *importing* (the table names the source until the handoff commits).
+  bool asking = false;
+
   // MULTI/EXEC transaction queue (DESIGN.md §9). While `in_multi`, data
   // commands buffer here (replying +QUEUED) instead of dispatching; EXEC
   // turns the buffer into one atomic transaction, DISCARD drops it. A

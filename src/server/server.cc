@@ -293,8 +293,33 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
   SetNonBlocking(s->wake_r_);
   SetNonBlocking(s->wake_w_);
 
+  if (opts.cluster) {
+    // The slot table opens before the shards: recovery of a torn handoff
+    // (RecoverLocked) must settle before any request can route.
+    cluster::ClusterOptions copts = opts.cluster_meta;
+    if (copts.announce.empty()) {
+      copts.announce = opts.host + ":" + std::to_string(s->port_);
+    }
+    std::string cerr;
+    s->cluster_ = cluster::ClusterState::Open(copts, &cerr);
+    if (s->cluster_ == nullptr) {
+      if (error != nullptr) {
+        *error = "cluster meta: " + cerr;
+      }
+      return nullptr;
+    }
+  }
   for (uint32_t i = 0; i < opts.nshards; ++i) {
     s->shards_.push_back(Shard::Open(s->opts_.shard, i, s.get()));
+  }
+  if (s->cluster_ != nullptr) {
+    std::vector<Shard*> raw;
+    raw.reserve(s->shards_.size());
+    for (const auto& sh : s->shards_) {
+      raw.push_back(sh.get());
+    }
+    s->migrator_ =
+        std::make_unique<cluster::Migrator>(s->cluster_.get(), std::move(raw));
   }
   if (opts.replica_of.empty() && s->opts_.shard.repl_log) {
     // Primary crash recovery (DESIGN.md §9): commit-or-abort every
@@ -694,6 +719,14 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     CompleteInline(conn, seq, std::move(r));
     return true;
   };
+  // Error replies whose first token IS the code (-MOVED, -ASK, -TRYAGAIN,
+  // -CLUSTERDOWN, -BADCONFIG) rather than the generic -ERR prefix.
+  auto inline_code = [&](const std::string& msg) {
+    std::string r;
+    AppendErrorCode(&r, msg);
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  };
 
   // ---- Transactions (DESIGN.md §9): MULTI queues, EXEC runs, DISCARD drops.
   if (cmd == "MULTI") {
@@ -790,6 +823,13 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
                               : Request::Op::kTouch;
     }
     req.key = std::move(args[1]);
+    if (cluster_ != nullptr) {
+      const bool asking = conn.asking;
+      conn.asking = false;  // one-shot: ASKING covers exactly one command
+      if (RouteClusterKey(conn, seq, req.key, asking, &req)) {
+        return true;  // redirect answered inline
+      }
+    }
     req.conn_id = conn.id;
     req.seq = seq;
     const uint32_t idx = ShardFor(req.key, static_cast<uint32_t>(shards_.size()));
@@ -857,6 +897,30 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
       return inline_error("wrong number of arguments for MSET");
     }
     const uint32_t pairs = static_cast<uint32_t>((args.size() - 1) / 2);
+    if (cluster_ != nullptr) {
+      // Multi-key commands cannot follow an -ASK (one redirect, many slots),
+      // so every key's slot must be plainly local — owned here and not
+      // mid-migration. The first offending key decides the refusal.
+      conn.asking = false;
+      for (uint32_t i = 0; i < pairs; ++i) {
+        const uint16_t slot = cluster::SlotForKey(args[1 + 2 * i]);
+        const cluster::Route rt = cluster_->Lookup(slot, /*asking=*/false);
+        if (rt.action == cluster::Route::Action::kLocal && !rt.migrating) {
+          continue;
+        }
+        if (rt.action == cluster::Route::Action::kMoved) {
+          ++moved_replies_;
+          return inline_code("MOVED " + std::to_string(slot) + " " + rt.addr);
+        }
+        if (rt.action == cluster::Route::Action::kDown) {
+          return inline_code("CLUSTERDOWN slot " + std::to_string(slot) +
+                             " is unassigned");
+        }
+        return inline_code("TRYAGAIN slot " + std::to_string(slot) +
+                           " is migrating; multi-key commands need stable "
+                           "slots");
+      }
+    }
     auto multi = std::make_shared<MultiOp>();
     multi->remaining.store(pairs, std::memory_order_relaxed);
     multi->conn_id = conn.id;
@@ -881,8 +945,14 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     return true;
   }
   if (cmd == "REPLSYNC" || cmd == "REPLSNAP") {
-    const size_t want = cmd == "REPLSYNC" ? 3 : 2;
-    if (args.size() != want) {
+    // REPLSYNC <shard> <from> [nshards [epoch]]: the optional arguments let
+    // the replica prove its configuration matches before the connection
+    // becomes a one-way record feed. A mismatch is a hard, explicit
+    // -BADCONFIG — a replica with a different shard count would route keys
+    // to the wrong shards, and a different config epoch means the two nodes
+    // disagree about slot ownership; silently streaming would corrupt it.
+    const bool sync = cmd == "REPLSYNC";
+    if (sync ? (args.size() < 3 || args.size() > 5) : args.size() != 2) {
       return inline_error("wrong number of arguments for " + cmd);
     }
     uint32_t idx = 0;
@@ -890,10 +960,33 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
       return inline_error(cmd + " shard index out of range");
     }
     Request req;
-    if (cmd == "REPLSYNC") {
+    if (sync) {
       uint64_t from = 0;
       if (!ParseU64(args[2], &from) || from == 0) {
         return inline_error("REPLSYNC from-seq must be >= 1");
+      }
+      if (args.size() >= 4) {
+        uint32_t nshards = 0;
+        if (!ParseU32(args[3], &nshards)) {
+          return inline_error("REPLSYNC nshards must be decimal");
+        }
+        if (nshards != shards_.size()) {
+          return inline_code("BADCONFIG shard count mismatch: primary has " +
+                             std::to_string(shards_.size()) +
+                             " shards, replica has " + std::to_string(nshards));
+        }
+      }
+      if (args.size() == 5) {
+        uint64_t epoch = 0;
+        if (!ParseU64(args[4], &epoch)) {
+          return inline_error("REPLSYNC epoch must be decimal");
+        }
+        const uint64_t mine = cluster_ != nullptr ? cluster_->epoch() : 0;
+        if (epoch != mine) {
+          return inline_code("BADCONFIG config epoch mismatch: primary at " +
+                             std::to_string(mine) + ", replica at " +
+                             std::to_string(epoch));
+        }
       }
       req.op = Request::Op::kReplSync;
       req.repl_seq = from;
@@ -946,6 +1039,62 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     }
     return true;
   }
+  // ---- Cluster plane (DESIGN.md §10) ---------------------------------------
+  if (cmd == "ASKING") {
+    if (cluster_ == nullptr) {
+      return inline_error("cluster support is disabled");
+    }
+    conn.asking = true;
+    std::string r;
+    AppendSimple(&r, "OK");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmd == "CLUSTER") {
+    return DispatchCluster(conn, seq, args);
+  }
+  if (cmd == "MIGSTART") {
+    return DispatchMigStart(conn, seq, args);
+  }
+  if (cmd == "MIGAPPLY") {
+    return DispatchMigApply(conn, seq, args);
+  }
+  if (cmd == "MIGCOMMIT") {
+    // THE commit point of a migration: the importing range's owner words
+    // flip to this node, durably, before the +OK goes back to the source.
+    uint32_t lo = 0, hi = 0;
+    uint64_t epoch = 0;
+    if (cluster_ == nullptr) {
+      return inline_error("cluster support is disabled");
+    }
+    if (args.size() != 4 || !ParseU32(args[1], &lo) || !ParseU32(args[2], &hi) ||
+        !ParseU64(args[3], &epoch)) {
+      return inline_error("MIGCOMMIT expects lo hi epoch");
+    }
+    std::string err;
+    if (!cluster_->CommitImport(lo, hi, epoch, &err)) {
+      return inline_error("MIGCOMMIT: " + err);
+    }
+    std::string r;
+    AppendSimple(&r, "OK");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmd == "MIGABORT") {
+    // Best-effort from a rolling-back source; always +OK — an import that
+    // already ended (or never started) needs nothing. The keys a dead
+    // import copied are unserved (owners still name the source) and the
+    // next MIGSTART purges the range before copying again.
+    if (cluster_ == nullptr) {
+      return inline_error("cluster support is disabled");
+    }
+    std::string err;
+    cluster_->AbortImport(&err);
+    std::string r;
+    AppendSimple(&r, "OK");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
   if (cmd == "STATS") {
     std::string r;
     AppendBulk(&r, BuildStats());
@@ -957,6 +1106,303 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     return true;
   }
   return inline_error("unknown command '" + args[0] + "'");
+}
+
+// ---- Cluster plane (DESIGN.md §10) ------------------------------------------
+
+bool Server::RouteClusterKey(Conn& conn, uint64_t seq, const std::string& key,
+                             bool asking, Request* req) {
+  const uint16_t slot = cluster::SlotForKey(key);
+  const cluster::Route rt = cluster_->Lookup(slot, asking);
+  std::string r;
+  switch (rt.action) {
+    case cluster::Route::Action::kLocal:
+      if (rt.migrating && !rt.addr.empty()) {
+        // Serve here, but a key miss now means "already moved (or never
+        // existed)": the shard answers -ASK <slot> <addr> instead of a
+        // plain miss, and writes of missing keys redirect the same way.
+        req->ask_addr = std::to_string(slot) + " " + rt.addr;
+      }
+      return false;
+    case cluster::Route::Action::kMoved:
+      ++moved_replies_;
+      AppendErrorCode(&r, "MOVED " + std::to_string(slot) + " " + rt.addr);
+      break;
+    case cluster::Route::Action::kTryAgain:
+      AppendErrorCode(&r, "TRYAGAIN slot " + std::to_string(slot) +
+                              " is frozen for handoff");
+      break;
+    case cluster::Route::Action::kDown:
+      AppendErrorCode(&r, "CLUSTERDOWN slot " + std::to_string(slot) +
+                              " is unassigned");
+      break;
+  }
+  CompleteInline(conn, seq, std::move(r));
+  return true;
+}
+
+bool Server::DispatchCluster(Conn& conn, uint64_t seq,
+                             std::vector<std::string>& args) {
+  auto reply_err = [&](const std::string& msg) {
+    std::string r;
+    AppendError(&r, msg);
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  };
+  auto reply_ok = [&] {
+    std::string r;
+    AppendSimple(&r, "OK");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  };
+  if (cluster_ == nullptr) {
+    return reply_err("cluster support is disabled");
+  }
+  if (args.size() < 2) {
+    return reply_err("CLUSTER expects a subcommand");
+  }
+  const std::string sub = Upper(args[1]);
+  if (sub == "MEET") {
+    // CLUSTER MEET <index> <host:port> — register a peer in the node table.
+    uint32_t idx = 0;
+    if (args.size() != 4 || !ParseU32(args[2], &idx)) {
+      return reply_err("CLUSTER MEET expects index host:port");
+    }
+    std::string err;
+    if (!cluster_->Meet(idx, args[3], &err)) {
+      return reply_err("CLUSTER MEET: " + err);
+    }
+    return reply_ok();
+  }
+  if (sub == "SLOTS") {
+    // One bulk "lo hi host:port" per contiguous owned run — the client's
+    // slot-cache bootstrap.
+    std::vector<std::string> runs;
+    uint16_t run_owner = cluster::kNoOwner;
+    uint32_t run_lo = 0;
+    const auto flush = [&](uint32_t end_exclusive) {
+      if (run_owner == cluster::kNoOwner) {
+        return;
+      }
+      const std::string addr = cluster_->NodeAddr(run_owner);
+      if (!addr.empty()) {
+        runs.push_back(std::to_string(run_lo) + " " +
+                       std::to_string(end_exclusive - 1) + " " + addr);
+      }
+    };
+    for (uint32_t slot = 0; slot < cluster::kNumSlots; ++slot) {
+      const uint16_t o = cluster_->OwnerOf(static_cast<uint16_t>(slot));
+      if (o != run_owner) {
+        flush(slot);
+        run_owner = o;
+        run_lo = slot;
+      }
+    }
+    flush(cluster::kNumSlots);
+    std::string r;
+    AppendArrayHeader(&r, runs.size());
+    for (const std::string& run : runs) {
+      AppendBulk(&r, run);
+    }
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (sub == "SETSLOT") {
+    if (args.size() < 3) {
+      return reply_err("CLUSTER SETSLOT expects ASSIGN or MIGRATE");
+    }
+    const std::string verb = Upper(args[2]);
+    uint32_t lo = 0, hi = 0, node = 0;
+    if (args.size() < 6 || !ParseU32(args[3], &lo) || !ParseU32(args[4], &hi) ||
+        !ParseU32(args[5], &node)) {
+      return reply_err("CLUSTER SETSLOT " + verb + " expects lo hi node");
+    }
+    if (verb == "ASSIGN") {
+      // Static assignment (bootstrap / tests): rewrite the range's owner
+      // words and bump the epoch. No data moves.
+      std::string err;
+      if (!cluster_->AssignRange(lo, hi, node, &err)) {
+        return reply_err("CLUSTER SETSLOT ASSIGN: " + err);
+      }
+      return reply_ok();
+    }
+    if (verb == "MIGRATE") {
+      // Live migration: spawns the Migrator thread; progress via CLUSTER
+      // INFO. The optional throttle widens the crash window for CI.
+      cluster::MigrateOptions mo;
+      mo.lo = lo;
+      mo.hi = hi;
+      mo.peer = node;
+      if (args.size() >= 7) {
+        uint32_t throttle = 0;
+        if (!ParseU32(args[6], &throttle)) {
+          return reply_err("CLUSTER SETSLOT MIGRATE: bad throttle_ms");
+        }
+        mo.throttle_ms = throttle;
+      }
+      std::string err;
+      if (!migrator_->Start(mo, &err)) {
+        return reply_err("CLUSTER SETSLOT MIGRATE: " + err);
+      }
+      return reply_ok();
+    }
+    return reply_err("CLUSTER SETSLOT expects ASSIGN or MIGRATE");
+  }
+  if (sub == "INFO") {
+    std::string text = cluster_->Describe();
+    text += "migrator:" + migrator_->status() + "\n";
+    uint32_t lo = 0, hi = 0, peer = 0;
+    if (cluster_->mig_state() != cluster::MigState::kNone) {
+      cluster_->MigRange(&lo, &hi, &peer);
+      uint64_t residual = 0;
+      for (const auto& sh : shards_) {
+        residual += sh->KeysInSlotRange(lo, hi);
+      }
+      text += "keys_in_mig_range:" + std::to_string(residual) + "\n";
+    }
+    std::string r;
+    AppendBulk(&r, text);
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  return reply_err("unknown CLUSTER subcommand '" + args[1] + "'");
+}
+
+bool Server::DispatchMigStart(Conn& conn, uint64_t seq,
+                              std::vector<std::string>& args) {
+  auto reply_err = [&](const std::string& msg, bool code = false) {
+    std::string r;
+    if (code) {
+      AppendErrorCode(&r, msg);
+    } else {
+      AppendError(&r, msg);
+    }
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  };
+  if (cluster_ == nullptr) {
+    return reply_err("cluster support is disabled");
+  }
+  uint32_t lo = 0, hi = 0, src = 0;
+  uint64_t src_epoch = 0;
+  if (args.size() != 5 || !ParseU32(args[1], &lo) || !ParseU32(args[2], &hi) ||
+      !ParseU32(args[3], &src) || !ParseU64(args[4], &src_epoch)) {
+    return reply_err("MIGSTART expects lo hi src-node src-epoch");
+  }
+  if (lo > hi || hi >= cluster::kNumSlots) {
+    return reply_err("MIGSTART: bad slot range");
+  }
+  // "+OWNED" short-circuit: a previous drive of this migration durably
+  // committed here; the source learns it can only roll forward.
+  if (cluster_->OwnsRange(lo, hi)) {
+    std::string r;
+    AppendSimple(&r, "OWNED");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  // Config validation — explicit -BADCONFIG, never a silent accept: the
+  // source must be a node this table knows, and no slot of the range may be
+  // owned by a third node (the two tables would disagree about ownership).
+  if (src >= cluster::ClusterMetaRoot::kMaxNodes ||
+      cluster_->NodeAddr(src).empty()) {
+    return reply_err("BADCONFIG unknown source node " + std::to_string(src),
+                     /*code=*/true);
+  }
+  for (uint32_t slot = lo; slot <= hi; ++slot) {
+    const uint16_t o = cluster_->OwnerOf(static_cast<uint16_t>(slot));
+    if (o != cluster::kNoOwner && o != src && o != cluster_->self()) {
+      return reply_err("BADCONFIG slot " + std::to_string(slot) +
+                           " is owned by node " + std::to_string(o) +
+                           ", not the migration source",
+                       /*code=*/true);
+    }
+  }
+  std::string err;
+  if (!cluster_->StartImporting(lo, hi, src, &err)) {
+    return reply_err("MIGSTART: " + err);
+  }
+  // Purge the range on every shard before the copy streams in: a re-driven
+  // migration must not leave keys a previous partial copy wrote and the
+  // source has since deleted. The joined reply is +IMPORTING.
+  auto multi = std::make_shared<MultiOp>();
+  multi->remaining.store(static_cast<uint32_t>(shards_.size()),
+                         std::memory_order_relaxed);
+  multi->conn_id = conn.id;
+  multi->seq = seq;
+  multi->ok_reply = "IMPORTING";
+  ++conn.inflight;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    Request req;
+    req.op = Request::Op::kSlotPurge;
+    req.slot_lo = static_cast<uint16_t>(lo);
+    req.slot_hi = static_cast<uint16_t>(hi);
+    req.multi = multi;
+    if (!SubmitOrStall(conn, i, std::move(req))) {
+      --conn.inflight;
+      return reply_err("server shutting down");
+    }
+  }
+  return true;
+}
+
+bool Server::DispatchMigApply(Conn& conn, uint64_t seq,
+                              std::vector<std::string>& args) {
+  auto reply_err = [&](const std::string& msg) {
+    std::string r;
+    AppendError(&r, msg);
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  };
+  if (cluster_ == nullptr) {
+    return reply_err("cluster support is disabled");
+  }
+  if (args.size() != 2) {
+    return reply_err("MIGAPPLY expects a batch frame");
+  }
+  if (cluster_->mig_state() != cluster::MigState::kImporting) {
+    return reply_err("MIGAPPLY: no import in progress");
+  }
+  std::vector<repl::ReplOp> ops;
+  if (!repl::DecodeBatch(args[1], &ops)) {
+    return reply_err("MIGAPPLY: bad batch frame");
+  }
+  if (ops.empty()) {
+    std::string r;
+    AppendSimple(&r, "OK");
+    CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  // Fan the ops out to their owning shards (the slot hash places keys on
+  // nodes; the shard hash places them on workers — decorrelated, so one
+  // migration chunk touches many shards).
+  std::vector<std::vector<repl::ReplOp>> per_shard(shards_.size());
+  for (repl::ReplOp& op : ops) {
+    per_shard[ShardFor(op.key, static_cast<uint32_t>(shards_.size()))]
+        .push_back(std::move(op));
+  }
+  uint32_t participants = 0;
+  for (const auto& v : per_shard) {
+    participants += v.empty() ? 0 : 1;
+  }
+  auto multi = std::make_shared<MultiOp>();
+  multi->remaining.store(participants, std::memory_order_relaxed);
+  multi->conn_id = conn.id;
+  multi->seq = seq;
+  ++conn.inflight;
+  for (uint32_t i = 0; i < per_shard.size(); ++i) {
+    if (per_shard[i].empty()) {
+      continue;
+    }
+    Request req;
+    req.op = Request::Op::kMigApply;
+    req.mig_ops = std::move(per_shard[i]);
+    req.multi = multi;
+    if (!SubmitOrStall(conn, i, std::move(req))) {
+      --conn.inflight;
+      return reply_err("server shutting down");
+    }
+  }
+  return true;
 }
 
 // ---- Transactions (DESIGN.md §9) -------------------------------------------
@@ -978,6 +1424,32 @@ bool Server::DispatchExec(Conn& conn, uint64_t seq) {
     AppendArrayHeader(&r, 0);
     CompleteInline(conn, seq, std::move(r));
     return true;
+  }
+  if (cluster_ != nullptr) {
+    // A transaction's atomicity lives inside this node's shards; every key
+    // must map to a plainly-local slot (owned here, not mid-migration) or
+    // the whole EXEC is refused with the route's redirect.
+    for (const std::vector<std::string>& a : cmds) {
+      const uint16_t slot = cluster::SlotForKey(a[1]);
+      const cluster::Route rt = cluster_->Lookup(slot, /*asking=*/false);
+      if (rt.action == cluster::Route::Action::kLocal && !rt.migrating) {
+        continue;
+      }
+      std::string r;
+      if (rt.action == cluster::Route::Action::kMoved) {
+        ++moved_replies_;
+        AppendErrorCode(&r, "MOVED " + std::to_string(slot) + " " + rt.addr);
+      } else if (rt.action == cluster::Route::Action::kDown) {
+        AppendErrorCode(&r, "CLUSTERDOWN slot " + std::to_string(slot) +
+                                " is unassigned");
+      } else {
+        AppendErrorCode(&r, "TRYAGAIN slot " + std::to_string(slot) +
+                                " is migrating; transactions need stable "
+                                "slots");
+      }
+      CompleteInline(conn, seq, std::move(r));
+      return true;
+    }
   }
 
   auto t = std::make_shared<txn::TxnState>();
@@ -1311,8 +1783,11 @@ std::string Server::BuildStats() {
   out += line;
   uint64_t records = 0, elided = 0, puts = 0, gets = 0, updates = 0, dels = 0;
   uint64_t txn_prep = 0, txn_comm = 0, txn_abrt = 0, txn_infl = 0, txn_dec = 0;
+  uint64_t ask_replies = 0, mig_applied = 0;
   for (const auto& sh : shards_) {
     const ShardStats s = sh->Stats();
+    ask_replies += s.ask_replies;
+    mig_applied += s.mig_applied_ops;
     records += s.records;
     elided += s.elided_fences;
     puts += s.ops.puts;
@@ -1380,11 +1855,12 @@ std::string Server::BuildStats() {
     const repl::ReplClientStats rs = repl_client_->Stats();
     std::snprintf(line, sizeof(line),
                   "replclient: received=%llu snapshots=%llu resyncs=%llu "
-                  "gap_resyncs=%llu\n",
+                  "gap_resyncs=%llu bad_configs=%llu\n",
                   static_cast<unsigned long long>(rs.records_received),
                   static_cast<unsigned long long>(rs.snapshots_installed),
                   static_cast<unsigned long long>(rs.resyncs),
-                  static_cast<unsigned long long>(rs.gap_resyncs));
+                  static_cast<unsigned long long>(rs.gap_resyncs),
+                  static_cast<unsigned long long>(rs.bad_configs));
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -1396,6 +1872,21 @@ std::string Server::BuildStats() {
                 static_cast<unsigned long long>(txn_infl),
                 static_cast<unsigned long long>(txn_dec));
   out += line;
+  if (cluster_ != nullptr) {
+    std::snprintf(
+        line, sizeof(line),
+        "cluster: epoch=%llu slots_owned=%llu migrations_in=%llu "
+        "migrations_out=%llu moved_replies=%llu ask_replies=%llu "
+        "mig_applied_ops=%llu\n",
+        static_cast<unsigned long long>(cluster_->epoch()),
+        static_cast<unsigned long long>(cluster_->slots_owned()),
+        static_cast<unsigned long long>(cluster_->migrations_in()),
+        static_cast<unsigned long long>(cluster_->migrations_out()),
+        static_cast<unsigned long long>(moved_replies_),
+        static_cast<unsigned long long>(ask_replies),
+        static_cast<unsigned long long>(mig_applied));
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "total: records=%llu elided_fences=%llu puts=%llu gets=%llu "
                 "updates=%llu deletes=%llu\n",
@@ -1431,6 +1922,14 @@ void Server::DoShutdown(uint64_t conn_id, uint64_t seq) {
     ok &= shutdown_report_.shards.back().integrity_ok;
   }
   shutdown_report_.ok = ok;
+  // A migration racing the quiesce fails fast (shard Submit refuses once
+  // stopping); join its thread before the slot table closes under it.
+  if (migrator_ != nullptr) {
+    migrator_->Join();
+  }
+  if (cluster_ != nullptr) {
+    cluster_->Close();
+  }
 
   // 3. Deliver the completions the drain produced, then answer SHUTDOWN
   //    itself — its +OK certifies a clean audit and saved images.

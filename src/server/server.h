@@ -52,6 +52,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cluster/meta.h"
+#include "src/cluster/migrate.h"
 #include "src/repl/replica.h"
 #include "src/server/conn.h"
 #include "src/server/shard.h"
@@ -71,6 +73,15 @@ struct ServerOptions {
   // forced on) and a ReplClient pulls the primary's record stream. The
   // shard count must match the primary's. PROMOTE clears the role.
   std::string replica_of;
+
+  // ---- Cluster plane (DESIGN.md §10) --------------------------------------
+  // Enables hash-slot routing: the node opens (or recovers) its persisted
+  // slot table, single-key commands route through it (-MOVED / -ASK /
+  // -TRYAGAIN / -CLUSTERDOWN for slots this node does not plainly own), the
+  // CLUSTER / ASKING / MIG* command families appear, and STATS gains a
+  // `cluster:` line. cluster_meta.announce defaults to the bound host:port.
+  bool cluster = false;
+  cluster::ClusterOptions cluster_meta;
 
   // Per-connection memory caps. A connection whose unparsed input exceeds
   // max_conn_in_bytes, or whose pending output exceeds max_conn_out_bytes
@@ -102,6 +113,9 @@ class Server : public CompletionSink {
   // Replica role (null on a primary, and after the client was stopped the
   // pointer stays valid for Stats()).
   const repl::ReplClient* repl_client() const { return repl_client_.get(); }
+  // Cluster plane (null unless ServerOptions::cluster). Tests and tools.
+  cluster::ClusterState* cluster_state() { return cluster_.get(); }
+  cluster::Migrator* migrator() { return migrator_.get(); }
 
   // Blocks until the event loop exits (SHUTDOWN command or RequestShutdown).
   void Wait();
@@ -126,6 +140,20 @@ class Server : public CompletionSink {
   void ProcessInput(Conn& conn);
   // Parses and dispatches one command; false = protocol error, close conn.
   bool Dispatch(Conn& conn, std::vector<std::string>& args);
+  // ---- Cluster plane (DESIGN.md §10) --------------------------------------
+  // Slot-routes one single-key command. True = the command was answered
+  // inline with a redirect (-MOVED / -TRYAGAIN / -CLUSTERDOWN) and must not
+  // submit; false = serve locally (req->ask_addr set when the slot is
+  // mid-migration, so a key miss answers -ASK). `asking` is the connection's
+  // consumed one-shot ASKING flag.
+  bool RouteClusterKey(Conn& conn, uint64_t seq, const std::string& key,
+                       bool asking, Request* req);
+  // CLUSTER MEET / SLOTS / SETSLOT / INFO admin family.
+  bool DispatchCluster(Conn& conn, uint64_t seq, std::vector<std::string>& args);
+  // Destination-side migration protocol: MIGSTART / MIGAPPLY / MIGCOMMIT /
+  // MIGABORT (sent by a peer's Migrator, never by ordinary clients).
+  bool DispatchMigStart(Conn& conn, uint64_t seq, std::vector<std::string>& args);
+  bool DispatchMigApply(Conn& conn, uint64_t seq, std::vector<std::string>& args);
   // Queues `req` on shard `shard_idx` or stalls it on the connection
   // (read-pause backpressure). False = shard stopping; caller replies -ERR.
   bool SubmitOrStall(Conn& conn, uint32_t shard_idx, Request&& req);
@@ -169,6 +197,11 @@ class Server : public CompletionSink {
   std::vector<std::unique_ptr<Shard>> shards_;
   // Declared after shards_ so destruction stops the pull threads first.
   std::unique_ptr<repl::ReplClient> repl_client_;
+  // Cluster plane: the persisted slot table and the migration driver.
+  // Declared after shards_ (and destroyed first) because the migrator
+  // thread submits control requests to the shards.
+  std::unique_ptr<cluster::ClusterState> cluster_;
+  std::unique_ptr<cluster::Migrator> migrator_;
 
   std::thread loop_;
   std::atomic<bool> shutdown_requested_{false};
@@ -204,6 +237,8 @@ class Server : public CompletionSink {
   uint64_t flush_chunks_ = 0;    // chunks submitted across those calls
   uint64_t frame_refs_ = 0;      // shared frames enqueued by reference
   uint64_t frame_bytes_ = 0;     // logical bytes those refs would have copied
+  // Cluster plane: -MOVED redirects answered (event-loop thread only).
+  uint64_t moved_replies_ = 0;
 };
 
 }  // namespace jnvm::server

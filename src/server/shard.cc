@@ -46,10 +46,18 @@ std::string ImagePathFor(const ShardOptions& opts, uint32_t index) {
   return opts.image_base + ".shard" + std::to_string(index) + ".img";
 }
 
+std::string DaxPathFor(const ShardOptions& opts, uint32_t index) {
+  if (opts.dax_base.empty()) {
+    return {};
+  }
+  return opts.dax_base + ".shard" + std::to_string(index) + ".pmem";
+}
+
 bool IsControl(Request::Op op) {
   return op == Request::Op::kReplSync || op == Request::Op::kReplSnap ||
          op == Request::Op::kSnapInstall || op == Request::Op::kPromote ||
-         op == Request::Op::kLastSeq;
+         op == Request::Op::kLastSeq || op == Request::Op::kSlotSnap ||
+         op == Request::Op::kSlotTail || op == Request::Op::kSlotPurge;
 }
 
 // Batch composition classes: requests in one batch must share a class.
@@ -117,9 +125,24 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
   repl::ReplLogRoot::Class();
   repl::ReplLogSegment::Class();
 
+  const std::string dax = DaxPathFor(opts, index);
   const std::string image = ImagePathFor(opts, index);
   const nvm::DeviceOptions dopts = DeviceOptionsFor(opts);
-  if (!image.empty() && std::filesystem::exists(image)) {
+  if (!dax.empty()) {
+    // Cluster fleet mode: the device is the mmap'd file itself — a crashed
+    // process (kill -9) leaves its state in the page cache, and the next
+    // Open() recovers from it exactly like a restart from an image.
+    bool existed = false;
+    std::string map_err;
+    s->dev_ = nvm::PmemDevice::MapFile(dax, dopts, &existed, &map_err);
+    JNVM_CHECK_MSG(s->dev_ != nullptr, "cannot map shard dax file");
+    if (existed) {
+      s->rt_ = core::JnvmRuntime::Open(s->dev_.get());  // runs recovery
+      s->recovered_ = true;
+    } else {
+      s->rt_ = core::JnvmRuntime::Format(s->dev_.get());
+    }
+  } else if (!image.empty() && std::filesystem::exists(image)) {
     s->dev_ = nvm::PmemDevice::LoadFrom(image, dopts);
     JNVM_CHECK(s->dev_ != nullptr);  // existing image must be readable
     s->rt_ = core::JnvmRuntime::Open(s->dev_.get());  // runs recovery
@@ -174,6 +197,10 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
     }
     s->PublishReplStats();
   }
+
+  // Per-slot accounting starts from the recovered store; every later
+  // mutation adjusts it incrementally on the worker thread.
+  s->RebuildSlotCounts();
 
   s->worker_ = std::thread(&Shard::WorkerLoop, s.get());
   return s;
@@ -326,9 +353,23 @@ bool Shard::Execute(const Request& req, std::string* reply,
         }
         return false;
       }
+      // MIGRATING slot: a key this node no longer holds belongs to the
+      // destination — redirect instead of resurrecting it here (the copy
+      // cursor may already be past its slot).
+      if (!req.ask_addr.empty() && !kv_->ReadTouch(req.key)) {
+        ask_replies_.fetch_add(1, std::memory_order_relaxed);
+        if (req.multi != nullptr) {
+          req.multi->Fail("ASK " + req.ask_addr);
+        } else {
+          AppendErrorCode(reply, "ASK " + req.ask_addr);
+        }
+        return false;
+      }
       store::Record r;
       r.fields.push_back(req.value);
-      kv_->Put(req.key, r);
+      if (kv_->Put(req.key, r)) {
+        SlotDelta(req.key, +1);
+      }
       if (log_ != nullptr) {
         repl::ReplOp op;
         op.kind = repl::ReplOp::Kind::kPut;
@@ -344,6 +385,11 @@ bool Shard::Execute(const Request& req, std::string* reply,
     case Request::Op::kGet: {
       store::Record r;
       if (!kv_->Read(req.key, &r)) {
+        if (!req.ask_addr.empty()) {
+          ask_replies_.fetch_add(1, std::memory_order_relaxed);
+          AppendErrorCode(reply, "ASK " + req.ask_addr);
+          return false;
+        }
         AppendNil(reply);
         return false;
       }
@@ -364,6 +410,14 @@ bool Shard::Execute(const Request& req, std::string* reply,
         return false;
       }
       const bool removed = kv_->Delete(req.key);
+      if (!removed && !req.ask_addr.empty()) {
+        ask_replies_.fetch_add(1, std::memory_order_relaxed);
+        AppendErrorCode(reply, "ASK " + req.ask_addr);
+        return false;
+      }
+      if (removed) {
+        SlotDelta(req.key, -1);
+      }
       AppendInteger(reply, removed ? 1 : 0);
       if (removed && log_ != nullptr) {
         repl::ReplOp op;
@@ -379,6 +433,11 @@ bool Shard::Execute(const Request& req, std::string* reply,
         return false;
       }
       const bool ok = kv_->Update(req.key, req.field, req.value);
+      if (!ok && !req.ask_addr.empty()) {
+        ask_replies_.fetch_add(1, std::memory_order_relaxed);
+        AppendErrorCode(reply, "ASK " + req.ask_addr);
+        return false;
+      }
       AppendInteger(reply, ok ? 1 : 0);
       if (ok && log_ != nullptr) {
         repl::ReplOp op;
@@ -391,7 +450,13 @@ bool Shard::Execute(const Request& req, std::string* reply,
       return ok;
     }
     case Request::Op::kTouch: {
-      AppendInteger(reply, kv_->ReadTouch(req.key) ? 1 : 0);
+      const bool present = kv_->ReadTouch(req.key);
+      if (!present && !req.ask_addr.empty()) {
+        ask_replies_.fetch_add(1, std::memory_order_relaxed);
+        AppendErrorCode(reply, "ASK " + req.ask_addr);
+        return false;
+      }
+      AppendInteger(reply, present ? 1 : 0);
       return false;
     }
     case Request::Op::kApply:
@@ -417,9 +482,20 @@ bool Shard::Execute(const Request& req, std::string* reply,
     case Request::Op::kSnapInstall: {
       std::string error;
       const bool ok = ExecuteSnapInstall(req, &error);
-      *reply = ok ? std::string() : error;  // waiter payload, not RESP
+      // Waiter payload, not RESP: '-' marks failure (see DeliverBatch).
+      *reply = ok ? std::string() : "-" + error;
       return ok;
     }
+    case Request::Op::kSlotSnap:
+      ExecuteSlotSnap(req, reply);
+      return false;
+    case Request::Op::kSlotTail:
+      ExecuteSlotTail(req, reply);
+      return false;
+    case Request::Op::kSlotPurge:
+      return ExecuteSlotPurge(req, reply, rops);
+    case Request::Op::kMigApply:
+      return ExecuteMigApply(req, reply, rops);
     case Request::Op::kPromote:
       ExecutePromote(req, reply);
       return false;
@@ -463,10 +539,14 @@ bool Shard::ExecuteApply(const Request& req) {
   for (const repl::ReplOp& op : ops) {
     switch (op.kind) {
       case repl::ReplOp::Kind::kPut:
-        kv_->ApplyPut(op.key, op.record);
+        if (kv_->ApplyPut(op.key, op.record)) {
+          SlotDelta(op.key, +1);
+        }
         break;
       case repl::ReplOp::Kind::kDel:
-        kv_->ApplyDelete(op.key);
+        if (kv_->ApplyDelete(op.key)) {
+          SlotDelta(op.key, -1);
+        }
         break;
       case repl::ReplOp::Kind::kUpdate:
         kv_->ApplyUpdate(op.key, op.field, op.value);
@@ -790,7 +870,14 @@ void Shard::ApplyPostSealTxns() {
     if (!staged_txns_.Take(id, &t)) {
       continue;  // marker for an already-resolved txn (idempotent)
     }
-    txn::ApplyStagedWrites(rt_.get(), kv_.get(), t.writes);
+    txn::ApplyStagedWrites(rt_.get(), kv_.get(), t.writes,
+                           [this](const repl::ReplOp& op, bool changed) {
+                             if (changed) {
+                               const int d =
+                                   op.kind == repl::ReplOp::Kind::kDel ? -1 : 1;
+                               SlotDelta(op.key, d);
+                             }
+                           });
     txns_committed_.fetch_add(1, std::memory_order_relaxed);
   }
   rt_->heap().EndGroupCommit();
@@ -924,7 +1011,255 @@ bool Shard::ExecuteSnapInstall(const Request& req, std::string* error) {
     kv_->ApplyPut(e.key, e.record);
   }
   log_->FinishInstall(snap_seq + 1);
+  RebuildSlotCounts();  // the store was wholesale-replaced
   return true;
+}
+
+// ---- Cluster plane: slot cursors and import applies --------------------------
+//
+// The three cursor ops run as singleton control batches submitted by the
+// migrator thread with a ReplWaiter: the queue ahead of them has drained, so
+// the store and the log are a sealed, mutually consistent prefix when the
+// cursor reads them. Waiter payloads are raw bytes, not RESP: '+…' carries
+// the frame, '-…' a failure.
+
+// Copy phase: every live key whose slot falls in [slot_lo, slot_hi], plus
+// the log seq the image represents — the tail cursor resumes from there.
+void Shard::ExecuteSlotSnap(const Request& req, std::string* reply) {
+  if (log_ == nullptr || log_->needs_snapshot()) {
+    *reply = "-ERR slot snapshot needs a sealed replication log";
+    return;
+  }
+  // A staged-but-undecided txn can commit writes into the range *behind*
+  // the cursor (post-seal applies re-run old prepare records): refuse until
+  // the staged table drains, so every in-range effect is either in this
+  // image or in a log record at a seq the tail cursor will scan.
+  if (staged_txns_.Size() > 0) {
+    *reply = "-TRYAGAIN staged transactions in flight";
+    return;
+  }
+  std::vector<repl::SnapshotEntry> entries;
+  const bool ok = backend_->SnapshotRecords(
+      [&](const std::string& key, const store::Record& r) {
+        const uint16_t s = cluster::SlotForKey(key);
+        if (s >= req.slot_lo && s <= req.slot_hi) {
+          entries.push_back({key, r});
+        }
+      });
+  if (!ok) {
+    *reply = "-ERR backend does not support snapshots";
+    return;
+  }
+  const uint64_t snap_seq = log_->next_seq() - 1;
+  std::string frame;
+  repl::EncodeSnapshot(snap_seq, entries, &frame);
+  reply->clear();
+  reply->push_back('+');
+  reply->append(frame);
+}
+
+// Catch-up phase: logical ops for the migrating range replayed from the
+// replication log. Scans up to kSlotTailMaxRecords records from req.repl_seq
+// and returns "+<u64 next-cursor><u8 caught_up><batch frame>"; the migrator
+// loops until the cursor passes its barrier seq. A prepare record whose
+// nested writes touch the range is refused with -TXNTAIL: its store effects
+// materialize only at the (later) decision record, so the migrator must
+// wait the txn out and re-snapshot rather than miss the writes.
+void Shard::ExecuteSlotTail(const Request& req, std::string* reply) {
+  constexpr size_t kSlotTailMaxRecords = 256;
+  if (log_ == nullptr || log_->needs_snapshot()) {
+    *reply = "-ERR slot tail needs a sealed replication log";
+    return;
+  }
+  uint64_t seq = req.repl_seq;
+  if (seq < log_->start_seq()) {
+    *reply = "-TAILTRUNC replication log truncated below the cursor";
+    return;
+  }
+  const uint64_t next = log_->next_seq();
+  std::vector<repl::ReplOp> kept;
+  std::string payload;
+  for (size_t scanned = 0; seq < next && scanned < kSlotTailMaxRecords;
+       ++seq, ++scanned) {
+    if (!log_->Read(seq, &payload)) {
+      *reply = "-TAILTRUNC record " + std::to_string(seq) + " unavailable";
+      return;
+    }
+    std::vector<repl::ReplOp> ops;
+    if (!repl::DecodeBatch(payload, &ops)) {
+      continue;  // cannot happen for a checksummed record; be defensive
+    }
+    for (repl::ReplOp& op : ops) {
+      switch (op.kind) {
+        case repl::ReplOp::Kind::kPut:
+        case repl::ReplOp::Kind::kDel:
+        case repl::ReplOp::Kind::kUpdate: {
+          const uint16_t s = cluster::SlotForKey(op.key);
+          if (s >= req.slot_lo && s <= req.slot_hi) {
+            kept.push_back(std::move(op));
+          }
+          break;
+        }
+        case repl::ReplOp::Kind::kTxnPrepare: {
+          std::vector<repl::ReplOp> writes;
+          if (repl::DecodeBatch(op.value, &writes)) {
+            for (const repl::ReplOp& w : writes) {
+              const uint16_t s = cluster::SlotForKey(w.key);
+              if (s >= req.slot_lo && s <= req.slot_hi) {
+                *reply =
+                    "-TXNTAIL transaction writes into the migrating range; "
+                    "re-snapshot after it resolves";
+                return;
+              }
+            }
+          }
+          break;
+        }
+        default:
+          // Commit / abort markers: their store effects always trace back
+          // to a prepare record this scan either saw (and refused) or
+          // proved range-free — skipping them loses nothing.
+          break;
+      }
+    }
+  }
+  std::string bf;
+  repl::EncodeBatch(kept, &bf);
+  reply->clear();
+  reply->push_back('+');
+  for (int i = 0; i < 8; ++i) {
+    reply->push_back(static_cast<char>((seq >> (8 * i)) & 0xff));
+  }
+  reply->push_back(seq >= next ? 1 : 0);
+  reply->append(bf);
+}
+
+// Destination-side import reset: drop every key already in the range so a
+// re-driven migration (crash on either side) starts from a clean import —
+// never a duplicate. The deletes are logged like any other write, so this
+// node's own replicas purge too.
+bool Shard::ExecuteSlotPurge(const Request& req, std::string* reply,
+                             std::vector<repl::ReplOp>* rops) {
+  if (follower()) {
+    if (req.multi != nullptr) {
+      req.multi->Fail(kReadonlyMsg);
+    } else {
+      *reply = std::string("-") + kReadonlyMsg;
+    }
+    return false;
+  }
+  std::vector<std::string> victims;
+  backend_->SnapshotRecords([&](const std::string& key, const store::Record&) {
+    const uint16_t s = cluster::SlotForKey(key);
+    if (s >= req.slot_lo && s <= req.slot_hi) {
+      victims.push_back(key);
+    }
+  });
+  for (const std::string& key : victims) {
+    if (!kv_->Delete(key)) {
+      continue;
+    }
+    SlotDelta(key, -1);
+    if (log_ != nullptr) {
+      repl::ReplOp op;
+      op.kind = repl::ReplOp::Kind::kDel;
+      op.key = key;
+      rops->push_back(std::move(op));
+    }
+  }
+  if (req.multi == nullptr) {
+    *reply = "+PURGED " + std::to_string(victims.size());
+  }
+  return !victims.empty();
+}
+
+// Destination-side import: ops shipped by the source (snapshot entries as
+// kPut, tail replays verbatim) applied through the idempotent apply path —
+// a re-driven handoff re-ships the same ops harmlessly. Re-logged locally:
+// the import is replicated downstream like native writes.
+bool Shard::ExecuteMigApply(const Request& req, std::string* reply,
+                            std::vector<repl::ReplOp>* rops) {
+  if (follower()) {
+    if (req.multi != nullptr) {
+      req.multi->Fail(kReadonlyMsg);
+    } else {
+      AppendErrorCode(reply, kReadonlyMsg);
+    }
+    return false;
+  }
+  bool wrote = false;
+  for (const repl::ReplOp& op : req.mig_ops) {
+    switch (op.kind) {
+      case repl::ReplOp::Kind::kPut:
+        if (kv_->ApplyPut(op.key, op.record)) {
+          SlotDelta(op.key, +1);
+        }
+        wrote = true;
+        break;
+      case repl::ReplOp::Kind::kDel:
+        if (kv_->ApplyDelete(op.key)) {
+          SlotDelta(op.key, -1);
+        }
+        wrote = true;
+        break;
+      case repl::ReplOp::Kind::kUpdate:
+        kv_->ApplyUpdate(op.key, op.field, op.value);
+        wrote = true;
+        break;
+      default:
+        break;  // txn markers never ship through MIGAPPLY
+    }
+  }
+  mig_applied_ops_.fetch_add(req.mig_ops.size(), std::memory_order_relaxed);
+  if (log_ != nullptr && wrote) {
+    for (const repl::ReplOp& op : req.mig_ops) {
+      if (op.kind == repl::ReplOp::Kind::kPut ||
+          op.kind == repl::ReplOp::Kind::kDel ||
+          op.kind == repl::ReplOp::Kind::kUpdate) {
+        rops->push_back(op);
+      }
+    }
+  }
+  if (req.multi == nullptr && req.conn_id != 0) {
+    AppendSimple(reply, "OK");
+  }
+  return wrote;
+}
+
+// ---- Per-slot accounting ------------------------------------------------------
+
+void Shard::SlotDelta(std::string_view key, int d) {
+  const uint16_t s = cluster::SlotForKey(key);
+  std::lock_guard<std::mutex> lk(slot_mu_);
+  if (slot_keys_.empty()) {
+    slot_keys_.assign(cluster::kNumSlots, 0);
+  }
+  if (d >= 0) {
+    slot_keys_[s] += static_cast<uint32_t>(d);
+  } else if (slot_keys_[s] >= static_cast<uint32_t>(-d)) {
+    slot_keys_[s] -= static_cast<uint32_t>(-d);
+  }
+}
+
+void Shard::RebuildSlotCounts() {
+  std::vector<uint32_t> fresh(cluster::kNumSlots, 0);
+  backend_->SnapshotRecords([&](const std::string& key, const store::Record&) {
+    fresh[cluster::SlotForKey(key)]++;
+  });
+  std::lock_guard<std::mutex> lk(slot_mu_);
+  slot_keys_ = std::move(fresh);
+}
+
+uint64_t Shard::KeysInSlotRange(uint32_t lo, uint32_t hi) const {
+  std::lock_guard<std::mutex> lk(slot_mu_);
+  if (slot_keys_.empty()) {
+    return 0;
+  }
+  uint64_t n = 0;
+  for (uint32_t s = lo; s <= hi && s < cluster::kNumSlots; ++s) {
+    n += slot_keys_[s];
+  }
+  return n;
 }
 
 // PROMOTE phase 1: the queue ahead of this op has drained (singleton
@@ -970,7 +1305,11 @@ void Shard::DeliverBatch(std::vector<Request>& batch,
       continue;
     }
     if (req.waiter != nullptr) {
-      req.waiter->Signal(replies[i].empty(), std::move(replies[i]));
+      // Waiter payloads are not RESP: empty or '+…' signals success (the
+      // slot cursors return binary frames through the '+' arm), '-…' is a
+      // failure message.
+      const bool ok = replies[i].empty() || replies[i][0] != '-';
+      req.waiter->Signal(ok, std::move(replies[i]));
       continue;
     }
     if (req.multi != nullptr) {
@@ -987,7 +1326,9 @@ void Shard::DeliverBatch(std::vector<Request>& batch,
           for (Shard* sh : req.multi->promote_shards) {
             sh->MakeWritable();
           }
-          AppendSimple(&c.reply, "OK");
+          AppendSimple(&c.reply, req.multi->ok_reply.empty()
+                                     ? "OK"
+                                     : req.multi->ok_reply);
         }
         sink_->OnCompletion(std::move(c));
       }
@@ -1423,6 +1764,8 @@ ShardStats Shard::Stats() const {
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
   s.elided_fences = rt_->heap().elided_fences();
   s.records = backend_->Size();
+  s.ask_replies = ask_replies_.load(std::memory_order_relaxed);
+  s.mig_applied_ops = mig_applied_ops_.load(std::memory_order_relaxed);
   s.ops = backend_->stats();
   s.cache = kv_->cache_stats();
   s.device = dev_->stats();
@@ -1495,7 +1838,11 @@ ShardReport Shard::Quiesce() {
   rt_->Close();
 
   const std::string image = ImagePathFor(opts_, index_);
-  if (!image.empty()) {
+  if (dev_->mapped()) {
+    // Dax mode: the device IS the file — every store already landed in it.
+    report_.image_saved = true;
+    report_.image_path = DaxPathFor(opts_, index_);
+  } else if (!image.empty()) {
     report_.image_saved = dev_->SaveTo(image);
     report_.image_path = image;
   }

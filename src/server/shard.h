@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cluster/slot_map.h"
 #include "src/core/runtime.h"
 #include "src/nvm/pmem_device.h"
 #include "src/repl/frame.h"
@@ -75,6 +76,12 @@ struct ShardOptions {
   // When non-empty, shard i persists its device to "<image_base>.shard<i>.img"
   // on Quiesce, and Open() recovers from that file if it exists.
   std::string image_base;
+  // When non-empty, shard i's device is an mmap'd MAP_SHARED file
+  // "<dax_base>.shard<i>.pmem" (PmemDevice::MapFile): every store is a
+  // store into the kernel page cache, so the state survives `kill -9`
+  // without a Quiesce — the cluster CI job's crash model. Takes precedence
+  // over image_base; incompatible with the strict crash-emulation mode.
+  std::string dax_base;
   // Optane-like latency model on the device (benchmarks); off for tests.
   bool optane_latency = false;
   // When non-zero, overrides the device's per-fence cost (with the other
@@ -160,6 +167,16 @@ struct Request {
     kTxnAbortMark, // drop staged writes + seal an explicit kTxnAbort marker
     kTxnRepair,    // promote repair: stage writes from a decision record
                    // (value = writes frame) and commit them in one record
+    // Cluster plane (DESIGN.md §10). The three slot cursors are internal
+    // control ops (singleton batches, waiter rendezvous); kMigApply is the
+    // destination-side import write and batches like any other write.
+    kSlotSnap,     // snapshot of keys in slots [slot_lo, slot_hi]; the
+                   // waiter payload is "+<snapshot frame>"
+    kSlotTail,     // slot-filtered replication-log scan from repl_seq; the
+                   // waiter payload is "+<u64 next><u8 caught_up><batch>"
+    kSlotPurge,    // drop every key in [slot_lo, slot_hi] (import reset)
+    kMigApply,     // apply mig_ops shipped by a migration source; the ops
+                   // are re-logged locally so this node's replicas see them
   };
   Op op = Op::kGet;
   std::string key;
@@ -169,6 +186,18 @@ struct Request {
   // Session token for kGet/kTouch (MINSEQ): the read may only execute once
   // the shard's applied watermark reaches it. 0 = no session constraint.
   uint64_t min_seq = 0;
+
+  // ---- Cluster plane (DESIGN.md §10) ---------------------------------------
+  // Inclusive slot range for kSlotSnap / kSlotTail / kSlotPurge.
+  uint16_t slot_lo = 0;
+  uint16_t slot_hi = 0;
+  // Set by the event loop on single-key ops whose slot is MIGRATING away:
+  // "<slot> <host:port>". A key miss then answers -ASK instead of executing
+  // — the key has already moved (or never existed) and the destination is
+  // the authority for it.
+  std::string ask_addr;
+  // kMigApply payload: decoded ops shipped by the migration source.
+  std::vector<repl::ReplOp> mig_ops;
 
   // Completion routing (opaque to the shard). conn_id == 0 → internal
   // request, no completion is emitted.
@@ -198,6 +227,8 @@ struct MultiOp {
   std::atomic<uint32_t> failures{0};
   std::mutex err_mu;
   std::string error;  // first failure's message (RESP code included)
+  // Joined success reply; empty → "+OK". MIGSTART joins as "+IMPORTING".
+  std::string ok_reply;
 
   // Two-phase PROMOTE: audits run on every shard first (phase 1, recorded
   // through the failure funnel); only the joining part — all audits passed —
@@ -328,6 +359,10 @@ struct ShardStats {
   uint64_t max_batch = 0;
   uint64_t elided_fences = 0;
   uint64_t records = 0;
+  // Cluster plane: -ASK redirects this shard answered (key miss during a
+  // MIGRATING phase) and ops imported through kMigApply.
+  uint64_t ask_replies = 0;
+  uint64_t mig_applied_ops = 0;
   store::OpStats ops;
   store::CacheStats cache;
   nvm::DeviceStats device;
@@ -417,6 +452,12 @@ class Shard {
   // Thread-safe counters snapshot (STATS command; no queue round-trip).
   ShardStats Stats() const;
 
+  // Keys this shard holds whose slot falls in [lo, hi] — per-slot
+  // accounting maintained at every mutation point (and rebuilt after a
+  // snapshot install). Thread-safe; the migrator sizes its copy phase and
+  // CLUSTER INFO reports residual keys from it.
+  uint64_t KeysInSlotRange(uint32_t lo, uint32_t hi) const;
+
   // ---- Transaction plane (DESIGN.md §9) -----------------------------------
   // This shard's view for cross-shard resolution planning (recovery after
   // all shards opened, and the PROMOTE hook): staged-undecided txns, the
@@ -446,6 +487,14 @@ class Shard {
   void ExecuteReplSnap(std::string* reply);
   bool ExecuteSnapInstall(const Request& req, std::string* error);
   void ExecutePromote(const Request& req, std::string* reply);
+  // Cluster plane: slot cursors (waiter payloads: "+…" ok, "-…" error) and
+  // the destination-side import ops.
+  void ExecuteSlotSnap(const Request& req, std::string* reply);
+  void ExecuteSlotTail(const Request& req, std::string* reply);
+  bool ExecuteSlotPurge(const Request& req, std::string* reply,
+                        std::vector<repl::ReplOp>* rops);
+  bool ExecuteMigApply(const Request& req, std::string* reply,
+                       std::vector<repl::ReplOp>* rops);
   void DeliverBatch(std::vector<Request>& batch, std::vector<std::string>& replies);
   void StreamToSubscribers(uint64_t first_seq, uint64_t last_seq);
   void RedoLogTail(txn::LogScanResult* scan);
@@ -509,6 +558,12 @@ class Shard {
   void RecomputeSyncedLocked();
   void NotifySealHook(uint64_t sealed_seq);
 
+  // ---- Per-slot accounting (cluster plane) ---------------------------------
+  // slot_keys_[s] = live keys in slot s. The worker adjusts it wherever the
+  // store changes shape; Stats/KeysInSlotRange read it under slot_mu_.
+  void SlotDelta(std::string_view key, int d);
+  void RebuildSlotCounts();
+
   uint32_t index_ = 0;
   ShardOptions opts_;
   CompletionSink* sink_ = nullptr;
@@ -529,6 +584,12 @@ class Shard {
   std::atomic<bool> repl_needs_snapshot_{false};
   std::atomic<uint64_t> stream_frames_{0};       // frames serialized (once/batch)
   std::atomic<uint64_t> stream_frame_bytes_{0};  // bytes serialized, pre-fan-out
+
+  // ---- Cluster plane --------------------------------------------------------
+  mutable std::mutex slot_mu_;
+  std::vector<uint32_t> slot_keys_;  // per-slot live-key counts
+  std::atomic<uint64_t> ask_replies_{0};
+  std::atomic<uint64_t> mig_applied_ops_{0};
 
   // ---- Transaction state (DESIGN.md §9) -----------------------------------
   // Prepared-but-undecided txns (worker mutates; event loop reads for

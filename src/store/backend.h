@@ -44,11 +44,14 @@ class Backend {
   virtual std::string name() const = 0;
   virtual size_t Size() = 0;
 
-  // Insert-or-replace.
-  void Put(const std::string& key, const Record& r) {
+  // Insert-or-replace; true when the key was newly inserted (false =
+  // replaced). The signal feeds the server's per-slot key accounting
+  // (DESIGN.md §10) — a slot migration needs to know how many keys a slot
+  // holds without scanning the whole store.
+  bool Put(const std::string& key, const Record& r) {
     puts_.fetch_add(1, std::memory_order_relaxed);
     bytes_written_.fetch_add(r.TotalBytes(), std::memory_order_relaxed);
-    DoPut(key, r);
+    return DoPut(key, r);
   }
 
   // Returns false when absent.
@@ -123,7 +126,8 @@ class Backend {
   }
 
  protected:
-  virtual void DoPut(const std::string& key, const Record& r) = 0;
+  // Returns true when the key was newly inserted.
+  virtual bool DoPut(const std::string& key, const Record& r) = 0;
   virtual bool DoGet(const std::string& key, Record* out) = 0;
   virtual bool DoUpdateField(const std::string& key, size_t field,
                              const std::string& value) = 0;

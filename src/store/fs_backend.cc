@@ -44,7 +44,7 @@ void FsBackend::WriteExtent(const Extent& e, const std::string& key,
   fs_->Fsync();
 }
 
-void FsBackend::DoPut(const std::string& key, const Record& r) {
+bool FsBackend::DoPut(const std::string& key, const Record& r) {
   std::string image;
   MarshalRecord(r, &image);  // the conversion cost (Figure 8)
   SpinFor(ser_.MarshalNs(r.fields.size(), image.size()));
@@ -55,7 +55,7 @@ void FsBackend::DoPut(const std::string& key, const Record& r) {
   if (it != index_.end() && it->second.capacity >= need) {
     it->second.len = need;
     WriteExtent(it->second, key, image);
-    return;
+    return false;
   }
   Extent e;
   e.len = need;
@@ -68,9 +68,10 @@ void FsBackend::DoPut(const std::string& key, const Record& r) {
     fs_->Fsync();
     free_extents_.emplace(it->second.capacity, it->second.off);
     it->second = e;
-  } else {
-    index_.emplace(key, e);
+    return false;
   }
+  index_.emplace(key, e);
+  return true;
 }
 
 bool FsBackend::DoGet(const std::string& key, Record* out) {

@@ -40,7 +40,7 @@ class FsBackend final : public Backend {
   std::vector<std::string> Keys();
 
  protected:
-  void DoPut(const std::string& key, const Record& r) override;
+  bool DoPut(const std::string& key, const Record& r) override;
   bool DoGet(const std::string& key, Record* out) override;
   bool DoUpdateField(const std::string& key, size_t field,
                      const std::string& value) override;

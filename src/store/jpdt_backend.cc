@@ -16,10 +16,10 @@ JpdtBackend::JpdtBackend(core::JnvmRuntime* rt, const std::string& root_name,
   map_->SetCaching(pdt::ProxyCaching::kCached);
 }
 
-void JpdtBackend::DoPut(const std::string& key, const Record& r) {
+bool JpdtBackend::DoPut(const std::string& key, const Record& r) {
   PRecord rec(*rt_, r);
   // The map validates, fences and publishes (and frees a replaced value).
-  map_->Put(key, &rec);
+  return map_->Put(key, &rec);
 }
 
 bool JpdtBackend::DoGet(const std::string& key, Record* out) {

@@ -14,14 +14,14 @@ JpfaBackend::JpfaBackend(core::JnvmRuntime* rt, const std::string& root_name,
   map_->SetCaching(pdt::ProxyCaching::kCached);
 }
 
-void JpfaBackend::DoPut(const std::string& key, const Record& r) {
+bool JpfaBackend::DoPut(const std::string& key, const Record& r) {
   // The whole operation — record allocation, key allocation, publication —
   // is one failure-atomic block, as the generator would emit for a
   // @Persistent(fa="non-private") store class (§2.5).
   std::lock_guard<std::mutex> lk(op_mu_);
   core::FaBlock fa(*rt_);
   PRecord rec(*rt_, r);
-  map_->Put(key, &rec);
+  return map_->Put(key, &rec);
 }
 
 bool JpfaBackend::DoGet(const std::string& key, Record* out) {

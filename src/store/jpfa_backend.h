@@ -27,7 +27,7 @@ class JpfaBackend final : public Backend {
   pdt::PStringHashMap& map() { return *map_; }
 
  protected:
-  void DoPut(const std::string& key, const Record& r) override;
+  bool DoPut(const std::string& key, const Record& r) override;
   bool DoGet(const std::string& key, Record* out) override;
   bool DoUpdateField(const std::string& key, size_t field,
                      const std::string& value) override;

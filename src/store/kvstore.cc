@@ -140,16 +140,17 @@ bool KvStore::ReadTouch(const std::string& key) {
   return backend_->Touch(key);
 }
 
-void KvStore::Insert(const std::string& key, const Record& r) {
+bool KvStore::Insert(const std::string& key, const Record& r) {
   std::lock_guard<std::mutex> lk(StripeFor(key));
-  backend_->Put(key, r);  // write-through
+  const bool inserted = backend_->Put(key, r);  // write-through
   if (cache_enabled()) {
     std::lock_guard<std::mutex> clk(cache_mu_);
     CacheInsertLocked(key, r);
   }
+  return inserted;
 }
 
-void KvStore::Put(const std::string& key, const Record& r) { Insert(key, r); }
+bool KvStore::Put(const std::string& key, const Record& r) { return Insert(key, r); }
 
 bool KvStore::Update(const std::string& key, size_t field, const std::string& value) {
   std::lock_guard<std::mutex> lk(StripeFor(key));
@@ -173,12 +174,13 @@ bool KvStore::Delete(const std::string& key) {
   return ok;
 }
 
-void KvStore::ApplyPut(const std::string& key, const Record& r) {
-  backend_->Put(key, r);
+bool KvStore::ApplyPut(const std::string& key, const Record& r) {
+  const bool inserted = backend_->Put(key, r);
   if (cache_enabled()) {
     std::lock_guard<std::mutex> clk(cache_mu_);
     CacheEraseLocked(key);
   }
+  return inserted;
 }
 
 bool KvStore::ApplyUpdate(const std::string& key, size_t field,

@@ -51,9 +51,10 @@ class KvStore {
   // proxy instead of materializing the record; cache-fronted backends
   // behave exactly like Read.
   bool ReadTouch(const std::string& key);
-  void Insert(const std::string& key, const Record& r);
-  // Full-record replace.
-  void Put(const std::string& key, const Record& r);
+  // Insert-or-replace; true when the key was newly inserted.
+  bool Insert(const std::string& key, const Record& r);
+  // Full-record replace (same insert signal as Insert).
+  bool Put(const std::string& key, const Record& r);
   // Field-granular update (the YCSB update op).
   bool Update(const std::string& key, size_t field, const std::string& value);
   bool Delete(const std::string& key);
@@ -66,7 +67,7 @@ class KvStore {
   // cache entries (when enabled) are invalidated, not re-rendered, since a
   // follower's cache is read-driven. Idempotent: frames carry state-setting
   // operations, so re-applying after a crash or resync converges.
-  void ApplyPut(const std::string& key, const Record& r);
+  bool ApplyPut(const std::string& key, const Record& r);
   bool ApplyUpdate(const std::string& key, size_t field, const std::string& value);
   bool ApplyDelete(const std::string& key);
 

@@ -58,7 +58,7 @@ std::string PcjBackend::ReadValue(nvm::Offset entry) {
   return value;
 }
 
-void PcjBackend::DoPut(const std::string& key, const Record& r) {
+bool PcjBackend::DoPut(const std::string& key, const Record& r) {
   std::lock_guard<std::mutex> lk(jvm_mu_);
   // One crossing for the call, one per field handed to the native side.
   ChargeJni(1 + 2 * static_cast<uint32_t>(r.fields.size()));  // handle + cell per field
@@ -75,7 +75,7 @@ void PcjBackend::DoPut(const std::string& key, const Record& r) {
     pool_->WriteT<uint32_t>(existing + kVlenOff, static_cast<uint32_t>(image.size()));
     pool_->Write(existing + kDataOff + klen, image.data(), image.size());
     pool_->TxCommit();
-    return;
+    return false;
   }
   // Allocate a fresh entry and link it at the bucket head.
   const size_t bytes = kDataOff + key.size() + image.size();
@@ -98,6 +98,7 @@ void PcjBackend::DoPut(const std::string& key, const Record& r) {
   }
   pool_->TxCommit();
   ++size_;
+  return existing == 0;
 }
 
 bool PcjBackend::DoGet(const std::string& key, Record* out) {

@@ -41,7 +41,7 @@ class PcjBackend final : public Backend {
   uint64_t jni_crossings() const { return crossings_; }
 
  protected:
-  void DoPut(const std::string& key, const Record& r) override;
+  bool DoPut(const std::string& key, const Record& r) override;
   bool DoGet(const std::string& key, Record* out) override;
   bool DoUpdateField(const std::string& key, size_t field,
                      const std::string& value) override;

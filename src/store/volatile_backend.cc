@@ -19,17 +19,20 @@ gcsim::ObjRef VolatileBackend::MakeRecordNode(const Record& r) {
   return heap_->AllocGraph(64, child_bytes, copy, &DeleteRecord);
 }
 
-void VolatileBackend::DoPut(const std::string& key, const Record& r) {
+bool VolatileBackend::DoPut(const std::string& key, const Record& r) {
   const gcsim::ObjRef node = MakeRecordNode(r);
   std::lock_guard<std::mutex> lk(mu_);
   auto it = index_.find(key);
+  bool inserted = false;
   if (it != index_.end()) {
     heap_->RemoveRoot(it->second);  // old record becomes garbage
     it->second = node;
   } else {
     index_.emplace(key, node);
+    inserted = true;
   }
   heap_->AddRoot(node);
+  return inserted;
 }
 
 bool VolatileBackend::DoGet(const std::string& key, Record* out) {

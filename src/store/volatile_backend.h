@@ -26,7 +26,7 @@ class VolatileBackend final : public Backend {
   size_t Size() override;
 
  protected:
-  void DoPut(const std::string& key, const Record& r) override;
+  bool DoPut(const std::string& key, const Record& r) override;
   bool DoGet(const std::string& key, Record* out) override;
   bool DoUpdateField(const std::string& key, size_t field,
                      const std::string& value) override;

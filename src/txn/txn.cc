@@ -58,19 +58,19 @@ struct Cursor {
   bool Done() const { return off == in.size(); }
 };
 
-void ApplyOneWrite(store::KvStore* kv, const repl::ReplOp& op) {
+// Returns whether the store changed shape: kPut that inserted a fresh key,
+// kDel that removed one. Updates rewrite in place and report false.
+bool ApplyOneWrite(store::KvStore* kv, const repl::ReplOp& op) {
   switch (op.kind) {
     case repl::ReplOp::Kind::kPut:
-      kv->ApplyPut(op.key, op.record);
-      break;
+      return kv->ApplyPut(op.key, op.record);
     case repl::ReplOp::Kind::kDel:
-      kv->ApplyDelete(op.key);
-      break;
+      return kv->ApplyDelete(op.key);
     case repl::ReplOp::Kind::kUpdate:
       kv->ApplyUpdate(op.key, op.field, op.value);
-      break;
+      return false;
     default:
-      break;  // txn kinds never nest inside a staged-writes frame
+      return false;  // txn kinds never nest inside a staged-writes frame
   }
 }
 
@@ -303,23 +303,31 @@ void ReplayRecordOps(core::JnvmRuntime* rt, store::KvStore* kv,
   }
 }
 
-void ApplyStagedWrites(core::JnvmRuntime* rt, store::KvStore* kv,
-                       const std::vector<repl::ReplOp>& writes) {
+void ApplyStagedWrites(
+    core::JnvmRuntime* rt, store::KvStore* kv,
+    const std::vector<repl::ReplOp>& writes,
+    const std::function<void(const repl::ReplOp&, bool)>& observe) {
+  const auto apply = [&](const repl::ReplOp& op) {
+    const bool changed = ApplyOneWrite(kv, op);
+    if (observe) {
+      observe(op, changed);
+    }
+  };
   if (rt == nullptr) {
-    for (const repl::ReplOp& op : writes) ApplyOneWrite(kv, op);
+    for (const repl::ReplOp& op : writes) apply(op);
     return;
   }
   const uint64_t cap = rt->FaLogCapacity();
   if (writes.size() * kFaEntriesPerWrite <= cap) {
     core::FaBlock fa(*rt);
-    for (const repl::ReplOp& op : writes) ApplyOneWrite(kv, op);
+    for (const repl::ReplOp& op : writes) apply(op);
   } else {
     // The txn outgrows one J-PFA redo-log slot: apply per-write blocks;
     // cross-write atomicity still holds through redo replay of the sealed
     // prepare record at recovery.
     for (const repl::ReplOp& op : writes) {
       core::FaBlock fa(*rt);
-      ApplyOneWrite(kv, op);
+      apply(op);
     }
   }
 }

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -167,9 +168,13 @@ void ReplayRecordOps(core::JnvmRuntime* rt, store::KvStore* kv,
 // can hold the whole txn (an entry budget per write, against the capacity
 // the runtime reports), else one block per write — cross-write atomicity is
 // then still guaranteed by redo replay of the prepare record at recovery.
-// Idempotent. `rt` may be null (plain apply, no FA mediation).
-void ApplyStagedWrites(core::JnvmRuntime* rt, store::KvStore* kv,
-                       const std::vector<repl::ReplOp>& writes);
+// Idempotent. `rt` may be null (plain apply, no FA mediation). `observe`,
+// when set, is called per write with whether the store changed shape
+// (kPut inserted / kDel removed) — the shard's per-slot accounting hook.
+void ApplyStagedWrites(
+    core::JnvmRuntime* rt, store::KvStore* kv,
+    const std::vector<repl::ReplOp>& writes,
+    const std::function<void(const repl::ReplOp&, bool)>& observe = {});
 
 // ---- Recovery / promote resolution -----------------------------------------
 

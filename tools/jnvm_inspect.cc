@@ -23,7 +23,9 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <vector>
 
+#include "src/cluster/meta.h"
 #include "src/core/integrity.h"
 #include "src/pdt/register_all.h"
 #include "src/pfa/fa_log.h"
@@ -66,6 +68,57 @@ void PrintCensus(heap::Heap& h) {
   }
 }
 
+// When the image holds a cluster meta root (a cluster node's slot table),
+// print the persisted ownership runs, epoch and migration record — the
+// ground truth a restarted node will route by (DESIGN.md §10).
+void PrintClusterMeta(core::JnvmRuntime& rt, bool summary) {
+  if (!rt.root().Exists(cluster::ClusterState::RootName())) {
+    return;
+  }
+  auto meta = rt.root().GetAs<cluster::ClusterMetaRoot>(
+      cluster::ClusterState::RootName());
+  if (meta == nullptr) {
+    std::printf("  cluster   : root binding present but unresolvable\n");
+    return;
+  }
+  const char* pad = summary ? "  " : "";
+  std::printf("%scluster   : epoch=%" PRIu64 " self=%u nodes=%u\n", pad,
+              meta->Epoch(), meta->Self(), meta->NodeCount());
+  for (uint32_t i = 0; i < meta->NodeCount(); ++i) {
+    const std::string addr = meta->NodeAddr(i);
+    std::printf("%s    node%u : %s\n", pad, i,
+                addr.empty() ? "?" : addr.c_str());
+  }
+  // Slot table as contiguous runs (16384 individual lines help nobody).
+  std::vector<uint16_t> owners(cluster::kNumSlots);
+  meta->ReadOwners(owners.data());
+  uint16_t run_owner = owners[0];
+  uint32_t run_lo = 0;
+  const auto flush = [&](uint32_t end_exclusive) {
+    if (run_owner == cluster::kNoOwner) {
+      std::printf("%s    slots %5u-%-5u unassigned\n", pad, run_lo,
+                  end_exclusive - 1);
+    } else {
+      std::printf("%s    slots %5u-%-5u -> node %u\n", pad, run_lo,
+                  end_exclusive - 1, run_owner);
+    }
+  };
+  for (uint32_t s = 1; s < cluster::kNumSlots; ++s) {
+    if (owners[s] != run_owner) {
+      flush(s);
+      run_owner = owners[s];
+      run_lo = s;
+    }
+  }
+  flush(cluster::kNumSlots);
+  static const char* kStates[] = {"none", "migrating", "importing", "handoff"};
+  const uint32_t st = meta->MigState();
+  if (st != 0 && st < 4) {
+    std::printf("%s    migration: %s lo=%u hi=%u peer=%u\n", pad, kStates[st],
+                meta->MigLo(), meta->MigHi(), meta->MigPeer());
+  }
+}
+
 // One image, one paragraph: enough to see at a glance whether a shard image
 // is healthy, how full it is, and whether any FA log was left mid-flight.
 int PrintSummary(const char* path, nvm::PmemDevice* dev,
@@ -95,6 +148,7 @@ int PrintSummary(const char* path, nvm::PmemDevice* dev,
               " block(s) swept\n",
               rep.replay.replayed_logs, rep.replay.aborted_logs,
               rep.sweep.freed_blocks);
+  PrintClusterMeta(*rt, /*summary=*/true);
   std::printf("  integrity : %s\n", report.Summary().c_str());
   rt->Abandon();
   return report.ok() ? 0 : 2;
@@ -128,8 +182,29 @@ int main(int argc, char** argv) {
   tpcb::PAccount::Class();
   repl::ReplLogRoot::Class();
   repl::ReplLogSegment::Class();
+  cluster::ClusterMetaRoot::Class();
 
   auto dev = nvm::PmemDevice::LoadFrom(path);
+  if (dev == nullptr) {
+    // Not a SaveTo image — try a raw dax region (cluster fleet mode maps
+    // files headerless). The bytes are copied into a volatile device so the
+    // inspection, including its recovery pass, never touches the file.
+    std::FILE* f = std::fopen(path, "rb");
+    if (f != nullptr) {
+      std::fseek(f, 0, SEEK_END);
+      const long sz = std::ftell(f);
+      std::fseek(f, 0, SEEK_SET);
+      if (sz > 0) {
+        nvm::DeviceOptions dopts;
+        dopts.size_bytes = static_cast<size_t>(sz);
+        auto raw = std::make_unique<nvm::PmemDevice>(dopts);
+        if (std::fread(raw->raw(), 1, dopts.size_bytes, f) == dopts.size_bytes) {
+          dev = std::move(raw);
+        }
+      }
+      std::fclose(f);
+    }
+  }
   if (dev == nullptr) {
     std::fprintf(stderr, "jnvm_inspect: %s is not a device image\n", path);
     return 1;
@@ -176,6 +251,8 @@ int main(int argc, char** argv) {
   for (const std::string& key : rt->root().Keys()) {
     std::printf("  %s\n", key.c_str());
   }
+  std::printf("\n");
+  PrintClusterMeta(*rt, /*summary=*/false);
   rt->Abandon();  // inspection must not alter the on-disk image
   return report.ok() ? 0 : 2;
 }

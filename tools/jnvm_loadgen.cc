@@ -8,7 +8,27 @@
 //                [--read-from=primary|replica] [--read-endpoints=H:P,...]
 //                [--consistency=none|session] [--shards=N] [--allow-stale]
 //                [--ycsb=b|c] [--txn=K] [--cross-shard-pct=P] [--txn-verify]
-//                [--allow-disconnect]
+//                [--allow-disconnect] [--cluster[=H:P,...]]
+//                [--cluster-nodes=H:P,...] [--cluster-verify]
+//
+// ---- Cluster mode (DESIGN.md §10) ------------------------------------------
+// --cluster switches every thread to a redirect-following ClusterClient
+// seeded from --host/--port (or the given seed list). Writes stay on a
+// thread's own slice of the key space (key k belongs to thread k mod
+// --threads, so each key has exactly one writer and its acked values are
+// totally ordered); reads roam the whole space. -MOVED/-ASK/-TRYAGAIN
+// replies are followed inside the client and counted in the summary — the
+// loop itself never sees a redirect, which is how a run *sustains* writes
+// across a live resharding.
+//
+// --cluster-verify sweeps every key after the loop: the routed GET must
+// return the last value this run acked for the key (a deterministic
+// "<k>:<version>:" stamp, so a separate --readonly --ops=0 verify run can
+// still type-check values it did not write), and a direct probe of every
+// node (--cluster-nodes, defaulting to the owners advertised by CLUSTER
+// SLOTS) must find the key served by EXACTLY one node with every other
+// node answering an explicit -MOVED/-ASK redirect. A value or a nil from a
+// second node is the wrong-node silent success the routing layer forbids.
 //
 // ---- Transactions (DESIGN.md §9) ------------------------------------------
 // --txn=K switches every thread to MULTI/EXEC batches of K SETs. The key
@@ -66,16 +86,19 @@
 // (threads barrier between the preload and the read phase so no thread
 // reads a slice another thread has not preloaded yet).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/cluster/cluster_client.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
 #include "src/common/rand.h"
@@ -120,6 +143,12 @@ struct Config {
   uint32_t cross_shard_pct = 50; // % of groups that span shards
   bool txn_verify = false;       // all-or-nothing sweep over every group
   bool allow_disconnect = false; // I/O failure = quiet stop, not an error
+
+  // Cluster mode (--cluster; see header comment).
+  bool cluster = false;
+  std::vector<std::string> cluster_seeds;  // defaults to host:port
+  std::vector<std::string> cluster_nodes;  // probe list for --cluster-verify
+  bool cluster_verify = false;  // exactly-once sweep over every key
 };
 
 // Spin barrier between the preload and the read phase: with session reads
@@ -151,6 +180,11 @@ struct ThreadResult {
   uint64_t txn_commits = 0;    // EXEC answered with its reply array
   uint64_t txn_aborts = 0;     // EXEC answered -TXNABORT (nothing applied)
   uint64_t txn_groups = 0;     // groups checked by --txn-verify
+  uint64_t moved_redirects = 0;    // -MOVED replies followed (cluster mode)
+  uint64_t ask_redirects = 0;      // -ASK replies followed
+  uint64_t tryagain_retries = 0;   // -TRYAGAIN waits (frozen handoff)
+  uint64_t slot_refreshes = 0;     // CLUSTER SLOTS table refreshes
+  uint64_t cluster_keys = 0;       // keys passing the exactly-once sweep
   std::string error_msg;
 };
 
@@ -489,6 +523,232 @@ void TxnWorker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
   }
 }
 
+// ---- Cluster mode (--cluster) ---------------------------------------------
+
+// Folds the redirect counters into the thread result on every exit path —
+// a failed run still reports how many hops it took to fail.
+struct ClusterStatsGuard {
+  jnvm::cluster::ClusterClient* cc;
+  ThreadResult* res;
+  ~ClusterStatsGuard() {
+    if (cc == nullptr) {
+      return;
+    }
+    const auto& s = cc->stats();
+    res->moved_redirects += s.moved_redirects;
+    res->ask_redirects += s.ask_redirects;
+    res->tryagain_retries += s.tryagain_retries;
+    res->slot_refreshes += s.slot_refreshes;
+  }
+};
+
+// Direct single-node GET for the exactly-once sweep. Retries -TRYAGAIN (a
+// frozen handoff that has not flipped yet) with a bounded wait; every other
+// outcome is returned to the caller for judgement.
+bool ProbeNode(std::map<std::string, std::unique_ptr<jnvm::server::Client>>&
+                   direct,
+               const std::string& addr, const std::string& key,
+               jnvm::server::RespReply* reply, std::string* err) {
+  auto it = direct.find(addr);
+  if (it == direct.end()) {
+    const size_t colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+      *err = "bad node address: " + addr;
+      return false;
+    }
+    std::string cerr;
+    auto c = jnvm::server::Client::Connect(
+        addr.substr(0, colon),
+        static_cast<uint16_t>(std::atoi(addr.c_str() + colon + 1)), &cerr);
+    if (c == nullptr) {
+      *err = "connect " + addr + ": " + cerr;
+      return false;
+    }
+    it = direct.emplace(addr, std::move(c)).first;
+  }
+  for (uint32_t attempt = 0; attempt < 500; ++attempt) {
+    if (!it->second->Roundtrip({"GET", key}, reply)) {
+      *err = "probe " + addr + ": " + it->second->last_error();
+      direct.erase(it);
+      return false;
+    }
+    if (reply->type == jnvm::server::RespReply::Type::kError &&
+        reply->str.rfind("TRYAGAIN", 0) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    return true;
+  }
+  *err = "probe " + addr + ": slot frozen too long";
+  return false;
+}
+
+void ClusterWorker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
+                   std::atomic<bool>* failed, ThreadResult* res) {
+  jnvm::cluster::ClusterClientOptions copts;
+  copts.seeds = cfg.cluster_seeds;
+  std::string err;
+  auto cc = jnvm::cluster::ClusterClient::Connect(copts, &err);
+  if (cc == nullptr) {
+    res->errors++;
+    res->error_msg = "cluster connect: " + err;
+    failed->store(true);
+    return;
+  }
+  ClusterStatsGuard guard{cc.get(), res};
+  auto fail = [&](const std::string& what) {
+    res->errors++;
+    res->error_msg = what;
+    failed->store(true);
+  };
+  // I/O failure mid-run (the CI kill scenario): stop quietly, skip verify —
+  // the judgement run happens against the recovered fleet.
+  auto op_fail = [&](const std::string& what) {
+    if (!cfg.allow_disconnect) {
+      fail(what + ": " + cc->last_error());
+    }
+  };
+
+  // Last value each of this thread's keys was acked with: the loop's own
+  // loss oracle for the verify sweep. Single writer per key (k ≡ tid mod
+  // threads), so "last acked" is well defined.
+  std::map<uint64_t, std::string> acked;
+  const uint64_t slice = (cfg.keys + cfg.threads - 1) / cfg.threads;
+
+  if (cfg.preload) {
+    for (uint64_t k = tid; k < cfg.keys; k += cfg.threads) {
+      const std::string v = ValueFor(k, 0, cfg.value_size);
+      if (!cc->Set(KeyName(k), v)) {
+        op_fail("preload " + KeyName(k));
+        return;
+      }
+      acked[k] = v;
+      res->writes++;
+    }
+  }
+
+  jnvm::Xorshift rng(cfg.seed + tid);
+  uint64_t version = 1;
+  for (uint64_t done = 0; done < cfg.ops_per_thread; ++done) {
+    if (deadline_ns != 0 && jnvm::NowNs() >= deadline_ns) {
+      break;
+    }
+    if (failed->load(std::memory_order_relaxed)) {
+      return;
+    }
+    const bool read = cfg.readonly || rng.NextDouble() < cfg.read_ratio;
+    if (read) {
+      const uint64_t k = rng.NextBelow(cfg.keys);
+      const uint64_t t0 = jnvm::NowNs();
+      const auto v = cc->Get(KeyName(k));
+      res->read_lat.Record(jnvm::NowNs() - t0);
+      res->reads++;
+      if (!v.has_value()) {
+        if (!cc->last_error().empty()) {
+          op_fail("get " + KeyName(k));
+          return;
+        }
+        res->misses++;
+      } else if (v->rfind(std::to_string(k) + ":", 0) != 0) {
+        // A value stamped for a different key: the routing layer handed the
+        // read to a node that served someone else's slot.
+        fail("ROUTING VIOLATION " + KeyName(k) + ": foreign value '" + *v +
+             "'");
+        return;
+      }
+    } else {
+      uint64_t k = tid + cfg.threads * rng.NextBelow(slice);
+      if (k >= cfg.keys) {
+        k = tid % cfg.keys;
+      }
+      const std::string v = ValueFor(k, version++, cfg.value_size);
+      const uint64_t t0 = jnvm::NowNs();
+      if (!cc->Set(KeyName(k), v)) {
+        op_fail("set " + KeyName(k));
+        return;
+      }
+      res->write_lat.Record(jnvm::NowNs() - t0);
+      res->writes++;
+      acked[k] = v;
+    }
+  }
+
+  if (!cfg.cluster_verify || failed->load(std::memory_order_relaxed)) {
+    return;
+  }
+  // The exactly-once sweep. Refresh the table first — the whole point is to
+  // judge the post-resharding state, not the table the run started with.
+  cc->RefreshSlots();
+  std::vector<std::string> nodes = cfg.cluster_nodes;
+  if (nodes.empty()) {
+    for (uint32_t s = 0; s < jnvm::cluster::kNumSlots; ++s) {
+      const std::string owner = cc->CachedOwner(static_cast<uint16_t>(s));
+      if (!owner.empty() &&
+          std::find(nodes.begin(), nodes.end(), owner) == nodes.end()) {
+        nodes.push_back(owner);
+      }
+    }
+  }
+  std::map<std::string, std::unique_ptr<jnvm::server::Client>> direct;
+  for (uint64_t k = tid; k < cfg.keys; k += cfg.threads) {
+    const std::string key = KeyName(k);
+    const auto routed = cc->Get(key);
+    if (!routed.has_value()) {
+      fail("LOST KEY " + key + (cc->last_error().empty()
+                                    ? " (nil through the router)"
+                                    : ": " + cc->last_error()));
+      return;
+    }
+    const auto it = acked.find(k);
+    if (it != acked.end() && *routed != it->second) {
+      fail("LOST WRITE " + key + ": acked '" + it->second + "' but read '" +
+           *routed + "'");
+      return;
+    }
+    if (routed->rfind(std::to_string(k) + ":", 0) != 0) {
+      fail("VERIFY " + key + ": foreign value '" + *routed + "'");
+      return;
+    }
+    uint32_t serving = 0;
+    for (const std::string& addr : nodes) {
+      jnvm::server::RespReply r;
+      if (!ProbeNode(direct, addr, key, &r, &err)) {
+        fail(err);
+        return;
+      }
+      if (r.type == jnvm::server::RespReply::Type::kBulk) {
+        ++serving;
+        if (r.str != *routed) {
+          fail("DIVERGED KEY " + key + " at " + addr + ": '" + r.str +
+               "' vs routed '" + *routed + "'");
+          return;
+        }
+      } else if (r.type == jnvm::server::RespReply::Type::kError &&
+                 (r.str.rfind("MOVED ", 0) == 0 ||
+                  r.str.rfind("ASK ", 0) == 0)) {
+        // Explicit redirect: the one acceptable answer from a non-owner.
+      } else if (r.type == jnvm::server::RespReply::Type::kNil) {
+        // A nil means the node RAN the read without owning the slot (an
+        // owner holding the key answers the value; a non-owner must
+        // redirect): the wrong-node silent success the sweep exists for.
+        fail("SILENT WRONG-NODE SERVE " + key + " at " + addr +
+             ": nil instead of a redirect");
+        return;
+      } else {
+        fail("probe " + key + " at " + addr + ": unexpected reply '" + r.str +
+             "'");
+        return;
+      }
+    }
+    if (serving != 1) {
+      fail("EXACTLY-ONCE VIOLATION " + key + ": served by " +
+           std::to_string(serving) + " node(s)");
+      return;
+    }
+    res->cluster_keys++;
+  }
+}
+
 void Worker(const Config& cfg, uint32_t tid, uint64_t deadline_ns,
             Barrier* barrier, std::atomic<bool>* failed, ThreadResult* res) {
   std::string err;
@@ -734,6 +994,27 @@ int main(int argc, char** argv) {
       cfg.shards = static_cast<uint32_t>(std::atoi(v));
     } else if ((v = val("--txn")) != nullptr) {
       cfg.txn_ops = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--cluster")) != nullptr) {
+      cfg.cluster = true;
+      for (const char* p = v; *p != '\0';) {
+        const char* comma = std::strchr(p, ',');
+        const std::string tok =
+            comma != nullptr ? std::string(p, comma) : std::string(p);
+        if (!tok.empty()) {
+          cfg.cluster_seeds.push_back(tok);
+        }
+        p = comma != nullptr ? comma + 1 : p + tok.size();
+      }
+    } else if ((v = val("--cluster-nodes")) != nullptr) {
+      for (const char* p = v; *p != '\0';) {
+        const char* comma = std::strchr(p, ',');
+        const std::string tok =
+            comma != nullptr ? std::string(p, comma) : std::string(p);
+        if (!tok.empty()) {
+          cfg.cluster_nodes.push_back(tok);
+        }
+        p = comma != nullptr ? comma + 1 : p + tok.size();
+      }
     } else if ((v = val("--cross-shard-pct")) != nullptr) {
       cfg.cross_shard_pct = static_cast<uint32_t>(std::atoi(v));
     } else if ((v = val("--ycsb")) != nullptr) {
@@ -749,6 +1030,10 @@ int main(int argc, char** argv) {
       cfg.allow_stale = true;
     } else if (std::strcmp(a, "--txn-verify") == 0) {
       cfg.txn_verify = true;
+    } else if (std::strcmp(a, "--cluster") == 0) {
+      cfg.cluster = true;
+    } else if (std::strcmp(a, "--cluster-verify") == 0) {
+      cfg.cluster_verify = true;
     } else if (std::strcmp(a, "--allow-disconnect") == 0) {
       cfg.allow_disconnect = true;
     } else if (std::strcmp(a, "--readonly") == 0) {
@@ -771,7 +1056,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (cfg.port == 0 || cfg.threads == 0 || cfg.pipeline == 0 || cfg.keys == 0) {
+  // --cluster=H:P,... names its own endpoints; --port is only required when
+  // the seed list would otherwise default to host:port.
+  const bool needs_port = !cfg.cluster || cfg.cluster_seeds.empty();
+  if ((cfg.port == 0 && needs_port) || cfg.threads == 0 || cfg.pipeline == 0 ||
+      cfg.keys == 0) {
     std::fprintf(stderr,
                  "usage: jnvm_loadgen --port=N [--threads=N] [--keys=N] "
                  "[--value-size=N] [--read-ratio=F] [--field-updates] "
@@ -807,6 +1096,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "jnvm_loadgen: --txn targets the primary endpoint\n");
     return 2;
   }
+  if (cfg.cluster_verify && !cfg.cluster) {
+    std::fprintf(stderr, "jnvm_loadgen: --cluster-verify needs --cluster\n");
+    return 2;
+  }
+  if (cfg.cluster &&
+      (cfg.read_from_replica || cfg.txn_ops > 0 || cfg.field_updates)) {
+    std::fprintf(stderr,
+                 "jnvm_loadgen: --cluster is plain SET/GET only (no "
+                 "--read-from=replica, --txn or --field-updates)\n");
+    return 2;
+  }
+  if (cfg.cluster && cfg.cluster_seeds.empty()) {
+    cfg.cluster_seeds.push_back(cfg.host + ":" + std::to_string(cfg.port));
+  }
 
   const uint64_t deadline_ns =
       cfg.seconds > 0 ? jnvm::NowNs() + static_cast<uint64_t>(cfg.seconds * 1e9)
@@ -823,7 +1126,10 @@ int main(int argc, char** argv) {
   {
     std::vector<std::thread> threads;
     for (uint32_t t = 0; t < cfg.threads; ++t) {
-      if (cfg.txn_ops > 0) {
+      if (cfg.cluster) {
+        threads.emplace_back(ClusterWorker, std::cref(cfg), t, deadline_ns,
+                             &failed, &results[t]);
+      } else if (cfg.txn_ops > 0) {
         threads.emplace_back(TxnWorker, std::cref(cfg), t, deadline_ns,
                              &failed, &results[t]);
       } else {
@@ -840,6 +1146,7 @@ int main(int argc, char** argv) {
   jnvm::Histogram reads, writes;
   uint64_t nreads = 0, nwrites = 0, misses = 0, errors = 0, waittimeouts = 0;
   uint64_t stales = 0, txn_commits = 0, txn_aborts = 0, txn_groups = 0;
+  uint64_t moved = 0, asks = 0, tryagains = 0, refreshes = 0, cl_keys = 0;
   for (const ThreadResult& r : results) {
     reads.Merge(r.read_lat);
     writes.Merge(r.write_lat);
@@ -852,6 +1159,11 @@ int main(int argc, char** argv) {
     txn_commits += r.txn_commits;
     txn_aborts += r.txn_aborts;
     txn_groups += r.txn_groups;
+    moved += r.moved_redirects;
+    asks += r.ask_redirects;
+    tryagains += r.tryagain_retries;
+    refreshes += r.slot_refreshes;
+    cl_keys += r.cluster_keys;
     if (!r.error_msg.empty()) {
       std::fprintf(stderr, "jnvm_loadgen: %s\n", r.error_msg.c_str());
     }
@@ -882,6 +1194,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(nwrites),
               static_cast<unsigned long long>(waittimeouts),
               writes.Summary().c_str());
+  if (cfg.cluster) {
+    std::printf("  cluster: moved=%llu ask=%llu tryagain=%llu refreshes=%llu%s\n",
+                static_cast<unsigned long long>(moved),
+                static_cast<unsigned long long>(asks),
+                static_cast<unsigned long long>(tryagains),
+                static_cast<unsigned long long>(refreshes),
+                cfg.cluster_verify
+                    ? (" verified_keys=" + std::to_string(cl_keys) +
+                       (errors == 0 ? " exactly_once=ok" : " EXACTLY-ONCE-FAILED"))
+                          .c_str()
+                    : "");
+  }
   if (cfg.txn_ops > 0) {
     std::printf("  txns  : committed=%llu aborted=%llu ops_per_txn=%u "
                 "cross_shard_pct=%u%s\n",

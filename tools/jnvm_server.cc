@@ -7,6 +7,8 @@
 //               [--repl-segment=BYTES] [--repl-retention=SEGS]
 //               [--wait-acks=K] [--wait-timeout-ms=N] [--apply-batch=N]
 //               [--read-stale-timeout-ms=N] [--read-park-max=N]
+//               [--cluster] [--cluster-self=N] [--cluster-announce=H:P]
+//               [--cluster-dax=PATH | --cluster-image=PATH] [--dax-base=PATH]
 //
 // With --image-base, shard images are saved on SHUTDOWN and recovered on
 // the next start — kill the server with SHUTDOWN (or SIGINT/SIGTERM),
@@ -27,6 +29,17 @@
 // bounds the parked set. A replica also serves REPLSYNC/REPLSNAP from its
 // own (byte-identical) log, so further replicas can chain off it
 // (--replica-of pointing at a replica builds a tree).
+// With --cluster the node joins the hash-slot plane (DESIGN.md §10):
+// single-key commands route through the persisted 16384-slot table
+// (-MOVED / -ASK / -TRYAGAIN / -CLUSTERDOWN for slots not plainly owned),
+// and the CLUSTER / ASKING / MIG* command families appear. --cluster-self
+// is this node's index in the node table; --cluster-announce overrides the
+// client-visible host:port (defaults to the bound address). The slot table
+// persists in --cluster-dax (mmap'd file, survives kill -9) or
+// --cluster-image (saved on clean shutdown); neither = volatile (tests).
+// --dax-base does the same for the shard heaps themselves: each shard maps
+// "<base>.shard<i>.pmem" MAP_SHARED, so a kill -9'd node recovers its data
+// *and* its slot table on restart — the cluster CI scenario.
 // Exit status is 0 only when every shard quiesced with a clean integrity
 // audit (I1–I7).
 
@@ -97,6 +110,18 @@ int main(int argc, char** argv) {
       opts.shard.read_stale_timeout_ms = static_cast<uint32_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--read-park-max", &v)) {
       opts.shard.read_park_max = static_cast<uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      opts.cluster = true;
+    } else if (FlagValue(argv[i], "--cluster-self", &v)) {
+      opts.cluster_meta.self = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--cluster-announce", &v)) {
+      opts.cluster_meta.announce = v;
+    } else if (FlagValue(argv[i], "--cluster-dax", &v)) {
+      opts.cluster_meta.dax_path = v;
+    } else if (FlagValue(argv[i], "--cluster-image", &v)) {
+      opts.cluster_meta.image_path = v;
+    } else if (FlagValue(argv[i], "--dax-base", &v)) {
+      opts.shard.dax_base = v;
     } else if (std::strcmp(argv[i], "--poll") == 0) {
       opts.force_poll = true;
     } else if (std::strcmp(argv[i], "--optane") == 0) {
@@ -126,6 +151,15 @@ int main(int argc, char** argv) {
               opts.replica_of.empty() ? "" : ", replica of ",
               opts.replica_of.c_str(),
               server->AnyShardRecovered() ? " [recovered]" : "");
+  if (opts.cluster) {
+    std::printf("jnvm_server: cluster node %u, epoch %llu, %llu slot(s) "
+                "owned\n",
+                server->cluster_state()->self(),
+                static_cast<unsigned long long>(
+                    server->cluster_state()->epoch()),
+                static_cast<unsigned long long>(
+                    server->cluster_state()->slots_owned()));
+  }
   std::fflush(stdout);
 
   server->Wait();
