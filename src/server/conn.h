@@ -1,4 +1,9 @@
-// Per-connection state for the server event loop (DESIGN.md §7).
+// Per-connection state for the server event loops (DESIGN.md §7).
+//
+// A connection is pinned to the event loop that accepted it for its whole
+// life: the owning loop's index rides in the top bits of `id`, completions
+// route back to that loop by id, and everything in this struct is
+// therefore touched by exactly one thread — no locks here, by design.
 //
 // Commands are sequenced per connection in arrival order. Replies can be
 // produced out of order — pipelined commands fan out to different shards

@@ -1,0 +1,91 @@
+// Event-loop readiness backend (DESIGN.md §7). Three implementations sit
+// behind this interface:
+//   * epoll   — the Linux default (edge of nothing: level-triggered);
+//   * poll    — portable fallback, also forced by tests so both ready paths
+//               stay exercised on one platform;
+//   * uring   — io_uring: readiness via one-shot POLL_ADD SQEs re-armed per
+//               Wait, all arms/cancels batched into a single io_uring_enter,
+//               plus a batched-writev path (WritevBatch) that maps the
+//               chunked output queue of N dirty connections onto N SENDMSG
+//               SQEs submitted and reaped in one syscall.
+// Each Server event loop owns one Poller instance; a Poller is never shared
+// across threads. Create() resolves the requested kind at runtime: asking
+// for uring on a kernel without io_uring support falls back to epoll and
+// reports the substitution through name() (STATS shows the poller actually
+// in use — the CI fallback probe asserts on it).
+#ifndef JNVM_SRC_SERVER_POLLER_H_
+#define JNVM_SRC_SERVER_POLLER_H_
+
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace jnvm::server {
+
+enum class PollerKind {
+  kEpoll,
+  kPoll,
+  kUring,
+};
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  // One connection's scatter-gather flush in a WritevBatch: `iov`/`niov`
+  // describe the pending chunks, `nsent` comes back as the byte count the
+  // kernel accepted (or -errno). Buffers must stay valid across the call —
+  // WritevBatch is synchronous (every SQE is reaped before it returns), so
+  // ordinary stack/queue lifetime is enough.
+  struct WriteOp {
+    int fd = -1;
+    struct iovec* iov = nullptr;
+    int niov = 0;
+    ssize_t nsent = 0;  // out: >=0 bytes accepted, or -errno
+  };
+
+  virtual ~Poller() = default;
+
+  // Declares interest in `fd`. Level-triggered semantics on every backend:
+  // a still-readable fd reports readable on the next Wait even if the
+  // previous round did not consume it. Read interest is a parameter so a
+  // connection under shard backpressure can stop watching readable
+  // (read-pause) and let the kernel buffer the client's pipeline.
+  virtual void Watch(int fd, bool want_read, bool want_write) = 0;
+  virtual void Forget(int fd) = 0;
+  virtual void Wait(std::vector<Event>* out, int timeout_ms) = 0;
+
+  // Flushes `n` connections' output queues in one submission when the
+  // backend supports it (io_uring: N SENDMSG SQEs, one io_uring_enter,
+  // MSG_DONTWAIT so a full socket completes -EAGAIN instead of parking the
+  // loop). Returns false when unsupported — the caller falls back to one
+  // writev(2) per connection.
+  virtual bool WritevBatch(WriteOp* /*ops*/, size_t /*n*/) { return false; }
+
+  // "epoll" | "poll" | "uring" — the backend actually running, after any
+  // runtime fallback.
+  virtual const char* name() const = 0;
+
+  // Builds the requested backend, falling back uring → epoll (and, off
+  // Linux, epoll → poll) when the kernel lacks support. Never fails.
+  static std::unique_ptr<Poller> Create(PollerKind kind);
+};
+
+// True when io_uring_setup succeeds on this kernel (used by tests and the
+// CI probe to decide whether `uring` runs natively or falls back).
+bool IoUringSupported();
+
+// Internal constructors (poller.cc / poller_uring.cc).
+std::unique_ptr<Poller> MakeClassicPoller(bool use_epoll);
+std::unique_ptr<Poller> MakeUringPoller();  // nullptr when unsupported
+
+}  // namespace jnvm::server
+
+#endif  // JNVM_SRC_SERVER_POLLER_H_

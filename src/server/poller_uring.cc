@@ -1,0 +1,407 @@
+// io_uring readiness backend (DESIGN.md §7), raw syscalls — no liburing.
+//
+// Readiness: every watched fd is armed with a one-shot IORING_OP_POLL_ADD
+// SQE; all arms and cancels accumulated since the last round are flushed in
+// a single io_uring_enter that also waits for completions, so a loop
+// watching 10k fds pays one syscall per round regardless of churn. One-shot
+// polls give the same level-triggered contract as epoll here: a fired fd is
+// re-armed on the next Wait, and poll(2) semantics report it again if it is
+// still ready. Stale completions (an fd re-watched or forgotten while its
+// poll was in flight) are fenced by a per-fd generation stamped into
+// user_data.
+//
+// Output: WritevBatch maps the chunked output queues of N dirty connections
+// onto N IORING_OP_SENDMSG SQEs (MSG_DONTWAIT | MSG_NOSIGNAL) submitted and
+// reaped in one io_uring_enter — the DrainCompletions flush phase ships
+// every connection it dirtied with one syscall instead of one writev each.
+// MSG_DONTWAIT makes each op complete immediately (bytes or -EAGAIN), so
+// waiting for all N completions cannot park the event loop on a slow peer.
+// Poll completions that surface during the reap are spilled to a buffer the
+// next Wait drains first, so no readiness event is lost.
+#include "src/server/poller.h"
+
+#ifdef __linux__
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+namespace jnvm::server {
+
+#if defined(__linux__) && defined(__NR_io_uring_setup)
+
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags, const void* arg, size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+// user_data layout: tag (2 bits) | fd (30 bits) | generation (32 bits).
+constexpr uint64_t kTagPoll = 0;
+constexpr uint64_t kTagCancel = 1;
+constexpr uint64_t kTagWrite = 2;
+constexpr int kTagShift = 62;
+
+uint64_t PollData(int fd, uint32_t gen) {
+  return (kTagPoll << kTagShift) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(fd)) << 32) | gen;
+}
+
+class UringPoller final : public Poller {
+ public:
+  static std::unique_ptr<Poller> Make() {
+    auto p = std::unique_ptr<UringPoller>(new UringPoller());
+    return p->Init() ? std::unique_ptr<Poller>(std::move(p)) : nullptr;
+  }
+
+  ~UringPoller() override {
+    if (sq_ring_ != MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_sz_);
+    }
+    if (cq_ring_ != MAP_FAILED && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_sz_);
+    }
+    if (sqes_ != MAP_FAILED) {
+      ::munmap(sqes_, sqes_sz_);
+    }
+    if (ring_fd_ >= 0) {
+      ::close(ring_fd_);
+    }
+  }
+
+  const char* name() const override { return "uring"; }
+
+  void Watch(int fd, bool want_read, bool want_write) override {
+    const uint16_t mask = static_cast<uint16_t>(
+        (want_read ? POLLIN : 0) | (want_write ? POLLOUT : 0));
+    FdState& st = fds_[fd];
+    if (st.armed && st.armed_mask != mask) {
+      CancelArm(fd, st);  // interest changed mid-flight: re-arm next Wait
+    }
+    st.mask = mask;
+  }
+
+  void Forget(int fd) override {
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return;
+    }
+    if (it->second.armed) {
+      CancelArm(fd, it->second);
+    }
+    fds_.erase(it);
+  }
+
+  void Wait(std::vector<Event>* out, int timeout_ms) override {
+    out->clear();
+    // Readiness that surfaced while WritevBatch reaped its SQEs.
+    out->swap(spill_);
+    // Re-arm: one one-shot POLL_ADD per watched-but-unarmed fd. The arms,
+    // plus any queued cancels, ride the same io_uring_enter as the wait.
+    for (auto& [fd, st] : fds_) {
+      if (st.armed || st.mask == 0) {
+        continue;
+      }
+      io_uring_sqe sqe{};
+      sqe.opcode = IORING_OP_POLL_ADD;
+      sqe.fd = fd;
+      sqe.poll_events = st.mask;
+      sqe.user_data = PollData(fd, st.gen);
+      PushSqe(sqe);
+      st.armed = true;
+      st.armed_mask = st.mask;
+    }
+    const unsigned to_submit = pending_submit_;
+    pending_submit_ = 0;
+    if (!out->empty() || CqReady()) {
+      // Events already on hand: submit without blocking, drain, return.
+      if (to_submit > 0) {
+        EnterRetry(to_submit, 0, 0, nullptr, 0);
+      }
+      DrainCq(out);
+      return;
+    }
+    __kernel_timespec ts{};
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+    io_uring_getevents_arg arg{};
+    arg.ts = reinterpret_cast<uint64_t>(&ts);
+    EnterRetry(to_submit, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+               &arg, sizeof(arg));
+    DrainCq(out);
+  }
+
+  bool WritevBatch(WriteOp* ops, size_t n) override {
+    if (n == 0) {
+      return true;
+    }
+    // msghdrs must outlive the enter; they live here for the whole reap.
+    std::vector<msghdr> hdrs(n);
+    size_t submitted = 0;
+    size_t reaped = 0;
+    while (reaped < n) {
+      unsigned batch = 0;
+      while (submitted < n) {
+        msghdr& mh = hdrs[submitted];
+        std::memset(&mh, 0, sizeof(mh));
+        mh.msg_iov = ops[submitted].iov;
+        mh.msg_iovlen = static_cast<size_t>(ops[submitted].niov);
+        io_uring_sqe sqe{};
+        sqe.opcode = IORING_OP_SENDMSG;
+        sqe.fd = ops[submitted].fd;
+        sqe.addr = reinterpret_cast<uint64_t>(&mh);
+        sqe.msg_flags = MSG_DONTWAIT | MSG_NOSIGNAL;
+        sqe.user_data =
+            (kTagWrite << kTagShift) | static_cast<uint64_t>(submitted);
+        if (!TryPushSqe(sqe)) {
+          break;  // SQ full: flush this chunk first
+        }
+        ++submitted;
+        ++batch;
+      }
+      // MSG_DONTWAIT completes every op immediately, so waiting for the
+      // whole chunk cannot stall on a slow peer.
+      EnterRetry(pending_submit_, batch, IORING_ENTER_GETEVENTS, nullptr, 0);
+      pending_submit_ = 0;
+      reaped += ReapWrites(ops, n);
+    }
+    return true;
+  }
+
+ private:
+  struct FdState {
+    uint16_t mask = 0;        // current interest (POLLIN/POLLOUT bits)
+    uint16_t armed_mask = 0;  // interest the in-flight POLL_ADD carries
+    bool armed = false;
+    uint32_t gen = 0;  // bumped on cancel: fences stale completions
+  };
+
+  UringPoller() = default;
+
+  bool Init() {
+    io_uring_params p{};
+    ring_fd_ = SysUringSetup(256, &p);
+    if (ring_fd_ < 0) {
+      return false;
+    }
+    // The timed wait needs EXT_ARG (5.11+); without it, fall back to epoll
+    // rather than busy-poll.
+    if ((p.features & IORING_FEAT_EXT_ARG) == 0) {
+      return false;
+    }
+    sq_entries_ = p.sq_entries;
+    sq_ring_sz_ = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+    cq_ring_sz_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      sq_ring_sz_ = cq_ring_sz_ = std::max(sq_ring_sz_, cq_ring_sz_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_sz_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      return false;
+    }
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_sz_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        return false;
+      }
+    }
+    sqes_sz_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = ::mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes_ == MAP_FAILED) {
+      return false;
+    }
+    auto* sq = static_cast<uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<uint32_t*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<uint32_t*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    return true;
+  }
+
+  // Queues a POLL_REMOVE for the in-flight arm and bumps the generation so
+  // the cancelled (or already-fired) completion is recognized as stale.
+  void CancelArm(int fd, FdState& st) {
+    io_uring_sqe sqe{};
+    sqe.opcode = IORING_OP_POLL_REMOVE;
+    sqe.addr = PollData(fd, st.gen);
+    sqe.user_data = kTagCancel << kTagShift;
+    PushSqe(sqe);
+    st.armed = false;
+    ++st.gen;
+  }
+
+  bool TryPushSqe(const io_uring_sqe& sqe) {
+    const uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
+    const uint32_t head = sq_head_->load(std::memory_order_acquire);
+    if (tail - head == sq_entries_) {
+      return false;
+    }
+    const uint32_t idx = tail & sq_mask_;
+    reinterpret_cast<io_uring_sqe*>(sqes_)[idx] = sqe;
+    sq_array_[idx] = idx;
+    sq_tail_->store(tail + 1, std::memory_order_release);
+    ++pending_submit_;
+    return true;
+  }
+
+  void PushSqe(const io_uring_sqe& sqe) {
+    while (!TryPushSqe(sqe)) {
+      // SQ full: flush what is queued, then retry.
+      EnterRetry(pending_submit_, 0, 0, nullptr, 0);
+      pending_submit_ = 0;
+    }
+  }
+
+  void EnterRetry(unsigned to_submit, unsigned min_complete, unsigned flags,
+                  const void* arg, size_t argsz) {
+    for (;;) {
+      const int r = SysUringEnter(ring_fd_, to_submit, min_complete, flags,
+                                  arg, argsz);
+      if (r >= 0) {
+        return;
+      }
+      if (errno == EINTR) {
+        continue;  // signal: not a lost round
+      }
+      return;  // ETIME (timed wait expired) and hard errors alike
+    }
+  }
+
+  bool CqReady() const {
+    return cq_head_->load(std::memory_order_relaxed) !=
+           cq_tail_->load(std::memory_order_acquire);
+  }
+
+  void HandlePollCqe(const io_uring_cqe& cqe, std::vector<Event>* out) {
+    const int fd = static_cast<int>((cqe.user_data >> 32) & 0x3fffffffu);
+    const uint32_t gen = static_cast<uint32_t>(cqe.user_data);
+    const auto it = fds_.find(fd);
+    if (it == fds_.end() || it->second.gen != gen) {
+      return;  // stale: fd forgotten or re-armed since this poll was queued
+    }
+    it->second.armed = false;  // one-shot fired; next Wait re-arms
+    if (cqe.res < 0) {
+      if (cqe.res == -ECANCELED) {
+        return;
+      }
+      Event e;
+      e.fd = fd;
+      e.error = true;
+      out->push_back(e);
+      return;
+    }
+    Event e;
+    e.fd = fd;
+    e.readable = (cqe.res & (POLLIN | POLLHUP)) != 0;
+    e.writable = (cqe.res & POLLOUT) != 0;
+    e.error = (cqe.res & (POLLERR | POLLNVAL)) != 0;
+    if (e.readable || e.writable || e.error) {
+      out->push_back(e);
+    }
+  }
+
+  void DrainCq(std::vector<Event>* out) {
+    uint32_t head = cq_head_->load(std::memory_order_relaxed);
+    const uint32_t tail = cq_tail_->load(std::memory_order_acquire);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      if ((cqe.user_data >> kTagShift) == kTagPoll) {
+        HandlePollCqe(cqe, out);
+      }
+      ++head;
+    }
+    cq_head_->store(head, std::memory_order_release);
+  }
+
+  // Reaps the CQ during WritevBatch: write completions record their result;
+  // poll completions spill to the buffer the next Wait() drains first.
+  size_t ReapWrites(WriteOp* ops, size_t n) {
+    size_t got = 0;
+    uint32_t head = cq_head_->load(std::memory_order_relaxed);
+    const uint32_t tail = cq_tail_->load(std::memory_order_acquire);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      const uint64_t tag = cqe.user_data >> kTagShift;
+      if (tag == kTagWrite) {
+        const size_t idx = static_cast<size_t>(cqe.user_data & 0xffffffffu);
+        if (idx < n) {
+          ops[idx].nsent = cqe.res;
+          ++got;
+        }
+      } else if (tag == kTagPoll) {
+        HandlePollCqe(cqe, &spill_);
+      }
+      ++head;
+    }
+    cq_head_->store(head, std::memory_order_release);
+    return got;
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = MAP_FAILED;
+  void* cq_ring_ = MAP_FAILED;
+  void* sqes_ = MAP_FAILED;
+  size_t sq_ring_sz_ = 0, cq_ring_sz_ = 0, sqes_sz_ = 0;
+  uint32_t sq_entries_ = 0;
+  std::atomic<uint32_t>* sq_head_ = nullptr;
+  std::atomic<uint32_t>* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  std::atomic<uint32_t>* cq_head_ = nullptr;
+  std::atomic<uint32_t>* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned pending_submit_ = 0;
+  std::unordered_map<int, FdState> fds_;
+  std::vector<Event> spill_;  // poll events surfaced during WritevBatch
+};
+
+}  // namespace
+
+bool IoUringSupported() {
+  io_uring_params p{};
+  const int fd = SysUringSetup(4, &p);
+  if (fd < 0) {
+    return false;
+  }
+  ::close(fd);
+  return (p.features & IORING_FEAT_EXT_ARG) != 0;
+}
+
+std::unique_ptr<Poller> MakeUringPoller() { return UringPoller::Make(); }
+
+#else  // !__linux__ || !__NR_io_uring_setup
+
+bool IoUringSupported() { return false; }
+std::unique_ptr<Poller> MakeUringPoller() { return nullptr; }
+
+#endif
+
+}  // namespace jnvm::server

@@ -9,17 +9,16 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <map>
 
 #include "src/common/check.h"
 #include "src/common/clock.h"
-
-#ifdef __linux__
-#include <sys/epoll.h>
-#endif
 
 namespace jnvm::server {
 
@@ -83,124 +82,17 @@ bool SplitHostPort(const std::string& s, std::string* host, uint16_t* port) {
   return true;
 }
 
+// Relaxed counter bump: each LoopCounters slot is written by one loop thread
+// and only read cross-thread by STATS aggregation.
+inline void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+  c.fetch_add(n, std::memory_order_relaxed);
+}
+
+inline uint64_t Rd(const std::atomic<uint64_t>& c) {
+  return c.load(std::memory_order_relaxed);
+}
+
 }  // namespace
-
-// Event-loop readiness backend: epoll on Linux, poll(2) otherwise or when
-// forced (ServerOptions::force_poll) — both paths are compiled on Linux so
-// tests can exercise either at runtime.
-class Poller {
- public:
-  struct Event {
-    int fd = -1;
-    bool readable = false;
-    bool writable = false;
-    bool error = false;
-  };
-
-  explicit Poller(bool use_epoll) {
-#ifdef __linux__
-    if (use_epoll) {
-      epfd_ = epoll_create1(0);
-      epoll_ = epfd_ >= 0;
-    }
-#else
-    (void)use_epoll;
-#endif
-  }
-
-  ~Poller() {
-    if (epfd_ >= 0) {
-      ::close(epfd_);
-    }
-  }
-
-  bool using_epoll() const { return epoll_; }
-
-  // Read interest is now a parameter too: a connection under shard
-  // backpressure stops watching readable (read-pause) so the kernel, not
-  // the server, buffers the client's pipeline.
-  void Watch(int fd, bool want_read, bool want_write) {
-    const uint8_t mask =
-        (want_read ? 1u : 0u) | (want_write ? 2u : 0u);
-    const auto it = fds_.find(fd);
-    const bool known = it != fds_.end();
-    if (known && it->second == mask) {
-      return;
-    }
-    fds_[fd] = mask;
-#ifdef __linux__
-    if (epoll_) {
-      epoll_event ev{};
-      ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
-      ev.data.fd = fd;
-      epoll_ctl(epfd_, known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd, &ev);
-    }
-#endif
-  }
-
-  void Forget(int fd) {
-    fds_.erase(fd);
-#ifdef __linux__
-    if (epoll_) {
-      epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
-    }
-#endif
-  }
-
-  void Wait(std::vector<Event>* out, int timeout_ms) {
-    out->clear();
-#ifdef __linux__
-    if (epoll_) {
-      epoll_event evs[64];
-      int n;
-      do {
-        n = epoll_wait(epfd_, evs, 64, timeout_ms);
-      } while (n < 0 && errno == EINTR);  // signal: not a lost round
-      for (int i = 0; i < n; ++i) {
-        Event e;
-        e.fd = evs[i].data.fd;
-        e.readable = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
-        e.writable = (evs[i].events & EPOLLOUT) != 0;
-        e.error = (evs[i].events & EPOLLERR) != 0;
-        out->push_back(e);
-      }
-      return;
-    }
-#endif
-    std::vector<pollfd> pfds;
-    pfds.reserve(fds_.size());
-    for (const auto& [fd, mask] : fds_) {
-      pollfd p{};
-      p.fd = fd;
-      p.events = static_cast<short>(((mask & 1u) != 0 ? POLLIN : 0) |
-                                    ((mask & 2u) != 0 ? POLLOUT : 0));
-      pfds.push_back(p);
-    }
-    int n;
-    do {
-      n = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    } while (n < 0 && errno == EINTR);  // signal: not a lost round
-    if (n <= 0) {
-      return;
-    }
-    for (const pollfd& p : pfds) {
-      if (p.revents == 0) {
-        continue;
-      }
-      Event e;
-      e.fd = p.fd;
-      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
-      e.writable = (p.revents & POLLOUT) != 0;
-      e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
-      out->push_back(e);
-    }
-  }
-
- private:
-  bool epoll_ = false;
-  int epfd_ = -1;
-  std::unordered_map<int, uint8_t> fds_;  // fd -> interest mask (1=r, 2=w)
-};
 
 std::string ShutdownReport::Summary() const {
   std::string s;
@@ -244,9 +136,25 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
     }
     return nullptr;
   }
+  PollerKind kind = PollerKind::kEpoll;
+  if (opts.poller == "poll") {
+    kind = PollerKind::kPoll;
+  } else if (opts.poller == "uring") {
+    kind = PollerKind::kUring;
+  } else if (opts.poller.empty() ? opts.force_poll : opts.poller != "epoll") {
+    if (opts.poller.empty()) {
+      kind = PollerKind::kPoll;  // legacy force_poll spelling
+    } else {
+      if (error != nullptr) {
+        *error = "bad poller '" + opts.poller + "' (epoll|poll|uring)";
+      }
+      return nullptr;
+    }
+  }
 
   auto s = std::unique_ptr<Server>(new Server());
   s->opts_ = opts;
+  s->opts_.loops = std::min(std::max(opts.loops, 1u), 64u);
   std::string primary_host;
   uint16_t primary_port = 0;
   if (!opts.replica_of.empty()) {
@@ -261,37 +169,111 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
     s->opts_.shard.repl_log = true;
   }
 
-  s->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (s->listen_fd_ < 0) {
-    return fail("socket");
+  const uint32_t nloops = s->opts_.loops;
+  for (uint32_t i = 0; i < nloops; ++i) {
+    auto lp = std::make_unique<Loop>();
+    lp->index = i;
+    s->loops_.push_back(std::move(lp));
   }
-  const int one = 1;
-  ::setsockopt(s->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts.port);
   if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
     return fail("inet_pton(" + opts.host + ")");
   }
-  if (::bind(s->listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Opens one listener. `want_reuseport` failing to stick is reported via
+  // *rp_ok so the caller can fall back to hand-off mode instead of dying.
+  auto open_listener = [&](uint16_t port, bool want_reuseport,
+                           bool* rp_ok) -> int {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (want_reuseport) {
+      bool ok = false;
+#ifdef SO_REUSEPORT
+      ok = ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) == 0;
+#endif
+      if (rp_ok != nullptr) {
+        *rp_ok = ok;
+      }
+      if (!ok) {
+        return fd;  // caller decides: single-listener hand-off still works
+      }
+    }
+    sockaddr_in a = addr;
+    a.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&a), sizeof(a)) != 0 ||
+        ::listen(fd, 128) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    SetNonBlocking(fd);
+    return fd;
+  };
+
+  // A pool wants one SO_REUSEPORT listener per loop so the kernel spreads
+  // accepts; when the kernel (or the options) say no, loop 0 accepts alone
+  // and hands fds off round-robin (AcceptPending → fd_inbox).
+  bool want_rp = s->opts_.reuseport && nloops > 1;
+  bool rp_ok = false;
+  const int fd0 = open_listener(opts.port, want_rp, &rp_ok);
+  if (fd0 < 0) {
     return fail("bind");
   }
-  if (::listen(s->listen_fd_, 128) != 0) {
-    return fail("listen");
+  if (want_rp && !rp_ok) {
+    want_rp = false;
+    // The socket exists but was never bound; bind it plainly.
+    sockaddr_in a = addr;
+    a.sin_port = htons(opts.port);
+    if (::bind(fd0, reinterpret_cast<sockaddr*>(&a), sizeof(a)) != 0 ||
+        ::listen(fd0, 128) != 0) {
+      ::close(fd0);
+      return fail("bind");
+    }
+    SetNonBlocking(fd0);
   }
+  s->loops_[0]->listen_fd = fd0;
   socklen_t alen = sizeof(addr);
-  ::getsockname(s->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  ::getsockname(fd0, reinterpret_cast<sockaddr*>(&addr), &alen);
   s->port_ = ntohs(addr.sin_port);
-  SetNonBlocking(s->listen_fd_);
-
-  int pipefd[2];
-  if (::pipe(pipefd) != 0) {
-    return fail("pipe");
+  if (want_rp) {
+    for (uint32_t i = 1; i < nloops; ++i) {
+      bool ok = false;
+      const int fd = open_listener(s->port_, /*want_reuseport=*/true, &ok);
+      if (fd < 0 || !ok) {
+        // Runtime fallback: tear the extra listeners down, loop 0 accepts
+        // for everyone.
+        if (fd >= 0) {
+          ::close(fd);
+        }
+        for (uint32_t j = 1; j < i; ++j) {
+          ::close(s->loops_[j]->listen_fd);
+          s->loops_[j]->listen_fd = -1;
+        }
+        break;
+      }
+      s->loops_[i]->listen_fd = fd;
+    }
   }
-  s->wake_r_ = pipefd[0];
-  s->wake_w_ = pipefd[1];
-  SetNonBlocking(s->wake_r_);
-  SetNonBlocking(s->wake_w_);
+
+  for (auto& lp : s->loops_) {
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      return fail("pipe");
+    }
+    lp->wake_r = pipefd[0];
+    lp->wake_w = pipefd[1];
+    SetNonBlocking(lp->wake_r);
+    SetNonBlocking(lp->wake_w);
+    lp->poller = Poller::Create(kind);
+    if (lp->listen_fd >= 0) {
+      lp->poller->Watch(lp->listen_fd, true, false);
+    }
+    lp->poller->Watch(lp->wake_r, true, false);
+  }
 
   if (opts.cluster) {
     // The slot table opens before the shards: recovery of a torn handoff
@@ -323,15 +305,18 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
   }
   if (opts.replica_of.empty() && s->opts_.shard.repl_log) {
     // Primary crash recovery (DESIGN.md §9): commit-or-abort every
-    // prepared-but-undecided cross-shard txn before the event loop serves
-    // clients. Replicas resolve at PROMOTE instead, once the pull stops.
-    s->ResolveCrossShardTxns();
+    // prepared-but-undecided cross-shard txn before the event loops serve
+    // clients (single-threaded here: no loop thread has spawned yet).
+    // Replicas resolve at PROMOTE instead, once the pull stops.
+    s->ResolveCrossShardTxns(*s->loops_[0]);
   }
 
-  s->poller_ = std::make_unique<Poller>(!opts.force_poll);
-  s->poller_->Watch(s->listen_fd_, true, false);
-  s->poller_->Watch(s->wake_r_, true, false);
-  s->loop_ = std::thread(&Server::EventLoop, s.get());
+  for (auto& lp : s->loops_) {
+    Loop* raw = lp.get();
+    raw->thread = std::thread([s_raw = s.get(), raw] {
+      s_raw->EventLoop(*raw);
+    });
+  }
   if (!opts.replica_of.empty()) {
     std::vector<Shard*> raw;
     raw.reserve(s->shards_.size());
@@ -346,9 +331,11 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
 Server::~Server() {
   RequestShutdown();
   Wait();
-  if (wake_r_ >= 0) ::close(wake_r_);
-  if (wake_w_ >= 0) ::close(wake_w_);
-  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& lp : loops_) {
+    if (lp->wake_r >= 0) ::close(lp->wake_r);
+    if (lp->wake_w >= 0) ::close(lp->wake_w);
+    if (lp->listen_fd >= 0) ::close(lp->listen_fd);
+  }
 }
 
 bool Server::AnyShardRecovered() const {
@@ -360,129 +347,222 @@ bool Server::AnyShardRecovered() const {
   return false;
 }
 
+const char* Server::poller_name() const {
+  return loops_.empty() ? "none" : loops_[0]->poller->name();
+}
+
 void Server::Wait() {
-  if (loop_.joinable()) {
-    loop_.join();
+  for (auto& lp : loops_) {
+    if (lp->thread.joinable()) {
+      lp->thread.join();
+    }
   }
 }
 
 void Server::RequestShutdown() {
   shutdown_requested_.store(true, std::memory_order_release);
-  // Wake the loop in case it is parked in Wait().
-  if (wake_w_ >= 0) {
-    const char b = 'x';
-    [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+  // Wake every loop in case it is parked in Wait(); whichever notices first
+  // claims coordination (shutdown_claimed_).
+  for (auto& lp : loops_) {
+    WakeLoop(*lp);
   }
+}
+
+Server::Loop& Server::LoopFor(uint64_t conn_id) {
+  const uint64_t idx = conn_id >> kLoopShift;
+  if (idx == 0 || idx > loops_.size()) {
+    return *loops_[0];  // internal (conn_id 0) work homes on loop 0
+  }
+  return *loops_[idx - 1];
+}
+
+void Server::WakeLoop(Loop& lp) {
+  if (lp.wake_w < 0) {
+    return;
+  }
+  // Self-pipe wakeup. EINTR is retried — a swallowed wake could strand a
+  // completion for a full poll timeout. EAGAIN (pipe already full of wake
+  // bytes) is fine: the pending byte already guarantees a drain.
+  const char b = 'c';
+  ssize_t n;
+  do {
+    n = ::write(lp.wake_w, &b, 1);
+  } while (n < 0 && errno == EINTR);
 }
 
 void Server::OnCompletion(Completion&& c) {
+  // Called from shard workers and from any loop (inline joins). The loop
+  // index rides in the conn id's high bits, so every completion source —
+  // batch replies, released WAIT parks, released session reads, stream
+  // frames, txn phase joins — lands on the loop owning the connection.
+  Loop& lp = LoopFor(c.conn_id);
   {
-    std::lock_guard<std::mutex> lk(comp_mu_);
-    completions_.push_back(std::move(c));
+    std::lock_guard<std::mutex> lk(lp.mu);
+    lp.completions.push_back(std::move(c));
   }
-  // Self-pipe wakeup; EAGAIN (pipe already full of wake bytes) is fine —
-  // the pending byte already guarantees a drain.
-  const char b = 'c';
-  [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+  WakeLoop(lp);
 }
 
-void Server::EventLoop() {
+void Server::EventLoop(Loop& lp) {
   std::vector<Poller::Event> events;
-  while (!shutting_down_) {
-    poller_->Wait(&events, 100);
-    if (shutdown_requested_.load(std::memory_order_acquire) && !shutting_down_) {
-      DoShutdown(/*conn_id=*/0, /*seq=*/0);
-      break;
+  for (;;) {
+    lp.poller->Wait(&events, 100);
+    // External shutdown request (RequestShutdown / ~Server): exactly one
+    // loop claims coordination; the rest follow the phase variable.
+    if (shutdown_requested_.load(std::memory_order_acquire) &&
+        shutdown_phase_.load(std::memory_order_acquire) == 0 &&
+        !shutdown_claimed_.exchange(true, std::memory_order_acq_rel)) {
+      DoShutdown(lp, /*conn_id=*/0, /*seq=*/0);
+    }
+    const int phase = shutdown_phase_.load(std::memory_order_acquire);
+    if (phase >= 1) {
+      StopIntake(lp);
+    }
+    if (phase >= 2) {
+      FinishLoop(lp);
+    }
+    if (lp.exiting) {
+      return;
     }
     // Periodic work rides the wait timeout: expire WAIT-K parked batches
     // (degraded -WAITTIMEOUT delivery), expire parked session reads to
-    // -STALE, and re-drive stalled submissions.
-    {
+    // -STALE, and re-drive stalled submissions. One loop ticks the shared
+    // shard timers; every loop re-drives its own stalled work.
+    if (lp.index == 0 && phase == 0) {
       const uint64_t now_ms = NowNs() / 1000000ull;
       for (auto& sh : shards_) {
         sh->TickWait(now_ms);
         sh->TickReadStale(now_ms);
       }
     }
-    RetryStalled();
-    RetryTxnPending();
+    RetryStalled(lp);
+    RetryTxnPending(lp);
     for (const Poller::Event& ev : events) {
-      if (shutting_down_) {
+      if (lp.exiting) {
         break;
       }
-      if (ev.fd == listen_fd_) {
-        AcceptPending();
+      if (ev.fd == lp.listen_fd && lp.listen_fd >= 0) {
+        AcceptPending(lp);
         continue;
       }
-      if (ev.fd == wake_r_) {
+      if (ev.fd == lp.wake_r) {
         char buf[256];
-        while (::read(wake_r_, buf, sizeof(buf)) > 0) {
-        }
-        DrainCompletions();
+        ssize_t n;
+        do {
+          n = ::read(lp.wake_r, buf, sizeof(buf));
+        } while (n > 0 || (n < 0 && errno == EINTR));
+        DrainFdInbox(lp);
+        DrainCompletions(lp);
         continue;
       }
-      const auto it = by_fd_.find(ev.fd);
-      if (it == by_fd_.end()) {
+      const auto it = lp.by_fd.find(ev.fd);
+      if (it == lp.by_fd.end()) {
         continue;  // closed earlier this round
       }
       const uint64_t id = it->second;
       if (ev.error) {
-        CloseConn(id);
+        CloseConn(lp, id);
         continue;
       }
       if (ev.writable) {
-        HandleWritable(*conns_[id]);
-        if (conns_.find(id) == conns_.end()) {
+        HandleWritable(lp, *lp.conns[id]);
+        if (lp.conns.find(id) == lp.conns.end()) {
           continue;
         }
       }
       if (ev.readable) {
-        HandleReadable(*conns_[id]);
+        HandleReadable(lp, *lp.conns[id]);
       }
     }
   }
 }
 
-void Server::AcceptPending() {
+void Server::AcceptPending(Loop& lp) {
+  // Hand-off mode iff the pool has more than one loop but only loop 0 holds
+  // a listener (no SO_REUSEPORT): loop 0 accepts and deals fds round-robin.
+  const bool handoff = loops_.size() > 1 && loops_[1]->listen_fd < 0;
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(lp.listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      return;  // EAGAIN or transient error
+      if (errno == EINTR) {
+        continue;  // interrupted by a signal: the backlog is still there
+      }
+      if (errno == ECONNABORTED) {
+        continue;  // peer gave up while queued; next one may be fine
+      }
+      return;  // EAGAIN or a real error: nothing more to accept now
     }
-    SetNonBlocking(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    conn->parser.set_max_buffer(opts_.max_conn_in_bytes);
-    by_fd_[fd] = conn->id;
-    poller_->Watch(fd, true, false);
-    ++accepted_;
-    conns_.emplace(conn->id, std::move(conn));
+    if (!handoff) {
+      RegisterConn(lp, fd);
+      continue;
+    }
+    Loop& target = *loops_[rr_next_++ % loops_.size()];
+    if (&target == &lp) {
+      RegisterConn(lp, fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(target.mu);
+      target.fd_inbox.push_back(fd);
+    }
+    WakeLoop(target);
   }
 }
 
-void Server::CloseConn(uint64_t id) {
-  const auto it = conns_.find(id);
-  if (it == conns_.end()) {
+void Server::RegisterConn(Loop& lp, int fd) {
+  SetNonBlocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  // Loop index in the high bits (loop 1 = pool index 0) so completions can
+  // route home; id 0 keeps meaning "internal".
+  conn->id = (static_cast<uint64_t>(lp.index + 1) << kLoopShift) |
+             (lp.next_conn++ & ((1ull << kLoopShift) - 1));
+  conn->parser.set_max_buffer(opts_.max_conn_in_bytes);
+  lp.by_fd[fd] = conn->id;
+  lp.poller->Watch(fd, true, false);
+  Bump(lp.counters.accepted);
+  lp.counters.open_conns.fetch_add(1, std::memory_order_relaxed);
+  lp.conns.emplace(conn->id, std::move(conn));
+}
+
+void Server::DrainFdInbox(Loop& lp) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lk(lp.mu);
+    fds.swap(lp.fd_inbox);
+  }
+  for (const int fd : fds) {
+    if (lp.intake_stopped) {
+      ::close(fd);  // arrived after quiesce began: never a client
+      continue;
+    }
+    RegisterConn(lp, fd);
+  }
+}
+
+void Server::CloseConn(Loop& lp, uint64_t id) {
+  const auto it = lp.conns.find(id);
+  if (it == lp.conns.end()) {
     return;
   }
   for (auto& sh : shards_) {
     sh->Unsubscribe(id);  // no-op unless `id` held a REPLSYNC stream
   }
-  poller_->Forget(it->second->fd);
-  by_fd_.erase(it->second->fd);
+  lp.poller->Forget(it->second->fd);
+  lp.by_fd.erase(it->second->fd);
   ::close(it->second->fd);
-  conns_.erase(it);
+  lp.conns.erase(it);
+  lp.counters.open_conns.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Server::HandleReadable(Conn& conn) {
+void Server::HandleReadable(Loop& lp, Conn& conn) {
   if (conn.closing) {
     return;  // draining replies; further input is ignored
   }
-  if (conn.paused) {
-    return;  // shard backpressure: leave the bytes in the kernel buffer
+  if (conn.paused || lp.intake_stopped) {
+    return;  // backpressure / quiesce: leave the bytes in the kernel buffer
   }
   char buf[65536];
   for (;;) {
@@ -495,7 +575,7 @@ void Server::HandleReadable(Conn& conn) {
       continue;
     }
     if (n == 0) {
-      CloseConn(conn.id);
+      CloseConn(lp, conn.id);
       return;
     }
     if (errno == EINTR) {
@@ -504,25 +584,25 @@ void Server::HandleReadable(Conn& conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       break;
     }
-    CloseConn(conn.id);
+    CloseConn(lp, conn.id);
     return;
   }
 
-  ProcessInput(conn);
-  if (shutting_down_ || conns_.find(conn.id) == conns_.end()) {
+  ProcessInput(lp, conn);
+  if (lp.exiting || lp.conns.find(conn.id) == lp.conns.end()) {
     return;
   }
   if (conn.WantsWrite()) {
-    HandleWritable(conn);
+    HandleWritable(lp, conn);
   } else if (conn.closing && conn.inflight == 0) {
-    CloseConn(conn.id);
+    CloseConn(lp, conn.id);
   }
 }
 
-void Server::ProcessInput(Conn& conn) {
+void Server::ProcessInput(Loop& lp, Conn& conn) {
   std::vector<std::string> args;
   std::string perr;
-  while (!conn.paused) {
+  while (!conn.paused && !lp.intake_stopped) {
     const RespParser::Status st = conn.parser.Next(&args, &perr);
     if (st == RespParser::Status::kNeedMore) {
       return;
@@ -532,9 +612,9 @@ void Server::ProcessInput(Conn& conn) {
       // stream position is lost, so reply -ERR and close it once pending
       // replies drain. Other connections are unaffected.
       if (conn.parser.overflowed()) {
-        ++in_overflows_;
+        Bump(lp.counters.in_overflows);
       } else {
-        ++protocol_errors_;
+        Bump(lp.counters.protocol_errors);
       }
       CompleteInline(conn, conn.next_seq++, [&] {
         std::string r;
@@ -544,18 +624,18 @@ void Server::ProcessInput(Conn& conn) {
       conn.closing = true;
       return;
     }
-    ++commands_;
-    if (!Dispatch(conn, args)) {
+    Bump(lp.counters.commands);
+    if (!Dispatch(lp, conn, args)) {
       conn.closing = true;
       return;
     }
-    if (shutting_down_) {
+    if (lp.exiting) {
       return;  // SHUTDOWN handled inside Dispatch; conns are gone
     }
   }
 }
 
-void Server::HandleWritable(Conn& conn) {
+void Server::HandleWritable(Loop& lp, Conn& conn) {
   // Scatter-gather flush: up to kFlushIovecs chunks per writev() — shared
   // frames and coalesced tails alike go out in one syscall. A partial write
   // leaves the resume offset mid-chunk; ConsumeOut pops what the kernel
@@ -566,9 +646,9 @@ void Server::HandleWritable(Conn& conn) {
     const size_t niov = conn.BuildIovecs(iov, kFlushIovecs);
     const ssize_t n = ::writev(conn.fd, iov, static_cast<int>(niov));
     if (n > 0) {
-      ++flush_syscalls_;
-      flushed_bytes_ += static_cast<uint64_t>(n);
-      flush_chunks_ += niov;
+      Bump(lp.counters.flush_syscalls);
+      Bump(lp.counters.flushed_bytes, static_cast<uint64_t>(n));
+      Bump(lp.counters.flush_chunks, niov);
       conn.ConsumeOut(static_cast<size_t>(n));
       continue;
     }
@@ -576,28 +656,29 @@ void Server::HandleWritable(Conn& conn) {
       continue;  // interrupted by a signal, not a socket failure
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      poller_->Watch(conn.fd, !conn.paused, true);
+      lp.poller->Watch(conn.fd, !conn.paused && !lp.intake_stopped, true);
       return;
     }
-    CloseConn(conn.id);
+    CloseConn(lp, conn.id);
     return;
   }
-  poller_->Watch(conn.fd, !conn.paused, false);
+  lp.poller->Watch(conn.fd, !conn.paused && !lp.intake_stopped, false);
   if (conn.closing && conn.inflight == 0 && conn.replies.empty()) {
-    CloseConn(conn.id);
+    CloseConn(lp, conn.id);
   }
 }
 
-void Server::PauseReads(Conn& conn) {
+void Server::PauseReads(Loop& lp, Conn& conn) {
   if (conn.paused) {
     return;
   }
   conn.paused = true;
-  poller_->Watch(conn.fd, false, conn.WantsWrite());
-  stalled_conns_.push_back(conn.id);
+  lp.poller->Watch(conn.fd, false, conn.WantsWrite());
+  lp.stalled_conns.push_back(conn.id);
 }
 
-bool Server::SubmitOrStall(Conn& conn, uint32_t shard_idx, Request&& req) {
+bool Server::SubmitOrStall(Loop& lp, Conn& conn, uint32_t shard_idx,
+                           Request&& req) {
   if (conn.stalled.empty()) {
     switch (shards_[shard_idx]->TrySubmit(std::move(req))) {
       case Shard::SubmitResult::kOk:
@@ -611,21 +692,21 @@ bool Server::SubmitOrStall(Conn& conn, uint32_t shard_idx, Request&& req) {
   // Either the shard is full or earlier requests of this connection are
   // already stalled (order must hold). Park the request and read-pause.
   conn.stalled.push_back(StalledRequest{shard_idx, std::move(req)});
-  PauseReads(conn);
+  PauseReads(lp, conn);
   return true;
 }
 
-void Server::RetryStalled() {
-  if (stalled_conns_.empty()) {
+void Server::RetryStalled(Loop& lp) {
+  if (lp.stalled_conns.empty()) {
     return;
   }
-  // Swap out the list: PauseReads may append to stalled_conns_ while we
+  // Swap out the list: PauseReads may append to stalled_conns while we
   // re-run ProcessInput below (a resumed connection can stall again).
   std::vector<uint64_t> work;
-  work.swap(stalled_conns_);
+  work.swap(lp.stalled_conns);
   for (const uint64_t id : work) {
-    const auto it = conns_.find(id);
-    if (it == conns_.end()) {
+    const auto it = lp.conns.find(id);
+    if (it == lp.conns.end()) {
       continue;  // connection closed while stalled
     }
     Conn& conn = *it->second;
@@ -637,39 +718,50 @@ void Server::RetryStalled() {
         break;
       }
       if (r == Shard::SubmitResult::kStopped) {
-        FailStalledRequest(conn, front.req);
+        FailStalledRequest(lp, conn, front.req);
       }
       conn.stalled.pop_front();
     }
     if (!conn.stalled.empty()) {
-      stalled_conns_.push_back(id);  // still blocked; stay paused
+      lp.stalled_conns.push_back(id);  // still blocked; stay paused
+      continue;
+    }
+    if (lp.intake_stopped) {
+      // Quiescing: the stall queue drained (or failed against stopping
+      // shards) — flush what resolved but do not resume parsing.
+      conn.paused = false;
+      if (conn.WantsWrite()) {
+        HandleWritable(lp, conn);
+      }
       continue;
     }
     // Drained: resume reading and the commands buffered before the pause.
     conn.paused = false;
-    poller_->Watch(conn.fd, true, conn.WantsWrite());
-    ProcessInput(conn);
-    if (shutting_down_ || conns_.find(id) == conns_.end()) {
+    lp.poller->Watch(conn.fd, true, conn.WantsWrite());
+    ProcessInput(lp, conn);
+    if (lp.exiting || lp.conns.find(id) == lp.conns.end()) {
       continue;
     }
     if (conn.WantsWrite()) {
-      HandleWritable(conn);
+      HandleWritable(lp, conn);
     } else if (conn.closing && conn.inflight == 0) {
-      CloseConn(conn.id);
+      CloseConn(lp, conn.id);
     }
   }
 }
 
 // A stalled request met a stopping shard (shutdown). Resolve its reply slot
 // so the connection does not hang on a reply that can never come.
-void Server::FailStalledRequest(Conn& conn, Request& req) {
+void Server::FailStalledRequest(Loop& lp, Conn& conn, Request& req) {
   std::string r;
   AppendError(&r, "server shutting down");
   if (req.multi != nullptr) {
     req.multi->Fail("ERR server shutting down");
     if (req.multi->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const auto target = conns_.find(req.multi->conn_id);
-      if (target != conns_.end()) {
+      // Every part of a multi was submitted from the owning connection's
+      // loop, so the join target lives here too.
+      const auto target = lp.conns.find(req.multi->conn_id);
+      if (target != lp.conns.end()) {
         JNVM_DCHECK(target->second->inflight > 0);
         --target->second->inflight;
         std::string joined;
@@ -695,7 +787,7 @@ void Server::CompleteInline(Conn& conn, uint64_t seq, std::string&& reply) {
   conn.Complete(seq, std::move(reply));
 }
 
-bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
+bool Server::Dispatch(Loop& lp, Conn& conn, std::vector<std::string>& args) {
   const std::string cmd = Upper(args[0]);
   if (cmd == "REPLACK") {
     // Ack frame from a REPLSYNC subscriber: REPLACK <shard> <seq> certifies
@@ -706,7 +798,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     uint64_t acked = 0;
     if (args.size() != 3 || !ParseU32(args[1], &idx) ||
         idx >= shards_.size() || !ParseU64(args[2], &acked)) {
-      ++protocol_errors_;
+      Bump(lp.counters.protocol_errors);
       return false;  // malformed ack: drop the stream connection
     }
     shards_[idx]->Ack(conn.id, acked);
@@ -760,7 +852,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     if (!conn.in_multi) {
       return inline_error("EXEC without MULTI");
     }
-    return DispatchExec(conn, seq);
+    return DispatchExec(lp, conn, seq);
   }
   if (conn.in_multi) {
     // Queue time: only the data subset (SET/GET/DEL) may ride in a txn, and
@@ -826,7 +918,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     if (cluster_ != nullptr) {
       const bool asking = conn.asking;
       conn.asking = false;  // one-shot: ASKING covers exactly one command
-      if (RouteClusterKey(conn, seq, req.key, asking, &req)) {
+      if (RouteClusterKey(lp, conn, seq, req.key, asking, &req)) {
         return true;  // redirect answered inline
       }
     }
@@ -842,6 +934,8 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
       // connection's MINSEQ token the shard parks the read (released by the
       // apply batch that catches up, or -STALE on timeout/overflow). kReady
       // leaves the request untouched and it submits like any other read.
+      // The release routes back to this loop by conn id, wherever the
+      // MINSEQ token was minted.
       switch (shards_[idx]->GateSessionRead(req, NowNs() / 1000000ull)) {
         case Shard::ReadGate::kReady:
           break;
@@ -850,7 +944,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
           return true;  // the shard owns the completion now
       }
     }
-    if (!SubmitOrStall(conn, idx, std::move(req))) {
+    if (!SubmitOrStall(lp, conn, idx, std::move(req))) {
       --conn.inflight;
       return inline_error("server shutting down");
     }
@@ -886,7 +980,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     req.conn_id = conn.id;
     req.seq = seq;
     ++conn.inflight;
-    if (!SubmitOrStall(conn, idx, std::move(req))) {
+    if (!SubmitOrStall(lp, conn, idx, std::move(req))) {
       --conn.inflight;
       return inline_error("server shutting down");
     }
@@ -909,7 +1003,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
           continue;
         }
         if (rt.action == cluster::Route::Action::kMoved) {
-          ++moved_replies_;
+          Bump(lp.counters.moved_replies);
           return inline_code("MOVED " + std::to_string(slot) + " " + rt.addr);
         }
         if (rt.action == cluster::Route::Action::kDown) {
@@ -934,7 +1028,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
       req.multi = multi;
       const uint32_t idx =
           ShardFor(req.key, static_cast<uint32_t>(shards_.size()));
-      if (!SubmitOrStall(conn, idx, std::move(req))) {
+      if (!SubmitOrStall(lp, conn, idx, std::move(req))) {
         // Parts already queued still execute but the joined reply can no
         // longer be produced; fail the command now. The connection is
         // closing with the server anyway.
@@ -996,7 +1090,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     req.conn_id = conn.id;
     req.seq = seq;
     ++conn.inflight;
-    if (!SubmitOrStall(conn, idx, std::move(req))) {
+    if (!SubmitOrStall(lp, conn, idx, std::move(req))) {
       --conn.inflight;
       return inline_error("server shutting down");
     }
@@ -1015,7 +1109,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     // before the audit/flip: the resolution requests queue ahead of each
     // shard's kPromote, so a txn whose decision reached this replica commits
     // and the rest abort — never a silent partial apply.
-    ResolveCrossShardTxns();
+    ResolveCrossShardTxns(lp);
     auto multi = std::make_shared<MultiOp>();
     multi->remaining.store(static_cast<uint32_t>(shards_.size()),
                            std::memory_order_relaxed);
@@ -1032,7 +1126,7 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
       Request req;
       req.op = Request::Op::kPromote;
       req.multi = multi;
-      if (!SubmitOrStall(conn, i, std::move(req))) {
+      if (!SubmitOrStall(lp, conn, i, std::move(req))) {
         --conn.inflight;
         return inline_error("server shutting down");
       }
@@ -1054,10 +1148,10 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
     return DispatchCluster(conn, seq, args);
   }
   if (cmd == "MIGSTART") {
-    return DispatchMigStart(conn, seq, args);
+    return DispatchMigStart(lp, conn, seq, args);
   }
   if (cmd == "MIGAPPLY") {
-    return DispatchMigApply(conn, seq, args);
+    return DispatchMigApply(lp, conn, seq, args);
   }
   if (cmd == "MIGCOMMIT") {
     // THE commit point of a migration: the importing range's owner words
@@ -1097,12 +1191,17 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
   }
   if (cmd == "STATS") {
     std::string r;
-    AppendBulk(&r, BuildStats());
+    AppendBulk(&r, BuildStats(lp));
     CompleteInline(conn, seq, std::move(r));
     return true;
   }
   if (cmd == "SHUTDOWN") {
-    DoShutdown(conn.id, seq);
+    // One loop coordinates a shutdown; a second SHUTDOWN racing it (from any
+    // loop) gets an explicit refusal instead of a second quiesce.
+    if (shutdown_claimed_.exchange(true, std::memory_order_acq_rel)) {
+      return inline_error("shutdown already in progress");
+    }
+    DoShutdown(lp, conn.id, seq);
     return true;
   }
   return inline_error("unknown command '" + args[0] + "'");
@@ -1110,8 +1209,9 @@ bool Server::Dispatch(Conn& conn, std::vector<std::string>& args) {
 
 // ---- Cluster plane (DESIGN.md §10) ------------------------------------------
 
-bool Server::RouteClusterKey(Conn& conn, uint64_t seq, const std::string& key,
-                             bool asking, Request* req) {
+bool Server::RouteClusterKey(Loop& lp, Conn& conn, uint64_t seq,
+                             const std::string& key, bool asking,
+                             Request* req) {
   const uint16_t slot = cluster::SlotForKey(key);
   const cluster::Route rt = cluster_->Lookup(slot, asking);
   std::string r;
@@ -1125,7 +1225,7 @@ bool Server::RouteClusterKey(Conn& conn, uint64_t seq, const std::string& key,
       }
       return false;
     case cluster::Route::Action::kMoved:
-      ++moved_replies_;
+      Bump(lp.counters.moved_replies);
       AppendErrorCode(&r, "MOVED " + std::to_string(slot) + " " + rt.addr);
       break;
     case cluster::Route::Action::kTryAgain:
@@ -1268,7 +1368,7 @@ bool Server::DispatchCluster(Conn& conn, uint64_t seq,
   return reply_err("unknown CLUSTER subcommand '" + args[1] + "'");
 }
 
-bool Server::DispatchMigStart(Conn& conn, uint64_t seq,
+bool Server::DispatchMigStart(Loop& lp, Conn& conn, uint64_t seq,
                               std::vector<std::string>& args) {
   auto reply_err = [&](const std::string& msg, bool code = false) {
     std::string r;
@@ -1337,7 +1437,7 @@ bool Server::DispatchMigStart(Conn& conn, uint64_t seq,
     req.slot_lo = static_cast<uint16_t>(lo);
     req.slot_hi = static_cast<uint16_t>(hi);
     req.multi = multi;
-    if (!SubmitOrStall(conn, i, std::move(req))) {
+    if (!SubmitOrStall(lp, conn, i, std::move(req))) {
       --conn.inflight;
       return reply_err("server shutting down");
     }
@@ -1345,7 +1445,7 @@ bool Server::DispatchMigStart(Conn& conn, uint64_t seq,
   return true;
 }
 
-bool Server::DispatchMigApply(Conn& conn, uint64_t seq,
+bool Server::DispatchMigApply(Loop& lp, Conn& conn, uint64_t seq,
                               std::vector<std::string>& args) {
   auto reply_err = [&](const std::string& msg) {
     std::string r;
@@ -1397,7 +1497,7 @@ bool Server::DispatchMigApply(Conn& conn, uint64_t seq,
     req.op = Request::Op::kMigApply;
     req.mig_ops = std::move(per_shard[i]);
     req.multi = multi;
-    if (!SubmitOrStall(conn, i, std::move(req))) {
+    if (!SubmitOrStall(lp, conn, i, std::move(req))) {
       --conn.inflight;
       return reply_err("server shutting down");
     }
@@ -1407,7 +1507,7 @@ bool Server::DispatchMigApply(Conn& conn, uint64_t seq,
 
 // ---- Transactions (DESIGN.md §9) -------------------------------------------
 
-bool Server::DispatchExec(Conn& conn, uint64_t seq) {
+bool Server::DispatchExec(Loop& lp, Conn& conn, uint64_t seq) {
   std::vector<std::vector<std::string>> cmds = std::move(conn.txn_cmds);
   const bool dirty = conn.txn_dirty;
   conn.in_multi = false;
@@ -1437,7 +1537,7 @@ bool Server::DispatchExec(Conn& conn, uint64_t seq) {
       }
       std::string r;
       if (rt.action == cluster::Route::Action::kMoved) {
-        ++moved_replies_;
+        Bump(lp.counters.moved_replies);
         AppendErrorCode(&r, "MOVED " + std::to_string(slot) + " " + rt.addr);
       } else if (rt.action == cluster::Route::Action::kDown) {
         AppendErrorCode(&r, "CLUSTERDOWN slot " + std::to_string(slot) +
@@ -1453,7 +1553,7 @@ bool Server::DispatchExec(Conn& conn, uint64_t seq) {
   }
 
   auto t = std::make_shared<txn::TxnState>();
-  t->id = txn_ids_.Next();
+  t->id = txn_ids_.Next();  // atomic: loops share one id space
   t->conn_id = conn.id;
   t->reply_seq = seq;
   t->nops = cmds.size();
@@ -1512,12 +1612,15 @@ bool Server::DispatchExec(Conn& conn, uint64_t seq) {
     req.key = txn::TxnIdKey(t->id);
     req.txn = t;
     req.txn_part = i;
-    SubmitTxn(t->parts[i].shard, std::move(req));
+    SubmitTxn(lp, t->parts[i].shard, std::move(req));
   }
   return true;
 }
 
-void Server::AdvanceTxn(const std::shared_ptr<txn::TxnState>& t) {
+void Server::AdvanceTxn(Loop& lp, const std::shared_ptr<txn::TxnState>& t) {
+  // Phase joins route back through the completion queue of the loop owning
+  // t->conn_id, so this always runs on that loop — the phase machine never
+  // races across threads.
   if (t->Failed()) {
     // Abort is always explicit: drop whatever staged with abort-marker
     // records (recovery and replicas observe the same outcome), then tell
@@ -1530,20 +1633,20 @@ void Server::AdvanceTxn(const std::shared_ptr<txn::TxnState>& t) {
       Request req;
       req.op = Request::Op::kTxnAbortMark;
       req.key = idkey;
-      SubmitTxn(p.shard, std::move(req));
+      SubmitTxn(lp, p.shard, std::move(req));
     }
-    DeliverTxnReply(t);
+    DeliverTxnReply(lp, t);
     return;
   }
   const int phase = t->phase.load(std::memory_order_acquire);
   if (phase == txn::TxnState::kPhasePrepare) {
     if (t->single_shard) {
-      DeliverTxnReply(t);  // the kTxnExec record was the commit
+      DeliverTxnReply(lp, t);  // the kTxnExec record was the commit
       return;
     }
     const txn::Decision d = t->BuildDecision();
     if (d.parts.empty()) {
-      DeliverTxnReply(t);  // pure-read cross-shard txn: nothing to commit
+      DeliverTxnReply(lp, t);  // pure-read cross-shard txn: nothing to commit
       return;
     }
     // Phase 2: seal the decision record in the coordinator's log — the
@@ -1561,7 +1664,7 @@ void Server::AdvanceTxn(const std::shared_ptr<txn::TxnState>& t) {
         break;
       }
     }
-    SubmitTxn(t->coordinator, std::move(req));
+    SubmitTxn(lp, t->coordinator, std::move(req));
     return;
   }
   // Phase 2 joined: the decision is sealed (and WAIT-K acked or timed out).
@@ -1577,12 +1680,12 @@ void Server::AdvanceTxn(const std::shared_ptr<txn::TxnState>& t) {
     Request req;
     req.op = Request::Op::kTxnApply;
     req.key = idkey;
-    SubmitTxn(p.shard, std::move(req));
+    SubmitTxn(lp, p.shard, std::move(req));
   }
-  DeliverTxnReply(t);
+  DeliverTxnReply(lp, t);
 }
 
-void Server::DeliverTxnReply(const std::shared_ptr<txn::TxnState>& t) {
+void Server::DeliverTxnReply(Loop& lp, const std::shared_ptr<txn::TxnState>& t) {
   std::string r;
   if (t->Failed()) {
     AppendErrorCode(&r, "TXNABORT " + t->AbortReason());
@@ -1599,21 +1702,21 @@ void Server::DeliverTxnReply(const std::shared_ptr<txn::TxnState>& t) {
       r += frag;
     }
   }
-  const auto it = conns_.find(t->conn_id);
-  if (it == conns_.end()) {
+  const auto it = lp.conns.find(t->conn_id);
+  if (it == lp.conns.end()) {
     return;  // client went away; the txn outcome stands regardless
   }
   Conn& conn = *it->second;
   JNVM_DCHECK(conn.inflight > 0);
   --conn.inflight;
   if (conn.Complete(t->reply_seq, std::move(r))) {
-    if (!EnforceOutCap(conn)) {
-      HandleWritable(conn);
+    if (!EnforceOutCap(lp, conn)) {
+      HandleWritable(lp, conn);
     }
   }
 }
 
-void Server::SubmitTxn(uint32_t shard_idx, Request&& req) {
+void Server::SubmitTxn(Loop& lp, uint32_t shard_idx, Request&& req) {
   // Internal txn-plane submission: never blocks the event loop and never
   // read-pauses a connection. Full queues park the request here and retry
   // on loop ticks / completion drains; a stopping shard fails the txn and
@@ -1622,35 +1725,37 @@ void Server::SubmitTxn(uint32_t shard_idx, Request&& req) {
     case Shard::SubmitResult::kOk:
       return;
     case Shard::SubmitResult::kFull:
-      txn_pending_.emplace_back(shard_idx, std::move(req));
+      lp.txn_pending.emplace_back(shard_idx, std::move(req));
       return;
     case Shard::SubmitResult::kStopped:
       if (req.txn != nullptr) {
         req.txn->Fail("server shutting down");
         if (req.txn->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          AdvanceTxn(req.txn);
+          AdvanceTxn(lp, req.txn);
         }
       }
       return;
   }
 }
 
-void Server::RetryTxnPending() {
+void Server::RetryTxnPending(Loop& lp) {
   // One pass over the queue; still-full shards re-park at the back.
-  size_t n = txn_pending_.size();
-  while (n-- > 0 && !txn_pending_.empty()) {
-    auto item = std::move(txn_pending_.front());
-    txn_pending_.pop_front();
-    SubmitTxn(item.first, std::move(item.second));
+  size_t n = lp.txn_pending.size();
+  while (n-- > 0 && !lp.txn_pending.empty()) {
+    auto item = std::move(lp.txn_pending.front());
+    lp.txn_pending.pop_front();
+    SubmitTxn(lp, item.first, std::move(item.second));
   }
 }
 
-void Server::ResolveCrossShardTxns() {
+void Server::ResolveCrossShardTxns(Loop& lp) {
   // Recovery matrix (DESIGN.md §9): a prepared-but-undecided txn commits
   // iff its coordinator's log holds the sealed decision record; otherwise
   // it aborts — both via explicit records, applied idempotently. Decisions
   // whose participant provably never received its prepare (gapless logs)
   // yield repair actions replaying the writes from the decision itself.
+  // Runs single-threaded at startup (loop 0, before the pool spawns) or on
+  // the loop dispatching PROMOTE.
   std::vector<txn::ShardTxnView> views;
   views.reserve(shards_.size());
   for (const auto& sh : shards_) {
@@ -1668,20 +1773,21 @@ void Server::ResolveCrossShardTxns() {
     } else {
       req.op = Request::Op::kTxnApply;
     }
-    SubmitTxn(a.shard, std::move(req));
+    SubmitTxn(lp, a.shard, std::move(req));
   }
 }
 
-void Server::DrainCompletions() {
+void Server::DrainCompletions(Loop& lp) {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lk(comp_mu_);
-    batch.swap(completions_);
+    std::lock_guard<std::mutex> lk(lp.mu);
+    batch.swap(lp.completions);
   }
   // Flushes are deferred to the end of the round: every completion a
   // connection receives in this drain lands in its chunk queue first, then
-  // one writev ships them all — N sealed batches fanning out to a
-  // subscriber cost one syscall, not N.
+  // one writev (or, on io_uring, one batched submission for the whole dirty
+  // set) ships them all — N sealed batches fanning out to a subscriber cost
+  // one syscall, not N.
   std::vector<uint64_t> dirty;
   const auto mark_dirty = [&dirty](Conn& conn) {
     if (!conn.flush_pending) {
@@ -1694,11 +1800,11 @@ void Server::DrainCompletions() {
       // Txn phase join: advance the 2PC regardless of client liveness —
       // the decision and commit markers must still seal even when the
       // issuing connection is gone.
-      AdvanceTxn(c.txn);
+      AdvanceTxn(lp, c.txn);
       continue;
     }
-    const auto it = conns_.find(c.conn_id);
-    if (it == conns_.end()) {
+    const auto it = lp.conns.find(c.conn_id);
+    if (it == lp.conns.end()) {
       continue;  // client went away before its reply
     }
     Conn& conn = *it->second;
@@ -1711,13 +1817,13 @@ void Server::DrainCompletions() {
       // subscriber that stops reading is evicted at the same backlog as
       // with private copies.
       if (c.frame != nullptr) {
-        ++frame_refs_;
-        frame_bytes_ += c.frame->size();
+        Bump(lp.counters.frame_refs);
+        Bump(lp.counters.frame_bytes, c.frame->size());
         conn.AppendFrame(std::move(c.frame));
       } else {
         conn.AppendOut(std::move(c.reply));  // backlog replay path
       }
-      if (!EnforceOutCap(conn)) {
+      if (!EnforceOutCap(lp, conn)) {
         mark_dirty(conn);
       }
       continue;
@@ -1725,61 +1831,138 @@ void Server::DrainCompletions() {
     JNVM_DCHECK(conn.inflight > 0);
     --conn.inflight;
     if (conn.Complete(c.seq, std::move(c.reply))) {
-      if (!EnforceOutCap(conn)) {
+      if (!EnforceOutCap(lp, conn)) {
         mark_dirty(conn);
       }
     }
   }
-  for (const uint64_t id : dirty) {
-    const auto it = conns_.find(id);
-    if (it == conns_.end()) {
-      continue;  // evicted later in the same round
-    }
-    it->second->flush_pending = false;
-    HandleWritable(*it->second);
-  }
+  FlushDirty(lp, dirty);
   // Completions mean shard queues drained: stalled submissions may fit now.
-  RetryStalled();
-  RetryTxnPending();
+  RetryStalled(lp);
+  RetryTxnPending(lp);
 }
 
-bool Server::EnforceOutCap(Conn& conn) {
+void Server::FlushDirty(Loop& lp, std::vector<uint64_t>& dirty) {
+  if (dirty.empty()) {
+    return;
+  }
+  // Capability probe: only the io_uring backend accepts a batch. On it, the
+  // whole dirty set ships as one submission (N SENDMSG SQEs, one
+  // io_uring_enter); leftovers — partial sends, -EAGAIN, errors — fall
+  // through to the per-connection path below, which re-arms POLLOUT and
+  // does the closing bookkeeping.
+  static constexpr size_t kFlushIovecs = 64;
+  if (lp.poller->WritevBatch(nullptr, 0) && dirty.size() > 1) {
+    std::vector<std::array<struct iovec, kFlushIovecs>> iovs(dirty.size());
+    std::vector<Poller::WriteOp> ops;
+    std::vector<uint64_t> op_ids;
+    ops.reserve(dirty.size());
+    op_ids.reserve(dirty.size());
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      const auto it = lp.conns.find(dirty[i]);
+      if (it == lp.conns.end() || !it->second->WantsWrite()) {
+        continue;
+      }
+      Conn& conn = *it->second;
+      Poller::WriteOp op;
+      op.fd = conn.fd;
+      op.iov = iovs[i].data();
+      op.niov = static_cast<int>(conn.BuildIovecs(iovs[i].data(), kFlushIovecs));
+      ops.push_back(op);
+      op_ids.push_back(conn.id);
+    }
+    if (!ops.empty()) {
+      lp.poller->WritevBatch(ops.data(), ops.size());
+      Bump(lp.counters.batch_flushes);
+      bool any = false;
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].nsent <= 0) {
+          continue;  // -EAGAIN/-EINTR/error: HandleWritable resolves below
+        }
+        any = true;
+        const auto it = lp.conns.find(op_ids[i]);
+        if (it == lp.conns.end()) {
+          continue;
+        }
+        Bump(lp.counters.flushed_bytes, static_cast<uint64_t>(ops[i].nsent));
+        Bump(lp.counters.flush_chunks, static_cast<uint64_t>(ops[i].niov));
+        it->second->ConsumeOut(static_cast<size_t>(ops[i].nsent));
+      }
+      if (any) {
+        Bump(lp.counters.flush_syscalls);
+      }
+    }
+  }
+  for (const uint64_t id : dirty) {
+    const auto it = lp.conns.find(id);
+    if (it == lp.conns.end()) {
+      continue;  // evicted earlier in the same round
+    }
+    it->second->flush_pending = false;
+    HandleWritable(lp, *it->second);
+  }
+}
+
+bool Server::EnforceOutCap(Loop& lp, Conn& conn) {
   if (conn.pending_out_bytes() <= opts_.max_conn_out_bytes) {
     return false;
   }
-  ++out_overflows_;
-  CloseConn(conn.id);
+  Bump(lp.counters.out_overflows);
+  CloseConn(lp, conn.id);
   return true;
 }
 
-std::string Server::BuildStats() {
+std::string Server::BuildStats(Loop& lp) {
   std::string out;
   char line[512];
+  // Counters are per-loop (each slot written by one thread, read here
+  // relaxed): the aggregate can lag in-flight operations but never tears
+  // or loses increments under --loops > 1.
+  uint64_t conns = 0, accepted = 0, commands = 0, proto_errs = 0;
+  uint64_t in_ovf = 0, out_ovf = 0, fsys = 0, fbytes = 0, fchunks = 0;
+  uint64_t bflush = 0, frefs = 0, fbytes_ref = 0, moved = 0;
+  for (const auto& l : loops_) {
+    const LoopCounters& c = l->counters;
+    conns += Rd(c.open_conns);
+    accepted += Rd(c.accepted);
+    commands += Rd(c.commands);
+    proto_errs += Rd(c.protocol_errors);
+    in_ovf += Rd(c.in_overflows);
+    out_ovf += Rd(c.out_overflows);
+    fsys += Rd(c.flush_syscalls);
+    fbytes += Rd(c.flushed_bytes);
+    fchunks += Rd(c.flush_chunks);
+    bflush += Rd(c.batch_flushes);
+    frefs += Rd(c.frame_refs);
+    fbytes_ref += Rd(c.frame_bytes);
+    moved += Rd(c.moved_replies);
+  }
   std::snprintf(line, sizeof(line),
-                "server: shards=%zu batch=%u backend=%s poller=%s conns=%zu "
-                "accepted=%llu commands=%llu protocol_errors=%llu "
+                "server: shards=%zu batch=%u backend=%s poller=%s loops=%zu "
+                "conns=%llu accepted=%llu commands=%llu protocol_errors=%llu "
                 "in_overflows=%llu out_overflows=%llu\n",
                 shards_.size(), opts_.shard.batch, opts_.shard.backend.c_str(),
-                poller_->using_epoll() ? "epoll" : "poll", conns_.size(),
-                static_cast<unsigned long long>(accepted_),
-                static_cast<unsigned long long>(commands_),
-                static_cast<unsigned long long>(protocol_errors_),
-                static_cast<unsigned long long>(in_overflows_),
-                static_cast<unsigned long long>(out_overflows_));
+                lp.poller->name(), loops_.size(),
+                static_cast<unsigned long long>(conns),
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(commands),
+                static_cast<unsigned long long>(proto_errs),
+                static_cast<unsigned long long>(in_ovf),
+                static_cast<unsigned long long>(out_ovf));
   out += line;
   // chunks_per_flush ×100 (two implied decimals) keeps the dump integer-only.
-  const uint64_t cpf100 =
-      flush_syscalls_ == 0 ? 0 : flush_chunks_ * 100 / flush_syscalls_;
+  const uint64_t cpf100 = fsys == 0 ? 0 : fchunks * 100 / fsys;
   std::snprintf(line, sizeof(line),
                 "output: flush_syscalls=%llu flushed_bytes=%llu "
-                "chunks_per_flush=%llu.%02llu frame_refs=%llu "
-                "frame_bytes=%llu\n",
-                static_cast<unsigned long long>(flush_syscalls_),
-                static_cast<unsigned long long>(flushed_bytes_),
+                "chunks_per_flush=%llu.%02llu batch_flushes=%llu "
+                "frame_refs=%llu frame_bytes=%llu\n",
+                static_cast<unsigned long long>(fsys),
+                static_cast<unsigned long long>(fbytes),
                 static_cast<unsigned long long>(cpf100 / 100),
                 static_cast<unsigned long long>(cpf100 % 100),
-                static_cast<unsigned long long>(frame_refs_),
-                static_cast<unsigned long long>(frame_bytes_));
+                static_cast<unsigned long long>(bflush),
+                static_cast<unsigned long long>(frefs),
+                static_cast<unsigned long long>(fbytes_ref));
   out += line;
   uint64_t records = 0, elided = 0, puts = 0, gets = 0, updates = 0, dels = 0;
   uint64_t txn_prep = 0, txn_comm = 0, txn_abrt = 0, txn_infl = 0, txn_dec = 0;
@@ -1882,7 +2065,7 @@ std::string Server::BuildStats() {
         static_cast<unsigned long long>(cluster_->slots_owned()),
         static_cast<unsigned long long>(cluster_->migrations_in()),
         static_cast<unsigned long long>(cluster_->migrations_out()),
-        static_cast<unsigned long long>(moved_replies_),
+        static_cast<unsigned long long>(moved),
         static_cast<unsigned long long>(ask_replies),
         static_cast<unsigned long long>(mig_applied));
     out += line;
@@ -1900,21 +2083,39 @@ std::string Server::BuildStats() {
   return out;
 }
 
-void Server::DoShutdown(uint64_t conn_id, uint64_t seq) {
-  shutting_down_ = true;
-  // 1. Stop intake: no new connections, and Submit() starts failing as each
-  //    shard flips to stopping.
-  poller_->Forget(listen_fd_);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+void Server::DoShutdown(Loop& lp, uint64_t conn_id, uint64_t seq) {
+  // Two-phase cross-loop shutdown, coordinated by this loop (the one that
+  // dispatched SHUTDOWN or first noticed RequestShutdown; shutdown_claimed_
+  // guarantees there is exactly one).
+  //
+  // Phase 1 — quiesce intake everywhere. Every loop stops accepting and
+  // stops reading/parsing client input, then checks in through the barrier
+  // below. Only after the last check-in do the shards quiesce: no loop can
+  // mint new work while the drain/audit/image-save runs, so a connection on
+  // another loop cannot race the image save (the single-loop version got
+  // this for free). Loops keep draining completions and flushing replies
+  // throughout — in-flight work still resolves.
+  shutdown_phase_.store(1, std::memory_order_release);
+  StopIntake(lp);
+  for (auto& other : loops_) {
+    if (other.get() != &lp) {
+      WakeLoop(*other);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(shutdown_mu_);
+    shutdown_cv_.wait(lk, [&] {
+      return intake_stopped_loops_ == loops_.size();
+    });
+  }
   // On a replica, stop the pull loops before draining the shards so no
   // kApply arrives once the quiesce begins.
   if (repl_client_ != nullptr) {
     repl_client_->Stop();
   }
 
-  // 2. Quiesce shards: drains every queued request, joins the workers,
-  //    Psyncs, audits integrity (I1–I7) and saves the device images.
+  // Quiesce shards: drains every queued request, joins the workers,
+  // Psyncs, audits integrity (I1–I7) and saves the device images.
   shutdown_report_.shards.clear();
   bool ok = true;
   for (auto& sh : shards_) {
@@ -1931,11 +2132,13 @@ void Server::DoShutdown(uint64_t conn_id, uint64_t seq) {
     cluster_->Close();
   }
 
-  // 3. Deliver the completions the drain produced, then answer SHUTDOWN
-  //    itself — its +OK certifies a clean audit and saved images.
-  DrainCompletions();
-  const auto it = conns_.find(conn_id);
-  if (it != conns_.end()) {
+  // Deliver the completions the drain produced for THIS loop's conns (the
+  // other loops drain their own on their phase-1 ticks), then answer
+  // SHUTDOWN itself — its +OK certifies a clean audit and saved images.
+  // The issuing connection is pinned to this loop, so the reply is local.
+  DrainCompletions(lp);
+  const auto it = lp.conns.find(conn_id);
+  if (it != lp.conns.end()) {
     std::string r;
     if (ok) {
       AppendSimple(&r, "OK");
@@ -1950,26 +2153,79 @@ void Server::DoShutdown(uint64_t conn_id, uint64_t seq) {
     it->second->Complete(seq, std::move(r));
   }
 
-  // 4. Flush what we can, close everything, exit the loop.
-  FlushAllBestEffort();
-  while (!conns_.empty()) {
-    CloseConn(conns_.begin()->first);
+  // Phase 2 — release every loop to run its own exit path: final drain,
+  // best-effort flush, close. This loop goes now; the others go on their
+  // next wakeup.
+  shutdown_phase_.store(2, std::memory_order_release);
+  for (auto& other : loops_) {
+    if (other.get() != &lp) {
+      WakeLoop(*other);
+    }
+  }
+  FinishLoop(lp);
+}
+
+void Server::StopIntake(Loop& lp) {
+  if (lp.intake_stopped) {
+    return;
+  }
+  lp.intake_stopped = true;
+  if (lp.listen_fd >= 0) {
+    lp.poller->Forget(lp.listen_fd);
+    ::close(lp.listen_fd);
+    lp.listen_fd = -1;
+  }
+  // Stop watching readable on every connection: unread pipelines stay in
+  // the kernel buffers. Write interest stays — pending replies still flush.
+  for (auto& [id, conn] : lp.conns) {
+    lp.poller->Watch(conn->fd, false, conn->WantsWrite());
+  }
+  // Hand-off fds that raced the stop are closed, not registered.
+  {
+    std::lock_guard<std::mutex> lk(lp.mu);
+    for (const int fd : lp.fd_inbox) {
+      ::close(fd);
+    }
+    lp.fd_inbox.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    ++intake_stopped_loops_;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::FinishLoop(Loop& lp) {
+  if (lp.exiting) {
+    return;
+  }
+  StopIntake(lp);  // no-op when phase 1 already ran here
+  lp.exiting = true;
+  // The shards are stopped: re-driving stalled and parked txn work now
+  // fails it cleanly (kStopped → FailStalledRequest / txn Fail), so every
+  // reply slot resolves before the flush below.
+  RetryStalled(lp);
+  RetryTxnPending(lp);
+  DrainCompletions(lp);
+  FlushAllBestEffort(lp);
+  while (!lp.conns.empty()) {
+    CloseConn(lp, lp.conns.begin()->first);
   }
 }
 
-void Server::FlushAllBestEffort() {
+void Server::FlushAllBestEffort(Loop& lp) {
   // Bounded synchronous flush of every connection's pending output (the
   // sockets are non-blocking; wait briefly for writability when stalled).
   struct iovec iov[64];
-  for (auto& [id, conn] : conns_) {
+  for (auto& [id, conn] : lp.conns) {
     int spins = 0;
     while (conn->WantsWrite() && spins < 200) {
       const size_t niov = conn->BuildIovecs(iov, 64);
       const ssize_t n = ::writev(conn->fd, iov, static_cast<int>(niov));
       if (n > 0) {
-        ++flush_syscalls_;
-        flushed_bytes_ += static_cast<uint64_t>(n);
-        flush_chunks_ += niov;
+        Bump(lp.counters.flush_syscalls);
+        Bump(lp.counters.flushed_bytes, static_cast<uint64_t>(n));
+        Bump(lp.counters.flush_chunks, niov);
         conn->ConsumeOut(static_cast<size_t>(n));
         continue;
       }

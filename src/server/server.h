@@ -1,10 +1,15 @@
 // The J-NVM network server (DESIGN.md §7): a RESP front-end over N shards.
 //
-// Threading model: one event-loop thread (accept + socket I/O + protocol +
-// routing) and one worker thread per shard (src/server/shard.h). Requests
-// flow event loop → shard queue; completions flow back through a queue
-// drained by the event loop, which a self-pipe byte wakes. Replies are
-// delivered in per-connection command order (src/server/conn.h).
+// Threading model: a pool of event-loop threads (ServerOptions::loops, default
+// 1) and one worker thread per shard (src/server/shard.h). Each loop owns a
+// SO_REUSEPORT listener (or, where the kernel lacks it, loop 0 accepts and
+// hands fds off round-robin through per-loop inboxes), and a connection is
+// pinned to its accepting loop for life — all of its socket I/O, parsing and
+// reply assembly happen on that one thread, so per-connection state needs no
+// locks. Requests flow any loop → shard MPSC queue; completions flow back
+// through a per-loop completion queue selected by the loop index encoded in
+// the connection id, and a per-loop self-pipe byte wakes the owner. Replies
+// are delivered in per-connection command order (src/server/conn.h).
 //
 // Commands (RESP arrays of bulk strings; names case-insensitive):
 //   PING                       +PONG
@@ -26,7 +31,9 @@
 // A single-shard txn commits through the shard's ordinary group commit; a
 // cross-shard txn two-phase-commits with the decision record sealed in the
 // coordinator shard's replication log. Either way the EXEC reply means every
-// op is durably applied (or, on -TXNABORT, none is).
+// op is durably applied (or, on -TXNABORT, none is). A transaction's 2PC
+// state machine is driven entirely by the loop owning its connection (phase
+// joins route back by conn id), so its phases never race across loops.
 //
 // Replication plane (DESIGN.md §8):
 //   REPLSYNC shard from        +SYNC <from>, then a bulk stream of sealed
@@ -39,12 +46,16 @@
 // follower (-READONLY to client writes) and pulls those commands from the
 // primary itself via repl::ReplClient.
 //
-// The event loop uses epoll on Linux and poll(2) otherwise; ServerOptions
-// can force the poll path so both are testable on one platform.
+// Readiness backends (src/server/poller.h): epoll (Linux default), poll(2)
+// (portable / forced by tests), io_uring (--poller=uring; one-shot POLL_ADD
+// arms batched into a single io_uring_enter per round, plus batched SENDMSG
+// flushing — falls back to epoll at runtime when the kernel lacks io_uring).
 #ifndef JNVM_SRC_SERVER_SERVER_H_
 #define JNVM_SRC_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +67,7 @@
 #include "src/cluster/migrate.h"
 #include "src/repl/replica.h"
 #include "src/server/conn.h"
+#include "src/server/poller.h"
 #include "src/server/shard.h"
 #include "src/txn/txn.h"
 
@@ -66,8 +78,19 @@ struct ServerOptions {
   uint16_t port = 0;  // 0 = ephemeral; read back with port()
   uint32_t nshards = 4;
   ShardOptions shard;
-  // Force the poll(2) event loop even where epoll is available.
+  // Event-loop threads (clamped to [1, 64]). Each owns a listener and the
+  // connections it accepts.
+  uint32_t loops = 1;
+  // Readiness backend: "" (epoll, honoring force_poll), "epoll", "poll",
+  // or "uring" (io_uring, falling back to epoll when the kernel lacks it).
+  std::string poller;
+  // Force the poll(2) event loop even where epoll is available (legacy
+  // spelling of poller="poll"; ignored when `poller` is set).
   bool force_poll = false;
+  // When false, skip SO_REUSEPORT and run the accept-and-hand-off fallback
+  // (loop 0 accepts, fds round-robin to the pool) — the path kernels
+  // without SO_REUSEPORT take; exposed so tests cover it everywhere.
+  bool reuseport = true;
   // "host:port" of a primary to replicate from. Non-empty = replica role:
   // every shard opens as a follower (shard.follower and shard.repl_log are
   // forced on) and a ReplClient pulls the primary's record stream. The
@@ -99,11 +122,32 @@ struct ShutdownReport {
   std::string Summary() const;
 };
 
+// Per-loop counters. Each is mutated only by its owning loop thread, but
+// STATS (served on whichever loop got the command) aggregates across all
+// loops, so the slots are relaxed atomics — an aggregate can lag a few
+// operations but can never be torn or lose increments.
+struct LoopCounters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> commands{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> in_overflows{0};   // dropped: input cap exceeded
+  std::atomic<uint64_t> out_overflows{0};  // dropped: output cap exceeded
+  // Output-path counters (chunked writev flush, DESIGN.md §7).
+  std::atomic<uint64_t> flush_syscalls{0};  // flush syscalls that accepted bytes
+  std::atomic<uint64_t> flushed_bytes{0};   // bytes the kernel accepted
+  std::atomic<uint64_t> flush_chunks{0};    // chunks submitted across those
+  std::atomic<uint64_t> batch_flushes{0};   // WritevBatch submissions (uring)
+  std::atomic<uint64_t> frame_refs{0};      // shared frames enqueued by ref
+  std::atomic<uint64_t> frame_bytes{0};     // logical bytes those refs share
+  std::atomic<uint64_t> moved_replies{0};   // cluster -MOVED redirects
+  std::atomic<uint64_t> open_conns{0};      // live connections on this loop
+};
+
 class Server : public CompletionSink {
  public:
   // Binds, listens, opens the shards (recovering from images when present)
-  // and starts the event loop. Returns nullptr on socket failure with the
-  // reason in *error.
+  // and starts the event-loop pool. Returns nullptr on socket failure with
+  // the reason in *error.
   static std::unique_ptr<Server> Start(const ServerOptions& opts,
                                        std::string* error);
   ~Server() override;
@@ -116,84 +160,145 @@ class Server : public CompletionSink {
   // Cluster plane (null unless ServerOptions::cluster). Tests and tools.
   cluster::ClusterState* cluster_state() { return cluster_.get(); }
   cluster::Migrator* migrator() { return migrator_.get(); }
+  // The readiness backend actually running (after any runtime fallback).
+  const char* poller_name() const;
 
-  // Blocks until the event loop exits (SHUTDOWN command or RequestShutdown).
+  // Blocks until every event loop exits (SHUTDOWN command or
+  // RequestShutdown).
   void Wait();
   // Programmatic shutdown: same path as the SHUTDOWN command.
   void RequestShutdown();
 
-  // Valid after the event loop exited.
+  // Valid after the event loops exited.
   const ShutdownReport& shutdown_report() const { return shutdown_report_; }
 
-  // CompletionSink (called from shard workers).
+  // CompletionSink (called from shard workers and any loop): routes the
+  // completion to the loop owning its connection and wakes it.
   void OnCompletion(Completion&& c) override;
 
  private:
+  // Everything one event-loop thread owns. Connections live and die on one
+  // loop; cross-thread traffic enters only through `mu`-guarded queues
+  // (completions, handed-off fds) plus the wake pipe.
+  struct Loop {
+    uint32_t index = 0;
+    int listen_fd = -1;  // own SO_REUSEPORT listener; -1 in hand-off mode
+    int wake_r = -1, wake_w = -1;  // self-pipe
+    std::unique_ptr<Poller> poller;
+    std::thread thread;
+
+    std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+    std::unordered_map<int, uint64_t> by_fd;
+    uint64_t next_conn = 1;  // low 48 bits of the next conn id
+
+    std::mutex mu;  // guards completions + fd_inbox (the cross-thread doors)
+    std::vector<Completion> completions;
+    std::vector<int> fd_inbox;  // accepted fds handed off by loop 0
+
+    // Connections with a non-empty stall queue (backpressure), retried
+    // after completions drain and on each loop tick.
+    std::vector<uint64_t> stalled_conns;
+    // Internal txn-phase requests waiting for shard-queue space (a loop
+    // never blocks on Submit).
+    std::deque<std::pair<uint32_t, Request>> txn_pending;
+
+    LoopCounters counters;
+
+    // Loop-local shutdown progression (guarded by being loop-thread-only).
+    bool intake_stopped = false;  // phase 1 processed: no accepts, no reads
+    bool exiting = false;         // phase 2 processed: leave the loop
+  };
+
   Server() = default;
 
-  void EventLoop();
-  void AcceptPending();
-  void HandleReadable(Conn& conn);
-  void HandleWritable(Conn& conn);
+  // Loop index lives in bits 48+ of the conn id (loop 1 = pool index 0, so
+  // id 0 keeps meaning "no connection" / internal).
+  static constexpr int kLoopShift = 48;
+  Loop& LoopFor(uint64_t conn_id);
+  void WakeLoop(Loop& lp);
+
+  void EventLoop(Loop& lp);
+  void AcceptPending(Loop& lp);
+  // Registers a freshly accepted fd on this loop (both accept paths).
+  void RegisterConn(Loop& lp, int fd);
+  // Hand-off fallback: drains fds loop 0 accepted for this loop.
+  void DrainFdInbox(Loop& lp);
+  void CloseConn(Loop& lp, uint64_t id);
+  void HandleReadable(Loop& lp, Conn& conn);
+  void HandleWritable(Loop& lp, Conn& conn);
   // Parses + dispatches the commands already buffered on the connection;
   // stops early on a read-pause (shard backpressure) or a protocol error.
-  void ProcessInput(Conn& conn);
+  void ProcessInput(Loop& lp, Conn& conn);
   // Parses and dispatches one command; false = protocol error, close conn.
-  bool Dispatch(Conn& conn, std::vector<std::string>& args);
+  bool Dispatch(Loop& lp, Conn& conn, std::vector<std::string>& args);
   // ---- Cluster plane (DESIGN.md §10) --------------------------------------
   // Slot-routes one single-key command. True = the command was answered
   // inline with a redirect (-MOVED / -TRYAGAIN / -CLUSTERDOWN) and must not
   // submit; false = serve locally (req->ask_addr set when the slot is
   // mid-migration, so a key miss answers -ASK). `asking` is the connection's
   // consumed one-shot ASKING flag.
-  bool RouteClusterKey(Conn& conn, uint64_t seq, const std::string& key,
-                       bool asking, Request* req);
+  bool RouteClusterKey(Loop& lp, Conn& conn, uint64_t seq,
+                       const std::string& key, bool asking, Request* req);
   // CLUSTER MEET / SLOTS / SETSLOT / INFO admin family.
-  bool DispatchCluster(Conn& conn, uint64_t seq, std::vector<std::string>& args);
+  bool DispatchCluster(Conn& conn, uint64_t seq,
+                       std::vector<std::string>& args);
   // Destination-side migration protocol: MIGSTART / MIGAPPLY / MIGCOMMIT /
   // MIGABORT (sent by a peer's Migrator, never by ordinary clients).
-  bool DispatchMigStart(Conn& conn, uint64_t seq, std::vector<std::string>& args);
-  bool DispatchMigApply(Conn& conn, uint64_t seq, std::vector<std::string>& args);
+  bool DispatchMigStart(Loop& lp, Conn& conn, uint64_t seq,
+                        std::vector<std::string>& args);
+  bool DispatchMigApply(Loop& lp, Conn& conn, uint64_t seq,
+                        std::vector<std::string>& args);
   // Queues `req` on shard `shard_idx` or stalls it on the connection
   // (read-pause backpressure). False = shard stopping; caller replies -ERR.
-  bool SubmitOrStall(Conn& conn, uint32_t shard_idx, Request&& req);
+  bool SubmitOrStall(Loop& lp, Conn& conn, uint32_t shard_idx, Request&& req);
   // Re-drives stalled requests after shard queues drained; resumes reading
   // and parsing when a connection's stall queue empties.
-  void RetryStalled();
-  void PauseReads(Conn& conn);
+  void RetryStalled(Loop& lp);
+  void PauseReads(Loop& lp, Conn& conn);
   // Resolves the reply slot of a stalled request whose shard is stopping.
-  void FailStalledRequest(Conn& conn, Request& req);
+  void FailStalledRequest(Loop& lp, Conn& conn, Request& req);
   void CompleteInline(Conn& conn, uint64_t seq, std::string&& reply);
-  void DrainCompletions();
+  void DrainCompletions(Loop& lp);
+  // Ships every connection DrainCompletions dirtied: one writev each, or —
+  // on io_uring — one batched submission for the whole set.
+  void FlushDirty(Loop& lp, std::vector<uint64_t>& dirty);
   // ---- Transactions (DESIGN.md §9) ---------------------------------------
   // EXEC: turns the connection's queued MULTI buffer into a TxnState and
   // launches phase 1 (kTxnExec single-shard / kTxnPrepare per participant).
-  bool DispatchExec(Conn& conn, uint64_t seq);
-  // Phase machine, driven by shard completions carrying Completion::txn:
-  // prepare → decide (cross-shard) → fan commit markers + reply.
-  void AdvanceTxn(const std::shared_ptr<txn::TxnState>& t);
+  bool DispatchExec(Loop& lp, Conn& conn, uint64_t seq);
+  // Phase machine, driven by shard completions carrying Completion::txn.
+  // Always runs on the loop owning the txn's connection.
+  void AdvanceTxn(Loop& lp, const std::shared_ptr<txn::TxnState>& t);
   // Assembles and delivers the final EXEC reply (*N array, -TXNABORT or
   // -WAITTIMEOUT) to the owning connection, if it still exists.
-  void DeliverTxnReply(const std::shared_ptr<txn::TxnState>& t);
+  void DeliverTxnReply(Loop& lp, const std::shared_ptr<txn::TxnState>& t);
   // Submits an internal txn request to a shard without ever blocking the
-  // event loop: kFull requests park in txn_pending_ and retry on loop ticks.
-  void SubmitTxn(uint32_t shard_idx, Request&& req);
-  void RetryTxnPending();
+  // loop: kFull requests park in lp.txn_pending and retry on loop ticks.
+  void SubmitTxn(Loop& lp, uint32_t shard_idx, Request&& req);
+  void RetryTxnPending(Loop& lp);
   // Crash/promote resolution: commit-or-abort every prepared-but-undecided
   // txn by presence of the sealed decision in its coordinator's log.
-  void ResolveCrossShardTxns();
+  void ResolveCrossShardTxns(Loop& lp);
   // Disconnects a connection whose pending output exceeded the cap.
-  // True when the connection was evicted (iterators into conns_ invalid).
-  bool EnforceOutCap(Conn& conn);
-  void CloseConn(uint64_t id);
-  std::string BuildStats();
-  void DoShutdown(uint64_t conn_id, uint64_t seq);
-  void FlushAllBestEffort();
+  // True when the connection was evicted (iterators into conns invalid).
+  bool EnforceOutCap(Loop& lp, Conn& conn);
+  std::string BuildStats(Loop& lp);
+  // Two-phase cross-loop shutdown, run by the coordinating loop: phase 1
+  // stops intake on every loop (accepts + new input) and barriers on it, so
+  // no loop can submit new work while the shards quiesce; phase 2 releases
+  // every loop to drain its completions, flush and close its connections.
+  void DoShutdown(Loop& lp, uint64_t conn_id, uint64_t seq);
+  // Phase-1 entry each loop runs on itself exactly once.
+  void StopIntake(Loop& lp);
+  // Phase-2 exit each loop runs on itself: fail stalled work, drain, flush,
+  // close, leave.
+  void FinishLoop(Loop& lp);
+  void FlushAllBestEffort(Loop& lp);
 
   ServerOptions opts_;
   uint16_t port_ = 0;
-  int listen_fd_ = -1;
-  int wake_r_ = -1, wake_w_ = -1;  // self-pipe
+  std::vector<std::unique_ptr<Loop>> loops_;
+  uint32_t rr_next_ = 0;  // hand-off round-robin cursor (loop 0 only)
   std::vector<std::unique_ptr<Shard>> shards_;
   // Declared after shards_ so destruction stops the pull threads first.
   std::unique_ptr<repl::ReplClient> repl_client_;
@@ -203,42 +308,19 @@ class Server : public CompletionSink {
   std::unique_ptr<cluster::ClusterState> cluster_;
   std::unique_ptr<cluster::Migrator> migrator_;
 
-  std::thread loop_;
   std::atomic<bool> shutdown_requested_{false};
-  bool shutting_down_ = false;  // event-loop local
+  // 0 = running; 1 = quiesce (no accepts, no new input, loops keep draining
+  // completions); 2 = exit (final drain + flush + close). Advanced only by
+  // the coordinating loop.
+  std::atomic<int> shutdown_phase_{0};
+  std::atomic<bool> shutdown_claimed_{false};  // one loop coordinates
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  uint32_t intake_stopped_loops_ = 0;  // guarded by shutdown_mu_
   ShutdownReport shutdown_report_;
 
-  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
-  std::unordered_map<int, uint64_t> by_fd_;
-  uint64_t next_conn_id_ = 1;
-  std::unique_ptr<class Poller> poller_;
-
-  std::mutex comp_mu_;
-  std::vector<Completion> completions_;
-
-  // Connections with a non-empty stall queue (backpressure), retried after
-  // completions drain and on each loop tick.
-  std::vector<uint64_t> stalled_conns_;
-
-  // Transactions: id generator and internal phase requests waiting for
-  // shard-queue space (the event loop never blocks on Submit).
+  // Transactions: id generator shared by all loops (atomic).
   txn::TxnIdGenerator txn_ids_;
-  std::deque<std::pair<uint32_t, Request>> txn_pending_;
-
-  // Server-level counters (STATS).
-  uint64_t accepted_ = 0;
-  uint64_t commands_ = 0;
-  uint64_t protocol_errors_ = 0;
-  uint64_t in_overflows_ = 0;   // connections dropped: input cap exceeded
-  uint64_t out_overflows_ = 0;  // connections dropped: output cap exceeded
-  // Output-path counters (chunked writev flush, DESIGN.md §7).
-  uint64_t flush_syscalls_ = 0;  // writev() calls that accepted bytes
-  uint64_t flushed_bytes_ = 0;   // bytes the kernel accepted
-  uint64_t flush_chunks_ = 0;    // chunks submitted across those calls
-  uint64_t frame_refs_ = 0;      // shared frames enqueued by reference
-  uint64_t frame_bytes_ = 0;     // logical bytes those refs would have copied
-  // Cluster plane: -MOVED redirects answered (event-loop thread only).
-  uint64_t moved_replies_ = 0;
 };
 
 }  // namespace jnvm::server

@@ -2,9 +2,14 @@
 //
 // Each shard owns a full vertical slice: one simulated NVMM device, one
 // JnvmRuntime, one J-NVM backend and the KvStore on top, plus a single
-// worker thread draining a bounded MPSC request queue. Keys are routed to
-// shards by FNV-1a hash (ShardFor), so a key's whole history lives on one
-// device — restart recovery is per-shard and embarrassingly parallel.
+// worker thread draining a bounded MPSC request queue. The queue really is
+// multi-producer: with `--loops=N` every event-loop thread (plus the
+// ReplClient and the migrator) submits into the same shard concurrently —
+// Submit/TrySubmit are safe from any thread, and a completion finds its
+// way back to the loop that owns the requesting connection via the conn_id
+// it carries (the loop index rides in the id's top bits). Keys are routed
+// to shards by FNV-1a hash (ShardFor), so a key's whole history lives on
+// one device — restart recovery is per-shard and embarrassingly parallel.
 //
 // The worker executes requests in batches of up to `batch` and holds the
 // heap in group-commit mode for the batch: per-operation trailing
@@ -287,8 +292,9 @@ struct Completion {
   std::shared_ptr<txn::TxnState> txn;
 };
 
-// Where shards hand finished requests. The server implementation pushes to
-// a completion queue and wakes the event loop; tests use a plain collector.
+// Where shards hand finished requests. The server implementation routes
+// each completion by its conn_id to the event loop owning that connection
+// (per-loop completion queue + wakeup pipe); tests use a plain collector.
 class CompletionSink {
  public:
   virtual ~CompletionSink() = default;

@@ -13,17 +13,51 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "src/common/clock.h"
 #include "src/server/client.h"
+#include "src/server/poller.h"
 #include "src/server/server.h"
 #include "src/server/shard.h"
 
 namespace jnvm::server {
 namespace {
+
+// ---- I/O-plane parameterization ---------------------------------------------
+// The e2e suites run under every loops × poller combination: the single-loop
+// shapes that existed before the multi-core I/O plane, plus 2- and 4-loop
+// pools where connections land on different loops and completions cross
+// threads. io_uring joins the grid only when the kernel actually supports it
+// (Poller::Create falls back to epoll otherwise, which would make the
+// poller= stats assertion lie).
+
+struct IoParam {
+  uint32_t loops;
+  std::string poller;
+};
+
+std::vector<IoParam> IoParams() {
+  std::vector<std::string> pollers = {"epoll", "poll"};
+  if (IoUringSupported()) {
+    pollers.push_back("uring");
+  }
+  std::vector<IoParam> out;
+  for (uint32_t loops : {1u, 2u, 4u}) {
+    for (const std::string& p : pollers) {
+      out.push_back({loops, p});
+    }
+  }
+  return out;
+}
+
+std::string IoParamName(const ::testing::TestParamInfo<IoParam>& info) {
+  return "loops" + std::to_string(info.param.loops) + "_" + info.param.poller;
+}
 
 // ---- RESP command parser ----------------------------------------------------
 
@@ -360,13 +394,14 @@ TEST(ConnOutQueue, CompleteMovesStagedReplies) {
 
 // ---- End-to-end loopback ----------------------------------------------------
 
-class ServerE2E : public ::testing::TestWithParam<bool> {
+class ServerE2E : public ::testing::TestWithParam<IoParam> {
  protected:
   ServerOptions Opts() {
     ServerOptions o;
     o.nshards = 4;
     o.shard = SmallShard(16);
-    o.force_poll = GetParam();
+    o.loops = GetParam().loops;
+    o.poller = GetParam().poller;
     return o;
   }
 };
@@ -394,7 +429,8 @@ TEST_P(ServerE2E, CommandsRoundtrip) {
   const auto stats = c->Stats();
   ASSERT_TRUE(stats.has_value());
   EXPECT_NE(stats->find("shard0:"), std::string::npos);
-  EXPECT_NE(stats->find(GetParam() ? "poller=poll" : "poller=epoll"),
+  EXPECT_NE(stats->find("poller=" + GetParam().poller), std::string::npos);
+  EXPECT_NE(stats->find("loops=" + std::to_string(GetParam().loops)),
             std::string::npos);
 
   EXPECT_TRUE(c->Shutdown());
@@ -476,7 +512,8 @@ TEST_P(ServerE2E, ConcurrentClientsThenRestartRecoversEverything) {
   // shutdowns; recovery ran on restart).
   const std::string base =
       (std::filesystem::temp_directory_path() /
-       ("jnvm_e2e_" + std::to_string(::getpid()) + (GetParam() ? "p" : "e")))
+       ("jnvm_e2e_" + std::to_string(::getpid()) + "_" +
+        std::to_string(GetParam().loops) + GetParam().poller))
           .string();
   ServerOptions opts = Opts();
   opts.shard.image_base = base;
@@ -681,15 +718,157 @@ TEST_P(ServerE2E, PipelinedCommandsSplitAcrossTinyWrites) {
   server->Wait();
 }
 
-INSTANTIATE_TEST_SUITE_P(Pollers, ServerE2E, ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "poll" : "epoll";
-                         });
+INSTANTIATE_TEST_SUITE_P(IoPlane, ServerE2E, ::testing::ValuesIn(IoParams()),
+                         IoParamName);
+
+// ---- Multi-loop-specific behavior -------------------------------------------
+// These run once (not per-param): each pins the loops/poller shape it needs.
+
+// With reuseport off the pool falls back to accept-and-hand-off: loop 0 owns
+// the only listener and deals connections round-robin, so the Nth connect
+// lands deterministically on loop N % loops. That determinism is what lets
+// these tests place traffic on specific loops.
+ServerOptions MultiLoopOpts(uint32_t loops) {
+  ServerOptions o;
+  o.nshards = 4;
+  o.shard = SmallShard(16);
+  o.loops = loops;
+  o.reuseport = false;  // hand-off mode: deterministic conn → loop placement
+  return o;
+}
+
+TEST(MultiLoop, CrossLoopSessionRead) {
+  // The session-consistency contract must hold across loops: a SET on a
+  // loop-0 connection, then a MINSEQ-gated GET on a loop-1 connection using
+  // the writer's LASTSEQ token. The read either sees the write immediately
+  // or parks on the shard until the write's sequence applies — its
+  // completion must then find its way back to loop 1, not loop 0.
+  std::string err;
+  auto server = Server::Start(MultiLoopOpts(2), &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  auto writer = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(writer, nullptr) << err;  // conn #1 → loop 0
+  auto reader = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(reader, nullptr) << err;  // conn #2 → loop 1
+
+  for (int i = 0; i < 50; ++i) {
+    const std::string k = "xl:" + std::to_string(i);
+    const uint32_t shard = ShardFor(k, 4);
+    ASSERT_TRUE(writer->Set(k, "v" + std::to_string(i))) << i;
+    const auto seq = writer->LastSeq(shard);
+    ASSERT_TRUE(seq.has_value()) << i << ": " << writer->last_error();
+    ASSERT_TRUE(reader->MinSeq(shard, *seq)) << i << ": "
+                                             << reader->last_error();
+    EXPECT_EQ(reader->Get(k).value_or("<missing>"), "v" + std::to_string(i))
+        << i << ": " << reader->last_error();
+  }
+
+  EXPECT_TRUE(writer->Shutdown());
+  server->Wait();
+  EXPECT_TRUE(server->shutdown_report().ok);
+}
+
+TEST(MultiLoop, StatsAggregateAcrossLoops) {
+  // Server counters are per-loop (no cross-loop cache-line contention); the
+  // STATS reply must present the aggregate. Spread clients across all four
+  // loops, issue a known command count, and check the totals add up.
+  std::string err;
+  auto server = Server::Start(MultiLoopOpts(4), &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  const int kClients = 4, kOpsEach = 25;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    auto c = Client::Connect("127.0.0.1", server->port(), &err);
+    ASSERT_NE(c, nullptr) << err;
+    clients.push_back(std::move(c));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    for (int j = 0; j < kOpsEach; ++j) {
+      const std::string k = "agg:" + std::to_string(i) + ":" + std::to_string(j);
+      ASSERT_TRUE(clients[i]->Set(k, "v"));
+    }
+  }
+
+  const std::string stats = clients[0]->Stats().value_or("");
+  const auto field = [&stats](const char* name) -> uint64_t {
+    const size_t pos = stats.find(name);
+    if (pos == std::string::npos) {
+      return 0;
+    }
+    return std::strtoull(stats.c_str() + pos + std::strlen(name), nullptr, 10);
+  };
+  // accepted counts every client; commands counts at least every SET plus
+  // the STATS itself; conns sees all four live connections. All of these
+  // accumulated on different loops and must aggregate in one reply.
+  EXPECT_GE(field("accepted="), static_cast<uint64_t>(kClients)) << stats;
+  EXPECT_GE(field("commands="),
+            static_cast<uint64_t>(kClients * kOpsEach) + 1)
+      << stats;
+  EXPECT_EQ(field("conns="), static_cast<uint64_t>(kClients)) << stats;
+  EXPECT_NE(stats.find("loops=4"), std::string::npos) << stats;
+
+  EXPECT_TRUE(clients[0]->Shutdown());
+  server->Wait();
+  EXPECT_TRUE(server->shutdown_report().ok);
+}
+
+TEST(MultiLoop, ShutdownUnderCrossLoopLoad) {
+  // Regression for the two-phase quiesce: SHUTDOWN arrives on one loop
+  // while three other loops are mid-pipeline. Every loop must stop intake,
+  // drain its in-flight completions, and the shards must pass the
+  // integrity audit — no completion may arrive after its loop exited.
+  std::string err;
+  auto server = Server::Start(MultiLoopOpts(4), &err);
+  ASSERT_NE(server, nullptr) << err;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> workers_up{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      std::string werr;
+      auto c = Client::Connect("127.0.0.1", server->port(), &werr);
+      if (c == nullptr) {
+        return;
+      }
+      ++workers_up;
+      for (int i = 0; !stop.load(); ++i) {
+        // Failures are expected once intake stops; just keep the pressure
+        // on until then.
+        if (!c->Set("load:" + std::to_string(t) + ":" + std::to_string(i),
+                    "v")) {
+          break;
+        }
+      }
+    });
+  }
+  while (workers_up.load() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // loops busy
+
+  auto killer = Client::Connect("127.0.0.1", server->port(), &err);
+  ASSERT_NE(killer, nullptr) << err;
+  EXPECT_TRUE(killer->Shutdown()) << killer->last_error();
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  server->Wait();
+  EXPECT_TRUE(server->shutdown_report().ok)
+      << server->shutdown_report().Summary();
+}
 
 // ---- Backpressure and per-connection resource caps --------------------------
 
-class HardeningE2E : public ::testing::TestWithParam<bool> {
+class HardeningE2E : public ::testing::TestWithParam<IoParam> {
  protected:
+  void ApplyIo(ServerOptions* o) {
+    o->loops = GetParam().loops;
+    o->poller = GetParam().poller;
+  }
   static std::string ShardKey(uint32_t shard, uint32_t nshards, int salt = 0) {
     for (int i = salt;; ++i) {
       const std::string k = "bk:" + std::to_string(i);
@@ -718,7 +897,7 @@ TEST_P(HardeningE2E, FloodedShardDoesNotBlockOtherShards) {
   opts.shard = SmallShard(/*batch=*/1);
   opts.shard.queue_capacity = 4;
   opts.shard.fence_ns = 2'000'000;  // 2ms per fence: shard 0 drains slowly
-  opts.force_poll = GetParam();
+  ApplyIo(&opts);
   std::string err;
   auto server = Server::Start(opts, &err);
   ASSERT_NE(server, nullptr) << err;
@@ -763,7 +942,7 @@ TEST_P(HardeningE2E, InputBufferCapDisconnectsAndCounts) {
   opts.nshards = 2;
   opts.shard = SmallShard(/*batch=*/8);
   opts.max_conn_in_bytes = 4096;
-  opts.force_poll = GetParam();
+  ApplyIo(&opts);
   std::string err;
   auto server = Server::Start(opts, &err);
   ASSERT_NE(server, nullptr) << err;
@@ -797,7 +976,7 @@ TEST_P(HardeningE2E, OutputCapEvictsSlowReplicationSubscriber) {
   opts.shard = SmallShard(/*batch=*/8);
   opts.shard.device_bytes = 128ull << 20;
   opts.max_conn_out_bytes = 8192;
-  opts.force_poll = GetParam();
+  ApplyIo(&opts);
   std::string err;
   auto server = Server::Start(opts, &err);
   ASSERT_NE(server, nullptr) << err;
@@ -839,7 +1018,7 @@ TEST_P(HardeningE2E, OutputPathCountersVisibleInStats) {
   opts.nshards = 1;
   opts.shard = SmallShard(/*batch=*/8);
   opts.shard.device_bytes = 128ull << 20;
-  opts.force_poll = GetParam();
+  ApplyIo(&opts);
   std::string err;
   auto server = Server::Start(opts, &err);
   ASSERT_NE(server, nullptr) << err;
@@ -885,7 +1064,7 @@ TEST_P(HardeningE2E, PartialWritevResumesMidChunk) {
   opts.nshards = 1;
   opts.shard = SmallShard(/*batch=*/4);
   opts.shard.device_bytes = 128ull << 20;
-  opts.force_poll = GetParam();
+  ApplyIo(&opts);
   std::string err;
   auto server = Server::Start(opts, &err);
   ASSERT_NE(server, nullptr) << err;
@@ -917,10 +1096,8 @@ TEST_P(HardeningE2E, PartialWritevResumesMidChunk) {
   server->Wait();
 }
 
-INSTANTIATE_TEST_SUITE_P(Pollers, HardeningE2E, ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "poll" : "epoll";
-                         });
+INSTANTIATE_TEST_SUITE_P(IoPlane, HardeningE2E,
+                         ::testing::ValuesIn(IoParams()), IoParamName);
 
 // ---- Loadgen smoke ----------------------------------------------------------
 // Shells out to the real jnvm_loadgen binary (path injected by CMake)
