@@ -1,0 +1,35 @@
+#include "src/ckpt/ckpt_meta.h"
+
+namespace jnvm::ckpt {
+
+const core::ClassInfo* CkptMeta::Class() {
+  // No Trace: the block holds plain counters, no references.
+  static const core::ClassInfo* info =
+      RegisterClass(core::MakeClassInfo<CkptMeta>("ckpt.Meta"));
+  return info;
+}
+
+CkptMeta::CkptMeta(core::JnvmRuntime& rt) {
+  AllocatePersistent(rt, Class(), kBytes);
+  // begin_seq = 1 / count = 0 is the "never checkpointed" state: recovery
+  // treats it as "no bound below the tail" and replays tail-only.
+  WriteField<uint64_t>(kBeginSeqOff, 1);
+  WriteField<uint64_t>(kEndSeqOff, 0);
+  WriteField<uint64_t>(kCountOff, 0);
+  WriteField<uint64_t>(kWalkedKeysOff, 0);
+  WriteField<uint64_t>(kWalkedBytesOff, 0);
+  Pwb();
+  Validate();
+}
+
+void CkptMeta::Publish(uint64_t begin_seq, uint64_t end_seq,
+                       uint64_t walked_keys, uint64_t walked_bytes) {
+  WriteField<uint64_t>(kBeginSeqOff, begin_seq);
+  WriteField<uint64_t>(kEndSeqOff, end_seq);
+  WriteField<uint64_t>(kCountOff, Count() + 1);
+  WriteField<uint64_t>(kWalkedKeysOff, walked_keys);
+  WriteField<uint64_t>(kWalkedBytesOff, walked_bytes);
+  Pwb();
+}
+
+}  // namespace jnvm::ckpt

@@ -1,0 +1,64 @@
+// Durable per-shard checkpoint metadata (DESIGN.md §11).
+//
+// One single-block PObject per shard heap records the LSN pair of the last
+// completed fuzzy checkpoint:
+//
+//   begin_seq   the replication-log sequence recovery must replay from: the
+//               log's next_seq at the instant the checkpoint finalized,
+//               *after* a Psync made every sealed record's store effects
+//               durable. Every record below begin_seq is fully reflected in
+//               the store image, so the log may truncate below it.
+//   end_seq     the last sealed record the checkpoint covers (begin_seq - 1
+//               by construction; stored explicitly so the pair is
+//               self-describing in STATS and jnvm_inspect).
+//   count       checkpoints completed on this heap; zero means "never
+//               checkpointed" and recovery falls back to tail-only replay.
+//
+// Crash consistency: the finalize sequence is Psync (store effects durable)
+// → Publish (writes + write-backs, single block) → Pfence (meta durable) →
+// TruncateBelow(begin_seq). The meta lines are written strictly after the
+// Psync in program order, so even a torn finalize only ever exposes a meta
+// whose begin_seq is safe — either the old pair or the new one, and both
+// name a replay point whose predecessors are durably applied. Truncation
+// runs strictly after the meta fence, so a retained-log gap below begin_seq
+// can only exist once begin_seq itself is durable.
+#ifndef JNVM_SRC_CKPT_CKPT_META_H_
+#define JNVM_SRC_CKPT_CKPT_META_H_
+
+#include <cstdint>
+
+#include "src/core/pobject.h"
+#include "src/core/runtime.h"
+
+namespace jnvm::ckpt {
+
+class CkptMeta final : public core::PObject {
+ public:
+  static const core::ClassInfo* Class();
+
+  explicit CkptMeta(core::Resurrect) {}
+  explicit CkptMeta(core::JnvmRuntime& rt);
+
+  static constexpr size_t kBeginSeqOff = 0;
+  static constexpr size_t kEndSeqOff = 8;
+  static constexpr size_t kCountOff = 16;
+  static constexpr size_t kWalkedKeysOff = 24;
+  static constexpr size_t kWalkedBytesOff = 32;
+  static constexpr size_t kBytes = 40;
+
+  uint64_t BeginSeq() const { return ReadField<uint64_t>(kBeginSeqOff); }
+  uint64_t EndSeq() const { return ReadField<uint64_t>(kEndSeqOff); }
+  uint64_t Count() const { return ReadField<uint64_t>(kCountOff); }
+  uint64_t WalkedKeys() const { return ReadField<uint64_t>(kWalkedKeysOff); }
+  uint64_t WalkedBytes() const { return ReadField<uint64_t>(kWalkedBytesOff); }
+
+  // Writes the new pair and write-backs the block; the caller orders it
+  // after the store-durability Psync and seals it with its own fence (see
+  // the finalize sequence above). Bumps Count() by one.
+  void Publish(uint64_t begin_seq, uint64_t end_seq, uint64_t walked_keys,
+               uint64_t walked_bytes);
+};
+
+}  // namespace jnvm::ckpt
+
+#endif  // JNVM_SRC_CKPT_CKPT_META_H_

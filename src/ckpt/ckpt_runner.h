@@ -1,0 +1,77 @@
+// Fuzzy checkpoint driver (DESIGN.md §11) — one per server.
+//
+// A checkpoint bounds recovery and resync: after it completes, replay
+// starts at the durable [ckpt_begin_seq] instead of the image boundary, and
+// the replication log reclaims every sealed segment below it. The runner
+// drives all shards from a dedicated thread (the Migrator discipline — the
+// event loop never blocks) in two phases per shard:
+//
+//   walk       chunked kCkpt control batches, one slot range at a time.
+//              Under the J-NVM heap the store *is* the checkpoint image —
+//              every batch's Psync already made its effects durable in
+//              place — so the walk does no copying: it validates the
+//              in-range records through the snapshot cursor and accounts
+//              keys/bytes. Client traffic interleaves between chunks; the
+//              checkpoint is fuzzy, never stop-the-world.
+//   finalize   one singleton kCkpt batch: Psync (seals every record's
+//              store effects) → publish the LSN pair in CkptMeta → Pfence →
+//              TruncateBelow(begin). See ckpt_meta.h for why a crash at any
+//              point of this sequence leaves a safe replay bound.
+//
+// Triggered by the CKPT admin verb (reply posted through the CompletionSink
+// when done) or by the --ckpt-interval timer (conn_id 0, no reply).
+#ifndef JNVM_SRC_CKPT_CKPT_RUNNER_H_
+#define JNVM_SRC_CKPT_CKPT_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jnvm::server {
+class CompletionSink;
+class Shard;
+}  // namespace jnvm::server
+
+namespace jnvm::ckpt {
+
+class CheckpointRunner {
+ public:
+  // Borrows the shard fleet and the completion sink; both must outlive it.
+  CheckpointRunner(std::vector<server::Shard*> shards,
+                   server::CompletionSink* sink);
+  ~CheckpointRunner();
+
+  // Launches one checkpoint pass over every shard. False when a pass is
+  // already running (the caller replies -BUSY). conn_id 0 = timer-triggered,
+  // no completion is posted.
+  bool Trigger(uint64_t conn_id, uint64_t seq);
+
+  bool busy() const { return busy_.load(std::memory_order_acquire); }
+  // One line for STATS: "idle", "walk shard 1/4 slots 2048..4095",
+  // "done ...", "failed: <reason>".
+  std::string status() const;
+  // Blocks until the running pass (if any) finishes. Tests, CI, shutdown.
+  void Join();
+
+ private:
+  void Run(uint64_t conn_id, uint64_t seq);
+  void SetStatus(const std::string& s);
+  // False = terminal failure (status set, *err carries the reason).
+  bool CheckpointShard(size_t shard_idx, std::string* summary,
+                       std::string* err);
+
+  std::vector<server::Shard*> shards_;
+  server::CompletionSink* sink_;
+
+  std::atomic<bool> busy_{false};
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::string status_ = "idle";
+};
+
+}  // namespace jnvm::ckpt
+
+#endif  // JNVM_SRC_CKPT_CKPT_RUNNER_H_

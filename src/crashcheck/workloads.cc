@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "src/ckpt/ckpt_meta.h"
 #include "src/cluster/meta.h"
 #include "src/cluster/slot_map.h"
 #include "src/common/rand.h"
@@ -1118,6 +1119,357 @@ class ReplWorkload final : public Workload {
   std::vector<std::string> frames_[kShards];
   std::vector<std::unique_ptr<store::JpdtBackend>> shards_;
   std::vector<std::unique_ptr<repl::ReplLog>> logs_;
+};
+
+// ---- Checkpoint workload (DESIGN.md §11) ------------------------------------
+//
+// "ckpt" models the fuzzy-checkpoint + truncation plane: write batches (the
+// "repl" produce path, one shard) interleave with checkpoint ops that run
+// the finalize sequence of Shard::ExecuteCkpt — Psync (store effects
+// durable) → CkptMeta::Publish(begin = next_seq) → Pfence → TruncateBelow —
+// inside a group-commit batch, so the checker's sweep crashes at every
+// persistence event of the walk accounting, the meta publication and the
+// segment unlink/free chain.
+//
+// Oracle: recovery from (image, tail) must equal full-log replay. The store
+// image already holds every sealed batch's effects (that is what the
+// pre-publish Psync certifies), so replaying only [replay_from, next) —
+// replay_from = min(max(meta.begin, log.start), log.next), exactly
+// Shard::Open — must land on the same state as replaying the whole script's
+// sealed prefix. A checkpoint that published `begin` before the store
+// effects below it were durable shows up as a lost sealed key. Meta fields
+// are 8-byte stores: a crash inside Publish exposes per-field old-or-new
+// (any mix is safe — recovery reads only BeginSeq, and both bounds are
+// valid), so exact-match assertions apply only when the in-flight op is not
+// a checkpoint.
+
+class CkptWorkload final : public Workload {
+ public:
+  static constexpr uint32_t kBatch = 3;
+  static constexpr size_t kCkptEvery = 4;  // op i is a checkpoint when i%4==3
+
+  struct Cmd {
+    bool remove = false;
+    std::string key;
+    std::string value;
+  };
+
+  CkptWorkload(uint64_t seed, size_t n) : name_("ckpt") {
+    Xorshift rng(seed);
+    std::map<std::string, std::string> model;
+    uint64_t next_rec = 1;
+    writes_before_.reserve(n + 1);
+    ckpts_before_.reserve(n + 1);
+    for (size_t i = 0; i < n; ++i) {
+      writes_before_.push_back(next_rec - 1);
+      ckpts_before_.push_back(ckpt_begin_.size());
+      if (i % kCkptEvery == kCkptEvery - 1) {
+        // Checkpoint op: record the pair it will publish and the walk
+        // accounting over the model state at this point.
+        ckpt_begin_.push_back(next_rec);
+        uint64_t keys = 0, bytes = 0;
+        for (const auto& [k, v] : model) {
+          ++keys;
+          bytes += k.size() + v.size();
+        }
+        ckpt_walked_keys_.push_back(keys);
+        ckpt_walked_bytes_.push_back(bytes);
+        script_.push_back({});  // no commands
+        continue;
+      }
+      std::vector<Cmd> batch;
+      std::set<std::string> used;
+      for (uint32_t j = 0; j < kBatch; ++j) {
+        std::string key;
+        do {
+          key = "k" + std::to_string(rng.NextBelow(10));
+        } while (used.count(key) != 0);
+        used.insert(key);
+        if (model.count(key) != 0 && rng.NextBelow(4) == 0) {
+          batch.push_back(Cmd{true, key, {}});
+          model.erase(key);
+        } else {
+          batch.push_back(
+              Cmd{false, key, ValueFor(i * kBatch + j, rng.NextBelow(6) == 0)});
+          model[key] = batch.back().value;
+        }
+      }
+      std::vector<repl::ReplOp> rops;
+      for (const Cmd& c : batch) {
+        repl::ReplOp op;
+        op.kind = c.remove ? repl::ReplOp::Kind::kDel : repl::ReplOp::Kind::kPut;
+        op.key = c.key;
+        if (!c.remove) {
+          op.record.fields.push_back(c.value);
+        }
+        rops.push_back(std::move(op));
+      }
+      std::string f;
+      repl::EncodeBatch(rops, &f);
+      frames_.push_back(std::move(f));
+      script_.push_back(std::move(batch));
+      ++next_rec;
+    }
+    writes_before_.push_back(next_rec - 1);
+    ckpts_before_.push_back(ckpt_begin_.size());
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t op_count() const override { return script_.size(); }
+
+  void Setup(JnvmRuntime& rt) override {
+    backend_ = std::make_unique<store::JpdtBackend>(&rt, "store",
+                                                    /*initial_capacity=*/4);
+    log_ = repl::ReplLog::OpenOrCreate(&rt, "log", TinyLog());
+    ckpt::CkptMeta::Class();
+    meta_ = std::make_shared<ckpt::CkptMeta>(rt);
+    rt.root().Put("ckptmeta", meta_.get());
+    rt.Psync();
+  }
+
+  void RunOp(JnvmRuntime& rt, size_t i) override {
+    if (i % kCkptEvery == kCkptEvery - 1) {
+      // The fuzzy walk: snapshot-cursor accounting (no copying — the store
+      // IS the image), then the finalize sequence of ExecuteCkpt.
+      uint64_t keys = 0, bytes = 0;
+      backend_->SnapshotRecords(
+          [&](const std::string& k, const store::Record& r) {
+            ++keys;
+            for (const std::string& f : r.fields) {
+              bytes += f.size();
+            }
+            bytes += k.size();
+          });
+      rt.heap().BeginGroupCommit();
+      rt.Psync();  // every sealed batch's store effects durable before begin
+      const uint64_t begin = log_->next_seq();
+      meta_->Publish(begin, begin - 1, keys, bytes);
+      rt.Pfence();  // meta durable before the truncation unlinks
+      log_->TruncateBelow(begin);
+      rt.heap().EndGroupCommit();
+      rt.Psync();  // seals the ring-slot unlinks before the deferred frees
+      rt.DrainGroupFrees();
+      return;
+    }
+    rt.heap().BeginGroupCommit();
+    for (const Cmd& c : script_[i]) {
+      if (c.remove) {
+        backend_->Delete(c.key);
+      } else {
+        store::Record r;
+        r.fields.push_back(c.value);
+        backend_->Put(c.key, r);
+      }
+    }
+    log_->Append(log_->next_seq(), frames_[writes_before_[i]]);
+    rt.heap().EndGroupCommit();
+    rt.Psync();
+    rt.DrainGroupFrees();
+  }
+
+  void Check(JnvmRuntime& rt, const CrashCut& cut,
+             std::vector<std::string>* out) override {
+    const bool has_inflight =
+        cut.in_flight.has_value() && *cut.in_flight < script_.size();
+    const bool inflight_ckpt =
+        has_inflight && *cut.in_flight % kCkptEvery == kCkptEvery - 1;
+    const bool inflight_write = has_inflight && !inflight_ckpt;
+
+    auto log = repl::ReplLog::OpenOrCreate(&rt, "log", TinyLog());
+    if (log->needs_snapshot()) {
+      out->push_back("log reports needs_snapshot on a primary");
+      return;
+    }
+    ckpt::CkptMeta::Class();
+    auto meta = rt.root().GetAs<ckpt::CkptMeta>("ckptmeta");
+    if (meta == nullptr) {
+      out->push_back("checkpoint meta root binding lost");
+      return;
+    }
+
+    // Sealed boundary (as in "repl"): committed write batches, +1 only when
+    // the in-flight op is a write batch whose record lines survived.
+    const uint64_t c_w = writes_before_[cut.committed];
+    const uint64_t sealed = log->next_seq() - 1;
+    if (sealed != c_w && !(inflight_write && sealed == c_w + 1)) {
+      out->push_back("log retains " + std::to_string(sealed) +
+                     " records, want " + std::to_string(c_w) +
+                     (inflight_write ? " or +1" : ""));
+      return;
+    }
+
+    // Meta: exact for a cut outside a checkpoint op; per-field old-or-new
+    // when the crash fell inside one (Publish is plain 8-byte stores).
+    const size_t c_k = ckpts_before_[cut.committed];
+    const uint64_t begin_old = c_k == 0 ? 1 : ckpt_begin_[c_k - 1];
+    const uint64_t keys_old = c_k == 0 ? 0 : ckpt_walked_keys_[c_k - 1];
+    const uint64_t bytes_old = c_k == 0 ? 0 : ckpt_walked_bytes_[c_k - 1];
+    if (!inflight_ckpt) {
+      if (meta->Count() != c_k || meta->BeginSeq() != begin_old ||
+          meta->EndSeq() != begin_old - 1 || meta->WalkedKeys() != keys_old ||
+          meta->WalkedBytes() != bytes_old) {
+        out->push_back("checkpoint meta mismatch: count=" +
+                       std::to_string(meta->Count()) + " begin=" +
+                       std::to_string(meta->BeginSeq()) + ", want count=" +
+                       std::to_string(c_k) + " begin=" +
+                       std::to_string(begin_old));
+      }
+    } else {
+      const uint64_t begin_new = ckpt_begin_[c_k];
+      auto either = [](uint64_t got, uint64_t a, uint64_t b) {
+        return got == a || got == b;
+      };
+      if (!either(meta->Count(), c_k, c_k + 1) ||
+          !either(meta->BeginSeq(), begin_old, begin_new) ||
+          !either(meta->EndSeq(), begin_old - 1, begin_new - 1) ||
+          !either(meta->WalkedKeys(), keys_old, ckpt_walked_keys_[c_k]) ||
+          !either(meta->WalkedBytes(), bytes_old, ckpt_walked_bytes_[c_k])) {
+        out->push_back("in-flight checkpoint left torn meta: count=" +
+                       std::to_string(meta->Count()) + " begin=" +
+                       std::to_string(meta->BeginSeq()));
+      }
+    }
+    // LSN invariant: whatever begin recovery reads, it clamps inside the
+    // retained log — never a replay gap.
+    if (meta->BeginSeq() > log->next_seq()) {
+      out->push_back("checkpoint begin " + std::to_string(meta->BeginSeq()) +
+                     " ahead of log next " + std::to_string(log->next_seq()));
+    }
+
+    // Every retained record must byte-match the script's frame.
+    std::string payload;
+    for (uint64_t q = log->start_seq(); q < log->next_seq(); ++q) {
+      if (!log->Read(q, &payload)) {
+        out->push_back("record " + std::to_string(q) + " unreadable");
+      } else if (payload != frames_[q - 1]) {
+        out->push_back("record " + std::to_string(q) +
+                       " does not match the script");
+      }
+    }
+
+    // Recovery = image + tail replay from the clamped checkpoint bound
+    // (exactly Shard::Open → RedoLogTail).
+    auto backend = std::make_unique<store::JpdtBackend>(&rt, "store",
+                                                        /*initial_capacity=*/4);
+    const uint64_t replay_from = std::min(
+        std::max(meta->BeginSeq(), log->start_seq()), log->next_seq());
+    for (uint64_t q = replay_from; q < log->next_seq(); ++q) {
+      if (!log->Read(q, &payload)) {
+        out->push_back("replay record " + std::to_string(q) + " unreadable");
+        continue;
+      }
+      std::vector<repl::ReplOp> rops;
+      if (!repl::DecodeBatch(payload, &rops)) {
+        out->push_back("replay record " + std::to_string(q) + " corrupt");
+        continue;
+      }
+      for (const repl::ReplOp& op : rops) {
+        if (op.kind == repl::ReplOp::Kind::kPut) {
+          backend->Put(op.key, op.record);
+        } else if (op.kind == repl::ReplOp::Kind::kDel) {
+          backend->Delete(op.key);
+        }
+      }
+    }
+
+    // Full-log-replay oracle: the tail-replayed store must equal the state
+    // after ALL sealed batches (old-or-new per key for an unsealed
+    // in-flight write batch).
+    std::map<std::string, std::string> expected;
+    {
+      uint64_t rec = 0;
+      for (size_t i = 0; i < script_.size() && rec < sealed; ++i) {
+        if (i % kCkptEvery == kCkptEvery - 1) {
+          continue;
+        }
+        ++rec;
+        for (const Cmd& c : script_[i]) {
+          if (c.remove) {
+            expected.erase(c.key);
+          } else {
+            expected[c.key] = c.value;
+          }
+        }
+      }
+    }
+    const std::vector<Cmd>* inflight =
+        inflight_write ? &script_[*cut.in_flight] : nullptr;
+    const bool inflight_unsealed = inflight != nullptr && sealed == c_w;
+    auto inflight_cmd = [&](const std::string& k) -> const Cmd* {
+      if (!inflight_unsealed) {
+        return nullptr;
+      }
+      for (const Cmd& c : *inflight) {
+        if (c.key == k) {
+          return &c;
+        }
+      }
+      return nullptr;
+    };
+
+    std::map<std::string, std::string> got;
+    backend->SnapshotRecords([&](const std::string& k, const store::Record& r) {
+      got[k] = r.fields.empty() ? std::string("<empty>") : r.fields[0];
+    });
+    for (const auto& [k, v] : expected) {
+      if (inflight_cmd(k) != nullptr) {
+        continue;
+      }
+      const auto it = got.find(k);
+      if (it == got.end()) {
+        out->push_back("sealed key " + k + " lost after tail replay from " +
+                       std::to_string(replay_from));
+      } else if (it->second != v) {
+        out->push_back("sealed key " + k + " has '" + it->second +
+                       "', want '" + v + "' after tail replay");
+      }
+    }
+    for (const auto& [k, v] : got) {
+      if (expected.count(k) == 0 && inflight_cmd(k) == nullptr) {
+        out->push_back("phantom key " + k + " after tail replay");
+      }
+    }
+    if (inflight_unsealed) {
+      for (const Cmd& c : *inflight) {
+        const auto it = got.find(c.key);
+        const auto old_it = expected.find(c.key);
+        if (it == got.end()) {
+          if (!c.remove && old_it != expected.end()) {
+            out->push_back("in-flight batch erased pre-existing key " + c.key);
+          }
+          continue;
+        }
+        const bool is_old =
+            old_it != expected.end() && it->second == old_it->second;
+        const bool is_new = !c.remove && it->second == c.value;
+        if (!is_old && !is_new) {
+          out->push_back("in-flight batch left torn value '" + it->second +
+                         "' for key " + c.key);
+        }
+      }
+    }
+    rt.Psync();  // leave the heap quiescent for the checker's I1–I7 audit
+  }
+
+ private:
+  static repl::ReplLogOptions TinyLog() {
+    repl::ReplLogOptions o;
+    o.segment_bytes = 256;  // a few records per segment: truncation bites
+    o.max_segments = 6;
+    return o;
+  }
+
+  std::string name_;
+  std::vector<std::vector<Cmd>> script_;   // empty vector = checkpoint op
+  std::vector<std::string> frames_;        // frames_[seq - 1]
+  std::vector<uint64_t> writes_before_;    // write ops among [0, i)
+  std::vector<size_t> ckpts_before_;       // ckpt ops among [0, i)
+  std::vector<uint64_t> ckpt_begin_;       // per ckpt op: the begin it seals
+  std::vector<uint64_t> ckpt_walked_keys_;
+  std::vector<uint64_t> ckpt_walked_bytes_;
+  std::unique_ptr<store::JpdtBackend> backend_;
+  std::unique_ptr<repl::ReplLog> log_;
+  Handle<ckpt::CkptMeta> meta_;
 };
 
 // "repl-apply" models the *replica* apply path plus the post-crash resync:
@@ -2471,7 +2823,8 @@ class MigrateWorkload final : public Workload {
 std::vector<std::string> WorkloadKinds() {
   return {"map-hash", "map-tree",   "map-skip", "map-long", "set",  "array",
           "string",   "pfa",        "server",   "repl",     "repl-apply",
-          "wait",     "read-your-writes",       "txn",      "migrate"};
+          "wait",     "read-your-writes",       "txn",      "migrate",
+          "ckpt"};
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
@@ -2525,6 +2878,9 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& kind,
   }
   if (kind == "migrate") {
     return std::make_unique<MigrateWorkload>(script_seed, op_count);
+  }
+  if (kind == "ckpt") {
+    return std::make_unique<CkptWorkload>(script_seed, op_count);
   }
   JNVM_CHECK_MSG(false, ("unknown crashcheck workload: " + kind).c_str());
   return nullptr;

@@ -35,6 +35,11 @@
 //              sealed and every participant's writes are (re)applied at
 //              recovery; an undecided in-flight txn resolves all-or-nothing
 //              by the decision's presence — never a partial apply.
+//   ckpt     — write batches interleave with fuzzy-checkpoint ops
+//              (DESIGN.md §11): Psync → publish [begin,end] in CkptMeta →
+//              Pfence → TruncateBelow. Recovery from (image, log tail from
+//              the durable begin) must equal full-log replay; meta is
+//              old-or-new per field, never an unsafe replay bound.
 //   migrate  — one op is one step of a live slot handoff (DESIGN.md §10):
 //              writes, copy stream, and the migration state machine of
 //              both nodes' slot tables in one heap. Recovery must roll an
@@ -84,7 +89,7 @@ class Workload {
 
 // Registered workload kinds: "map-hash", "map-tree", "map-skip",
 // "map-long", "set", "array", "string", "pfa", "server", "repl",
-// "repl-apply", "wait", "read-your-writes", "txn", "migrate".
+// "repl-apply", "wait", "read-your-writes", "txn", "migrate", "ckpt".
 std::vector<std::string> WorkloadKinds();
 
 // Factory; aborts on an unknown kind. `op_count` is the script length;

@@ -246,4 +246,32 @@ bool DecodeSnapshot(std::string_view frame, uint64_t* snap_seq,
   return c.Done();
 }
 
+void EncodeSegDigests(const std::vector<SegDigest>& digests, std::string* out) {
+  out->clear();
+  PutU32(out, static_cast<uint32_t>(digests.size()));
+  for (const SegDigest& d : digests) {
+    PutU64(out, d.base_seq);
+    PutU32(out, d.records);
+    PutU32(out, d.crc);
+  }
+}
+
+bool DecodeSegDigests(std::string_view frame, std::vector<SegDigest>* out) {
+  Cursor c{frame};
+  uint32_t n = 0;
+  if (!c.TakeU32(&n)) return false;
+  if (n > (frame.size() - c.off) / 16) return false;  // 16 bytes per digest
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SegDigest d;
+    if (!c.TakeU64(&d.base_seq) || !c.TakeU32(&d.records) ||
+        !c.TakeU32(&d.crc)) {
+      return false;
+    }
+    out->push_back(d);
+  }
+  return c.Done();
+}
+
 }  // namespace jnvm::repl

@@ -89,6 +89,26 @@ void EncodeSnapshot(uint64_t snap_seq, const std::vector<SnapshotEntry>& entries
 bool DecodeSnapshot(std::string_view frame, uint64_t* snap_seq,
                     std::vector<SnapshotEntry>* entries);
 
+// ---- Segment-digest frames (REPLDIFF handshake) ---------------------------
+//
+// A rejoining follower advertises one digest per retained log segment: the
+// first sequence it holds, how many records, and a CRC over the segment's
+// raw record bytes. Records pack back-to-back from data offset 0, so the
+// byte stream of a record range is independent of segment boundaries — the
+// primary recomputes each advertised range from its own retained records
+// and ships only the records past the last matching digest.
+
+struct SegDigest {
+  uint64_t base_seq = 0;
+  uint32_t records = 0;
+  uint32_t crc = 0;
+
+  bool operator==(const SegDigest&) const = default;
+};
+
+void EncodeSegDigests(const std::vector<SegDigest>& digests, std::string* out);
+bool DecodeSegDigests(std::string_view frame, std::vector<SegDigest>* out);
+
 }  // namespace jnvm::repl
 
 #endif  // JNVM_SRC_REPL_FRAME_H_

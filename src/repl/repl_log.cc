@@ -184,6 +184,26 @@ void ReplLog::Reconcile() {
     head = (head + 1) % seg_cap_;
     --count;
   }
+  // 3. A publication whose count bump became durable but whose slot write
+  // was lost: the zero sits at the *tail* of the occupied range. Everything
+  // from the first post-prefix zero onward belongs to the batch the crash
+  // interrupted (earlier batches sealed their publications under Psync), so
+  // none of it carries sealed records — drop the whole suffix.
+  for (uint32_t i = 0; i < count; ++i) {
+    if (root_->Slot((head + i) % seg_cap_) != 0) {
+      continue;
+    }
+    for (uint32_t j = i + 1; j < count; ++j) {
+      const uint32_t slot = (head + j) % seg_cap_;
+      const nvm::Offset ref = root_->Slot(slot);
+      if (ref != 0) {
+        root_->WriteSlot(slot, 0);
+        frees.push_back(ref);
+      }
+    }
+    count = i;
+    break;
+  }
   if (head != head0 || count != count0) {
     root_->WritePacked(head, count);
     wrote = true;
@@ -210,7 +230,7 @@ void ReplLog::ScanSegments() {
   for (uint32_t i = 0; i < count && !stop; ++i) {
     const uint32_t slot = (head_ + i) % seg_cap_;
     const nvm::Offset ref = root_->Slot(slot);
-    JNVM_CHECK(ref != 0);  // zero prefixes were shrunk by Reconcile
+    JNVM_CHECK(ref != 0);  // zero prefixes/suffixes were dropped by Reconcile
     auto obj = rt_->ResurrectRefAs<ReplLogSegment>(ref);
     const uint64_t base = obj->BaseSeq();
     if (have_any && base != expected) {
@@ -340,6 +360,14 @@ void ReplLog::TruncateHead() {
   Seg& h = segs_.front();
   const nvm::Offset ref = h.obj->addr();
   bytes_ -= h.write_off;
+  if (segs_.size() == 1) {
+    // Dropping the last retained segment: without this, the sequence
+    // watermark survives only in DRAM and an empty ring would recover from
+    // a stale ResetSeq, regressing next_seq. Persist the watermark under an
+    // ordering fence *before* the zeroing that could expose the empty ring.
+    root_->WriteResetSeq(next_seq_);
+    rt_->Pfence();
+  }
   root_->WriteSlot(h.slot, 0);
   head_ = (head_ + 1) % seg_cap_;
   segs_.pop_front();
@@ -385,6 +413,72 @@ void ReplLog::Append(uint64_t seq, std::string_view payload) {
   tail.write_off = off + static_cast<uint32_t>(need);
   next_seq_ = seq + 1;
   bytes_ += need;
+}
+
+uint32_t ReplLog::TruncateBelow(uint64_t seq) {
+  uint32_t reclaimed = 0;
+  while (!segs_.empty() &&
+         segs_.front().base_seq + segs_.front().offs.size() <= seq) {
+    if (reclaimed > 0) {
+      // Ordering fence between successive head truncations: Reconcile's
+      // zero-prefix shrink assumes zeroed slots form a durable *prefix* of
+      // the occupied ring. Without the fence a crash could persist slot
+      // k+1's zeroing while losing slot k's, leaving an interior zero no
+      // recovery rule covers. (Ring-full eviction never needs this: it
+      // truncates at most one head per append.)
+      rt_->Pfence();
+    }
+    TruncateHead();
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+std::vector<SegDigest> ReplLog::SegmentDigests() const {
+  std::vector<SegDigest> out;
+  out.reserve(segs_.size());
+  char buf[4096];
+  for (const Seg& seg : segs_) {
+    SegDigest d;
+    d.base_seq = seg.base_seq;
+    d.records = static_cast<uint32_t>(seg.offs.size());
+    uint32_t crc = 0x811c9dc5u;  // Crc32 seed
+    for (uint32_t off = 0; off < seg.write_off;) {
+      const size_t n = std::min<size_t>(sizeof(buf), seg.write_off - off);
+      seg.obj->ReadData(off, buf, n);
+      crc = Crc32(std::string_view(buf, n), crc);
+      off += static_cast<uint32_t>(n);
+    }
+    d.crc = crc;
+    out.push_back(d);
+  }
+  return out;
+}
+
+bool ReplLog::VerifyDigest(const SegDigest& d) const {
+  if (d.records == 0) {
+    return false;  // an empty advertised segment carries no evidence
+  }
+  if (d.base_seq < start_seq_ || d.base_seq + d.records > next_seq_) {
+    return false;  // range not fully retained here
+  }
+  uint32_t crc = 0x811c9dc5u;
+  std::string payload;
+  for (uint64_t seq = d.base_seq; seq < d.base_seq + d.records; ++seq) {
+    if (!Read(seq, &payload)) {
+      return false;
+    }
+    // Reconstruct the exact on-media header: { u32 len | u32 crc | u64 seq }.
+    char hdr[kRecHdrBytes];
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const uint32_t rcrc = RecordCrc(seq, payload);
+    std::memcpy(hdr, &len, 4);
+    std::memcpy(hdr + 4, &rcrc, 4);
+    std::memcpy(hdr + 8, &seq, 8);
+    crc = Crc32(std::string_view(hdr, kRecHdrBytes), crc);
+    crc = Crc32(payload, crc);
+  }
+  return crc == d.crc;
 }
 
 bool ReplLog::Read(uint64_t seq, std::string* payload) const {

@@ -56,6 +56,7 @@
 
 #include "src/core/pobject.h"
 #include "src/core/runtime.h"
+#include "src/repl/frame.h"
 
 namespace jnvm::repl {
 
@@ -153,6 +154,27 @@ class ReplLog {
   // Copies the payload of record `seq`; false when truncated away or not
   // yet appended.
   bool Read(uint64_t seq, std::string* payload) const;
+
+  // Drops whole head segments whose records all precede `seq` (LSN-style
+  // reclaim against a durable checkpoint). Partially-covered segments are
+  // retained — truncation granularity is the segment. Unlink-before-free as
+  // in ring-full truncation; the frees defer past the caller's batch Psync
+  // under group commit. Returns the number of segments reclaimed.
+  uint32_t TruncateBelow(uint64_t seq);
+
+  // One digest per retained segment, oldest first (repl::SegDigest,
+  // frame.h). The CRC covers the raw record bytes [0, write_off) — records
+  // pack back-to-back from data offset 0, so the byte stream of a record
+  // range is a pure function of the records themselves, not of segment
+  // boundaries (see VerifyDigest).
+  std::vector<SegDigest> SegmentDigests() const;
+
+  // Recomputes, from this log's retained records, the exact byte stream a
+  // peer's segment holding records [base, base+records) contains, and
+  // compares its CRC. Returns false when any record in the range is not
+  // retained here or the CRCs differ — the peer's copy diverges and only a
+  // snapshot can reconcile it.
+  bool VerifyDigest(const SegDigest& d) const;
 
   // Snapshot install protocol (replica bootstrap) — see header comment.
   void BeginInstall();

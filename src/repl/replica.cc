@@ -136,6 +136,9 @@ ReplClientStats ReplClient::Stats() const {
   s.resyncs = resyncs_.load(std::memory_order_relaxed);
   s.gap_resyncs = gap_resyncs_.load(std::memory_order_relaxed);
   s.bad_configs = bad_configs_.load(std::memory_order_relaxed);
+  s.diff_resyncs = diff_resyncs_.load(std::memory_order_relaxed);
+  s.diff_rejected = diff_rejected_.load(std::memory_order_relaxed);
+  s.retry_later = retry_later_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -146,7 +149,18 @@ bool ReplClient::Bootstrap(server::Client* conn, server::Shard* shard,
     return false;
   }
   server::RespReply r;
-  if (!conn->ReadOneReply(&r) || r.type != server::RespReply::Type::kBulk) {
+  if (!conn->ReadOneReply(&r)) {
+    return false;
+  }
+  if (r.type == server::RespReply::Type::kError &&
+      r.str.rfind("RETRYLATER", 0) == 0) {
+    // The primary is itself mid-bootstrap (a chained feeder still
+    // installing its own snapshot). Explicit defer, not an error: count it
+    // and let the caller's connection backoff pace the retry.
+    retry_later_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (r.type != server::RespReply::Type::kBulk) {
     return false;
   }
   auto waiter = std::make_shared<server::ReplWaiter>();
@@ -161,6 +175,26 @@ bool ReplClient::Bootstrap(server::Client* conn, server::Shard* shard,
     return false;
   }
   snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ReplClient::FetchDigests(server::Shard* shard, std::string* out) {
+  auto waiter = std::make_shared<server::ReplWaiter>();
+  server::Request req;
+  req.op = server::Request::Op::kLogDigests;
+  req.waiter = waiter;
+  if (!shard->Submit(std::move(req))) {
+    return false;
+  }
+  if (!waiter->Wait()) {
+    return false;
+  }
+  // Success payloads are '+'-prefixed binary digest frames (see
+  // ExecuteLogDigests); anything else means no usable log to advertise.
+  if (waiter->error.empty() || waiter->error[0] != '+') {
+    return false;
+  }
+  *out = waiter->error.substr(1);
   return true;
 }
 
@@ -196,12 +230,29 @@ void ReplClient::PullLoop(uint32_t shard_index) {
         break;
       }
       const uint64_t from = shard->repl_next_seq();
-      // The shard count rides in the handshake: a primary with a different
-      // count rejects with -BADCONFIG instead of silently feeding a stream
-      // this replica would route to the wrong shards.
-      if (!conn->SendCommand({"REPLSYNC", std::to_string(shard_index),
-                              std::to_string(from),
-                              std::to_string(shards_.size())})) {
+      // Segment-diff handshake (DESIGN.md §11): when this shard's own log
+      // already holds records, advertise their per-segment CRC digests so
+      // the primary can verify the shared prefix and stream only the tail
+      // — a stale rejoiner then ships bytes proportional to what it missed,
+      // not to the store size. An empty/unusable local log (fresh replica,
+      // mid-install) falls back to plain REPLSYNC.
+      //
+      // The shard count rides in either handshake: a primary with a
+      // different count rejects with -BADCONFIG instead of silently feeding
+      // a stream this replica would route to the wrong shards.
+      bool diff_sent = false;
+      std::string digests;
+      if (from > 1 && !shard->repl_needs_snapshot() &&
+          FetchDigests(shard, &digests)) {
+        if (!conn->SendCommand({"REPLDIFF", std::to_string(shard_index),
+                                std::to_string(from), digests,
+                                std::to_string(shards_.size())})) {
+          break;
+        }
+        diff_sent = true;
+      } else if (!conn->SendCommand({"REPLSYNC", std::to_string(shard_index),
+                                     std::to_string(from),
+                                     std::to_string(shards_.size())})) {
         break;
       }
       server::RespReply r;
@@ -219,8 +270,20 @@ void ReplClient::PullLoop(uint32_t shard_index) {
           conns_[shard_index] = nullptr;
           return;
         }
-        // -SNAPSHOT (truncated past `from`) or a fresh log epoch after the
-        // primary self-healed: bootstrap and re-handshake on this conn.
+        if (r.str.rfind("RETRYLATER", 0) == 0) {
+          // The primary is itself mid-bootstrap: explicit defer. Tear the
+          // connection down and let the backoff pace the retry.
+          retry_later_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (diff_sent && r.str.rfind("DIFFBASE", 0) == 0) {
+          // Digest mismatch: this replica's retained history diverged from
+          // the primary's (old epoch, corrupt tail). Full snapshot it is.
+          diff_rejected_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // -SNAPSHOT (truncated past `from`), -DIFFBASE, or a fresh log
+        // epoch after the primary self-healed: bootstrap and re-handshake
+        // on this conn.
         if (Bootstrap(conn.get(), shard, shard_index)) {
           handshaking = true;
         }
@@ -228,6 +291,9 @@ void ReplClient::PullLoop(uint32_t shard_index) {
       }
       if (r.type != server::RespReply::Type::kSimple) {
         break;  // protocol violation
+      }
+      if (diff_sent) {
+        diff_resyncs_.fetch_add(1, std::memory_order_relaxed);
       }
       established = true;
       {

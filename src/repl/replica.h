@@ -49,6 +49,16 @@ struct ReplClientStats {
   // epoch mismatch). Terminal for that shard's pull loop: retrying cannot
   // help until an operator fixes the configuration.
   uint64_t bad_configs = 0;
+  // Segment-diff resyncs (DESIGN.md §11): handshakes that streamed only the
+  // divergent tail after the primary verified this replica's per-segment
+  // digests (REPLDIFF answered +SYNC).
+  uint64_t diff_resyncs = 0;
+  // REPLDIFF handshakes the primary refused with -DIFFBASE (digest
+  // mismatch — diverged history); each fell back to a full REPLSNAP.
+  uint64_t diff_rejected = 0;
+  // Handshakes the primary deferred with -RETRYLATER (it was itself
+  // mid-bootstrap); each retried after the connection backoff.
+  uint64_t retry_later = 0;
 };
 
 class ReplClient {
@@ -71,6 +81,10 @@ class ReplClient {
 
   void PullLoop(uint32_t shard_index);
   bool Bootstrap(server::Client* conn, server::Shard* shard, uint32_t shard_index);
+  // Asks the local follower shard for its retained log's per-segment CRC
+  // digests (kLogDigests control batch). False when the log is unusable
+  // (mid-install, empty) — the handshake falls back to plain REPLSYNC.
+  bool FetchDigests(server::Shard* shard, std::string* out);
   // Seal hook target (shard worker thread): records the newly sealed seq
   // and wakes the ack thread.
   void NotifySealed(uint32_t shard_index, uint64_t sealed_seq);
@@ -104,6 +118,9 @@ class ReplClient {
   std::atomic<uint64_t> resyncs_{0};
   std::atomic<uint64_t> gap_resyncs_{0};
   std::atomic<uint64_t> bad_configs_{0};
+  std::atomic<uint64_t> diff_resyncs_{0};
+  std::atomic<uint64_t> diff_rejected_{0};
+  std::atomic<uint64_t> retry_later_{0};
 
   std::mutex stopped_mu_;
   bool stopped_ = false;

@@ -303,6 +303,15 @@ std::unique_ptr<Server> Server::Start(const ServerOptions& opts,
     s->migrator_ =
         std::make_unique<cluster::Migrator>(s->cluster_.get(), std::move(raw));
   }
+  {
+    std::vector<Shard*> raw;
+    raw.reserve(s->shards_.size());
+    for (const auto& sh : s->shards_) {
+      raw.push_back(sh.get());
+    }
+    s->ckpt_runner_ =
+        std::make_unique<ckpt::CheckpointRunner>(std::move(raw), s.get());
+  }
   if (opts.replica_of.empty() && s->opts_.shard.repl_log) {
     // Primary crash recovery (DESIGN.md §9): commit-or-abort every
     // prepared-but-undecided cross-shard txn before the event loops serve
@@ -433,6 +442,19 @@ void Server::EventLoop(Loop& lp) {
       for (auto& sh : shards_) {
         sh->TickWait(now_ms);
         sh->TickReadStale(now_ms);
+      }
+      // Periodic fuzzy checkpoint (DESIGN.md §11). Primaries only: a
+      // replica's log truncates when the primary's checkpoint streams
+      // through. Trigger refuses (false) while a pass is still running —
+      // the timer just retries next interval.
+      if (opts_.ckpt_interval_ms > 0 && opts_.replica_of.empty() &&
+          opts_.shard.repl_log) {
+        if (last_ckpt_ms_ == 0) {
+          last_ckpt_ms_ = now_ms;
+        } else if (now_ms - last_ckpt_ms_ >= opts_.ckpt_interval_ms &&
+                   ckpt_runner_->Trigger(/*conn_id=*/0, /*seq=*/0)) {
+          last_ckpt_ms_ = now_ms;
+        }
       }
     }
     RetryStalled(lp);
@@ -1038,15 +1060,24 @@ bool Server::Dispatch(Loop& lp, Conn& conn, std::vector<std::string>& args) {
     }
     return true;
   }
-  if (cmd == "REPLSYNC" || cmd == "REPLSNAP") {
+  if (cmd == "REPLSYNC" || cmd == "REPLSNAP" || cmd == "REPLDIFF") {
     // REPLSYNC <shard> <from> [nshards [epoch]]: the optional arguments let
     // the replica prove its configuration matches before the connection
     // becomes a one-way record feed. A mismatch is a hard, explicit
     // -BADCONFIG — a replica with a different shard count would route keys
     // to the wrong shards, and a different config epoch means the two nodes
     // disagree about slot ownership; silently streaming would corrupt it.
+    //
+    // REPLDIFF <shard> <from> <digests> [nshards [epoch]] (DESIGN.md §11)
+    // is REPLSYNC plus proof: <digests> carries the follower's per-segment
+    // CRC digests, verified against the retained log before the stream
+    // starts. Divergence answers -DIFFBASE (take a REPLSNAP) instead of
+    // silently feeding records onto mismatched history.
     const bool sync = cmd == "REPLSYNC";
-    if (sync ? (args.size() < 3 || args.size() > 5) : args.size() != 2) {
+    const bool diff = cmd == "REPLDIFF";
+    const size_t lo = diff ? 4 : 3, hi = diff ? 6 : 5;
+    if ((sync || diff) ? (args.size() < lo || args.size() > hi)
+                       : args.size() != 2) {
       return inline_error("wrong number of arguments for " + cmd);
     }
     uint32_t idx = 0;
@@ -1054,15 +1085,16 @@ bool Server::Dispatch(Loop& lp, Conn& conn, std::vector<std::string>& args) {
       return inline_error(cmd + " shard index out of range");
     }
     Request req;
-    if (sync) {
+    if (sync || diff) {
       uint64_t from = 0;
       if (!ParseU64(args[2], &from) || from == 0) {
-        return inline_error("REPLSYNC from-seq must be >= 1");
+        return inline_error(cmd + " from-seq must be >= 1");
       }
-      if (args.size() >= 4) {
+      const size_t opt = diff ? 4 : 3;  // first optional-arg index
+      if (args.size() >= opt + 1) {
         uint32_t nshards = 0;
-        if (!ParseU32(args[3], &nshards)) {
-          return inline_error("REPLSYNC nshards must be decimal");
+        if (!ParseU32(args[opt], &nshards)) {
+          return inline_error(cmd + " nshards must be decimal");
         }
         if (nshards != shards_.size()) {
           return inline_code("BADCONFIG shard count mismatch: primary has " +
@@ -1070,10 +1102,10 @@ bool Server::Dispatch(Loop& lp, Conn& conn, std::vector<std::string>& args) {
                              " shards, replica has " + std::to_string(nshards));
         }
       }
-      if (args.size() == 5) {
+      if (args.size() == opt + 2) {
         uint64_t epoch = 0;
-        if (!ParseU64(args[4], &epoch)) {
-          return inline_error("REPLSYNC epoch must be decimal");
+        if (!ParseU64(args[opt + 1], &epoch)) {
+          return inline_error(cmd + " epoch must be decimal");
         }
         const uint64_t mine = cluster_ != nullptr ? cluster_->epoch() : 0;
         if (epoch != mine) {
@@ -1082,8 +1114,11 @@ bool Server::Dispatch(Loop& lp, Conn& conn, std::vector<std::string>& args) {
                              std::to_string(epoch));
         }
       }
-      req.op = Request::Op::kReplSync;
+      req.op = diff ? Request::Op::kReplDiff : Request::Op::kReplSync;
       req.repl_seq = from;
+      if (diff) {
+        req.value = std::move(args[3]);  // the digest frame
+      }
     } else {
       req.op = Request::Op::kReplSnap;
     }
@@ -1187,6 +1222,23 @@ bool Server::Dispatch(Loop& lp, Conn& conn, std::vector<std::string>& args) {
     std::string r;
     AppendSimple(&r, "OK");
     CompleteInline(conn, seq, std::move(r));
+    return true;
+  }
+  if (cmd == "CKPT") {
+    // Fuzzy checkpoint over every shard (DESIGN.md §11). The runner drives
+    // the walk + finalize from its own thread and posts the reply through
+    // the completion sink when the pass ends — the loop never blocks.
+    if (args.size() != 1) {
+      return inline_error("wrong number of arguments for CKPT");
+    }
+    if (!opts_.shard.repl_log) {
+      return inline_error("CKPT requires the replication log");
+    }
+    ++conn.inflight;
+    if (!ckpt_runner_->Trigger(conn.id, seq)) {
+      --conn.inflight;
+      return inline_code("BUSY checkpoint already running");
+    }
     return true;
   }
   if (cmd == "STATS") {
@@ -2011,7 +2063,8 @@ std::string Server::BuildStats(Loop& lp) {
           "repl%u: role=%s sealed=%llu start=%llu applied=%llu "
           "log_bytes=%llu log_segments=%llu subs=%llu wait_acks=%u "
           "acked=%llu parked=%llu wait_timeouts=%llu stream_frames=%llu "
-          "stream_frame_bytes=%llu apply_batch=%u parked_reads=%llu "
+          "stream_frame_bytes=%llu catchup_records=%llu catchup_bytes=%llu "
+          "snap_bytes=%llu apply_batch=%u parked_reads=%llu "
           "released_reads=%llu stale_reads=%llu%s\n",
           sh->index(), s.repl.follower ? "replica" : "primary",
           static_cast<unsigned long long>(s.repl.sealed_seq),
@@ -2026,24 +2079,51 @@ std::string Server::BuildStats(Loop& lp) {
           static_cast<unsigned long long>(s.repl.wait_timeouts),
           static_cast<unsigned long long>(s.repl.stream_frames),
           static_cast<unsigned long long>(s.repl.stream_frame_bytes),
+          static_cast<unsigned long long>(s.repl.catchup_records),
+          static_cast<unsigned long long>(s.repl.catchup_bytes),
+          static_cast<unsigned long long>(s.repl.snap_bytes),
           s.repl.apply_batch,
           static_cast<unsigned long long>(s.repl.parked_reads),
           static_cast<unsigned long long>(s.repl.released_reads),
           static_cast<unsigned long long>(s.repl.stale_reads),
           s.repl.needs_snapshot ? " needs_snapshot" : "");
       out += line;
+      std::snprintf(
+          line, sizeof(line),
+          "ckpt%u: count=%llu begin=%llu end=%llu walked_keys=%llu "
+          "walked_bytes=%llu truncated_segs=%llu replayed=%llu "
+          "retry_later=%llu\n",
+          sh->index(), static_cast<unsigned long long>(s.ckpt.count),
+          static_cast<unsigned long long>(s.ckpt.begin_seq),
+          static_cast<unsigned long long>(s.ckpt.end_seq),
+          static_cast<unsigned long long>(s.ckpt.walked_keys),
+          static_cast<unsigned long long>(s.ckpt.walked_bytes),
+          static_cast<unsigned long long>(s.ckpt.truncated_segments),
+          static_cast<unsigned long long>(s.ckpt.replayed_records),
+          static_cast<unsigned long long>(s.ckpt.retry_later));
+      out += line;
     }
+  }
+  if (ckpt_runner_ != nullptr && opts_.shard.repl_log) {
+    std::snprintf(line, sizeof(line), "ckpt: busy=%d status=%s\n",
+                  ckpt_runner_->busy() ? 1 : 0,
+                  ckpt_runner_->status().c_str());
+    out += line;
   }
   if (repl_client_ != nullptr) {
     const repl::ReplClientStats rs = repl_client_->Stats();
     std::snprintf(line, sizeof(line),
                   "replclient: received=%llu snapshots=%llu resyncs=%llu "
-                  "gap_resyncs=%llu bad_configs=%llu\n",
+                  "gap_resyncs=%llu bad_configs=%llu diff_resyncs=%llu "
+                  "diff_rejected=%llu retry_later=%llu\n",
                   static_cast<unsigned long long>(rs.records_received),
                   static_cast<unsigned long long>(rs.snapshots_installed),
                   static_cast<unsigned long long>(rs.resyncs),
                   static_cast<unsigned long long>(rs.gap_resyncs),
-                  static_cast<unsigned long long>(rs.bad_configs));
+                  static_cast<unsigned long long>(rs.bad_configs),
+                  static_cast<unsigned long long>(rs.diff_resyncs),
+                  static_cast<unsigned long long>(rs.diff_rejected),
+                  static_cast<unsigned long long>(rs.retry_later));
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -2127,6 +2207,11 @@ void Server::DoShutdown(Loop& lp, uint64_t conn_id, uint64_t seq) {
   // stopping); join its thread before the slot table closes under it.
   if (migrator_ != nullptr) {
     migrator_->Join();
+  }
+  // Same discipline for a checkpoint pass racing the quiesce: its control
+  // batches fail fast once the shards stop; reap the thread here.
+  if (ckpt_runner_ != nullptr) {
+    ckpt_runner_->Join();
   }
   if (cluster_ != nullptr) {
     cluster_->Close();

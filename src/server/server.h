@@ -39,7 +39,25 @@
 //   REPLSYNC shard from        +SYNC <from>, then a bulk stream of sealed
 //                              record frames — the connection becomes a
 //                              one-way feed (first/only command on it)
-//   REPLSNAP shard             $<snapshot>   (bootstrap / catch-up image)
+//   REPLDIFF shard from digest [nshards [epoch]]
+//                              segment-diff resync (DESIGN.md §11): the
+//                              follower advertises per-segment CRC digests;
+//                              the primary verifies them against its
+//                              retained log and answers like REPLSYNC on
+//                              match, -DIFFBASE (take REPLSNAP) on
+//                              divergence, -SNAPSHOT when `from` fell below
+//                              the truncation watermark
+//   REPLSNAP shard             $<snapshot>   (bootstrap / catch-up image;
+//                              -RETRYLATER while the shard is itself
+//                              mid-bootstrap)
+//
+// Checkpoint plane (DESIGN.md §11):
+//   CKPT                       +OK <detail> | -BUSY | -ERR — runs one fuzzy
+//                              checkpoint pass over every shard (walk +
+//                              finalize + log truncation); the reply lands
+//                              when the pass completes. ServerOptions::
+//                              ckpt_interval_ms triggers the same pass on a
+//                              timer.
 //   PROMOTE                    +OK | -ERR    (stop pulling, audit I1–I7 on
 //                              every shard, flip followers writable)
 // A server started with ServerOptions::replica_of runs every shard as a
@@ -63,6 +81,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/ckpt/ckpt_runner.h"
 #include "src/cluster/meta.h"
 #include "src/cluster/migrate.h"
 #include "src/repl/replica.h"
@@ -96,6 +115,13 @@ struct ServerOptions {
   // forced on) and a ReplClient pulls the primary's record stream. The
   // shard count must match the primary's. PROMOTE clears the role.
   std::string replica_of;
+
+  // ---- Checkpoint plane (DESIGN.md §11) -----------------------------------
+  // Periodic fuzzy checkpoint: every ckpt_interval_ms the server runs the
+  // same pass the CKPT verb runs (walk + finalize + log truncation) from
+  // the runner's own thread. 0 = manual CKPT only. Replicas skip the timer
+  // (their logs truncate when the primary's checkpoints stream through).
+  uint32_t ckpt_interval_ms = 0;
 
   // ---- Cluster plane (DESIGN.md §10) --------------------------------------
   // Enables hash-slot routing: the node opens (or recovers) its persisted
@@ -160,6 +186,8 @@ class Server : public CompletionSink {
   // Cluster plane (null unless ServerOptions::cluster). Tests and tools.
   cluster::ClusterState* cluster_state() { return cluster_.get(); }
   cluster::Migrator* migrator() { return migrator_.get(); }
+  // Checkpoint driver (always present). Tests and tools.
+  ckpt::CheckpointRunner* ckpt_runner() { return ckpt_runner_.get(); }
   // The readiness backend actually running (after any runtime fallback).
   const char* poller_name() const;
 
@@ -307,6 +335,10 @@ class Server : public CompletionSink {
   // thread submits control requests to the shards.
   std::unique_ptr<cluster::ClusterState> cluster_;
   std::unique_ptr<cluster::Migrator> migrator_;
+  // Checkpoint driver: declared after shards_ (destroyed first) because its
+  // thread submits control batches to the shards, like the migrator.
+  std::unique_ptr<ckpt::CheckpointRunner> ckpt_runner_;
+  uint64_t last_ckpt_ms_ = 0;  // loop-0 tick timer state
 
   std::atomic<bool> shutdown_requested_{false};
   // 0 = running; 1 = quiesce (no accepts, no new input, loops keep draining

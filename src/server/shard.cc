@@ -22,6 +22,7 @@ namespace {
 // store and the replication log again.
 constexpr char kRootName[] = "server.store";
 constexpr char kReplRootName[] = "server.repl";
+constexpr char kCkptRootName[] = "server.ckpt";
 
 nvm::DeviceOptions DeviceOptionsFor(const ShardOptions& opts) {
   nvm::DeviceOptions d;
@@ -57,7 +58,9 @@ bool IsControl(Request::Op op) {
   return op == Request::Op::kReplSync || op == Request::Op::kReplSnap ||
          op == Request::Op::kSnapInstall || op == Request::Op::kPromote ||
          op == Request::Op::kLastSeq || op == Request::Op::kSlotSnap ||
-         op == Request::Op::kSlotTail || op == Request::Op::kSlotPurge;
+         op == Request::Op::kSlotTail || op == Request::Op::kSlotPurge ||
+         op == Request::Op::kCkpt || op == Request::Op::kReplDiff ||
+         op == Request::Op::kLogDigests;
 }
 
 // Batch composition classes: requests in one batch must share a class.
@@ -124,6 +127,7 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
   store::JpfaHashMap::Class();
   repl::ReplLogRoot::Class();
   repl::ReplLogSegment::Class();
+  ckpt::CkptMeta::Class();
 
   const std::string dax = DaxPathFor(opts, index);
   const std::string image = ImagePathFor(opts, index);
@@ -177,17 +181,46 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
       s->log_->FinishInstall(1);
       s->rt_->Psync();
     }
+    // Checkpoint meta (DESIGN.md §11): the durable LSN pair bounding replay.
+    if (s->rt_->root().Exists(kCkptRootName)) {
+      s->ckpt_meta_ = s->rt_->root().GetAs<ckpt::CkptMeta>(kCkptRootName);
+      JNVM_CHECK(s->ckpt_meta_ != nullptr);
+    } else {
+      s->ckpt_meta_ = std::make_shared<ckpt::CkptMeta>(*s->rt_);
+      s->rt_->root().Put(kCkptRootName, s->ckpt_meta_.get());
+    }
+    s->ckpt_count_.store(s->ckpt_meta_->Count(), std::memory_order_relaxed);
+    s->ckpt_begin_.store(s->ckpt_meta_->BeginSeq(), std::memory_order_relaxed);
+    s->ckpt_end_.store(s->ckpt_meta_->EndSeq(), std::memory_order_relaxed);
+    s->ckpt_walked_keys_.store(s->ckpt_meta_->WalkedKeys(),
+                               std::memory_order_relaxed);
+    s->ckpt_walked_bytes_.store(s->ckpt_meta_->WalkedBytes(),
+                                std::memory_order_relaxed);
+
     // Rebuild txn state from the retained log (DESIGN.md §9): prepares
-    // stage, decisions index, markers and aborts resolve. The records before
-    // the tail have fully-applied store effects; the tail record is then
-    // redone against this state so a marker tail re-applies its staged
+    // stage, decisions index, markers and aborts resolve. Records before
+    // the replay point have fully-applied store effects; the replay range
+    // is then redone against this state so a marker re-applies its staged
     // writes idempotently.
+    //
+    // Without a checkpoint only the tail record's effects can be incomplete
+    // (replay point = next-1, the pre-checkpoint behaviour). A durable
+    // checkpoint widens the range to [ckpt_begin, next) — clamped into the
+    // retained log, so a stale pair (older epoch, or behind a ring-full
+    // truncation) degrades to a broader idempotent replay, never a gap.
     txn::LogScanResult scan;
+    uint64_t replay_from = 0;
     if (!s->log_->needs_snapshot() && !s->log_->empty()) {
-      txn::ScanLogForTxns(*s->log_, s->log_->next_seq() - 1, &scan);
+      replay_from = s->log_->next_seq() - 1;
+      if (s->ckpt_meta_->Count() > 0) {
+        replay_from =
+            std::min(std::max(s->ckpt_meta_->BeginSeq(), s->log_->start_seq()),
+                     s->log_->next_seq());
+      }
+      txn::ScanLogForTxns(*s->log_, replay_from, &scan);
     }
     if (s->recovered_) {
-      s->RedoLogTail(&scan);
+      s->RedoLogTail(replay_from, &scan);
     }
     for (auto& [id, t] : scan.staged) {
       s->staged_txns_.Stage(id, std::move(t));
@@ -208,36 +241,48 @@ std::unique_ptr<Shard> Shard::Open(const ShardOptions& opts, uint32_t index,
 
 Shard::~Shard() { Quiesce(); }
 
-// Redo tail (recovery): a crash can leave the last log record sealed while
-// the store's mutations for that batch are per-key old-or-new (eviction
-// decides per line). Re-applying the tail record — the ops are idempotent
-// state-setters — converges the store onto the sealed-batch boundary, so
-// the log and the store agree before the shard serves traffic. `scan` holds
-// the txn state reconstructed from the records before the tail: a tail
-// commit marker re-applies its staged writes through the same transition
-// the live post-seal path took.
-void Shard::RedoLogTail(txn::LogScanResult* scan) {
+// Redo replay (recovery): a crash can leave the last log record sealed
+// while the store's mutations for that batch are per-key old-or-new
+// (eviction decides per line). Re-applying records from `replay_from` — the
+// ops are idempotent state-setters — converges the store onto the
+// sealed-batch boundary, so the log and the store agree before the shard
+// serves traffic. Without a checkpoint the range is just the tail record;
+// with one it is [ckpt_begin, next) — every record below ckpt_begin had
+// durably-applied effects when the checkpoint finalized (DESIGN.md §11).
+// `scan` holds the txn state reconstructed from the records before the
+// range: a replayed commit marker re-applies its staged writes through the
+// same transition the live post-seal path took.
+void Shard::RedoLogTail(uint64_t replay_from, txn::LogScanResult* scan) {
   if (log_ == nullptr || log_->needs_snapshot() || log_->empty()) {
     return;
   }
-  const uint64_t seq = log_->next_seq() - 1;
+  const uint64_t next = log_->next_seq();
+  uint64_t replayed = 0;
   std::string payload;
-  if (!log_->Read(seq, &payload)) {
-    return;
-  }
-  std::vector<repl::ReplOp> ops;
-  if (!repl::DecodeBatch(payload, &ops)) {
-    return;  // cannot happen for a checksummed record; be defensive
-  }
-  txn::ReplayRecordOps(rt_.get(), kv_.get(), ops, scan);
-  // The replay stages tail-record prepares with seq 0; resolution planning
-  // wants the real seq the prepare sealed under.
-  for (auto& [id, t] : scan->staged) {
-    if (t.prepare_seq == 0) {
-      t.prepare_seq = seq;
+  for (uint64_t seq = replay_from; seq < next; ++seq) {
+    if (!log_->Read(seq, &payload)) {
+      continue;  // below retention (stale checkpoint pair); be defensive
     }
+    std::vector<repl::ReplOp> ops;
+    if (!repl::DecodeBatch(payload, &ops)) {
+      continue;  // cannot happen for a checksummed record; be defensive
+    }
+    txn::ReplayRecordOps(rt_.get(), kv_.get(), ops, scan);
+    // The replay stages this record's prepares with seq 0; resolution
+    // planning wants the real seq the prepare sealed under.
+    for (auto& [id, t] : scan->staged) {
+      if (t.prepare_seq == 0) {
+        t.prepare_seq = seq;
+      }
+    }
+    ++replayed;
   }
-  rt_->Psync();
+  // STATS `ckpt` line: the CI bootstrap job asserts recovery replayed a
+  // tail, not the whole log, once a checkpoint bounds it.
+  ckpt_replayed_.store(replayed, std::memory_order_relaxed);
+  if (replayed > 0) {
+    rt_->Psync();
+  }
 }
 
 bool Shard::Submit(Request&& req) {
@@ -496,6 +541,14 @@ bool Shard::Execute(const Request& req, std::string* reply,
       return ExecuteSlotPurge(req, reply, rops);
     case Request::Op::kMigApply:
       return ExecuteMigApply(req, reply, rops);
+    case Request::Op::kCkpt:
+      return ExecuteCkpt(req, reply);
+    case Request::Op::kReplDiff:
+      ExecuteReplDiff(req, reply);
+      return false;
+    case Request::Op::kLogDigests:
+      ExecuteLogDigests(reply);
+      return false;
     case Request::Op::kPromote:
       ExecutePromote(req, reply);
       return false;
@@ -933,6 +986,8 @@ void Shard::ExecuteReplSync(const Request& req, std::string* reply) {
     JNVM_CHECK(log_->Read(seq, &payload));
     repl::EncodeRecord(seq, payload, &frame);
     AppendBulk(reply, frame);
+    catchup_records_.fetch_add(1, std::memory_order_relaxed);
+    catchup_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
   }
   if (req.conn_id != 0) {
     {
@@ -956,9 +1011,11 @@ void Shard::ExecuteReplSnap(std::string* reply) {
   // Chained shipping rule: a feeder only ever ships sealed-and-applied
   // state. Mid-bootstrap (crashed between a snapshot install's fences, or
   // never bootstrapped) the store is not a sealed prefix of anything —
-  // refuse, and the downstream retries once this shard has caught up.
+  // refuse with an explicit -RETRYLATER, and the downstream backs off and
+  // retries once this shard has caught up (counted in STATS `ckpt`).
   if (log_->needs_snapshot()) {
-    AppendError(reply, "REPLSNAP unavailable: shard is mid-bootstrap");
+    ckpt_retry_later_.fetch_add(1, std::memory_order_relaxed);
+    AppendErrorCode(reply, "RETRYLATER shard is mid-bootstrap; retry");
     return;
   }
   std::vector<repl::SnapshotEntry> entries;
@@ -975,6 +1032,7 @@ void Shard::ExecuteReplSnap(std::string* reply) {
   const uint64_t snap_seq = log_->next_seq() - 1;
   std::string frame;
   repl::EncodeSnapshot(snap_seq, entries, &frame);
+  snap_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
   AppendBulk(reply, frame);
 }
 
@@ -1011,8 +1069,150 @@ bool Shard::ExecuteSnapInstall(const Request& req, std::string* error) {
     kv_->ApplyPut(e.key, e.record);
   }
   log_->FinishInstall(snap_seq + 1);
+  // The installed image IS a checkpoint at snap_seq: publish the pair so a
+  // crash after this batch's Psync recovers with a tight replay bound. (A
+  // crash before it leaves the old pair; recovery clamps a stale begin into
+  // the reset log's range, so no misdirected replay either way.)
+  ckpt_meta_->Publish(snap_seq + 1, snap_seq, 0, 0);
+  ckpt_count_.store(ckpt_meta_->Count(), std::memory_order_relaxed);
+  ckpt_begin_.store(snap_seq + 1, std::memory_order_relaxed);
+  ckpt_end_.store(snap_seq, std::memory_order_relaxed);
   RebuildSlotCounts();  // the store was wholesale-replaced
   return true;
+}
+
+// ---- Checkpoint plane (DESIGN.md §11) ----------------------------------------
+
+// One kCkpt control batch: field 0 walks one slot chunk (fuzzy — client
+// batches interleave between chunks), field 1 finalizes. Waiter payloads:
+// '+…' success, '-…' failure.
+bool Shard::ExecuteCkpt(const Request& req, std::string* reply) {
+  if (log_ == nullptr) {
+    *reply = "-ERR replication log disabled";
+    return false;
+  }
+  if (log_->needs_snapshot()) {
+    *reply = "-RETRYLATER shard is mid-bootstrap; retry";
+    return false;
+  }
+  if (req.field == 0) {
+    // Walk chunk. Under the J-NVM heap the store IS the checkpoint image —
+    // every batch Psync already made its effects durable in place — so the
+    // walk copies nothing: it enumerates the in-range records through the
+    // snapshot cursor (read-back validation) and accounts keys/bytes.
+    if (req.slot_lo == 0) {
+      ckpt_walk_keys_ = 0;
+      ckpt_walk_bytes_ = 0;
+    }
+    uint64_t keys = 0;
+    uint64_t bytes = 0;
+    const bool ok = backend_->SnapshotRecords(
+        [&](const std::string& key, const store::Record& r) {
+          const uint16_t s = cluster::SlotForKey(key);
+          if (s >= req.slot_lo && s <= req.slot_hi) {
+            ++keys;
+            bytes += key.size();
+            for (const std::string& f : r.fields) {
+              bytes += f.size();
+            }
+          }
+        });
+    if (!ok) {
+      *reply = "-ERR backend does not support snapshots";
+      return false;
+    }
+    ckpt_walk_keys_ += keys;
+    ckpt_walk_bytes_ += bytes;
+    *reply = "+";
+    return false;
+  }
+  // Finalize — the checkpoint's durability point. The sequence (and why a
+  // crash at any prefix of it is safe) is documented in ckpt_meta.h:
+  //   Psync → meta Publish → Pfence → TruncateBelow(begin).
+  // Singleton control batch: every sealed record's store effects were
+  // applied at execute time (plain ops) or post-seal with their own Psync
+  // (staged txns), so the Psync here makes the whole prefix durable.
+  rt_->Psync();
+  // An undecided txn's prepare record must outlive the checkpoint: its
+  // staged writes materialize only at the (future) decision, so truncating
+  // the prepare would lose them on a crash. Clamp the pair below the oldest
+  // staged prepare — replay from there re-stages it idempotently.
+  const uint64_t begin =
+      std::min(log_->next_seq(), staged_txns_.MinPrepareSeq());
+  ckpt_meta_->Publish(begin, begin - 1, ckpt_walk_keys_, ckpt_walk_bytes_);
+  rt_->Pfence();
+  const uint32_t reclaimed = log_->TruncateBelow(begin);
+  ckpt_count_.store(ckpt_meta_->Count(), std::memory_order_relaxed);
+  ckpt_begin_.store(begin, std::memory_order_relaxed);
+  ckpt_end_.store(begin - 1, std::memory_order_relaxed);
+  ckpt_walked_keys_.store(ckpt_walk_keys_, std::memory_order_relaxed);
+  ckpt_walked_bytes_.store(ckpt_walk_bytes_, std::memory_order_relaxed);
+  ckpt_truncated_segs_.fetch_add(reclaimed, std::memory_order_relaxed);
+  *reply = "+begin=" + std::to_string(begin) +
+           " end=" + std::to_string(begin - 1) +
+           " truncated=" + std::to_string(reclaimed);
+  // True: the meta published and segments may have unlinked — the batch
+  // Psync must run before DrainGroupFrees releases them.
+  return true;
+}
+
+// Segment-diff rejoin, primary side (REPLDIFF <shard> <from> <digests>):
+// verify every digest the follower advertises against this log's retained
+// records, then — all verified — behave exactly like REPLSYNC: +SYNC, the
+// backlog from `from`, and a live subscription. Digests below this log's
+// retention are skipped (their records' effects are inside the checkpointed
+// image and REPLSYNC's from-seq contract never verified them either); a
+// digest past next_seq or one that mismatches is genuine divergence —
+// -DIFFBASE, only REPLSNAP can reconcile.
+void Shard::ExecuteReplDiff(const Request& req, std::string* reply) {
+  if (log_ == nullptr) {
+    AppendError(reply, "replication log disabled");
+    return;
+  }
+  if (log_->needs_snapshot()) {
+    ckpt_retry_later_.fetch_add(1, std::memory_order_relaxed);
+    AppendErrorCode(reply, "RETRYLATER shard is mid-bootstrap; retry");
+    return;
+  }
+  if (req.repl_seq < log_->start_seq()) {
+    AppendErrorCode(reply,
+                    "SNAPSHOT replication log truncated; REPLSNAP required");
+    return;
+  }
+  if (req.repl_seq > log_->next_seq()) {
+    AppendError(reply, "REPLDIFF from-seq ahead of log");
+    return;
+  }
+  std::vector<repl::SegDigest> digests;
+  if (!repl::DecodeSegDigests(req.value, &digests)) {
+    AppendError(reply, "bad digest frame");
+    return;
+  }
+  for (const repl::SegDigest& d : digests) {
+    if (d.records == 0 || d.base_seq < log_->start_seq()) {
+      continue;  // fully or partially below retention: unverifiable here
+    }
+    if (d.base_seq + d.records > log_->next_seq() || !log_->VerifyDigest(d)) {
+      AppendErrorCode(reply,
+                      "DIFFBASE segment digest mismatch; REPLSNAP required");
+      return;
+    }
+  }
+  ExecuteReplSync(req, reply);
+}
+
+// Follower side of the handshake: the log is worker-thread-only, so the
+// ReplClient fetches its own digests through a control batch.
+void Shard::ExecuteLogDigests(std::string* reply) {
+  if (log_ == nullptr || log_->needs_snapshot()) {
+    *reply = "-ERR no usable replication log";
+    return;
+  }
+  std::string frame;
+  repl::EncodeSegDigests(log_->SegmentDigests(), &frame);
+  reply->clear();
+  reply->push_back('+');
+  reply->append(frame);
 }
 
 // ---- Cluster plane: slot cursors and import applies --------------------------
@@ -1787,6 +1987,9 @@ ShardStats Shard::Stats() const {
   s.repl.stream_frames = stream_frames_.load(std::memory_order_relaxed);
   s.repl.stream_frame_bytes =
       stream_frame_bytes_.load(std::memory_order_relaxed);
+  s.repl.catchup_records = catchup_records_.load(std::memory_order_relaxed);
+  s.repl.catchup_bytes = catchup_bytes_.load(std::memory_order_relaxed);
+  s.repl.snap_bytes = snap_bytes_.load(std::memory_order_relaxed);
   s.repl.apply_batch = opts_.apply_batch;
   {
     std::lock_guard<std::mutex> lk(subs_mu_);
@@ -1797,6 +2000,15 @@ ShardStats Shard::Stats() const {
   s.txn.aborted = txns_aborted_.load(std::memory_order_relaxed);
   s.txn.inflight = staged_txns_.Size();
   s.txn.decision_records = txn_decision_records_.load(std::memory_order_relaxed);
+  s.ckpt.count = ckpt_count_.load(std::memory_order_relaxed);
+  s.ckpt.begin_seq = ckpt_begin_.load(std::memory_order_relaxed);
+  s.ckpt.end_seq = ckpt_end_.load(std::memory_order_relaxed);
+  s.ckpt.walked_keys = ckpt_walked_keys_.load(std::memory_order_relaxed);
+  s.ckpt.walked_bytes = ckpt_walked_bytes_.load(std::memory_order_relaxed);
+  s.ckpt.truncated_segments =
+      ckpt_truncated_segs_.load(std::memory_order_relaxed);
+  s.ckpt.replayed_records = ckpt_replayed_.load(std::memory_order_relaxed);
+  s.ckpt.retry_later = ckpt_retry_later_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/ckpt/ckpt_meta.h"
 #include "src/cluster/slot_map.h"
 #include "src/core/runtime.h"
 #include "src/nvm/pmem_device.h"
@@ -182,6 +183,18 @@ struct Request {
     kSlotPurge,    // drop every key in [slot_lo, slot_hi] (import reset)
     kMigApply,     // apply mig_ops shipped by a migration source; the ops
                    // are re-logged locally so this node's replicas see them
+    // Checkpoint plane (DESIGN.md §11). All three are internal control ops
+    // (singleton batches).
+    kCkpt,         // field 0: fuzzy-walk slots [slot_lo, slot_hi] (waiter
+                   // payload "+"); field 1: finalize — Psync, publish the
+                   // LSN pair, truncate the log below it (waiter payload
+                   // "+begin=<b> end=<e> truncated=<n>")
+    kReplDiff,     // segment-diff rejoin, primary side: repl_seq = the
+                   // follower's resume seq, value = its digest frame; every
+                   // digest verified → behaves exactly like kReplSync
+    kLogDigests,   // follower side: waiter payload "+<digest frame>" of the
+                   // local log (the log is worker-thread-only, so the
+                   // ReplClient fetches its own digests through the queue)
   };
   Op op = Op::kGet;
   std::string key;
@@ -333,6 +346,15 @@ struct ReplStats {
   // counter records the per-subscriber zero-copy enqueues.
   uint64_t stream_frames = 0;
   uint64_t stream_frame_bytes = 0;
+  // Rejoin cost accounting (DESIGN.md §11): records/bytes serialized into
+  // REPLSYNC/REPLDIFF handshake replies (backlog catch-up) and bytes of
+  // REPLSNAP snapshot frames served. A stale replica rejoining through the
+  // segment-diff handshake should move catchup_bytes ~ the divergent tail;
+  // snap_bytes grows with the whole store — the CI bootstrap job asserts
+  // the former stays far below the latter.
+  uint64_t catchup_records = 0;
+  uint64_t catchup_bytes = 0;
+  uint64_t snap_bytes = 0;
   uint32_t apply_batch = 0;  // follower apply grouping (0 = follow batch)
   // WAIT-K (primary role, wait_acks > 0): acked_seq is the K-th-highest
   // subscriber watermark — every record <= acked_seq is on >= K replicas.
@@ -359,6 +381,21 @@ struct TxnShardStats {
   uint64_t decision_records = 0;
 };
 
+// Checkpoint counters (STATS `ckpt` line). begin/end mirror the durable
+// CkptMeta pair; replayed_records counts the log records the last recovery
+// actually replayed — the CI bootstrap job asserts it stays a tail, not the
+// whole log, once checkpoints run.
+struct CkptStats {
+  uint64_t count = 0;         // checkpoints finalized on this heap
+  uint64_t begin_seq = 0;     // recovery replays from here (1 = from start)
+  uint64_t end_seq = 0;       // last sealed record the checkpoint covers
+  uint64_t walked_keys = 0;   // last walk's accounting
+  uint64_t walked_bytes = 0;
+  uint64_t truncated_segments = 0;  // log segments reclaimed by finalizes
+  uint64_t replayed_records = 0;    // records replayed at the last recovery
+  uint64_t retry_later = 0;   // REPLSNAP/REPLDIFF refused mid-bootstrap
+};
+
 struct ShardStats {
   uint64_t queue_depth = 0;
   uint64_t batches = 0;
@@ -374,6 +411,7 @@ struct ShardStats {
   nvm::DeviceStats device;
   ReplStats repl;
   TxnShardStats txn;
+  CkptStats ckpt;
 };
 
 class Shard {
@@ -501,9 +539,16 @@ class Shard {
                         std::vector<repl::ReplOp>* rops);
   bool ExecuteMigApply(const Request& req, std::string* reply,
                        std::vector<repl::ReplOp>* rops);
+  // Checkpoint plane (DESIGN.md §11): walk / finalize, the primary side of
+  // the segment-diff rejoin, and the follower-side digest fetch. ExecuteCkpt
+  // returns true on a finalize that published the meta — the batch must
+  // Psync before DrainGroupFrees releases the truncated segments.
+  bool ExecuteCkpt(const Request& req, std::string* reply);
+  void ExecuteReplDiff(const Request& req, std::string* reply);
+  void ExecuteLogDigests(std::string* reply);
   void DeliverBatch(std::vector<Request>& batch, std::vector<std::string>& replies);
   void StreamToSubscribers(uint64_t first_seq, uint64_t last_seq);
-  void RedoLogTail(txn::LogScanResult* scan);
+  void RedoLogTail(uint64_t replay_from, txn::LogScanResult* scan);
   void PublishReplStats();
 
   // ---- Transaction plane (worker thread) ----------------------------------
@@ -580,6 +625,7 @@ class Shard {
   std::unique_ptr<store::Backend> backend_;
   std::unique_ptr<store::KvStore> kv_;
   std::unique_ptr<repl::ReplLog> log_;  // worker-thread only after Open()
+  core::Handle<ckpt::CkptMeta> ckpt_meta_;  // worker-thread only after Open()
 
   std::atomic<bool> follower_{false};
   std::atomic<uint64_t> sealed_seq_{0};   // last sealed record (0 = none)
@@ -590,6 +636,23 @@ class Shard {
   std::atomic<bool> repl_needs_snapshot_{false};
   std::atomic<uint64_t> stream_frames_{0};       // frames serialized (once/batch)
   std::atomic<uint64_t> stream_frame_bytes_{0};  // bytes serialized, pre-fan-out
+  std::atomic<uint64_t> catchup_records_{0};  // backlog records in handshake replies
+  std::atomic<uint64_t> catchup_bytes_{0};
+  std::atomic<uint64_t> snap_bytes_{0};  // REPLSNAP frame bytes served
+
+  // ---- Checkpoint plane (DESIGN.md §11) ------------------------------------
+  // Walk accumulators live on the worker thread only (reset when a walk
+  // restarts at slot 0); the atomics mirror the durable CkptMeta for Stats.
+  uint64_t ckpt_walk_keys_ = 0;
+  uint64_t ckpt_walk_bytes_ = 0;
+  std::atomic<uint64_t> ckpt_count_{0};
+  std::atomic<uint64_t> ckpt_begin_{1};
+  std::atomic<uint64_t> ckpt_end_{0};
+  std::atomic<uint64_t> ckpt_walked_keys_{0};
+  std::atomic<uint64_t> ckpt_walked_bytes_{0};
+  std::atomic<uint64_t> ckpt_truncated_segs_{0};
+  std::atomic<uint64_t> ckpt_replayed_{0};       // set once, at Open()
+  std::atomic<uint64_t> ckpt_retry_later_{0};    // mid-bootstrap refusals
 
   // ---- Cluster plane --------------------------------------------------------
   mutable std::mutex slot_mu_;

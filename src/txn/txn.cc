@@ -166,6 +166,17 @@ std::vector<std::pair<TxnId, uint32_t>> StagedTable::Undecided() const {
   return out;
 }
 
+uint64_t StagedTable::MinPrepareSeq() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t min_seq = UINT64_MAX;
+  for (const auto& [id, t] : staged_) {
+    if (t.prepare_seq != 0 && t.prepare_seq < min_seq) {
+      min_seq = t.prepare_seq;
+    }
+  }
+  return min_seq;
+}
+
 // ---- DecisionIndex ---------------------------------------------------------
 
 void DecisionIndex::Add(TxnId id, uint64_t seq, Decision d) {

@@ -118,6 +118,10 @@ class StagedTable {
   size_t Size() const;
   // (id, coordinator) of every staged txn, for resolution planning.
   std::vector<std::pair<TxnId, uint32_t>> Undecided() const;
+  // Smallest prepare_seq among staged txns, UINT64_MAX when none. Checkpoint
+  // truncation clamps below it: an undecided txn's prepare record must stay
+  // in the log until its decision resolves it (DESIGN.md §11).
+  uint64_t MinPrepareSeq() const;
 
  private:
   mutable std::mutex mu_;

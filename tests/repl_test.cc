@@ -251,6 +251,89 @@ TEST(ReplLog, TornTailNeverResurrectsUnsealedRecord) {
   }
 }
 
+TEST(ReplLog, TruncateBelowReclaimsPrefixAndPreservesWatermark) {
+  LogFixture f;
+  auto log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", TinyLog());
+  for (uint64_t s = 1; s <= 12; ++s) {
+    log->Append(s, Payload(s));
+    f.rt->Psync();
+    f.rt->DrainGroupFrees();
+  }
+  // Checkpoint-style truncation at the second retained segment's base:
+  // exactly the first segment is reclaimed, everything at or above the
+  // bound stays readable.
+  const auto digests = log->SegmentDigests();
+  ASSERT_GE(digests.size(), 2u);
+  const uint64_t bound = digests[1].base_seq;
+  ASSERT_GT(bound, log->start_seq());
+  EXPECT_EQ(log->TruncateBelow(bound), 1u);
+  f.rt->Psync();
+  f.rt->DrainGroupFrees();
+  EXPECT_EQ(log->start_seq(), bound);
+  std::string got;
+  EXPECT_FALSE(log->Read(bound - 1, &got));
+  for (uint64_t s = bound; s <= 12; ++s) {
+    ASSERT_TRUE(log->Read(s, &got)) << s;
+    EXPECT_EQ(got, Payload(s));
+  }
+  // Truncation is segment-granular: a bound inside a segment reclaims
+  // nothing (the segment still holds records at or above the bound).
+  EXPECT_EQ(log->TruncateBelow(bound + 1), 0u);
+
+  // Truncate-to-empty (a checkpoint covering every sealed record) must
+  // persist the sequence watermark: a reopen may not regress next_seq even
+  // though no segment survives to carry it.
+  EXPECT_GT(log->TruncateBelow(log->next_seq()), 0u);
+  f.rt->Psync();
+  f.rt->DrainGroupFrees();
+  EXPECT_TRUE(log->empty());
+  EXPECT_EQ(log->next_seq(), 13u);
+  f.Reopen();
+  log = ReplLog::OpenOrCreate(f.rt.get(), "repl0", TinyLog());
+  EXPECT_TRUE(log->empty());
+  EXPECT_FALSE(log->needs_snapshot());
+  EXPECT_EQ(log->next_seq(), 13u);
+  log->Append(13, Payload(13));
+  f.rt->Psync();
+  ASSERT_TRUE(log->Read(13, &got));
+  EXPECT_EQ(got, Payload(13));
+}
+
+TEST(ReplLog, SegmentDigestsVerifyDetectsMatchAndDivergence) {
+  LogFixture f;
+  auto a = ReplLog::OpenOrCreate(f.rt.get(), "la", TinyLog());
+  auto b = ReplLog::OpenOrCreate(f.rt.get(), "lb", TinyLog());
+  for (uint64_t s = 1; s <= 8; ++s) {
+    a->Append(s, Payload(s));
+    b->Append(s, Payload(s));
+  }
+  f.rt->Psync();
+  // Identical histories: every advertised range verifies on the peer.
+  for (const SegDigest& d : a->SegmentDigests()) {
+    EXPECT_TRUE(b->VerifyDigest(d)) << d.base_seq;
+  }
+  // Same seq, different bytes — the divergence a stale rejoin must catch.
+  a->Append(9, "branch-a");
+  b->Append(9, "branch-b");
+  f.rt->Psync();
+  const auto da = a->SegmentDigests();
+  EXPECT_FALSE(b->VerifyDigest(da.back()));
+  // Advertisement frame codec roundtrip, truncated input rejected.
+  std::string frame;
+  EncodeSegDigests(da, &frame);
+  std::vector<SegDigest> got;
+  ASSERT_TRUE(DecodeSegDigests(frame, &got));
+  EXPECT_EQ(got, da);
+  EXPECT_FALSE(DecodeSegDigests(
+      std::string_view(frame).substr(0, frame.size() - 1), &got));
+  // A range reaching below the retained log cannot be verified — the
+  // primary answers -SNAPSHOT rather than guessing.
+  b->TruncateBelow(b->SegmentDigests()[1].base_seq);
+  f.rt->Psync();
+  f.rt->DrainGroupFrees();
+  EXPECT_FALSE(b->VerifyDigest(da.front()));
+}
+
 TEST(ReplLog, InterruptedSnapshotInstallReportsNeedsSnapshot) {
   LogFixture f;
   {
@@ -337,6 +420,65 @@ TEST(FollowerShard, RejectsClientWritesServesReads) {
     EXPECT_EQ(got[i].reply.rfind("-READONLY", 0), 0u) << got[i].reply;
   }
   EXPECT_EQ(got[3].reply, "$-1\r\n");  // reads still served
+}
+
+TEST(FollowerShard, MidBootstrapRefusesSnapshotAndDiffWithRetryLater) {
+  // Craft a shard image whose replication log crashed between a snapshot
+  // install's fences (snap_pending set, never cleared). A follower opening
+  // it is mid-bootstrap: its store is not a sealed prefix of anything, so
+  // feeding a downstream (REPLSNAP / REPLDIFF) must be refused with the
+  // explicit -RETRYLATER the pull client backs off on.
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("jnvm_retrylater_" + std::to_string(::getpid())))
+          .string();
+  const std::string img = base + ".shard0.img";
+  {
+    pdt::RegisterStandardClasses();
+    repl::ReplLogRoot::Class();
+    repl::ReplLogSegment::Class();
+    nvm::DeviceOptions d;
+    d.size_bytes = SmallShard().device_bytes;
+    auto dev = std::make_unique<nvm::PmemDevice>(d);
+    auto rt = core::JnvmRuntime::Format(dev.get());
+    auto log = repl::ReplLog::OpenOrCreate(rt.get(), "server.repl",
+                                           repl::ReplLogOptions{});
+    log->Append(1, "sealed-record");
+    rt->Psync();
+    log->BeginInstall();  // the crash window
+    rt->Psync();
+    ASSERT_TRUE(dev->SaveTo(img));
+  }
+
+  CollectSink sink;
+  ShardOptions o = SmallShard();
+  o.follower = true;
+  o.image_base = base;
+  auto shard = Shard::Open(o, 0, &sink);
+  ASSERT_TRUE(shard->recovered());
+  EXPECT_TRUE(shard->repl_needs_snapshot());
+
+  Request snap;
+  snap.op = Request::Op::kReplSnap;
+  snap.conn_id = 1;
+  snap.seq = 1;
+  ASSERT_TRUE(shard->Submit(std::move(snap)));
+  Request diff;
+  diff.op = Request::Op::kReplDiff;
+  diff.conn_id = 1;
+  diff.seq = 2;
+  diff.repl_seq = 1;
+  ASSERT_TRUE(shard->Submit(std::move(diff)));
+  shard->Quiesce();
+
+  auto got = sink.take();
+  ASSERT_EQ(got.size(), 2u);
+  for (const Completion& c : got) {
+    EXPECT_EQ(c.reply.rfind("-RETRYLATER", 0), 0u) << c.reply;
+  }
+  EXPECT_EQ(shard->Stats().ckpt.retry_later, 2u);
+  shard.reset();
+  std::filesystem::remove(img);
 }
 
 class ReplE2E : public ::testing::Test {
@@ -516,9 +658,13 @@ TEST_F(ReplE2E, ReplicaRestartResumesFromSealedSeq) {
     ASSERT_NE(rc, nullptr) << err;
     ASSERT_TRUE(WaitForKeys(*rc, 2 * kHalf));
     // Catch-up came from the retained stream, not a snapshot: the replica
-    // resumed REPLSYNC from its recovered sealed seq.
+    // resumed from its recovered sealed seq through the segment-diff
+    // handshake (REPLDIFF advertised its digests; the primary verified them
+    // and shipped only the tail).
     ASSERT_NE(replica->repl_client(), nullptr);
     EXPECT_EQ(replica->repl_client()->Stats().snapshots_installed, 0u);
+    EXPECT_GE(replica->repl_client()->Stats().diff_resyncs, 1u);
+    EXPECT_EQ(replica->repl_client()->Stats().diff_rejected, 0u);
     ASSERT_TRUE(rc->Shutdown());
     replica->Wait();
     ASSERT_TRUE(replica->shutdown_report().ok);
@@ -531,13 +677,6 @@ TEST_F(ReplE2E, ReplicaRestartResumesFromSealedSeq) {
   }
 }
 
-// ---- WAIT-K synchronous replication -----------------------------------------
-// A --wait-acks=K primary parks each write batch between its local Psync
-// and its reply until K subscribers have acknowledged (REPLACK) the sealed
-// seq; past the timeout the write replies degrade to -WAITTIMEOUT but the
-// data stays locally durable. Both pollers drive the ack routing and the
-// parked-batch timeout tick, so the suite is parameterized like ServerE2E.
-
 // Sums every occurrence of `field` (e.g. "wait_timeouts=") in a STATS body.
 uint64_t SumStatsField(const std::string& stats, const char* field) {
   uint64_t sum = 0;
@@ -549,6 +688,85 @@ uint64_t SumStatsField(const std::string& stats, const char* field) {
   }
   return sum;
 }
+
+TEST_F(ReplE2E, CheckpointTruncatesAndBoundsRestartReplay) {
+  // The CKPT verb runs the fuzzy per-shard checkpoint: walk accounting over
+  // every record, durable [begin,end] pair, sealed segments below begin
+  // reclaimed. A restart then replays only the log tail past begin, not the
+  // whole history — recovery work tracks the residual log, not the heap.
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("jnvm_ckpt_e2e_" + std::to_string(::getpid())))
+          .string();
+  ServerOptions popts = PrimaryOpts();
+  popts.shard.image_base = base;
+  popts.shard.repl_segment_bytes = 1024;
+  popts.shard.repl_max_segments = 24;  // retention alone never truncates here
+  std::string err;
+  const int kPre = 200, kPost = 40;
+  {
+    auto primary = Server::Start(popts, &err);
+    ASSERT_NE(primary, nullptr) << err;
+    auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+    ASSERT_NE(pc, nullptr) << err;
+    for (int i = 0; i < kPre; ++i) {
+      ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+    }
+
+    RespReply r;
+    ASSERT_TRUE(pc->Roundtrip({"CKPT"}, &r));
+    ASSERT_EQ(r.type, RespReply::Type::kSimple) << r.str;
+    EXPECT_EQ(r.str.rfind("OK", 0), 0u) << r.str;
+    // A second trigger while idle also succeeds (nothing is running).
+    ASSERT_TRUE(pc->Roundtrip({"CKPT"}, &r));
+    ASSERT_EQ(r.type, RespReply::Type::kSimple) << r.str;
+
+    const std::string stats = pc->Stats().value_or("");
+    EXPECT_EQ(SumStatsField(stats, "walked_keys="), static_cast<uint64_t>(kPre))
+        << stats;
+    EXPECT_GE(SumStatsField(stats, "truncated_segs="), 1u) << stats;
+
+    // Tail records appended past the checkpoint bound.
+    for (int i = kPre; i < kPre + kPost; ++i) {
+      ASSERT_TRUE(pc->Set(Key(i), "val:" + std::to_string(i)));
+    }
+    ASSERT_TRUE(pc->Shutdown());  // saves the shard images
+    primary->Wait();
+    ASSERT_TRUE(primary->shutdown_report().ok);
+  }
+
+  auto primary = Server::Start(popts, &err);  // recovers from the images
+  ASSERT_NE(primary, nullptr) << err;
+  EXPECT_TRUE(primary->AnyShardRecovered());
+  auto pc = Client::Connect("127.0.0.1", primary->port(), &err);
+  ASSERT_NE(pc, nullptr) << err;
+  for (int i = 0; i < kPre + kPost; ++i) {
+    EXPECT_EQ(pc->Get(Key(i)).value_or("<missing>"),
+              "val:" + std::to_string(i));
+  }
+  // Replay was bounded by the durable checkpoint pair: at most the kPost
+  // post-checkpoint records, never the kPre history below begin.
+  const std::string stats = pc->Stats().value_or("");
+  const uint64_t replayed = SumStatsField(stats, "replayed=");
+  EXPECT_GT(replayed, 0u) << stats;
+  EXPECT_LE(replayed, static_cast<uint64_t>(kPost)) << stats;
+  // The walk accounting survived the restart (meta is durable).
+  EXPECT_EQ(SumStatsField(stats, "walked_keys="), static_cast<uint64_t>(kPre))
+      << stats;
+
+  ASSERT_TRUE(pc->Shutdown());
+  primary->Wait();
+  for (uint32_t i = 0; i < popts.nshards; ++i) {
+    std::filesystem::remove(base + ".shard" + std::to_string(i) + ".img");
+  }
+}
+
+// ---- WAIT-K synchronous replication -----------------------------------------
+// A --wait-acks=K primary parks each write batch between its local Psync
+// and its reply until K subscribers have acknowledged (REPLACK) the sealed
+// seq; past the timeout the write replies degrade to -WAITTIMEOUT but the
+// data stays locally durable. Both pollers drive the ack routing and the
+// parked-batch timeout tick, so the suite is parameterized like ServerE2E.
 
 TEST_F(ReplE2E, ApplyBatchDecouplesReplicaGroupCommit) {
   // --apply-batch lets a replica fold many shipped records (each one sealed
@@ -1438,7 +1656,12 @@ TEST(ReplCommands, ArgumentValidation) {
       {"REPLSYNC", "0", "abc"},     // non-numeric from-seq
       {"REPLSNAP"},                 // missing shard
       {"REPLSNAP", "2"},            // shard out of range
+      {"REPLDIFF"},                 // missing args
+      {"REPLDIFF", "0", "2"},       // missing digest frame
+      {"REPLDIFF", "9", "2", ""},   // shard out of range
+      {"REPLDIFF", "0", "0", ""},   // from-seq must be ≥ 1
       {"PROMOTE", "extra"},         // PROMOTE takes no args
+      {"CKPT", "extra"},            // CKPT takes no args
   };
   for (const auto& args : bad) {
     RespReply r;

@@ -25,6 +25,7 @@
 #include <map>
 #include <vector>
 
+#include "src/ckpt/ckpt_meta.h"
 #include "src/cluster/meta.h"
 #include "src/core/integrity.h"
 #include "src/pdt/register_all.h"
@@ -119,6 +120,37 @@ void PrintClusterMeta(core::JnvmRuntime& rt, bool summary) {
   }
 }
 
+// Replication-log occupancy + checkpoint watermark (DESIGN.md §11): how
+// many sealed segments the shard retains, the byte footprint, and the
+// truncation watermark (start_seq — everything below was reclaimed by a
+// checkpoint or ring-full eviction). Printed only when the image holds the
+// shard's log root binding.
+void PrintReplLog(core::JnvmRuntime& rt) {
+  if (rt.root().Exists("server.repl")) {
+    // Binding exists → OpenOrCreate binds (never creates). The recovery
+    // reconcile it runs is what the server itself would do; the inspection
+    // device is never written back (rt.Abandon()).
+    auto log = repl::ReplLog::OpenOrCreate(&rt, "server.repl",
+                                           repl::ReplLogOptions{});
+    std::printf("  repl log  : %u sealed segment(s), %" PRIu64
+                " bytes, seqs [%" PRIu64 ", %" PRIu64
+                "), truncated below %" PRIu64 "%s\n",
+                log->segments(), log->bytes(), log->start_seq(),
+                log->next_seq(), log->start_seq(),
+                log->needs_snapshot() ? " [needs_snapshot]" : "");
+  }
+  if (rt.root().Exists("server.ckpt")) {
+    auto meta = rt.root().GetAs<ckpt::CkptMeta>("server.ckpt");
+    if (meta != nullptr) {
+      std::printf("  checkpoint: count=%" PRIu64 " begin=%" PRIu64
+                  " end=%" PRIu64 " walked_keys=%" PRIu64
+                  " walked_bytes=%" PRIu64 "\n",
+                  meta->Count(), meta->BeginSeq(), meta->EndSeq(),
+                  meta->WalkedKeys(), meta->WalkedBytes());
+    }
+  }
+}
+
 // One image, one paragraph: enough to see at a glance whether a shard image
 // is healthy, how full it is, and whether any FA log was left mid-flight.
 int PrintSummary(const char* path, nvm::PmemDevice* dev,
@@ -148,6 +180,7 @@ int PrintSummary(const char* path, nvm::PmemDevice* dev,
               " block(s) swept\n",
               rep.replay.replayed_logs, rep.replay.aborted_logs,
               rep.sweep.freed_blocks);
+  PrintReplLog(*rt);
   PrintClusterMeta(*rt, /*summary=*/true);
   std::printf("  integrity : %s\n", report.Summary().c_str());
   rt->Abandon();
@@ -182,6 +215,7 @@ int main(int argc, char** argv) {
   tpcb::PAccount::Class();
   repl::ReplLogRoot::Class();
   repl::ReplLogSegment::Class();
+  ckpt::CkptMeta::Class();
   cluster::ClusterMetaRoot::Class();
 
   auto dev = nvm::PmemDevice::LoadFrom(path);
@@ -252,6 +286,7 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", key.c_str());
   }
   std::printf("\n");
+  PrintReplLog(*rt);
   PrintClusterMeta(*rt, /*summary=*/false);
   rt->Abandon();  // inspection must not alter the on-disk image
   return report.ok() ? 0 : 2;

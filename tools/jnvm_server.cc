@@ -8,6 +8,7 @@
 //               [--repl-segment=BYTES] [--repl-retention=SEGS]
 //               [--wait-acks=K] [--wait-timeout-ms=N] [--apply-batch=N]
 //               [--read-stale-timeout-ms=N] [--read-park-max=N]
+//               [--ckpt-interval=MS]
 //               [--cluster] [--cluster-self=N] [--cluster-announce=H:P]
 //               [--cluster-dax=PATH | --cluster-image=PATH] [--dax-base=PATH]
 //
@@ -37,6 +38,10 @@
 // bounds the parked set. A replica also serves REPLSYNC/REPLSNAP from its
 // own (byte-identical) log, so further replicas can chain off it
 // (--replica-of pointing at a replica builds a tree).
+// --ckpt-interval=MS runs a fuzzy checkpoint pass (DESIGN.md §11) every MS
+// milliseconds: walk + finalize on every shard, then the replication log
+// reclaims sealed segments below the durable [ckpt_begin_seq]. 0 (default)
+// = checkpoints run only when the CKPT admin verb asks for one.
 // With --cluster the node joins the hash-slot plane (DESIGN.md §10):
 // single-key commands route through the persisted 16384-slot table
 // (-MOVED / -ASK / -TRYAGAIN / -CLUSTERDOWN for slots not plainly owned),
@@ -118,6 +123,8 @@ int main(int argc, char** argv) {
       opts.shard.read_stale_timeout_ms = static_cast<uint32_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--read-park-max", &v)) {
       opts.shard.read_park_max = static_cast<uint32_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--ckpt-interval", &v)) {
+      opts.ckpt_interval_ms = static_cast<uint32_t>(std::atoi(v));
     } else if (std::strcmp(argv[i], "--cluster") == 0) {
       opts.cluster = true;
     } else if (FlagValue(argv[i], "--cluster-self", &v)) {
